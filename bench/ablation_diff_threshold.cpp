@@ -1,0 +1,34 @@
+// Ablation: sensitivity of the need-for-simulation predictor to the
+// DIFF_total threshold (the paper fixes 2% and notes that traces near the
+// threshold drive most misclassifications).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/decision.hpp"
+
+int main() {
+  using namespace hps;
+  bench::print_header("Ablation: DIFF_total threshold for \"needs simulation\"",
+                      "the 2% threshold choice of Section VI");
+
+  const auto study = bench::load_or_run_study();
+
+  TextTable t;
+  t.set_header({"threshold", "positives", "naive success", "enhanced success", "FN", "FP"});
+  for (const double thr : {0.01, 0.02, 0.03, 0.05, 0.10}) {
+    core::DecisionOptions opts;
+    opts.diff_threshold = thr;
+    opts.cv.splits = 40;  // lighter CV for the sweep
+    std::fprintf(stderr, "[ablation] threshold %.0f%%...\n", 100 * thr);
+    const auto ev = core::evaluate_decision_model(study.outcomes, opts);
+    t.add_row({fmt_percent(thr, 0), std::to_string(ev.positives),
+               fmt_percent(ev.naive.success_rate, 1), fmt_percent(ev.cv.success_rate(), 1),
+               fmt_percent(ev.cv.fn_rate_trimmed_mean, 1),
+               fmt_percent(ev.cv.fp_rate_trimmed_mean, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("The paper's 2%% sits where the classes are most separable; looser thresholds\n"
+              "shrink the positive class until the trivial all-negative answer dominates.\n");
+  return 0;
+}

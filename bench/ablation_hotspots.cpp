@@ -1,0 +1,78 @@
+// Ablation: link hotspots and placement — where the traffic actually lands
+// on the fabric, and how rank placement changes contention. This is the
+// kind of insight only the detailed simulators can give (MFACT has no
+// links), i.e. the reason simulation is ever worth its cost.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "simmpi/replayer.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+struct LoadStats {
+  double mean = 0, max = 0, gini = 0;
+  int used = 0;
+};
+
+LoadStats load_stats(const std::vector<std::uint64_t>& bytes) {
+  LoadStats s;
+  std::vector<double> xs;
+  for (const auto b : bytes)
+    if (b > 0) xs.push_back(static_cast<double>(b));
+  s.used = static_cast<int>(xs.size());
+  if (xs.empty()) return s;
+  double sum = 0;
+  for (const double x : xs) {
+    sum += x;
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  // Gini coefficient of the used-link loads: 0 = perfectly balanced.
+  std::sort(xs.begin(), xs.end());
+  double cum = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    cum += (2.0 * static_cast<double>(i + 1) - static_cast<double>(xs.size()) - 1.0) * xs[i];
+  s.gini = cum / (static_cast<double>(xs.size()) * sum);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hps;
+  bench::print_header("Ablation: fabric hotspots under placement policies",
+                      "the contention effects underlying Figures 2-5");
+
+  workloads::GenParams gp;
+  gp.ranks = 256;
+  gp.seed = 77;
+  gp.iter_factor = 0.4;
+
+  TextTable t;
+  t.set_header({"app", "placement", "sim total ms", "used links", "max/mean load", "gini"});
+
+  for (const char* app : {"FT", "FillBoundary", "MiniFE"}) {
+    const trace::Trace tr = workloads::generate_app(app, gp);
+    for (const auto placement :
+         {machine::Placement::kBlock, machine::Placement::kRoundRobin,
+          machine::Placement::kRandom}) {
+      const char* pname = placement == machine::Placement::kBlock        ? "block"
+                          : placement == machine::Placement::kRoundRobin ? "round-robin"
+                                                                         : "random";
+      const machine::MachineInstance mi(machine::cielito(), tr.nranks(),
+                                        tr.meta().ranks_per_node, placement, 5);
+      const auto res = simmpi::replay_trace(tr, mi, simmpi::NetModelKind::kPacketFlow);
+      const LoadStats ls = load_stats(res.link_bytes);
+      t.add_row({app, pname, fmt_double(time_to_seconds(res.total_time) * 1e3, 2),
+                 std::to_string(ls.used), fmt_double(ls.max / std::max(1.0, ls.mean), 2),
+                 fmt_double(ls.gini, 3)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hps::bench {
+
+core::StudyOptions default_study_options() {
+  core::StudyOptions opts;
+  opts.corpus.seed = 42;
+  opts.corpus.duration_scale = 0.35;
+  if (const char* env = std::getenv("HPS_DURATION_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) opts.corpus.duration_scale = v;
+  }
+  opts.cache_path = core::default_cache_path("study");
+  opts.progress = true;
+  return opts;
+}
+
+core::StudyResult load_or_run_study() {
+  const core::StudyOptions opts = default_study_options();
+  std::fprintf(stderr, "[study] corpus of 235 traces, duration_scale=%.2f, cache=%s\n",
+               opts.corpus.duration_scale, opts.cache_path.c_str());
+  core::StudyResult res = run_study(opts);
+  if (res.from_cache) {
+    std::fprintf(stderr, "[study] loaded %zu outcomes from cache\n", res.outcomes.size());
+  } else {
+    std::fprintf(stderr, "[study] computed %zu outcomes in %.1f s (now cached)\n",
+                 res.outcomes.size(), res.wall_seconds);
+  }
+  return res;
+}
+
+std::vector<const core::TraceOutcome*> with_schemes_ok(
+    const std::vector<core::TraceOutcome>& outcomes,
+    std::initializer_list<core::Scheme> need) {
+  std::vector<const core::TraceOutcome*> out;
+  for (const auto& o : outcomes) {
+    bool ok = true;
+    for (const core::Scheme s : need) ok = ok && o.of(s).ok;
+    if (ok) out.push_back(&o);
+  }
+  return out;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s of \"Performance and Accuracy Trade-offs of HPC Application "
+              "Modeling and Simulation\")\n\n",
+              paper_ref.c_str());
+}
+
+}  // namespace hps::bench

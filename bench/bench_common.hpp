@@ -1,0 +1,29 @@
+// Shared infrastructure for the paper-reproduction bench binaries: one
+// full-corpus study (run once, cached on disk) feeds every table/figure that
+// derives from the 235-trace dataset, mirroring how the paper computes all
+// of §V-§VI from one set of runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace hps::bench {
+
+/// Default options used by every corpus bench: keep them identical so the
+/// cache is shared. `duration_scale` trades corpus size for wall time; the
+/// HPS_DURATION_SCALE environment variable overrides it.
+core::StudyOptions default_study_options();
+
+/// Run or load the shared study; prints a one-line provenance note.
+core::StudyResult load_or_run_study();
+
+/// Subset of outcomes where the given schemes all succeeded.
+std::vector<const core::TraceOutcome*> with_schemes_ok(
+    const std::vector<core::TraceOutcome>& outcomes, std::initializer_list<core::Scheme> need);
+
+/// Print the standard bench header.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace hps::bench

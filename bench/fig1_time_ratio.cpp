@@ -1,0 +1,83 @@
+// Figure 1: execution time of SST-style packet, flow and packet-flow
+// simulations as multiples of MFACT's modeling time, bucketed at <=10x,
+// <=100x, <=1000x and >1000x; plus the per-scheme speed ranking statistics
+// reported in the paper's §V-B prose.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace hps;
+  using core::Scheme;
+  bench::print_header("Figure 1: simulation time as multiples of MFACT time", "Figure 1");
+
+  const auto study = bench::load_or_run_study();
+
+  // The paper's timing subset: traces where all four schemes succeeded,
+  // excluding ones with trivially small simulation times.
+  const auto all = bench::with_schemes_ok(
+      study.outcomes, {Scheme::kMfact, Scheme::kPacket, Scheme::kFlow, Scheme::kPacketFlow});
+  std::vector<const core::TraceOutcome*> subset;
+  for (const auto* o : all)
+    if (o->of(Scheme::kPacket).wall_seconds >= 0.010) subset.push_back(o);
+  std::printf("Timing subset: %zu of %zu traces (all four schemes succeeded, packet time >= "
+              "10 ms; the paper used 126 of 235)\n\n",
+              subset.size(), study.outcomes.size());
+
+  const Scheme sims[] = {Scheme::kPacket, Scheme::kFlow, Scheme::kPacketFlow};
+
+  // Ratio buckets.
+  TextTable t;
+  t.set_header({"model", "<=10x", "<=100x", "<=1000x", ">1000x"});
+  std::vector<std::vector<double>> ratios(3);
+  for (int i = 0; i < 3; ++i) {
+    for (const auto* o : subset) {
+      const double m = o->of(Scheme::kMfact).wall_seconds;
+      if (m <= 0) continue;
+      ratios[static_cast<std::size_t>(i)].push_back(o->of(sims[i]).wall_seconds / m);
+    }
+    const auto& r = ratios[static_cast<std::size_t>(i)];
+    t.add_row({core::scheme_name(sims[i]), fmt_percent(cdf_at(r, 10.0), 0),
+               fmt_percent(cdf_at(r, 100.0), 0), fmt_percent(cdf_at(r, 1000.0), 0),
+               fmt_percent(1.0 - cdf_at(r, 1000.0), 0)});
+  }
+  t.add_row({"(paper pkt)", "21%", "52%", "90%", "10%"});
+  t.add_row({"(paper flow)", "33%", "83%", "98%", "2%"});
+  t.add_row({"(paper p-flow)", "28%", "79%", "94%", "6%"});
+  std::printf("%s\n", t.render().c_str());
+
+  // Speed ranking per trace (paper: MFACT first in 100% of cases; packet
+  // slowest in 89%).
+  int mfact_first = 0, packet_last = 0;
+  int second_place[3] = {0, 0, 0};
+  for (const auto* o : subset) {
+    const double w[4] = {o->of(Scheme::kMfact).wall_seconds,
+                         o->of(Scheme::kPacket).wall_seconds,
+                         o->of(Scheme::kFlow).wall_seconds,
+                         o->of(Scheme::kPacketFlow).wall_seconds};
+    if (w[0] <= std::min({w[1], w[2], w[3]})) ++mfact_first;
+    if (w[1] >= std::max({w[0], w[2], w[3]})) ++packet_last;
+    // Which simulation is fastest (ranks second overall behind MFACT)?
+    const int arg =
+        w[1] <= w[2] && w[1] <= w[3] ? 0 : (w[2] <= w[3] ? 1 : 2);
+    ++second_place[arg];
+  }
+  const double n = static_cast<double>(subset.size());
+  std::printf("MFACT fastest: %.0f%% of traces (paper: 100%%)\n", 100.0 * mfact_first / n);
+  std::printf("packet slowest: %.0f%% of traces (paper: 89%%)\n", 100.0 * packet_last / n);
+  std::printf("second place: packet %.0f%%, flow %.0f%% (paper 41%%), packet-flow %.0f%% "
+              "(paper 59%%)\n",
+              100.0 * second_place[0] / n, 100.0 * second_place[1] / n,
+              100.0 * second_place[2] / n);
+
+  for (int i = 0; i < 3; ++i) {
+    const Summary s = summarize(ratios[static_cast<std::size_t>(i)]);
+    std::printf("%-12s ratio: median %.0fx, p90 %.0fx, max %.0fx\n",
+                core::scheme_name(sims[i]), s.median, s.p90, s.max);
+  }
+  return 0;
+}

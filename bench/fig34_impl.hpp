@@ -1,0 +1,89 @@
+// Shared implementation of Figures 3 (NAS) and 4 (DOE): per-application
+// comparison of the three simulation models against MFACT — estimated
+// communication time (a), estimated total time (b), and both tools'
+// estimates normalized to the measured (ground-truth) time (c).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "workloads/generators.hpp"
+
+namespace hps::bench {
+
+struct FigApp {
+  std::string app;
+  Rank want_ranks;
+};
+
+inline int run_fig34(const char* title, const char* paper_ref,
+                     const std::vector<FigApp>& apps, double paper_sst_below,
+                     double paper_mfact_below) {
+  using core::Scheme;
+  print_header(title, paper_ref);
+
+  TextTable ta, tb, tc;
+  ta.set_header({"app", "ranks", "pkt/MFACT", "flow/MFACT", "p-flow/MFACT"});
+  tb.set_header({"app", "ranks", "pkt/MFACT", "flow/MFACT", "p-flow/MFACT"});
+  tc.set_header({"app", "ranks", "measured s", "SST/measured", "MFACT/measured"});
+
+  double sst_ratio_sum = 0, mfact_ratio_sum = 0;
+  int counted = 0;
+
+  for (const FigApp& fa : apps) {
+    const auto& gen = workloads::generator_by_name(fa.app);
+    const Rank ranks = gen.pick_ranks(fa.want_ranks / 2 + 1, fa.want_ranks);
+    if (ranks < 0) continue;
+    workloads::GenParams gp;
+    gp.ranks = ranks;
+    gp.seed = 4321;
+    gp.machine = "cielito";
+    gp.iter_factor = 0.5;
+    std::fprintf(stderr, "[fig] running %s(%d)...\n", fa.app.c_str(), ranks);
+    const trace::Trace tr = workloads::generate_app(fa.app, gp);
+    const core::TraceOutcome o = core::run_all_schemes(tr);
+    if (!o.of(Scheme::kMfact).ok) continue;
+
+    const double m_total = static_cast<double>(o.of(Scheme::kMfact).total_time);
+    const double m_comm = static_cast<double>(o.of(Scheme::kMfact).comm_time);
+    auto ratio = [](double num, double den) {
+      return den > 0 ? fmt_double(num / den, 3) : std::string("-");
+    };
+    ta.add_row({fa.app, std::to_string(ranks),
+                ratio(static_cast<double>(o.of(Scheme::kPacket).comm_time), m_comm),
+                ratio(static_cast<double>(o.of(Scheme::kFlow).comm_time), m_comm),
+                ratio(static_cast<double>(o.of(Scheme::kPacketFlow).comm_time), m_comm)});
+    tb.add_row({fa.app, std::to_string(ranks),
+                ratio(static_cast<double>(o.of(Scheme::kPacket).total_time), m_total),
+                ratio(static_cast<double>(o.of(Scheme::kFlow).total_time), m_total),
+                ratio(static_cast<double>(o.of(Scheme::kPacketFlow).total_time), m_total)});
+    const double measured = static_cast<double>(o.measured_total);
+    const double sst = static_cast<double>(o.of(Scheme::kPacketFlow).total_time);
+    tc.add_row({fa.app, std::to_string(ranks), fmt_double(measured * 1e-9, 3),
+                ratio(sst, measured), ratio(m_total, measured)});
+    if (measured > 0) {
+      sst_ratio_sum += sst / measured;
+      mfact_ratio_sum += m_total / measured;
+      ++counted;
+    }
+  }
+
+  std::printf("(a) Estimated communication time, normalized to MFACT\n%s\n",
+              ta.render().c_str());
+  std::printf("(b) Estimated total time, normalized to MFACT\n%s\n", tb.render().c_str());
+  std::printf("(c) Estimated total time, normalized to measured time\n%s\n",
+              tc.render().c_str());
+  if (counted > 0) {
+    std::printf("Average below measured: SST %.2f%% (paper %.2f%%), MFACT %.2f%% "
+                "(paper %.2f%%)\n",
+                100.0 * (1.0 - sst_ratio_sum / counted), paper_sst_below,
+                100.0 * (1.0 - mfact_ratio_sum / counted), paper_mfact_below);
+  }
+  return 0;
+}
+
+}  // namespace hps::bench

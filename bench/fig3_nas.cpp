@@ -1,0 +1,14 @@
+// Figure 3: measured, modeling and simulation results for the NAS Parallel
+// Benchmarks (collected on the Cielito model).
+#include "fig34_impl.hpp"
+
+int main() {
+  using hps::bench::FigApp;
+  const std::vector<FigApp> apps = {
+      {"BT", 256}, {"CG", 256}, {"DT", 128},  {"EP", 256}, {"FT", 256},
+      {"IS", 256}, {"LU", 256}, {"MG", 256},  {"SP", 256},
+  };
+  return hps::bench::run_fig34("Figure 3: NAS benchmarks, measured vs modeled vs simulated",
+                               "Figure 3", apps,
+                               /*paper_sst_below=*/10.86, /*paper_mfact_below=*/14.83);
+}

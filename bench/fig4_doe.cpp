@@ -1,0 +1,15 @@
+// Figure 4: measured, modeling and simulation results for the DOE
+// mini-apps, extracted kernels and production applications.
+#include "fig34_impl.hpp"
+
+int main() {
+  using hps::bench::FigApp;
+  const std::vector<FigApp> apps = {
+      {"BigFFT", 256}, {"CR", 256},  {"AMG", 256},    {"MiniFE", 256},
+      {"MultiGrid", 256}, {"FillBoundary", 256}, {"LULESH", 216}, {"CNS", 256},
+      {"CMC", 256},    {"Nekbone", 256},
+  };
+  return hps::bench::run_fig34("Figure 4: DOE applications, measured vs modeled vs simulated",
+                               "Figure 4", apps,
+                               /*paper_sst_below=*/7.95, /*paper_mfact_below=*/13.10);
+}

@@ -1,0 +1,58 @@
+// Figure 5: absolute DIFF_total (packet-flow simulation vs MFACT modeling)
+// distributions for the three MFACT classification groups —
+// computation-bound, load-imbalance-bound, and communication-sensitive —
+// plus the group sizes (paper: 70 / 63 / 102 of 235).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace hps;
+  using core::Scheme;
+  bench::print_header("Figure 5: |DIFF_total| by MFACT classification group", "Figure 5");
+
+  const auto study = bench::load_or_run_study();
+
+  struct Group {
+    const char* label;
+    const char* paper_count;
+    std::vector<double> diffs;
+    int count = 0;
+  };
+  Group groups[3] = {{"computation-bound", "70", {}, 0},
+                     {"load-imbalance-bound", "63", {}, 0},
+                     {"communication-sensitive", "102", {}, 0}};
+
+  for (const auto& o : study.outcomes) {
+    int g;
+    if (o.group == mfact::SensitivityGroup::kCommSensitive) {
+      g = 2;
+    } else if (o.app_class == mfact::AppClass::kLoadImbalanceBound) {
+      g = 1;
+    } else {
+      g = 0;
+    }
+    ++groups[g].count;
+    if (const auto d = o.diff_total(Scheme::kPacketFlow)) groups[g].diffs.push_back(*d);
+  }
+
+  TextTable t;
+  t.set_header({"group", "traces", "(paper)", "<=1%", "<=2%", "<=5%", "<=10%", "median",
+                "max"});
+  for (const Group& g : groups) {
+    t.add_row({g.label, std::to_string(g.count), g.paper_count,
+               fmt_percent(cdf_at(g.diffs, 0.01), 0), fmt_percent(cdf_at(g.diffs, 0.02), 0),
+               fmt_percent(cdf_at(g.diffs, 0.05), 0), fmt_percent(cdf_at(g.diffs, 0.10), 0),
+               fmt_percent(summarize(g.diffs).median, 2),
+               fmt_percent(summarize(g.diffs).max, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Paper shape: almost all computation-bound within 2%%; 79%% of\n"
+              "load-imbalance-bound within 1%%; communication-sensitive cases reach a\n"
+              "maximum of 26.97%% with >90%% within 10%%.\n");
+  return 0;
+}

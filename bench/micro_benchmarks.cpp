@@ -1,0 +1,169 @@
+// Google-benchmark micro-benchmarks for the performance-critical substrates:
+// the event calendar, topology routing, the network models, the MFACT
+// logical-clock replay (events/second, and its multi-configuration scaling),
+// and the logistic-regression fit. These quantify why the tool-time ranking
+// of Figure 1 comes out the way it does.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "common/rng.hpp"
+#include "des/engine.hpp"
+#include "machine/machine.hpp"
+#include "mfact/model.hpp"
+#include "simmpi/replayer.hpp"
+#include "simnet/packet_model.hpp"
+#include "simnet/packetflow_model.hpp"
+#include "stats/logistic.hpp"
+#include "topo/topology.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace hps;
+
+// --- DES engine: schedule+dispatch throughput. -----------------------------
+class NullHandler final : public des::Handler {
+ public:
+  void handle(des::Engine&, std::uint64_t, std::uint64_t) override {}
+};
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  NullHandler h;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    des::Engine eng;
+    for (std::uint64_t i = 0; i < n; ++i)
+      eng.schedule_at(static_cast<SimTime>(rng.uniform_u64(1 << 20)), &h);
+    eng.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineScheduleDispatch)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 18);
+
+// --- Topology routing. ------------------------------------------------------
+template <typename MakeTopo>
+void route_bench(benchmark::State& state, MakeTopo make) {
+  const auto topo = make();
+  Rng rng(2);
+  std::vector<LinkId> links;
+  const auto n = static_cast<std::uint64_t>(topo->num_nodes());
+  for (auto _ : state) {
+    const auto a = static_cast<NodeId>(rng.uniform_u64(n));
+    const auto b = static_cast<NodeId>(rng.uniform_u64(n));
+    topo->route(a, b, links);
+    benchmark::DoNotOptimize(links.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RouteTorus(benchmark::State& state) {
+  route_bench(state, [] { return topo::make_torus_for(512); });
+}
+BENCHMARK(BM_RouteTorus);
+
+void BM_RouteDragonfly(benchmark::State& state) {
+  route_bench(state, [] { return topo::make_dragonfly_for(512); });
+}
+BENCHMARK(BM_RouteDragonfly);
+
+void BM_RouteFatTree(benchmark::State& state) {
+  route_bench(state, [] { return topo::make_fattree_for(512); });
+}
+BENCHMARK(BM_RouteFatTree);
+
+// --- Network models: uniform random traffic. --------------------------------
+template <typename Model>
+void net_bench(benchmark::State& state) {
+  class Sink final : public simnet::MessageSink {
+   public:
+    void message_delivered(simnet::MsgId, SimTime) override {}
+  };
+  topo::Torus3D topo(4, 4, 4);
+  simnet::NetConfig cfg;
+  cfg.message_bandwidth = 1.25e9;
+  cfg.link_bandwidth = 1.25e10;
+  cfg.injection_bandwidth = 2e10;
+  Rng rng(3);
+  const int msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Engine eng;
+    Sink sink;
+    Model model(eng, topo, cfg, sink);
+    for (int i = 0; i < msgs; ++i)
+      model.inject(static_cast<simnet::MsgId>(i),
+                   static_cast<NodeId>(rng.uniform_u64(64)),
+                   static_cast<NodeId>(rng.uniform_u64(64)), 16 * 1024);
+    eng.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs) * state.iterations());
+}
+
+void BM_PacketModel(benchmark::State& state) { net_bench<simnet::PacketModel>(state); }
+BENCHMARK(BM_PacketModel)->Arg(512)->Arg(4096);
+
+void BM_PacketFlowModel(benchmark::State& state) {
+  net_bench<simnet::PacketFlowModel>(state);
+}
+BENCHMARK(BM_PacketFlowModel)->Arg(512)->Arg(4096);
+
+// --- MFACT: trace events per second and multi-config scaling. ---------------
+void BM_MfactReplay(benchmark::State& state) {
+  workloads::GenParams gp;
+  gp.ranks = 64;
+  gp.seed = 5;
+  gp.iter_factor = 0.3;
+  const trace::Trace t = workloads::generate_app("MiniFE", gp);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<mfact::NetworkConfigPoint> configs(
+      k, {gbps_to_Bps(10), 2500, 1.0, "cfg"});
+  for (auto _ : state) {
+    auto res = run_mfact(t, configs);
+    benchmark::DoNotOptimize(res.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t.total_events()) * state.iterations());
+  state.counters["configs"] = static_cast<double>(k);
+}
+BENCHMARK(BM_MfactReplay)->Arg(1)->Arg(8)->Arg(32);
+
+// --- Full replay comparison on one small trace. -----------------------------
+void BM_SimReplay(benchmark::State& state) {
+  workloads::GenParams gp;
+  gp.ranks = 64;
+  gp.seed = 5;
+  gp.iter_factor = 0.3;
+  const trace::Trace t = workloads::generate_app("MiniFE", gp);
+  const machine::MachineInstance mi(machine::cielito(), t.nranks(), t.meta().ranks_per_node);
+  const auto kind = static_cast<simmpi::NetModelKind>(state.range(0));
+  for (auto _ : state) {
+    auto res = simmpi::replay_trace(t, mi, kind);
+    benchmark::DoNotOptimize(&res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t.total_events()) * state.iterations());
+  state.SetLabel(simmpi::net_model_name(kind));
+}
+BENCHMARK(BM_SimReplay)->Arg(0)->Arg(1)->Arg(2);
+
+// --- Logistic regression fit. ------------------------------------------------
+void BM_LogisticFit(benchmark::State& state) {
+  const std::size_t n = 235;
+  stats::Dataset ds;
+  ds.x = Matrix(n, 6);
+  ds.y.resize(n);
+  Rng rng(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) ds.x(i, j) = rng.normal();
+    ds.y[i] = ds.x(i, 0) + 0.5 * ds.x(i, 1) + 0.2 * rng.normal() > 0 ? 1 : 0;
+  }
+  const std::vector<int> features = {0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    auto m = fit_logistic(ds, features);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_LogisticFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Corpus study overview: classification counts, communication-share and
+// DIFF_total distributions, scheme success rates and total tool times — a
+// one-stop calibration/fidelity summary backing EXPERIMENTS.md.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats_util.hpp"
+#include "common/table.hpp"
+#include "trace/features.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hps;
+  using core::Scheme;
+  bench::print_header("Corpus study summary", "the overall dataset of Sections V-VI");
+
+  const auto study = bench::load_or_run_study();
+
+  // Optional per-trace CSV export: study_summary --csv <path>.
+  if (argc == 3 && std::string(argv[1]) == "--csv") {
+    std::ofstream csv(argv[2]);
+    csv << "id,app,machine,ranks,events,measured_total_s,class,group,bw_sens,lat_sens";
+    for (int sc = 0; sc < static_cast<int>(Scheme::kNumSchemes); ++sc)
+      csv << ',' << core::scheme_name(static_cast<Scheme>(sc)) << "_total_s,"
+          << core::scheme_name(static_cast<Scheme>(sc)) << "_wall_s";
+    csv << ",diff_total_pflow\n";
+    for (const auto& o : study.outcomes) {
+      csv << o.spec_id << ',' << o.app << ',' << o.machine << ',' << o.ranks << ','
+          << o.events << ',' << time_to_seconds(o.measured_total) << ','
+          << mfact::app_class_name(o.app_class) << ',' << mfact::group_name(o.group) << ','
+          << o.bw_sensitivity << ',' << o.lat_sensitivity;
+      for (int sc = 0; sc < static_cast<int>(Scheme::kNumSchemes); ++sc) {
+        const auto& so = o.scheme[sc];
+        csv << ',' << (so.ok ? time_to_seconds(so.total_time) : -1.0) << ','
+            << (so.ok ? so.wall_seconds : -1.0);
+      }
+      const auto d = o.diff_total(Scheme::kPacketFlow);
+      csv << ',' << (d ? *d : -1.0) << '\n';
+    }
+    std::printf("wrote per-trace CSV to %s\n", argv[2]);
+  }
+
+  // Classification mix.
+  std::map<std::string, int> classes;
+  int cs = 0;
+  for (const auto& o : study.outcomes) {
+    ++classes[mfact::app_class_name(o.app_class)];
+    cs += o.group == mfact::SensitivityGroup::kCommSensitive ? 1 : 0;
+  }
+  std::printf("MFACT classes:");
+  for (const auto& [name, count] : classes) std::printf("  %s: %d", name.c_str(), count);
+  std::printf("\nGroups: communication-sensitive %d, ncs %d (paper: 102 cs, 133 ncs)\n\n",
+              cs, static_cast<int>(study.outcomes.size()) - cs);
+
+  // Per-scheme health and wall time.
+  TextTable t;
+  t.set_header({"scheme", "ok", "failed", "total wall s", "median wall s"});
+  for (int s = 0; s < static_cast<int>(Scheme::kNumSchemes); ++s) {
+    int ok = 0, failed = 0;
+    double total = 0;
+    std::vector<double> walls;
+    for (const auto& o : study.outcomes) {
+      const auto& so = o.scheme[s];
+      if (!so.attempted) continue;
+      (so.ok ? ok : failed) += 1;
+      total += so.wall_seconds;
+      walls.push_back(so.wall_seconds);
+    }
+    t.add_row({core::scheme_name(static_cast<Scheme>(s)), std::to_string(ok),
+               std::to_string(failed), fmt_double(total, 1),
+               fmt_double(summarize(walls).median, 4)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Distributions.
+  std::vector<double> comm_pct, diffs, events;
+  for (const auto& o : study.outcomes) {
+    comm_pct.push_back(o.features[trace::kF_PoC]);
+    events.push_back(static_cast<double>(o.events));
+    if (const auto d = o.diff_total(Scheme::kPacketFlow)) diffs.push_back(*d * 100);
+  }
+  auto line = [](const char* label, const Summary& s, const char* unit) {
+    std::printf("%-22s min %.2f  p25 %.2f  median %.2f  p75 %.2f  p90 %.2f  max %.2f %s\n",
+                label, s.min, s.p25, s.median, s.p75, s.p90, s.max, unit);
+  };
+  line("comm share", summarize(comm_pct), "%");
+  line("DIFF_total (p-flow)", summarize(diffs), "%");
+  line("events per trace", summarize(events), "");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table I: characteristics of the traces — (a) rank-count distribution and
+// (b) communication-intensity distribution of the 235-trace corpus.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "trace/features.hpp"
+
+int main() {
+  using namespace hps;
+  bench::print_header("Table I: Characteristics of the traces", "Table I");
+
+  const auto study = bench::load_or_run_study();
+
+  // (a) number of ranks.
+  TextTable ta;
+  ta.set_header({"Ranks", "Traces", "(paper)"});
+  const workloads::CorpusOptions copts;  // must match the study's corpus
+  const char* paper_counts[] = {"72", "18", "80", "12", "37", "16"};
+  const auto buckets = workloads::table1a_buckets();
+  int total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    int count = 0;
+    for (const auto& o : study.outcomes)
+      if (o.ranks >= buckets[i].lo && o.ranks <= buckets[i].hi) ++count;
+    total += count;
+    const std::string label = buckets[i].lo == buckets[i].hi
+                                  ? std::to_string(buckets[i].lo)
+                                  : std::to_string(buckets[i].lo) + "-" +
+                                        std::to_string(buckets[i].hi);
+    ta.add_row({label, std::to_string(count), paper_counts[i]});
+  }
+  ta.add_separator();
+  ta.add_row({"Total", std::to_string(total), "235"});
+  std::printf("(a) Number of ranks\n%s\n", ta.render().c_str());
+
+  // (b) communication time share.
+  struct Band {
+    double lo, hi;
+    const char* label;
+    const char* paper;
+  };
+  const Band bands[] = {{-1, 5, "<=5", "26"},   {5, 10, "5-10", "30"},
+                        {10, 20, "10-20", "55"}, {20, 40, "20-40", "54"},
+                        {40, 60, "40-60", "30"}, {60, 101, ">60", "40"}};
+  TextTable tb;
+  tb.set_header({"Comm. time (%)", "Traces", "(paper)"});
+  int totalb = 0;
+  for (const Band& b : bands) {
+    int count = 0;
+    for (const auto& o : study.outcomes) {
+      const double pc = o.features[trace::kF_PoC];
+      if (pc > b.lo && pc <= b.hi) ++count;
+    }
+    totalb += count;
+    tb.add_row({b.label, std::to_string(count), b.paper});
+  }
+  tb.add_separator();
+  tb.add_row({"Total", std::to_string(totalb), "235"});
+  std::printf("(b) Communication time\n%s\n", tb.render().c_str());
+
+  // Extra provenance the paper gives in prose: apps and machines used.
+  std::printf("Corpus: 19 applications (NPB + DOE DesignForward/ExMatEx/CESAR/ExaCT)\n");
+  std::printf("collected on cielito / hopper / edison synthetic machine models.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Capacity planning with MFACT: the modeling tool's headline capability is
+// predicting application performance across MANY network configurations from
+// a single trace replay (paper §II-C: "to explore disruptive or
+// significantly different systems such as a cluster with a 10x faster
+// network ... modeling can give the prediction results for the large design
+// space quickly").
+//
+// This example sweeps a 6x5 grid of bandwidth/latency scalings for one
+// application and prints the predicted speedup surface plus the four MFACT
+// time counters, all from one replay.
+//
+// Usage: capacity_planning [app] [ranks] [machine]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "mfact/classify.hpp"
+#include "mfact/model.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hps;
+
+  const std::string app = argc > 1 ? argv[1] : "Nekbone";
+  workloads::GenParams gp;
+  gp.ranks = argc > 2 ? std::atoi(argv[2]) : 256;
+  gp.machine = argc > 3 ? argv[3] : "cielito";
+  gp.seed = 11;
+
+  const machine::MachineConfig mc = machine::machine_by_name(gp.machine);
+  std::printf("Generating %s on %d ranks; baseline network: %.0f Gbps, %lld ns (%s)\n\n",
+              app.c_str(), gp.ranks, Bps_to_gbps(mc.net.link_bandwidth),
+              static_cast<long long>(mc.net.end_to_end_latency), gp.machine.c_str());
+  const trace::Trace t = workloads::generate_app(app, gp);
+
+  // Build the what-if grid: bandwidth x {1/4 .. 16}, latency x {4 .. 1/8}.
+  const double bw_scales[] = {0.25, 0.5, 1, 2, 4, 16};
+  const double lat_scales[] = {4, 2, 1, 0.5, 0.125};
+  std::vector<mfact::NetworkConfigPoint> configs;
+  for (const double b : bw_scales)
+    for (const double l : lat_scales)
+      configs.push_back({mc.net.link_bandwidth * b,
+                         static_cast<SimTime>(static_cast<double>(mc.net.end_to_end_latency) *
+                                              l),
+                         1.0, ""});
+
+  double wall = 0;
+  const auto results = run_mfact(t, configs, {}, &wall);
+  std::printf("Evaluated %zu network configurations in ONE replay: %.3f s total\n\n",
+              configs.size(), wall);
+
+  // Baseline = (bw x1, lat x1).
+  double base = 0;
+  std::size_t idx = 0;
+  for (const double b : bw_scales)
+    for (const double l : lat_scales) {
+      if (b == 1 && l == 1) base = static_cast<double>(results[idx].total_time);
+      ++idx;
+    }
+
+  TextTable grid;
+  std::vector<std::string> header = {"speedup"};
+  for (const double l : lat_scales) header.push_back("lat x" + fmt_double(l, 3));
+  grid.set_header(header);
+  idx = 0;
+  for (const double b : bw_scales) {
+    std::vector<std::string> row = {"bw x" + fmt_double(b, 2)};
+    for (std::size_t li = 0; li < std::size(lat_scales); ++li) {
+      row.push_back(fmt_double(base / static_cast<double>(results[idx].total_time), 3));
+      ++idx;
+    }
+    grid.add_row(row);
+  }
+  std::printf("Predicted speedup over the baseline (rows: bandwidth, cols: latency):\n%s\n",
+              grid.render().c_str());
+
+  // Counter breakdown at the baseline.
+  const auto cl = mfact::classify(t, mc.net.link_bandwidth, mc.net.end_to_end_latency);
+  const auto& c = cl.sweep[mfact::kSweepBase].counters;
+  const double total = c.wait + c.bandwidth + c.latency + c.compute;
+  std::printf("MFACT counters at baseline: compute %.1f%%, wait %.1f%%, bandwidth %.1f%%, "
+              "latency %.1f%%\n",
+              100 * c.compute / total, 100 * c.wait / total, 100 * c.bandwidth / total,
+              100 * c.latency / total);
+  std::printf("Classification: %s — invest in %s.\n", mfact::app_class_name(cl.app_class),
+              cl.app_class == mfact::AppClass::kComputationBound  ? "faster processors"
+              : cl.app_class == mfact::AppClass::kLoadImbalanceBound ? "better load balance"
+              : cl.app_class == mfact::AppClass::kLatencyBound       ? "lower network latency"
+                                                                     : "network bandwidth");
+  return 0;
+}

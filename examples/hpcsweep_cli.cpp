@@ -1,0 +1,132 @@
+// The full decision pipeline as a CLI, operating on trace files: run MFACT,
+// classify, optionally run the detailed simulators, and report the
+// modeling-vs-simulation verdict for one trace — what a performance engineer
+// with a directory of converted DUMPI traces would run day to day.
+//
+// Usage:
+//   hpcsweep_cli <trace.hpst|trace.txt> [--machine <name>] [--simulate]
+//                [--model hockney|loggp] [--compute-scale <x>]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "machine/machine.hpp"
+#include "mfact/classify.hpp"
+#include "trace/io.hpp"
+#include "trace/text_format.hpp"
+#include "trace/validate.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hpcsweep_cli <trace.hpst|trace.txt> [--machine <name>] [--simulate]\n"
+               "                    [--model hockney|loggp] [--compute-scale <x>]\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hps;
+  if (argc < 2) return usage();
+  const std::string path = argv[1];
+  std::string machine;
+  bool simulate = false;
+  mfact::P2pCostModel p2p = mfact::P2pCostModel::kHockney;
+  double compute_scale = 1.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--simulate") {
+      simulate = true;
+    } else if (arg == "--machine" && i + 1 < argc) {
+      machine = argv[++i];
+    } else if (arg == "--model" && i + 1 < argc) {
+      const std::string m = argv[++i];
+      if (m == "loggp") {
+        p2p = mfact::P2pCostModel::kLogGP;
+      } else if (m != "hockney") {
+        return usage();
+      }
+    } else if (arg == "--compute-scale" && i + 1 < argc) {
+      compute_scale = std::atof(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    trace::Trace t = ends_with(path, ".txt") ? trace::load_text(path) : trace::load(path);
+    trace::validate_or_throw(t);
+    if (!machine.empty()) t.meta().machine = machine;
+    const machine::MachineConfig mc = machine::machine_by_name(t.meta().machine);
+
+    std::printf("trace: %s  app=%s ranks=%d machine=%s events=%llu\n", path.c_str(),
+                t.meta().app.c_str(), t.nranks(), t.meta().machine.c_str(),
+                static_cast<unsigned long long>(t.total_events()));
+
+    // 1. MFACT: sweep + classification, one replay.
+    mfact::ClassifyParams cp;
+    cp.mfact.p2p_model = p2p;
+    const auto sweep_cfg =
+        mfact::make_sensitivity_sweep(mc.net.link_bandwidth, mc.net.end_to_end_latency,
+                                      compute_scale);
+    double wall = 0;
+    auto sweep = run_mfact(t, sweep_cfg, cp.mfact, &wall);
+    const auto cl = mfact::classify_from_sweep(std::move(sweep), cp);
+
+    std::printf("\nMFACT (%s, %.3f s):\n",
+                p2p == mfact::P2pCostModel::kLogGP ? "LogGP" : "Hockney", wall);
+    TextTable sw;
+    sw.set_header({"config", "predicted total", "predicted comm"});
+    for (const auto& r : cl.sweep)
+      sw.add_row({r.config.label, fmt_time_s(time_to_seconds(r.total_time), 4),
+                  fmt_time_s(time_to_seconds(r.comm_time_mean), 4)});
+    std::printf("%s", sw.render().c_str());
+    std::printf("class: %s (group %s); bw-sensitivity %+.1f%%, lat-sensitivity %+.1f%%\n",
+                mfact::app_class_name(cl.app_class), mfact::group_name(cl.group),
+                100 * cl.bw_sensitivity, 100 * cl.lat_sensitivity);
+    std::printf("verdict: %s\n",
+                cl.group == mfact::SensitivityGroup::kCommSensitive
+                    ? "communication-sensitive -> consider detailed simulation"
+                    : "insensitive to the network -> modeling is sufficient");
+
+    // 2. Optional simulation pass for ground truth on this machine model.
+    if (simulate) {
+      std::printf("\nsimulators:\n");
+      core::RunOptions ro;
+      ro.replay.compute_scale = compute_scale;
+      ro.classify = cp;
+      const core::TraceOutcome o = core::run_all_schemes(t, ro);
+      TextTable st;
+      st.set_header({"scheme", "total", "comm", "wall s", "DIFF vs MFACT"});
+      for (int s = 0; s < static_cast<int>(core::Scheme::kNumSchemes); ++s) {
+        const auto scheme = static_cast<core::Scheme>(s);
+        const auto& so = o.of(scheme);
+        if (!so.ok) {
+          st.add_row({core::scheme_name(scheme), "failed"});
+          continue;
+        }
+        const auto d = o.diff_total(scheme);
+        st.add_row({core::scheme_name(scheme), fmt_time_s(time_to_seconds(so.total_time), 4),
+                    fmt_time_s(time_to_seconds(so.comm_time), 4),
+                    fmt_double(so.wall_seconds, 3),
+                    scheme == core::Scheme::kMfact ? "-" : fmt_percent(d.value_or(0), 2)});
+      }
+      std::printf("%s", st.render().c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The enhanced-MFACT workflow end to end (paper §VI): train the
+// need-for-simulation predictor on a corpus of traces where both tools were
+// run, then apply it to fresh traces — deciding from the cheap MFACT replay
+// alone whether the expensive detailed simulation is worth running.
+//
+// Usage: needs_simulation [corpus_size] (default 60; larger = better model)
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "core/decision.hpp"
+#include "core/study.hpp"
+#include "trace/features.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hps;
+  using core::Scheme;
+
+  // 1. Training data: run the four schemes over a corpus subset.
+  core::StudyOptions sopts;
+  sopts.corpus.limit = argc > 1 ? std::atoi(argv[1]) : 60;
+  sopts.corpus.duration_scale = 0.25;
+  sopts.progress = true;
+  std::printf("Training on %d corpus traces (running MFACT + 3 simulators on each)...\n",
+              sopts.corpus.limit);
+  const auto study = core::run_study(sopts);
+
+  // 2. Train and cross-validate the predictor.
+  core::DecisionOptions dopts;
+  dopts.cv.splits = 50;
+  const auto ev = core::evaluate_decision_model(study.outcomes, dopts);
+  std::printf("\nCross-validated success rate: %s (naive CL-only rule: %s)\n",
+              fmt_percent(ev.cv.success_rate(), 1).c_str(),
+              fmt_percent(ev.naive.success_rate, 1).c_str());
+  std::printf("Selected variables:");
+  for (const int f : ev.final_model.features)
+    std::printf(" %s", trace::feature_names()[static_cast<std::size_t>(f)].c_str());
+  std::printf("\n\n");
+
+  // 3. Apply to fresh, unseen traces: only MFACT runs; the model decides
+  //    whether simulation is needed. Verify against the actual simulation.
+  struct Probe {
+    const char* app;
+    Rank ranks;
+  };
+  const Probe probes[] = {{"EP", 100},     {"CMC", 80},    {"FT", 128},
+                          {"CR", 128},     {"MiniFE", 96}, {"FillBoundary", 96}};
+  TextTable t;
+  t.set_header({"new trace", "MFACT class", "model says", "actual DIFF", "verdict"});
+  for (const Probe& p : probes) {
+    workloads::GenParams gp;
+    gp.ranks = p.ranks;
+    gp.seed = 987;
+    gp.iter_factor = 0.3;
+    const trace::Trace tr = workloads::generate_app(p.app, gp);
+    const core::TraceOutcome o = core::run_all_schemes(tr);  // runs sim only to verify
+    const bool predicted = core::needs_simulation(ev.final_model, o);
+    const auto d = o.diff_total(Scheme::kPacketFlow);
+    const bool actual = d && *d > dopts.diff_threshold;
+    t.add_row({std::string(p.app) + "(" + std::to_string(p.ranks) + ")",
+               mfact::app_class_name(o.app_class),
+               predicted ? "simulate" : "model is enough",
+               d ? fmt_percent(*d, 2) : "-",
+               predicted == actual ? "correct" : "WRONG"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: generate a synthetic MPI trace, predict its performance with
+// the MFACT model and the three network simulators, and print the trade-off —
+// the paper's core experiment on a single application.
+//
+// Usage: quickstart [app] [ranks]   (defaults: CG 64)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hps;
+
+  workloads::GenParams gp;
+  std::string app = argc > 1 ? argv[1] : "CG";
+  gp.ranks = argc > 2 ? std::atoi(argv[2]) : 64;
+  gp.machine = "cielito";
+  gp.seed = 7;
+
+  std::printf("Generating synthetic %s trace on %d ranks (machine: %s)...\n", app.c_str(),
+              gp.ranks, gp.machine.c_str());
+  const trace::Trace t = workloads::generate_app(app, gp);
+  std::printf("  %llu events, measured total %.3f s, measured comm %.3f s\n",
+              static_cast<unsigned long long>(t.total_events()),
+              time_to_seconds(t.measured_total()), time_to_seconds(t.measured_comm_mean()));
+
+  std::printf("Running MFACT modeling and packet / flow / packet-flow simulation...\n\n");
+  const core::TraceOutcome out = core::run_all_schemes(t);
+
+  TextTable table;
+  table.set_header({"scheme", "predicted total", "predicted comm", "tool wall time",
+                    "DIFF_total vs MFACT"});
+  for (int s = 0; s < static_cast<int>(core::Scheme::kNumSchemes); ++s) {
+    const auto scheme = static_cast<core::Scheme>(s);
+    const auto& so = out.of(scheme);
+    if (!so.ok) {
+      table.add_row({core::scheme_name(scheme), "failed: " + so.error});
+      continue;
+    }
+    std::string diff = "-";
+    if (scheme != core::Scheme::kMfact)
+      if (const auto d = out.diff_total(scheme)) diff = fmt_percent(*d, 2);
+    table.add_row({core::scheme_name(scheme), fmt_time_s(time_to_seconds(so.total_time), 4),
+                   fmt_time_s(time_to_seconds(so.comm_time), 4),
+                   fmt_time_s(so.wall_seconds, 4), diff});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("MFACT classification: %s (group: %s)\n",
+              mfact::app_class_name(out.app_class), mfact::group_name(out.group));
+  std::printf("  bandwidth sensitivity (bw/8): %+.2f%%   latency sensitivity (lat x8): %+.2f%%\n",
+              out.bw_sensitivity * 100.0, out.lat_sensitivity * 100.0);
+  const double speedup = out.of(core::Scheme::kPacket).wall_seconds /
+                         std::max(1e-9, out.of(core::Scheme::kMfact).wall_seconds);
+  std::printf("  modeling was %.0fx faster than packet-level simulation on this trace\n",
+              speedup);
+  return 0;
+}

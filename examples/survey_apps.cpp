@@ -1,0 +1,51 @@
+// Survey every synthetic application at two scales: print its measured
+// communication fraction, MFACT classification, and the model-vs-simulation
+// disagreement (DIFF_total). Useful both as a library tour and to sanity-
+// check that the workload family spans the paper's spectrum from
+// computation-bound to communication-bound.
+//
+// Usage: survey_apps [small_ranks] [large_ranks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "trace/features.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hps;
+  const Rank small = argc > 1 ? std::atoi(argv[1]) : 64;
+  const Rank large = argc > 2 ? std::atoi(argv[2]) : 256;
+
+  TextTable table;
+  table.set_header({"app", "ranks", "events", "comm%", "class", "bw-sens", "DIFF pkt",
+                    "DIFF flow", "DIFF pflow", "mfact s", "pkt s"});
+
+  for (const auto& app : workloads::all_app_names()) {
+    const auto& gen = workloads::generator_by_name(app);
+    for (const Rank want : {small, large}) {
+      const Rank ranks = gen.pick_ranks(want / 2 + 1, want);
+      if (ranks < 0) continue;
+      workloads::GenParams gp;
+      gp.ranks = ranks;
+      gp.seed = 1234 + static_cast<std::uint64_t>(want);
+      gp.machine = "cielito";
+      const trace::Trace t = workloads::generate_app(app, gp);
+      const core::TraceOutcome o = core::run_all_schemes(t);
+      auto diff = [&](core::Scheme s) {
+        const auto d = o.diff_total(s);
+        return d ? fmt_percent(*d, 1) : std::string("fail");
+      };
+      table.add_row({app, std::to_string(ranks), std::to_string(o.events),
+                     fmt_percent(o.features[trace::kF_PoC] / 100.0, 1),
+                     mfact::app_class_name(o.app_class),
+                     fmt_percent(o.bw_sensitivity, 0), diff(core::Scheme::kPacket),
+                     diff(core::Scheme::kFlow), diff(core::Scheme::kPacketFlow),
+                     fmt_double(o.of(core::Scheme::kMfact).wall_seconds, 3),
+                     fmt_double(o.of(core::Scheme::kPacket).wall_seconds, 3)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

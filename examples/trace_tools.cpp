@@ -1,0 +1,105 @@
+// Trace utility CLI: generate synthetic traces to disk, inspect stored
+// traces, and dump their event streams — the workflow a user with real DUMPI
+// conversions would follow.
+//
+// Usage:
+//   trace_tools gen <app> <ranks> <out.hpst> [machine] [seed]
+//   trace_tools info <file.hpst>
+//   trace_tools dump <file.hpst> [max_events_per_rank]
+//   trace_tools to-text <file.hpst> <out.txt>    # editable hpst-text
+//   trace_tools from-text <file.txt> <out.hpst>  # parse + validate + pack
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "trace/features.hpp"
+#include "trace/io.hpp"
+#include "trace/text_format.hpp"
+#include "trace/validate.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tools gen <app> <ranks> <out.hpst> [machine] [seed]\n"
+               "  trace_tools info <file.hpst>\n"
+               "  trace_tools dump <file.hpst> [max_events_per_rank]\n"
+               "  trace_tools to-text <file.hpst> <out.txt>\n"
+               "  trace_tools from-text <file.txt> <out.hpst>\n"
+               "apps: ");
+  for (const auto& a : hps::workloads::all_app_names()) std::fprintf(stderr, "%s ", a.c_str());
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hps;
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") {
+      if (argc < 5) return usage();
+      workloads::GenParams p;
+      p.ranks = std::atoi(argv[3]);
+      if (argc > 5) p.machine = argv[5];
+      if (argc > 6) p.seed = static_cast<std::uint64_t>(std::atoll(argv[6]));
+      const trace::Trace t = workloads::generate_app(argv[2], p);
+      trace::save(t, argv[4]);
+      std::printf("wrote %s: %llu events, %d ranks, measured total %.3f s\n", argv[4],
+                  static_cast<unsigned long long>(t.total_events()), t.nranks(),
+                  time_to_seconds(t.measured_total()));
+      return 0;
+    }
+    if (cmd == "to-text") {
+      if (argc < 4) return usage();
+      trace::save_text(trace::load(argv[2]), argv[3]);
+      std::printf("wrote %s\n", argv[3]);
+      return 0;
+    }
+    if (cmd == "from-text") {
+      if (argc < 4) return usage();
+      const trace::Trace t = trace::load_text(argv[2]);
+      trace::validate_or_throw(t);
+      trace::save(t, argv[3]);
+      std::printf("wrote %s: %llu events, %d ranks (validated)\n", argv[3],
+                  static_cast<unsigned long long>(t.total_events()), t.nranks());
+      return 0;
+    }
+    const trace::Trace t = trace::load(argv[2]);
+    if (cmd == "info") {
+      const auto issues = trace::validate(t);
+      const auto s = trace::compute_stats(t);
+      const auto f = trace::extract_features(t.meta(), s);
+      std::printf("app=%s variant=%s machine=%s ranks=%d rpn=%d seed=%llu\n",
+                  t.meta().app.c_str(), t.meta().variant.c_str(), t.meta().machine.c_str(),
+                  t.nranks(), t.meta().ranks_per_node,
+                  static_cast<unsigned long long>(t.meta().seed));
+      std::printf("events=%llu  valid=%s\n",
+                  static_cast<unsigned long long>(t.total_events()),
+                  issues.empty() ? "yes" : "NO");
+      TextTable tab;
+      tab.set_header({"feature", "value"});
+      for (int i = 0; i < trace::kNumFeatures; ++i)
+        tab.add_row({trace::feature_names()[static_cast<std::size_t>(i)],
+                     fmt_double(f[i], 3)});
+      std::printf("%s", tab.render().c_str());
+      return 0;
+    }
+    if (cmd == "dump") {
+      const std::size_t limit = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 20;
+      trace::write_text(t, std::cout, limit);
+      return 0;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,46 @@
+// Error handling helpers.
+//
+// Internal invariants use HPS_CHECK (aborts with a message — an invariant
+// violation in a simulator means results would be garbage). Recoverable
+// conditions at API boundaries (bad trace file, unsupported operation) throw
+// hps::Error so callers can report and continue with the next trace.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hps {
+
+/// Recoverable error thrown at module API boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "HPS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace hps
+
+#define HPS_CHECK(cond)                                            \
+  do {                                                             \
+    if (!(cond)) ::hps::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HPS_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::hps::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define HPS_THROW(msg) throw ::hps::Error(msg)
+
+#define HPS_REQUIRE(cond, msg) \
+  do {                         \
+    if (!(cond)) HPS_THROW(msg); \
+  } while (0)

@@ -1,0 +1,127 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hps {
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  HPS_CHECK(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols(); ++j) out(i, j) += aik * other(k, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply_vec(std::span<const double> v) const {
+  HPS_CHECK(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  HPS_CHECK(a.cols() == n && b.size() == n);
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        HPS_REQUIRE(s > 0.0, "cholesky_solve: matrix not positive definite");
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> lu_solve(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  HPS_CHECK(a.cols() == n && b.size() == n);
+  Matrix m = a;  // working copy, factored in place
+  std::vector<std::size_t> piv(n);
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t best = col;
+    double best_abs = std::fabs(m(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(m(r, col));
+      if (v > best_abs) {
+        best_abs = v;
+        best = r;
+      }
+    }
+    HPS_REQUIRE(best_abs > 1e-300, "lu_solve: singular matrix");
+    if (best != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(m(col, c), m(best, c));
+      std::swap(piv[col], piv[best]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = m(r, col) / m(col, col);
+      m(r, col) = f;
+      for (std::size_t c = col + 1; c < n; ++c) m(r, c) -= f * m(col, c);
+    }
+  }
+  // Apply permutation to b, then forward/back substitute.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[piv[i]];
+  for (std::size_t i = 1; i < n; ++i)
+    for (std::size_t k = 0; k < i; ++k) x[i] -= m(i, k) * x[k];
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= m(ii, k) * x[k];
+    x[ii] /= m(ii, ii);
+  }
+  return x;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  HPS_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace hps

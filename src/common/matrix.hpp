@@ -1,0 +1,56 @@
+// Small dense linear algebra, sized for the statistics module: logistic
+// regression via IRLS solves (X' W X) beta = X' W z with at most ~6 columns
+// (intercept + 5 selected features), so a straightforward column-major dense
+// matrix with Cholesky and partial-pivot LU solvers is ample.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hps {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  /// A^T.
+  Matrix transposed() const;
+
+  /// this * other.
+  Matrix multiply(const Matrix& other) const;
+
+  /// this * v (v.size() == cols()).
+  std::vector<double> multiply_vec(std::span<const double> v) const;
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky.
+/// Throws hps::Error if A is not (numerically) positive definite.
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b);
+
+/// Solve A x = b via partial-pivot LU. Throws hps::Error for singular A.
+std::vector<double> lu_solve(const Matrix& a, std::span<const double> b);
+
+/// Dot product.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace hps

@@ -1,0 +1,18 @@
+#include "common/rng.hpp"
+
+namespace hps {
+
+std::size_t Rng::weighted_pick(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0 ? w : 0);
+  if (total <= 0.0) return 0;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace hps

@@ -1,0 +1,127 @@
+#include "common/stats_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hps {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+namespace {
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  HPS_CHECK(p >= 0.0 && p <= 100.0);
+  const auto v = sorted_copy(xs);
+  if (v.size() == 1) return v[0];
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double trimmed_mean(std::span<const double> xs, double trim_fraction) {
+  if (xs.empty()) return 0.0;
+  HPS_CHECK(trim_fraction >= 0.0 && trim_fraction < 0.5);
+  const auto v = sorted_copy(xs);
+  const auto cut = static_cast<std::size_t>(trim_fraction * static_cast<double>(v.size()));
+  if (v.size() <= 2 * cut) return mean(v);
+  double s = 0.0;
+  for (std::size_t i = cut; i < v.size() - cut; ++i) s += v[i];
+  return s / static_cast<double>(v.size() - 2 * cut);
+}
+
+double cdf_at(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t c = 0;
+  for (double x : xs)
+    if (x <= threshold) ++c;
+  return static_cast<double>(c) / static_cast<double>(xs.size());
+}
+
+std::vector<double> cdf_at_many(std::span<const double> xs, std::span<const double> thresholds) {
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) out.push_back(cdf_at(xs, t));
+  return out;
+}
+
+std::vector<Bucket> histogram(std::span<const double> xs, std::span<const double> edges) {
+  HPS_CHECK(edges.size() >= 2);
+  for (std::size_t i = 1; i < edges.size(); ++i) HPS_CHECK(edges[i] > edges[i - 1]);
+  std::vector<Bucket> buckets;
+  buckets.reserve(edges.size() - 1);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) buckets.push_back({edges[i], edges[i + 1], 0});
+  for (double x : xs) {
+    std::size_t b = 0;
+    if (x <= edges.front()) {
+      b = 0;
+    } else if (x > edges.back()) {
+      b = buckets.size() - 1;
+    } else {
+      // First bucket whose upper edge is >= x.
+      const auto it = std::lower_bound(edges.begin() + 1, edges.end(), x);
+      b = static_cast<std::size_t>(it - (edges.begin() + 1));
+      if (b >= buckets.size()) b = buckets.size() - 1;
+    }
+    ++buckets[b].count;
+  }
+  return buckets;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  HPS_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  const auto v = sorted_copy(xs);
+  s.mean = mean(v);
+  s.sd = stddev(v);
+  s.min = v.front();
+  s.max = v.back();
+  s.p25 = percentile(v, 25);
+  s.median = percentile(v, 50);
+  s.p75 = percentile(v, 75);
+  s.p90 = percentile(v, 90);
+  return s;
+}
+
+}  // namespace hps

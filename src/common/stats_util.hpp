@@ -1,0 +1,60 @@
+// Descriptive-statistics helpers used by the experiment harnesses:
+// percentiles, empirical CDFs, trimmed means (the paper reports 2%-trimmed
+// means over 100 cross-validation runs), and histogram bucketing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hps {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Median (average of middle two for even n). Returns 0 for empty input.
+double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Mean after discarding the top and bottom `trim_fraction` of the sorted
+/// values (e.g. 0.02 discards 2% from each tail, as in the paper's Table IV
+/// evaluation). Falls back to the plain mean when too few values remain.
+double trimmed_mean(std::span<const double> xs, double trim_fraction);
+
+/// Fraction of values <= threshold (empirical CDF evaluated at a point).
+double cdf_at(std::span<const double> xs, double threshold);
+
+/// Empirical CDF sampled at each of the given thresholds.
+std::vector<double> cdf_at_many(std::span<const double> xs, std::span<const double> thresholds);
+
+/// Histogram bucket: count of values with lo < x <= hi (lo exclusive except
+/// for the first bucket which includes its lower edge).
+struct Bucket {
+  double lo;
+  double hi;
+  std::size_t count;
+};
+
+/// Bucket values by the given edges; edges must be strictly increasing and
+/// define edges.size()-1 buckets. Values outside the range are clamped into
+/// the first / last bucket.
+std::vector<Bucket> histogram(std::span<const double> xs, std::span<const double> edges);
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Summary of a sample, convenient for printing experiment rows.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0, sd = 0, min = 0, p25 = 0, median = 0, p75 = 0, p90 = 0, max = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace hps

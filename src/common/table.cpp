@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hps {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void TextTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      out += cell;
+      if (c + 1 < ncols) out.append(widths[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    emit_row(out, rows_[i]);
+    if (std::find(separators_.begin(), separators_.end(), i + 1) != separators_.end()) {
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_si_bytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string fmt_time_s(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f s", precision, seconds);
+  return buf;
+}
+
+}  // namespace hps

@@ -1,0 +1,37 @@
+// Plain-text table formatter for the benchmark harnesses, so that each
+// bench binary prints its paper table/figure in a consistent aligned layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hps {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Set the header row. Number of columns is inferred from it.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Insert a horizontal separator after the most recently added row.
+  void add_separator();
+
+  /// Render with two-space column gaps and a rule under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indexes after which to draw a rule
+};
+
+/// printf-style number formatting helpers used by the bench binaries.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);  // 0.932 -> "93.2%"
+std::string fmt_si_bytes(double bytes);                       // 1536 -> "1.5 KiB"
+std::string fmt_time_s(double seconds, int precision = 2);    // seconds with unit
+
+}  // namespace hps

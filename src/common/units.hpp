@@ -1,0 +1,64 @@
+// Core unit types shared by every hpcsweep module.
+//
+// Time is kept in integer nanoseconds (`SimTime`) so that discrete-event
+// simulation remains exactly reproducible across platforms; doubles are used
+// only at the API edges (seconds for humans, bytes/second for bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hps {
+
+/// Simulated (or measured) time in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// One microsecond / millisecond / second in SimTime units.
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Convert seconds (double) to SimTime nanoseconds, rounding to nearest.
+constexpr SimTime seconds_to_time(double s) {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert SimTime nanoseconds to seconds.
+constexpr double time_to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+/// Bandwidth in bytes per second.
+using Bandwidth = double;
+
+/// Convert gigabits/second to bytes/second.
+constexpr Bandwidth gbps_to_Bps(double gbps) { return gbps * 1e9 / 8.0; }
+
+/// Convert bytes/second to gigabits/second.
+constexpr double Bps_to_gbps(Bandwidth b) { return b * 8.0 / 1e9; }
+
+/// Time to push `bytes` through a pipe of bandwidth `bw` (bytes/second),
+/// in nanoseconds (rounded up so tiny messages never cost zero).
+constexpr SimTime transfer_time(std::uint64_t bytes, Bandwidth bw) {
+  if (bw <= 0.0) return kSimTimeMax / 4;
+  const double ns = static_cast<double>(bytes) / bw * 1e9;
+  const auto t = static_cast<SimTime>(ns);
+  return (static_cast<double>(t) < ns) ? t + 1 : t;
+}
+
+/// Identifier types. Kept as plain integers for speed; strong typedefs would
+/// cost ergonomics in the hot replay loops without catching real bug classes
+/// here (ranks, nodes and links are never interchanged in the same call).
+using Rank = std::int32_t;
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+using Tag = std::int32_t;
+using CommId = std::int32_t;
+
+inline constexpr Rank kAnySource = -1;
+inline constexpr CommId kCommWorld = 0;
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * 1024;
+
+}  // namespace hps

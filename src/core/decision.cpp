@@ -1,0 +1,88 @@
+#include "core/decision.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "trace/features.hpp"
+
+namespace hps::core {
+
+namespace {
+
+/// Rows eligible for the predictor study: both tools produced a result.
+bool eligible(const TraceOutcome& o, const DecisionOptions& opts) {
+  return o.of(Scheme::kMfact).ok && o.of(opts.reference).ok &&
+         o.diff_total(opts.reference).has_value();
+}
+
+int label_of(const TraceOutcome& o, const DecisionOptions& opts) {
+  return *o.diff_total(opts.reference) > opts.diff_threshold ? 1 : 0;
+}
+
+}  // namespace
+
+stats::Dataset build_decision_dataset(std::span<const TraceOutcome> outcomes,
+                                      const DecisionOptions& opts) {
+  std::vector<const TraceOutcome*> rows;
+  for (const auto& o : outcomes)
+    if (eligible(o, opts)) rows.push_back(&o);
+  HPS_REQUIRE(!rows.empty(), "decision dataset is empty");
+
+  stats::Dataset ds;
+  const auto names = trace::feature_names();
+  ds.names.assign(names.begin(), names.end());
+  ds.x = Matrix(rows.size(), static_cast<std::size_t>(trace::kNumFeatures));
+  ds.y.resize(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (int f = 0; f < trace::kNumFeatures; ++f) ds.x(i, static_cast<std::size_t>(f)) =
+        rows[i]->features[f];
+    ds.y[i] = label_of(*rows[i], opts);
+  }
+  return ds;
+}
+
+NaiveRuleResult evaluate_naive_rule(std::span<const TraceOutcome> outcomes,
+                                    const DecisionOptions& opts) {
+  NaiveRuleResult r;
+  for (const auto& o : outcomes) {
+    if (!eligible(o, opts)) continue;
+    const int truth = label_of(o, opts);
+    const int pred = o.group == mfact::SensitivityGroup::kCommSensitive ? 1 : 0;
+    if (truth == 1 && pred == 1) ++r.tp;
+    if (truth == 0 && pred == 0) ++r.tn;
+    if (truth == 0 && pred == 1) ++r.fp;
+    if (truth == 1 && pred == 0) ++r.fn;
+  }
+  const int total = r.tp + r.tn + r.fp + r.fn;
+  r.success_rate = total > 0 ? static_cast<double>(r.tp + r.tn) / total : 0;
+  return r;
+}
+
+DecisionEvaluation evaluate_decision_model(std::span<const TraceOutcome> outcomes,
+                                           const DecisionOptions& opts) {
+  DecisionEvaluation ev;
+  const stats::Dataset ds = build_decision_dataset(outcomes, opts);
+  ev.total = static_cast<int>(ds.n());
+  for (int y : ds.y) ev.positives += y;
+
+  ev.cv = stats::monte_carlo_cv(ds, opts.cv);
+  ev.naive = evaluate_naive_rule(outcomes, opts);
+
+  // Final model: the top (<= max_variables) variables by selection frequency
+  // across the CV splits, refitted on the full dataset (the paper's "pick
+  // the top five variables from the list and compute coefficients").
+  std::vector<int> top;
+  for (const auto& v : ev.cv.variables) {
+    if (static_cast<int>(top.size()) >= opts.cv.stepwise.max_variables) break;
+    top.push_back(v.feature);
+  }
+  ev.final_model = stats::fit_logistic(ds, top, opts.cv.stepwise.fit);
+  return ev;
+}
+
+bool needs_simulation(const stats::LogisticModel& model, const TraceOutcome& o) {
+  return model.classify(std::span<const double>(o.features.v.data(), o.features.v.size())) ==
+         1;
+}
+
+}  // namespace hps::core

@@ -1,0 +1,58 @@
+// The "enhanced MFACT" need-for-simulation predictor (paper §VI).
+//
+// Definition: a trace *needs simulation* when the packet-flow simulation's
+// predicted total time differs from MFACT's by more than 2%
+// (DIFF_total > 0.02). The predictor decides this from the 35 Table III
+// features — 34 measurable from the trace plus MFACT's own
+// communication-sensitivity class CL — via stepwise-selected logistic
+// regression, evaluated with Monte-Carlo cross-validation. A naive rule
+// ("recommend simulation iff MFACT classifies the app as
+// communication-sensitive") is the paper's baseline at 73.4% success.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "stats/crossval.hpp"
+
+namespace hps::core {
+
+struct DecisionOptions {
+  /// DIFF_total threshold defining "needs simulation".
+  double diff_threshold = 0.02;
+  /// Simulation scheme whose result defines ground truth.
+  Scheme reference = Scheme::kPacketFlow;
+  stats::CrossValOptions cv;
+};
+
+/// Build the labeled dataset: one row per trace where both MFACT and the
+/// reference simulation succeeded; columns are the Table III features.
+stats::Dataset build_decision_dataset(std::span<const TraceOutcome> outcomes,
+                                      const DecisionOptions& opts = {});
+
+/// The naive rule's confusion counts and success rate on the dataset.
+struct NaiveRuleResult {
+  int tp = 0, tn = 0, fp = 0, fn = 0;
+  double success_rate = 0;
+};
+NaiveRuleResult evaluate_naive_rule(std::span<const TraceOutcome> outcomes,
+                                    const DecisionOptions& opts = {});
+
+/// Full predictor evaluation: Monte-Carlo CV of the stepwise model.
+struct DecisionEvaluation {
+  stats::CrossValResult cv;           ///< per-split metrics + variable report
+  NaiveRuleResult naive;              ///< the baseline rule
+  stats::LogisticModel final_model;   ///< trained on all data with the top
+                                      ///< variables (<= 5) from the CV report
+  int positives = 0;                  ///< traces labeled "needs simulation"
+  int total = 0;
+};
+DecisionEvaluation evaluate_decision_model(std::span<const TraceOutcome> outcomes,
+                                           const DecisionOptions& opts = {});
+
+/// Apply the final model to a fresh trace outcome (its features must be
+/// populated, including CL).
+bool needs_simulation(const stats::LogisticModel& model, const TraceOutcome& o);
+
+}  // namespace hps::core

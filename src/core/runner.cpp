@@ -1,0 +1,140 @@
+#include "core/runner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+
+namespace hps::core {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kMfact: return "mfact";
+    case Scheme::kPacket: return "packet";
+    case Scheme::kFlow: return "flow";
+    case Scheme::kPacketFlow: return "packet-flow";
+    default: return "?";
+  }
+}
+
+std::optional<double> TraceOutcome::diff_total(Scheme sim) const {
+  const auto& m = of(Scheme::kMfact);
+  const auto& s = of(sim);
+  if (!m.ok || !s.ok || m.total_time <= 0) return std::nullopt;
+  return std::fabs(static_cast<double>(s.total_time) / static_cast<double>(m.total_time) -
+                   1.0);
+}
+
+std::optional<double> TraceOutcome::diff_comm(Scheme sim) const {
+  const auto& m = of(Scheme::kMfact);
+  const auto& s = of(sim);
+  if (!m.ok || !s.ok || m.comm_time <= 0) return std::nullopt;
+  return std::fabs(static_cast<double>(s.comm_time) / static_cast<double>(m.comm_time) - 1.0);
+}
+
+namespace {
+
+bool uses_subcomms(const trace::Trace& t) { return t.num_comms() > 1; }
+
+bool uses_complex_grouping(const trace::Trace& t) {
+  using trace::OpType;
+  for (Rank r = 0; r < t.nranks(); ++r)
+    for (const auto& e : t.rank(r).events)
+      if (e.type == OpType::kAlltoallv || e.type == OpType::kGather ||
+          e.type == OpType::kScatter)
+        return true;
+  return false;
+}
+
+simmpi::NetModelKind to_net_kind(Scheme s) {
+  switch (s) {
+    case Scheme::kPacket: return simmpi::NetModelKind::kPacket;
+    case Scheme::kFlow: return simmpi::NetModelKind::kFlow;
+    default: return simmpi::NetModelKind::kPacketFlow;
+  }
+}
+
+}  // namespace
+
+TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
+  TraceOutcome out;
+  out.app = t.meta().app;
+  out.machine = t.meta().machine;
+  out.ranks = t.nranks();
+  out.events = t.total_events();
+  out.measured_total = t.measured_total();
+  out.measured_comm = t.measured_comm_mean();
+
+  const auto stats = trace::compute_stats(t);
+  out.features = trace::extract_features(t.meta(), stats);
+
+  const machine::MachineConfig mc = machine::machine_by_name(t.meta().machine);
+
+  // --- MFACT: one multi-config replay gives baseline prediction,
+  // sensitivity sweep and classification.
+  {
+    SchemeOutcome& so = out.of(Scheme::kMfact);
+    so.attempted = true;
+    try {
+      mfact::ClassifyParams cp = opts.classify;
+      double wall_total = 0;
+      mfact::Classification cl;
+      for (int rep = 0; rep < std::max(1, opts.timing_repeats); ++rep) {
+        cl = mfact::classify(t, mc.net.link_bandwidth, mc.net.end_to_end_latency, cp);
+        wall_total += cl.mfact_wall_seconds;
+      }
+      so.wall_seconds = wall_total / std::max(1, opts.timing_repeats);
+      so.total_time = cl.sweep[mfact::kSweepBase].total_time;
+      so.comm_time = cl.sweep[mfact::kSweepBase].comm_time_mean;
+      so.ok = true;
+      out.app_class = cl.app_class;
+      out.group = cl.group;
+      out.bw_sensitivity = cl.bw_sensitivity;
+      out.lat_sensitivity = cl.lat_sensitivity;
+      out.features[trace::kF_CL] =
+          cl.group == mfact::SensitivityGroup::kCommSensitive ? 1.0 : 0.0;
+    } catch (const Error& e) {
+      so.error = e.what();
+    }
+  }
+
+  // --- The three simulators.
+  const machine::MachineInstance mi(mc, t.nranks(), t.meta().ranks_per_node);
+  for (const Scheme s : {Scheme::kPacket, Scheme::kFlow, Scheme::kPacketFlow}) {
+    SchemeOutcome& so = out.of(s);
+    if (opts.sst30_compat && s != Scheme::kPacketFlow) {
+      const bool unsupported =
+          uses_subcomms(t) || (s == Scheme::kFlow && uses_complex_grouping(t));
+      if (unsupported) {
+        so.attempted = false;
+        so.error = "unsupported by SST/Macro 3.0-era model (compat emulation)";
+        continue;
+      }
+    }
+    so.attempted = true;
+    try {
+      double wall_total = 0;
+      simmpi::ReplayResult rr;
+      for (int rep = 0; rep < std::max(1, opts.timing_repeats); ++rep) {
+        rr = simmpi::replay_trace(t, mi, to_net_kind(s), opts.replay);
+        wall_total += rr.wall_seconds;
+      }
+      so.wall_seconds = wall_total / std::max(1, opts.timing_repeats);
+      so.total_time = rr.total_time;
+      so.comm_time = rr.comm_time_mean;
+      so.ok = true;
+    } catch (const Error& e) {
+      so.error = e.what();
+    }
+  }
+  return out;
+}
+
+TraceOutcome run_all_schemes(const workloads::TraceSpec& spec, const RunOptions& opts) {
+  const trace::Trace t = workloads::generate_spec(spec);
+  TraceOutcome out = run_all_schemes(t, opts);
+  out.spec_id = spec.id;
+  return out;
+}
+
+}  // namespace hps::core

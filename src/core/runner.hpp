@@ -1,0 +1,79 @@
+// Runs one trace through the four schemes the paper compares — MFACT
+// modeling and SST-style packet, flow, and packet-flow simulation — on the
+// machine the trace was collected on, recording predicted times and host
+// wall-clock cost per scheme.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/units.hpp"
+#include "mfact/classify.hpp"
+#include "simmpi/replayer.hpp"
+#include "trace/features.hpp"
+#include "workloads/corpus.hpp"
+
+namespace hps::core {
+
+enum class Scheme : int { kMfact = 0, kPacket, kFlow, kPacketFlow, kNumSchemes };
+
+const char* scheme_name(Scheme s);
+
+/// Result of one scheme on one trace.
+struct SchemeOutcome {
+  bool attempted = false;
+  bool ok = false;
+  std::string error;          ///< set when attempted && !ok
+  SimTime total_time = 0;     ///< predicted application time
+  SimTime comm_time = 0;      ///< predicted mean communication time
+  double wall_seconds = 0;    ///< host time the scheme took
+};
+
+/// Everything the study needs to know about one trace.
+struct TraceOutcome {
+  int spec_id = -1;
+  std::string app;
+  std::string machine;
+  Rank ranks = 0;
+  std::uint64_t events = 0;
+  SimTime measured_total = 0;  ///< synthesized ground-truth wall time
+  SimTime measured_comm = 0;
+
+  trace::FeatureVector features;  ///< Table III features (CL filled in)
+  mfact::AppClass app_class = mfact::AppClass::kComputationBound;
+  mfact::SensitivityGroup group = mfact::SensitivityGroup::kNotCommSensitive;
+  double bw_sensitivity = 0;
+  double lat_sensitivity = 0;
+
+  SchemeOutcome scheme[static_cast<int>(Scheme::kNumSchemes)];
+
+  const SchemeOutcome& of(Scheme s) const { return scheme[static_cast<int>(s)]; }
+  SchemeOutcome& of(Scheme s) { return scheme[static_cast<int>(s)]; }
+
+  /// |sim_total / mfact_total - 1| — the paper's DIFF_total. Returns nullopt
+  /// when either scheme failed.
+  std::optional<double> diff_total(Scheme sim) const;
+  /// Same for the mean communication time.
+  std::optional<double> diff_comm(Scheme sim) const;
+};
+
+struct RunOptions {
+  simmpi::ReplayConfig replay;
+  mfact::ClassifyParams classify;
+  /// Repeat wall-clock measurements and report the mean (the paper averages
+  /// 10 runs; 1 keeps the full-corpus study affordable).
+  int timing_repeats = 1;
+  /// Emulate SST/Macro 3.0's trace-compatibility limits (§V-A: its packet
+  /// and flow models cannot replay complex MPI grouping operations): the
+  /// packet model skips traces that use sub-communicators, and the flow
+  /// model additionally skips traces containing Alltoallv/Gather/Scatter.
+  bool sst30_compat = false;
+};
+
+/// Run all four schemes over a freshly generated trace for `spec`.
+TraceOutcome run_all_schemes(const workloads::TraceSpec& spec, const RunOptions& opts = {});
+
+/// Run the schemes on an existing trace (spec_id stays -1).
+TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts = {});
+
+}  // namespace hps::core

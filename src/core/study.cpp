@@ -1,0 +1,200 @@
+#include "core/study.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hps::core {
+
+namespace {
+
+constexpr std::uint32_t kCacheVersion = 3;
+constexpr char kCacheMagic[4] = {'H', 'P', 'S', 'C'};
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  HPS_REQUIRE(static_cast<bool>(is), "study cache truncated");
+  return v;
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const auto n = get<std::uint32_t>(is);
+  HPS_REQUIRE(n < (1u << 20), "study cache string too large");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  HPS_REQUIRE(static_cast<bool>(is), "study cache truncated");
+  return s;
+}
+
+void put_outcome(std::ostream& os, const TraceOutcome& o) {
+  put<std::int32_t>(os, o.spec_id);
+  put_string(os, o.app);
+  put_string(os, o.machine);
+  put<Rank>(os, o.ranks);
+  put<std::uint64_t>(os, o.events);
+  put<SimTime>(os, o.measured_total);
+  put<SimTime>(os, o.measured_comm);
+  put(os, o.features);
+  put<std::int32_t>(os, static_cast<std::int32_t>(o.app_class));
+  put<std::int32_t>(os, static_cast<std::int32_t>(o.group));
+  put<double>(os, o.bw_sensitivity);
+  put<double>(os, o.lat_sensitivity);
+  for (const auto& s : o.scheme) {
+    put<std::uint8_t>(os, s.attempted ? 1 : 0);
+    put<std::uint8_t>(os, s.ok ? 1 : 0);
+    put_string(os, s.error);
+    put<SimTime>(os, s.total_time);
+    put<SimTime>(os, s.comm_time);
+    put<double>(os, s.wall_seconds);
+  }
+}
+
+TraceOutcome get_outcome(std::istream& is) {
+  TraceOutcome o;
+  o.spec_id = get<std::int32_t>(is);
+  o.app = get_string(is);
+  o.machine = get_string(is);
+  o.ranks = get<Rank>(is);
+  o.events = get<std::uint64_t>(is);
+  o.measured_total = get<SimTime>(is);
+  o.measured_comm = get<SimTime>(is);
+  o.features = get<trace::FeatureVector>(is);
+  o.app_class = static_cast<mfact::AppClass>(get<std::int32_t>(is));
+  o.group = static_cast<mfact::SensitivityGroup>(get<std::int32_t>(is));
+  o.bw_sensitivity = get<double>(is);
+  o.lat_sensitivity = get<double>(is);
+  for (auto& s : o.scheme) {
+    s.attempted = get<std::uint8_t>(is) != 0;
+    s.ok = get<std::uint8_t>(is) != 0;
+    s.error = get_string(is);
+    s.total_time = get<SimTime>(is);
+    s.comm_time = get<SimTime>(is);
+    s.wall_seconds = get<double>(is);
+  }
+  return o;
+}
+
+}  // namespace
+
+std::uint64_t study_cache_key(const StudyOptions& opts) {
+  std::uint64_t h = kCacheVersion;
+  h = mix_seed(h, opts.corpus.seed);
+  h = mix_seed(h, static_cast<std::uint64_t>(opts.corpus.duration_scale * 1e6));
+  h = mix_seed(h, static_cast<std::uint64_t>(opts.corpus.limit));
+  h = mix_seed(h, opts.run.sst30_compat ? 1 : 0);
+  h = mix_seed(h, static_cast<std::uint64_t>(opts.run.timing_repeats));
+  h = mix_seed(h, opts.run.replay.eager_threshold);
+  h = mix_seed(h, opts.run.replay.packet_size);
+  h = mix_seed(h, opts.run.replay.packetflow_packet_size);
+  return h;
+}
+
+void save_outcomes(const std::vector<TraceOutcome>& outcomes, const std::string& path,
+                   std::uint64_t key) {
+  std::ofstream os(path, std::ios::binary);
+  HPS_REQUIRE(os.is_open(), "cannot write study cache: " + path);
+  os.write(kCacheMagic, 4);
+  put<std::uint64_t>(os, key);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(outcomes.size()));
+  for (const auto& o : outcomes) put_outcome(os, o);
+  HPS_REQUIRE(static_cast<bool>(os), "study cache write failed");
+}
+
+std::optional<std::vector<TraceOutcome>> load_outcomes(const std::string& path,
+                                                       std::uint64_t key) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return std::nullopt;
+  try {
+    char magic[4];
+    is.read(magic, 4);
+    if (!is || std::memcmp(magic, kCacheMagic, 4) != 0) return std::nullopt;
+    if (get<std::uint64_t>(is) != key) return std::nullopt;
+    const auto n = get<std::uint32_t>(is);
+    if (n > 100000) return std::nullopt;
+    std::vector<TraceOutcome> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_outcome(is));
+    return out;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::string default_cache_path(const std::string& tag) {
+  const char* dir = std::getenv("HPS_CACHE_DIR");
+  std::string base = dir != nullptr ? dir : "/tmp";
+  return base + "/hpcsweep_" + tag + ".cache";
+}
+
+StudyResult run_study(const StudyOptions& opts) {
+  StudyResult result;
+  const std::uint64_t key = study_cache_key(opts);
+  if (!opts.cache_path.empty() && !opts.force_recompute) {
+    if (auto cached = load_outcomes(opts.cache_path, key)) {
+      result.outcomes = std::move(*cached);
+      result.from_cache = true;
+      return result;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto specs = workloads::build_corpus_specs(opts.corpus);
+  result.outcomes.resize(specs.size());
+
+  int nthreads = opts.threads;
+  if (nthreads <= 0)
+    nthreads = std::min(16u, std::max(1u, std::thread::hardware_concurrency()));
+  nthreads = std::min<int>(nthreads, static_cast<int>(specs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> completed{0};
+  std::mutex log_mutex;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) return;
+      result.outcomes[i] = run_all_schemes(specs[i], opts.run);
+      const int done = ++completed;
+      if (opts.progress) {
+        const std::lock_guard<std::mutex> lk(log_mutex);
+        std::fprintf(stderr, "  [%3d/%3zu] %-12s %5d ranks  %8llu events\r", done,
+                     specs.size(), specs[i].app.c_str(), specs[i].params.ranks,
+                     static_cast<unsigned long long>(result.outcomes[i].events));
+        if (done == static_cast<int>(specs.size())) std::fprintf(stderr, "\n");
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+
+  if (!opts.cache_path.empty()) save_outcomes(result.outcomes, opts.cache_path, key);
+  return result;
+}
+
+}  // namespace hps::core

@@ -1,0 +1,46 @@
+// The full trade-off study: run every corpus trace through all four schemes,
+// in parallel across traces, with a binary result cache so that the several
+// bench binaries reproducing different tables/figures of the paper share one
+// expensive computation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "workloads/corpus.hpp"
+
+namespace hps::core {
+
+struct StudyOptions {
+  workloads::CorpusOptions corpus;
+  RunOptions run;
+  int threads = 0;          ///< 0 = hardware concurrency (capped at 16)
+  std::string cache_path;   ///< empty = no caching
+  bool force_recompute = false;
+  bool progress = false;    ///< print one line per completed trace to stderr
+};
+
+struct StudyResult {
+  std::vector<TraceOutcome> outcomes;  ///< ordered by spec id
+  double wall_seconds = 0;
+  bool from_cache = false;
+};
+
+/// Run (or load) the study.
+StudyResult run_study(const StudyOptions& opts);
+
+/// Default cache location used by the bench binaries (honors the
+/// HPS_CACHE_DIR environment variable, else the system temp directory).
+std::string default_cache_path(const std::string& tag);
+
+/// Cache (de)serialization, exposed for tests. The key guards against
+/// reusing results across incompatible option sets.
+std::uint64_t study_cache_key(const StudyOptions& opts);
+void save_outcomes(const std::vector<TraceOutcome>& outcomes, const std::string& path,
+                   std::uint64_t key);
+std::optional<std::vector<TraceOutcome>> load_outcomes(const std::string& path,
+                                                       std::uint64_t key);
+
+}  // namespace hps::core

@@ -1,0 +1,90 @@
+#include "des/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hps::des {
+
+/// Dispatches schedule_fn_* events: payload word `a` indexes pending_fns_.
+class Engine::FnHandler final : public Handler {
+ public:
+  explicit FnHandler(Engine& eng) : eng_(eng) {}
+  void handle(Engine&, std::uint64_t a, std::uint64_t) override {
+    auto& slot = eng_.pending_fns_[a];
+    HPS_CHECK(slot != nullptr);
+    auto fn = std::move(slot);
+    slot.reset();
+    (*fn)();
+  }
+
+ private:
+  Engine& eng_;
+};
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+void Engine::push(Ev ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, heap_.size());
+}
+
+Engine::Ev Engine::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Ev ev = heap_.back();
+  heap_.pop_back();
+  return ev;
+}
+
+void Engine::schedule_at(SimTime t, Handler* h, std::uint64_t a, std::uint64_t b) {
+  HPS_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  HPS_CHECK(h != nullptr);
+  push({t, next_seq_++, h, a, b});
+  ++stats_.events_scheduled;
+}
+
+void Engine::schedule_fn_at(SimTime t, std::function<void()> fn) {
+  if (!fn_handler_) fn_handler_ = std::make_unique<FnHandler>(*this);
+  // Reuse an empty slot if available to bound growth in long runs.
+  std::size_t idx = pending_fns_.size();
+  for (std::size_t i = 0; i < pending_fns_.size(); ++i) {
+    if (!pending_fns_[i]) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == pending_fns_.size()) pending_fns_.emplace_back();
+  pending_fns_[idx] = std::make_unique<std::function<void()>>(std::move(fn));
+  schedule_at(t, fn_handler_.get(), idx, 0);
+}
+
+void Engine::dispatch(const Ev& ev) {
+  now_ = ev.t;
+  ++stats_.events_processed;
+  ev.h->handle(*this, ev.a, ev.b);
+}
+
+SimTime Engine::run() {
+  while (!heap_.empty()) dispatch(pop());
+  return now_;
+}
+
+bool Engine::run_until(SimTime t_limit) {
+  while (!heap_.empty()) {
+    if (heap_.front().t > t_limit) return false;
+    dispatch(pop());
+  }
+  return true;
+}
+
+void Engine::reset() {
+  heap_.clear();
+  pending_fns_.clear();
+  now_ = 0;
+  next_seq_ = 0;
+  stats_ = {};
+}
+
+}  // namespace hps::des

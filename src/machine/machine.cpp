@@ -1,0 +1,117 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hps::machine {
+
+const char* topology_kind_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kTorus3D: return "torus3d";
+    case TopologyKind::kDragonfly: return "dragonfly";
+    case TopologyKind::kFatTree: return "fattree";
+  }
+  return "?";
+}
+
+MachineConfig cielito() {
+  MachineConfig c;
+  c.name = "cielito";
+  c.topology = TopologyKind::kTorus3D;
+  c.cores_per_node = 16;
+  c.net.link_bandwidth = gbps_to_Bps(10.0);
+  c.net.injection_bandwidth = gbps_to_Bps(10.0);
+  c.net.end_to_end_latency = 2'500;
+  return c;
+}
+
+MachineConfig hopper() {
+  MachineConfig c;
+  c.name = "hopper";
+  c.topology = TopologyKind::kTorus3D;
+  c.cores_per_node = 24;
+  c.net.link_bandwidth = gbps_to_Bps(35.0);
+  c.net.injection_bandwidth = gbps_to_Bps(35.0);
+  c.net.end_to_end_latency = 2'575;
+  return c;
+}
+
+MachineConfig edison() {
+  MachineConfig c;
+  c.name = "edison";
+  c.topology = TopologyKind::kDragonfly;
+  c.cores_per_node = 24;
+  c.net.link_bandwidth = gbps_to_Bps(24.0);
+  c.net.injection_bandwidth = gbps_to_Bps(24.0);
+  c.net.end_to_end_latency = 1'300;
+  return c;
+}
+
+std::vector<MachineConfig> all_machines() { return {cielito(), hopper(), edison()}; }
+
+MachineConfig machine_by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "cielito") return cielito();
+  if (lower == "hopper") return hopper();
+  if (lower == "edison") return edison();
+  HPS_THROW("unknown machine: " + name);
+}
+
+MachineInstance::MachineInstance(MachineConfig cfg, Rank nranks, int ranks_per_node,
+                                 Placement placement, std::uint64_t seed)
+    : cfg_(std::move(cfg)), ranks_per_node_(std::min(ranks_per_node, cfg_.cores_per_node)) {
+  HPS_CHECK(nranks > 0 && ranks_per_node > 0);
+  const int nodes_needed = (nranks + ranks_per_node_ - 1) / ranks_per_node_;
+
+  switch (cfg_.topology) {
+    case TopologyKind::kTorus3D:
+      topo_ = topo::make_torus_for(nodes_needed);
+      break;
+    case TopologyKind::kDragonfly:
+      topo_ = topo::make_dragonfly_for(nodes_needed);
+      break;
+    case TopologyKind::kFatTree:
+      topo_ = topo::make_fattree_for(nodes_needed);
+      break;
+  }
+  HPS_CHECK(topo_->num_nodes() >= nodes_needed);
+
+  rank_to_node_.resize(static_cast<std::size_t>(nranks));
+  switch (placement) {
+    case Placement::kBlock:
+      for (Rank r = 0; r < nranks; ++r)
+        rank_to_node_[static_cast<std::size_t>(r)] = r / ranks_per_node_;
+      break;
+    case Placement::kRoundRobin:
+      for (Rank r = 0; r < nranks; ++r)
+        rank_to_node_[static_cast<std::size_t>(r)] = r % nodes_needed;
+      break;
+    case Placement::kRandom: {
+      // Shuffle node slots, then assign blocks of ranks to shuffled nodes.
+      std::vector<NodeId> slots(static_cast<std::size_t>(nodes_needed));
+      for (int i = 0; i < nodes_needed; ++i) slots[static_cast<std::size_t>(i)] = i;
+      Rng rng(mix_seed(seed, 0x9127E3B4));
+      rng.shuffle(slots);
+      for (Rank r = 0; r < nranks; ++r)
+        rank_to_node_[static_cast<std::size_t>(r)] =
+            slots[static_cast<std::size_t>(r / ranks_per_node_)];
+      break;
+    }
+  }
+
+  // Split the published end-to-end latency: `software_fraction` of it is
+  // endpoint software (half at each end); the remainder is per-hop wire and
+  // router delay spread over the topology's average hop count.
+  const double L = static_cast<double>(cfg_.net.end_to_end_latency);
+  sw_overhead_ = static_cast<SimTime>(L * cfg_.net.software_fraction / 2.0);
+  const double avg_hops = std::max(1.0, topo_->average_hops());
+  hop_latency_ = std::max<SimTime>(
+      1, static_cast<SimTime>(L * (1.0 - cfg_.net.software_fraction) / avg_hops));
+}
+
+}  // namespace hps::machine

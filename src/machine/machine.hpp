@@ -1,0 +1,102 @@
+// Machine descriptions: the published network parameters of the paper's
+// three platforms (Cielito, Hopper, Edison) plus rank placement, and the
+// decomposition of the end-to-end latency budget into software overhead and
+// per-hop components used by the detailed simulators.
+//
+// The paper's settings (its §V-A): Cielito {10 Gbps, 2500 ns} (Cray XE6
+// Gemini 3D torus), Hopper {35 Gbps, 2575 ns} (Cray XE6 Gemini 3D torus),
+// Edison {24 Gbps, 1300 ns} (Cray XC30 Aries dragonfly).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "topo/topology.hpp"
+
+namespace hps::machine {
+
+enum class TopologyKind { kTorus3D, kDragonfly, kFatTree };
+
+const char* topology_kind_name(TopologyKind k);
+
+/// Network timing/bandwidth parameters of a machine.
+///
+/// `link_bandwidth` is the *published per-rank (Hockney) bandwidth* — what a
+/// single MPI message achieves end to end. The physical fabric is thicker:
+/// a Gemini/Aries link carries traffic from the whole node, so the detailed
+/// simulators provision fabric links and node NICs at multiples of the
+/// per-rank rate while pacing each individual message at it.
+struct NetworkParams {
+  Bandwidth link_bandwidth = 0;        ///< per-rank Hockney bandwidth, bytes/second
+  Bandwidth injection_bandwidth = 0;   ///< per-rank NIC share, bytes/second
+  SimTime end_to_end_latency = 0;      ///< published zero-load latency, ns
+  /// Fraction of the end-to-end latency spent in MPI/NIC software at the two
+  /// endpoints (the rest is divided over the average-hop wire/router path).
+  double software_fraction = 0.4;
+  /// Fabric link capacity as a multiple of the per-rank bandwidth.
+  double link_multiplier = 10.0;
+  /// Node NIC capacity as a multiple of the per-rank bandwidth (a full
+  /// node's ranks can inject concurrently at a modest discount).
+  double injection_multiplier = 16.0;
+};
+
+/// Static description of a machine model.
+struct MachineConfig {
+  std::string name;
+  TopologyKind topology = TopologyKind::kTorus3D;
+  int cores_per_node = 16;
+  NetworkParams net;
+  /// Message size at and below which the eager protocol applies.
+  std::uint64_t eager_threshold = 8 * KiB;
+};
+
+/// Preset configurations for the paper's three platforms.
+MachineConfig cielito();  // 10 Gbps, 2500 ns, torus
+MachineConfig hopper();   // 35 Gbps, 2575 ns, torus
+MachineConfig edison();   // 24 Gbps, 1300 ns, dragonfly
+
+/// All three presets, in the order used throughout the benches.
+std::vector<MachineConfig> all_machines();
+
+/// Look up a preset by (case-insensitive) name; throws hps::Error if unknown.
+MachineConfig machine_by_name(const std::string& name);
+
+/// How trace ranks are assigned to nodes.
+enum class Placement {
+  kBlock,       ///< ranks 0..c-1 on node 0, c..2c-1 on node 1, ...
+  kRoundRobin,  ///< rank r on node r % nodes
+  kRandom,      ///< deterministic shuffle from a seed
+};
+
+/// A machine *instance*: a config bound to a concrete topology sized for a
+/// specific job, with a rank-to-node map and the derived per-hop latency.
+class MachineInstance {
+ public:
+  /// Builds a topology with >= ceil(nranks / ranks_per_node) nodes and places
+  /// the ranks. `ranks_per_node` is capped at cores_per_node.
+  MachineInstance(MachineConfig cfg, Rank nranks, int ranks_per_node,
+                  Placement placement = Placement::kBlock, std::uint64_t seed = 0);
+
+  const MachineConfig& config() const { return cfg_; }
+  const topo::Topology& topology() const { return *topo_; }
+  Rank nranks() const { return static_cast<Rank>(rank_to_node_.size()); }
+  NodeId node_of(Rank r) const { return rank_to_node_[static_cast<std::size_t>(r)]; }
+  int ranks_per_node() const { return ranks_per_node_; }
+
+  /// Per-endpoint software overhead (half the software share of the latency).
+  SimTime software_overhead() const { return sw_overhead_; }
+  /// Per-hop latency (wire + router) after removing the software share.
+  SimTime hop_latency() const { return hop_latency_; }
+
+ private:
+  MachineConfig cfg_;
+  std::unique_ptr<topo::Topology> topo_;
+  std::vector<NodeId> rank_to_node_;
+  int ranks_per_node_;
+  SimTime sw_overhead_ = 0;
+  SimTime hop_latency_ = 0;
+};
+
+}  // namespace hps::machine

@@ -1,0 +1,72 @@
+#include "mfact/classify.hpp"
+
+#include "common/error.hpp"
+
+namespace hps::mfact {
+
+const char* app_class_name(AppClass c) {
+  switch (c) {
+    case AppClass::kComputationBound: return "computation-bound";
+    case AppClass::kLoadImbalanceBound: return "load-imbalance-bound";
+    case AppClass::kBandwidthBound: return "bandwidth-bound";
+    case AppClass::kLatencyBound: return "latency-bound";
+    case AppClass::kCommunicationBound: return "communication-bound";
+  }
+  return "?";
+}
+
+const char* group_name(SensitivityGroup g) {
+  return g == SensitivityGroup::kCommSensitive ? "cs" : "ncs";
+}
+
+Classification classify_from_sweep(std::vector<ConfigResult> sweep,
+                                   const ClassifyParams& params) {
+  HPS_REQUIRE(sweep.size() >= kSweepNumPoints, "classify: sweep too small");
+  Classification cl;
+
+  const double base = static_cast<double>(sweep[kSweepBase].total_time);
+  HPS_REQUIRE(base > 0, "classify: zero baseline time");
+  cl.bw_sensitivity = static_cast<double>(sweep[kSweepBwDown8].total_time) / base - 1.0;
+  cl.lat_sensitivity = static_cast<double>(sweep[kSweepLatUp8].total_time) / base - 1.0;
+
+  const Counters& c = sweep[kSweepBase].counters;
+  const double ctr_total = c.wait + c.bandwidth + c.latency + c.compute;
+  if (ctr_total > 0) {
+    cl.compute_fraction = c.compute / ctr_total;
+    cl.wait_fraction = c.wait / ctr_total;
+  }
+
+  const double thr = params.sensitivity_threshold;
+  const bool bw_sens = cl.bw_sensitivity > thr;
+  const bool lat_sens = cl.lat_sensitivity > thr;
+  if (bw_sens && lat_sens) {
+    cl.app_class = AppClass::kCommunicationBound;
+  } else if (bw_sens) {
+    cl.app_class = AppClass::kBandwidthBound;
+  } else if (lat_sens) {
+    cl.app_class = AppClass::kLatencyBound;
+  } else if (cl.wait_fraction > params.wait_dominance) {
+    cl.app_class = AppClass::kLoadImbalanceBound;
+  } else {
+    cl.app_class = AppClass::kComputationBound;
+  }
+
+  // The paper's conservative grouping rule considers bandwidth only: an
+  // application is "cs" iff slowing bandwidth 8x grows total time by >5%.
+  cl.group = bw_sens ? SensitivityGroup::kCommSensitive : SensitivityGroup::kNotCommSensitive;
+
+  cl.sweep = std::move(sweep);
+  return cl;
+}
+
+Classification classify(const trace::Trace& t, Bandwidth base_bw, SimTime base_lat,
+                        const ClassifyParams& params) {
+  const auto sweep_cfg = make_sensitivity_sweep(base_bw, base_lat);
+  double wall = 0;
+  auto sweep = run_mfact(t, sweep_cfg, params.mfact, &wall);
+  auto cl = classify_from_sweep(std::move(sweep), params);
+  cl.mfact_wall_seconds = wall;
+  return cl;
+}
+
+}  // namespace hps::mfact

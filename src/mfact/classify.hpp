@@ -1,0 +1,66 @@
+// MFACT application classification (the paper's §IV-A and §VI-A).
+//
+// From a single multi-configuration replay, MFACT observes how the predicted
+// total time reacts to speeding up / slowing down bandwidth, latency and
+// computation, and classifies the application as computation-bound,
+// load-imbalance-bound, bandwidth-bound, latency-bound, or
+// communication-bound. For the need-for-simulation predictor the five
+// classes collapse into two groups: "cs" (communication-sensitive — total
+// time grows more than 5% when bandwidth drops 8x, the paper's conservative
+// rule) and "ncs" (everything else).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mfact/model.hpp"
+#include "trace/trace.hpp"
+
+namespace hps::mfact {
+
+enum class AppClass {
+  kComputationBound,
+  kLoadImbalanceBound,
+  kBandwidthBound,
+  kLatencyBound,
+  kCommunicationBound,
+};
+
+const char* app_class_name(AppClass c);
+
+/// Two-level grouping used as the "CL" feature: cs vs ncs.
+enum class SensitivityGroup { kCommSensitive, kNotCommSensitive };
+
+const char* group_name(SensitivityGroup g);
+
+struct Classification {
+  AppClass app_class = AppClass::kComputationBound;
+  SensitivityGroup group = SensitivityGroup::kNotCommSensitive;
+  double bw_sensitivity = 0;   ///< total(bw/8)/total(base) - 1
+  double lat_sensitivity = 0;  ///< total(lat*8)/total(base) - 1
+  double compute_fraction = 0; ///< compute counter share of total rank time
+  double wait_fraction = 0;    ///< wait counter share of total rank time
+  std::vector<ConfigResult> sweep;  ///< the raw sweep results (base first)
+  double mfact_wall_seconds = 0;    ///< host time of the replay
+};
+
+struct ClassifyParams {
+  /// Bandwidth-sensitivity threshold: >5% growth under bw/8 => cs (paper).
+  double sensitivity_threshold = 0.05;
+  /// Wait-counter share above which a network-insensitive application is
+  /// load-imbalance-bound rather than computation-bound.
+  double wait_dominance = 0.15;
+  MfactParams mfact;
+};
+
+/// Classify by replaying with the standard sensitivity sweep around
+/// (base_bw, base_lat).
+Classification classify(const trace::Trace& t, Bandwidth base_bw, SimTime base_lat,
+                        const ClassifyParams& params = {});
+
+/// Classify from an already-computed sweep (must be in
+/// make_sensitivity_sweep order).
+Classification classify_from_sweep(std::vector<ConfigResult> sweep,
+                                   const ClassifyParams& params = {});
+
+}  // namespace hps::mfact

@@ -1,0 +1,97 @@
+#include "mfact/coll_cost.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace hps::mfact {
+
+int log2_ceil(int n) {
+  HPS_CHECK(n >= 1);
+  return static_cast<int>(std::bit_width(static_cast<unsigned>(n - 1)));
+}
+
+namespace {
+
+double beta_ns(std::uint64_t bytes, const CostParams& p) {
+  return p.bandwidth_Bps > 0 ? static_cast<double>(bytes) / p.bandwidth_Bps * 1e9 : 0.0;
+}
+
+double alpha_ns(int rounds, const CostParams& p) {
+  return static_cast<double>(rounds) * (p.latency_ns + p.overhead_ns);
+}
+
+}  // namespace
+
+CollCost collective_cost(trace::OpType op, int n, std::uint64_t bytes, const CostParams& p) {
+  using trace::OpType;
+  CollCost c;
+  if (n <= 1) return c;
+  const int logn = log2_ceil(n);
+  const double nd = static_cast<double>(n);
+  switch (op) {
+    case OpType::kBarrier:
+      // Dissemination: ceil(log2 n) zero-byte rounds.
+      c.latency_ns = alpha_ns(logn, p);
+      break;
+    case OpType::kBcast:
+    case OpType::kReduce:
+      // Binomial tree: ceil(log2 n) rounds carrying the full payload.
+      c.latency_ns = alpha_ns(logn, p);
+      c.bandwidth_ns = static_cast<double>(logn) * beta_ns(bytes, p);
+      break;
+    case OpType::kAllreduce:
+      if (bytes > p.allreduce_rabenseifner_threshold) {
+        // Rabenseifner: 2 log n rounds, 2 (n-1)/n m bytes on the wire.
+        c.latency_ns = alpha_ns(2 * logn, p);
+        c.bandwidth_ns = 2.0 * (nd - 1.0) / nd * beta_ns(bytes, p);
+      } else {
+        // Recursive doubling: log n rounds of the full payload.
+        c.latency_ns = alpha_ns(logn, p);
+        c.bandwidth_ns = static_cast<double>(logn) * beta_ns(bytes, p);
+      }
+      break;
+    case OpType::kAllgather:
+      // Ring: n-1 rounds of the per-rank contribution.
+      c.latency_ns = alpha_ns(n - 1, p);
+      c.bandwidth_ns = (nd - 1.0) * beta_ns(bytes, p);
+      break;
+    case OpType::kAlltoall:
+      // Pairwise exchange: n-1 rounds of the per-peer block.
+      c.latency_ns = alpha_ns(n - 1, p);
+      c.bandwidth_ns = (nd - 1.0) * beta_ns(bytes, p);
+      break;
+    case OpType::kGather:
+    case OpType::kScatter:
+      // Binomial tree; the root moves (n-1) blocks in ceil(log2 n) rounds.
+      c.latency_ns = alpha_ns(logn, p);
+      c.bandwidth_ns = (nd - 1.0) * beta_ns(bytes, p);
+      break;
+    case OpType::kReduceScatter:
+      // Recursive halving: log n rounds, (n-1)/n of the vector on the wire.
+      c.latency_ns = alpha_ns(logn, p);
+      c.bandwidth_ns = (nd - 1.0) / nd * beta_ns(bytes, p);
+      break;
+    case OpType::kScan:
+      // Linear pipeline: n-1 hops of the payload (latency-dominated).
+      c.latency_ns = alpha_ns(n - 1, p);
+      c.bandwidth_ns = beta_ns(bytes, p);
+      break;
+    default:
+      HPS_CHECK_MSG(false, "collective_cost: not a collective");
+  }
+  return c;
+}
+
+CollCost alltoallv_cost(int n, int nonzero_peers, std::uint64_t send_bytes,
+                        std::uint64_t recv_bytes, const CostParams& p) {
+  CollCost c;
+  if (n <= 1) return c;
+  const int rounds = std::max(0, std::min(nonzero_peers, n - 1));
+  c.latency_ns = alpha_ns(rounds, p);
+  c.bandwidth_ns = beta_ns(std::max(send_bytes, recv_bytes), p);
+  return c;
+}
+
+}  // namespace hps::mfact

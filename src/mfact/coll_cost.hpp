@@ -1,0 +1,44 @@
+// Analytic collective cost models in the style of Thakur & Gropp, used by
+// MFACT's logical-clock replay. Costs are split into a latency component
+// (alpha terms: per-round start-up) and a bandwidth component (beta terms:
+// bytes over the wire) so that MFACT can attribute them to its latency and
+// bandwidth counters separately.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "trace/event.hpp"
+
+namespace hps::mfact {
+
+/// A collective's cost under Hockney-style parameters.
+struct CollCost {
+  double latency_ns = 0;    ///< alpha component (rounds x (L + o))
+  double bandwidth_ns = 0;  ///< beta component (bytes / B)
+  double total() const { return latency_ns + bandwidth_ns; }
+};
+
+/// Parameters of the analytic model.
+struct CostParams {
+  double bandwidth_Bps = 0;  ///< network bandwidth B
+  double latency_ns = 0;     ///< end-to-end zero-byte latency L
+  double overhead_ns = 0;    ///< per-message software overhead o
+  /// Allreduce switches from recursive doubling to Rabenseifner above this.
+  std::uint64_t allreduce_rabenseifner_threshold = 32 * KiB;
+};
+
+/// Cost of the collective for a communicator of n ranks and the given
+/// per-rank payload (`bytes` follows trace::OpType semantics). For
+/// Alltoallv use alltoallv_cost, which needs per-member volumes.
+CollCost collective_cost(trace::OpType op, int n, std::uint64_t bytes, const CostParams& p);
+
+/// Per-member Alltoallv cost given the member's total send and receive
+/// volumes and the number of peers it actually exchanges with.
+CollCost alltoallv_cost(int n, int nonzero_peers, std::uint64_t send_bytes,
+                        std::uint64_t recv_bytes, const CostParams& p);
+
+/// ceil(log2(n)) for n >= 1.
+int log2_ceil(int n);
+
+}  // namespace hps::mfact

@@ -1,0 +1,497 @@
+#include "mfact/model.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "mfact/coll_cost.hpp"
+
+namespace hps::mfact {
+
+namespace {
+
+using trace::Event;
+using trace::OpType;
+
+/// FIFO stream key for (peer, tag).
+std::uint64_t stream_key(Rank peer, Tag tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+/// Message key: seq-th message from src to dst with tag.
+struct MsgKey {
+  Rank src, dst;
+  Tag tag;
+  std::uint32_t seq;
+  bool operator==(const MsgKey&) const = default;
+};
+struct MsgKeyHash {
+  std::size_t operator()(const MsgKey& k) const {
+    std::uint64_t h = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src)) << 32) |
+                      static_cast<std::uint32_t>(k.dst);
+    h ^= ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tag)) << 32) | k.seq) *
+         0x9e3779b97f4a7c15ULL;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+/// The single-pass multi-configuration logical clock replay.
+class LogicalReplay {
+ public:
+  LogicalReplay(const trace::Trace& t, const std::vector<NetworkConfigPoint>& configs,
+                const MfactParams& params)
+      : trace_(t), configs_(configs), params_(params),
+        k_(configs.size()), nranks_(static_cast<std::size_t>(t.nranks())) {
+    HPS_CHECK(!configs.empty());
+    clocks_.assign(nranks_ * k_, 0.0);
+    counters_.assign(nranks_ * k_, Counters{});
+    if (params.p2p_model == P2pCostModel::kLogGP) nic_.assign(nranks_ * k_, 0.0);
+    cursor_.assign(nranks_, 0);
+    rank_aux_.resize(nranks_);
+    cost_params_.resize(k_);
+    for (std::size_t c = 0; c < k_; ++c) {
+      cost_params_[c].bandwidth_Bps = configs[c].bandwidth;
+      cost_params_[c].latency_ns = static_cast<double>(configs[c].latency);
+      cost_params_[c].overhead_ns = static_cast<double>(params.overhead);
+      cost_params_[c].allreduce_rabenseifner_threshold =
+          params.allreduce_rabenseifner_threshold;
+    }
+    comm_state_.resize(t.num_comms());
+    for (Rank r = 0; r < t.nranks(); ++r)
+      for (const auto& e : t.rank(r).events)
+        if (e.type == OpType::kAlltoallv)
+          rank_aux_[static_cast<std::size_t>(r)].a2av[e.comm].push_back(e.aux);
+  }
+
+  std::vector<ConfigResult> run();
+
+ private:
+  struct RankAux {
+    std::unordered_map<std::uint64_t, std::uint32_t> send_seq, recv_seq;
+    std::unordered_map<std::int32_t, MsgKey> irecv_key;  // posted irecvs
+    std::unordered_set<std::int32_t> isend_reqs;         // complete at issue
+    std::unordered_map<CommId, std::uint32_t> a2av_next;
+    std::unordered_map<CommId, std::vector<std::int32_t>> a2av;  // aux ids in order
+    bool coll_arrived = false;
+    bool in_work = false;
+  };
+
+  struct CommState {
+    int arrived = 0;
+  };
+
+  double* clock(Rank r) { return &clocks_[static_cast<std::size_t>(r) * k_]; }
+  double* nic(Rank r) { return &nic_[static_cast<std::size_t>(r) * k_]; }
+  Counters* ctr(Rank r) { return &counters_[static_cast<std::size_t>(r) * k_]; }
+
+  void push_work(Rank r) {
+    auto& aux = rank_aux_[static_cast<std::size_t>(r)];
+    if (aux.in_work) return;
+    aux.in_work = true;
+    work_.push_back(r);
+  }
+
+  void run_rank(Rank r);
+  void process_send(Rank r, const Event& e);
+  /// Apply a message arrival to the receiving rank's clocks. The slab holds
+  /// one arrival timestamp per configuration.
+  void apply_arrival(Rank r, const double* arrival);
+  bool try_consume_msg(Rank r, const MsgKey& key);
+  /// Returns true if the collective completed (cursors advanced).
+  bool process_collective(Rank r, const Event& e);
+  void apply_collective(const Event& e, const std::vector<Rank>& members);
+
+  // Arrival slabs: one double per config, pooled.
+  std::uint32_t alloc_slab() {
+    if (!slab_free_.empty()) {
+      const std::uint32_t s = slab_free_.back();
+      slab_free_.pop_back();
+      return s;
+    }
+    slabs_.resize(slabs_.size() + k_);
+    return static_cast<std::uint32_t>(slabs_.size() / k_ - 1);
+  }
+  double* slab(std::uint32_t s) { return &slabs_[static_cast<std::size_t>(s) * k_]; }
+
+  const trace::Trace& trace_;
+  const std::vector<NetworkConfigPoint>& configs_;
+  const MfactParams& params_;
+  const std::size_t k_;
+  const std::size_t nranks_;
+
+  std::vector<double> clocks_;
+  std::vector<double> nic_;  // LogGP: per-rank per-config NIC busy-until
+  std::vector<Counters> counters_;
+  std::vector<std::size_t> cursor_;
+  std::vector<RankAux> rank_aux_;
+  std::vector<CostParams> cost_params_;
+
+  std::unordered_map<MsgKey, std::uint32_t, MsgKeyHash> arrivals_;  // key -> slab
+  std::vector<double> slabs_;
+  std::vector<std::uint32_t> slab_free_;
+  std::unordered_map<MsgKey, Rank, MsgKeyHash> blocked_on_;
+  std::vector<CommState> comm_state_;
+  std::vector<Rank> work_;
+  // Scratch for collective processing.
+  std::vector<std::uint64_t> send_tot_, recv_tot_;
+  std::vector<int> nonzero_;
+};
+
+void LogicalReplay::process_send(Rank r, const Event& e) {
+  auto& aux = rank_aux_[static_cast<std::size_t>(r)];
+  const std::uint32_t seq = aux.send_seq[stream_key(e.peer, e.tag)]++;
+  const MsgKey key{r, e.peer, e.tag, seq};
+  const std::uint32_t s = alloc_slab();
+  double* arr = slab(s);
+  double* clk = clock(r);
+  Counters* cc = ctr(r);
+  const bool loggp = params_.p2p_model == P2pCostModel::kLogGP;
+  const double gap = static_cast<double>(params_.loggp_gap > 0 ? params_.loggp_gap
+                                                               : params_.overhead);
+  for (std::size_t c = 0; c < k_; ++c) {
+    const auto& p = cost_params_[c];
+    const double beta =
+        p.bandwidth_Bps > 0 ? static_cast<double>(e.bytes) / p.bandwidth_Bps * 1e9 : 0.0;
+    if (loggp) {
+      // LogGP: the departure waits for the NIC to finish the previous
+      // transmission; back-to-back sends are paced at g + m*G.
+      double* nc = nic(r);
+      const double depart = std::max(clk[c] + p.overhead_ns, nc[c]);
+      nc[c] = depart + gap + beta;
+      arr[c] = depart + p.latency_ns + beta;
+      clk[c] += p.overhead_ns;
+      cc[c].latency += p.overhead_ns + p.latency_ns;
+      cc[c].bandwidth += beta;
+    } else {
+      // Hockney: the message lands at send_start + o + L + m/B. The sender's
+      // own clock only advances by its software overhead o; the path terms
+      // are attributed to the sender's latency/bandwidth counters (they are
+      // what reacts when the sweep scales L or B).
+      arr[c] = clk[c] + p.overhead_ns + p.latency_ns + beta;
+      clk[c] += p.overhead_ns;
+      cc[c].latency += p.overhead_ns + p.latency_ns;
+      cc[c].bandwidth += beta;
+    }
+  }
+  arrivals_.emplace(key, s);
+  const auto it = blocked_on_.find(key);
+  if (it != blocked_on_.end()) {
+    const Rank waiter = it->second;
+    blocked_on_.erase(it);
+    push_work(waiter);
+  }
+}
+
+void LogicalReplay::apply_arrival(Rank r, const double* arrival) {
+  double* clk = clock(r);
+  Counters* cc = ctr(r);
+  for (std::size_t c = 0; c < k_; ++c) {
+    const auto& p = cost_params_[c];
+    if (arrival[c] > clk[c]) {
+      cc[c].wait += arrival[c] - clk[c];
+      clk[c] = arrival[c];
+    }
+    // Receiver-side software overhead; the path's L and m/B terms were
+    // already folded into the arrival timestamp by the sender, so the
+    // counters attribute them here where the cost is *felt*.
+    clk[c] += p.overhead_ns;
+    cc[c].latency += p.overhead_ns;
+  }
+}
+
+bool LogicalReplay::try_consume_msg(Rank r, const MsgKey& key) {
+  const auto it = arrivals_.find(key);
+  if (it == arrivals_.end()) {
+    blocked_on_[key] = r;
+    return false;
+  }
+  const std::uint32_t s = it->second;
+  arrivals_.erase(it);
+  apply_arrival(r, slab(s));
+  slab_free_.push_back(s);
+  return true;
+}
+
+bool LogicalReplay::process_collective(Rank r, const Event& e) {
+  auto& aux = rank_aux_[static_cast<std::size_t>(r)];
+  const auto& members = trace_.comm(e.comm);
+  if (members.size() == 1) {
+    ++cursor_[static_cast<std::size_t>(r)];
+    return true;
+  }
+  auto& cs = comm_state_[static_cast<std::size_t>(e.comm)];
+  if (!aux.coll_arrived) {
+    aux.coll_arrived = true;
+    ++cs.arrived;
+  }
+  if (cs.arrived < static_cast<int>(members.size())) return false;
+
+  // Last member to arrive: everyone's clocks are settled; apply the
+  // analytic cost to every member and release them.
+  cs.arrived = 0;
+  apply_collective(e, members);
+  for (const Rank m : members) {
+    rank_aux_[static_cast<std::size_t>(m)].coll_arrived = false;
+    ++cursor_[static_cast<std::size_t>(m)];
+    if (m != r) push_work(m);
+  }
+  return true;
+}
+
+void LogicalReplay::apply_collective(const Event& e, const std::vector<Rank>& members) {
+  const int n = static_cast<int>(members.size());
+
+  // Per-member Alltoallv volumes need the full send matrix's row and column.
+  const bool is_a2av = e.type == OpType::kAlltoallv;
+  if (is_a2av) {
+    send_tot_.assign(members.size(), 0);
+    recv_tot_.assign(members.size(), 0);
+    nonzero_.assign(members.size(), 0);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      auto& maux = rank_aux_[static_cast<std::size_t>(members[i])];
+      const auto inst = maux.a2av_next[e.comm]++;
+      const auto& aux_ids = maux.a2av.at(e.comm);
+      HPS_CHECK_MSG(inst < aux_ids.size(), "alltoallv instance mismatch");
+      const auto& vlist =
+          trace_.rank(members[i]).vlists[static_cast<std::size_t>(aux_ids[inst])];
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        if (i == j) continue;
+        send_tot_[i] += vlist[j];
+        recv_tot_[j] += vlist[j];
+        if (vlist[j] > 0) {
+          ++nonzero_[static_cast<int>(i)];
+        }
+      }
+    }
+  }
+
+  const bool rooted = trace::is_rooted(e.type);
+  std::int32_t root_idx = 0;
+  if (rooted) {
+    const auto it = std::find(members.begin(), members.end(), e.peer);
+    HPS_CHECK(it != members.end());
+    root_idx = static_cast<std::int32_t>(it - members.begin());
+  }
+
+  for (std::size_t c = 0; c < k_; ++c) {
+    const auto& p = cost_params_[c];
+    // Gather the member clocks for this configuration.
+    double maxclk = 0;
+    for (const Rank m : members) maxclk = std::max(maxclk, clock(m)[c]);
+
+    if (!rooted) {
+      // Symmetric collectives synchronize all members: each waits for the
+      // slowest, then pays the analytic cost.
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const Rank m = members[i];
+        double* clk = &clock(m)[c];
+        Counters& cc = ctr(m)[c];
+        CollCost cost = is_a2av ? alltoallv_cost(n, nonzero_[static_cast<int>(i)],
+                                                 send_tot_[i], recv_tot_[i], p)
+                                : collective_cost(e.type, n, e.bytes, p);
+        cc.wait += maxclk - *clk;
+        cc.latency += cost.latency_ns;
+        cc.bandwidth += cost.bandwidth_ns;
+        *clk = maxclk + cost.total();
+      }
+      continue;
+    }
+
+    // Rooted collectives: the data flows to or from the root.
+    const Rank root = members[static_cast<std::size_t>(root_idx)];
+    const CollCost cost = collective_cost(e.type, n, e.bytes, p);
+    const double root_clk = clock(root)[c];
+    if (e.type == OpType::kBcast || e.type == OpType::kScatter) {
+      // Root drives the tree; leaves see the data after the full cost.
+      const double arrival = root_clk + cost.total();
+      for (const Rank m : members) {
+        double* clk = &clock(m)[c];
+        Counters& cc = ctr(m)[c];
+        if (m == root) {
+          cc.latency += cost.latency_ns;
+          cc.bandwidth += cost.bandwidth_ns;
+          *clk = root_clk + cost.total();
+        } else {
+          if (arrival > *clk) {
+            cc.wait += arrival - *clk;
+            *clk = arrival;
+          }
+          cc.latency += p.overhead_ns;
+          *clk += p.overhead_ns;
+        }
+      }
+    } else {  // Reduce / Gather: root waits for the slowest contributor.
+      double max_others = root_clk;
+      for (const Rank m : members) max_others = std::max(max_others, clock(m)[c]);
+      for (const Rank m : members) {
+        double* clk = &clock(m)[c];
+        Counters& cc = ctr(m)[c];
+        if (m == root) {
+          const double arrival = max_others + cost.total();
+          cc.wait += std::max(0.0, max_others - *clk);
+          cc.latency += cost.latency_ns;
+          cc.bandwidth += cost.bandwidth_ns;
+          *clk = arrival;
+        } else {
+          // Contributors send one tree message and move on.
+          const double one = p.overhead_ns + p.latency_ns +
+                             (p.bandwidth_Bps > 0 ? static_cast<double>(e.bytes) /
+                                                        p.bandwidth_Bps * 1e9
+                                                  : 0.0);
+          cc.latency += p.overhead_ns + p.latency_ns;
+          cc.bandwidth += one - p.overhead_ns - p.latency_ns;
+          *clk += one;
+        }
+      }
+    }
+  }
+}
+
+void LogicalReplay::run_rank(Rank r) {
+  auto& aux = rank_aux_[static_cast<std::size_t>(r)];
+  auto& cur = cursor_[static_cast<std::size_t>(r)];
+  const auto& evs = trace_.rank(r).events;
+  while (cur < evs.size()) {
+    const Event& e = evs[cur];
+    switch (e.type) {
+      case OpType::kCompute: {
+        double* clk = clock(r);
+        Counters* cc = ctr(r);
+        for (std::size_t c = 0; c < k_; ++c) {
+          const double dur = static_cast<double>(e.duration) * configs_[c].compute_scale;
+          clk[c] += dur;
+          cc[c].compute += dur;
+        }
+        ++cur;
+        break;
+      }
+      case OpType::kSend:
+        process_send(r, e);
+        ++cur;
+        break;
+      case OpType::kIsend:
+        process_send(r, e);
+        aux.isend_reqs.insert(e.request);
+        ++cur;
+        break;
+      case OpType::kRecv: {
+        // Peek the sequence number; only consume it on success so a blocked
+        // retry sees the same key.
+        const std::uint64_t sk = stream_key(e.peer, e.tag);
+        const std::uint32_t seq = aux.recv_seq[sk];
+        const MsgKey key{e.peer, r, e.tag, seq};
+        if (!try_consume_msg(r, key)) return;
+        aux.recv_seq[sk] = seq + 1;
+        ++cur;
+        break;
+      }
+      case OpType::kIrecv: {
+        const std::uint32_t seq = aux.recv_seq[stream_key(e.peer, e.tag)]++;
+        aux.irecv_key.emplace(e.request, MsgKey{e.peer, r, e.tag, seq});
+        ++cur;
+        break;
+      }
+      case OpType::kWait: {
+        if (aux.isend_reqs.erase(e.request) > 0) {
+          ++cur;
+          break;
+        }
+        const auto it = aux.irecv_key.find(e.request);
+        HPS_CHECK_MSG(it != aux.irecv_key.end(), "wait on unknown request");
+        if (!try_consume_msg(r, it->second)) return;
+        aux.irecv_key.erase(it);
+        ++cur;
+        break;
+      }
+      case OpType::kWaitAll: {
+        aux.isend_reqs.clear();
+        // Drain posted irecvs one at a time; block on the first missing.
+        while (!aux.irecv_key.empty()) {
+          const auto it = aux.irecv_key.begin();
+          if (!try_consume_msg(r, it->second)) return;
+          aux.irecv_key.erase(it);
+        }
+        ++cur;
+        break;
+      }
+      default:
+        HPS_CHECK(trace::is_collective(e.type));
+        if (!process_collective(r, e)) return;
+        break;  // cursor already advanced by process_collective
+    }
+  }
+}
+
+std::vector<ConfigResult> LogicalReplay::run() {
+  for (Rank r = 0; r < trace_.nranks(); ++r) push_work(r);
+  while (!work_.empty()) {
+    const Rank r = work_.back();
+    work_.pop_back();
+    rank_aux_[static_cast<std::size_t>(r)].in_work = false;
+    run_rank(r);
+  }
+  for (Rank r = 0; r < trace_.nranks(); ++r)
+    HPS_REQUIRE(cursor_[static_cast<std::size_t>(r)] == trace_.rank(r).events.size(),
+                "MFACT replay deadlock in trace " + trace_.meta().app);
+
+  std::vector<ConfigResult> out(k_);
+  for (std::size_t c = 0; c < k_; ++c) {
+    ConfigResult& res = out[c];
+    res.config = configs_[c];
+    double maxclk = 0, comm_sum = 0;
+    for (std::size_t r = 0; r < nranks_; ++r) {
+      const double clk = clocks_[r * k_ + c];
+      maxclk = std::max(maxclk, clk);
+      comm_sum += clk - counters_[r * k_ + c].compute;
+      res.counters.wait += counters_[r * k_ + c].wait;
+      res.counters.bandwidth += counters_[r * k_ + c].bandwidth;
+      res.counters.latency += counters_[r * k_ + c].latency;
+      res.counters.compute += counters_[r * k_ + c].compute;
+    }
+    res.total_time = static_cast<SimTime>(maxclk);
+    res.comm_time_mean = static_cast<SimTime>(comm_sum / static_cast<double>(nranks_));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ConfigResult> run_mfact(const trace::Trace& t,
+                                    const std::vector<NetworkConfigPoint>& configs,
+                                    const MfactParams& params, double* wall_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  LogicalReplay replay(t, configs, params);
+  auto out = replay.run();
+  if (wall_seconds != nullptr) {
+    const auto end = std::chrono::steady_clock::now();
+    *wall_seconds = std::chrono::duration<double>(end - start).count();
+  }
+  return out;
+}
+
+std::vector<NetworkConfigPoint> make_sensitivity_sweep(Bandwidth base_bw, SimTime base_lat,
+                                                       double compute_scale) {
+  std::vector<NetworkConfigPoint> pts(kSweepNumPoints);
+  auto set = [&](int i, double bw_mul, double lat_mul, std::string label) {
+    pts[static_cast<std::size_t>(i)] = {base_bw * bw_mul,
+                                        static_cast<SimTime>(static_cast<double>(base_lat) *
+                                                             lat_mul),
+                                        compute_scale, std::move(label)};
+  };
+  set(kSweepBase, 1, 1, "base");
+  set(kSweepBwUp8, 8, 1, "bw x8");
+  set(kSweepBwDown8, 1.0 / 8, 1, "bw /8");
+  set(kSweepLatDown8, 1, 1.0 / 8, "lat /8");
+  set(kSweepLatUp8, 1, 8, "lat x8");
+  set(kSweepBwUp2, 2, 1, "bw x2");
+  set(kSweepBwDown2, 0.5, 1, "bw /2");
+  set(kSweepLatUp2, 1, 2, "lat x2");
+  return pts;
+}
+
+}  // namespace hps::mfact

@@ -1,0 +1,100 @@
+// MFACT — MPI Fast Application Classification Tool (reimplementation of the
+// modeling tool of Tong et al., IPDPS 2016, as described in the paper's
+// §IV-A).
+//
+// MFACT replays a DUMPI-style trace once using Lamport logical clocks
+// augmented with non-unit communication and computation times. Timestamps —
+// not data — flow between ranks, honoring every happened-before relation in
+// the trace. Point-to-point transfers are costed with Hockney's model
+// (L + m/B plus per-endpoint software overhead o); collectives with
+// Thakur–Gropp analytic formulas (coll_cost.hpp).
+//
+// Its distinguishing feature: one replay evaluates MANY network
+// configurations concurrently. Each rank keeps one logical clock and four
+// time counters (wait, bandwidth, latency, computation) per configuration;
+// all are advanced in lockstep during the single pass over the trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/trace.hpp"
+
+namespace hps::mfact {
+
+/// One network configuration evaluated during replay.
+struct NetworkConfigPoint {
+  Bandwidth bandwidth = 0;   ///< bytes/second
+  SimTime latency = 0;       ///< end-to-end zero-byte latency, ns
+  double compute_scale = 1;  ///< scaling on measured compute intervals
+  std::string label;
+};
+
+/// The four logical time counters MFACT maintains per configuration
+/// (aggregated across ranks in the results; nanoseconds).
+struct Counters {
+  double wait = 0;       ///< idle time waiting for messages/collectives
+  double bandwidth = 0;  ///< time attributable to m/B terms
+  double latency = 0;    ///< time attributable to L and o terms
+  double compute = 0;    ///< computation time
+};
+
+/// Result for one configuration after the replay.
+struct ConfigResult {
+  NetworkConfigPoint config;
+  SimTime total_time = 0;      ///< max over ranks of final logical clock
+  SimTime comm_time_mean = 0;  ///< mean over ranks of (clock - compute)
+  Counters counters;           ///< summed over ranks
+};
+
+/// Point-to-point cost model for the logical-clock replay.
+enum class P2pCostModel {
+  /// Hockney: arrival = send + o + L + m/B; the sender is only busy o.
+  kHockney,
+  /// LogGP: the sender's NIC serializes messages — each departure waits for
+  /// the previous transmission (gap g + m*G), so bursts of sends are paced.
+  /// G is 1/B; g defaults to o.
+  kLogGP,
+};
+
+struct MfactParams {
+  /// Per-endpoint software overhead o (ns). Should match the simulator's
+  /// machine instance so the tools are compared on equal footing.
+  SimTime overhead = 500;
+  std::uint64_t allreduce_rabenseifner_threshold = 32 * KiB;
+  P2pCostModel p2p_model = P2pCostModel::kHockney;
+  /// LogGP inter-message gap g (ns); 0 = use the overhead o.
+  SimTime loggp_gap = 0;
+};
+
+/// Replay `t` once, evaluating every configuration in `configs`
+/// concurrently. Throws hps::Error on malformed traces. `wall_seconds` (if
+/// non-null) receives the host time consumed by the replay.
+std::vector<ConfigResult> run_mfact(const trace::Trace& t,
+                                    const std::vector<NetworkConfigPoint>& configs,
+                                    const MfactParams& params = {},
+                                    double* wall_seconds = nullptr);
+
+/// Build the sensitivity sweep around a baseline: index 0 is the baseline,
+/// followed by bandwidth x8 / x(1/8) and latency x(1/8) / x8 points (the
+/// factor-of-8 excursions the paper's classification rule uses), plus
+/// intermediate x2 points used by the classifier's trend analysis.
+std::vector<NetworkConfigPoint> make_sensitivity_sweep(Bandwidth base_bw, SimTime base_lat,
+                                                       double compute_scale = 1.0);
+
+/// Indices into the sweep returned by make_sensitivity_sweep.
+enum SweepPoint : int {
+  kSweepBase = 0,
+  kSweepBwUp8,
+  kSweepBwDown8,
+  kSweepLatDown8,
+  kSweepLatUp8,
+  kSweepBwUp2,
+  kSweepBwDown2,
+  kSweepLatUp2,
+  kSweepNumPoints,
+};
+
+}  // namespace hps::mfact

@@ -1,0 +1,68 @@
+// Decomposition of MPI collectives into point-to-point schedules, following
+// the algorithm repertoire of Thakur & Gropp ("Improving the Performance of
+// MPI Collective Communication on Switched Networks"): dissemination
+// barrier, binomial-tree bcast/reduce/gather/scatter, recursive-doubling
+// allreduce (with the power-of-two fold-in for odd sizes), ring allgather,
+// and pairwise-exchange alltoall(v).
+//
+// The expansion is per rank: given a collective descriptor it emits the
+// ordered sub-operations that rank executes. All ranks expanding the same
+// descriptor produce a globally deadlock-free, mutually matching schedule
+// (each Isend is eventually matched by the peer's Recv in the same round).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/event.hpp"
+
+namespace hps::simmpi {
+
+/// One step of a rank's collective schedule.
+struct SubOp {
+  enum class Kind : std::uint8_t {
+    kIsend,    ///< nonblocking send to `peer`
+    kRecv,     ///< blocking receive from `peer`
+    kWaitOne,  ///< complete the oldest outstanding collective Isend
+    kWaitAll,  ///< complete every outstanding collective Isend
+  };
+  Kind kind = Kind::kIsend;
+  Rank peer = -1;        ///< peer *index within the communicator*
+  std::uint64_t bytes = 0;
+};
+
+/// Algorithm selection knobs (the ablation bench varies these).
+struct CollectiveAlgos {
+  enum class Alltoall { kPairwise, kBruck };
+  enum class Allgather { kRing, kRecursiveDoubling };
+  Alltoall alltoall = Alltoall::kPairwise;
+  Allgather allgather = Allgather::kRing;
+  /// Allreduce switches from recursive doubling to Rabenseifner
+  /// (reduce-scatter + allgather) above this payload size.
+  std::uint64_t allreduce_rabenseifner_threshold = 32 * KiB;
+};
+
+/// Descriptor of one collective instance as seen by rank `me` (an index in
+/// [0, n) within the communicator, *not* a world rank).
+struct CollectiveDesc {
+  trace::OpType op = trace::OpType::kBarrier;
+  int n = 0;     ///< communicator size
+  int me = 0;    ///< my index within the communicator
+  int root = 0;  ///< root index for rooted collectives
+  std::uint64_t bytes = 0;  ///< payload semantics follow trace::OpType docs
+  /// Alltoallv: bytes I send to each member (size n). Empty otherwise.
+  std::span<const std::uint64_t> send_sizes;
+  /// Alltoallv: bytes each member sends to me (size n). Empty otherwise.
+  std::span<const std::uint64_t> recv_sizes;
+};
+
+/// Expand the collective into `out` (cleared first).
+void expand_collective(const CollectiveDesc& d, const CollectiveAlgos& algos,
+                       std::vector<SubOp>& out);
+
+/// Number of p2p rounds of the dissemination barrier for n ranks (tests).
+int dissemination_rounds(int n);
+
+}  // namespace hps::simmpi

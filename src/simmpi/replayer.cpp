@@ -1,0 +1,445 @@
+#include "simmpi/replayer.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "simnet/flow_model.hpp"
+#include "simnet/packet_model.hpp"
+#include "simnet/packetflow_model.hpp"
+
+namespace hps::simmpi {
+
+namespace {
+/// Collective request ids live above this base so they never collide with
+/// trace-recorded (app) request ids, which are small non-negative ints.
+constexpr std::int64_t kCollReqBase = std::int64_t{1} << 40;
+constexpr bool is_coll_req(std::int64_t req) { return req >= kCollReqBase; }
+}  // namespace
+
+const char* net_model_name(NetModelKind k) {
+  switch (k) {
+    case NetModelKind::kPacket: return "packet";
+    case NetModelKind::kFlow: return "flow";
+    case NetModelKind::kPacketFlow: return "packet-flow";
+  }
+  return "?";
+}
+
+Replayer::Replayer(const trace::Trace& t, const machine::MachineInstance& m, NetModelKind kind,
+                   const ReplayConfig& cfg)
+    : trace_(t), machine_(m), cfg_(cfg) {
+  HPS_CHECK(t.nranks() == m.nranks());
+
+  simnet::NetConfig nc;
+  const auto& net = m.config().net;
+  nc.message_bandwidth = net.link_bandwidth;  // the per-rank Hockney rate
+  nc.link_bandwidth = net.link_bandwidth * net.link_multiplier;
+  nc.injection_bandwidth = net.injection_bandwidth * net.injection_multiplier;
+  nc.software_overhead = m.software_overhead();
+  nc.hop_latency = m.hop_latency();
+  nc.packet_size = kind == NetModelKind::kPacketFlow ? cfg_.packetflow_packet_size
+                                                     : cfg_.packet_size;
+  switch (kind) {
+    case NetModelKind::kPacket:
+      net_ = std::make_unique<simnet::PacketModel>(eng_, m.topology(), nc, *this);
+      break;
+    case NetModelKind::kFlow:
+      net_ = std::make_unique<simnet::FlowModel>(eng_, m.topology(), nc, *this);
+      break;
+    case NetModelKind::kPacketFlow:
+      net_ = std::make_unique<simnet::PacketFlowModel>(eng_, m.topology(), nc, *this);
+      break;
+  }
+
+  ranks_.resize(static_cast<std::size_t>(t.nranks()));
+
+  comm_index_.resize(t.num_comms());
+  for (CommId c = 0; c < static_cast<CommId>(t.num_comms()); ++c) {
+    auto& idx = comm_index_[static_cast<std::size_t>(c)];
+    idx.assign(static_cast<std::size_t>(t.nranks()), -1);
+    const auto& members = t.comm(c);
+    for (std::size_t i = 0; i < members.size(); ++i)
+      idx[static_cast<std::size_t>(members[i])] = static_cast<std::int32_t>(i);
+  }
+
+  a2av_aux_.resize(static_cast<std::size_t>(t.nranks()));
+  for (Rank r = 0; r < t.nranks(); ++r) {
+    for (const auto& e : t.rank(r).events)
+      if (e.type == trace::OpType::kAlltoallv)
+        a2av_aux_[static_cast<std::size_t>(r)][e.comm].push_back(e.aux);
+  }
+}
+
+Replayer::~Replayer() = default;
+
+void Replayer::schedule_advance(Rank r, SimTime at) {
+  eng_.schedule_at(at, this, static_cast<std::uint64_t>(r), 0);
+}
+
+void Replayer::handle(des::Engine&, std::uint64_t a, std::uint64_t) {
+  advance(static_cast<Rank>(a));
+}
+
+void Replayer::unblock(Rank r) {
+  RankState& st = ranks_[static_cast<std::size_t>(r)];
+  st.block = Block::kNone;
+  st.block_req = -1;
+  schedule_advance(r, eng_.now());
+}
+
+void Replayer::advance(Rank r) {
+  RankState& st = ranks_[static_cast<std::size_t>(r)];
+  HPS_CHECK(!st.done && st.block == Block::kNone);
+  const auto& events = trace_.rank(r).events;
+  while (true) {
+    if (st.sub_pc < st.subops.size()) {
+      const SubOp op = st.subops[st.sub_pc];
+      ++st.sub_pc;  // consume before exec so an unblock resumes *after* it
+      if (!exec_subop(r, st, op)) return;
+      continue;
+    }
+    if (!st.subops.empty()) {
+      HPS_CHECK_MSG(st.coll_isends.empty(), "collective ended with unwaited isends");
+      st.subops.clear();
+      st.sub_pc = 0;
+    }
+    if (st.pc >= events.size()) {
+      st.done = true;
+      st.finish = eng_.now();
+      ++finished_;
+      return;
+    }
+    const trace::Event& e = events[st.pc];
+    ++st.pc;
+    if (!exec_event(r, st, e)) return;
+  }
+}
+
+bool Replayer::exec_event(Rank r, RankState& st, const trace::Event& e) {
+  using trace::OpType;
+  const SimTime call_o = machine_.software_overhead();
+  switch (e.type) {
+    case OpType::kCompute: {
+      const auto dur = static_cast<SimTime>(static_cast<double>(e.duration) *
+                                            cfg_.compute_scale);
+      if (dur <= 0) return true;
+      st.compute_total += dur;
+      schedule_advance(r, eng_.now() + dur);
+      return false;
+    }
+    case OpType::kSend:
+      do_send(r, st, e.peer, e.tag, e.bytes, /*blocking=*/true, -1);
+      if (st.block != Block::kNone) return false;
+      schedule_advance(r, eng_.now() + call_o);
+      return false;
+    case OpType::kIsend: {
+      const std::int64_t req = e.request;
+      st.pending_reqs.insert(req);
+      ++st.pending_app;
+      do_send(r, st, e.peer, e.tag, e.bytes, /*blocking=*/false, req);
+      schedule_advance(r, eng_.now() + call_o);
+      return false;
+    }
+    case OpType::kRecv:
+      do_recv(r, st, e.peer, e.tag, /*blocking=*/true, -1);
+      return st.block == Block::kNone;
+    case OpType::kIrecv: {
+      const std::int64_t req = e.request;
+      st.pending_reqs.insert(req);
+      ++st.pending_app;
+      do_recv(r, st, e.peer, e.tag, /*blocking=*/false, req);
+      return true;
+    }
+    case OpType::kWait:
+      return do_wait(r, st, e.request);
+    case OpType::kWaitAll:
+      if (st.pending_app == 0) return true;
+      st.block = Block::kWaitAllApp;
+      return false;
+    default:
+      HPS_CHECK(trace::is_collective(e.type));
+      begin_collective(r, st, e);
+      return true;  // sub-operations take over
+  }
+}
+
+bool Replayer::exec_subop(Rank r, RankState& st, const SubOp& op) {
+  const SimTime call_o = machine_.software_overhead();
+  const auto& members = *st.coll_members;
+  switch (op.kind) {
+    case SubOp::Kind::kIsend: {
+      const Rank dst = members[static_cast<std::size_t>(op.peer)];
+      const std::int64_t req = new_coll_req(st);
+      st.coll_isends.push_back(req);
+      do_send(r, st, dst, st.coll_tag, op.bytes, /*blocking=*/false, req);
+      schedule_advance(r, eng_.now() + call_o);
+      return false;
+    }
+    case SubOp::Kind::kRecv: {
+      const Rank src = members[static_cast<std::size_t>(op.peer)];
+      do_recv(r, st, src, st.coll_tag, /*blocking=*/true, -1);
+      return st.block == Block::kNone;
+    }
+    case SubOp::Kind::kWaitOne: {
+      HPS_CHECK_MSG(!st.coll_isends.empty(), "WaitOne with no outstanding collective isend");
+      const std::int64_t req = st.coll_isends.front();
+      st.coll_isends.pop_front();
+      return do_wait(r, st, req);
+    }
+    case SubOp::Kind::kWaitAll:
+      st.coll_isends.clear();
+      if (st.pending_coll == 0) return true;
+      st.block = Block::kWaitAllColl;
+      return false;
+  }
+  return true;
+}
+
+bool Replayer::do_wait(Rank r, RankState& st, std::int64_t req) {
+  (void)r;
+  if (!st.pending_reqs.contains(req)) return true;  // already completed
+  st.block = Block::kWaitReq;
+  st.block_req = req;
+  return false;
+}
+
+std::int64_t Replayer::new_coll_req(RankState& st) {
+  const std::int64_t req = kCollReqBase + next_coll_req_++;
+  st.pending_reqs.insert(req);
+  ++st.pending_coll;
+  return req;
+}
+
+void Replayer::do_send(Rank r, RankState& st, Rank dst, Tag tag, std::uint64_t bytes,
+                       bool blocking, std::int64_t req) {
+  const std::uint32_t seq = st.send_seq[stream_key(dst, tag)]++;
+  const detail::MatchKey key{r, dst, tag, seq};
+  MatchState& ms = matches_[key];
+  ms.send_bytes = bytes;
+  if (bytes <= cfg_.eager_threshold) {
+    // Eager: the payload leaves immediately; the send completes locally.
+    ms.sender_done = true;
+    inject(MsgKind::kEagerData, key, r, dst, bytes);
+    if (req >= 0) complete_request(r, req);
+  } else {
+    // Rendezvous: request-to-send now; data travels after the CTS arrives.
+    ms.is_rdv = true;
+    inject(MsgKind::kRts, key, r, dst, 0);
+    if (blocking) {
+      st.block = Block::kSendRdv;
+    } else {
+      ms.send_req = req;
+    }
+  }
+}
+
+void Replayer::do_recv(Rank r, RankState& st, Rank src, Tag tag, bool blocking,
+                       std::int64_t req) {
+  const std::uint32_t seq = st.recv_seq[stream_key(src, tag)]++;
+  const detail::MatchKey key{src, r, tag, seq};
+  MatchState& ms = matches_[key];
+  ms.recv_posted = true;
+  ms.recv_blocking = blocking;
+  ms.recv_req = req;
+  if (ms.data_delivered) {
+    // The message was waiting in the unexpected queue; consume it now.
+    complete_recv(key, ms);
+    maybe_erase(key);
+    return;
+  }
+  if (ms.is_rdv && ms.rts_arrived && !ms.cts_sent) send_cts(key);
+  if (blocking) st.block = Block::kRecv;
+}
+
+void Replayer::inject(MsgKind kind, const detail::MatchKey& key, Rank from, Rank to,
+                      std::uint64_t bytes) {
+  std::uint32_t id;
+  if (!msg_free_.empty()) {
+    id = msg_free_.back();
+    msg_free_.pop_back();
+  } else {
+    msg_pool_.emplace_back();
+    id = static_cast<std::uint32_t>(msg_pool_.size() - 1);
+  }
+  msg_pool_[id] = {kind, key};
+  net_->inject(id, node_of(from), node_of(to), bytes);
+}
+
+void Replayer::send_cts(const detail::MatchKey& key) {
+  MatchState& ms = matches_.at(key);
+  ms.cts_sent = true;
+  inject(MsgKind::kCts, key, key.dst, key.src, 0);
+}
+
+void Replayer::message_delivered(simnet::MsgId id, SimTime /*at*/) {
+  const MsgRec rec = msg_pool_[static_cast<std::size_t>(id)];
+  msg_free_.push_back(static_cast<std::uint32_t>(id));
+  const auto it = matches_.find(rec.key);
+  HPS_CHECK_MSG(it != matches_.end(), "delivery for unknown match record");
+  MatchState& ms = it->second;
+  switch (rec.kind) {
+    case MsgKind::kRts:
+      ms.is_rdv = true;
+      ms.rts_arrived = true;
+      if (ms.recv_posted && !ms.cts_sent) send_cts(rec.key);
+      break;
+    case MsgKind::kCts:
+      // Arrived back at the sender: ship the payload.
+      inject(MsgKind::kRdvData, rec.key, rec.key.src, rec.key.dst, ms.send_bytes);
+      break;
+    case MsgKind::kEagerData:
+      ms.data_delivered = true;
+      if (ms.recv_posted && !ms.recv_done) complete_recv(rec.key, ms);
+      maybe_erase(rec.key);
+      break;
+    case MsgKind::kRdvData:
+      ms.data_delivered = true;
+      complete_rdv_sender(rec.key, ms);
+      if (ms.recv_posted && !ms.recv_done) complete_recv(rec.key, ms);
+      maybe_erase(rec.key);
+      break;
+  }
+}
+
+void Replayer::complete_recv(const detail::MatchKey& key, MatchState& ms) {
+  ms.recv_done = true;
+  RankState& st = ranks_[static_cast<std::size_t>(key.dst)];
+  if (ms.recv_req >= 0) {
+    complete_request(key.dst, ms.recv_req);
+  } else if (ms.recv_blocking && st.block == Block::kRecv) {
+    unblock(key.dst);
+  }
+}
+
+void Replayer::complete_rdv_sender(const detail::MatchKey& key, MatchState& ms) {
+  if (ms.sender_done) return;
+  ms.sender_done = true;
+  RankState& st = ranks_[static_cast<std::size_t>(key.src)];
+  if (ms.send_req >= 0) {
+    complete_request(key.src, ms.send_req);
+  } else if (st.block == Block::kSendRdv) {
+    unblock(key.src);
+  }
+}
+
+void Replayer::complete_request(Rank r, std::int64_t req) {
+  RankState& st = ranks_[static_cast<std::size_t>(r)];
+  const std::size_t erased = st.pending_reqs.erase(req);
+  HPS_CHECK_MSG(erased == 1, "completing unknown request");
+  if (is_coll_req(req))
+    --st.pending_coll;
+  else
+    --st.pending_app;
+
+  switch (st.block) {
+    case Block::kWaitReq:
+      if (st.block_req == req) unblock(r);
+      break;
+    case Block::kWaitAllApp:
+      if (st.pending_app == 0) unblock(r);
+      break;
+    case Block::kWaitAllColl:
+      if (st.pending_coll == 0) unblock(r);
+      break;
+    default:
+      break;
+  }
+}
+
+void Replayer::maybe_erase(const detail::MatchKey& key) {
+  const auto it = matches_.find(key);
+  if (it == matches_.end()) return;
+  const MatchState& ms = it->second;
+  if (ms.recv_done && ms.sender_done && ms.data_delivered) matches_.erase(it);
+}
+
+void Replayer::begin_collective(Rank r, RankState& st, const trace::Event& e) {
+  const auto& members = trace_.comm(e.comm);
+  const std::int32_t me = comm_index_[static_cast<std::size_t>(e.comm)][static_cast<std::size_t>(r)];
+  HPS_CHECK_MSG(me >= 0, "rank not a member of collective communicator");
+
+  const std::uint32_t inst = st.coll_count[e.comm]++;
+  HPS_CHECK_MSG(inst < (1u << 20) && e.comm < (1 << 10),
+                "collective tag space exhausted");
+  const Tag tag = -(1 + (e.comm << 20) + static_cast<Tag>(inst));
+
+  CollectiveDesc d;
+  d.op = e.type;
+  d.n = static_cast<int>(members.size());
+  d.me = me;
+  d.bytes = e.bytes;
+  if (trace::is_rooted(e.type)) {
+    const std::int32_t root =
+        comm_index_[static_cast<std::size_t>(e.comm)][static_cast<std::size_t>(e.peer)];
+    HPS_CHECK_MSG(root >= 0, "collective root outside communicator");
+    d.root = root;
+  }
+  if (e.type == trace::OpType::kAlltoallv) {
+    const std::uint32_t ainst = st.a2av_count[e.comm]++;
+    const auto& my_vlist = trace_.rank(r).vlists[static_cast<std::size_t>(e.aux)];
+    d.send_sizes = my_vlist;
+    recv_sizes_scratch_.resize(members.size());
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      const Rank peer = members[j];
+      const auto& aux_list = a2av_aux_[static_cast<std::size_t>(peer)].at(e.comm);
+      HPS_CHECK_MSG(ainst < aux_list.size(), "alltoallv instance mismatch across ranks");
+      const auto& peer_vlist =
+          trace_.rank(peer).vlists[static_cast<std::size_t>(aux_list[ainst])];
+      recv_sizes_scratch_[j] = peer_vlist[static_cast<std::size_t>(me)];
+    }
+    d.recv_sizes = recv_sizes_scratch_;
+  }
+
+  expand_collective(d, cfg_.algos, st.subops);
+  st.sub_pc = 0;
+  st.coll_members = &members;
+  st.coll_tag = tag;
+}
+
+ReplayResult Replayer::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (Rank r = 0; r < trace_.nranks(); ++r) schedule_advance(r, 0);
+  eng_.run();
+
+  if (finished_ != trace_.nranks()) {
+    std::string msg = "replay deadlock in " + trace_.meta().app + ": ";
+    int shown = 0;
+    for (Rank r = 0; r < trace_.nranks() && shown < 4; ++r) {
+      const RankState& st = ranks_[static_cast<std::size_t>(r)];
+      if (st.done) continue;
+      msg += "rank " + std::to_string(r) + " blocked(state=" +
+             std::to_string(static_cast<int>(st.block)) + ") at pc " + std::to_string(st.pc) +
+             "; ";
+      ++shown;
+    }
+    HPS_THROW(msg);
+  }
+
+  ReplayResult res;
+  res.rank_finish.reserve(ranks_.size());
+  res.rank_comm.reserve(ranks_.size());
+  SimTime comm_sum = 0;
+  for (const RankState& st : ranks_) {
+    res.rank_finish.push_back(st.finish);
+    const SimTime comm = st.finish - st.compute_total;
+    res.rank_comm.push_back(comm);
+    comm_sum += comm;
+    res.total_time = std::max(res.total_time, st.finish);
+  }
+  res.comm_time_mean = comm_sum / static_cast<SimTime>(ranks_.size());
+  res.engine = eng_.stats();
+  res.net = net_->stats();
+  res.link_bytes = net_->link_bytes();
+  const auto wall_end = std::chrono::steady_clock::now();
+  res.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  return res;
+}
+
+ReplayResult replay_trace(const trace::Trace& t, const machine::MachineInstance& m,
+                          NetModelKind kind, const ReplayConfig& cfg) {
+  Replayer rp(t, m, kind, cfg);
+  return rp.run();
+}
+
+}  // namespace hps::simmpi

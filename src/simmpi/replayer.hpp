@@ -1,0 +1,215 @@
+// Trace replay on a simulated network (the SST/Macro-style off-line
+// simulation of the paper's §II-A).
+//
+// Each trace rank is a state machine driven by the discrete-event engine.
+// Computation events advance the rank's clock by the measured interval
+// (optionally scaled); communication events are executed through a network
+// model with full MPI semantics:
+//   * eager protocol for messages at or below the threshold (fire and
+//     forget), rendezvous (RTS -> CTS -> data, all through the network) above;
+//   * FIFO per-(source, destination, tag) matching with posted/unexpected
+//     handling, via per-stream sequence numbers;
+//   * nonblocking operations with request completion and Wait/WaitAll;
+//   * collectives decomposed into point-to-point schedules (collectives.hpp)
+//     executed through the same network, so they create real contention.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+#include "des/engine.hpp"
+#include "machine/machine.hpp"
+#include "simmpi/collectives.hpp"
+#include "simnet/network.hpp"
+#include "trace/trace.hpp"
+
+namespace hps::simmpi {
+
+/// Which network model to replay on.
+enum class NetModelKind { kPacket, kFlow, kPacketFlow };
+
+const char* net_model_name(NetModelKind k);
+
+struct ReplayConfig {
+  /// Messages <= this use the eager protocol; larger ones use rendezvous.
+  std::uint64_t eager_threshold = 8 * KiB;
+  CollectiveAlgos algos;
+  /// Scale factor on measured compute intervals (models faster/slower CPUs).
+  double compute_scale = 1.0;
+  /// Packet size for the packet model (SST 3.0-style fine packets).
+  std::uint64_t packet_size = 1 * KiB;
+  /// Packet size for the hybrid packet-flow model (coarse, 1-8 KB per the
+  /// SST/Macro guidance; 4 KB default).
+  std::uint64_t packetflow_packet_size = 4 * KiB;
+};
+
+struct ReplayResult {
+  SimTime total_time = 0;      ///< max over ranks of finish time
+  SimTime comm_time_mean = 0;  ///< mean over ranks of (finish - compute)
+  std::vector<SimTime> rank_finish;
+  std::vector<SimTime> rank_comm;
+  des::EngineStats engine;
+  simnet::NetStats net;
+  /// Bytes carried per directed fabric link (hotspot telemetry).
+  std::vector<std::uint64_t> link_bytes;
+  double wall_seconds = 0;  ///< host wall-clock spent replaying
+};
+
+/// Replay `t` on machine `m` with the given network model. Throws hps::Error
+/// on malformed traces (deadlock, bad matching).
+ReplayResult replay_trace(const trace::Trace& t, const machine::MachineInstance& m,
+                          NetModelKind kind, const ReplayConfig& cfg = {});
+
+namespace detail {
+
+/// Key identifying one logical message: the seq-th message from src to dst
+/// with the given tag. Sequence numbers give MPI's FIFO matching order even
+/// if the network delivers out of order.
+struct MatchKey {
+  Rank src = -1, dst = -1;
+  Tag tag = 0;
+  std::uint32_t seq = 0;
+  bool operator==(const MatchKey&) const = default;
+};
+
+struct MatchKeyHash {
+  std::size_t operator()(const MatchKey& k) const {
+    std::uint64_t h = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src)) << 32) |
+                      static_cast<std::uint32_t>(k.dst);
+    std::uint64_t h2 = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tag)) << 32) |
+                       k.seq;
+    h ^= h2 * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+}  // namespace detail
+
+/// The replay engine. Exposed (rather than hidden in the .cpp) so tests can
+/// drive smaller scenarios and inspect state; most callers use replay_trace.
+class Replayer final : public simnet::MessageSink, private des::Handler {
+ public:
+  Replayer(const trace::Trace& t, const machine::MachineInstance& m, NetModelKind kind,
+           const ReplayConfig& cfg);
+  ~Replayer() override;
+
+  /// Run to completion and harvest results. Throws on deadlock.
+  ReplayResult run();
+
+  // MessageSink:
+  void message_delivered(simnet::MsgId id, SimTime at) override;
+
+ private:
+  enum class Block : std::uint8_t { kNone, kRecv, kSendRdv, kWaitReq, kWaitAllApp, kWaitAllColl };
+  enum class MsgKind : std::uint8_t { kEagerData, kRts, kCts, kRdvData };
+
+  struct MatchState {
+    std::uint64_t send_bytes = 0;
+    std::int64_t send_req = -1;  // rendezvous Isend request, -1 if blocking/none
+    std::int64_t recv_req = -1;  // Irecv request, -1 if blocking/none
+    bool is_rdv = false;
+    bool rts_arrived = false;
+    bool cts_sent = false;
+    bool data_delivered = false;
+    bool recv_posted = false;
+    bool recv_blocking = false;
+    bool recv_done = false;
+    bool sender_done = false;
+  };
+
+  struct MsgRec {
+    MsgKind kind = MsgKind::kEagerData;
+    detail::MatchKey key;
+  };
+
+  struct RankState {
+    std::size_t pc = 0;  // index into the rank's trace events
+    std::vector<SubOp> subops;
+    std::size_t sub_pc = 0;
+    const std::vector<Rank>* coll_members = nullptr;
+    Tag coll_tag = 0;
+    std::deque<std::int64_t> coll_isends;  // issue order, not yet waited
+
+    Block block = Block::kNone;
+    std::int64_t block_req = -1;
+
+    std::unordered_set<std::int64_t> pending_reqs;
+    int pending_app = 0;   // count of pending app (trace) requests
+    int pending_coll = 0;  // count of pending collective requests
+
+    std::unordered_map<std::uint64_t, std::uint32_t> send_seq;  // (peer,tag) -> next seq
+    std::unordered_map<std::uint64_t, std::uint32_t> recv_seq;
+    std::unordered_map<CommId, std::uint32_t> coll_count;  // collective instances per comm
+    std::unordered_map<CommId, std::uint32_t> a2av_count;  // alltoallv instances per comm
+
+    SimTime compute_total = 0;
+    SimTime finish = -1;
+    bool done = false;
+  };
+
+  // des::Handler: payload a = rank to advance.
+  void handle(des::Engine& eng, std::uint64_t a, std::uint64_t b) override;
+
+  void advance(Rank r);
+  /// Execute one sub-operation; returns true if the rank may continue.
+  bool exec_subop(Rank r, RankState& st, const SubOp& op);
+  /// Execute one trace event; returns true if the rank may continue
+  /// immediately (false: blocked or resumption already scheduled).
+  bool exec_event(Rank r, RankState& st, const trace::Event& e);
+
+  void do_send(Rank r, RankState& st, Rank dst, Tag tag, std::uint64_t bytes, bool blocking,
+               std::int64_t req);
+  void do_recv(Rank r, RankState& st, Rank src, Tag tag, bool blocking, std::int64_t req);
+  bool do_wait(Rank r, RankState& st, std::int64_t req);
+  void begin_collective(Rank r, RankState& st, const trace::Event& e);
+
+  void inject(MsgKind kind, const detail::MatchKey& key, Rank from, Rank to,
+              std::uint64_t bytes);
+  void send_cts(const detail::MatchKey& key);
+  void complete_request(Rank r, std::int64_t req);
+  void complete_recv(const detail::MatchKey& key, MatchState& st);
+  void complete_rdv_sender(const detail::MatchKey& key, MatchState& st);
+  void maybe_erase(const detail::MatchKey& key);
+  void unblock(Rank r);
+  void schedule_advance(Rank r, SimTime at);
+
+  std::int64_t new_coll_req(RankState& st);
+
+  NodeId node_of(Rank r) const { return machine_.node_of(r); }
+  static std::uint64_t stream_key(Rank peer, Tag tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  const trace::Trace& trace_;
+  const machine::MachineInstance& machine_;
+  ReplayConfig cfg_;
+
+  des::Engine eng_;
+  std::unique_ptr<simnet::NetworkModel> net_;
+
+  std::vector<RankState> ranks_;
+  std::unordered_map<detail::MatchKey, MatchState, detail::MatchKeyHash> matches_;
+  std::vector<MsgRec> msg_pool_;
+  std::vector<std::uint32_t> msg_free_;
+
+  // Pre-resolved communicator index maps: comm -> (world rank -> index, -1
+  // if not a member).
+  std::vector<std::vector<std::int32_t>> comm_index_;
+  // Per rank, per comm: aux ids of its Alltoallv events in issue order.
+  std::vector<std::unordered_map<CommId, std::vector<std::int32_t>>> a2av_aux_;
+
+  std::int64_t next_coll_req_ = 0;
+  Rank finished_ = 0;
+  std::vector<std::uint64_t> recv_sizes_scratch_;
+  std::vector<SubOp> subop_scratch_;
+};
+
+}  // namespace hps::simmpi

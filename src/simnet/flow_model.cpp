@@ -1,0 +1,259 @@
+#include "simnet/flow_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace hps::simnet {
+
+namespace {
+constexpr std::uint64_t pack(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+/// Convert bytes/second to bytes/nanosecond.
+constexpr double Bps_to_Bpns(Bandwidth b) { return b * 1e-9; }
+}  // namespace
+
+FlowModel::FlowModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg,
+                     MessageSink& sink)
+    : NetworkModel(eng, topo, cfg, sink) {
+  const std::size_t total_links =
+      static_cast<std::size_t>(topo.num_links()) + 2 * static_cast<std::size_t>(topo.num_nodes());
+  link_residual_.resize(total_links, 0.0);
+  link_unfrozen_.resize(total_links, 0);
+  link_flows_.resize(total_links);
+}
+
+std::uint32_t FlowModel::alloc_flow() {
+  if (!flow_free_.empty()) {
+    const std::uint32_t i = flow_free_.back();
+    flow_free_.pop_back();
+    return i;
+  }
+  flows_.emplace_back();
+  return static_cast<std::uint32_t>(flows_.size() - 1);
+}
+
+void FlowModel::free_flow(std::uint32_t idx) {
+  flows_[idx].route.clear();
+  flows_[idx].active = false;
+  flow_free_.push_back(idx);
+}
+
+void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
+  if (deliver_local_if_same_node(id, src, dst, bytes)) return;
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  topo_.route(src, dst, route_scratch_, id);
+  account_route(route_scratch_, bytes);
+  const SimTime latency = path_latency(static_cast<int>(route_scratch_.size()));
+
+  const std::uint32_t fidx = alloc_flow();
+  Flow& f = flows_[fidx];
+  f.id = id;
+  f.remaining = static_cast<double>(bytes);
+  f.rate = 0;
+  f.last_update = eng_.now();
+  f.tail_latency = latency;
+  ++f.gen;
+  f.active = true;
+  f.route = route_scratch_;
+  f.route.push_back(injection_link(src));
+  f.route.push_back(ejection_link(dst));
+  if (cfg_.message_bandwidth > 0) {
+    // Per-flow pacing: a private pseudo-link of capacity message_bandwidth
+    // caps this flow at the Hockney rate inside the max-min computation.
+    const LinkId pace = pacing_link(fidx);
+    const auto need = static_cast<std::size_t>(pace) + 1;
+    if (link_residual_.size() < need) {
+      link_residual_.resize(need, 0.0);
+      link_unfrozen_.resize(need, 0);
+      link_flows_.resize(need);
+    }
+    f.route.push_back(pace);
+  }
+
+  if (!f.listed) {
+    active_.push_back(fidx);
+    f.listed = true;
+  }
+  ++active_count_;
+
+  if (bytes == 0) {
+    // Pure-latency message; no fluid to drain.
+    complete_flow(fidx);
+    return;
+  }
+  mark_dirty();
+}
+
+void FlowModel::mark_dirty() {
+  if (dirty_scheduled_) return;
+  dirty_scheduled_ = true;
+  // Batched ripple: all changes inside the update window share one
+  // recompute. Never schedule before the previous recompute's interval has
+  // elapsed, so staggered completions cannot force per-event passes.
+  const SimTime earliest = last_recompute_ + cfg_.flow_update_interval;
+  eng_.schedule_at(std::max(eng_.now(), earliest), this, kRecompute, 0);
+}
+
+void FlowModel::handle(des::Engine&, std::uint64_t a, std::uint64_t b) {
+  switch (a) {
+    case kRecompute:
+      dirty_scheduled_ = false;
+      recompute_rates();
+      break;
+    case kFlowDone: {
+      const auto fidx = static_cast<std::uint32_t>(b >> 32);
+      const auto gen = static_cast<std::uint32_t>(b);
+      Flow& f = flows_[fidx];
+      if (!f.active || f.gen != gen) return;  // superseded by a rate change
+      advance_flow(f, eng_.now());
+      // Guard against floating-point residue: anything below one byte is done.
+      if (f.remaining <= 1.0) {
+        complete_flow(fidx);
+        mark_dirty();
+      } else {
+        schedule_completion(fidx);
+      }
+      break;
+    }
+    default:
+      HPS_CHECK_MSG(false, "unknown flow model event kind");
+  }
+}
+
+void FlowModel::advance_flow(Flow& f, SimTime now) {
+  if (now > f.last_update && f.rate > 0) {
+    f.remaining -= f.rate * static_cast<double>(now - f.last_update);
+    if (f.remaining < 0) f.remaining = 0;
+  }
+  f.last_update = now;
+}
+
+void FlowModel::schedule_completion(std::uint32_t fidx) {
+  Flow& f = flows_[fidx];
+  ++f.gen;
+  if (f.rate <= 0) return;  // starved; a later recompute will reschedule
+  const double ns = f.remaining / f.rate;
+  const SimTime when = eng_.now() + std::max<SimTime>(1, static_cast<SimTime>(std::ceil(ns)));
+  eng_.schedule_at(when, this, kFlowDone, pack(fidx, f.gen));
+}
+
+void FlowModel::complete_flow(std::uint32_t fidx) {
+  Flow& f = flows_[fidx];
+  HPS_CHECK(f.active);
+  f.active = false;
+  --active_count_;
+  const MsgId id = f.id;
+  const SimTime latency = f.tail_latency;
+  // Completion notification arrives after the fixed path latency.
+  if (!notify_) notify_ = std::make_unique<Notify>(sink_);
+  eng_.schedule_in(latency, notify_.get(), id, 0);
+  // Compact the active list lazily during recompute; here just drop the slot.
+  free_flow(fidx);
+}
+
+void FlowModel::recompute_rates() {
+  ++stats_.rate_updates;
+  const SimTime now = eng_.now();
+  last_recompute_ = now;
+
+  // Compact the active index list and settle all byte counts to `now`.
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [&](std::uint32_t i) {
+                                 if (flows_[i].active) return false;
+                                 flows_[i].listed = false;
+                                 return true;
+                               }),
+                active_.end());
+  for (const std::uint32_t i : active_) advance_flow(flows_[i], now);
+
+  // Build per-link flow lists.
+  used_links_.clear();
+  for (const std::uint32_t i : active_) {
+    for (const LinkId l : flows_[i].route) {
+      auto& lf = link_flows_[static_cast<std::size_t>(l)];
+      if (lf.empty()) used_links_.push_back(l);
+      lf.push_back(i);
+    }
+  }
+
+  // Water-filling max-min fair allocation, driven by a lazy min-heap of link
+  // fair shares: pop the candidate bottleneck, re-validate its share (links
+  // touched since the push are stale), and freeze its flows. O((L + F*h)
+  // log L) instead of the naive O(L * bottlenecks) scan.
+  for (const LinkId l : used_links_) {
+    link_residual_[static_cast<std::size_t>(l)] = Bps_to_Bpns(link_capacity(l));
+    link_unfrozen_[static_cast<std::size_t>(l)] =
+        static_cast<std::int32_t>(link_flows_[static_cast<std::size_t>(l)].size());
+  }
+  std::size_t unfrozen = active_.size();
+  const double old_rate_epsilon = 1e-15;
+  std::vector<double>& old_rates = rate_scratch_;
+  old_rates.clear();
+  for (const std::uint32_t i : active_) {
+    old_rates.push_back(flows_[i].rate);
+    flows_[i].rate = -1.0;  // -1 marks unfrozen
+  }
+
+  struct HeapEntry {
+    double share;
+    LinkId link;
+    bool operator>(const HeapEntry& o) const { return share > o.share; }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  auto share_of = [&](LinkId l) {
+    const auto li = static_cast<std::size_t>(l);
+    return link_residual_[li] / static_cast<double>(link_unfrozen_[li]);
+  };
+  for (const LinkId l : used_links_) heap.push({share_of(l), l});
+
+  while (unfrozen > 0) {
+    HPS_CHECK_MSG(!heap.empty(), "water-filling ran out of bottleneck candidates");
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const auto li = static_cast<std::size_t>(top.link);
+    if (link_unfrozen_[li] <= 0) continue;  // fully frozen since pushed
+    const double share = share_of(top.link);
+    if (share > top.share + old_rate_epsilon) {
+      heap.push({share, top.link});  // stale entry: re-insert with fresh share
+      continue;
+    }
+    const double best_share = std::max(share, 0.0);
+    // Freeze every unfrozen flow crossing the bottleneck at the fair share.
+    for (const std::uint32_t fi : link_flows_[li]) {
+      Flow& f = flows_[fi];
+      if (f.rate >= 0) continue;
+      f.rate = best_share;
+      --unfrozen;
+      for (const LinkId l : f.route) {
+        const auto lj = static_cast<std::size_t>(l);
+        link_residual_[lj] -= best_share;
+        if (link_residual_[lj] < 0) link_residual_[lj] = 0;
+        --link_unfrozen_[lj];
+        // Touched links get a fresh heap entry; stale ones are skipped above.
+        if (link_unfrozen_[lj] > 0 && l != top.link) heap.push({share_of(l), l});
+      }
+    }
+  }
+
+  // Clear per-link lists for the next pass. Reschedule completions only for
+  // flows whose rate changed: an unchanged rate means the previously
+  // scheduled completion instant is still correct.
+  for (const LinkId l : used_links_) link_flows_[static_cast<std::size_t>(l)].clear();
+  for (std::size_t idx = 0; idx < active_.size(); ++idx) {
+    const std::uint32_t i = active_[idx];
+    const double old_rate = old_rates[idx];
+    if (old_rate > 0 &&
+        std::fabs(flows_[i].rate - old_rate) <= old_rate * 1e-12) {
+      continue;  // same rate: the pending completion event stands
+    }
+    schedule_completion(i);
+  }
+}
+
+}  // namespace hps::simnet

@@ -1,0 +1,99 @@
+// Flow-level (fluid) network model.
+//
+// Each message is one fluid flow traversing its route; competing flows share
+// link bandwidth max-min fairly. Whenever the set of active flows changes,
+// every affected rate must be recomputed and every completion event
+// re-estimated — the "ripple effect" of the paper's §II-A. Recomputations at
+// the same simulated instant are batched (one water-filling pass per
+// timestamp), the standard optimization for fluid simulators; the
+// `rate_updates` stat counts the passes actually performed.
+//
+// Injection and ejection NICs are modeled as pseudo-links with the machine's
+// injection bandwidth so a node cannot source or sink faster than its NIC.
+#pragma once
+
+#include <vector>
+
+#include "simnet/network.hpp"
+
+namespace hps::simnet {
+
+class FlowModel final : public NetworkModel, private des::Handler {
+ public:
+  FlowModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg, MessageSink& sink);
+
+  void inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) override;
+  std::string name() const override { return "flow"; }
+
+  /// Number of currently active fluid flows (for tests).
+  std::size_t active_flows() const { return active_count_; }
+
+ private:
+  enum : std::uint64_t { kRecompute = 0, kFlowDone = 1 };
+
+  struct Flow {
+    MsgId id = 0;
+    double remaining = 0;  // bytes
+    double rate = 0;       // bytes per ns
+    SimTime last_update = 0;
+    SimTime tail_latency = 0;  // fixed path latency added at completion
+    std::uint32_t gen = 0;     // invalidates superseded completion events
+    bool active = false;
+    bool listed = false;  // has an entry in active_ (entries outlive the flow
+                          // until the next recompute compaction; a recycled
+                          // slot inherits its live entry)
+    std::vector<LinkId> route;  // topo links + injection/ejection pseudo-links
+  };
+
+  void handle(des::Engine& eng, std::uint64_t a, std::uint64_t b) override;
+  void mark_dirty();
+  void recompute_rates();
+  void advance_flow(Flow& f, SimTime now);
+  void schedule_completion(std::uint32_t fidx);
+  void complete_flow(std::uint32_t fidx);
+
+  std::uint32_t alloc_flow();
+  void free_flow(std::uint32_t idx);
+
+  LinkId injection_link(NodeId n) const { return topo_.num_links() + n; }
+  LinkId ejection_link(NodeId n) const { return topo_.num_links() + topo_.num_nodes() + n; }
+  /// Per-flow pacing pseudo-link (only used when message_bandwidth > 0).
+  LinkId pacing_link(std::uint32_t flow_idx) const {
+    return topo_.num_links() + 2 * topo_.num_nodes() + static_cast<LinkId>(flow_idx);
+  }
+  Bandwidth link_capacity(LinkId l) const {
+    if (l < topo_.num_links()) return cfg_.link_bandwidth;
+    if (l < topo_.num_links() + 2 * topo_.num_nodes()) return cfg_.injection_bandwidth;
+    return cfg_.message_bandwidth;
+  }
+
+  /// Delivers the sink notification after the fixed path latency.
+  class Notify final : public des::Handler {
+   public:
+    explicit Notify(MessageSink& s) : sink_(s) {}
+    void handle(des::Engine& eng, std::uint64_t id, std::uint64_t) override {
+      sink_.message_delivered(id, eng.now());
+    }
+
+   private:
+    MessageSink& sink_;
+  };
+  std::unique_ptr<Notify> notify_;
+
+  std::vector<Flow> flows_;
+  std::vector<std::uint32_t> flow_free_;
+  std::vector<std::uint32_t> active_;  // indices of active flows
+  std::size_t active_count_ = 0;
+  bool dirty_scheduled_ = false;
+  SimTime last_recompute_ = 0;
+  std::vector<LinkId> route_scratch_;
+
+  // Scratch buffers for water-filling, persisted to avoid reallocation.
+  std::vector<double> link_residual_;
+  std::vector<std::int32_t> link_unfrozen_;
+  std::vector<std::vector<std::uint32_t>> link_flows_;
+  std::vector<LinkId> used_links_;
+  std::vector<double> rate_scratch_;  // previous rates, for reschedule skips
+};
+
+}  // namespace hps::simnet

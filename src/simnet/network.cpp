@@ -1,0 +1,36 @@
+#include "simnet/network.hpp"
+
+namespace hps::simnet {
+
+namespace {
+
+/// One-shot handler delivering a local (same-node) message to the sink.
+class LocalDelivery final : public des::Handler {
+ public:
+  explicit LocalDelivery(MessageSink& sink) : sink_(sink) {}
+  void handle(des::Engine& eng, std::uint64_t id, std::uint64_t) override {
+    sink_.message_delivered(id, eng.now());
+  }
+
+ private:
+  MessageSink& sink_;
+};
+
+}  // namespace
+
+bool NetworkModel::deliver_local_if_same_node(MsgId id, NodeId src, NodeId dst,
+                                              std::uint64_t bytes) {
+  if (src != dst) return false;
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  // Shared-memory transfer: software overhead at both "endpoints" plus a
+  // memory copy; no network links involved.
+  const SimTime dt = 2 * cfg_.software_overhead + transfer_time(bytes, cfg_.local_bandwidth);
+  // The handler must outlive the event; a static per-sink instance would be
+  // wrong (multiple sinks), so keep one per model instance lazily.
+  if (!local_delivery_) local_delivery_ = std::make_unique<LocalDelivery>(sink_);
+  eng_.schedule_in(dt, local_delivery_.get(), id, 0);
+  return true;
+}
+
+}  // namespace hps::simnet

@@ -1,0 +1,122 @@
+// Network model interface shared by the three simulators (packet, flow,
+// packet-flow), mirroring the granularities discussed in the paper's §II-A.
+//
+// A model accepts whole messages (the MPI replay layer above decides
+// protocol and matching) and notifies a sink when the last byte arrives at
+// the destination node. All three models charge the same endpoint software
+// overhead and per-hop latency; they differ in how they arbitrate link
+// bandwidth under contention:
+//   * PacketModel      — exclusive per-link reservation, FIFO queueing
+//                        (overestimates serialization, the paper's §II-A);
+//   * FlowModel        — fluid max-min fair sharing with "ripple" updates;
+//   * PacketFlowModel  — coarse packets that sample congestion on shared,
+//                        multiplexed channels (SST/Macro 6.1 hybrid).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "des/engine.hpp"
+#include "topo/topology.hpp"
+
+namespace hps::simnet {
+
+using MsgId = std::uint64_t;
+
+/// Receiver of message-delivery notifications.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void message_delivered(MsgId id, SimTime at) = 0;
+};
+
+/// Timing parameters, normally derived from a machine::MachineInstance.
+struct NetConfig {
+  Bandwidth link_bandwidth = gbps_to_Bps(10.0);
+  Bandwidth injection_bandwidth = gbps_to_Bps(10.0);
+  /// Per-message pacing cap: a single message/flow never streams faster than
+  /// this, even on faster links (the Hockney "B" a single rank achieves).
+  /// 0 disables pacing (messages use the full link/NIC rate). Machines set
+  /// this to their published per-rank bandwidth while fabric links and NICs
+  /// are provisioned several times larger to carry multiple ranks per node.
+  Bandwidth message_bandwidth = 0;
+  /// Intra-node (shared-memory) copy bandwidth for src == dst messages.
+  Bandwidth local_bandwidth = 50e9;
+  SimTime software_overhead = 500;  ///< per endpoint, per message (ns)
+  SimTime hop_latency = 100;        ///< per traversed link (ns)
+  std::uint64_t packet_size = 1024; ///< packet models: bytes per packet
+  /// Flow model: minimum simulated time between max-min recomputations.
+  /// Flow add/removes inside the window share one pass (rates are stale by
+  /// at most this much) — the standard throttle that keeps fluid simulation
+  /// from recomputing once per event under staggered arrivals. 0 disables.
+  SimTime flow_update_interval = 500;
+
+  /// Effective per-message rate (pacing cap or the link itself).
+  Bandwidth message_rate() const {
+    return message_bandwidth > 0 ? message_bandwidth : link_bandwidth;
+  }
+};
+
+/// Counters exposed by every model (the bench harnesses report these to
+/// explain the time rankings of Figure 1).
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;       // packet & packet-flow models
+  std::uint64_t rate_updates = 0;  // flow model ripple recomputations
+  std::uint64_t queue_events = 0;  // packet model link-queue operations
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg, MessageSink& sink)
+      : eng_(eng), topo_(topo), cfg_(cfg), sink_(sink),
+        link_bytes_(static_cast<std::size_t>(topo.num_links()), 0) {}
+  virtual ~NetworkModel() = default;
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  /// Start transferring `bytes` from `src` to `dst` now. The sink is
+  /// notified exactly once per id at delivery time. Zero-byte messages are
+  /// legal (pure synchronization) and cost latency only.
+  virtual void inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) = 0;
+
+  virtual std::string name() const = 0;
+  const NetStats& stats() const { return stats_; }
+
+  /// Bytes carried per directed link over the run (telemetry for hotspot
+  /// analysis; local same-node messages do not appear here).
+  const std::vector<std::uint64_t>& link_bytes() const { return link_bytes_; }
+
+ protected:
+  /// Charge `bytes` of traffic to every fabric link of a route (pseudo-links
+  /// such as the flow model's NIC/pacing entries are skipped).
+  void account_route(const std::vector<LinkId>& route, std::uint64_t bytes) {
+    for (const LinkId l : route)
+      if (static_cast<std::size_t>(l) < link_bytes_.size())
+        link_bytes_[static_cast<std::size_t>(l)] += bytes;
+  }
+  /// Fixed (bandwidth-independent) cost of a path with `hops` links.
+  SimTime path_latency(int hops) const {
+    return 2 * cfg_.software_overhead + static_cast<SimTime>(hops) * cfg_.hop_latency;
+  }
+
+  /// Handle a same-node message: memory copy at local bandwidth.
+  /// Returns true if handled (caller should not route it).
+  bool deliver_local_if_same_node(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes);
+
+  des::Engine& eng_;
+  const topo::Topology& topo_;
+  NetConfig cfg_;
+  MessageSink& sink_;
+  NetStats stats_;
+
+ private:
+  std::vector<std::uint64_t> link_bytes_;
+  std::unique_ptr<des::Handler> local_delivery_;
+};
+
+}  // namespace hps::simnet

@@ -1,0 +1,158 @@
+#include "simnet/packet_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hps::simnet {
+
+namespace {
+constexpr std::uint64_t pack(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+}  // namespace
+
+PacketModel::PacketModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg,
+                         MessageSink& sink)
+    : NetworkModel(eng, topo, cfg, sink),
+      links_(static_cast<std::size_t>(topo.num_links())),
+      nic_free_at_(static_cast<std::size_t>(topo.num_nodes()), 0) {
+  HPS_CHECK(cfg_.packet_size > 0);
+}
+
+std::uint32_t PacketModel::alloc_msg() {
+  if (!msg_free_.empty()) {
+    const std::uint32_t i = msg_free_.back();
+    msg_free_.pop_back();
+    return i;
+  }
+  msgs_.emplace_back();
+  return static_cast<std::uint32_t>(msgs_.size() - 1);
+}
+
+void PacketModel::free_msg(std::uint32_t idx) {
+  msgs_[idx].route.clear();
+  msg_free_.push_back(idx);
+}
+
+std::uint32_t PacketModel::alloc_packet() {
+  if (!packet_free_.empty()) {
+    const std::uint32_t i = packet_free_.back();
+    packet_free_.pop_back();
+    return i;
+  }
+  packets_.emplace_back();
+  return static_cast<std::uint32_t>(packets_.size() - 1);
+}
+
+void PacketModel::free_packet(std::uint32_t idx) { packet_free_.push_back(idx); }
+
+void PacketModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
+  if (deliver_local_if_same_node(id, src, dst, bytes)) return;
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  const std::uint32_t midx = alloc_msg();
+  MsgState& m = msgs_[midx];
+  m.id = id;
+  topo_.route(src, dst, route_scratch_, id);
+  m.route = route_scratch_;
+  HPS_CHECK(!m.route.empty());
+  account_route(m.route, bytes);
+
+  const std::uint64_t psz = cfg_.packet_size;
+  const std::uint32_t npackets =
+      bytes == 0 ? 1 : static_cast<std::uint32_t>((bytes + psz - 1) / psz);
+  m.packets_remaining = npackets;
+  stats_.packets += npackets;
+
+  // NIC injection: the message's packets are paced at the per-message rate
+  // (Hockney B) while the node's NIC serializes concurrent messages at its
+  // own (larger) capacity; each packet leaves at the later of the two.
+  SimTime& nic = nic_free_at_[static_cast<std::size_t>(src)];
+  SimTime pace = eng_.now() + cfg_.software_overhead;
+  nic = std::max(nic, pace);
+  std::uint64_t left = bytes;
+  for (std::uint32_t k = 0; k < npackets; ++k) {
+    const std::uint32_t pbytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(left, psz));
+    left -= pbytes;
+    const std::uint32_t pidx = alloc_packet();
+    packets_[pidx] = {midx, 0, pbytes};
+    pace += transfer_time(pbytes, cfg_.message_rate());
+    nic += transfer_time(pbytes, cfg_.injection_bandwidth);
+    eng_.schedule_at(std::max(pace, nic), this, kPacketReady, pidx);
+  }
+}
+
+void PacketModel::handle(des::Engine&, std::uint64_t a, std::uint64_t b) {
+  switch (a) {
+    case kPacketReady:
+      packet_ready(static_cast<std::uint32_t>(b));
+      break;
+    case kTxComplete:
+      tx_complete(static_cast<LinkId>(b >> 32), static_cast<std::uint32_t>(b));
+      break;
+    case kDeliver: {
+      const auto midx = static_cast<std::uint32_t>(b);
+      const MsgId id = msgs_[midx].id;
+      free_msg(midx);
+      sink_.message_delivered(id, eng_.now());
+      break;
+    }
+    default:
+      HPS_CHECK_MSG(false, "unknown packet model event kind");
+  }
+}
+
+void PacketModel::packet_ready(std::uint32_t pkt_idx) {
+  Packet& p = packets_[pkt_idx];
+  const MsgState& m = msgs_[p.msg];
+  if (p.hop == m.route.size()) {
+    finish_packet(pkt_idx);
+    return;
+  }
+  const LinkId link = m.route[p.hop];
+  Link& l = links_[static_cast<std::size_t>(link)];
+  if (l.busy) {
+    l.queue.push_back(pkt_idx);
+    ++stats_.queue_events;
+  } else {
+    start_tx(link, pkt_idx);
+  }
+}
+
+void PacketModel::start_tx(LinkId link, std::uint32_t pkt_idx) {
+  Link& l = links_[static_cast<std::size_t>(link)];
+  l.busy = true;
+  const SimTime ser = transfer_time(packets_[pkt_idx].bytes, cfg_.link_bandwidth);
+  eng_.schedule_in(ser, this, kTxComplete, pack(static_cast<std::uint32_t>(link), pkt_idx));
+}
+
+void PacketModel::tx_complete(LinkId link, std::uint32_t pkt_idx) {
+  // The packet moves on after the wire/router latency of this hop.
+  Packet& p = packets_[pkt_idx];
+  ++p.hop;
+  eng_.schedule_in(cfg_.hop_latency, this, kPacketReady, pkt_idx);
+
+  Link& l = links_[static_cast<std::size_t>(link)];
+  if (l.queue.empty()) {
+    l.busy = false;
+  } else {
+    const std::uint32_t next = l.queue.front();
+    l.queue.pop_front();
+    start_tx(link, next);
+  }
+}
+
+void PacketModel::finish_packet(std::uint32_t pkt_idx) {
+  const std::uint32_t midx = packets_[pkt_idx].msg;
+  free_packet(pkt_idx);
+  MsgState& m = msgs_[midx];
+  HPS_CHECK(m.packets_remaining > 0);
+  if (--m.packets_remaining == 0) {
+    // Receiver-side software overhead before the MPI layer sees the message.
+    eng_.schedule_in(cfg_.software_overhead, this, kDeliver, midx);
+  }
+}
+
+}  // namespace hps::simnet

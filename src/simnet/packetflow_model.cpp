@@ -1,0 +1,140 @@
+#include "simnet/packetflow_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hps::simnet {
+
+PacketFlowModel::PacketFlowModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg,
+                                 MessageSink& sink)
+    : NetworkModel(eng, topo, cfg, sink),
+      link_in_flight_(static_cast<std::size_t>(topo.num_links()), 0),
+      nic_free_at_(static_cast<std::size_t>(topo.num_nodes()), 0) {
+  HPS_CHECK(cfg_.packet_size > 0);
+}
+
+std::uint32_t PacketFlowModel::alloc_msg() {
+  if (!msg_free_.empty()) {
+    const std::uint32_t i = msg_free_.back();
+    msg_free_.pop_back();
+    return i;
+  }
+  msgs_.emplace_back();
+  return static_cast<std::uint32_t>(msgs_.size() - 1);
+}
+
+void PacketFlowModel::free_msg(std::uint32_t idx) {
+  msgs_[idx].route.clear();
+  msg_free_.push_back(idx);
+}
+
+std::uint32_t PacketFlowModel::alloc_packet() {
+  if (!packet_free_.empty()) {
+    const std::uint32_t i = packet_free_.back();
+    packet_free_.pop_back();
+    return i;
+  }
+  packets_.emplace_back();
+  return static_cast<std::uint32_t>(packets_.size() - 1);
+}
+
+void PacketFlowModel::free_packet(std::uint32_t idx) { packet_free_.push_back(idx); }
+
+void PacketFlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
+  if (deliver_local_if_same_node(id, src, dst, bytes)) return;
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  const std::uint32_t midx = alloc_msg();
+  MsgState& m = msgs_[midx];
+  m.id = id;
+  topo_.route(src, dst, route_scratch_, id);
+  m.route = route_scratch_;
+  HPS_CHECK(!m.route.empty());
+  account_route(m.route, bytes);
+
+  const std::uint64_t psz = cfg_.packet_size;
+  const std::uint32_t npackets =
+      bytes == 0 ? 1 : static_cast<std::uint32_t>((bytes + psz - 1) / psz);
+  m.packets_remaining = npackets;
+  stats_.packets += npackets;
+
+  // Injection: per-message pacing at the Hockney rate combined with the
+  // node NIC's own serialization at its (larger) capacity.
+  SimTime& nic = nic_free_at_[static_cast<std::size_t>(src)];
+  SimTime pace = eng_.now() + cfg_.software_overhead;
+  nic = std::max(nic, pace);
+  std::uint64_t left = bytes;
+  for (std::uint32_t k = 0; k < npackets; ++k) {
+    const std::uint32_t pbytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(left, psz));
+    left -= pbytes;
+    const std::uint32_t pidx = alloc_packet();
+    packets_[pidx] = {midx, 0, pbytes, -1};
+    pace += transfer_time(pbytes, cfg_.message_rate());
+    nic += transfer_time(pbytes, cfg_.injection_bandwidth);
+    eng_.schedule_at(std::max(pace, nic), this, kHopEnter, pidx);
+  }
+}
+
+void PacketFlowModel::handle(des::Engine&, std::uint64_t a, std::uint64_t b) {
+  switch (a) {
+    case kHopEnter:
+      hop_enter(static_cast<std::uint32_t>(b));
+      break;
+    case kHopExit:
+      hop_exit(static_cast<std::uint32_t>(b));
+      break;
+    case kDeliver: {
+      const auto midx = static_cast<std::uint32_t>(b);
+      const MsgId id = msgs_[midx].id;
+      free_msg(midx);
+      sink_.message_delivered(id, eng_.now());
+      break;
+    }
+    default:
+      HPS_CHECK_MSG(false, "unknown packet-flow model event kind");
+  }
+}
+
+void PacketFlowModel::hop_enter(std::uint32_t pkt_idx) {
+  Packet& p = packets_[pkt_idx];
+  const MsgState& m = msgs_[p.msg];
+  if (p.hop == m.route.size()) {
+    finish_packet(pkt_idx);
+    return;
+  }
+  const LinkId link = m.route[p.hop];
+  auto& in_flight = link_in_flight_[static_cast<std::size_t>(link)];
+  // Sample the congestion: this packet expects to share the channel with the
+  // packets already in flight, so its serialization stretches by that factor.
+  const std::int32_t share = in_flight + 1;
+  ++in_flight;
+  p.on_link = link;
+  const SimTime ser = transfer_time(static_cast<std::uint64_t>(p.bytes) *
+                                        static_cast<std::uint64_t>(share),
+                                    cfg_.link_bandwidth);
+  eng_.schedule_in(cfg_.hop_latency + ser, this, kHopExit, pkt_idx);
+}
+
+void PacketFlowModel::hop_exit(std::uint32_t pkt_idx) {
+  Packet& p = packets_[pkt_idx];
+  HPS_CHECK(p.on_link >= 0);
+  auto& in_flight = link_in_flight_[static_cast<std::size_t>(p.on_link)];
+  HPS_CHECK(in_flight > 0);
+  --in_flight;
+  p.on_link = -1;
+  ++p.hop;
+  hop_enter(pkt_idx);
+}
+
+void PacketFlowModel::finish_packet(std::uint32_t pkt_idx) {
+  const std::uint32_t midx = packets_[pkt_idx].msg;
+  free_packet(pkt_idx);
+  MsgState& m = msgs_[midx];
+  HPS_CHECK(m.packets_remaining > 0);
+  if (--m.packets_remaining == 0)
+    eng_.schedule_in(cfg_.software_overhead, this, kDeliver, midx);
+}
+
+}  // namespace hps::simnet

@@ -1,0 +1,61 @@
+// Hybrid packet-flow network model (the SST/Macro 6.1 scheme).
+//
+// Messages are cut into coarse packets (the SST/Macro developers recommend
+// 1–8 KB; we default to 4 KB), but — unlike the packet model — a link is a
+// multiplexed channel rather than an exclusively reserved one. On entering a
+// hop, a packet *samples* the congestion (the number of packets currently
+// sharing the link) and charges itself the expected serialization delay at
+// the fair bandwidth share. This avoids both the serialization
+// overestimation of packet-level simulation and the global ripple updates of
+// flow-level simulation, at the cost of congestion being an estimate.
+#pragma once
+
+#include <vector>
+
+#include "simnet/network.hpp"
+
+namespace hps::simnet {
+
+class PacketFlowModel final : public NetworkModel, private des::Handler {
+ public:
+  PacketFlowModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg,
+                  MessageSink& sink);
+
+  void inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) override;
+  std::string name() const override { return "packet-flow"; }
+
+ private:
+  enum : std::uint64_t { kHopEnter = 0, kHopExit = 1, kDeliver = 2 };
+
+  struct MsgState {
+    MsgId id = 0;
+    std::uint32_t packets_remaining = 0;
+    std::vector<LinkId> route;
+  };
+  struct Packet {
+    std::uint32_t msg = 0;
+    std::uint32_t hop = 0;
+    std::uint32_t bytes = 0;
+    LinkId on_link = -1;  // link currently being traversed (for exit accounting)
+  };
+
+  void handle(des::Engine& eng, std::uint64_t a, std::uint64_t b) override;
+  void hop_enter(std::uint32_t pkt_idx);
+  void hop_exit(std::uint32_t pkt_idx);
+  void finish_packet(std::uint32_t pkt_idx);
+
+  std::uint32_t alloc_msg();
+  void free_msg(std::uint32_t idx);
+  std::uint32_t alloc_packet();
+  void free_packet(std::uint32_t idx);
+
+  std::vector<MsgState> msgs_;
+  std::vector<std::uint32_t> msg_free_;
+  std::vector<Packet> packets_;
+  std::vector<std::uint32_t> packet_free_;
+  std::vector<std::int32_t> link_in_flight_;  // packets currently sharing each link
+  std::vector<SimTime> nic_free_at_;
+  std::vector<LinkId> route_scratch_;
+};
+
+}  // namespace hps::simnet

@@ -1,0 +1,88 @@
+#include "stats/crossval.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats_util.hpp"
+
+namespace hps::stats {
+
+SplitMetrics evaluate(const LogisticModel& model, const Dataset& data,
+                      std::span<const std::size_t> rows) {
+  SplitMetrics m;
+  for (const std::size_t r : rows) {
+    const int pred = model.classify(data.x.row(r));
+    const int truth = data.y[r];
+    if (truth == 1 && pred == 1) ++m.tp;
+    if (truth == 0 && pred == 0) ++m.tn;
+    if (truth == 0 && pred == 1) ++m.fp;
+    if (truth == 1 && pred == 0) ++m.fn;
+  }
+  const int total = m.tp + m.tn + m.fp + m.fn;
+  if (total > 0)
+    m.misclassification = static_cast<double>(m.fp + m.fn) / static_cast<double>(total);
+  if (m.fn + m.tp > 0)
+    m.false_negative_rate = static_cast<double>(m.fn) / static_cast<double>(m.fn + m.tp);
+  if (m.fp + m.tn > 0)
+    m.false_positive_rate = static_cast<double>(m.fp) / static_cast<double>(m.fp + m.tn);
+  return m;
+}
+
+CrossValResult monte_carlo_cv(const Dataset& data, const CrossValOptions& opts) {
+  const std::size_t n = data.n();
+  HPS_REQUIRE(n >= 10, "monte_carlo_cv: dataset too small");
+  const auto train_n = static_cast<std::size_t>(opts.train_fraction * static_cast<double>(n));
+  HPS_REQUIRE(train_n >= 2 && train_n < n, "monte_carlo_cv: bad train fraction");
+
+  CrossValResult res;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  std::vector<int> select_count(data.p(), 0);
+  std::vector<double> coef_sum(data.p(), 0.0);
+
+  Rng rng(opts.seed);
+  for (int s = 0; s < opts.splits; ++s) {
+    rng.shuffle(order);
+    const std::span<const std::size_t> train(order.data(), train_n);
+    const std::span<const std::size_t> test(order.data() + train_n, n - train_n);
+
+    const StepwiseResult sw = stepwise_forward(data, train, {}, opts.stepwise);
+    res.per_split.push_back(evaluate(sw.model, data, test));
+
+    for (std::size_t j = 0; j < sw.model.features.size(); ++j) {
+      const auto f = static_cast<std::size_t>(sw.model.features[j]);
+      ++select_count[f];
+      coef_sum[f] += sw.model.coef[j];
+    }
+  }
+
+  std::vector<double> mis, fn, fp;
+  for (const auto& m : res.per_split) {
+    mis.push_back(m.misclassification);
+    fn.push_back(m.false_negative_rate);
+    fp.push_back(m.false_positive_rate);
+  }
+  res.misclassification_trimmed_mean = trimmed_mean(mis, opts.trim);
+  res.misclassification_sd = stddev(mis);
+  res.fn_rate_trimmed_mean = trimmed_mean(fn, opts.trim);
+  res.fp_rate_trimmed_mean = trimmed_mean(fp, opts.trim);
+
+  for (std::size_t f = 0; f < data.p(); ++f) {
+    if (select_count[f] == 0) continue;
+    VariableReport v;
+    v.feature = static_cast<int>(f);
+    v.selected_fraction =
+        static_cast<double>(select_count[f]) / static_cast<double>(opts.splits);
+    v.mean_coefficient = coef_sum[f] / static_cast<double>(select_count[f]);
+    res.variables.push_back(v);
+  }
+  std::sort(res.variables.begin(), res.variables.end(),
+            [](const VariableReport& a, const VariableReport& b) {
+              return a.selected_fraction > b.selected_fraction;
+            });
+  return res;
+}
+
+}  // namespace hps::stats

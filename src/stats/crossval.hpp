@@ -1,0 +1,56 @@
+// Monte-Carlo cross-validation of the stepwise logistic model (the paper's
+// §VI-B.2/3): repeatedly sample 80% of the observations without replacement
+// as a training set, run stepwise selection and fitting on it, and evaluate
+// the misclassification / false-negative / false-positive rates on the held-
+// out 20%. Rates are aggregated as 2%-trimmed means over the (default 100)
+// splits; per-variable selection frequencies and mean coefficients are
+// collected for the Table IV report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/stepwise.hpp"
+
+namespace hps::stats {
+
+/// Confusion-matrix rates on one test split. Positive = "needs simulation".
+struct SplitMetrics {
+  double misclassification = 0;
+  double false_negative_rate = 0;  ///< FN / (FN + TP)
+  double false_positive_rate = 0;  ///< FP / (FP + TN)
+  int tp = 0, tn = 0, fp = 0, fn = 0;
+};
+
+/// Evaluate a fitted model on the given rows.
+SplitMetrics evaluate(const LogisticModel& model, const Dataset& data,
+                      std::span<const std::size_t> rows);
+
+struct CrossValOptions {
+  int splits = 100;
+  double train_fraction = 0.8;
+  double trim = 0.02;  ///< trimmed-mean fraction for the aggregate rates
+  std::uint64_t seed = 0x5EEDCAFE;
+  StepwiseOptions stepwise;
+};
+
+struct VariableReport {
+  int feature = -1;
+  double selected_fraction = 0;  ///< share of splits that picked it
+  double mean_coefficient = 0;   ///< mean over the splits that picked it
+};
+
+struct CrossValResult {
+  std::vector<SplitMetrics> per_split;
+  double misclassification_trimmed_mean = 0;
+  double misclassification_sd = 0;
+  double fn_rate_trimmed_mean = 0;
+  double fp_rate_trimmed_mean = 0;
+  /// Per-variable selection stats, sorted by selection frequency (desc).
+  std::vector<VariableReport> variables;
+  double success_rate() const { return 1.0 - misclassification_trimmed_mean; }
+};
+
+CrossValResult monte_carlo_cv(const Dataset& data, const CrossValOptions& opts = {});
+
+}  // namespace hps::stats

@@ -1,0 +1,152 @@
+#include "stats/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hps::stats {
+
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+/// Log-likelihood contribution, numerically stable.
+double loglik_term(double z, int y) {
+  // log p if y=1, log(1-p) if y=0; both equal -log(1 + exp(-s z')) forms.
+  const double zy = y == 1 ? z : -z;
+  if (zy > 35) return 0.0;
+  if (zy < -35) return zy;
+  return -std::log1p(std::exp(-zy));
+}
+
+}  // namespace
+
+double LogisticModel::predict(std::span<const double> row) const {
+  double z = intercept;
+  for (std::size_t j = 0; j < features.size(); ++j)
+    z += coef[j] * row[static_cast<std::size_t>(features[j])];
+  return sigmoid(z);
+}
+
+LogisticModel fit_logistic(const Dataset& data, std::span<const int> features,
+                           std::span<const std::size_t> rows,
+                           const LogisticFitOptions& opts) {
+  const std::size_t n = rows.size();
+  const std::size_t p = features.size();
+  HPS_REQUIRE(n >= 2, "fit_logistic: too few rows");
+  for (int f : features)
+    HPS_CHECK(f >= 0 && static_cast<std::size_t>(f) < data.p());
+
+  // Standardize selected columns over the training rows.
+  std::vector<double> mean(p, 0.0), sd(p, 1.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    double s = 0;
+    for (const std::size_t r : rows) s += data.x(r, static_cast<std::size_t>(features[j]));
+    mean[j] = s / static_cast<double>(n);
+    double ss = 0;
+    for (const std::size_t r : rows) {
+      const double d = data.x(r, static_cast<std::size_t>(features[j])) - mean[j];
+      ss += d * d;
+    }
+    sd[j] = std::sqrt(ss / static_cast<double>(n));
+    if (sd[j] < 1e-12) sd[j] = 1.0;  // constant column: coefficient stays 0
+  }
+
+  const std::size_t d = p + 1;  // intercept + features, standardized space
+  std::vector<double> beta(d, 0.0);
+  std::vector<double> z(n), w(n), resid(n);
+
+  auto linear = [&](std::size_t i) {
+    const std::size_t r = rows[i];
+    double s = beta[0];
+    for (std::size_t j = 0; j < p; ++j)
+      s += beta[j + 1] * (data.x(r, static_cast<std::size_t>(features[j])) - mean[j]) / sd[j];
+    return s;
+  };
+
+  LogisticModel model;
+  double prev_ll = -1e300;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+    // Newton step: solve (X'WX + ridge) delta = X'(y - p).
+    Matrix h(d, d);
+    std::vector<double> g(d, 0.0);
+    double ll = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = rows[i];
+      const double zi = linear(i);
+      const double pi = sigmoid(zi);
+      const int yi = data.y[r];
+      ll += loglik_term(zi, yi);
+      const double wi = std::max(pi * (1.0 - pi), 1e-10);
+      const double ri = static_cast<double>(yi) - pi;
+      // Accumulate gradient and Hessian over [1, x_std...].
+      std::vector<double> xi(d);
+      xi[0] = 1.0;
+      for (std::size_t j = 0; j < p; ++j)
+        xi[j + 1] = (data.x(r, static_cast<std::size_t>(features[j])) - mean[j]) / sd[j];
+      for (std::size_t a = 0; a < d; ++a) {
+        g[a] += ri * xi[a];
+        for (std::size_t b = a; b < d; ++b) h(a, b) += wi * xi[a] * xi[b];
+      }
+    }
+    for (std::size_t a = 0; a < d; ++a)
+      for (std::size_t b = 0; b < a; ++b) h(a, b) = h(b, a);
+    // Ridge on feature coefficients (not intercept) and its gradient term.
+    for (std::size_t a = 1; a < d; ++a) {
+      h(a, a) += opts.ridge;
+      g[a] -= opts.ridge * beta[a];
+    }
+
+    std::vector<double> delta;
+    try {
+      delta = cholesky_solve(h, g);
+    } catch (const Error&) {
+      break;  // Hessian collapsed (separation); keep the last iterate
+    }
+    double step = 0;
+    for (std::size_t a = 0; a < d; ++a) {
+      beta[a] += delta[a];
+      step = std::max(step, std::fabs(delta[a]));
+    }
+    model.log_likelihood = ll;
+    if (std::fabs(ll - prev_ll) < opts.tolerance && step < 1e-6) {
+      model.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  // Final log-likelihood at the converged beta.
+  double ll = 0;
+  for (std::size_t i = 0; i < n; ++i) ll += loglik_term(linear(i), data.y[rows[i]]);
+  model.log_likelihood = ll;
+  model.aic = 2.0 * static_cast<double>(d) - 2.0 * ll;
+
+  // Back-transform to the original feature scale.
+  model.features.assign(features.begin(), features.end());
+  model.coef.resize(p);
+  model.intercept = beta[0];
+  for (std::size_t j = 0; j < p; ++j) {
+    model.coef[j] = beta[j + 1] / sd[j];
+    model.intercept -= beta[j + 1] * mean[j] / sd[j];
+  }
+  return model;
+}
+
+LogisticModel fit_logistic(const Dataset& data, std::span<const int> features,
+                           const LogisticFitOptions& opts) {
+  std::vector<std::size_t> rows(data.n());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return fit_logistic(data, features, rows, opts);
+}
+
+}  // namespace hps::stats

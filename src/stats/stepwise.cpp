@@ -1,0 +1,45 @@
+#include "stats/stepwise.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hps::stats {
+
+StepwiseResult stepwise_forward(const Dataset& data, std::span<const std::size_t> rows,
+                                std::span<const int> excluded, const StepwiseOptions& opts) {
+  StepwiseResult res;
+  std::vector<bool> banned(data.p(), false);
+  for (int e : excluded) banned[static_cast<std::size_t>(e)] = true;
+
+  std::vector<int> selected;
+  LogisticModel current = fit_logistic(data, selected, rows, opts.fit);
+  res.aic_path.push_back(current.aic);
+
+  while (static_cast<int>(selected.size()) < opts.max_variables) {
+    int best_feature = -1;
+    LogisticModel best_model;
+    double best_aic = current.aic - opts.min_aic_improvement;
+    for (int f = 0; f < static_cast<int>(data.p()); ++f) {
+      if (banned[static_cast<std::size_t>(f)]) continue;
+      if (std::find(selected.begin(), selected.end(), f) != selected.end()) continue;
+      std::vector<int> trial = selected;
+      trial.push_back(f);
+      LogisticModel m = fit_logistic(data, trial, rows, opts.fit);
+      if (m.aic < best_aic) {
+        best_aic = m.aic;
+        best_feature = f;
+        best_model = std::move(m);
+      }
+    }
+    if (best_feature < 0) break;  // no candidate improves AIC
+    selected.push_back(best_feature);
+    res.order.push_back(best_feature);
+    current = std::move(best_model);
+    res.aic_path.push_back(current.aic);
+  }
+  res.model = std::move(current);
+  return res;
+}
+
+}  // namespace hps::stats

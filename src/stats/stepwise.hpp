@@ -1,0 +1,33 @@
+// Step-wise forward variable selection driven by the Akaike information
+// criterion, capped at a maximum number of variables to limit over-fitting
+// and multi-collinearity (the paper caps at five).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/logistic.hpp"
+
+namespace hps::stats {
+
+struct StepwiseOptions {
+  int max_variables = 5;
+  /// A candidate must improve AIC by at least this much to be added.
+  double min_aic_improvement = 1e-9;
+  LogisticFitOptions fit;
+};
+
+struct StepwiseResult {
+  LogisticModel model;           ///< final fitted model
+  std::vector<int> order;        ///< features in selection order
+  std::vector<double> aic_path;  ///< AIC after each addition (starting with
+                                 ///< the intercept-only AIC)
+};
+
+/// Forward-select from all columns of `data` using the given training rows.
+/// `excluded` columns are never considered (e.g. identifiers).
+StepwiseResult stepwise_forward(const Dataset& data, std::span<const std::size_t> rows,
+                                std::span<const int> excluded = {},
+                                const StepwiseOptions& opts = {});
+
+}  // namespace hps::stats

@@ -1,0 +1,302 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hps::topo {
+
+int Topology::hop_count(NodeId src, NodeId dst, std::uint64_t salt) const {
+  std::vector<LinkId> links;
+  route(src, dst, links, salt);
+  return static_cast<int>(links.size());
+}
+
+double Topology::average_hops(int sample_pairs) const {
+  const NodeId n = num_nodes();
+  if (n < 2) return 0.0;
+  Rng rng(0xA5A5F00DULL);
+  std::vector<LinkId> links;
+  std::int64_t total = 0;
+  int counted = 0;
+  for (int i = 0; i < sample_pairs; ++i) {
+    const auto a = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    route(a, b, links, static_cast<std::uint64_t>(i));
+    total += static_cast<std::int64_t>(links.size());
+    ++counted;
+  }
+  return counted > 0 ? static_cast<double>(total) / counted : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Torus3D
+// ---------------------------------------------------------------------------
+
+Torus3D::Torus3D(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  HPS_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+}
+
+void Torus3D::coords(NodeId n, int& x, int& y, int& z) const {
+  x = static_cast<int>(n) % nx_;
+  y = (static_cast<int>(n) / nx_) % ny_;
+  z = static_cast<int>(n) / (nx_ * ny_);
+}
+
+NodeId Torus3D::node_at(int x, int y, int z) const {
+  return static_cast<NodeId>((z * ny_ + y) * nx_ + x);
+}
+
+void Torus3D::route_impl(NodeId src, NodeId dst, std::vector<LinkId>& out,
+                    std::uint64_t /*salt*/) const {
+  out.clear();
+  if (src == dst) return;
+  int x, y, z, dx, dy, dz;
+  coords(src, x, y, z);
+  coords(dst, dx, dy, dz);
+
+  // One dimension at a time, taking the shorter wrap direction (positive on
+  // ties, keeping routing deterministic).
+  auto walk_dim = [&](int& cur, int target, int size, int pos_dir, int neg_dir,
+                      auto node_of) {
+    if (cur == target) return;
+    const int fwd = (target - cur + size) % size;
+    const int bwd = size - fwd;
+    const bool positive = fwd <= bwd;
+    const int steps = positive ? fwd : bwd;
+    for (int s = 0; s < steps; ++s) {
+      const NodeId here = node_of(cur);
+      out.push_back(link_from(here, positive ? pos_dir : neg_dir));
+      cur = positive ? (cur + 1) % size : (cur - 1 + size) % size;
+    }
+  };
+
+  walk_dim(x, dx, nx_, 0, 1, [&](int cx) { return node_at(cx, y, z); });
+  walk_dim(y, dy, ny_, 2, 3, [&](int cy) { return node_at(x, cy, z); });
+  walk_dim(z, dz, nz_, 4, 5, [&](int cz) { return node_at(x, y, cz); });
+}
+
+std::string Torus3D::name() const {
+  return "torus3d_" + std::to_string(nx_) + "x" + std::to_string(ny_) + "x" +
+         std::to_string(nz_);
+}
+
+// ---------------------------------------------------------------------------
+// Dragonfly
+// ---------------------------------------------------------------------------
+
+Dragonfly::Dragonfly(int groups, int routers_per_group, int nodes_per_router,
+                     int global_per_router, bool valiant)
+    : groups_(groups), a_(routers_per_group), p_(nodes_per_router), h_(global_per_router),
+      valiant_(valiant) {
+  HPS_CHECK(groups >= 1 && routers_per_group >= 1 && nodes_per_router >= 1 &&
+            global_per_router >= 1);
+  // Full inter-group connectivity requires a*h ports >= g-1 per group.
+  HPS_CHECK_MSG(groups - 1 <= routers_per_group * global_per_router,
+                "dragonfly has too few global ports for full group connectivity");
+}
+
+NodeId Dragonfly::num_nodes() const { return groups_ * a_ * p_; }
+
+LinkId Dragonfly::num_links() const {
+  const LinkId terminals = 2 * num_nodes();
+  const LinkId locals = groups_ * a_ * a_;  // includes unused self slots, keeps indexing simple
+  const LinkId globals = groups_ * a_ * h_;
+  return terminals + locals + globals;
+}
+
+LinkId Dragonfly::local_link(int router_from, int router_to) const {
+  const int g = group_of_router(router_from);
+  HPS_CHECK(group_of_router(router_to) == g && router_from != router_to);
+  const int lf = router_from % a_;
+  const int lt = router_to % a_;
+  return 2 * num_nodes() + (g * a_ + lf) * a_ + lt;
+}
+
+LinkId Dragonfly::global_link(int router, int port) const {
+  return 2 * num_nodes() + groups_ * a_ * a_ + router * h_ + port;
+}
+
+bool Dragonfly::global_port(int group, int to_group, std::uint64_t salt, int& router,
+                            int& port) const {
+  if (group == to_group) return false;
+  // Each destination group d gets `parallel` dedicated (router, port) slots
+  // inside `group` — when the machine has fewer groups than global ports can
+  // serve, the spare ports become parallel links between the same group pair
+  // (as real dragonfly deployments cable them). The salt picks among them.
+  const int d = to_group > group ? to_group - 1 : to_group;
+  const int parallel = std::max(1, (a_ * h_) / std::max(1, groups_ - 1));
+  const int lane = static_cast<int>(salt % static_cast<std::uint64_t>(parallel));
+  const int slot = d * parallel + lane;  // < a*h by construction
+  router = group * a_ + slot / h_;
+  port = slot % h_;
+  return true;
+}
+
+void Dragonfly::route_within_group(int r_from, int r_to, std::vector<LinkId>& out) const {
+  if (r_from != r_to) out.push_back(local_link(r_from, r_to));
+}
+
+void Dragonfly::route_groups(int g_from, int r_from, int g_to, std::uint64_t salt,
+                             std::vector<LinkId>& out, int& arrival_router) const {
+  int gr = 0, gp = 0;
+  HPS_CHECK(global_port(g_from, g_to, salt, gr, gp));
+  route_within_group(r_from, gr, out);
+  out.push_back(global_link(gr, gp));
+  // The parallel lane chosen by `salt` lands on the peer router cabled with
+  // the same lane in the destination group.
+  int back_r = 0, back_p = 0;
+  HPS_CHECK(global_port(g_to, g_from, salt, back_r, back_p));
+  arrival_router = back_r;
+}
+
+void Dragonfly::route_impl(NodeId src, NodeId dst, std::vector<LinkId>& out,
+                      std::uint64_t salt) const {
+  out.clear();
+  if (src == dst) return;
+  const int rs = router_of(src), rd = router_of(dst);
+  const int gs = group_of_router(rs), gd = group_of_router(rd);
+
+  out.push_back(terminal_up(src));
+  if (rs == rd) {
+    out.push_back(terminal_down(dst));
+    return;
+  }
+  if (gs == gd) {
+    route_within_group(rs, rd, out);
+    out.push_back(terminal_down(dst));
+    return;
+  }
+
+  int cur_router = rs;
+  int cur_group = gs;
+  if (valiant_ && groups_ > 2) {
+    const std::uint64_t h = mix_seed(salt, mix_seed(static_cast<std::uint64_t>(src) << 20,
+                                                    static_cast<std::uint64_t>(dst)));
+    const int gm = static_cast<int>(h % static_cast<std::uint64_t>(groups_));
+    if (gm != gs && gm != gd) {
+      int arrival = 0;
+      route_groups(cur_group, cur_router, gm, mix_seed(salt, 0x17), out, arrival);
+      cur_router = arrival;
+      cur_group = gm;
+    }
+  }
+  int arrival = 0;
+  const std::uint64_t lane_salt = mix_seed(salt, mix_seed(static_cast<std::uint64_t>(src),
+                                                          static_cast<std::uint64_t>(dst)));
+  route_groups(cur_group, cur_router, gd, lane_salt, out, arrival);
+  route_within_group(arrival, rd, out);
+  out.push_back(terminal_down(dst));
+}
+
+std::string Dragonfly::name() const {
+  return "dragonfly_g" + std::to_string(groups_) + "a" + std::to_string(a_) + "p" +
+         std::to_string(p_) + "h" + std::to_string(h_) + (valiant_ ? "_valiant" : "");
+}
+
+// ---------------------------------------------------------------------------
+// FatTree
+// ---------------------------------------------------------------------------
+
+FatTree::FatTree(int k) : k_(k) {
+  HPS_CHECK(k >= 2 && k % 2 == 0);
+}
+
+LinkId FatTree::num_edge_links() const { return 2 * num_nodes(); }
+
+LinkId FatTree::num_links() const {
+  const int half = k_ / 2;
+  const LinkId terminals = 2 * num_nodes();
+  const LinkId edge_agg = 2 * k_ * half * half;  // per pod: (k/2 edges)x(k/2 aggs), both dirs
+  const LinkId agg_core = 2 * k_ * half * half;  // per pod: (k/2 aggs)x(k/2 cores each)
+  return terminals + edge_agg + agg_core;
+}
+
+void FatTree::route_impl(NodeId src, NodeId dst, std::vector<LinkId>& out,
+                    std::uint64_t /*salt*/) const {
+  out.clear();
+  if (src == dst) return;
+  const int half = k_ / 2;
+  const NodeId n = num_nodes();
+  const int pod_nodes = half * half;
+
+  const int src_pod = static_cast<int>(src) / pod_nodes;
+  const int dst_pod = static_cast<int>(dst) / pod_nodes;
+  const int src_edge = (static_cast<int>(src) % pod_nodes) / half;  // edge index in pod
+  const int dst_edge = (static_cast<int>(dst) % pod_nodes) / half;
+
+  // Link id bases.
+  const LinkId base_up = 0;           // node -> edge
+  const LinkId base_down = n;         // edge -> node
+  const LinkId base_ea = 2 * n;       // edge -> agg: (pod*half+e)*half + j
+  const LinkId base_ae = base_ea + k_ * half * half;  // agg -> edge
+  const LinkId base_ac = base_ae + k_ * half * half;  // agg -> core: (pod*half+j)*half + i
+  const LinkId base_ca = base_ac + k_ * half * half;  // core -> agg: core*k + pod
+
+  // D-mod-k style deterministic up-path selection from the destination id.
+  const int j = static_cast<int>(dst) % half;           // aggregation index
+  const int i = (static_cast<int>(dst) / half) % half;  // core index within group j
+
+  out.push_back(base_up + src);
+  if (src_pod == dst_pod && src_edge == dst_edge) {
+    out.push_back(base_down + dst);
+    return;
+  }
+  out.push_back(base_ea + (src_pod * half + src_edge) * half + j);
+  if (src_pod != dst_pod) {
+    out.push_back(base_ac + (src_pod * half + j) * half + i);
+    const int core = j * half + i;
+    out.push_back(base_ca + core * k_ + dst_pod);
+  }
+  out.push_back(base_ae + (dst_pod * half + j) * half + dst_edge);
+  out.push_back(base_down + dst);
+}
+
+std::string FatTree::name() const { return "fattree_k" + std::to_string(k_); }
+
+// ---------------------------------------------------------------------------
+// Sizing helpers
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Topology> make_torus_for(int min_nodes) {
+  HPS_CHECK(min_nodes >= 1);
+  // Near-cubic dimensions: nx >= ny >= nz, smallest product >= min_nodes.
+  int nz = std::max(1, static_cast<int>(std::cbrt(static_cast<double>(min_nodes))));
+  while (nz > 1 && nz * nz * nz > min_nodes * 2) --nz;
+  int ny = nz;
+  while (true) {
+    const int nx = (min_nodes + ny * nz - 1) / (ny * nz);
+    if (nx >= ny) return std::make_unique<Torus3D>(std::max(nx, 1), ny, nz);
+    ++ny;
+  }
+}
+
+std::unique_ptr<Topology> make_dragonfly_for(int min_nodes, bool valiant) {
+  HPS_CHECK(min_nodes >= 1);
+  // Aries-like building block: a=8 routers/group, p=4 nodes/router, h=4.
+  const int a = 8, p = 4, h = 4;
+  const int per_group = a * p;
+  int groups = std::max(2, (min_nodes + per_group - 1) / per_group);
+  groups = std::min(groups, a * h + 1);
+  if (groups * per_group < min_nodes) {
+    // Fall back to a denser group if the cap binds (very large node counts).
+    const int a2 = 16, p2 = 8, h2 = 8;
+    int g2 = std::max(2, (min_nodes + a2 * p2 - 1) / (a2 * p2));
+    g2 = std::min(g2, a2 * h2 + 1);
+    HPS_CHECK_MSG(g2 * a2 * p2 >= min_nodes, "dragonfly sizing overflow");
+    return std::make_unique<Dragonfly>(g2, a2, p2, h2, valiant);
+  }
+  return std::make_unique<Dragonfly>(groups, a, p, h, valiant);
+}
+
+std::unique_ptr<Topology> make_fattree_for(int min_nodes) {
+  HPS_CHECK(min_nodes >= 1);
+  int k = 4;
+  while (k * k * k / 4 < min_nodes) k += 2;
+  return std::make_unique<FatTree>(k);
+}
+
+}  // namespace hps::topo

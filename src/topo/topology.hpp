@@ -1,0 +1,146 @@
+// Interconnect topology abstraction.
+//
+// A topology enumerates compute nodes (endpoints) and directed links, and
+// produces the ordered list of links a message crosses between two nodes.
+// Routing is deterministic for a given (src, dst, salt) so that simulations
+// are reproducible; adaptive/randomized schemes (Valiant on the dragonfly)
+// derive their choice from the salt.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hps::topo {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of endpoint (compute) nodes.
+  virtual NodeId num_nodes() const = 0;
+
+  /// Number of directed network links (used to size per-link state arrays).
+  virtual LinkId num_links() const = 0;
+
+  /// Append the directed links of the route from `src` to `dst` to `out`
+  /// (cleared first). Empty result for src == dst (loopback stays on-node).
+  /// `salt` steers any randomized choice deterministically.
+  void route(NodeId src, NodeId dst, std::vector<LinkId>& out, std::uint64_t salt = 0) const {
+    route_impl(src, dst, out, salt);
+  }
+
+  /// Number of hops (links) between two nodes under this routing.
+  int hop_count(NodeId src, NodeId dst, std::uint64_t salt = 0) const;
+
+  /// Average hop count over a deterministic sample of node pairs (used to
+  /// split an end-to-end latency budget into per-hop latencies).
+  double average_hops(int sample_pairs = 512) const;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  virtual void route_impl(NodeId src, NodeId dst, std::vector<LinkId>& out,
+                          std::uint64_t salt) const = 0;
+};
+
+/// 3D torus with bidirectional links and dimension-order (X, then Y, then Z)
+/// shortest-wrap routing; the shape of a Cray XE6 Gemini network.
+class Torus3D final : public Topology {
+ public:
+  Torus3D(int nx, int ny, int nz);
+
+  NodeId num_nodes() const override { return nx_ * ny_ * nz_; }
+  LinkId num_links() const override { return num_nodes() * 6; }
+  std::string name() const override;
+
+  /// Directed link leaving `node` in direction dir (0:+x 1:-x 2:+y 3:-y 4:+z 5:-z).
+  LinkId link_from(NodeId node, int dir) const { return node * 6 + dir; }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+
+ private:
+  void route_impl(NodeId src, NodeId dst, std::vector<LinkId>& out,
+                  std::uint64_t salt) const override;
+  void coords(NodeId n, int& x, int& y, int& z) const;
+  NodeId node_at(int x, int y, int z) const;
+  int nx_, ny_, nz_;
+};
+
+/// Dragonfly: `groups` groups of `routers_per_group` routers, each with
+/// `nodes_per_router` endpoints and `global_per_router` global links.
+/// Local links form a complete graph inside each group; global links connect
+/// group pairs round-robin. Minimal routing (l-g-l) by default; Valiant
+/// (random intermediate group, l-g-l-g-l) when enabled, selected via salt.
+/// The shape of a Cray XC30 Aries network.
+class Dragonfly final : public Topology {
+ public:
+  Dragonfly(int groups, int routers_per_group, int nodes_per_router, int global_per_router,
+            bool valiant = false);
+
+  NodeId num_nodes() const override;
+  LinkId num_links() const override;
+  std::string name() const override;
+
+  int groups() const { return groups_; }
+  int routers_per_group() const { return a_; }
+  int nodes_per_router() const { return p_; }
+
+ private:
+  void route_impl(NodeId src, NodeId dst, std::vector<LinkId>& out,
+                  std::uint64_t salt) const override;
+  int router_of(NodeId n) const { return static_cast<int>(n) / p_; }
+  int group_of_router(int r) const { return r / a_; }
+  // Link id layout: [terminal up][terminal down][local][global].
+  LinkId terminal_up(NodeId n) const { return n; }
+  LinkId terminal_down(NodeId n) const { return num_nodes() + n; }
+  LinkId local_link(int router_from, int router_to) const;
+  LinkId global_link(int router, int port) const;
+  /// Router in `group` owning a global link to `to_group` (salt selects
+  /// among parallel links when spare ports are cabled), and its port.
+  bool global_port(int group, int to_group, std::uint64_t salt, int& router,
+                   int& port) const;
+  void route_within_group(int r_from, int r_to, std::vector<LinkId>& out) const;
+  void route_groups(int g_from, int r_from, int g_to, std::uint64_t salt,
+                    std::vector<LinkId>& out, int& arrival_router) const;
+
+  int groups_, a_, p_, h_;
+  bool valiant_;
+};
+
+/// Three-level k-port fat tree (k even): k pods, k*k/4 core switches,
+/// k^3/4 endpoints, destination-mod-k (D-mod-k) up-path selection.
+class FatTree final : public Topology {
+ public:
+  explicit FatTree(int k);
+
+  NodeId num_nodes() const override { return k_ * k_ * k_ / 4; }
+  LinkId num_links() const override;
+  std::string name() const override;
+
+  int k() const { return k_; }
+
+ private:
+  void route_impl(NodeId src, NodeId dst, std::vector<LinkId>& out,
+                  std::uint64_t salt) const override;
+  // Switch numbering: edge switches 0..k^2/2-1 (k/2 per pod), aggregation
+  // switches next k^2/2, core switches last k^2/4.
+  int edge_of(NodeId n) const { return static_cast<int>(n) / (k_ / 2); }
+  LinkId num_edge_links() const;  // node<->edge, both directions
+  int k_;
+};
+
+/// Build a Torus3D with at least `min_nodes` nodes, near-cubic.
+std::unique_ptr<Topology> make_torus_for(int min_nodes);
+
+/// Build a Dragonfly with at least `min_nodes` nodes (Aries-like a=16, p=4).
+std::unique_ptr<Topology> make_dragonfly_for(int min_nodes, bool valiant = false);
+
+/// Build a FatTree with at least `min_nodes` nodes.
+std::unique_ptr<Topology> make_fattree_for(int min_nodes);
+
+}  // namespace hps::topo

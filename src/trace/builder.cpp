@@ -1,0 +1,178 @@
+#include "trace/builder.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hps::trace {
+
+Event& RankBuilder::push(OpType t) {
+  auto& events = trace_->rank(rank_).events;
+  events.emplace_back();
+  events.back().type = t;
+  return events.back();
+}
+
+RankBuilder& RankBuilder::compute(SimTime duration) {
+  HPS_CHECK(duration >= 0);
+  if (duration == 0) return *this;
+  auto& events = trace_->rank(rank_).events;
+  // Coalesce back-to-back compute intervals to keep traces compact.
+  if (!events.empty() && events.back().type == OpType::kCompute) {
+    events.back().duration += duration;
+    return *this;
+  }
+  Event& e = push(OpType::kCompute);
+  e.duration = duration;
+  return *this;
+}
+
+RankBuilder& RankBuilder::send(Rank dst, std::uint64_t bytes, Tag tag, SimTime measured) {
+  Event& e = push(OpType::kSend);
+  e.peer = dst;
+  e.bytes = bytes;
+  e.tag = tag;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::recv(Rank src, std::uint64_t bytes, Tag tag, SimTime measured) {
+  Event& e = push(OpType::kRecv);
+  e.peer = src;
+  e.bytes = bytes;
+  e.tag = tag;
+  e.duration = measured;
+  return *this;
+}
+
+std::int32_t RankBuilder::isend(Rank dst, std::uint64_t bytes, Tag tag, SimTime measured) {
+  Event& e = push(OpType::kIsend);
+  e.peer = dst;
+  e.bytes = bytes;
+  e.tag = tag;
+  e.duration = measured;
+  e.request = next_request_++;
+  return e.request;
+}
+
+std::int32_t RankBuilder::irecv(Rank src, std::uint64_t bytes, Tag tag, SimTime measured) {
+  Event& e = push(OpType::kIrecv);
+  e.peer = src;
+  e.bytes = bytes;
+  e.tag = tag;
+  e.duration = measured;
+  e.request = next_request_++;
+  return e.request;
+}
+
+RankBuilder& RankBuilder::wait(std::int32_t request, SimTime measured) {
+  Event& e = push(OpType::kWait);
+  e.request = request;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::waitall(SimTime measured) {
+  Event& e = push(OpType::kWaitAll);
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::barrier(SimTime measured, CommId comm) {
+  Event& e = push(OpType::kBarrier);
+  e.comm = comm;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::allreduce(std::uint64_t bytes, SimTime measured, CommId comm) {
+  Event& e = push(OpType::kAllreduce);
+  e.comm = comm;
+  e.bytes = bytes;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::allgather(std::uint64_t bytes, SimTime measured, CommId comm) {
+  Event& e = push(OpType::kAllgather);
+  e.comm = comm;
+  e.bytes = bytes;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::alltoall(std::uint64_t bytes_per_peer, SimTime measured, CommId comm) {
+  Event& e = push(OpType::kAlltoall);
+  e.comm = comm;
+  e.bytes = bytes_per_peer;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::alltoallv(std::span<const std::uint64_t> bytes_per_dest,
+                                    SimTime measured, CommId comm) {
+  HPS_CHECK(bytes_per_dest.size() == trace_->comm(comm).size());
+  auto& rt = trace_->rank(rank_);
+  rt.vlists.emplace_back(bytes_per_dest.begin(), bytes_per_dest.end());
+  Event& e = push(OpType::kAlltoallv);
+  e.comm = comm;
+  e.aux = static_cast<std::int32_t>(rt.vlists.size() - 1);
+  e.bytes = std::accumulate(bytes_per_dest.begin(), bytes_per_dest.end(), std::uint64_t{0});
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::bcast(Rank root, std::uint64_t bytes, SimTime measured, CommId comm) {
+  Event& e = push(OpType::kBcast);
+  e.comm = comm;
+  e.peer = root;
+  e.bytes = bytes;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::reduce(Rank root, std::uint64_t bytes, SimTime measured, CommId comm) {
+  Event& e = push(OpType::kReduce);
+  e.comm = comm;
+  e.peer = root;
+  e.bytes = bytes;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::gather(Rank root, std::uint64_t bytes, SimTime measured, CommId comm) {
+  Event& e = push(OpType::kGather);
+  e.comm = comm;
+  e.peer = root;
+  e.bytes = bytes;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::scatter(Rank root, std::uint64_t bytes, SimTime measured, CommId comm) {
+  Event& e = push(OpType::kScatter);
+  e.comm = comm;
+  e.peer = root;
+  e.bytes = bytes;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::reduce_scatter(std::uint64_t total_bytes, SimTime measured,
+                                         CommId comm) {
+  Event& e = push(OpType::kReduceScatter);
+  e.comm = comm;
+  e.bytes = total_bytes;
+  e.duration = measured;
+  return *this;
+}
+
+RankBuilder& RankBuilder::scan(std::uint64_t bytes, SimTime measured, CommId comm) {
+  Event& e = push(OpType::kScan);
+  e.comm = comm;
+  e.bytes = bytes;
+  e.duration = measured;
+  return *this;
+}
+
+}  // namespace hps::trace

@@ -1,0 +1,63 @@
+// Fluent per-rank trace construction, used by the synthetic workload
+// generators. Handles request-id allocation for nonblocking operations and
+// records measured durations supplied by the caller (normally the
+// ground-truth cost model in src/workloads).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hps::trace {
+
+/// Appends events to one rank of a Trace.
+class RankBuilder {
+ public:
+  RankBuilder(Trace& trace, Rank rank) : trace_(&trace), rank_(rank) {}
+
+  Rank rank() const { return rank_; }
+
+  /// Local computation for `duration` nanoseconds.
+  RankBuilder& compute(SimTime duration);
+
+  /// Blocking send/recv. `measured` is the elapsed time observed on the
+  /// original machine for the call.
+  RankBuilder& send(Rank dst, std::uint64_t bytes, Tag tag, SimTime measured);
+  RankBuilder& recv(Rank src, std::uint64_t bytes, Tag tag, SimTime measured);
+
+  /// Nonblocking send/recv; returns the request id to pass to wait().
+  std::int32_t isend(Rank dst, std::uint64_t bytes, Tag tag, SimTime measured);
+  std::int32_t irecv(Rank src, std::uint64_t bytes, Tag tag, SimTime measured);
+
+  RankBuilder& wait(std::int32_t request, SimTime measured);
+  RankBuilder& waitall(SimTime measured);
+
+  RankBuilder& barrier(SimTime measured, CommId comm = kCommWorld);
+  RankBuilder& allreduce(std::uint64_t bytes, SimTime measured, CommId comm = kCommWorld);
+  RankBuilder& allgather(std::uint64_t bytes, SimTime measured, CommId comm = kCommWorld);
+  RankBuilder& alltoall(std::uint64_t bytes_per_peer, SimTime measured,
+                        CommId comm = kCommWorld);
+  /// `bytes_per_dest` must have one entry per member of `comm`.
+  RankBuilder& alltoallv(std::span<const std::uint64_t> bytes_per_dest, SimTime measured,
+                         CommId comm = kCommWorld);
+  RankBuilder& bcast(Rank root, std::uint64_t bytes, SimTime measured,
+                     CommId comm = kCommWorld);
+  RankBuilder& reduce(Rank root, std::uint64_t bytes, SimTime measured,
+                      CommId comm = kCommWorld);
+  RankBuilder& gather(Rank root, std::uint64_t bytes, SimTime measured,
+                      CommId comm = kCommWorld);
+  RankBuilder& scatter(Rank root, std::uint64_t bytes, SimTime measured,
+                       CommId comm = kCommWorld);
+  RankBuilder& reduce_scatter(std::uint64_t total_bytes, SimTime measured,
+                              CommId comm = kCommWorld);
+  RankBuilder& scan(std::uint64_t bytes, SimTime measured, CommId comm = kCommWorld);
+
+ private:
+  Event& push(OpType t);
+  Trace* trace_;
+  Rank rank_;
+  std::int32_t next_request_ = 0;
+};
+
+}  // namespace hps::trace

@@ -1,0 +1,29 @@
+#include "trace/event.hpp"
+
+namespace hps::trace {
+
+const char* op_name(OpType t) {
+  switch (t) {
+    case OpType::kCompute: return "Compute";
+    case OpType::kSend: return "Send";
+    case OpType::kIsend: return "Isend";
+    case OpType::kRecv: return "Recv";
+    case OpType::kIrecv: return "Irecv";
+    case OpType::kWait: return "Wait";
+    case OpType::kWaitAll: return "WaitAll";
+    case OpType::kBarrier: return "Barrier";
+    case OpType::kBcast: return "Bcast";
+    case OpType::kReduce: return "Reduce";
+    case OpType::kAllreduce: return "Allreduce";
+    case OpType::kAllgather: return "Allgather";
+    case OpType::kAlltoall: return "Alltoall";
+    case OpType::kAlltoallv: return "Alltoallv";
+    case OpType::kGather: return "Gather";
+    case OpType::kScatter: return "Scatter";
+    case OpType::kReduceScatter: return "ReduceScatter";
+    case OpType::kScan: return "Scan";
+  }
+  return "?";
+}
+
+}  // namespace hps::trace

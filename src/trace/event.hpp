@@ -1,0 +1,97 @@
+// The trace event model — an in-memory equivalent of a DUMPI trace record.
+//
+// A trace is a per-rank sequence of events. Each communication event carries
+// the *measured* elapsed time observed on the machine the trace was
+// "collected" on (synthesized by src/workloads in this reproduction), which
+// is what both the modeling tool and the simulators replace with their own
+// predicted cost during replay. Compute events carry the measured
+// computation interval between MPI calls.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace hps::trace {
+
+/// MPI operation kinds recorded in a trace.
+enum class OpType : std::uint8_t {
+  kCompute,    // local computation; `duration` is the measured interval
+  kSend,       // blocking standard-mode send
+  kIsend,      // nonblocking send; `request` names the request
+  kRecv,       // blocking receive
+  kIrecv,      // nonblocking receive; `request` names the request
+  kWait,       // wait for one named request
+  kWaitAll,    // wait for every outstanding request of this rank
+  kBarrier,
+  kBcast,      // rooted; `peer` is the root, `bytes` is the payload
+  kReduce,     // rooted; `peer` is the root
+  kAllreduce,  // `bytes` is the reduced payload size
+  kAllgather,  // `bytes` is the per-rank contribution
+  kAlltoall,   // `bytes` is the per-peer block size
+  kAlltoallv,  // `aux` indexes the per-destination byte list; `bytes` = total sent
+  kGather,       // rooted; `peer` is the root; `bytes` per-rank contribution
+  kScatter,      // rooted; `peer` is the root; `bytes` per-rank block
+  kReduceScatter,  // `bytes` is the total reduced vector (each rank keeps 1/n)
+  kScan,           // inclusive prefix reduction; `bytes` is the payload
+};
+
+/// Number of distinct OpType values (for tables indexed by op).
+inline constexpr int kNumOpTypes = 18;
+
+constexpr bool is_p2p(OpType t) {
+  return t == OpType::kSend || t == OpType::kIsend || t == OpType::kRecv ||
+         t == OpType::kIrecv;
+}
+
+constexpr bool is_send_like(OpType t) { return t == OpType::kSend || t == OpType::kIsend; }
+constexpr bool is_recv_like(OpType t) { return t == OpType::kRecv || t == OpType::kIrecv; }
+
+constexpr bool is_collective(OpType t) {
+  switch (t) {
+    case OpType::kBarrier:
+    case OpType::kBcast:
+    case OpType::kReduce:
+    case OpType::kAllreduce:
+    case OpType::kAllgather:
+    case OpType::kAlltoall:
+    case OpType::kAlltoallv:
+    case OpType::kGather:
+    case OpType::kScatter:
+    case OpType::kReduceScatter:
+    case OpType::kScan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for collectives in which every rank both sends to and receives from
+/// every other rank (used by the feature extractor's "first all-to-all").
+constexpr bool is_alltoall_like(OpType t) {
+  return t == OpType::kAlltoall || t == OpType::kAlltoallv;
+}
+
+/// True for rooted collectives where `peer` holds the root rank.
+constexpr bool is_rooted(OpType t) {
+  return t == OpType::kBcast || t == OpType::kReduce || t == OpType::kGather ||
+         t == OpType::kScatter;
+}
+
+const char* op_name(OpType t);
+
+/// One trace record. 40 bytes, trivially copyable; traces hold millions.
+struct Event {
+  OpType type = OpType::kCompute;
+  Rank peer = -1;        // p2p: the other rank (world-numbered); rooted collective: root
+  Tag tag = 0;           // p2p matching tag
+  CommId comm = kCommWorld;
+  std::int32_t request = -1;  // Isend/Irecv/Wait: per-rank request id
+  std::int32_t aux = -1;      // Alltoallv: index into RankTrace::vlists
+  std::uint64_t bytes = 0;    // payload size (semantics depend on `type`)
+  SimTime duration = 0;       // measured elapsed time of this event, ns
+};
+
+static_assert(sizeof(Event) <= 40, "Event grew; check hot-loop footprint");
+
+}  // namespace hps::trace

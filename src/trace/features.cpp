@@ -1,0 +1,69 @@
+#include "trace/features.hpp"
+
+#include "common/error.hpp"
+
+namespace hps::trace {
+
+std::span<const std::string> feature_names() {
+  static const std::string names[kNumFeatures] = {
+      "R",    "RN",    "N",     "T",      "Tcp",    "PoCP",  "Tc",     "PoC",   "Tbr",
+      "PoBR", "Tfbr",  "PoFBR", "Tcoll",  "PoCOLL", "Tfcoll", "PoFCOLL", "Tp2p", "PoTp2p",
+      "Tsyn", "PoSYN", "Tasyn", "PoASYN", "TB",     "NoM",   "TBp2p",  "CR",    "CRComm",
+      "NoCALL", "NoS", "NoIS",  "NoR",    "NoIR",   "NoB",   "NoC",    "CL"};
+  return {names, static_cast<std::size_t>(kNumFeatures)};
+}
+
+FeatureVector extract_features(const Trace& t) {
+  return extract_features(t.meta(), compute_stats(t));
+}
+
+FeatureVector extract_features(const TraceMeta& meta, const TraceStats& s) {
+  FeatureVector f;
+  const double total_s = time_to_seconds(s.time_total);
+  const auto pct = [&](SimTime part) {
+    return s.time_total > 0
+               ? 100.0 * static_cast<double>(part) / static_cast<double>(s.time_total)
+               : 0.0;
+  };
+
+  f[kF_R] = static_cast<double>(meta.nranks);
+  f[kF_RN] = static_cast<double>(meta.ranks_per_node);
+  f[kF_N] = static_cast<double>((meta.nranks + meta.ranks_per_node - 1) / meta.ranks_per_node);
+  f[kF_T] = total_s;
+  f[kF_Tcp] = time_to_seconds(s.time_compute);
+  f[kF_PoCP] = pct(s.time_compute);
+  f[kF_Tc] = time_to_seconds(s.time_comm);
+  f[kF_PoC] = pct(s.time_comm);
+  f[kF_Tbr] = time_to_seconds(s.time_barrier);
+  f[kF_PoBR] = pct(s.time_barrier);
+  f[kF_Tfbr] = time_to_seconds(s.time_first_barrier);
+  f[kF_PoFBR] = pct(s.time_first_barrier);
+  f[kF_Tcoll] = time_to_seconds(s.time_collective);
+  f[kF_PoCOLL] = pct(s.time_collective);
+  f[kF_Tfcoll] = time_to_seconds(s.time_first_a2a);
+  f[kF_PoFCOLL] = pct(s.time_first_a2a);
+  f[kF_Tp2p] = time_to_seconds(s.time_p2p);
+  f[kF_PoTp2p] = pct(s.time_p2p);
+  f[kF_Tsyn] = time_to_seconds(s.time_sync_p2p);
+  f[kF_PoSYN] = pct(s.time_sync_p2p);
+  f[kF_Tasyn] = time_to_seconds(s.time_async_p2p);
+  f[kF_PoASYN] = pct(s.time_async_p2p);
+  f[kF_TB] = static_cast<double>(s.bytes_total);
+  f[kF_NoM] = static_cast<double>(s.messages);
+  f[kF_TBp2p] = static_cast<double>(s.bytes_p2p);
+  f[kF_CR] = s.avg_dests_per_source;
+  f[kF_CRComm] =
+      s.comm_pairs > 0 ? static_cast<double>(s.bytes_p2p) / static_cast<double>(s.comm_pairs)
+                       : 0.0;
+  f[kF_NoCALL] = static_cast<double>(s.mpi_calls);
+  f[kF_NoS] = static_cast<double>(s.sends);
+  f[kF_NoIS] = static_cast<double>(s.isends);
+  f[kF_NoR] = static_cast<double>(s.recvs);
+  f[kF_NoIR] = static_cast<double>(s.irecvs);
+  f[kF_NoB] = static_cast<double>(s.barriers);
+  f[kF_NoC] = static_cast<double>(s.collectives);
+  f[kF_CL] = 0.0;
+  return f;
+}
+
+}  // namespace hps::trace

@@ -1,0 +1,73 @@
+// The 35 candidate features of the paper's Table III, extracted from a
+// trace. Feature 34 ("CL", the MFACT communication-sensitivity class) cannot
+// be derived from the trace alone — it is filled in by the caller after
+// running the MFACT classifier (1 = communication-sensitive "cs",
+// 0 = "ncs" for computation-bound and load-imbalance-bound).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hps::trace {
+
+/// Feature indices, mirroring Table III of the paper.
+enum Feature : int {
+  kF_R = 0,        ///< number of ranks
+  kF_RN,           ///< ranks per node
+  kF_N,            ///< number of nodes deployed
+  kF_T,            ///< total execution time (s, summed over ranks)
+  kF_Tcp,          ///< computation time (s)
+  kF_PoCP,         ///< % of computation time
+  kF_Tc,           ///< communication time (s)
+  kF_PoC,          ///< % of communication time
+  kF_Tbr,          ///< barrier time (s)
+  kF_PoBR,         ///< % of barrier time
+  kF_Tfbr,         ///< first barrier time (s)
+  kF_PoFBR,        ///< % of first barrier time
+  kF_Tcoll,        ///< collective time (s)
+  kF_PoCOLL,       ///< % of collective time
+  kF_Tfcoll,       ///< first all-to-all collective time (s)
+  kF_PoFCOLL,      ///< % of first all-to-all collective time
+  kF_Tp2p,         ///< point-to-point time (s)
+  kF_PoTp2p,       ///< % of point-to-point time
+  kF_Tsyn,         ///< synchronous (blocking) p2p time (s)
+  kF_PoSYN,        ///< % of synchronous p2p time
+  kF_Tasyn,        ///< asynchronous p2p time (s)
+  kF_PoASYN,       ///< % of asynchronous p2p time
+  kF_TB,           ///< total bytes sent
+  kF_NoM,          ///< number of messages sent
+  kF_TBp2p,        ///< total p2p bytes sent
+  kF_CR,           ///< destination ranks per source (mean)
+  kF_CRComm,       ///< average p2p bytes per (src, dst) pair
+  kF_NoCALL,       ///< number of MPI calls
+  kF_NoS,          ///< number of blocking sends
+  kF_NoIS,         ///< number of nonblocking sends
+  kF_NoR,          ///< number of blocking receives
+  kF_NoIR,         ///< number of nonblocking receives
+  kF_NoB,          ///< number of barriers
+  kF_NoC,          ///< number of collectives
+  kF_CL,           ///< sensitivity class: 1 = cs, 0 = ncs (set by MFACT)
+  kNumFeatures,
+};
+
+/// Short names as printed in the paper's tables ("CL{ncs}" style handled by
+/// the model reporting layer).
+std::span<const std::string> feature_names();
+
+/// A feature vector for one trace.
+struct FeatureVector {
+  std::array<double, kNumFeatures> v{};
+  double operator[](int i) const { return v[static_cast<std::size_t>(i)]; }
+  double& operator[](int i) { return v[static_cast<std::size_t>(i)]; }
+};
+
+/// Extract features 0..33 from a trace (kF_CL is left at 0).
+FeatureVector extract_features(const Trace& t);
+
+/// Same, but from pre-computed stats (avoids a second pass).
+FeatureVector extract_features(const TraceMeta& meta, const TraceStats& s);
+
+}  // namespace hps::trace

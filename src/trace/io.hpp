@@ -1,0 +1,31 @@
+// Trace serialization.
+//
+// Binary format ("HPST"): a compact little-endian container for whole traces,
+// the project's stand-in for a directory of per-rank DUMPI files. A
+// write_text() dump is provided for human inspection and debugging.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hps::trace {
+
+/// Current binary format version.
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
+
+/// Serialize to a binary stream / file. Throws hps::Error on I/O failure.
+void write_binary(const Trace& t, std::ostream& os);
+void save(const Trace& t, const std::string& path);
+
+/// Deserialize. Throws hps::Error on malformed input (bad magic, truncated
+/// stream, out-of-range sizes, unsupported version).
+Trace read_binary(std::istream& is);
+Trace load(const std::string& path);
+
+/// Human-readable dump (one line per event); `max_events_per_rank` truncates
+/// long streams, 0 means no limit.
+void write_text(const Trace& t, std::ostream& os, std::size_t max_events_per_rank = 0);
+
+}  // namespace hps::trace

@@ -1,0 +1,40 @@
+// Editable ASCII trace format ("hpst-text"), the project's analogue of
+// converted DUMPI ASCII dumps: line-oriented, one event per line, fully
+// round-trippable. Lets users author or patch traces by hand and feeds them
+// to the same tooling as binary traces.
+//
+//   # comments and blank lines are ignored
+//   meta app=CG variant=C machine=cielito ranks=4 rpn=16 seed=7
+//   comm 1 = 0 2            # sub-communicator 1 contains world ranks 0 and 2
+//   rank 0
+//     compute dur=1000
+//     send peer=1 bytes=64 tag=5 dur=10
+//     isend peer=1 bytes=64 tag=5 req=0 dur=10
+//     irecv peer=1 bytes=64 tag=6 req=1 dur=10
+//     wait req=1 dur=20
+//     waitall dur=20
+//     barrier comm=0 dur=30
+//     allreduce comm=0 bytes=8 dur=40
+//     bcast comm=0 root=2 bytes=128 dur=50
+//     alltoallv comm=0 dur=60 sizes=0,5,10,0
+//   endrank
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hps::trace {
+
+/// Write the whole trace as hpst-text.
+void write_text_format(const Trace& t, std::ostream& os);
+
+/// Parse hpst-text. Throws hps::Error with a line number on malformed input.
+Trace read_text_format(std::istream& is);
+
+/// File helpers.
+void save_text(const Trace& t, const std::string& path);
+Trace load_text(const std::string& path);
+
+}  // namespace hps::trace

@@ -1,0 +1,33 @@
+// Trace structural validation: a malformed trace (unmatched sends, missing
+// waits, inconsistent collective order) would deadlock or silently corrupt
+// both replay engines, so generators and the loader validate before use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hps::trace {
+
+struct ValidationIssue {
+  Rank rank;           // -1 for trace-global issues
+  std::string message;
+};
+
+/// Checks, per rank and globally:
+///  * p2p events address valid world ranks and have positive-or-zero sizes;
+///  * every (src, dst, tag) send stream has a matching recv stream with the
+///    same message count and per-message sizes (FIFO order);
+///  * every Isend/Irecv request is eventually completed by a Wait naming it
+///    or by a WaitAll, and Waits name previously issued, uncompleted requests;
+///  * all members of a communicator execute the same collective sequence
+///    (same op, byte semantics, and root);
+///  * Alltoallv aux indexes are in range and vlists sized to the comm.
+/// Returns the list of problems found (empty means valid).
+std::vector<ValidationIssue> validate(const Trace& t);
+
+/// Convenience: throws hps::Error with a summary if validation fails.
+void validate_or_throw(const Trace& t);
+
+}  // namespace hps::trace

@@ -1,0 +1,486 @@
+// Generators for the DOE co-design applications used in the paper: the
+// DesignForward extracted kernels (BigFFT, CrystalRouter), mini-apps (AMG,
+// MiniFE) and full applications (MultiGrid, FillBoundary), plus the
+// ExMatEx/CESAR/ExaCT mini-apps (LULESH, CNS, CMC, Nekbone).
+#include "workloads/apps_internal.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hps::workloads {
+
+using trace::OpType;
+using trace::RankBuilder;
+using trace::Trace;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// BigFFT — a distributed 1D FFT of a very large dataset: a handful of
+// enormous Alltoall transposes with little computation. Communication-bound.
+// ---------------------------------------------------------------------------
+class BigFftGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "BigFFT"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 2 && is_pow2(ranks); }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    ab.gt.set_contention(1.50);  // giant transposes congest the fabric
+    const int iters = scaled_iters(3, p.iter_factor);
+    const double grid_bytes = scaled(1.5e8, p.size_factor);
+    const auto per_pair = static_cast<std::uint64_t>(std::max(
+        1.0, grid_bytes / (static_cast<double>(p.ranks) * static_cast<double>(p.ranks))));
+    const SimTime per_iter = per_rank_compute_ns(4.0e8, p);
+    ComputeModel cm(p.ranks, per_iter, 0.04, 0.03, p.seed);
+    for (int i = 0; i < iters; ++i) {
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        b.compute(cm.sample(r, 0.5));
+        b.alltoall(per_pair, ab.gt.collective(OpType::kAlltoall, p.ranks, per_pair));
+        b.compute(cm.sample(r, 0.5));
+        b.alltoall(per_pair, ab.gt.collective(OpType::kAlltoall, p.ranks, per_pair));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CR (Crystal Router) — Nek5000's staged hypercube all-to-all: log2(p)
+// stages exchanging large aggregated, irregularly sized buffers with the
+// cube partner. Intensely and irregularly communication-bound.
+// ---------------------------------------------------------------------------
+class CrystalRouterGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "CR"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 2 && is_pow2(ranks); }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    ab.gt.set_contention(1.45);  // staged hypercube with large irregular buffers
+    const int iters = scaled_iters(3, p.iter_factor);
+    const int stages = std::bit_width(static_cast<unsigned>(p.ranks)) - 1;
+    // Total routed volume per rank per iteration is fixed; each stage
+    // carries ~1/stages of it with heavy per-pair variation.
+    const auto per_stage = scaled_bytes(1.0e6 / stages, p.size_factor);
+    const SimTime per_iter = per_rank_compute_ns(4.0e7, p);
+    ComputeModel cm(p.ranks, per_iter, 0.08, 0.05, p.seed);
+
+    // Deterministic irregular stage volumes, symmetric per pair so the
+    // matching send/recv sizes agree.
+    Rng vol_rng(mix_seed(p.seed, 0xC4257A1));
+    std::vector<std::vector<std::uint64_t>> stage_bytes(
+        static_cast<std::size_t>(stages),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(p.ranks)));
+    for (int s = 0; s < stages; ++s)
+      for (Rank r = 0; r < p.ranks; ++r) {
+        const Rank partner = r ^ (1 << s);
+        if (partner < r) {
+          stage_bytes[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)] =
+              stage_bytes[static_cast<std::size_t>(s)][static_cast<std::size_t>(partner)];
+        } else {
+          stage_bytes[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)] =
+              static_cast<std::uint64_t>(static_cast<double>(per_stage) *
+                                         vol_rng.lognormal_median(1.0, 0.45));
+        }
+      }
+
+    for (int i = 0; i < iters; ++i) {
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        b.compute(cm.sample(r));
+        for (int s = 0; s < stages; ++s) {
+          const Rank partner = r ^ (1 << s);
+          const std::uint64_t bytes =
+              stage_bytes[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)];
+          b.irecv(partner, bytes, static_cast<Tag>(60 + s), ab.gt.post());
+          b.isend(partner, bytes, static_cast<Tag>(60 + s), ab.gt.post());
+          b.waitall(ab.gt.wait_recv(bytes));
+          b.compute(cm.sample(r, 0.05));
+        }
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// AMG — algebraic multigrid: V-cycles over an *irregular* rank graph (the
+// coarse-grid operator couples distant ranks). Many small messages plus a
+// convergence Allreduce per level. Latency-leaning communication.
+// ---------------------------------------------------------------------------
+class AmgGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "AMG"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 8; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const int cycles = scaled_iters(10, p.iter_factor);
+    const int levels = 6;
+    const auto msg0 = scaled_bytes(8.0e3, p.size_factor);
+    const SimTime per_cycle = per_rank_compute_ns(2.4e9, p);
+    ComputeModel cm(p.ranks, per_cycle, 0.10, 0.05, p.seed);
+
+    // Irregular symmetric neighbor graph: a ring plus random chords.
+    Rng graph_rng(mix_seed(p.seed, 0xA3962F));
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    auto link = [&](Rank a, Rank b) {
+      if (a == b) return;
+      auto& na = nbrs[static_cast<std::size_t>(a)];
+      if (std::find(na.begin(), na.end(), b) != na.end()) return;
+      na.push_back(b);
+      nbrs[static_cast<std::size_t>(b)].push_back(a);
+    };
+    for (Rank r = 0; r < p.ranks; ++r) link(r, (r + 1) % p.ranks);
+    const int chords = 4;
+    for (Rank r = 0; r < p.ranks; ++r)
+      for (int c = 0; c < chords; ++c)
+        link(r, static_cast<Rank>(graph_rng.uniform_u64(static_cast<std::uint64_t>(p.ranks))));
+    for (auto& nb : nbrs) std::sort(nb.begin(), nb.end());
+
+    for (int c = 0; c < cycles; ++c) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const auto& nb = nbrs[static_cast<std::size_t>(r)];
+        for (int l = 0; l < levels; ++l) {
+          const auto bytes = std::max<std::uint64_t>(32, msg0 >> l);
+          std::vector<std::uint64_t> sizes(nb.size(), bytes);
+          b.compute(comp[static_cast<std::size_t>(r)] / levels);
+          emit_halo_exchange(b, nb, sizes, static_cast<Tag>(70 + l), ab.gt);
+          // The finest level's convergence check absorbs the cycle's wait.
+          b.allreduce(8, ab.gt.collective(
+                             OpType::kAllreduce, p.ranks, 8,
+                             l == 0 ? maxc - comp[static_cast<std::size_t>(r)] : 0));
+        }
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MiniFE — implicit finite elements: assembly then a CG solve with a 6-
+// neighbor halo exchange and three dot-product Allreduces per iteration.
+// ---------------------------------------------------------------------------
+class MiniFeGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "MiniFE"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 8; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const auto g = grid3d(p.ranks);
+    const int iters = scaled_iters(100, p.iter_factor);
+    const auto face = scaled_bytes(2.0e4, p.size_factor);
+    const SimTime per_iter = per_rank_compute_ns(3.6e8, p);
+    ComputeModel cm(p.ranks, per_iter, 0.05, 0.04, p.seed);
+
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    for (Rank r = 0; r < p.ranks; ++r)
+      nbrs[static_cast<std::size_t>(r)] = neighbors3d(r, g[0], g[1], g[2]);
+
+    // Assembly phase: one big compute and an exchange.
+    for (Rank r = 0; r < p.ranks; ++r) {
+      RankBuilder& b = ab.builder(r);
+      b.compute(cm.sample(r, 8.0));
+      std::vector<std::uint64_t> sizes(nbrs[static_cast<std::size_t>(r)].size(), face * 2);
+      emit_halo_exchange(b, nbrs[static_cast<std::size_t>(r)], sizes, 80, ab.gt);
+      b.barrier(ab.gt.collective(OpType::kBarrier, p.ranks, 0));
+    }
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const auto& nb = nbrs[static_cast<std::size_t>(r)];
+        std::vector<std::uint64_t> sizes(nb.size(), face);
+        b.compute(comp[static_cast<std::size_t>(r)]);
+        emit_halo_exchange(b, nb, sizes, 81, ab.gt);
+        // The first dot product of the iteration absorbs the wait.
+        for (int k = 0; k < 3; ++k)
+          b.allreduce(8, ab.gt.collective(
+                             OpType::kAllreduce, p.ranks, 8,
+                             k == 0 ? maxc - comp[static_cast<std::size_t>(r)] : 0));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MultiGrid — the full BoxLib-style multigrid application: like NPB MG but
+// deeper hierarchies, larger boxes and visible load imbalance from irregular
+// box distributions.
+// ---------------------------------------------------------------------------
+class MultiGridGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "MultiGrid"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 8; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const auto g = grid3d(p.ranks);
+    const int cycles = scaled_iters(15, p.iter_factor);
+    const int levels = 7;
+    const auto face0 = scaled_bytes(6.0e4, p.size_factor);
+    const SimTime per_cycle = per_rank_compute_ns(6.0e9, p);
+    ComputeModel cm(p.ranks, per_cycle, 0.22, 0.06, p.seed);
+
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    for (Rank r = 0; r < p.ranks; ++r)
+      nbrs[static_cast<std::size_t>(r)] = neighbors3d(r, g[0], g[1], g[2]);
+
+    for (int c = 0; c < cycles; ++c) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const auto& nb = nbrs[static_cast<std::size_t>(r)];
+        for (int l = 0; l < levels; ++l) {
+          const auto face = std::max<std::uint64_t>(64, face0 >> (2 * l));
+          std::vector<std::uint64_t> sizes(nb.size(), face);
+          b.compute(comp[static_cast<std::size_t>(r)] / levels);
+          emit_halo_exchange(b, nb, sizes, static_cast<Tag>(90 + l), ab.gt);
+        }
+        // The per-cycle norm check absorbs the imbalance as wait time.
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8,
+                                        maxc - comp[static_cast<std::size_t>(r)]));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FillBoundary — BoxLib's ghost-cell fill: storms of small irregular
+// messages to an extended neighborhood with almost no computation between
+// them. The hardest case for a contention-free model (the paper singles out
+// FB and CR as the traces with >20% model/simulation disagreement).
+// ---------------------------------------------------------------------------
+class FillBoundaryGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "FillBoundary"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 8; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    ab.gt.set_contention(1.35);  // locality-blind box neighborhoods
+    const int iters = scaled_iters(150, p.iter_factor);
+    const SimTime per_iter = per_rank_compute_ns(2.0e6, p);
+    ComputeModel cm(p.ranks, per_iter, 0.08, 0.05, p.seed);
+
+    // Irregular neighborhoods: each rank talks to 10-24 partners scattered
+    // across the whole job (box distributions ignore network locality), with
+    // per-pair message sizes fixed by the box geometry.
+    Rng graph_rng(mix_seed(p.seed, 0xFB0B0B));
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    std::vector<std::vector<std::uint64_t>> sizes(static_cast<std::size_t>(p.ranks));
+    auto link = [&](Rank a, Rank b, std::uint64_t bytes) {
+      if (a == b) return;
+      auto& na = nbrs[static_cast<std::size_t>(a)];
+      if (std::find(na.begin(), na.end(), b) != na.end()) return;
+      na.push_back(b);
+      sizes[static_cast<std::size_t>(a)].push_back(bytes);
+      nbrs[static_cast<std::size_t>(b)].push_back(a);
+      sizes[static_cast<std::size_t>(b)].push_back(bytes);
+    };
+    for (Rank r = 0; r < p.ranks; ++r) {
+      const int extra = 5 + static_cast<int>(graph_rng.uniform_u64(7));
+      link(r, (r + 1) % p.ranks, scaled_bytes(4096, p.size_factor));
+      for (int c = 0; c < extra; ++c) {
+        const auto peer =
+            static_cast<Rank>(graph_rng.uniform_u64(static_cast<std::uint64_t>(p.ranks)));
+        const auto bytes = scaled_bytes(512.0 * std::exp(graph_rng.normal() * 0.8),
+                                        p.size_factor);
+        link(r, peer, std::max<std::uint64_t>(64, bytes));
+      }
+    }
+
+    for (int i = 0; i < iters; ++i) {
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        b.compute(cm.sample(r));
+        emit_halo_exchange(b, nbrs[static_cast<std::size_t>(r)],
+                           sizes[static_cast<std::size_t>(r)], 100, ab.gt);
+      }
+    }
+    for (Rank r = 0; r < p.ranks; ++r)
+      ab.builder(r).barrier(ab.gt.collective(OpType::kBarrier, p.ranks, 0));
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// LULESH — shock hydrodynamics on a cubic rank lattice: a 27-neighbor ghost
+// exchange (faces, edges, corners) and a dt Allreduce per step, dominated by
+// element computation.
+// ---------------------------------------------------------------------------
+class LuleshGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "LULESH"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 8 && is_cube(ranks); }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const int k = icbrt_floor(p.ranks);
+    const int iters = scaled_iters(30, p.iter_factor);
+    const auto face = scaled_bytes(4.0e4, p.size_factor);
+    const SimTime per_iter = per_rank_compute_ns(1.2e9, p);
+    ComputeModel cm(p.ranks, per_iter, 0.09, 0.05, p.seed);
+
+    // 27-point neighborhood (non-periodic, as in LULESH proper).
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    std::vector<std::vector<std::uint64_t>> sizes(static_cast<std::size_t>(p.ranks));
+    for (Rank r = 0; r < p.ranks; ++r) {
+      const int x = r % k, y = (r / k) % k, z = r / (k * k);
+      for (int dz = -1; dz <= 1; ++dz)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            const int nx = x + dx, ny = y + dy, nz = z + dz;
+            if (nx < 0 || nx >= k || ny < 0 || ny >= k || nz < 0 || nz >= k) continue;
+            const int weight = std::abs(dx) + std::abs(dy) + std::abs(dz);
+            const std::uint64_t bytes =
+                weight == 1 ? face : (weight == 2 ? std::max<std::uint64_t>(64, face / 16)
+                                                  : std::max<std::uint64_t>(64, face / 256));
+            nbrs[static_cast<std::size_t>(r)].push_back(
+                static_cast<Rank>((nz * k + ny) * k + nx));
+            sizes[static_cast<std::size_t>(r)].push_back(bytes);
+          }
+    }
+
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        b.compute(comp[static_cast<std::size_t>(r)]);
+        emit_halo_exchange(b, nbrs[static_cast<std::size_t>(r)],
+                           sizes[static_cast<std::size_t>(r)], 110, ab.gt);
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8,
+                                        maxc - comp[static_cast<std::size_t>(r)]));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CNS — compressible Navier-Stokes: big-face stencil exchanges around heavy
+// flux computations, with an occasional global reduction.
+// ---------------------------------------------------------------------------
+class CnsGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "CNS"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 8; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const auto g = grid3d(p.ranks);
+    const int iters = scaled_iters(20, p.iter_factor);
+    const auto face = scaled_bytes(8.0e4, p.size_factor);
+    const SimTime per_iter = per_rank_compute_ns(4.3e9, p);
+    ComputeModel cm(p.ranks, per_iter, 0.06, 0.04, p.seed);
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    for (Rank r = 0; r < p.ranks; ++r)
+      nbrs[static_cast<std::size_t>(r)] = neighbors3d(r, g[0], g[1], g[2]);
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const auto& nb = nbrs[static_cast<std::size_t>(r)];
+        std::vector<std::uint64_t> sizes(nb.size(), face);
+        b.compute(comp[static_cast<std::size_t>(r)] / 2);
+        emit_halo_exchange(b, nb, sizes, 120, ab.gt);
+        b.compute(comp[static_cast<std::size_t>(r)] / 2);
+        emit_halo_exchange(b, nb, sizes, 121, ab.gt);
+        // The dt reduction closes every step and absorbs the wait.
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8,
+                                        maxc - comp[static_cast<std::size_t>(r)]));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CMC — Monte Carlo transport: long, heavily imbalanced compute legs between
+// rare tiny reductions. The canonical load-imbalance-bound application.
+// ---------------------------------------------------------------------------
+class CmcGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "CMC"; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const int iters = scaled_iters(15, p.iter_factor);
+    const SimTime per_iter = per_rank_compute_ns(2.0e9, p);
+    ComputeModel cm(p.ranks, per_iter, 0.30, 0.10, p.seed);
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        b.compute(comp[static_cast<std::size_t>(r)]);
+        b.allreduce(64, ab.gt.collective(OpType::kAllreduce, p.ranks, 64,
+                                         maxc - comp[static_cast<std::size_t>(r)]));
+      }
+    }
+    for (Rank r = 0; r < p.ranks; ++r)
+      ab.builder(r).gather(0, 1024, ab.gt.collective(OpType::kGather, p.ranks, 1024));
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Nekbone — spectral-element CG: many iterations of a modest face exchange
+// plus two dot products, with light per-iteration computation. Becomes
+// communication-sensitive as it scales.
+// ---------------------------------------------------------------------------
+class NekboneGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "Nekbone"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 8; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const auto g = grid3d(p.ranks);
+    const int iters = scaled_iters(150, p.iter_factor);
+    const auto face = scaled_bytes(8.0e3, p.size_factor);
+    const SimTime per_iter = per_rank_compute_ns(9.0e7, p);
+    ComputeModel cm(p.ranks, per_iter, 0.05, 0.04, p.seed);
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    for (Rank r = 0; r < p.ranks; ++r)
+      nbrs[static_cast<std::size_t>(r)] = neighbors3d(r, g[0], g[1], g[2]);
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const auto& nb = nbrs[static_cast<std::size_t>(r)];
+        std::vector<std::uint64_t> sizes(nb.size(), face);
+        b.compute(comp[static_cast<std::size_t>(r)]);
+        emit_halo_exchange(b, nb, sizes, 130, ab.gt);
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8,
+                                        maxc - comp[static_cast<std::size_t>(r)]));
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+}  // namespace
+
+void register_doe_apps(std::vector<std::unique_ptr<AppGenerator>>& out) {
+  out.push_back(std::make_unique<BigFftGenerator>());
+  out.push_back(std::make_unique<CrystalRouterGenerator>());
+  out.push_back(std::make_unique<AmgGenerator>());
+  out.push_back(std::make_unique<MiniFeGenerator>());
+  out.push_back(std::make_unique<MultiGridGenerator>());
+  out.push_back(std::make_unique<FillBoundaryGenerator>());
+  out.push_back(std::make_unique<LuleshGenerator>());
+  out.push_back(std::make_unique<CnsGenerator>());
+  out.push_back(std::make_unique<CmcGenerator>());
+  out.push_back(std::make_unique<NekboneGenerator>());
+}
+
+}  // namespace hps::workloads

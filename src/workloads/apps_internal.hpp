@@ -1,0 +1,98 @@
+// Internal scaffolding shared by the application generators (not part of the
+// public workloads API).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+#include "trace/builder.hpp"
+#include "trace/validate.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/pattern_helpers.hpp"
+
+namespace hps::workloads {
+
+/// Holds the under-construction trace, one RankBuilder per rank (so request
+/// ids persist across emission phases), and the ground-truth cost model.
+struct AppBuild {
+  AppBuild(const std::string& app, const GenParams& p)
+      : params(p),
+        machine_cfg(machine::machine_by_name(p.machine)),
+        gt(ground_truth_for(machine_cfg), p.seed) {
+    HPS_REQUIRE(p.ranks >= 2, "generator needs at least 2 ranks");
+    trace::TraceMeta meta;
+    meta.app = app;
+    meta.variant = std::to_string(p.ranks) + "r_s" + std::to_string(p.size_factor);
+    meta.machine = p.machine;
+    meta.nranks = p.ranks;
+    meta.ranks_per_node = std::min(p.ranks_per_node, machine_cfg.cores_per_node);
+    meta.seed = p.seed;
+    trace = trace::Trace(std::move(meta));
+    builders.reserve(static_cast<std::size_t>(p.ranks));
+    for (Rank r = 0; r < p.ranks; ++r) builders.emplace_back(trace, r);
+  }
+
+  trace::RankBuilder& builder(Rank r) { return builders[static_cast<std::size_t>(r)]; }
+
+  /// Communicator of row `row` in a q-wide 2D grid (cached).
+  CommId row_comm(int row, int q) {
+    auto it = row_comms.find(row);
+    if (it != row_comms.end()) return it->second;
+    std::vector<Rank> members;
+    members.reserve(static_cast<std::size_t>(q));
+    for (int c = 0; c < q; ++c) members.push_back(static_cast<Rank>(row * q + c));
+    const CommId id = trace.add_comm(std::move(members));
+    row_comms.emplace(row, id);
+    return id;
+  }
+
+  /// Validate and hand the trace over.
+  trace::Trace finish() {
+    trace::validate_or_throw(trace);
+    return std::move(trace);
+  }
+
+  GenParams params;
+  machine::MachineConfig machine_cfg;
+  trace::Trace trace;
+  std::vector<trace::RankBuilder> builders;
+  GroundTruth gt;
+  std::map<int, CommId> row_comms;
+};
+
+/// Iteration counts scale (at least 1).
+inline int scaled_iters(int base, double iter_factor) {
+  return std::max(1, static_cast<int>(static_cast<double>(base) * iter_factor + 0.5));
+}
+
+inline double scaled(double base, double factor) { return base * factor; }
+
+inline std::uint64_t scaled_bytes(double base, double factor) {
+  const double v = base * factor;
+  return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+/// Per-rank per-iteration compute time for a fixed aggregate amount of work
+/// (strong scaling: the same problem divided over more ranks).
+inline SimTime per_rank_compute_ns(double aggregate_ns, const GenParams& p) {
+  const double v = aggregate_ns * p.size_factor / static_cast<double>(p.ranks);
+  return std::max<SimTime>(1, static_cast<SimTime>(v));
+}
+
+/// Sample one compute interval per rank (used when the generator needs the
+/// max across ranks to synthesize collective wait skews).
+inline std::vector<SimTime> sample_all(ComputeModel& cm, Rank nranks, double scale = 1.0) {
+  std::vector<SimTime> out(static_cast<std::size_t>(nranks));
+  for (Rank r = 0; r < nranks; ++r) out[static_cast<std::size_t>(r)] = cm.sample(r, scale);
+  return out;
+}
+
+/// Registration hooks implemented by apps_npb.cpp / apps_doe.cpp.
+void register_npb_apps(std::vector<std::unique_ptr<AppGenerator>>& out);
+void register_doe_apps(std::vector<std::unique_ptr<AppGenerator>>& out);
+
+}  // namespace hps::workloads

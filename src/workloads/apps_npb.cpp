@@ -1,0 +1,395 @@
+// Generators for the eight NAS Parallel Benchmarks used in the paper (the
+// NPB suite minus the unused kernels): BT, CG, DT, EP, FT, IS, LU, MG, SP.
+//
+// Each generator reproduces the benchmark's published communication
+// structure under strong scaling: per-rank computation shrinks ~1/p and
+// exchanged surfaces shrink with the process-grid decomposition, so larger
+// runs of the same code become progressively more communication-intensive —
+// the spread the paper's Table I(b) documents.
+#include "workloads/apps_internal.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hps::workloads {
+
+using trace::OpType;
+using trace::RankBuilder;
+using trace::Trace;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// EP — embarrassingly parallel: pure compute, three tiny reductions at the end.
+// ---------------------------------------------------------------------------
+class EpGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "EP"; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const int chunks = scaled_iters(12, p.iter_factor);
+    // Total work is fixed; each rank gets 1/p of it (strong scaling).
+    const SimTime per_chunk = per_rank_compute_ns(2.0e12, p);
+    ComputeModel cm(p.ranks, per_chunk, 0.04, 0.03, p.seed);
+    for (Rank r = 0; r < p.ranks; ++r) {
+      RankBuilder& b = ab.builder(r);
+      for (int i = 0; i < chunks; ++i) b.compute(cm.sample(r));
+      for (int k = 0; k < 3; ++k)
+        b.allreduce(16, ab.gt.collective(OpType::kAllreduce, p.ranks, 16));
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DT — data traffic: a communication graph (binomial reduction tree here)
+// moving multi-megabyte quantum datasets with almost no computation.
+// ---------------------------------------------------------------------------
+class DtGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "DT"; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const auto payload = scaled_bytes(512.0 * 1024, p.size_factor);
+    ComputeModel cm(p.ranks, 3 * kMillisecond, 0.10, 0.05, p.seed);
+    // Binomial tree toward rank 0: each node receives its children's
+    // aggregated feeds, "consumes" them, and forwards to its parent.
+    for (Rank r = 0; r < p.ranks; ++r) {
+      RankBuilder& b = ab.builder(r);
+      b.compute(cm.sample(r));
+      const int limit = r == 0 ? std::bit_ceil(static_cast<unsigned>(p.ranks)) : (r & -r);
+      for (int m = 1; m < limit; m <<= 1) {
+        const Rank child = r + m;
+        if (child >= p.ranks) break;
+        b.recv(child, payload, 7, ab.gt.recv(payload));
+        b.compute(cm.sample(r, 0.2));
+      }
+      if (r != 0) b.send(r - (r & -r), payload, 7, ab.gt.send(payload));
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// IS — integer sort: per iteration a small Allreduce on bucket histograms
+// followed by a skewed Alltoallv of the keys themselves.
+// ---------------------------------------------------------------------------
+class IsGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "IS"; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    ab.gt.set_contention(1.40);  // dense personalized exchange congests the fabric
+    const int iters = scaled_iters(8, p.iter_factor);
+    const double total_keys_bytes = scaled(1.5e8, p.size_factor);  // 4-byte keys
+    const double per_pair = total_keys_bytes / (static_cast<double>(p.ranks) *
+                                                static_cast<double>(p.ranks));
+    const SimTime per_iter = per_rank_compute_ns(5.0e8, p);
+    ComputeModel cm(p.ranks, per_iter, 0.15, 0.06, p.seed);
+
+    // Pre-sample the skewed key distribution: a per-destination lognormal
+    // factor per rank, fixed across iterations (key skew is data-dependent).
+    std::vector<std::vector<std::uint64_t>> vlists(static_cast<std::size_t>(p.ranks));
+    Rng skew_rng(mix_seed(p.seed, 0x15AABBCC));
+    for (Rank r = 0; r < p.ranks; ++r) {
+      auto& vl = vlists[static_cast<std::size_t>(r)];
+      vl.resize(static_cast<std::size_t>(p.ranks));
+      for (Rank d = 0; d < p.ranks; ++d)
+        vl[static_cast<std::size_t>(d)] =
+            d == r ? 0
+                   : static_cast<std::uint64_t>(per_pair *
+                                                skew_rng.lognormal_median(1.0, 0.35));
+    }
+
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const auto& vl = vlists[static_cast<std::size_t>(r)];
+        b.compute(comp[static_cast<std::size_t>(r)]);
+        b.allreduce(1024, ab.gt.collective(OpType::kAllreduce, p.ranks, 1024,
+                                           maxc - comp[static_cast<std::size_t>(r)]));
+        std::uint64_t tot = 0;
+        int nz = 0;
+        for (auto v : vl) {
+          tot += v;
+          nz += v > 0 ? 1 : 0;
+        }
+        b.alltoallv(vl, ab.gt.alltoallv(p.ranks, nz, tot, tot));
+      }
+    }
+    for (Rank r = 0; r < p.ranks; ++r)
+      ab.builder(r).allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8));
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FT — 3D FFT: each iteration is a forward/inverse transform pair whose
+// distributed transposes are Alltoalls over the full grid.
+// ---------------------------------------------------------------------------
+class FtGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "FT"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 2 && is_pow2(ranks); }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    ab.gt.set_contention(1.45);  // transpose all-to-alls congest the fabric
+    const int iters = scaled_iters(5, p.iter_factor);
+    const double grid_bytes = scaled(1.0e8, p.size_factor);
+    const auto per_pair = static_cast<std::uint64_t>(
+        std::max(1.0, grid_bytes / (static_cast<double>(p.ranks) *
+                                    static_cast<double>(p.ranks))));
+    const SimTime per_iter = per_rank_compute_ns(4.5e8, p);
+    ComputeModel cm(p.ranks, per_iter, 0.05, 0.04, p.seed);
+    for (int i = 0; i < iters; ++i) {
+      // The transposes synchronize; the measured alltoall durations absorb
+      // each rank's wait for the slowest FFT stage.
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const SimTime skew = (maxc - comp[static_cast<std::size_t>(r)]) / 2;
+        b.compute(comp[static_cast<std::size_t>(r)] / 2);
+        b.alltoall(per_pair,
+                   ab.gt.collective(OpType::kAlltoall, p.ranks, per_pair, skew));
+        b.compute(comp[static_cast<std::size_t>(r)] / 2);
+        b.alltoall(per_pair,
+                   ab.gt.collective(OpType::kAlltoall, p.ranks, per_pair, skew));
+        b.allreduce(16, ab.gt.collective(OpType::kAllreduce, p.ranks, 16));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CG — conjugate gradient on a 2D process grid: transpose exchanges along
+// the matvec plus dot-product Allreduces every iteration.
+// ---------------------------------------------------------------------------
+class CgGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "CG"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 4 && is_square(ranks); }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const int q = isqrt_floor(p.ranks);  // q x q grid
+    const int iters = scaled_iters(60, p.iter_factor);
+    const auto vec_bytes = scaled_bytes(1.0e5, p.size_factor);
+    const SimTime per_iter = per_rank_compute_ns(1.3e9, p);
+    ComputeModel cm(p.ranks, per_iter, 0.06, 0.04, p.seed);
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const int row = r / q, col = r % q;
+        const Rank transpose = static_cast<Rank>(col * q + row);
+        b.compute(comp[static_cast<std::size_t>(r)]);
+        if (transpose != r) {
+          // Matvec result travels to the transpose position.
+          b.irecv(transpose, vec_bytes, 11, ab.gt.post());
+          b.isend(transpose, vec_bytes, 11, ab.gt.post());
+          b.waitall(ab.gt.wait_recv(vec_bytes));
+        }
+        // Row-wise reduction of partial sums (modeled on the row comm).
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, q, 8), ab.row_comm(row, q));
+        // The global dot product absorbs the iteration's imbalance wait.
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8,
+                                        maxc - comp[static_cast<std::size_t>(r)]));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MG — multigrid V-cycles on a 3D grid: nearest-neighbor ghost exchanges at
+// every level with surfaces shrinking 4x per level, plus a norm Allreduce.
+// ---------------------------------------------------------------------------
+class MgGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "MG"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 8; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const auto g = grid3d(p.ranks);
+    const int cycles = scaled_iters(12, p.iter_factor);
+    const int levels = 5;
+    const auto face0 = scaled_bytes(48.0e3, p.size_factor);
+    const SimTime per_cycle = per_rank_compute_ns(2.3e9, p);
+    ComputeModel cm(p.ranks, per_cycle, 0.07, 0.04, p.seed);
+
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    for (Rank r = 0; r < p.ranks; ++r)
+      nbrs[static_cast<std::size_t>(r)] = neighbors3d(r, g[0], g[1], g[2]);
+
+    for (int c = 0; c < cycles; ++c) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const auto& nb = nbrs[static_cast<std::size_t>(r)];
+        for (int pass = 0; pass < 2; ++pass) {     // down then up the hierarchy
+          for (int l = 0; l < levels; ++l) {
+            const int lv = pass == 0 ? l : levels - 1 - l;
+            const auto face = std::max<std::uint64_t>(
+                64, face0 >> (2 * lv));  // surface shrinks 4x per level
+            std::vector<std::uint64_t> sizes(nb.size(), face);
+            b.compute(comp[static_cast<std::size_t>(r)] / (2 * levels));
+            emit_halo_exchange(b, nb, sizes, static_cast<Tag>(20 + lv), ab.gt);
+          }
+        }
+        // The per-cycle norm check absorbs the cycle's imbalance wait.
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8,
+                                        maxc - comp[static_cast<std::size_t>(r)]));
+      }
+    }
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// LU — SSOR wavefront on a 2D grid: pipelined blocking sends/recvs sweeping
+// the grid diagonally in both directions, then a face exchange.
+// ---------------------------------------------------------------------------
+class LuGenerator final : public AppGenerator {
+ public:
+  std::string name() const override { return "LU"; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 4; }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name(), p);
+    const auto g = grid2d(p.ranks);
+    const int px = g[0], py = g[1];
+    const int iters = scaled_iters(20, p.iter_factor);
+    // Each sweep is pipelined over k-slabs (as in NPB LU's pencil
+    // decomposition): the wavefront passes `slabs` times per sweep with
+    // 1/slabs of the work, so ranks overlap instead of idling while the
+    // wave traverses the whole grid.
+    const int slabs = 8;
+    const auto block = scaled_bytes(2.0e4 / slabs, p.size_factor);
+    const SimTime per_iter = per_rank_compute_ns(2.4e9, p);
+    ComputeModel cm(p.ranks, per_iter, 0.05, 0.04, p.seed);
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const int x = r % px, y = r / px;
+        const SimTime slab_work = comp[static_cast<std::size_t>(r)] / (2 * slabs);
+        // A real trace of a wavefront code shows the pipeline-fill stall in
+        // the measured duration of the sweep's first receive: the wave takes
+        // one slab step per diagonal to arrive.
+        const int d = x + y;
+        const int diag = px + py - 2;
+        const SimTime step = slab_work + 5 * kMicrosecond;
+        const SimTime fill_lower = d * step;
+        const SimTime fill_upper = 2 * (diag - d) * step;
+        // Lower-triangular sweep: data flows from (0,0) to (px-1,py-1),
+        // one slab at a time so consecutive slabs pipeline.
+        for (int k = 0; k < slabs; ++k) {
+          const SimTime extra = k == 0 ? fill_lower : 0;
+          if (x > 0) b.recv(r - 1, block, 31, ab.gt.recv(block, extra));
+          else if (y > 0) b.recv(r - px, block, 32, ab.gt.recv(block, extra));
+          if (x > 0 && y > 0) b.recv(r - px, block, 32, ab.gt.recv(block));
+          b.compute(slab_work);
+          if (x + 1 < px) b.send(r + 1, block, 31, ab.gt.send(block));
+          if (y + 1 < py) b.send(r + px, block, 32, ab.gt.send(block));
+        }
+        // Upper-triangular sweep: reverse direction.
+        for (int k = 0; k < slabs; ++k) {
+          const SimTime extra = k == 0 ? fill_upper : 0;
+          if (x + 1 < px) b.recv(r + 1, block, 33, ab.gt.recv(block, extra));
+          else if (y + 1 < py) b.recv(r + px, block, 34, ab.gt.recv(block, extra));
+          if (x + 1 < px && y + 1 < py) b.recv(r + px, block, 34, ab.gt.recv(block));
+          b.compute(slab_work);
+          if (x > 0) b.send(r - 1, block, 33, ab.gt.send(block));
+          if (y > 0) b.send(r - px, block, 34, ab.gt.send(block));
+        }
+      }
+      // The residual reduction happens every few iterations (as in NPB LU's
+      // inorm checks) so successive wavefronts pipeline instead of
+      // serializing behind a global barrier each sweep.
+      if (i % 5 == 4) {
+        for (Rank r = 0; r < p.ranks; ++r)
+          ab.builder(r).allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8,
+                                                      maxc - comp[static_cast<std::size_t>(r)]));
+      }
+    }
+    for (Rank r = 0; r < p.ranks; ++r)
+      ab.builder(r).allreduce(40, ab.gt.collective(OpType::kAllreduce, p.ranks, 40));
+    return ab.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// BT / SP — ADI solvers on a square process grid: three directional sweeps
+// per iteration, each exchanging faces with the four grid neighbors. BT is
+// compute-heavy; SP communicates the same faces with far less computation.
+// ---------------------------------------------------------------------------
+class AdiGenerator : public AppGenerator {
+ public:
+  AdiGenerator(std::string nm, double compute_total, int iters, double face_scale)
+      : name_(std::move(nm)), compute_total_(compute_total), iters_(iters),
+        face_scale_(face_scale) {}
+  std::string name() const override { return name_; }
+  bool supports_ranks(Rank ranks) const override { return ranks >= 4 && is_square(ranks); }
+  Trace generate(const GenParams& p) const override {
+    AppBuild ab(name_, p);
+    const int q = isqrt_floor(p.ranks);
+    const int iters = scaled_iters(iters_, p.iter_factor);
+    const auto face = scaled_bytes(face_scale_ * 5.0e4, p.size_factor);
+    const SimTime per_iter = per_rank_compute_ns(compute_total_, p);
+    ComputeModel cm(p.ranks, per_iter, 0.05, 0.04, p.seed);
+
+    std::vector<std::vector<Rank>> nbrs(static_cast<std::size_t>(p.ranks));
+    for (Rank r = 0; r < p.ranks; ++r)
+      nbrs[static_cast<std::size_t>(r)] = neighbors2d(r, q, q);
+
+    for (int i = 0; i < iters; ++i) {
+      std::vector<SimTime> comp = sample_all(cm, p.ranks);
+      const SimTime maxc = *std::max_element(comp.begin(), comp.end());
+      for (Rank r = 0; r < p.ranks; ++r) {
+        RankBuilder& b = ab.builder(r);
+        const auto& nb = nbrs[static_cast<std::size_t>(r)];
+        std::vector<std::uint64_t> sizes(nb.size(), face);
+        for (int dir = 0; dir < 3; ++dir) {  // x, y, z sweeps
+          b.compute(comp[static_cast<std::size_t>(r)] / 3);
+          emit_halo_exchange(b, nb, sizes, static_cast<Tag>(41 + dir), ab.gt);
+        }
+        // The per-step residual reduction absorbs the imbalance wait.
+        b.allreduce(8, ab.gt.collective(OpType::kAllreduce, p.ranks, 8,
+                                        maxc - comp[static_cast<std::size_t>(r)]));
+      }
+    }
+    for (Rank r = 0; r < p.ranks; ++r)
+      ab.builder(r).allreduce(40, ab.gt.collective(OpType::kAllreduce, p.ranks, 40));
+    return ab.finish();
+  }
+
+ private:
+  std::string name_;
+  double compute_total_;
+  int iters_;
+  double face_scale_;
+};
+
+}  // namespace
+
+void register_npb_apps(std::vector<std::unique_ptr<AppGenerator>>& out) {
+  out.push_back(std::make_unique<AdiGenerator>("BT", 3.6e9, 25, 1.0));
+  out.push_back(std::make_unique<CgGenerator>());
+  out.push_back(std::make_unique<DtGenerator>());
+  out.push_back(std::make_unique<EpGenerator>());
+  out.push_back(std::make_unique<FtGenerator>());
+  out.push_back(std::make_unique<IsGenerator>());
+  out.push_back(std::make_unique<LuGenerator>());
+  out.push_back(std::make_unique<MgGenerator>());
+  out.push_back(std::make_unique<AdiGenerator>("SP", 2.7e9, 40, 1.2));
+}
+
+}  // namespace hps::workloads

@@ -1,0 +1,94 @@
+#include "workloads/corpus.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hps::workloads {
+
+std::vector<RankBucket> table1a_buckets() {
+  return {{64, 64, 72},     {65, 128, 18},   {129, 256, 80},
+          {257, 512, 12},   {513, 1024, 37}, {1025, 1728, 16}};
+}
+
+namespace {
+
+/// Distinct supported rank counts of `gen` within [lo, hi], spread across
+/// the range (at most 8, scanned from both ends inward).
+std::vector<Rank> supported_in_range(const AppGenerator& gen, Rank lo, Rank hi) {
+  std::vector<Rank> found;
+  for (Rank r = hi; r >= lo && static_cast<int>(found.size()) < 32; --r)
+    if (gen.supports_ranks(r)) found.push_back(r);
+  if (found.size() <= 8) return found;
+  // Thin to ~8 spread entries.
+  std::vector<Rank> out;
+  const std::size_t step = found.size() / 8;
+  for (std::size_t i = 0; i < found.size(); i += step) out.push_back(found[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<TraceSpec> build_corpus_specs(const CorpusOptions& opts) {
+  const auto apps = all_app_names();
+  const char* machines[3] = {"cielito", "hopper", "edison"};
+  const double size_choices[3] = {0.6, 1.0, 1.6};
+
+  std::vector<TraceSpec> specs;
+  Rng rng(mix_seed(opts.seed, 0xC0127255));
+  int id = 0;
+  std::size_t app_cursor = 0;
+
+  for (const RankBucket& bucket : table1a_buckets()) {
+    for (int i = 0; i < bucket.count; ++i) {
+      // Rotate apps; skip ones that cannot fit this bucket's rank range.
+      const AppGenerator* gen = nullptr;
+      for (std::size_t tries = 0; tries < apps.size(); ++tries) {
+        const auto& cand = generator_by_name(apps[app_cursor % apps.size()]);
+        ++app_cursor;
+        if (cand.pick_ranks(bucket.lo, bucket.hi) > 0) {
+          gen = &cand;
+          break;
+        }
+      }
+      HPS_CHECK_MSG(gen != nullptr, "no generator fits rank bucket");
+
+      const auto counts = supported_in_range(*gen, bucket.lo, bucket.hi);
+      const Rank ranks = counts[rng.uniform_u64(counts.size())];
+
+      TraceSpec spec;
+      spec.id = id;
+      spec.app = gen->name();
+      spec.params.ranks = ranks;
+      spec.params.ranks_per_node = 16;
+      spec.params.machine = machines[id % 3];
+      spec.params.seed = mix_seed(opts.seed, static_cast<std::uint64_t>(id) * 7919 + 13);
+      spec.params.size_factor = size_choices[(id / 3) % 3];
+      // Keep large-rank traces affordable: iteration counts shrink as the
+      // rank count (and thus per-iteration cost of simulating) grows.
+      double iter = opts.duration_scale;
+      if (ranks > 1024) {
+        iter *= 0.10;
+      } else if (ranks > 512) {
+        iter *= 0.15;
+      } else if (ranks > 256) {
+        iter *= 0.35;
+      } else if (ranks > 128) {
+        iter *= 0.6;
+      }
+      spec.params.iter_factor = iter;
+      specs.push_back(std::move(spec));
+      ++id;
+      if (opts.limit > 0 && id >= opts.limit) return specs;
+    }
+  }
+  HPS_CHECK(static_cast<int>(specs.size()) == 235);
+  return specs;
+}
+
+trace::Trace generate_spec(const TraceSpec& spec) {
+  return generate_app(spec.app, spec.params);
+}
+
+}  // namespace hps::workloads

@@ -1,0 +1,50 @@
+// The synthetic 235-trace corpus, matching the paper's Table I(a) rank
+// distribution: 72 traces at 64 ranks, 18 at 65-128, 80 at 129-256, 12 at
+// 257-512, 37 at 513-1024 and 16 at 1025-1728 (235 total). Applications
+// rotate through all 18 generators subject to their rank-shape constraints,
+// machines rotate through Cielito / Hopper / Edison, and problem sizes vary,
+// yielding a communication-intensity spread comparable to Table I(b).
+//
+// Traces are described by lightweight specs and generated on demand: the
+// full corpus materialized at once would hold hundreds of millions of
+// events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "workloads/generators.hpp"
+
+namespace hps::workloads {
+
+struct TraceSpec {
+  int id = 0;           ///< stable corpus index, 0-based
+  std::string app;
+  GenParams params;
+};
+
+struct CorpusOptions {
+  std::uint64_t seed = 42;
+  /// Global multiplier on iteration counts — the knob that trades corpus
+  /// fidelity against study wall time (1.0 = full-size traces).
+  double duration_scale = 1.0;
+  /// Emit only the first `limit` specs when > 0 (for tests/smoke runs).
+  int limit = 0;
+};
+
+/// The 235 trace specifications (fewer if `limit` is set).
+std::vector<TraceSpec> build_corpus_specs(const CorpusOptions& opts = {});
+
+/// Generate (and validate) the trace for a spec.
+trace::Trace generate_spec(const TraceSpec& spec);
+
+/// Table I(a) rank buckets: {lo, hi, count}.
+struct RankBucket {
+  Rank lo, hi;
+  int count;
+};
+std::vector<RankBucket> table1a_buckets();
+
+}  // namespace hps::workloads

@@ -1,0 +1,61 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "workloads/apps_internal.hpp"
+
+namespace hps::workloads {
+
+namespace {
+
+const std::vector<std::unique_ptr<AppGenerator>>& registry() {
+  static const auto* gens = [] {
+    auto* v = new std::vector<std::unique_ptr<AppGenerator>>();
+    register_npb_apps(*v);
+    register_doe_apps(*v);
+    return v;
+  }();
+  return *gens;
+}
+
+}  // namespace
+
+Rank AppGenerator::pick_ranks(Rank lo, Rank hi) const {
+  // Prefer the largest supported count in range (bigger runs stress the
+  // pattern more), falling back to -1 when the app cannot fit the bucket.
+  for (Rank r = hi; r >= lo; --r)
+    if (supports_ranks(r)) return r;
+  return -1;
+}
+
+std::vector<std::string> npb_app_names() {
+  return {"BT", "CG", "DT", "EP", "FT", "IS", "LU", "MG", "SP"};
+}
+
+std::vector<std::string> doe_app_names() {
+  return {"BigFFT", "CR",     "AMG", "MiniFE",  "MultiGrid",
+          "FillBoundary", "LULESH", "CNS", "CMC", "Nekbone"};
+}
+
+std::vector<std::string> all_app_names() {
+  auto v = npb_app_names();
+  const auto d = doe_app_names();
+  v.insert(v.end(), d.begin(), d.end());
+  return v;
+}
+
+const AppGenerator& generator_by_name(const std::string& name) {
+  for (const auto& g : registry())
+    if (g->name() == name) return *g;
+  HPS_THROW("unknown application generator: " + name);
+}
+
+trace::Trace generate_app(const std::string& name, const GenParams& p) {
+  const AppGenerator& gen = generator_by_name(name);
+  HPS_REQUIRE(gen.supports_ranks(p.ranks),
+              "generator " + name + " does not support " + std::to_string(p.ranks) + " ranks");
+  return gen.generate(p);
+}
+
+}  // namespace hps::workloads

@@ -1,0 +1,54 @@
+// Synthetic application trace generators.
+//
+// Each generator emits a DUMPI-style trace whose communication pattern
+// follows the published structure of the benchmark it stands in for — the
+// NAS Parallel Benchmarks (BT, CG, DT, EP, FT, IS, LU, MG, SP) and the DOE
+// DesignForward / ExMatEx / CESAR / ExaCT codes the paper uses (BigFFT,
+// CrystalRouter, AMG, MiniFE, MultiGrid, FillBoundary, LULESH, CNS, CMC,
+// Nekbone). See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "workloads/ground_truth.hpp"
+
+namespace hps::workloads {
+
+struct GenParams {
+  Rank ranks = 64;
+  int ranks_per_node = 16;
+  /// Machine the trace is "collected" on (sets the ground-truth cost model).
+  std::string machine = "cielito";
+  std::uint64_t seed = 1;
+  /// Problem-size multiplier: scales per-rank data volumes and compute.
+  double size_factor = 1.0;
+  /// Iteration-count multiplier: scales trace length.
+  double iter_factor = 1.0;
+};
+
+class AppGenerator {
+ public:
+  virtual ~AppGenerator() = default;
+  virtual std::string name() const = 0;
+  /// True if `ranks` is a legal process count for this application.
+  virtual bool supports_ranks(Rank ranks) const { return ranks >= 2; }
+  /// Nearest supported rank count within [lo, hi]; -1 if none.
+  Rank pick_ranks(Rank lo, Rank hi) const;
+  virtual trace::Trace generate(const GenParams& p) const = 0;
+};
+
+/// All application names, NPB first then DOE, in a stable order.
+std::vector<std::string> all_app_names();
+std::vector<std::string> npb_app_names();
+std::vector<std::string> doe_app_names();
+
+/// Look up by name (case-sensitive); throws hps::Error if unknown.
+const AppGenerator& generator_by_name(const std::string& name);
+
+/// Generate a trace for app `name` (validates before returning).
+trace::Trace generate_app(const std::string& name, const GenParams& p);
+
+}  // namespace hps::workloads

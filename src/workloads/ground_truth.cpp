@@ -1,0 +1,67 @@
+#include "workloads/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mfact/coll_cost.hpp"
+
+namespace hps::workloads {
+
+GroundTruthParams ground_truth_for(const machine::MachineConfig& m) {
+  GroundTruthParams p;
+  p.bandwidth = m.net.link_bandwidth;
+  p.latency = m.net.end_to_end_latency;
+  p.overhead = static_cast<SimTime>(static_cast<double>(m.net.end_to_end_latency) *
+                                    m.net.software_fraction / 2.0);
+  return p;
+}
+
+SimTime GroundTruth::commify(double base_ns) {
+  const double noisy = base_ns * p_.measured_margin * p_.contention_inflation *
+                       std::exp(p_.noise_sigma * rng_.normal());
+  return std::max<SimTime>(1, static_cast<SimTime>(noisy));
+}
+
+SimTime GroundTruth::send(std::uint64_t bytes) {
+  // The sender is occupied for its overhead plus the injection of the data.
+  return commify(static_cast<double>(p_.overhead) + transfer_ns(bytes));
+}
+
+SimTime GroundTruth::post() {
+  return commify(static_cast<double>(p_.overhead) * 0.5);
+}
+
+SimTime GroundTruth::recv(std::uint64_t bytes, SimTime extra_wait) {
+  return commify(static_cast<double>(p_.latency) + transfer_ns(bytes) +
+                 static_cast<double>(p_.overhead)) +
+         extra_wait;
+}
+
+SimTime GroundTruth::wait_recv(std::uint64_t bytes, SimTime extra_wait) {
+  return recv(bytes, extra_wait);
+}
+
+SimTime GroundTruth::wait_send() {
+  return commify(static_cast<double>(p_.overhead) * 0.25);
+}
+
+SimTime GroundTruth::collective(trace::OpType op, int n, std::uint64_t bytes, SimTime skew) {
+  mfact::CostParams cp;
+  cp.bandwidth_Bps = p_.bandwidth;
+  cp.latency_ns = static_cast<double>(p_.latency);
+  cp.overhead_ns = static_cast<double>(p_.overhead);
+  const auto cost = mfact::collective_cost(op, n, bytes, cp);
+  return commify(cost.total()) + skew;
+}
+
+SimTime GroundTruth::alltoallv(int n, int nonzero_peers, std::uint64_t send_bytes,
+                               std::uint64_t recv_bytes, SimTime skew) {
+  mfact::CostParams cp;
+  cp.bandwidth_Bps = p_.bandwidth;
+  cp.latency_ns = static_cast<double>(p_.latency);
+  cp.overhead_ns = static_cast<double>(p_.overhead);
+  const auto cost = mfact::alltoallv_cost(n, nonzero_peers, send_bytes, recv_bytes, cp);
+  return commify(cost.total()) + skew;
+}
+
+}  // namespace hps::workloads

@@ -1,0 +1,108 @@
+#include "workloads/pattern_helpers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hps::workloads {
+
+int isqrt_floor(int n) {
+  int k = static_cast<int>(std::sqrt(static_cast<double>(n)));
+  while (k * k > n) --k;
+  while ((k + 1) * (k + 1) <= n) ++k;
+  return k;
+}
+
+int icbrt_floor(int n) {
+  int k = static_cast<int>(std::cbrt(static_cast<double>(n)));
+  while (k * k * k > n) --k;
+  while ((k + 1) * (k + 1) * (k + 1) <= n) ++k;
+  return k;
+}
+
+bool is_square(int n) {
+  const int k = isqrt_floor(n);
+  return k * k == n;
+}
+
+bool is_cube(int n) {
+  const int k = icbrt_floor(n);
+  return k * k * k == n;
+}
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::array<int, 2> grid2d(int n) {
+  HPS_CHECK(n >= 1);
+  int py = isqrt_floor(n);
+  while (py > 1 && n % py != 0) --py;
+  return {n / py, py};
+}
+
+std::array<int, 3> grid3d(int n) {
+  HPS_CHECK(n >= 1);
+  int pz = icbrt_floor(n);
+  while (pz > 1 && n % pz != 0) --pz;
+  const auto rest = grid2d(n / pz);
+  std::array<int, 3> g{rest[0], rest[1], pz};
+  std::sort(g.begin(), g.end(), std::greater<>());
+  return g;
+}
+
+ComputeModel::ComputeModel(Rank nranks, SimTime base_ns, double imbalance_sigma,
+                           double noise_sigma, std::uint64_t seed)
+    : base_(base_ns), noise_sigma_(noise_sigma), rng_(mix_seed(seed, 0xC0117E)) {
+  skew_.resize(static_cast<std::size_t>(nranks));
+  Rng skew_rng(mix_seed(seed, 0x5EED5EED));
+  for (auto& s : skew_) s = std::exp(imbalance_sigma * skew_rng.normal());
+}
+
+SimTime ComputeModel::sample(Rank r, double scale) {
+  const double v = static_cast<double>(base_) * scale * skew_[static_cast<std::size_t>(r)] *
+                   std::exp(noise_sigma_ * rng_.normal());
+  return std::max<SimTime>(1, static_cast<SimTime>(v));
+}
+
+void emit_halo_exchange(trace::RankBuilder& b, std::span<const Rank> neighbors,
+                        std::span<const std::uint64_t> bytes, Tag tag, GroundTruth& gt) {
+  HPS_CHECK(neighbors.size() == bytes.size());
+  std::uint64_t max_recv = 0;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    b.irecv(neighbors[i], bytes[i], tag, gt.post());
+    max_recv = std::max(max_recv, bytes[i]);
+  }
+  for (std::size_t i = 0; i < neighbors.size(); ++i)
+    b.isend(neighbors[i], bytes[i], tag, gt.post());
+  b.waitall(gt.wait_recv(max_recv));
+}
+
+std::vector<Rank> neighbors2d(int r, int px, int py) {
+  const int x = r % px, y = r / px;
+  auto at = [&](int xx, int yy) {
+    return static_cast<Rank>(((yy + py) % py) * px + ((xx + px) % px));
+  };
+  std::vector<Rank> out = {at(x + 1, y), at(x - 1, y), at(x, y + 1), at(x, y - 1)};
+  // Degenerate grids (px or py <= 2) produce duplicate neighbors; keep the
+  // unique set so each pair exchanges once per phase.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), static_cast<Rank>(r)), out.end());
+  return out;
+}
+
+std::vector<Rank> neighbors3d(int r, int px, int py, int pz) {
+  const int x = r % px, y = (r / px) % py, z = r / (px * py);
+  auto at = [&](int xx, int yy, int zz) {
+    return static_cast<Rank>((((zz + pz) % pz) * py + ((yy + py) % py)) * px +
+                             ((xx + px) % px));
+  };
+  std::vector<Rank> out = {at(x + 1, y, z), at(x - 1, y, z), at(x, y + 1, z),
+                           at(x, y - 1, z), at(x, y, z + 1), at(x, y, z - 1)};
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), static_cast<Rank>(r)), out.end());
+  return out;
+}
+
+}  // namespace hps::workloads

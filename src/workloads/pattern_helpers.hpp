@@ -1,0 +1,63 @@
+// Shared building blocks for the application generators: process-grid
+// factorizations, halo-exchange emitters, and imbalanced compute models.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "trace/builder.hpp"
+#include "workloads/ground_truth.hpp"
+
+namespace hps::workloads {
+
+/// Factor n into a near-square 2D grid (px >= py, px * py == n).
+std::array<int, 2> grid2d(int n);
+
+/// Factor n into a near-cubic 3D grid (px >= py >= pz, product == n).
+std::array<int, 3> grid3d(int n);
+
+/// Largest integer k with k*k <= n.
+int isqrt_floor(int n);
+/// Largest integer k with k*k*k <= n.
+int icbrt_floor(int n);
+/// True if n is a perfect square / cube / power of two.
+bool is_square(int n);
+bool is_cube(int n);
+bool is_pow2(int n);
+
+/// Per-rank compute-time model: a persistent per-rank speed skew (some ranks
+/// are systematically slower — load imbalance) plus per-call lognormal noise.
+class ComputeModel {
+ public:
+  /// `imbalance_sigma` controls the persistent skew spread; `noise_sigma`
+  /// the per-call jitter. Both are lognormal shape parameters.
+  ComputeModel(Rank nranks, SimTime base_ns, double imbalance_sigma, double noise_sigma,
+               std::uint64_t seed);
+
+  /// A measured compute interval for rank r, scaled by `scale`.
+  SimTime sample(Rank r, double scale = 1.0);
+
+  double rank_skew(Rank r) const { return skew_[static_cast<std::size_t>(r)]; }
+
+ private:
+  SimTime base_;
+  double noise_sigma_;
+  std::vector<double> skew_;
+  Rng rng_;
+};
+
+/// Emit a nonblocking halo exchange on rank builder `b`: Irecv from every
+/// neighbor, Isend to every neighbor, WaitAll. `neighbors` and `bytes` are
+/// parallel arrays; `tag` namespaces the exchange phase. The measured
+/// durations come from `gt` (WaitAll carries the dominant transit cost).
+void emit_halo_exchange(trace::RankBuilder& b, std::span<const Rank> neighbors,
+                        std::span<const std::uint64_t> bytes, Tag tag, GroundTruth& gt);
+
+/// Neighbor ranks (+x,-x,+y,-y) of `r` in a px*py periodic grid.
+std::vector<Rank> neighbors2d(int r, int px, int py);
+/// Neighbor ranks (+x,-x,+y,-y,+z,-z) of `r` in a periodic 3D grid.
+std::vector<Rank> neighbors3d(int r, int px, int py, int pz);
+
+}  // namespace hps::workloads

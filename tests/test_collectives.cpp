@@ -1,0 +1,245 @@
+// Tests for the collective-to-point-to-point decomposition: for every
+// algorithm and a sweep of communicator sizes, the per-rank schedules must
+// mutually match (every Isend has exactly one matching Recv in the same
+// round structure), be deadlock-free under blocking semantics, and move the
+// right amount of data.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "simmpi/collectives.hpp"
+
+namespace hps::simmpi {
+namespace {
+
+using trace::OpType;
+
+/// Expand the collective for every rank of an n-member communicator.
+std::vector<std::vector<SubOp>> expand_all(OpType op, int n, std::uint64_t bytes, int root,
+                                           const CollectiveAlgos& algos = {}) {
+  std::vector<std::vector<SubOp>> out(static_cast<std::size_t>(n));
+  for (int me = 0; me < n; ++me) {
+    CollectiveDesc d;
+    d.op = op;
+    d.n = n;
+    d.me = me;
+    d.root = root;
+    d.bytes = bytes;
+    expand_collective(d, algos, out[static_cast<std::size_t>(me)]);
+  }
+  return out;
+}
+
+/// Simulate blocking execution of the schedules; returns total bytes moved,
+/// asserts no deadlock and full consumption. This is an abstract executor:
+/// recv blocks until the matching isend was *issued* (sends are nonblocking).
+std::uint64_t execute(const std::vector<std::vector<SubOp>>& scheds) {
+  const int n = static_cast<int>(scheds.size());
+  std::vector<std::size_t> pc(static_cast<std::size_t>(n), 0);
+  std::vector<int> outstanding(static_cast<std::size_t>(n), 0);
+  // sent[from][to] = queue of byte counts, FIFO.
+  std::map<std::pair<int, int>, std::queue<std::uint64_t>> sent;
+  std::uint64_t total_bytes = 0;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < n; ++r) {
+      auto& cursor = pc[static_cast<std::size_t>(r)];
+      const auto& sched = scheds[static_cast<std::size_t>(r)];
+      while (cursor < sched.size()) {
+        const SubOp& op = sched[cursor];
+        if (op.kind == SubOp::Kind::kIsend) {
+          sent[{r, op.peer}].push(op.bytes);
+          ++outstanding[static_cast<std::size_t>(r)];
+          total_bytes += op.bytes;
+        } else if (op.kind == SubOp::Kind::kRecv) {
+          auto it = sent.find({op.peer, r});
+          if (it == sent.end() || it->second.empty()) break;  // blocked
+          EXPECT_EQ(it->second.front(), op.bytes)
+              << "rank " << r << " expects " << op.bytes << " from " << op.peer;
+          it->second.pop();
+        } else if (op.kind == SubOp::Kind::kWaitOne) {
+          EXPECT_GT(outstanding[static_cast<std::size_t>(r)], 0);
+          --outstanding[static_cast<std::size_t>(r)];
+        } else {  // kWaitAll
+          outstanding[static_cast<std::size_t>(r)] = 0;
+        }
+        ++cursor;
+        progress = true;
+      }
+    }
+  }
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(pc[static_cast<std::size_t>(r)], scheds[static_cast<std::size_t>(r)].size())
+        << "rank " << r << " deadlocked";
+  // Every sent message consumed.
+  for (const auto& [key, q] : sent)
+    EXPECT_TRUE(q.empty()) << "unconsumed messages from " << key.first << " to " << key.second;
+  return total_bytes;
+}
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BarrierCompletes) {
+  const int n = GetParam();
+  execute(expand_all(OpType::kBarrier, n, 0, 0));
+}
+
+TEST_P(CollectiveSizes, BcastMovesPayloadToAll) {
+  const int n = GetParam();
+  for (const int root : {0, n / 2, n - 1}) {
+    const auto scheds = expand_all(OpType::kBcast, n, 1000, root);
+    // Binomial tree: exactly n-1 transfers of the payload.
+    EXPECT_EQ(execute(scheds), static_cast<std::uint64_t>(n - 1) * 1000u);
+    // Root receives nothing.
+    for (const auto& op : scheds[static_cast<std::size_t>(root)])
+      EXPECT_NE(op.kind, SubOp::Kind::kRecv);
+  }
+}
+
+TEST_P(CollectiveSizes, ReduceMirrorsBcast) {
+  const int n = GetParam();
+  for (const int root : {0, n - 1}) {
+    const auto scheds = expand_all(OpType::kReduce, n, 500, root);
+    EXPECT_EQ(execute(scheds), static_cast<std::uint64_t>(n - 1) * 500u);
+    for (const auto& op : scheds[static_cast<std::size_t>(root)])
+      EXPECT_NE(op.kind, SubOp::Kind::kIsend);
+  }
+}
+
+TEST_P(CollectiveSizes, AllreduceRecursiveDoublingCompletes) {
+  const int n = GetParam();
+  CollectiveAlgos algos;
+  algos.allreduce_rabenseifner_threshold = 1 << 30;  // force recursive doubling
+  execute(expand_all(OpType::kAllreduce, n, 4096, 0, algos));
+}
+
+TEST_P(CollectiveSizes, AllreduceRabenseifnerCompletes) {
+  const int n = GetParam();
+  CollectiveAlgos algos;
+  algos.allreduce_rabenseifner_threshold = 1;  // force Rabenseifner
+  execute(expand_all(OpType::kAllreduce, n, 1 << 20, 0, algos));
+}
+
+TEST_P(CollectiveSizes, AllgatherRingVolume) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  const auto scheds = expand_all(OpType::kAllgather, n, 256, 0);
+  // Ring: n ranks x (n-1) rounds x 256 bytes.
+  EXPECT_EQ(execute(scheds), static_cast<std::uint64_t>(n) * (n - 1) * 256u);
+}
+
+TEST_P(CollectiveSizes, AlltoallPairwiseVolume) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  const auto scheds = expand_all(OpType::kAlltoall, n, 128, 0);
+  EXPECT_EQ(execute(scheds), static_cast<std::uint64_t>(n) * (n - 1) * 128u);
+}
+
+TEST_P(CollectiveSizes, AlltoallBruckCompletes) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  CollectiveAlgos algos;
+  algos.alltoall = CollectiveAlgos::Alltoall::kBruck;
+  execute(expand_all(OpType::kAlltoall, n, 128, 0, algos));
+}
+
+TEST_P(CollectiveSizes, ReduceScatterCompletes) {
+  const int n = GetParam();
+  execute(expand_all(OpType::kReduceScatter, n, 4096 * static_cast<unsigned>(n), 0));
+}
+
+TEST_P(CollectiveSizes, ScanIsLinearChain) {
+  const int n = GetParam();
+  const auto scheds = expand_all(OpType::kScan, n, 512, 0);
+  // Total volume: n-1 hops of the payload.
+  EXPECT_EQ(execute(scheds), static_cast<std::uint64_t>(n - 1) * 512u);
+  // Rank 0 never receives; the last rank never sends.
+  for (const auto& op : scheds[0]) EXPECT_NE(op.kind, SubOp::Kind::kRecv);
+  for (const auto& op : scheds[static_cast<std::size_t>(n - 1)])
+    EXPECT_NE(op.kind, SubOp::Kind::kIsend);
+}
+
+TEST_P(CollectiveSizes, GatherScatterComplete) {
+  const int n = GetParam();
+  const auto g = expand_all(OpType::kGather, n, 64, 0);
+  const auto s = expand_all(OpType::kScatter, n, 64, 0);
+  // Tree gather/scatter move each rank's block once per tree edge traversal;
+  // total volume is at least the sum of all non-root blocks.
+  EXPECT_GE(execute(g), static_cast<std::uint64_t>(n - 1) * 64u);
+  EXPECT_GE(execute(s), static_cast<std::uint64_t>(n - 1) * 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 13, 16, 17, 31, 32, 33, 64, 100),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Collectives, SingleMemberIsEmpty) {
+  CollectiveDesc d;
+  d.op = OpType::kAllreduce;
+  d.n = 1;
+  d.me = 0;
+  d.bytes = 100;
+  std::vector<SubOp> out;
+  expand_collective(d, {}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Collectives, AlltoallvRespectsSizesAndSkipsEmptyPairs) {
+  const int n = 4;
+  // send_matrix[i][j] = bytes i sends to j.
+  std::uint64_t m[4][4] = {{0, 10, 0, 30}, {1, 0, 0, 0}, {0, 0, 0, 0}, {7, 0, 9, 0}};
+  std::vector<std::vector<SubOp>> scheds(n);
+  for (int me = 0; me < n; ++me) {
+    std::vector<std::uint64_t> send(4), recv(4);
+    for (int j = 0; j < 4; ++j) {
+      send[static_cast<std::size_t>(j)] = m[me][j];
+      recv[static_cast<std::size_t>(j)] = m[j][me];
+    }
+    CollectiveDesc d;
+    d.op = OpType::kAlltoallv;
+    d.n = n;
+    d.me = me;
+    d.send_sizes = send;
+    d.recv_sizes = recv;
+    expand_collective(d, {}, scheds[static_cast<std::size_t>(me)]);
+  }
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      if (i != j) expected += m[i][j];
+  EXPECT_EQ(execute(scheds), expected);
+  // Rank 2 sends nothing and receives only from 3.
+  int rank2_sends = 0;
+  for (const auto& op : scheds[2])
+    if (op.kind == SubOp::Kind::kIsend && op.bytes > 0) ++rank2_sends;
+  EXPECT_EQ(rank2_sends, 0);
+}
+
+TEST(Collectives, DisseminationRounds) {
+  EXPECT_EQ(dissemination_rounds(1), 0);
+  EXPECT_EQ(dissemination_rounds(2), 1);
+  EXPECT_EQ(dissemination_rounds(8), 3);
+  EXPECT_EQ(dissemination_rounds(9), 4);
+}
+
+TEST(Collectives, BruckUsesLogRounds) {
+  const int n = 64;
+  CollectiveAlgos bruck;
+  bruck.alltoall = CollectiveAlgos::Alltoall::kBruck;
+  const auto b = expand_all(OpType::kAlltoall, n, 100, 0, bruck)[0];
+  const auto p = expand_all(OpType::kAlltoall, n, 100, 0)[0];
+  int b_sends = 0, p_sends = 0;
+  for (const auto& op : b) b_sends += op.kind == SubOp::Kind::kIsend ? 1 : 0;
+  for (const auto& op : p) p_sends += op.kind == SubOp::Kind::kIsend ? 1 : 0;
+  EXPECT_EQ(b_sends, 6);   // log2(64)
+  EXPECT_EQ(p_sends, 63);  // n-1 pairwise rounds
+}
+
+}  // namespace
+}  // namespace hps::simmpi

@@ -1,0 +1,266 @@
+// Unit tests for the common module: units, RNG, descriptive statistics,
+// dense linear algebra, and table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/stats_util.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace hps {
+namespace {
+
+TEST(Units, SecondsRoundTrip) {
+  EXPECT_EQ(seconds_to_time(1.0), kSecond);
+  EXPECT_DOUBLE_EQ(time_to_seconds(kSecond), 1.0);
+  EXPECT_EQ(seconds_to_time(0.5), 500 * kMillisecond);
+  EXPECT_EQ(seconds_to_time(1e-9), 1);
+}
+
+TEST(Units, BandwidthConversion) {
+  EXPECT_DOUBLE_EQ(gbps_to_Bps(8.0), 1e9);
+  EXPECT_DOUBLE_EQ(Bps_to_gbps(1e9), 8.0);
+  EXPECT_DOUBLE_EQ(Bps_to_gbps(gbps_to_Bps(35.0)), 35.0);
+}
+
+TEST(Units, TransferTimeRoundsUp) {
+  // 1 byte at 1 GB/s = 1 ns exactly.
+  EXPECT_EQ(transfer_time(1, 1e9), 1);
+  // A fraction of a nanosecond still costs one.
+  EXPECT_EQ(transfer_time(1, 2e9), 1);
+  EXPECT_EQ(transfer_time(0, 1e9), 0);
+  // Large transfer: 1 MiB at 1 GiB/s is ~1 ms.
+  const SimTime t = transfer_time(MiB, 1024.0 * MiB);
+  EXPECT_NEAR(static_cast<double>(t), 1e9 / 1024.0, 2.0);
+}
+
+TEST(Units, TransferTimeZeroBandwidthIsHuge) {
+  EXPECT_GT(transfer_time(1, 0.0), kSecond * 1000000LL);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  Rng a2(42);
+  std::uint64_t first = a2();
+  Rng c2(43);
+  EXPECT_NE(first, c2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64InRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.uniform_u64(17), 17u);
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng r(10);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[r.uniform_u64(8)];
+  for (int c : seen) EXPECT_GT(c, 700);  // ~1000 expected per bucket
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0, ss = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    ss += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(ss / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(12);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(r.lognormal_median(5.0, 0.5));
+  EXPECT_NEAR(median(xs), 5.0, 0.15);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng r(13);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> count(3, 0);
+  for (int i = 0; i < 40000; ++i) ++count[r.weighted_pick(w)];
+  EXPECT_EQ(count[1], 0);
+  EXPECT_NEAR(static_cast<double>(count[2]) / count[0], 3.0, 0.3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(14);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  r.shuffle(v);
+  EXPECT_NE(v, copy);  // overwhelmingly likely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, MixSeedDiffers) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_NE(mix_seed(1, 2), mix_seed(1, 3));
+}
+
+TEST(StatsUtil, MeanAndStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(StatsUtil, MedianAndPercentile) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{5.0}, 50), 5.0);
+}
+
+TEST(StatsUtil, TrimmedMeanDiscardsTails) {
+  std::vector<double> xs(100, 1.0);
+  xs[0] = -1000;
+  xs[1] = 1000;
+  // 2% trim removes exactly the two outliers.
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.02), 1.0);
+  // No trim keeps them.
+  EXPECT_NE(trimmed_mean(xs, 0.0), 1.0);
+}
+
+TEST(StatsUtil, CdfAt) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(cdf_at(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(xs, 3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf_at(xs, 10.0), 1.0);
+}
+
+TEST(StatsUtil, HistogramBuckets) {
+  const std::vector<double> xs = {0.5, 1.5, 1.6, 2.5, 99.0};
+  const std::vector<double> edges = {0, 1, 2, 3};
+  const auto h = histogram(xs, edges);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0].count, 1u);
+  EXPECT_EQ(h[1].count, 2u);
+  EXPECT_EQ(h[2].count, 2u);  // 2.5 plus the clamped 99.0
+}
+
+TEST(StatsUtil, PearsonCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+  const std::vector<double> c = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, c), 0.0);
+}
+
+TEST(StatsUtil, Summarize) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Matrix r = Matrix::identity(2).multiply(a);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(r(i, j), a(i, j));
+}
+
+TEST(Matrix, TransposeShape) {
+  Matrix a(2, 3, 1.0);
+  a(0, 2) = 7;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(Matrix, CholeskySolveSpd) {
+  // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const auto x = cholesky_solve(a, std::vector<double>{6, 5});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3 and -1
+  EXPECT_THROW(cholesky_solve(a, std::vector<double>{1, 1}), Error);
+}
+
+TEST(Matrix, LuSolveGeneral) {
+  Matrix a(3, 3);
+  const double vals[9] = {0, 2, 1, 1, -2, -3, -1, 1, 2};
+  for (int i = 0; i < 9; ++i) a(static_cast<std::size_t>(i / 3),
+                                static_cast<std::size_t>(i % 3)) = vals[i];
+  const auto x = lu_solve(a, std::vector<double>{-8, 0, 3});
+  // Verify by substitution.
+  const auto back = a.multiply_vec(x);
+  EXPECT_NEAR(back[0], -8, 1e-9);
+  EXPECT_NEAR(back[1], 0, 1e-9);
+  EXPECT_NEAR(back[2], 3, 1e-9);
+}
+
+TEST(Matrix, LuSolveRejectsSingular) {
+  Matrix a(2, 2, 1.0);  // rank 1
+  EXPECT_THROW(lu_solve(a, std::vector<double>{1, 1}), Error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_percent(0.932), "93.2%");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_si_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(fmt_time_s(1.5, 1), "1.5 s");
+}
+
+}  // namespace
+}  // namespace hps

@@ -1,0 +1,245 @@
+// Integration tests for the core module: the four-scheme runner, DIFF
+// metrics, study caching, SST 3.0 compatibility emulation, and the
+// need-for-simulation decision pipeline on a miniature corpus.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/decision.hpp"
+#include "core/runner.hpp"
+#include "core/study.hpp"
+#include "trace/builder.hpp"
+#include "workloads/generators.hpp"
+
+namespace hps::core {
+namespace {
+
+workloads::GenParams small_params(const char* machine = "cielito") {
+  workloads::GenParams p;
+  p.ranks = 16;
+  p.seed = 31;
+  p.iter_factor = 0.2;
+  p.machine = machine;
+  return p;
+}
+
+TEST(Runner, AllSchemesSucceedOnSmallTrace) {
+  const auto t = workloads::generate_app("MiniFE", small_params());
+  const TraceOutcome o = run_all_schemes(t);
+  for (int s = 0; s < static_cast<int>(Scheme::kNumSchemes); ++s) {
+    EXPECT_TRUE(o.scheme[s].attempted);
+    EXPECT_TRUE(o.scheme[s].ok) << scheme_name(static_cast<Scheme>(s)) << ": "
+                                << o.scheme[s].error;
+    EXPECT_GT(o.scheme[s].total_time, 0);
+    EXPECT_GT(o.scheme[s].wall_seconds, 0.0);
+  }
+  EXPECT_GT(o.measured_total, 0);
+  EXPECT_GT(o.events, 0u);
+  EXPECT_EQ(o.app, "MiniFE");
+}
+
+TEST(Runner, DiffTotalComputed) {
+  const auto t = workloads::generate_app("CG", small_params());
+  const TraceOutcome o = run_all_schemes(t);
+  const auto d = o.diff_total(Scheme::kPacketFlow);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GE(*d, 0.0);
+  EXPECT_LT(*d, 1.0) << "model and simulation should roughly agree on a small trace";
+}
+
+TEST(Runner, ClassificationPopulatedAndClFeatureSet) {
+  const auto t = workloads::generate_app("EP", small_params());
+  const TraceOutcome o = run_all_schemes(t);
+  EXPECT_EQ(o.app_class, mfact::AppClass::kComputationBound);
+  EXPECT_EQ(o.features[trace::kF_CL], 0.0);
+  EXPECT_DOUBLE_EQ(o.features[trace::kF_R], 16.0);
+}
+
+TEST(Runner, MfactIsFastest) {
+  const auto t = workloads::generate_app("MG", small_params());
+  const TraceOutcome o = run_all_schemes(t);
+  EXPECT_LT(o.of(Scheme::kMfact).wall_seconds, o.of(Scheme::kPacket).wall_seconds);
+}
+
+TEST(Runner, Sst30CompatSkipsUnsupported) {
+  RunOptions opts;
+  opts.sst30_compat = true;
+  // CG uses row sub-communicators: packet and flow must be skipped.
+  const auto cg = workloads::generate_app("CG", small_params());
+  const TraceOutcome o = run_all_schemes(cg, opts);
+  EXPECT_FALSE(o.of(Scheme::kPacket).attempted);
+  EXPECT_FALSE(o.of(Scheme::kFlow).attempted);
+  EXPECT_TRUE(o.of(Scheme::kPacketFlow).ok);
+  // IS uses Alltoallv (complex grouping): only flow is skipped.
+  const auto is = workloads::generate_app("IS", small_params());
+  const TraceOutcome o2 = run_all_schemes(is, opts);
+  EXPECT_TRUE(o2.of(Scheme::kPacket).ok);
+  EXPECT_FALSE(o2.of(Scheme::kFlow).attempted);
+}
+
+TEST(Study, RunsMiniCorpusAndCaches) {
+  StudyOptions opts;
+  opts.corpus.limit = 3;
+  opts.corpus.duration_scale = 0.1;
+  opts.cache_path = std::string("/tmp/hps_test_cache_") + std::to_string(getpid()) + ".bin";
+  std::remove(opts.cache_path.c_str());
+
+  const StudyResult first = run_study(opts);
+  EXPECT_FALSE(first.from_cache);
+  ASSERT_EQ(first.outcomes.size(), 3u);
+  for (const auto& o : first.outcomes) EXPECT_TRUE(o.of(Scheme::kMfact).ok);
+
+  const StudyResult second = run_study(opts);
+  EXPECT_TRUE(second.from_cache);
+  ASSERT_EQ(second.outcomes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(second.outcomes[i].app, first.outcomes[i].app);
+    EXPECT_EQ(second.outcomes[i].of(Scheme::kPacket).total_time,
+              first.outcomes[i].of(Scheme::kPacket).total_time);
+  }
+
+  // A different option set must not reuse the cache.
+  StudyOptions changed = opts;
+  changed.corpus.duration_scale = 0.12;
+  EXPECT_NE(study_cache_key(opts), study_cache_key(changed));
+  std::remove(opts.cache_path.c_str());
+}
+
+TEST(Study, CacheRejectsWrongKey) {
+  const std::string path =
+      std::string("/tmp/hps_test_cache_key_") + std::to_string(getpid()) + ".bin";
+  std::vector<TraceOutcome> outcomes(1);
+  outcomes[0].app = "X";
+  save_outcomes(outcomes, path, 1234);
+  EXPECT_TRUE(load_outcomes(path, 1234).has_value());
+  EXPECT_FALSE(load_outcomes(path, 9999).has_value());
+  EXPECT_FALSE(load_outcomes("/nonexistent/file", 1234).has_value());
+  std::remove(path.c_str());
+}
+
+/// Build a tiny synthetic outcome set with known labels for decision tests.
+std::vector<TraceOutcome> synthetic_outcomes(int n, std::uint64_t seed) {
+  std::vector<TraceOutcome> out;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    TraceOutcome o;
+    o.spec_id = i;
+    o.app = "synthetic";
+    const bool sensitive = rng.uniform() < 0.45;
+    o.group = sensitive ? mfact::SensitivityGroup::kCommSensitive
+                        : mfact::SensitivityGroup::kNotCommSensitive;
+    o.features[trace::kF_CL] = sensitive ? 1.0 : 0.0;
+    o.features[trace::kF_R] = 64.0 + rng.uniform(0, 512);
+    o.features[trace::kF_PoSYN] = rng.uniform(0, 50);
+    o.features[trace::kF_PoC] = sensitive ? rng.uniform(20, 80) : rng.uniform(0, 20);
+    auto& m = o.of(Scheme::kMfact);
+    m.attempted = m.ok = true;
+    m.total_time = kSecond;
+    m.comm_time = kSecond / 10;
+    auto& pf = o.of(Scheme::kPacketFlow);
+    pf.attempted = pf.ok = true;
+    // Sensitive traces diverge (DIFF ~ 3-10%), insensitive ~0.5%, plus a
+    // little label noise so the predictor isn't trivially perfect.
+    double diff = sensitive ? rng.uniform(0.025, 0.10) : rng.uniform(0.0, 0.015);
+    if (rng.uniform() < 0.05) diff = 0.03;  // noise
+    pf.total_time = static_cast<SimTime>((1.0 + diff) * kSecond);
+    pf.comm_time = kSecond / 9;
+    out.push_back(o);
+  }
+  return out;
+}
+
+TEST(Decision, DatasetBuiltFromEligibleRows) {
+  auto outcomes = synthetic_outcomes(50, 7);
+  outcomes[0].of(Scheme::kPacketFlow).ok = false;  // ineligible
+  const auto ds = build_decision_dataset(outcomes);
+  EXPECT_EQ(ds.n(), 49u);
+  EXPECT_EQ(ds.p(), static_cast<std::size_t>(trace::kNumFeatures));
+  EXPECT_EQ(ds.names[trace::kF_CL], "CL");
+}
+
+TEST(Decision, NaiveRuleMatchesGroupAgreement) {
+  const auto outcomes = synthetic_outcomes(200, 8);
+  const NaiveRuleResult naive = evaluate_naive_rule(outcomes);
+  EXPECT_EQ(naive.tp + naive.tn + naive.fp + naive.fn, 200);
+  // CL correlates strongly with the label by construction.
+  EXPECT_GT(naive.success_rate, 0.75);
+}
+
+TEST(Decision, ModelBeatsOrMatchesNaiveRule) {
+  const auto outcomes = synthetic_outcomes(220, 9);
+  DecisionOptions opts;
+  opts.cv.splits = 20;  // keep the test quick
+  const DecisionEvaluation ev = evaluate_decision_model(outcomes, opts);
+  EXPECT_EQ(ev.total, 220);
+  EXPECT_GT(ev.cv.success_rate(), ev.naive.success_rate - 0.05);
+  EXPECT_GT(ev.cv.success_rate(), 0.8);
+  EXPECT_FALSE(ev.cv.variables.empty());
+  EXPECT_LE(ev.final_model.features.size(), 5u);
+}
+
+TEST(Decision, FinalModelPredicts) {
+  const auto outcomes = synthetic_outcomes(220, 10);
+  DecisionOptions opts;
+  opts.cv.splits = 15;
+  const DecisionEvaluation ev = evaluate_decision_model(outcomes, opts);
+  int correct = 0, n = 0;
+  for (const auto& o : outcomes) {
+    const auto d = o.diff_total(Scheme::kPacketFlow);
+    if (!d) continue;
+    const bool truth = *d > opts.diff_threshold;
+    if (needs_simulation(ev.final_model, o) == truth) ++correct;
+    ++n;
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.85);
+}
+
+TEST(Decision, ThresholdChangesLabels) {
+  const auto outcomes = synthetic_outcomes(100, 11);
+  DecisionOptions strict;
+  strict.diff_threshold = 0.001;
+  DecisionOptions lax;
+  lax.diff_threshold = 0.5;
+  int strict_pos = 0, lax_pos = 0;
+  const auto ds_strict = build_decision_dataset(outcomes, strict);
+  const auto ds_lax = build_decision_dataset(outcomes, lax);
+  for (int y : ds_strict.y) strict_pos += y;
+  for (int y : ds_lax.y) lax_pos += y;
+  EXPECT_GT(strict_pos, lax_pos);
+  EXPECT_EQ(lax_pos, 0);
+}
+
+TEST(Study, ThreadedRunMatchesSerial) {
+  // The worker pool must produce outcomes identical to a serial run (same
+  // specs, same seeds, order preserved by spec id slots).
+  StudyOptions serial;
+  serial.corpus.limit = 6;
+  serial.corpus.duration_scale = 0.1;
+  serial.threads = 1;
+  StudyOptions pooled = serial;
+  pooled.threads = 3;
+  const auto a = run_study(serial);
+  const auto b = run_study(pooled);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].app, b.outcomes[i].app);
+    EXPECT_EQ(a.outcomes[i].of(Scheme::kMfact).total_time,
+              b.outcomes[i].of(Scheme::kMfact).total_time);
+    EXPECT_EQ(a.outcomes[i].of(Scheme::kPacketFlow).total_time,
+              b.outcomes[i].of(Scheme::kPacketFlow).total_time);
+  }
+}
+
+TEST(Runner, TimingRepeatsAveraged) {
+  const auto t = workloads::generate_app("CMC", small_params());
+  RunOptions opts;
+  opts.timing_repeats = 2;
+  const TraceOutcome o = run_all_schemes(t, opts);
+  // Results must be identical regardless of repeats (timing only changes).
+  const TraceOutcome single = run_all_schemes(t);
+  EXPECT_EQ(o.of(Scheme::kPacketFlow).total_time, single.of(Scheme::kPacketFlow).total_time);
+}
+
+}  // namespace
+}  // namespace hps::core

@@ -1,0 +1,176 @@
+// Cross-tool integration tests: the study's validity rests on MFACT and the
+// detailed simulators agreeing when there is nothing to disagree about
+// (no contention), and diverging in the expected direction when there is.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runner.hpp"
+#include "machine/machine.hpp"
+#include "mfact/model.hpp"
+#include "simmpi/replayer.hpp"
+#include "trace/builder.hpp"
+#include "trace/validate.hpp"
+#include "workloads/generators.hpp"
+
+namespace hps {
+namespace {
+
+using core::Scheme;
+using trace::RankBuilder;
+using trace::Trace;
+using trace::TraceMeta;
+
+TraceMeta meta(Rank n, int rpn = 16) {
+  TraceMeta m;
+  m.app = "xtool";
+  m.nranks = n;
+  m.ranks_per_node = rpn;
+  m.machine = "cielito";
+  return m;
+}
+
+TEST(CrossTool, PureComputeAgreesExactly) {
+  Trace t(meta(8));
+  for (Rank r = 0; r < 8; ++r) {
+    RankBuilder b(t, r);
+    b.compute(100 * kMillisecond + r * kMillisecond);
+  }
+  const auto o = core::run_all_schemes(t);
+  for (const Scheme s : {Scheme::kPacket, Scheme::kFlow, Scheme::kPacketFlow})
+    EXPECT_EQ(o.of(s).total_time, o.of(Scheme::kMfact).total_time)
+        << core::scheme_name(s);
+}
+
+TEST(CrossTool, SingleLargeTransferWithinTenPercent) {
+  // One 8 MiB message, no contention: Hockney and the simulators should
+  // land within ~10% of each other (protocol details account for the gap).
+  Trace t(meta(2, 1));
+  RankBuilder b0(t, 0), b1(t, 1);
+  b0.send(1, 8 * MiB, 1, 0);
+  b1.recv(0, 8 * MiB, 1, 0);
+  const auto o = core::run_all_schemes(t);
+  for (const Scheme s : {Scheme::kPacket, Scheme::kFlow, Scheme::kPacketFlow}) {
+    const auto d = o.diff_total(s);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LT(*d, 0.12) << core::scheme_name(s);
+  }
+}
+
+TEST(CrossTool, UncontendedHaloWithinTenPercent) {
+  // Nearest-neighbor exchanges with generous compute between them: nothing
+  // contends, so modeling and simulation should agree closely.
+  Trace t(meta(16, 4));
+  for (Rank r = 0; r < 16; ++r) {
+    RankBuilder b(t, r);
+    for (int i = 0; i < 10; ++i) {
+      b.compute(5 * kMillisecond);
+      const Rank peer = r ^ 1;
+      b.irecv(peer, 32 * 1024, 5, 0);
+      b.isend(peer, 32 * 1024, 5, 0);
+      b.waitall(0);
+    }
+  }
+  trace::validate_or_throw(t);
+  const auto o = core::run_all_schemes(t);
+  for (const Scheme s : {Scheme::kPacket, Scheme::kFlow, Scheme::kPacketFlow}) {
+    const auto d = o.diff_total(s);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LT(*d, 0.10) << core::scheme_name(s);
+  }
+}
+
+TEST(CrossTool, ContentionMakesSimulationSlowerThanModel) {
+  // Dense all-to-all traffic: the simulators see fabric/NIC contention that
+  // Hockney cannot, so their predicted total should exceed MFACT's.
+  Trace t(meta(64, 16));
+  for (Rank r = 0; r < 64; ++r) {
+    RankBuilder b(t, r);
+    b.compute(kMillisecond);
+    for (int i = 0; i < 3; ++i) b.alltoall(64 * 1024, 0);
+  }
+  trace::validate_or_throw(t);
+  const auto o = core::run_all_schemes(t);
+  for (const Scheme s : {Scheme::kPacket, Scheme::kFlow, Scheme::kPacketFlow}) {
+    EXPECT_GT(o.of(s).total_time, o.of(Scheme::kMfact).total_time)
+        << core::scheme_name(s);
+  }
+}
+
+TEST(CrossTool, SimulatorsAgreeWithEachOtherBetterThanWithMeasured) {
+  // The three network models are variations of one simulator; their spread
+  // should be tighter than their distance to the noisy ground truth.
+  workloads::GenParams gp;
+  gp.ranks = 32;
+  gp.seed = 3;
+  gp.iter_factor = 0.3;
+  const Trace t = workloads::generate_app("MiniFE", gp);
+  const auto o = core::run_all_schemes(t);
+  const double pkt = static_cast<double>(o.of(Scheme::kPacket).total_time);
+  const double flw = static_cast<double>(o.of(Scheme::kFlow).total_time);
+  const double pfl = static_cast<double>(o.of(Scheme::kPacketFlow).total_time);
+  const double spread = std::max({pkt, flw, pfl}) / std::min({pkt, flw, pfl}) - 1.0;
+  EXPECT_LT(spread, 0.10);
+}
+
+TEST(CrossTool, PredictionsUnderestimateMeasured) {
+  // The ground-truth synthesizer inflates measured times above the ideal
+  // cost, so both tools should come out below measurement (Figs. 3c/4c).
+  workloads::GenParams gp;
+  gp.ranks = 27;
+  gp.seed = 9;
+  gp.iter_factor = 0.3;
+  const Trace t = workloads::generate_app("LULESH", gp);
+  const auto o = core::run_all_schemes(t);
+  EXPECT_LT(o.of(Scheme::kMfact).total_time, o.measured_total);
+  EXPECT_LT(o.of(Scheme::kPacketFlow).total_time, o.measured_total);
+}
+
+TEST(CrossTool, MfactScalesWithConfigCountNotRuns) {
+  // Running k configurations concurrently must cost far less than k
+  // separate replays — the design point that makes MFACT's sweeps cheap.
+  workloads::GenParams gp;
+  gp.ranks = 16;
+  gp.seed = 4;
+  gp.iter_factor = 0.5;
+  const Trace t = workloads::generate_app("MG", gp);
+  const auto sweep1 = mfact::make_sensitivity_sweep(gbps_to_Bps(10), 2500);
+
+  double wall_k = 0;
+  mfact::run_mfact(t, sweep1, {}, &wall_k);
+  double wall_1_total = 0;
+  for (const auto& cfg : sweep1) {
+    double w = 0;
+    mfact::run_mfact(t, {cfg}, {}, &w);
+    wall_1_total += w;
+  }
+  EXPECT_LT(wall_k, wall_1_total) << "concurrent sweep slower than separate replays";
+}
+
+TEST(CrossTool, RanksPerNodePlacementMatters) {
+  // Packing ranks on fewer nodes converts network traffic into local
+  // traffic; the simulated halo gets cheaper.
+  Trace dense(meta(16, 16));   // one node
+  Trace sparse(meta(16, 1));   // sixteen nodes
+  for (Trace* t : {&dense, &sparse}) {
+    for (Rank r = 0; r < 16; ++r) {
+      RankBuilder b(*t, r);
+      for (int i = 0; i < 5; ++i) {
+        b.compute(10000);
+        const Rank peer = r ^ 1;
+        b.irecv(peer, 256 * 1024, 5, 0);
+        b.isend(peer, 256 * 1024, 5, 0);
+        b.waitall(0);
+      }
+    }
+  }
+  const machine::MachineInstance mi_dense(machine::cielito(), 16, 16);
+  const machine::MachineInstance mi_sparse(machine::cielito(), 16, 1);
+  const auto rd = simmpi::replay_trace(dense, mi_dense, simmpi::NetModelKind::kPacketFlow);
+  const auto rs = simmpi::replay_trace(sparse, mi_sparse, simmpi::NetModelKind::kPacketFlow);
+  EXPECT_LT(rd.total_time, rs.total_time);
+}
+
+}  // namespace
+}  // namespace hps

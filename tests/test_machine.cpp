@@ -1,0 +1,96 @@
+// Tests for machine presets and instances: the paper's published network
+// parameters, topology sizing, placement policies, and the latency split.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "machine/machine.hpp"
+
+namespace hps::machine {
+namespace {
+
+TEST(Presets, PaperParameters) {
+  const MachineConfig c = cielito();
+  EXPECT_DOUBLE_EQ(Bps_to_gbps(c.net.link_bandwidth), 10.0);
+  EXPECT_EQ(c.net.end_to_end_latency, 2500);
+  EXPECT_EQ(c.topology, TopologyKind::kTorus3D);
+
+  const MachineConfig h = hopper();
+  EXPECT_DOUBLE_EQ(Bps_to_gbps(h.net.link_bandwidth), 35.0);
+  EXPECT_EQ(h.net.end_to_end_latency, 2575);
+  EXPECT_EQ(h.topology, TopologyKind::kTorus3D);
+
+  const MachineConfig e = edison();
+  EXPECT_DOUBLE_EQ(Bps_to_gbps(e.net.link_bandwidth), 24.0);
+  EXPECT_EQ(e.net.end_to_end_latency, 1300);
+  EXPECT_EQ(e.topology, TopologyKind::kDragonfly);
+}
+
+TEST(Presets, LookupByNameCaseInsensitive) {
+  EXPECT_EQ(machine_by_name("CIELITO").name, "cielito");
+  EXPECT_EQ(machine_by_name("Edison").name, "edison");
+  EXPECT_THROW(machine_by_name("summit"), Error);
+  EXPECT_EQ(all_machines().size(), 3u);
+}
+
+TEST(Instance, TopologySizedForJob) {
+  const MachineInstance mi(cielito(), 256, 16);
+  EXPECT_GE(mi.topology().num_nodes(), 16);
+  EXPECT_EQ(mi.nranks(), 256);
+}
+
+TEST(Instance, BlockPlacementGroupsRanks) {
+  const MachineInstance mi(cielito(), 64, 16);
+  for (Rank r = 0; r < 64; ++r) EXPECT_EQ(mi.node_of(r), r / 16);
+}
+
+TEST(Instance, RoundRobinPlacementSpreads) {
+  const MachineInstance mi(cielito(), 64, 16, Placement::kRoundRobin);
+  EXPECT_EQ(mi.node_of(0), 0);
+  EXPECT_EQ(mi.node_of(1), 1);
+  EXPECT_EQ(mi.node_of(4), 0);
+}
+
+TEST(Instance, RandomPlacementDeterministicPerSeed) {
+  const MachineInstance a(cielito(), 64, 16, Placement::kRandom, 9);
+  const MachineInstance b(cielito(), 64, 16, Placement::kRandom, 9);
+  for (Rank r = 0; r < 64; ++r) EXPECT_EQ(a.node_of(r), b.node_of(r));
+  // Every rank maps to a valid node.
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 64; ++r) {
+    EXPECT_GE(a.node_of(r), 0);
+    EXPECT_LT(a.node_of(r), a.topology().num_nodes());
+    used.insert(a.node_of(r));
+  }
+  EXPECT_EQ(used.size(), 4u);  // 64 ranks / 16 per node
+}
+
+TEST(Instance, RanksPerNodeCappedAtCores) {
+  const MachineInstance mi(cielito(), 64, 99);  // cielito has 16 cores/node
+  EXPECT_EQ(mi.ranks_per_node(), 16);
+}
+
+TEST(Instance, LatencySplitConsistent) {
+  const MachineConfig c = cielito();
+  const MachineInstance mi(c, 256, 16);
+  EXPECT_GT(mi.software_overhead(), 0);
+  EXPECT_GT(mi.hop_latency(), 0);
+  // Reconstructed end-to-end latency over an average path is in the right
+  // ballpark of the published number.
+  const double avg_hops = mi.topology().average_hops();
+  const double reconstructed =
+      2.0 * static_cast<double>(mi.software_overhead()) +
+      avg_hops * static_cast<double>(mi.hop_latency());
+  EXPECT_NEAR(reconstructed, static_cast<double>(c.net.end_to_end_latency),
+              0.25 * static_cast<double>(c.net.end_to_end_latency));
+}
+
+TEST(Instance, EdisonBuildsDragonfly) {
+  const MachineInstance mi(edison(), 512, 16);
+  EXPECT_GE(mi.topology().num_nodes(), 32);
+  EXPECT_NE(mi.topology().name().find("dragonfly"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hps::machine

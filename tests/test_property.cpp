@@ -1,0 +1,198 @@
+// Property tests over randomly generated (but structurally valid) traces:
+// serialization round-trips exactly, validation accepts, MFACT and all three
+// simulators replay to completion with positive deterministic results, and
+// the cross-tool agreement holds under low contention. A seed sweep (TEST_P)
+// explores many random structures.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "machine/machine.hpp"
+#include "mfact/model.hpp"
+#include "simmpi/replayer.hpp"
+#include "trace/builder.hpp"
+#include "trace/io.hpp"
+#include "trace/validate.hpp"
+
+namespace hps {
+namespace {
+
+using trace::OpType;
+using trace::RankBuilder;
+using trace::Trace;
+
+/// Build a random valid trace: interleaved compute, matched p2p rounds
+/// (blocking and nonblocking), and world/sub-communicator collectives.
+Trace random_trace(std::uint64_t seed) {
+  Rng rng(seed);
+  const Rank n = static_cast<Rank>(4 + 2 * rng.uniform_u64(7));  // 4..16, even
+  trace::TraceMeta m;
+  m.app = "random";
+  m.nranks = n;
+  m.ranks_per_node = static_cast<int>(1 + rng.uniform_u64(4));
+  m.machine = "cielito";
+  m.seed = seed;
+  Trace t(std::move(m));
+
+  // A sub-communicator of the even ranks.
+  std::vector<Rank> evens;
+  for (Rank r = 0; r < n; r += 2) evens.push_back(r);
+  const CommId even_comm = t.add_comm(evens);
+
+  std::vector<RankBuilder> bs;
+  bs.reserve(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < n; ++r) bs.emplace_back(t, r);
+
+  const int rounds = static_cast<int>(3 + rng.uniform_u64(6));
+  for (int round = 0; round < rounds; ++round) {
+    // Per-round compute.
+    for (Rank r = 0; r < n; ++r)
+      bs[static_cast<std::size_t>(r)].compute(
+          static_cast<SimTime>(1000 + rng.uniform_u64(100000)));
+
+    switch (rng.uniform_u64(5)) {
+      case 0: {  // pairwise blocking exchange r <-> r^1 (ordered to avoid deadlock)
+        const auto bytes = 64 + rng.uniform_u64(32 * 1024);
+        const Tag tag = static_cast<Tag>(round * 10 + 1);
+        for (Rank r = 0; r < n; ++r) {
+          const Rank peer = r ^ 1;
+          if (r < peer) {
+            bs[static_cast<std::size_t>(r)].send(peer, bytes, tag, 100);
+            bs[static_cast<std::size_t>(r)].recv(peer, bytes, tag, 100);
+          } else {
+            bs[static_cast<std::size_t>(r)].recv(peer, bytes, tag, 100);
+            bs[static_cast<std::size_t>(r)].send(peer, bytes, tag, 100);
+          }
+        }
+        break;
+      }
+      case 1: {  // nonblocking shifted ring exchange
+        const auto bytes = 64 + rng.uniform_u64(64 * 1024);
+        const int shift = static_cast<int>(1 + rng.uniform_u64(
+                                                   static_cast<std::uint64_t>(n - 1)));
+        const Tag tag = static_cast<Tag>(round * 10 + 2);
+        for (Rank r = 0; r < n; ++r) {
+          auto& b = bs[static_cast<std::size_t>(r)];
+          b.irecv(static_cast<Rank>((r - shift + n) % n), bytes, tag, 10);
+          b.isend(static_cast<Rank>((r + shift) % n), bytes, tag, 10);
+          b.waitall(200);
+        }
+        break;
+      }
+      case 2: {  // world collective
+        const auto bytes = 8 + rng.uniform_u64(8 * 1024);
+        const int kind = static_cast<int>(rng.uniform_u64(4));
+        const Rank root = static_cast<Rank>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+        for (Rank r = 0; r < n; ++r) {
+          auto& b = bs[static_cast<std::size_t>(r)];
+          switch (kind) {
+            case 0: b.allreduce(bytes, 300); break;
+            case 1: b.barrier(300); break;
+            case 2: b.bcast(root, bytes, 300); break;
+            default: b.reduce(root, bytes, 300); break;
+          }
+        }
+        break;
+      }
+      case 3: {  // sub-communicator collective on the evens
+        const auto bytes = 8 + rng.uniform_u64(4 * 1024);
+        for (Rank r = 0; r < n; r += 2)
+          bs[static_cast<std::size_t>(r)].allreduce(bytes, 300, even_comm);
+        break;
+      }
+      default: {  // alltoallv with a random (possibly sparse) matrix
+        std::vector<std::vector<std::uint64_t>> mtx(static_cast<std::size_t>(n));
+        Rng mrng(mix_seed(seed, static_cast<std::uint64_t>(round)));
+        for (Rank r = 0; r < n; ++r) {
+          mtx[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(n));
+          for (Rank d = 0; d < n; ++d)
+            mtx[static_cast<std::size_t>(r)][static_cast<std::size_t>(d)] =
+                (d == r || mrng.uniform() < 0.3) ? 0 : 32 + mrng.uniform_u64(4096);
+        }
+        for (Rank r = 0; r < n; ++r)
+          bs[static_cast<std::size_t>(r)].alltoallv(mtx[static_cast<std::size_t>(r)], 500);
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+bool events_equal(const Trace& a, const Trace& b) {
+  if (a.nranks() != b.nranks()) return false;
+  for (Rank r = 0; r < a.nranks(); ++r) {
+    const auto& ea = a.rank(r).events;
+    const auto& eb = b.rank(r).events;
+    if (ea.size() != eb.size()) return false;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (std::memcmp(&ea[i], &eb[i], sizeof(trace::Event)) != 0) return false;
+    }
+    if (a.rank(r).vlists != b.rank(r).vlists) return false;
+  }
+  return true;
+}
+
+class RandomTraces : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTraces, IsValid) {
+  const Trace t = random_trace(GetParam());
+  EXPECT_TRUE(trace::validate(t).empty());
+}
+
+TEST_P(RandomTraces, IoRoundTripsExactly) {
+  const Trace t = random_trace(GetParam());
+  std::stringstream ss;
+  trace::write_binary(t, ss);
+  const Trace u = trace::read_binary(ss);
+  EXPECT_TRUE(events_equal(t, u));
+  EXPECT_EQ(u.meta().app, t.meta().app);
+  EXPECT_EQ(u.num_comms(), t.num_comms());
+}
+
+TEST_P(RandomTraces, AllToolsCompleteAndAreDeterministic) {
+  const Trace t = random_trace(GetParam());
+  const machine::MachineInstance mi(machine::cielito(), t.nranks(),
+                                    t.meta().ranks_per_node);
+  const auto sweep = mfact::make_sensitivity_sweep(gbps_to_Bps(10), 2500);
+  const auto m1 = mfact::run_mfact(t, sweep);
+  const auto m2 = mfact::run_mfact(t, sweep);
+  EXPECT_GT(m1[0].total_time, 0);
+  EXPECT_EQ(m1[0].total_time, m2[0].total_time);
+
+  for (const auto kind : {simmpi::NetModelKind::kPacket, simmpi::NetModelKind::kFlow,
+                          simmpi::NetModelKind::kPacketFlow}) {
+    const auto r1 = simmpi::replay_trace(t, mi, kind);
+    const auto r2 = simmpi::replay_trace(t, mi, kind);
+    EXPECT_GT(r1.total_time, 0) << simmpi::net_model_name(kind);
+    EXPECT_EQ(r1.total_time, r2.total_time) << simmpi::net_model_name(kind);
+    // Totals must cover the per-rank compute: no lost time.
+    for (Rank r = 0; r < t.nranks(); ++r) EXPECT_GE(r1.rank_finish[r], 0);
+  }
+}
+
+TEST_P(RandomTraces, ModelAndSimulationAgreeLoosely) {
+  // Random traces here are low-contention; the tools should land within 40%
+  // of each other (a loose envelope — tight agreement is covered by the
+  // targeted cross-tool tests).
+  const Trace t = random_trace(GetParam());
+  const auto o = core::run_all_schemes(t);
+  for (const auto s : {core::Scheme::kPacket, core::Scheme::kFlow,
+                       core::Scheme::kPacketFlow}) {
+    const auto d = o.diff_total(s);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LT(*d, 0.40) << core::scheme_name(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraces,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hps

@@ -1,0 +1,352 @@
+// Tests for the three network models: latency/bandwidth arithmetic on an
+// uncontended path, exact once-per-message delivery, contention behavior
+// (exclusive reservation vs fair sharing vs congestion sampling), and model-
+// specific counters. A parameterized suite runs shared invariants over all
+// three models.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "des/engine.hpp"
+#include "simnet/flow_model.hpp"
+#include "simnet/packet_model.hpp"
+#include "simnet/packetflow_model.hpp"
+#include "topo/topology.hpp"
+
+namespace hps::simnet {
+namespace {
+
+class CollectingSink final : public MessageSink {
+ public:
+  void message_delivered(MsgId id, SimTime at) override {
+    ASSERT_FALSE(delivered.contains(id)) << "duplicate delivery of message " << id;
+    delivered[id] = at;
+  }
+  std::map<MsgId, SimTime> delivered;
+};
+
+NetConfig test_config() {
+  NetConfig c;
+  c.link_bandwidth = 1e9;       // 1 GB/s -> 1 byte per ns
+  c.injection_bandwidth = 1e9;
+  c.software_overhead = 100;
+  c.hop_latency = 50;
+  c.packet_size = 1024;
+  return c;
+}
+
+enum class Kind { kPacket, kFlow, kPacketFlow };
+
+std::unique_ptr<NetworkModel> make_model(Kind k, des::Engine& eng, const topo::Topology& t,
+                                         NetConfig cfg, MessageSink& sink) {
+  switch (k) {
+    case Kind::kPacket: return std::make_unique<PacketModel>(eng, t, cfg, sink);
+    case Kind::kFlow: return std::make_unique<FlowModel>(eng, t, cfg, sink);
+    case Kind::kPacketFlow: return std::make_unique<PacketFlowModel>(eng, t, cfg, sink);
+  }
+  return nullptr;
+}
+
+class AllModels : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(AllModels, SingleMessageTiming) {
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);  // nodes 0 and 1, one hop apart
+  CollectingSink sink;
+  const NetConfig cfg = test_config();
+  auto model = make_model(GetParam(), eng, topo, cfg, sink);
+
+  model->inject(1, 0, 1, 1000);
+  eng.run();
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  const SimTime t = sink.delivered.at(1);
+  // Lower bound: both overheads + hop latency + serialization of 1000 B.
+  EXPECT_GE(t, 2 * cfg.software_overhead + cfg.hop_latency + 1000);
+  // Upper bound: generous 4x slack (store-and-forward, handshakes).
+  EXPECT_LE(t, 4 * (2 * cfg.software_overhead + cfg.hop_latency + 1000));
+}
+
+TEST_P(AllModels, ZeroByteMessageCostsLatencyOnly) {
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  const NetConfig cfg = test_config();
+  auto model = make_model(GetParam(), eng, topo, cfg, sink);
+  model->inject(5, 0, 1, 0);
+  eng.run();
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  EXPECT_GE(sink.delivered.at(5), 2 * cfg.software_overhead + cfg.hop_latency);
+  EXPECT_LE(sink.delivered.at(5), 2 * (2 * cfg.software_overhead + cfg.hop_latency));
+}
+
+TEST_P(AllModels, LocalDeliveryBypassesNetwork) {
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  auto model = make_model(GetParam(), eng, topo, test_config(), sink);
+  model->inject(9, 1, 1, 4096);
+  eng.run();
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  // Local copies are far faster than the network would be.
+  EXPECT_LT(sink.delivered.at(9), 1000);
+}
+
+TEST_P(AllModels, EveryMessageDeliveredExactlyOnce) {
+  des::Engine eng;
+  topo::Torus3D topo(4, 4, 1);
+  CollectingSink sink;
+  auto model = make_model(GetParam(), eng, topo, test_config(), sink);
+  MsgId id = 0;
+  for (NodeId a = 0; a < 16; ++a)
+    for (NodeId b = 0; b < 16; ++b) model->inject(id++, a, b, 700 + 13 * a + b);
+  eng.run();
+  EXPECT_EQ(sink.delivered.size(), static_cast<std::size_t>(id));
+  EXPECT_EQ(model->stats().messages, static_cast<std::uint64_t>(id));
+}
+
+TEST_P(AllModels, BiggerMessagesArriveNoEarlier) {
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  auto model = make_model(GetParam(), eng, topo, test_config(), sink);
+  model->inject(1, 0, 1, 100);
+  eng.run();
+  const SimTime small = sink.delivered.at(1);
+
+  des::Engine eng2;
+  CollectingSink sink2;
+  auto model2 = make_model(GetParam(), eng2, topo, test_config(), sink2);
+  model2->inject(2, 0, 1, 100000);
+  eng2.run();
+  EXPECT_GT(sink2.delivered.at(2), small);
+}
+
+TEST_P(AllModels, ContentionSlowsDelivery) {
+  // Ten messages over the same link take longer (for the last) than one.
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  auto model = make_model(GetParam(), eng, topo, test_config(), sink);
+  model->inject(0, 0, 1, 10000);
+  eng.run();
+  const SimTime alone = sink.delivered.at(0);
+
+  des::Engine eng2;
+  CollectingSink sink2;
+  auto model2 = make_model(GetParam(), eng2, topo, test_config(), sink2);
+  for (MsgId i = 0; i < 10; ++i) model2->inject(i, 0, 1, 10000);
+  eng2.run();
+  SimTime last = 0;
+  for (const auto& [id, t] : sink2.delivered) last = std::max(last, t);
+  EXPECT_GT(last, 5 * alone) << "ten equal messages should take ~10x on one link";
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModels,
+                         ::testing::Values(Kind::kPacket, Kind::kFlow, Kind::kPacketFlow),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           switch (info.param) {
+                             case Kind::kPacket: return "packet";
+                             case Kind::kFlow: return "flow";
+                             default: return "packetflow";
+                           }
+                         });
+
+TEST(PacketModel, PacketCountMatchesSegmentation) {
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  NetConfig cfg = test_config();
+  cfg.packet_size = 1000;
+  PacketModel model(eng, topo, cfg, sink);
+  model.inject(1, 0, 1, 2500);  // 3 packets
+  model.inject(2, 0, 1, 1000);  // 1 packet
+  model.inject(3, 0, 1, 0);     // still 1 packet (envelope)
+  eng.run();
+  EXPECT_EQ(model.stats().packets, 5u);
+}
+
+TEST(PacketModel, ExclusiveReservationSerializes) {
+  // Two 10 KB messages on one link: the packet model's exclusive channel
+  // reservation means total time ~2x a single message.
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  PacketModel model(eng, topo, test_config(), sink);
+  model.inject(1, 0, 1, 10000);
+  model.inject(2, 0, 1, 10000);
+  eng.run();
+  const SimTime t1 = sink.delivered.at(1);
+  const SimTime t2 = sink.delivered.at(2);
+  EXPECT_GT(std::max(t1, t2), 19000);
+}
+
+TEST(FlowModel, FairSharingHalvesRate) {
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  FlowModel model(eng, topo, test_config(), sink);
+  // Two equal flows sharing one link finish together at ~2x the solo time.
+  model.inject(1, 0, 1, 100000);
+  model.inject(2, 0, 1, 100000);
+  eng.run();
+  const SimTime t1 = sink.delivered.at(1);
+  const SimTime t2 = sink.delivered.at(2);
+  EXPECT_NEAR(static_cast<double>(t1), static_cast<double>(t2),
+              static_cast<double>(t1) * 0.02);
+  EXPECT_GT(t1, 195000);
+  EXPECT_LT(t1, 230000);
+}
+
+TEST(FlowModel, RippleUpdatesCounted) {
+  des::Engine eng;
+  topo::Torus3D topo(4, 1, 1);
+  CollectingSink sink;
+  FlowModel model(eng, topo, test_config(), sink);
+  for (MsgId i = 0; i < 8; ++i)
+    model.inject(i, static_cast<NodeId>(i % 4), static_cast<NodeId>((i + 1) % 4), 50000);
+  eng.run();
+  EXPECT_GT(model.stats().rate_updates, 0u);
+  EXPECT_EQ(model.active_flows(), 0u);
+}
+
+TEST(FlowModel, DisjointFlowsDontShare) {
+  des::Engine eng;
+  topo::Torus3D topo(4, 1, 1);
+  CollectingSink sink;
+  FlowModel model(eng, topo, test_config(), sink);
+  // 0->1 and 2->3 share no links (ring links are directional and disjoint).
+  model.inject(1, 0, 1, 100000);
+  model.inject(2, 2, 3, 100000);
+  eng.run();
+  // Each should finish in ~solo time (not 2x).
+  EXPECT_LT(sink.delivered.at(1), 130000);
+  EXPECT_LT(sink.delivered.at(2), 130000);
+}
+
+TEST(PacketFlowModel, SharedLinkCongestionSampled) {
+  // 0->2 and 1->2 share the directed link 1->2 on a 4-ring. The hybrid
+  // model multiplexes the channel but must charge the sampled congestion:
+  // the 0->2 message is slower than when it runs alone.
+  topo::Torus3D topo(4, 1, 1);
+  const NetConfig cfg = test_config();
+
+  des::Engine e1;
+  CollectingSink s1;
+  PacketFlowModel solo(e1, topo, cfg, s1);
+  solo.inject(1, 0, 2, 40000);
+  e1.run();
+  const SimTime t_solo = s1.delivered.at(1);
+
+  des::Engine e2;
+  CollectingSink s2;
+  PacketFlowModel contended(e2, topo, cfg, s2);
+  contended.inject(1, 0, 2, 40000);
+  contended.inject(2, 1, 2, 40000);
+  e2.run();
+  EXPECT_GT(s2.delivered.at(1), t_solo);
+}
+
+TEST(PacketFlowModel, CoarsePacketsReduceEventCount) {
+  topo::Torus3D topo(2, 1, 1);
+  NetConfig fine = test_config();
+  fine.packet_size = 512;
+  NetConfig coarse = test_config();
+  coarse.packet_size = 4096;
+
+  des::Engine e1;
+  CollectingSink s1;
+  PacketFlowModel m1(e1, topo, fine, s1);
+  m1.inject(1, 0, 1, 64 * 1024);
+  e1.run();
+
+  des::Engine e2;
+  CollectingSink s2;
+  PacketFlowModel m2(e2, topo, coarse, s2);
+  m2.inject(1, 0, 1, 64 * 1024);
+  e2.run();
+
+  EXPECT_GT(e1.stats().events_processed, 4 * e2.stats().events_processed);
+}
+
+TEST_P(AllModels, LinkTelemetryConservation) {
+  // Every network (non-local) message charges its full byte count to each
+  // link of its route; on a 2-node ring the single forward link must carry
+  // exactly the sum of injected bytes.
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  auto model = make_model(GetParam(), eng, topo, test_config(), sink);
+  std::uint64_t injected = 0;
+  for (MsgId i = 0; i < 20; ++i) {
+    const std::uint64_t bytes = 100 + 37 * i;
+    model->inject(i, 0, 1, bytes);
+    injected += bytes;
+  }
+  model->inject(99, 1, 1, 12345);  // local: must not appear on any link
+  eng.run();
+  const auto& lb = model->link_bytes();
+  std::uint64_t total = 0;
+  for (const auto b : lb) total += b;
+  EXPECT_EQ(total, injected);
+  EXPECT_EQ(lb[static_cast<std::size_t>(topo.link_from(0, 0))], injected);
+}
+
+TEST_P(AllModels, MultiHopChargesEveryLink) {
+  des::Engine eng;
+  topo::Torus3D topo(8, 1, 1);
+  CollectingSink sink;
+  auto model = make_model(GetParam(), eng, topo, test_config(), sink);
+  model->inject(1, 0, 3, 5000);  // 3 hops forward
+  eng.run();
+  const auto& lb = model->link_bytes();
+  int charged = 0;
+  for (const auto b : lb) {
+    if (b == 0) continue;
+    EXPECT_EQ(b, 5000u);
+    ++charged;
+  }
+  EXPECT_EQ(charged, 3);
+}
+
+TEST(PacketModel, MessagePacingLimitsSingleMessageRate) {
+  // With a 10x link and a paced message, the end-to-end time is governed by
+  // the pacing rate, not the faster fabric.
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  NetConfig cfg = test_config();
+  cfg.link_bandwidth = 1e10;       // 10 B/ns fabric
+  cfg.injection_bandwidth = 1e10;
+  cfg.message_bandwidth = 1e9;     // 1 B/ns per-message pacing
+  PacketModel model(eng, topo, cfg, sink);
+  model.inject(1, 0, 1, 100000);
+  eng.run();
+  // ~100 us of pacing dominates; well above what the 10x fabric alone needs.
+  EXPECT_GT(sink.delivered.at(1), 99000);
+}
+
+TEST(FlowModel, PacingCapsFlowRate) {
+  des::Engine eng;
+  topo::Torus3D topo(2, 1, 1);
+  CollectingSink sink;
+  NetConfig cfg = test_config();
+  cfg.link_bandwidth = 1e10;
+  cfg.injection_bandwidth = 1e10;
+  cfg.message_bandwidth = 1e9;
+  FlowModel model(eng, topo, cfg, sink);
+  model.inject(1, 0, 1, 100000);
+  eng.run();
+  EXPECT_GT(sink.delivered.at(1), 99000);
+  // Two paced flows on a 10x link do NOT contend: both finish ~solo time.
+  des::Engine eng2;
+  CollectingSink sink2;
+  FlowModel model2(eng2, topo, cfg, sink2);
+  model2.inject(1, 0, 1, 100000);
+  model2.inject(2, 0, 1, 100000);
+  eng2.run();
+  EXPECT_LT(sink2.delivered.at(2), 130000);
+}
+
+}  // namespace
+}  // namespace hps::simnet

@@ -1,0 +1,198 @@
+// Tests for the statistics module: logistic regression recovery of known
+// coefficients, AIC behavior, stepwise selection of informative variables,
+// evaluation metrics, and Monte-Carlo cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/crossval.hpp"
+#include "stats/logistic.hpp"
+#include "stats/stepwise.hpp"
+
+namespace hps::stats {
+namespace {
+
+/// Synthetic dataset: y ~ Bernoulli(sigmoid(b0 + b1*x0 + b2*x1)), with
+/// `noise_cols` additional pure-noise columns.
+Dataset make_dataset(std::size_t n, double b0, double b1, double b2, int noise_cols,
+                     std::uint64_t seed) {
+  Dataset ds;
+  const std::size_t p = 2 + static_cast<std::size_t>(noise_cols);
+  ds.x = Matrix(n, p);
+  ds.y.resize(n);
+  for (std::size_t j = 0; j < p; ++j) ds.names.push_back("x" + std::to_string(j));
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) ds.x(i, j) = rng.normal();
+    const double z = b0 + b1 * ds.x(i, 0) + b2 * ds.x(i, 1);
+    const double prob = 1.0 / (1.0 + std::exp(-z));
+    ds.y[i] = rng.uniform() < prob ? 1 : 0;
+  }
+  return ds;
+}
+
+std::vector<std::size_t> all_rows(const Dataset& ds) {
+  std::vector<std::size_t> rows(ds.n());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(Logistic, RecoversCoefficients) {
+  const Dataset ds = make_dataset(4000, 0.5, 2.0, -1.5, 0, 11);
+  const std::vector<int> features = {0, 1};
+  const LogisticModel m = fit_logistic(ds, features);
+  EXPECT_TRUE(m.converged);
+  EXPECT_NEAR(m.intercept, 0.5, 0.15);
+  EXPECT_NEAR(m.coef[0], 2.0, 0.25);
+  EXPECT_NEAR(m.coef[1], -1.5, 0.25);
+}
+
+TEST(Logistic, PredictionAccuracyOnStrongSignal) {
+  const Dataset ds = make_dataset(2000, 0.0, 4.0, 0.0, 0, 12);
+  const std::vector<int> features = {0};
+  const LogisticModel m = fit_logistic(ds, features);
+  const SplitMetrics metrics = evaluate(m, ds, all_rows(ds));
+  EXPECT_LT(metrics.misclassification, 0.15);
+}
+
+TEST(Logistic, InterceptOnlyPredictsMajority) {
+  Dataset ds = make_dataset(500, 2.0, 0.0, 0.0, 0, 13);  // ~88% positives
+  const LogisticModel m = fit_logistic(ds, {});
+  int pos = 0;
+  for (int y : ds.y) pos += y;
+  EXPECT_GT(pos, 250);
+  EXPECT_EQ(m.classify(ds.x.row(0)), 1);
+}
+
+TEST(Logistic, ConstantColumnGetsZeroCoefficient) {
+  Dataset ds = make_dataset(500, 0.0, 2.0, 0.0, 0, 14);
+  // Overwrite column 1 with a constant.
+  for (std::size_t i = 0; i < ds.n(); ++i) ds.x(i, 1) = 7.0;
+  const std::vector<int> features = {0, 1};
+  const LogisticModel m = fit_logistic(ds, features);
+  EXPECT_NEAR(m.coef[1], 0.0, 1e-6);
+}
+
+TEST(Logistic, SeparableDataStaysFinite) {
+  // Perfectly separable: IRLS diverges without ridge; coefficients must stay
+  // finite (the paper's CL{ncs} shows the same near-separation pattern).
+  Dataset ds;
+  ds.x = Matrix(40, 1);
+  ds.y.resize(40);
+  ds.names = {"x"};
+  for (std::size_t i = 0; i < 40; ++i) {
+    ds.x(i, 0) = i < 20 ? -1.0 : 1.0;
+    ds.y[i] = i < 20 ? 0 : 1;
+  }
+  const std::vector<int> features = {0};
+  const LogisticModel m = fit_logistic(ds, features);
+  EXPECT_TRUE(std::isfinite(m.coef[0]));
+  EXPECT_GT(m.coef[0], 1.0);  // strongly positive
+  const double row_pos[1] = {1.0};
+  const double row_neg[1] = {-1.0};
+  EXPECT_EQ(m.classify(row_pos), 1);
+  EXPECT_EQ(m.classify(row_neg), 0);
+}
+
+TEST(Logistic, AicPenalizesUselessVariables) {
+  const Dataset ds = make_dataset(800, 0.0, 2.0, 0.0, 3, 15);
+  const std::vector<int> just_signal = {0};
+  const std::vector<int> with_noise = {0, 2, 3, 4};
+  const LogisticModel a = fit_logistic(ds, just_signal);
+  const LogisticModel b = fit_logistic(ds, with_noise);
+  EXPECT_LT(a.aic, b.aic + 6.0);  // noise columns should not beat the penalty
+}
+
+TEST(Stepwise, SelectsInformativeVariablesFirst) {
+  const Dataset ds = make_dataset(1500, 0.0, 3.0, -2.0, 6, 16);
+  const StepwiseResult res = stepwise_forward(ds, all_rows(ds));
+  ASSERT_GE(res.order.size(), 2u);
+  // The two signal columns (0 and 1) must be the first two picks.
+  EXPECT_TRUE((res.order[0] == 0 && res.order[1] == 1) ||
+              (res.order[0] == 1 && res.order[1] == 0));
+}
+
+TEST(Stepwise, RespectsMaxVariables) {
+  const Dataset ds = make_dataset(1000, 0.0, 1.0, 1.0, 10, 17);
+  StepwiseOptions opts;
+  opts.max_variables = 2;
+  const StepwiseResult res = stepwise_forward(ds, all_rows(ds), {}, opts);
+  EXPECT_LE(res.model.features.size(), 2u);
+}
+
+TEST(Stepwise, RespectsExclusions) {
+  const Dataset ds = make_dataset(1000, 0.0, 3.0, 0.0, 2, 18);
+  const std::vector<int> excluded = {0};
+  const StepwiseResult res = stepwise_forward(ds, all_rows(ds), excluded);
+  for (int f : res.order) EXPECT_NE(f, 0);
+}
+
+TEST(Stepwise, AicPathDecreases) {
+  const Dataset ds = make_dataset(1200, 0.0, 2.5, -2.0, 4, 19);
+  const StepwiseResult res = stepwise_forward(ds, all_rows(ds));
+  for (std::size_t i = 1; i < res.aic_path.size(); ++i)
+    EXPECT_LT(res.aic_path[i], res.aic_path[i - 1]);
+}
+
+TEST(Evaluate, ConfusionCounts) {
+  Dataset ds;
+  ds.x = Matrix(4, 1);
+  ds.y = {1, 1, 0, 0};
+  ds.names = {"x"};
+  ds.x(0, 0) = 10;   // predicted 1, truth 1 -> TP
+  ds.x(1, 0) = -10;  // predicted 0, truth 1 -> FN
+  ds.x(2, 0) = 10;   // predicted 1, truth 0 -> FP
+  ds.x(3, 0) = -10;  // predicted 0, truth 0 -> TN
+  LogisticModel m;
+  m.features = {0};
+  m.coef = {1.0};
+  m.intercept = 0.0;
+  const SplitMetrics metrics = evaluate(m, ds, all_rows(ds));
+  EXPECT_EQ(metrics.tp, 1);
+  EXPECT_EQ(metrics.fn, 1);
+  EXPECT_EQ(metrics.fp, 1);
+  EXPECT_EQ(metrics.tn, 1);
+  EXPECT_DOUBLE_EQ(metrics.misclassification, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.false_negative_rate, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.false_positive_rate, 0.5);
+}
+
+TEST(CrossVal, HighSuccessOnLearnableProblem) {
+  const Dataset ds = make_dataset(400, 0.0, 3.0, -2.0, 4, 20);
+  CrossValOptions opts;
+  opts.splits = 30;  // keep the test fast
+  const CrossValResult res = monte_carlo_cv(ds, opts);
+  EXPECT_GT(res.success_rate(), 0.8);
+  EXPECT_EQ(res.per_split.size(), 30u);
+  ASSERT_FALSE(res.variables.empty());
+  // The strongest variable should be selected nearly always and be 0 or 1.
+  EXPECT_GE(res.variables[0].selected_fraction, 0.9);
+  EXPECT_LE(res.variables[0].feature, 1);
+}
+
+TEST(CrossVal, DeterministicForSeed) {
+  const Dataset ds = make_dataset(300, 0.0, 2.0, -1.0, 2, 21);
+  CrossValOptions opts;
+  opts.splits = 10;
+  const CrossValResult a = monte_carlo_cv(ds, opts);
+  const CrossValResult b = monte_carlo_cv(ds, opts);
+  EXPECT_DOUBLE_EQ(a.misclassification_trimmed_mean, b.misclassification_trimmed_mean);
+  opts.seed = 999;
+  const CrossValResult c = monte_carlo_cv(ds, opts);
+  EXPECT_NE(a.misclassification_trimmed_mean, c.misclassification_trimmed_mean);
+}
+
+TEST(CrossVal, SelectionFractionsBounded) {
+  const Dataset ds = make_dataset(300, 0.5, 2.0, 0.0, 3, 22);
+  CrossValOptions opts;
+  opts.splits = 12;
+  const CrossValResult res = monte_carlo_cv(ds, opts);
+  for (const auto& v : res.variables) {
+    EXPECT_GT(v.selected_fraction, 0.0);
+    EXPECT_LE(v.selected_fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hps::stats
