@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "telemetry/export.hpp"
+
 namespace hps::bench {
 
 core::StudyOptions default_study_options() {
@@ -45,6 +47,8 @@ std::vector<const core::TraceOutcome*> with_schemes_ok(
 }
 
 void print_header(const std::string& title, const std::string& paper_ref) {
+  // Honor HPS_TELEMETRY for every bench binary; a no-op when unset.
+  telemetry::init_from_env();
   std::printf("=== %s ===\n", title.c_str());
   std::printf("(reproduces %s of \"Performance and Accuracy Trade-offs of HPC Application "
               "Modeling and Simulation\")\n\n",

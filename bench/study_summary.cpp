@@ -10,12 +10,17 @@
 #include "bench_common.hpp"
 #include "common/stats_util.hpp"
 #include "common/table.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/features.hpp"
 
 int main(int argc, char** argv) {
   using namespace hps;
   using core::Scheme;
   bench::print_header("Corpus study summary", "the overall dataset of Sections V-VI");
+
+  // Always collect scheme-level telemetry for the breakdown table below
+  // (HPS_TELEMETRY additionally selects an export format, via print_header).
+  telemetry::Registry::global().set_enabled(true);
 
   const auto study = bench::load_or_run_study();
 
@@ -89,5 +94,27 @@ int main(int argc, char** argv) {
   line("comm share", summarize(comm_pct), "%");
   line("DIFF_total (p-flow)", summarize(diffs), "%");
   line("events per trace", summarize(events), "");
+
+  // Per-scheme simulation effort, from the telemetry registry. Counters are
+  // live run totals: a cache hit skips all scheme work, so they read zero.
+  if (study.from_cache) {
+    std::printf("\ntelemetry: study served from cache; no scheme work executed this run\n"
+                "(delete the cache or set HPS_DURATION_SCALE to force recomputation)\n");
+  } else {
+    const telemetry::Snapshot snap = telemetry::Registry::global().snapshot();
+    TextTable bt;
+    bt.set_header({"scheme", "runs", "DES events", "net msgs", "packets", "collectives",
+                   "model evals"});
+    for (const char* scheme : {"mfact", "packet", "flow", "packet-flow"}) {
+      const std::string p = std::string("scheme.") + scheme + ".";
+      bt.add_row({scheme, std::to_string(snap.value(p + "runs")),
+                  std::to_string(snap.value(p + "des_events_processed")),
+                  std::to_string(snap.value(p + "net_messages")),
+                  std::to_string(snap.value(p + "net_packets")),
+                  std::to_string(snap.value(p + "collectives")),
+                  std::to_string(snap.value(p + "model_evals"))});
+    }
+    std::printf("\nper-scheme simulation effort (live telemetry):\n%s", bt.render().c_str());
+  }
   return 0;
 }

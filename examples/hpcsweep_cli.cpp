@@ -6,6 +6,7 @@
 // Usage:
 //   hpcsweep_cli <trace.hpst|trace.txt> [--machine <name>] [--simulate]
 //                [--model hockney|loggp] [--compute-scale <x>]
+//                [--telemetry summary|json[:path]|chrome:<path>]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +17,7 @@
 #include "core/runner.hpp"
 #include "machine/machine.hpp"
 #include "mfact/classify.hpp"
+#include "telemetry/export.hpp"
 #include "trace/io.hpp"
 #include "trace/text_format.hpp"
 #include "trace/validate.hpp"
@@ -25,7 +27,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: hpcsweep_cli <trace.hpst|trace.txt> [--machine <name>] [--simulate]\n"
-               "                    [--model hockney|loggp] [--compute-scale <x>]\n");
+               "                    [--model hockney|loggp] [--compute-scale <x>]\n"
+               "                    [--telemetry summary|json[:path]|chrome:<path>]\n"
+               "  --telemetry enables instrumentation (implies --simulate) and exports\n"
+               "  metrics on exit; HPS_TELEMETRY=<spec> is the env equivalent.\n");
   return 2;
 }
 
@@ -59,10 +64,19 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--compute-scale" && i + 1 < argc) {
       compute_scale = std::atof(argv[++i]);
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      const auto cfg = telemetry::parse_export_spec(argv[++i]);
+      if (!cfg) {
+        std::fprintf(stderr, "bad --telemetry spec (want summary|json[:path]|chrome:<path>)\n");
+        return usage();
+      }
+      telemetry::configure(*cfg);
+      simulate = true;  // telemetry of the simulators needs them to run
     } else {
       return usage();
     }
   }
+  hps::telemetry::init_from_env();
 
   try {
     trace::Trace t = ends_with(path, ".txt") ? trace::load_text(path) : trace::load(path);
@@ -128,5 +142,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  telemetry::flush_exports();
   return 0;
 }

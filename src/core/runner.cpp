@@ -1,9 +1,11 @@
 #include "core/runner.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "machine/machine.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hps::core {
 
@@ -57,6 +59,11 @@ simmpi::NetModelKind to_net_kind(Scheme s) {
 }  // namespace
 
 TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
+  auto& reg = telemetry::Registry::global();
+  reg.counter("core.traces").add(1);
+  telemetry::Span trace_span(reg, t.meta().app + "/" + t.meta().variant, "trace");
+  trace_span.arg("machine", t.meta().machine);
+
   TraceOutcome out;
   out.app = t.meta().app;
   out.machine = t.meta().machine;
@@ -75,6 +82,9 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
   {
     SchemeOutcome& so = out.of(Scheme::kMfact);
     so.attempted = true;
+    telemetry::Span span(reg, std::string("mfact ") + out.app, "scheme");
+    span.arg("app", out.app);
+    span.arg("ranks", std::to_string(out.ranks));
     try {
       mfact::ClassifyParams cp = opts.classify;
       double wall_total = 0;
@@ -95,6 +105,7 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
           cl.group == mfact::SensitivityGroup::kCommSensitive ? 1.0 : 0.0;
     } catch (const Error& e) {
       so.error = e.what();
+      reg.counter("scheme.mfact.errors").add(1);
     }
   }
 
@@ -112,6 +123,9 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
       }
     }
     so.attempted = true;
+    telemetry::Span span(reg, std::string(scheme_name(s)) + " " + out.app, "scheme");
+    span.arg("app", out.app);
+    span.arg("ranks", std::to_string(out.ranks));
     try {
       double wall_total = 0;
       simmpi::ReplayResult rr;
@@ -125,13 +139,17 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
       so.ok = true;
     } catch (const Error& e) {
       so.error = e.what();
+      reg.counter(std::string("scheme.") + scheme_name(s) + ".errors").add(1);
     }
   }
   return out;
 }
 
 TraceOutcome run_all_schemes(const workloads::TraceSpec& spec, const RunOptions& opts) {
-  const trace::Trace t = workloads::generate_spec(spec);
+  const trace::Trace t = [&] {
+    telemetry::Span span("generate " + spec.app + "#" + std::to_string(spec.id), "generate");
+    return workloads::generate_spec(spec);
+  }();
   TraceOutcome out = run_all_schemes(t, opts);
   out.spec_id = spec.id;
   return out;

@@ -11,6 +11,9 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hps::core {
 
@@ -148,15 +151,21 @@ std::string default_cache_path(const std::string& tag) {
 }
 
 StudyResult run_study(const StudyOptions& opts) {
+  telemetry::init_from_env();
+  auto& reg = telemetry::Registry::global();
+  telemetry::Span study_span(reg, "run_study", "study");
+
   StudyResult result;
   const std::uint64_t key = study_cache_key(opts);
   if (!opts.cache_path.empty() && !opts.force_recompute) {
     if (auto cached = load_outcomes(opts.cache_path, key)) {
+      reg.counter("study.cache_hits").add(1);
       result.outcomes = std::move(*cached);
       result.from_cache = true;
       return result;
     }
   }
+  reg.counter("study.cache_misses").add(1);
 
   const auto start = std::chrono::steady_clock::now();
   const auto specs = workloads::build_corpus_specs(opts.corpus);
@@ -166,29 +175,29 @@ StudyResult run_study(const StudyOptions& opts) {
   if (nthreads <= 0)
     nthreads = std::min(16u, std::max(1u, std::thread::hardware_concurrency()));
   nthreads = std::min<int>(nthreads, static_cast<int>(specs.size()));
+  reg.gauge("study.threads").record(static_cast<std::uint64_t>(nthreads));
 
   std::atomic<std::size_t> next{0};
-  std::atomic<int> completed{0};
-  std::mutex log_mutex;
+  telemetry::ProgressReporter progress(specs.size(), opts.progress);
   auto worker = [&] {
+    const telemetry::ScopedTimer busy(
+        reg.histogram("study.worker_busy_seconds", telemetry::duration_bounds()));
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= specs.size()) return;
       result.outcomes[i] = run_all_schemes(specs[i], opts.run);
-      const int done = ++completed;
-      if (opts.progress) {
-        const std::lock_guard<std::mutex> lk(log_mutex);
-        std::fprintf(stderr, "  [%3d/%3zu] %-12s %5d ranks  %8llu events\r", done,
-                     specs.size(), specs[i].app.c_str(), specs[i].params.ranks,
-                     static_cast<unsigned long long>(result.outcomes[i].events));
-        if (done == static_cast<int>(specs.size())) std::fprintf(stderr, "\n");
-      }
+      char label[80];
+      std::snprintf(label, sizeof label, "%-12s %5d ranks  %8llu events",
+                    specs[i].app.c_str(), specs[i].params.ranks,
+                    static_cast<unsigned long long>(result.outcomes[i].events));
+      progress.completed(label);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(nthreads));
   for (int i = 0; i < nthreads; ++i) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  progress.finish();
 
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(end - start).count();

@@ -22,13 +22,48 @@ class Engine::FnHandler final : public Handler {
   Engine& eng_;
 };
 
+namespace {
+
+/// Handles into the global registry for the engine-wide aggregate metrics.
+struct DesMetrics {
+  telemetry::Counter events_scheduled;
+  telemetry::Counter events_processed;
+  telemetry::Counter sim_time_ns;
+  telemetry::Gauge max_queue_depth;
+
+  static const DesMetrics& get() {
+    static const DesMetrics m{
+        telemetry::Registry::global().counter("des.events_scheduled"),
+        telemetry::Registry::global().counter("des.events_processed"),
+        telemetry::Registry::global().counter("des.sim_time_ns"),
+        telemetry::Registry::global().gauge("des.max_queue_depth"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 Engine::Engine() = default;
-Engine::~Engine() = default;
+
+Engine::~Engine() { flush_telemetry(); }
+
+void Engine::flush_telemetry() {
+  if (!telemetry::Registry::global().enabled()) return;
+  const DesMetrics& m = DesMetrics::get();
+  events_scheduled_.flush_to(m.events_scheduled);
+  events_processed_.flush_to(m.events_processed);
+  max_queue_depth_.flush_to(m.max_queue_depth);
+  if (now_ > flushed_sim_time_) {
+    m.sim_time_ns.add(static_cast<std::uint64_t>(now_ - flushed_sim_time_));
+    flushed_sim_time_ = now_;
+  }
+}
 
 void Engine::push(Ev ev) {
   heap_.push_back(ev);
   std::push_heap(heap_.begin(), heap_.end(), later);
-  stats_.max_queue_depth = std::max(stats_.max_queue_depth, heap_.size());
+  max_queue_depth_.record(heap_.size());
 }
 
 Engine::Ev Engine::pop() {
@@ -42,7 +77,7 @@ void Engine::schedule_at(SimTime t, Handler* h, std::uint64_t a, std::uint64_t b
   HPS_CHECK_MSG(t >= now_, "cannot schedule into the past");
   HPS_CHECK(h != nullptr);
   push({t, next_seq_++, h, a, b});
-  ++stats_.events_scheduled;
+  events_scheduled_.add();
 }
 
 void Engine::schedule_fn_at(SimTime t, std::function<void()> fn) {
@@ -62,29 +97,39 @@ void Engine::schedule_fn_at(SimTime t, std::function<void()> fn) {
 
 void Engine::dispatch(const Ev& ev) {
   now_ = ev.t;
-  ++stats_.events_processed;
+  events_processed_.add();
   ev.h->handle(*this, ev.a, ev.b);
 }
 
 SimTime Engine::run() {
   while (!heap_.empty()) dispatch(pop());
+  flush_telemetry();
   return now_;
 }
 
 bool Engine::run_until(SimTime t_limit) {
+  bool drained = true;
   while (!heap_.empty()) {
-    if (heap_.front().t > t_limit) return false;
+    if (heap_.front().t > t_limit) {
+      drained = false;
+      break;
+    }
     dispatch(pop());
   }
-  return true;
+  flush_telemetry();
+  return drained;
 }
 
 void Engine::reset() {
+  flush_telemetry();
   heap_.clear();
   pending_fns_.clear();
   now_ = 0;
   next_seq_ = 0;
-  stats_ = {};
+  events_processed_.reset();
+  events_scheduled_.reset();
+  max_queue_depth_.reset();
+  flushed_sim_time_ = 0;
 }
 
 }  // namespace hps::des

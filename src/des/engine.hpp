@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hps::des {
 
@@ -31,7 +32,9 @@ class Handler {
   virtual void handle(Engine& eng, std::uint64_t a, std::uint64_t b) = 0;
 };
 
-/// Statistics the engine keeps about a run.
+/// Snapshot view of the engine's telemetry counters (kept as a plain struct
+/// for API compatibility; the counters themselves live in telemetry
+/// primitives and flush into the global registry at run boundaries).
 struct EngineStats {
   std::uint64_t events_processed = 0;
   std::uint64_t events_scheduled = 0;
@@ -73,9 +76,21 @@ class Engine {
   bool run_until(SimTime t_limit);
 
   bool empty() const { return heap_.empty(); }
-  const EngineStats& stats() const { return stats_; }
 
-  /// Clear calendar and reset clock to 0 (statistics are also reset).
+  /// Current statistics as a value snapshot.
+  EngineStats stats() const {
+    return {events_processed_.value(), events_scheduled_.value(),
+            static_cast<std::size_t>(max_queue_depth_.value())};
+  }
+
+  /// Publish counter deltas accumulated since the last flush into the global
+  /// telemetry registry (`des.*` metrics). One branch when telemetry is
+  /// disabled; called automatically when a run drains, on reset() and on
+  /// destruction.
+  void flush_telemetry();
+
+  /// Clear calendar and reset clock to 0 (statistics are also reset, after
+  /// being flushed to telemetry).
   void reset();
 
  private:
@@ -98,7 +113,12 @@ class Engine {
   std::vector<Ev> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EngineStats stats_;
+  // Single-writer telemetry counters: plain increments on the hot path,
+  // flushed as deltas into the shared registry at run boundaries.
+  telemetry::LocalCounter events_processed_;
+  telemetry::LocalCounter events_scheduled_;
+  telemetry::LocalMax max_queue_depth_;
+  SimTime flushed_sim_time_ = 0;
   std::vector<std::unique_ptr<std::function<void()>>> pending_fns_;
   std::unique_ptr<FnHandler> fn_handler_;
 };

@@ -28,7 +28,7 @@ const char* net_model_name(NetModelKind k) {
 
 Replayer::Replayer(const trace::Trace& t, const machine::MachineInstance& m, NetModelKind kind,
                    const ReplayConfig& cfg)
-    : trace_(t), machine_(m), cfg_(cfg) {
+    : trace_(t), machine_(m), cfg_(cfg), kind_(kind) {
   HPS_CHECK(t.nranks() == m.nranks());
 
   simnet::NetConfig nc;
@@ -224,6 +224,7 @@ void Replayer::do_send(Rank r, RankState& st, Rank dst, Tag tag, std::uint64_t b
     if (req >= 0) complete_request(r, req);
   } else {
     // Rendezvous: request-to-send now; data travels after the CTS arrives.
+    rdv_sends_.add();
     ms.is_rdv = true;
     inject(MsgKind::kRts, key, r, dst, 0);
     if (blocking) {
@@ -304,6 +305,7 @@ void Replayer::message_delivered(simnet::MsgId id, SimTime /*at*/) {
 
 void Replayer::complete_recv(const detail::MatchKey& key, MatchState& ms) {
   ms.recv_done = true;
+  msgs_matched_.add();
   RankState& st = ranks_[static_cast<std::size_t>(key.dst)];
   if (ms.recv_req >= 0) {
     complete_request(key.dst, ms.recv_req);
@@ -355,6 +357,7 @@ void Replayer::maybe_erase(const detail::MatchKey& key) {
 }
 
 void Replayer::begin_collective(Rank r, RankState& st, const trace::Event& e) {
+  collectives_.add();
   const auto& members = trace_.comm(e.comm);
   const std::int32_t me = comm_index_[static_cast<std::size_t>(e.comm)][static_cast<std::size_t>(r)];
   HPS_CHECK_MSG(me >= 0, "rank not a member of collective communicator");
@@ -433,7 +436,28 @@ ReplayResult Replayer::run() {
   res.link_bytes = net_->link_bytes();
   const auto wall_end = std::chrono::steady_clock::now();
   res.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  flush_scheme_telemetry(res);
   return res;
+}
+
+void Replayer::flush_scheme_telemetry(const ReplayResult& res) {
+  auto& reg = telemetry::Registry::global();
+  if (!reg.enabled()) return;
+  const std::string p = std::string("scheme.") + net_model_name(kind_) + ".";
+  reg.counter(p + "runs").add(1);
+  reg.counter(p + "des_events_processed").add(res.engine.events_processed);
+  reg.counter(p + "des_events_scheduled").add(res.engine.events_scheduled);
+  reg.counter(p + "net_messages").add(res.net.messages);
+  reg.counter(p + "net_bytes").add(res.net.bytes);
+  reg.counter(p + "net_packets").add(res.net.packets);
+  reg.counter(p + "collectives").add(collectives_.value());
+  reg.counter(p + "msgs_matched").add(msgs_matched_.value());
+  reg.counter(p + "rendezvous").add(rdv_sends_.value());
+  reg.gauge(p + "max_queue_depth").record(res.engine.max_queue_depth);
+  reg.histogram(p + "wall_seconds", telemetry::duration_bounds()).observe(res.wall_seconds);
+  collectives_.reset();
+  msgs_matched_.reset();
+  rdv_sends_.reset();
 }
 
 ReplayResult replay_trace(const trace::Trace& t, const machine::MachineInstance& m,

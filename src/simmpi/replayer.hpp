@@ -26,6 +26,7 @@
 #include "machine/machine.hpp"
 #include "simmpi/collectives.hpp"
 #include "simnet/network.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace hps::simmpi {
@@ -182,6 +183,10 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
 
   std::int64_t new_coll_req(RankState& st);
 
+  /// Publish per-scheme counters (`scheme.<model>.*`) for this finished run
+  /// into the global telemetry registry. No-op when telemetry is disabled.
+  void flush_scheme_telemetry(const ReplayResult& res);
+
   NodeId node_of(Rank r) const { return machine_.node_of(r); }
   static std::uint64_t stream_key(Rank peer, Tag tag) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 32) |
@@ -191,6 +196,12 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
   const trace::Trace& trace_;
   const machine::MachineInstance& machine_;
   ReplayConfig cfg_;
+  NetModelKind kind_;
+
+  // Single-threaded tallies, published via flush_scheme_telemetry().
+  telemetry::LocalCounter collectives_;   ///< collectives decomposed to p2p
+  telemetry::LocalCounter msgs_matched_;  ///< receives matched to a sender
+  telemetry::LocalCounter rdv_sends_;     ///< sends over the eager threshold
 
   des::Engine eng_;
   std::unique_ptr<simnet::NetworkModel> net_;

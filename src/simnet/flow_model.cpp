@@ -230,6 +230,7 @@ void FlowModel::recompute_rates() {
       if (f.rate >= 0) continue;
       f.rate = best_share;
       --unfrozen;
+      ++stats_.ripple_iterations;
       for (const LinkId l : f.route) {
         const auto lj = static_cast<std::size_t>(l);
         link_residual_[lj] -= best_share;

@@ -1,5 +1,7 @@
 #include "simnet/network.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace hps::simnet {
 
 namespace {
@@ -17,6 +19,25 @@ class LocalDelivery final : public des::Handler {
 };
 
 }  // namespace
+
+NetworkModel::~NetworkModel() {
+  auto& reg = telemetry::Registry::global();
+  if (!reg.enabled()) return;
+  struct Handles {
+    telemetry::Counter messages, bytes, packets, rate_updates, ripple_iterations, queue_stalls;
+  };
+  static const Handles h{
+      reg.counter("simnet.messages"),          reg.counter("simnet.bytes"),
+      reg.counter("simnet.packets"),           reg.counter("simnet.rate_updates"),
+      reg.counter("simnet.ripple_iterations"), reg.counter("simnet.queue_stalls"),
+  };
+  h.messages.add(stats_.messages);
+  h.bytes.add(stats_.bytes);
+  h.packets.add(stats_.packets);
+  h.rate_updates.add(stats_.rate_updates);
+  h.ripple_iterations.add(stats_.ripple_iterations);
+  h.queue_stalls.add(stats_.queue_events);
+}
 
 bool NetworkModel::deliver_local_if_same_node(MsgId id, NodeId src, NodeId dst,
                                               std::uint64_t bytes) {

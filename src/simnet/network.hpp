@@ -65,9 +65,10 @@ struct NetConfig {
 struct NetStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
-  std::uint64_t packets = 0;       // packet & packet-flow models
-  std::uint64_t rate_updates = 0;  // flow model ripple recomputations
-  std::uint64_t queue_events = 0;  // packet model link-queue operations
+  std::uint64_t packets = 0;            // packet & packet-flow models
+  std::uint64_t rate_updates = 0;       // flow model ripple recomputations
+  std::uint64_t ripple_iterations = 0;  // flow model: flows frozen across all updates
+  std::uint64_t queue_events = 0;       // packet model link-queue stalls (hotspots)
 };
 
 class NetworkModel {
@@ -75,7 +76,9 @@ class NetworkModel {
   NetworkModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg, MessageSink& sink)
       : eng_(eng), topo_(topo), cfg_(cfg), sink_(sink),
         link_bytes_(static_cast<std::size_t>(topo.num_links()), 0) {}
-  virtual ~NetworkModel() = default;
+  /// Flushes the per-instance NetStats into the global telemetry registry
+  /// (`simnet.*` counters) when telemetry is enabled.
+  virtual ~NetworkModel();
   NetworkModel(const NetworkModel&) = delete;
   NetworkModel& operator=(const NetworkModel&) = delete;
 

@@ -1,0 +1,55 @@
+// Exporters and process-level wiring for the telemetry registry.
+//
+// Three output forms, selected by the HPS_TELEMETRY environment variable or
+// an explicit ExportConfig:
+//   summary[:<path>]  human-readable metric table (default: stderr)
+//   json[:<path>]     machine-readable metrics dump (default: stderr)
+//   chrome:<path>     Chrome trace_event JSON of recorded spans, loadable in
+//                     chrome://tracing or https://ui.perfetto.dev
+//
+// configure() enables the global registry (plus span tracing for chrome) and
+// arranges for the export to be written once at process exit; callers that
+// want deterministic output ordering call flush_exports() themselves.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace hps::telemetry {
+
+struct ExportConfig {
+  enum class Mode { kSummary, kJson, kChrome };
+  Mode mode = Mode::kSummary;
+  std::string path;  ///< output file; empty = stderr (summary/json only)
+};
+
+/// Parse "summary", "json", "summary:<path>", "json:<path>" or
+/// "chrome:<path>". Returns nullopt for anything else (chrome needs a path).
+std::optional<ExportConfig> parse_export_spec(const std::string& spec);
+
+/// Enable the global registry for `cfg` and register an at-exit export.
+void configure(const ExportConfig& cfg);
+
+/// Honor HPS_TELEMETRY if set (first call only). Returns true if telemetry
+/// was configured by this or an earlier call.
+bool init_from_env();
+
+/// Write the configured export now (once; later calls and the at-exit hook
+/// become no-ops until configure() is called again).
+void flush_exports();
+
+/// Render the snapshot as an aligned text table.
+std::string render_summary(const Snapshot& snap);
+
+/// Metrics as a JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+void write_metrics_json(const Snapshot& snap, std::ostream& os);
+
+/// Spans as Chrome trace_event JSON ("X" complete events, microsecond
+/// timestamps).
+void write_chrome_trace(const std::vector<SpanRecord>& spans, std::ostream& os);
+
+}  // namespace hps::telemetry

@@ -1,0 +1,36 @@
+#include "telemetry/progress.hpp"
+
+namespace hps::telemetry {
+
+ProgressReporter::ProgressReporter(std::size_t total, bool enabled, std::FILE* out,
+                                   std::chrono::milliseconds min_interval)
+    : total_(total), enabled_(enabled), out_(out), min_interval_(min_interval) {}
+
+void ProgressReporter::completed(const std::string& label) {
+  const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!enabled_) return;
+  const bool final = done >= total_;
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (!final && printed_ && now - last_emit_ < min_interval_) return;
+  last_emit_ = now;
+  printed_ = true;
+  // Trailing spaces pad over a longer previous label; '\r' keeps one line.
+  std::fprintf(out_, "  [%3zu/%3zu] %-48s\r", done, total_, label.c_str());
+  if (final && !final_printed_) {
+    std::fprintf(out_, "\n");
+    final_printed_ = true;
+  }
+  std::fflush(out_);
+}
+
+void ProgressReporter::finish() {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (printed_ && !final_printed_) {
+    std::fprintf(out_, "\n");
+    final_printed_ = true;
+  }
+}
+
+}  // namespace hps::telemetry

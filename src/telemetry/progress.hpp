@@ -1,0 +1,45 @@
+// Rate-limited progress line for long parallel runs.
+//
+// All completion events funnel through one emission point, so concurrent
+// workers can't interleave partial '\r' lines, and a fast cache-warm run
+// doesn't spend its time in fprintf: at most one line per min_interval is
+// written (the final completion always is).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace hps::telemetry {
+
+class ProgressReporter {
+ public:
+  /// `total` expected completions; nothing is printed when !enabled.
+  ProgressReporter(std::size_t total, bool enabled, std::FILE* out = stderr,
+                   std::chrono::milliseconds min_interval = std::chrono::milliseconds(100));
+
+  /// Record one completion (thread-safe); maybe emit "  [done/total] label".
+  void completed(const std::string& label);
+
+  /// Terminate the progress line if one was started (idempotent).
+  void finish();
+
+  std::size_t done() const { return done_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::size_t total_;
+  const bool enabled_;
+  std::FILE* const out_;
+  const std::chrono::steady_clock::duration min_interval_;
+
+  std::atomic<std::size_t> done_{0};
+  std::mutex mu_;  // guards the emission state below
+  std::chrono::steady_clock::time_point last_emit_;
+  bool printed_ = false;
+  bool final_printed_ = false;
+};
+
+}  // namespace hps::telemetry

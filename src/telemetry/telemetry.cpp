@@ -1,0 +1,259 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace hps::telemetry {
+
+namespace {
+
+/// Slot capacity per shard. Counters and gauges take one slot; a histogram
+/// takes buckets + 2. 4096 slots (32 KiB/thread) is far beyond what the
+/// built-in instrumentation registers.
+constexpr std::uint32_t kSlotCapacity = 4096;
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricValue* Snapshot::find(const std::string& name) const {
+  for (const auto& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::uint64_t Snapshot::value(const std::string& name) const {
+  const MetricValue* m = find(name);
+  return m != nullptr ? m->value : 0;
+}
+
+/// Per-thread storage. Only the owning thread writes; relaxed atomics make
+/// the concurrent snapshot reads well-defined without fetch_add traffic.
+struct Registry::Shard {
+  explicit Shard(std::uint32_t tid_in) : tid(tid_in) {}
+  std::array<std::atomic<std::uint64_t>, kSlotCapacity> slots{};
+  std::mutex span_mu;  // uncontended: taken by the owner and the exporter
+  std::vector<SpanRecord> spans;
+  const std::uint32_t tid;
+};
+
+namespace {
+struct TlsEntry {
+  std::uint64_t registry_id;
+  Registry::Shard* shard;
+};
+/// Shards this thread has joined, keyed by registry id. Registries get
+/// unique ids, so an entry for a destroyed registry can never be matched
+/// (and its dangling pointer never dereferenced).
+thread_local std::vector<TlsEntry> tls_shards;
+}  // namespace
+
+Registry::Registry() : id_(next_registry_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry reg;
+  return reg;
+}
+
+std::int64_t Registry::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Registry::Shard& Registry::local_shard() {
+  for (const TlsEntry& e : tls_shards)
+    if (e.registry_id == id_) return *e.shard;
+  const std::lock_guard<std::mutex> lk(mu_);
+  shards_.push_back(std::make_unique<Shard>(static_cast<std::uint32_t>(shards_.size())));
+  Shard* s = shards_.back().get();
+  tls_shards.push_back({id_, s});
+  return *s;
+}
+
+const Registry::MetricDef& Registry::define(const std::string& name, MetricKind kind,
+                                            std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    HPS_CHECK_MSG(it->second->kind == kind,
+                  "telemetry metric re-registered with a different kind: " + name);
+    return *it->second;
+  }
+  const auto nslots =
+      kind == MetricKind::kHistogram ? static_cast<std::uint32_t>(bounds.size()) + 3 : 1u;
+  HPS_CHECK_MSG(next_slot_ + nslots <= kSlotCapacity, "telemetry slot capacity exhausted");
+  auto def = std::make_unique<MetricDef>();
+  def->name = name;
+  def->kind = kind;
+  def->slot = next_slot_;
+  def->nslots = nslots;
+  def->bounds = std::move(bounds);
+  next_slot_ += nslots;
+  MetricDef* raw = def.get();
+  defs_.push_back(std::move(def));
+  by_name_.emplace(name, raw);
+  return *raw;
+}
+
+Counter Registry::counter(const std::string& name) {
+  const MetricDef& def = define(name, MetricKind::kCounter, {});
+  return Counter(&enabled_, this, def.slot);
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  const MetricDef& def = define(name, MetricKind::kGauge, {});
+  return Gauge(&enabled_, this, def.slot);
+}
+
+Histogram Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  HPS_CHECK_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+                "histogram bounds must be ascending: " + name);
+  const MetricDef& def = define(name, MetricKind::kHistogram, std::move(bounds));
+  return Histogram(&enabled_, this, &def);
+}
+
+void Registry::slot_add(std::uint32_t slot, std::uint64_t delta) {
+  auto& s = local_shard().slots[slot];
+  s.store(s.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+}
+
+void Registry::slot_max(std::uint32_t slot, std::uint64_t v) {
+  auto& s = local_shard().slots[slot];
+  if (v > s.load(std::memory_order_relaxed)) s.store(v, std::memory_order_relaxed);
+}
+
+void Registry::hist_observe(const void* def_ptr, double v) {
+  const auto& def = *static_cast<const MetricDef*>(def_ptr);
+  Shard& sh = local_shard();
+  std::size_t i = 0;
+  while (i < def.bounds.size() && v > def.bounds[i]) ++i;
+  auto bump = [&sh](std::uint32_t slot, std::uint64_t d) {
+    auto& s = sh.slots[slot];
+    s.store(s.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  };
+  bump(def.slot + static_cast<std::uint32_t>(i), 1);                      // bucket
+  bump(def.slot + def.nslots - 2, 1);                                     // count
+  auto& sum = sh.slots[def.slot + def.nslots - 1];                        // double bits
+  const double cur = std::bit_cast<double>(sum.load(std::memory_order_relaxed));
+  sum.store(std::bit_cast<std::uint64_t>(cur + v), std::memory_order_relaxed);
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Snapshot snap;
+  snap.metrics.reserve(defs_.size());
+  for (const auto& def : defs_) {
+    MetricValue mv;
+    mv.name = def->name;
+    mv.kind = def->kind;
+    switch (def->kind) {
+      case MetricKind::kCounter:
+        for (const auto& sh : shards_)
+          mv.value += sh->slots[def->slot].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kGauge:
+        for (const auto& sh : shards_)
+          mv.value = std::max(mv.value, sh->slots[def->slot].load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        mv.hist.bounds = def->bounds;
+        mv.hist.buckets.assign(def->bounds.size() + 1, 0);
+        for (const auto& sh : shards_) {
+          for (std::size_t b = 0; b < mv.hist.buckets.size(); ++b)
+            mv.hist.buckets[b] +=
+                sh->slots[def->slot + b].load(std::memory_order_relaxed);
+          mv.hist.count += sh->slots[def->slot + def->nslots - 2].load(std::memory_order_relaxed);
+          mv.hist.sum += std::bit_cast<double>(
+              sh->slots[def->slot + def->nslots - 1].load(std::memory_order_relaxed));
+        }
+        mv.value = mv.hist.count;
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(mv));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return snap;
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SpanRecord> out;
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> slk(sh->span_mu);
+    out.insert(out.end(), sh->spans.begin(), sh->spans.end());
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& sh : shards_) {
+    for (auto& s : sh->slots) s.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> slk(sh->span_mu);
+    sh->spans.clear();
+  }
+}
+
+void Registry::push_span(SpanRecord rec) {
+  Shard& sh = local_shard();
+  rec.tid = sh.tid;
+  const std::lock_guard<std::mutex> lk(sh.span_mu);
+  sh.spans.push_back(std::move(rec));
+}
+
+Span::Span(Registry& reg, std::string name, const char* cat) {
+  if (!reg.tracing()) return;
+  reg_ = &reg;
+  rec_.name = std::move(name);
+  rec_.cat = cat;
+  start_ns_ = reg.now_ns();
+}
+
+Span::Span(std::string name, const char* cat) : Span(Registry::global(), std::move(name), cat) {}
+
+Span::~Span() {
+  if (reg_ == nullptr) return;
+  rec_.start_ns = start_ns_;
+  rec_.dur_ns = reg_->now_ns() - start_ns_;
+  reg_->push_span(std::move(rec_));
+}
+
+void Span::arg(std::string key, std::string value) {
+  if (reg_ == nullptr) return;
+  rec_.args.emplace_back(std::move(key), std::move(value));
+}
+
+ScopedTimer::ScopedTimer(Histogram h) : h_(h), live_(h.live()) {
+  if (live_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!live_) return;
+  const auto end = std::chrono::steady_clock::now();
+  h_.observe(std::chrono::duration<double>(end - start_).count());
+}
+
+std::vector<double> duration_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+}
+
+}  // namespace hps::telemetry

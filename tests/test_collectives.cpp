@@ -176,7 +176,11 @@ TEST_P(CollectiveSizes, GatherScatterComplete) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
                          ::testing::Values(2, 3, 4, 5, 7, 8, 13, 16, 17, 31, 32, 33, 64, 100),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "n" + std::to_string(info.param);
+                           // Built via += (not operator+) to dodge a GCC 12
+                           // -Wrestrict false positive (PR 105329).
+                           std::string name = "n";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(Collectives, SingleMemberIsEmpty) {

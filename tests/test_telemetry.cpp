@@ -1,0 +1,356 @@
+// Unit tests for the telemetry subsystem: registry semantics under
+// concurrency, histogram bucketing, the disabled fast path, exporters, and a
+// run_study smoke test tying cache counters to observable behavior.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/study.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hps::telemetry {
+namespace {
+
+TEST(Registry, DisabledByDefaultAndCountsNothing) {
+  Registry reg;
+  EXPECT_FALSE(reg.enabled());
+  Counter c = reg.counter("x");
+  c.add(42);
+  EXPECT_EQ(reg.snapshot().value("x"), 0u);
+}
+
+TEST(Registry, DefaultConstructedHandlesAreInertAndSafe) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add();  // must not dereference a null registry
+  g.record(7);
+  h.observe(1.0);
+  EXPECT_FALSE(h.live());
+}
+
+TEST(Registry, CounterRoundTrip) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("a.b");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(reg.snapshot().value("a.b"), 10u);
+  // Re-registering the same name returns a handle to the same metric.
+  reg.counter("a.b").add(5);
+  EXPECT_EQ(reg.snapshot().value("a.b"), 15u);
+}
+
+TEST(Registry, ConcurrentCounterSumsAreExact) {
+  Registry reg;
+  reg.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIters = 20000;
+  Counter c = reg.counter("hits");
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kIters; ++i) c.add();
+    });
+  for (auto& t : pool) t.join();
+  // Per-thread shards mean no increments are lost to racing read-modify-writes.
+  EXPECT_EQ(reg.snapshot().value("hits"), kThreads * kIters);
+}
+
+TEST(Registry, GaugeMergesByMax) {
+  Registry reg;
+  reg.set_enabled(true);
+  Gauge g = reg.gauge("depth");
+  std::thread t1([&] { g.record(5); });
+  std::thread t2([&] { g.record(17); });
+  t1.join();
+  t2.join();
+  g.record(3);  // lower than the watermark; must not regress it
+  EXPECT_EQ(reg.snapshot().value("depth"), 17u);
+}
+
+TEST(Registry, HistogramBucketBoundsAreUpperInclusive) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // == bound  -> bucket 0 (upper-inclusive)
+  h.observe(1.001);  // > 1       -> bucket 1
+  h.observe(10.0);   // == bound  -> bucket 1
+  h.observe(99.0);   //           -> bucket 2
+  h.observe(5000.0); // > last    -> overflow bucket
+  const Snapshot snap = reg.snapshot();
+  const MetricValue* m = snap.find("lat");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->hist.buckets.size(), 4u);
+  EXPECT_EQ(m->hist.buckets[0], 2u);
+  EXPECT_EQ(m->hist.buckets[1], 2u);
+  EXPECT_EQ(m->hist.buckets[2], 1u);
+  EXPECT_EQ(m->hist.buckets[3], 1u);
+  EXPECT_EQ(m->hist.count, 6u);
+  EXPECT_DOUBLE_EQ(m->hist.sum, 0.5 + 1.0 + 1.001 + 10.0 + 99.0 + 5000.0);
+}
+
+TEST(Registry, ResetValuesKeepsHandlesValid) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("n");
+  c.add(3);
+  reg.reset_values();
+  EXPECT_EQ(reg.snapshot().value("n"), 0u);
+  c.add(2);
+  EXPECT_EQ(reg.snapshot().value("n"), 2u);
+}
+
+TEST(LocalCounter, FlushesDeltasOnly) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter shared = reg.counter("total");
+  LocalCounter local;
+  local.add(10);
+  local.flush_to(shared);
+  local.flush_to(shared);  // no new increments: must not double-count
+  local.add(5);
+  local.flush_to(shared);
+  EXPECT_EQ(reg.snapshot().value("total"), 15u);
+  EXPECT_EQ(local.value(), 15u);
+}
+
+TEST(Span, RecordedOnlyWhenTracing) {
+  Registry reg;
+  { Span s(reg, "ignored", "test"); }
+  EXPECT_TRUE(reg.spans().empty());
+  reg.set_tracing(true);
+  {
+    Span s(reg, "work", "test");
+    s.arg("k", "v");
+  }
+  const auto spans = reg.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].cat, "test");
+  EXPECT_GE(spans[0].dur_ns, 0);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "k");
+}
+
+TEST(ScopedTimer, ObservesElapsedSeconds) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram h = reg.histogram("t", duration_bounds());
+  { ScopedTimer timer(h); }
+  const Snapshot snap = reg.snapshot();
+  const MetricValue* m = snap.find("t");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->hist.count, 1u);
+  EXPECT_GE(m->hist.sum, 0.0);
+}
+
+// --- Exporters -------------------------------------------------------------
+
+// Minimal JSON structural validator: enough to prove the exporters emit
+// syntactically well-formed documents without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Export, ParseSpec) {
+  EXPECT_EQ(parse_export_spec("summary")->mode, ExportConfig::Mode::kSummary);
+  EXPECT_EQ(parse_export_spec("json")->mode, ExportConfig::Mode::kJson);
+  const auto j = parse_export_spec("json:/tmp/m.json");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->path, "/tmp/m.json");
+  const auto c = parse_export_spec("chrome:/tmp/t.json");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->mode, ExportConfig::Mode::kChrome);
+  EXPECT_FALSE(parse_export_spec("chrome").has_value());  // chrome needs a path
+  EXPECT_FALSE(parse_export_spec("bogus").has_value());
+}
+
+TEST(Export, SummaryTableListsMetrics) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("sim.events").add(123);
+  reg.gauge("sim.depth").record(9);
+  const std::string table = render_summary(reg.snapshot());
+  EXPECT_NE(table.find("sim.events"), std::string::npos);
+  EXPECT_NE(table.find("123"), std::string::npos);
+  EXPECT_NE(table.find("gauge"), std::string::npos);
+}
+
+TEST(Export, MetricsJsonIsWellFormed) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("c\"quoted\"").add(1);  // name needing escaping
+  reg.gauge("g").record(2);
+  reg.histogram("h", {1.0, 10.0}).observe(3.5);
+  std::ostringstream os;
+  write_metrics_json(reg.snapshot(), os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Export, ChromeTraceParsesBackAndContainsSpans) {
+  Registry reg;
+  reg.set_tracing(true);
+  {
+    Span outer(reg, "study \"q\"", "study");  // name needing escaping
+    Span inner(reg, "scheme packet", "scheme");
+  }
+  std::ostringstream os;
+  write_chrome_trace(reg.spans(), os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("scheme packet"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// --- Study integration -----------------------------------------------------
+
+TEST(StudySmoke, CacheCountersMatchFromCache) {
+  auto& reg = Registry::global();
+  reg.set_enabled(true);
+  reg.set_tracing(true);
+  reg.reset_values();
+
+  core::StudyOptions opts;
+  opts.corpus.limit = 3;
+  opts.corpus.duration_scale = 0.1;
+  opts.threads = 2;
+  opts.progress = false;
+  opts.cache_path = "/tmp/hps_telemetry_cache_" + std::to_string(getpid()) + ".bin";
+  std::remove(opts.cache_path.c_str());
+
+  const core::StudyResult first = core::run_study(opts);
+  EXPECT_FALSE(first.from_cache);
+  Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("study.cache_hits"), 0u);
+  EXPECT_EQ(snap.value("study.cache_misses"), 1u);
+  EXPECT_EQ(snap.value("core.traces"), 3u);
+  // Simulation schemes ran a DES; the analytic model registered a zero.
+  EXPECT_GT(snap.value("scheme.packet.des_events_processed"), 0u);
+  EXPECT_GT(snap.value("scheme.flow.des_events_processed"), 0u);
+  EXPECT_GT(snap.value("scheme.packet-flow.des_events_processed"), 0u);
+  EXPECT_EQ(snap.value("scheme.mfact.des_events_processed"), 0u);
+  EXPECT_GT(snap.value("scheme.mfact.model_evals"), 0u);
+  // Every trace produced a per-scheme span plus its own trace span.
+  std::size_t scheme_spans = 0, trace_spans = 0;
+  for (const SpanRecord& s : reg.spans()) {
+    scheme_spans += s.cat == std::string("scheme") ? 1 : 0;
+    trace_spans += s.cat == std::string("trace") ? 1 : 0;
+  }
+  EXPECT_EQ(trace_spans, 3u);
+  EXPECT_EQ(scheme_spans, 3u * 4u);  // mfact + three simulators per trace
+
+  const core::StudyResult second = core::run_study(opts);
+  EXPECT_TRUE(second.from_cache);
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.value("study.cache_hits"), 1u);
+  EXPECT_EQ(snap.value("study.cache_misses"), 1u);
+  EXPECT_EQ(second.outcomes.size(), first.outcomes.size());
+
+  std::remove(opts.cache_path.c_str());
+  reg.set_enabled(false);
+  reg.set_tracing(false);
+  reg.reset_values();
+}
+
+}  // namespace
+}  // namespace hps::telemetry

@@ -275,6 +275,90 @@ TEST(Io, RejectsTruncated) {
   EXPECT_THROW(read_binary(cut), Error);
 }
 
+namespace {
+
+// Mirror io.cpp's little-endian field writers so the error-path tests can
+// hand-craft hostile streams with full control over every header field.
+template <typename T>
+void raw_put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void raw_put_string(std::ostream& os, const std::string& s) {
+  raw_put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Valid header for a 1-rank trace up to (but excluding) the per-rank event
+/// count, with a chosen magic and version.
+void put_header(std::ostream& os, const char magic[4], std::uint32_t version) {
+  os.write(magic, 4);
+  raw_put<std::uint32_t>(os, version);
+  raw_put_string(os, "app");
+  raw_put_string(os, "");          // variant
+  raw_put_string(os, "cielito");   // machine
+  raw_put<std::int32_t>(os, 1);    // nranks
+  raw_put<std::int32_t>(os, 1);    // ranks_per_node
+  raw_put<std::uint64_t>(os, 7);   // seed
+  raw_put<std::uint32_t>(os, 1);   // ncomms (world only)
+  raw_put<std::uint32_t>(os, 1);   // world size
+  raw_put<Rank>(os, 0);            // world member
+}
+
+}  // namespace
+
+TEST(Io, RejectsBadMagic) {
+  std::stringstream ss;
+  put_header(ss, "HPSX", kTraceFormatVersion);
+  raw_put<std::uint64_t>(ss, 0);  // rank 0: no events
+  raw_put<std::uint32_t>(ss, 0);  // rank 0: no vlists
+  EXPECT_THROW(
+      try { read_binary(ss); } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("not a HPST"), std::string::npos);
+        throw;
+      },
+      Error);
+}
+
+TEST(Io, RejectsUnsupportedVersion) {
+  std::stringstream ss;
+  put_header(ss, "HPST", kTraceFormatVersion + 1);
+  raw_put<std::uint64_t>(ss, 0);
+  raw_put<std::uint32_t>(ss, 0);
+  EXPECT_THROW(
+      try { read_binary(ss); } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+        throw;
+      },
+      Error);
+}
+
+TEST(Io, RejectsOutOfRangeEventCount) {
+  std::stringstream ss;
+  put_header(ss, "HPST", kTraceFormatVersion);
+  // An event count beyond the 2^32 sanity bound must be rejected before any
+  // allocation is attempted (a hostile stream must not drive a huge resize).
+  raw_put<std::uint64_t>(ss, (std::uint64_t{1} << 32) + 1);
+  EXPECT_THROW(
+      try { read_binary(ss); } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("event count out of range"), std::string::npos);
+        throw;
+      },
+      Error);
+}
+
+TEST(Io, RejectsTruncatedInEvents) {
+  std::stringstream ss;
+  put_header(ss, "HPST", kTraceFormatVersion);
+  raw_put<std::uint64_t>(ss, 10);  // promises 10 events, delivers none
+  EXPECT_THROW(
+      try { read_binary(ss); } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated in events"), std::string::npos);
+        throw;
+      },
+      Error);
+}
+
 TEST(Io, TextDumpContainsOps) {
   Trace t = valid_pair_trace();
   std::stringstream ss;
