@@ -16,6 +16,11 @@ core::StudyOptions default_study_options() {
     if (v > 0) opts.corpus.duration_scale = v;
   }
   opts.cache_path = core::default_cache_path("study");
+  // Opt-in run ledger: point HPS_LEDGER at a .jsonl path to append one
+  // record per trace×scheme whenever the study is recomputed.
+  if (const char* env = std::getenv("HPS_LEDGER")) {
+    if (env[0] != '\0') opts.ledger_path = env;
+  }
   opts.progress = true;
   return opts;
 }

@@ -96,6 +96,11 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
       so.wall_seconds = wall_total / std::max(1, opts.timing_repeats);
       so.total_time = cl.sweep[mfact::kSweepBase].total_time;
       so.comm_time = cl.sweep[mfact::kSweepBase].comm_time_mean;
+      const mfact::Counters& mc0 = cl.sweep[mfact::kSweepBase].counters;
+      so.components.compute_ns = mc0.compute;
+      so.components.p2p_ns = mc0.p2p;
+      so.components.collective_ns = mc0.coll;
+      so.components.wait_ns = mc0.wait;
       so.ok = true;
       out.app_class = cl.app_class;
       out.group = cl.group;
@@ -136,6 +141,9 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
       so.wall_seconds = wall_total / std::max(1, opts.timing_repeats);
       so.total_time = rr.total_time;
       so.comm_time = rr.comm_time_mean;
+      so.components = rr.components;
+      so.des_events = rr.engine.events_processed;
+      so.net = rr.net;
       so.ok = true;
     } catch (const Error& e) {
       so.error = e.what();

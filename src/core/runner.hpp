@@ -9,6 +9,7 @@
 
 #include "common/units.hpp"
 #include "mfact/classify.hpp"
+#include "obs/components.hpp"
 #include "simmpi/replayer.hpp"
 #include "trace/features.hpp"
 #include "workloads/corpus.hpp"
@@ -27,6 +28,12 @@ struct SchemeOutcome {
   SimTime total_time = 0;     ///< predicted application time
   SimTime comm_time = 0;      ///< predicted mean communication time
   double wall_seconds = 0;    ///< host time the scheme took
+  /// Virtual-time decomposition summed over ranks. For the simulators this
+  /// comes from the replayer's blocked-interval accounting; for MFACT from
+  /// the base-configuration logical counters.
+  obs::ComponentTimes components;
+  std::uint64_t des_events = 0;  ///< DES events processed (0 for MFACT)
+  simnet::NetStats net;          ///< network-model effort counters (0 for MFACT)
 };
 
 /// Everything the study needs to know about one trace.

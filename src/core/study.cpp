@@ -19,7 +19,7 @@ namespace hps::core {
 
 namespace {
 
-constexpr std::uint32_t kCacheVersion = 3;
+constexpr std::uint32_t kCacheVersion = 4;
 constexpr char kCacheMagic[4] = {'H', 'P', 'S', 'C'};
 
 template <typename T>
@@ -70,6 +70,9 @@ void put_outcome(std::ostream& os, const TraceOutcome& o) {
     put<SimTime>(os, s.total_time);
     put<SimTime>(os, s.comm_time);
     put<double>(os, s.wall_seconds);
+    put(os, s.components);
+    put<std::uint64_t>(os, s.des_events);
+    put(os, s.net);
   }
 }
 
@@ -94,6 +97,9 @@ TraceOutcome get_outcome(std::istream& is) {
     s.total_time = get<SimTime>(is);
     s.comm_time = get<SimTime>(is);
     s.wall_seconds = get<double>(is);
+    s.components = get<obs::ComponentTimes>(is);
+    s.des_events = get<std::uint64_t>(is);
+    s.net = get<simnet::NetStats>(is);
   }
   return o;
 }
@@ -102,6 +108,7 @@ TraceOutcome get_outcome(std::istream& is) {
 
 std::uint64_t study_cache_key(const StudyOptions& opts) {
   std::uint64_t h = kCacheVersion;
+  h = mix_seed(h, obs::kObsSchemaVersion);
   h = mix_seed(h, opts.corpus.seed);
   h = mix_seed(h, static_cast<std::uint64_t>(opts.corpus.duration_scale * 1e6));
   h = mix_seed(h, static_cast<std::uint64_t>(opts.corpus.limit));
@@ -142,6 +149,50 @@ std::optional<std::vector<TraceOutcome>> load_outcomes(const std::string& path,
   } catch (const Error&) {
     return std::nullopt;
   }
+}
+
+std::vector<obs::LedgerRecord> ledger_records(const std::vector<TraceOutcome>& outcomes,
+                                              std::uint64_t study_key) {
+  char keyhex[24];
+  std::snprintf(keyhex, sizeof keyhex, "%016llx",
+                static_cast<unsigned long long>(study_key));
+  std::vector<obs::LedgerRecord> records;
+  records.reserve(outcomes.size() * static_cast<std::size_t>(Scheme::kNumSchemes));
+  for (const TraceOutcome& o : outcomes) {
+    for (int si = 0; si < static_cast<int>(Scheme::kNumSchemes); ++si) {
+      const auto scheme = static_cast<Scheme>(si);
+      const SchemeOutcome& so = o.of(scheme);
+      obs::LedgerRecord rec;
+      rec.study_key = keyhex;
+      rec.spec_id = o.spec_id;
+      rec.app = o.app;
+      rec.machine = o.machine;
+      rec.ranks = o.ranks;
+      rec.events = o.events;
+      rec.scheme = scheme_name(scheme);
+      rec.ok = so.ok;
+      rec.error = so.error;
+      rec.predicted_total_ns = so.total_time;
+      rec.predicted_comm_ns = so.comm_time;
+      rec.measured_total_ns = o.measured_total;
+      if (scheme != Scheme::kMfact) {
+        if (const auto d = o.diff_total(scheme)) rec.diff_total = *d;
+        if (const auto d = o.diff_comm(scheme)) rec.diff_comm = *d;
+      }
+      rec.components = so.components;
+      rec.des_events = so.des_events;
+      rec.net_messages = so.net.messages;
+      rec.net_bytes = so.net.bytes;
+      rec.net_packets = so.net.packets;
+      rec.net_rate_updates = so.net.rate_updates;
+      rec.net_ripple_iterations = so.net.ripple_iterations;
+      rec.net_stalls = so.net.queue_events;
+      rec.net_max_active = so.net.max_active;
+      rec.wall_seconds = so.wall_seconds;
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
 }
 
 std::string default_cache_path(const std::string& tag) {
@@ -203,6 +254,11 @@ StudyResult run_study(const StudyOptions& opts) {
   result.wall_seconds = std::chrono::duration<double>(end - start).count();
 
   if (!opts.cache_path.empty()) save_outcomes(result.outcomes, opts.cache_path, key);
+  if (!opts.ledger_path.empty()) {
+    obs::append_ledger(opts.ledger_path, ledger_records(result.outcomes, key));
+    reg.counter("study.ledger_records")
+        .add(result.outcomes.size() * static_cast<std::size_t>(Scheme::kNumSchemes));
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "obs/ledger.hpp"
 #include "workloads/corpus.hpp"
 
 namespace hps::core {
@@ -18,6 +19,10 @@ struct StudyOptions {
   RunOptions run;
   int threads = 0;          ///< 0 = hardware concurrency (capped at 16)
   std::string cache_path;   ///< empty = no caching
+  /// Append one JSON-lines obs::LedgerRecord per trace×scheme here whenever
+  /// the study is actually computed (cache hits do not re-append). Empty =
+  /// no ledger.
+  std::string ledger_path;
   bool force_recompute = false;
   bool progress = false;    ///< print one line per completed trace to stderr
 };
@@ -36,8 +41,15 @@ StudyResult run_study(const StudyOptions& opts);
 std::string default_cache_path(const std::string& tag);
 
 /// Cache (de)serialization, exposed for tests. The key guards against
-/// reusing results across incompatible option sets.
+/// reusing results across incompatible option sets; it also mixes in the
+/// cache format version and obs::kObsSchemaVersion, so caches written by a
+/// build with a different layout are recomputed instead of misread.
 std::uint64_t study_cache_key(const StudyOptions& opts);
+
+/// Flatten study outcomes into ledger records (one per trace×scheme, all
+/// four schemes). `study_key` is stamped into each record as hex.
+std::vector<obs::LedgerRecord> ledger_records(const std::vector<TraceOutcome>& outcomes,
+                                              std::uint64_t study_key);
 void save_outcomes(const std::vector<TraceOutcome>& outcomes, const std::string& path,
                    std::uint64_t key);
 std::optional<std::vector<TraceOutcome>> load_outcomes(const std::string& path,

@@ -20,6 +20,10 @@
 #include "common/units.hpp"
 #include "telemetry/telemetry.hpp"
 
+namespace hps::obs {
+class TimelineRecorder;
+}
+
 namespace hps::des {
 
 class Engine;
@@ -93,6 +97,12 @@ class Engine {
   /// being flushed to telemetry).
   void reset();
 
+  /// Optional virtual-time timeline sink shared by the engine's clients
+  /// (replayer, network models). Null by default: every instrumentation
+  /// point reduces to one pointer test. The engine does not own it.
+  obs::TimelineRecorder* recorder() const { return recorder_; }
+  void set_recorder(obs::TimelineRecorder* rec) { recorder_ = rec; }
+
  private:
   struct Ev {
     SimTime t;
@@ -119,6 +129,7 @@ class Engine {
   telemetry::LocalCounter events_scheduled_;
   telemetry::LocalMax max_queue_depth_;
   SimTime flushed_sim_time_ = 0;
+  obs::TimelineRecorder* recorder_ = nullptr;
   std::vector<std::unique_ptr<std::function<void()>>> pending_fns_;
   std::unique_ptr<FnHandler> fn_handler_;
 };

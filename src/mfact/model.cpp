@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "mfact/coll_cost.hpp"
+#include "obs/timeline.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hps::mfact {
@@ -90,6 +91,15 @@ class LogicalReplay {
   double* nic(Rank r) { return &nic_[static_cast<std::size_t>(r) * k_]; }
   Counters* ctr(Rank r) { return &counters_[static_cast<std::size_t>(r) * k_]; }
 
+  /// Record a base-configuration interval into the optional timeline. Each
+  /// rank's base clock is monotonic, so intervals never overlap per track.
+  void rec_iv(Rank r, obs::IntervalKind k, double from, double to,
+              std::uint64_t detail = 0) {
+    if (params_.timeline != nullptr && to > from)
+      params_.timeline->record(r, k, static_cast<SimTime>(from), static_cast<SimTime>(to),
+                               detail);
+  }
+
   void push_work(Rank r) {
     auto& aux = rank_aux_[static_cast<std::size_t>(r)];
     if (aux.in_work) return;
@@ -158,6 +168,7 @@ void LogicalReplay::process_send(Rank r, const Event& e) {
     const auto& p = cost_params_[c];
     const double beta =
         p.bandwidth_Bps > 0 ? static_cast<double>(e.bytes) / p.bandwidth_Bps * 1e9 : 0.0;
+    if (c == 0) rec_iv(r, obs::IntervalKind::kSend, clk[0], clk[0] + p.overhead_ns, e.bytes);
     if (loggp) {
       // LogGP: the departure waits for the NIC to finish the previous
       // transmission; back-to-back sends are paced at g + m*G.
@@ -178,6 +189,7 @@ void LogicalReplay::process_send(Rank r, const Event& e) {
       cc[c].latency += p.overhead_ns + p.latency_ns;
       cc[c].bandwidth += beta;
     }
+    cc[c].p2p += p.overhead_ns + p.latency_ns + beta;
   }
   arrivals_.emplace(key, s);
   const auto it = blocked_on_.find(key);
@@ -194,14 +206,17 @@ void LogicalReplay::apply_arrival(Rank r, const double* arrival) {
   for (std::size_t c = 0; c < k_; ++c) {
     const auto& p = cost_params_[c];
     if (arrival[c] > clk[c]) {
+      if (c == 0) rec_iv(r, obs::IntervalKind::kWait, clk[0], arrival[0]);
       cc[c].wait += arrival[c] - clk[c];
       clk[c] = arrival[c];
     }
     // Receiver-side software overhead; the path's L and m/B terms were
     // already folded into the arrival timestamp by the sender, so the
     // counters attribute them here where the cost is *felt*.
+    if (c == 0) rec_iv(r, obs::IntervalKind::kRecv, clk[0], clk[0] + p.overhead_ns);
     clk[c] += p.overhead_ns;
     cc[c].latency += p.overhead_ns;
+    cc[c].p2p += p.overhead_ns;
   }
 }
 
@@ -295,9 +310,14 @@ void LogicalReplay::apply_collective(const Event& e, const std::vector<Rank>& me
         CollCost cost = is_a2av ? alltoallv_cost(n, nonzero_[static_cast<int>(i)],
                                                  send_tot_[i], recv_tot_[i], p)
                                 : collective_cost(e.type, n, e.bytes, p);
+        if (c == 0) {
+          rec_iv(m, obs::IntervalKind::kWait, *clk, maxclk);
+          rec_iv(m, obs::IntervalKind::kCollective, maxclk, maxclk + cost.total(), e.bytes);
+        }
         cc.wait += maxclk - *clk;
         cc.latency += cost.latency_ns;
         cc.bandwidth += cost.bandwidth_ns;
+        cc.coll += cost.latency_ns + cost.bandwidth_ns;
         *clk = maxclk + cost.total();
       }
       continue;
@@ -314,15 +334,22 @@ void LogicalReplay::apply_collective(const Event& e, const std::vector<Rank>& me
         double* clk = &clock(m)[c];
         Counters& cc = ctr(m)[c];
         if (m == root) {
+          if (c == 0)
+            rec_iv(m, obs::IntervalKind::kCollective, root_clk, arrival, e.bytes);
           cc.latency += cost.latency_ns;
           cc.bandwidth += cost.bandwidth_ns;
+          cc.coll += cost.latency_ns + cost.bandwidth_ns;
           *clk = root_clk + cost.total();
         } else {
           if (arrival > *clk) {
+            if (c == 0) rec_iv(m, obs::IntervalKind::kWait, *clk, arrival);
             cc.wait += arrival - *clk;
             *clk = arrival;
           }
+          if (c == 0)
+            rec_iv(m, obs::IntervalKind::kCollective, *clk, *clk + p.overhead_ns, e.bytes);
           cc.latency += p.overhead_ns;
+          cc.coll += p.overhead_ns;
           *clk += p.overhead_ns;
         }
       }
@@ -334,9 +361,15 @@ void LogicalReplay::apply_collective(const Event& e, const std::vector<Rank>& me
         Counters& cc = ctr(m)[c];
         if (m == root) {
           const double arrival = max_others + cost.total();
+          if (c == 0) {
+            rec_iv(m, obs::IntervalKind::kWait, *clk, max_others);
+            rec_iv(m, obs::IntervalKind::kCollective, std::max(*clk, max_others), arrival,
+                   e.bytes);
+          }
           cc.wait += std::max(0.0, max_others - *clk);
           cc.latency += cost.latency_ns;
           cc.bandwidth += cost.bandwidth_ns;
+          cc.coll += cost.latency_ns + cost.bandwidth_ns;
           *clk = arrival;
         } else {
           // Contributors send one tree message and move on.
@@ -344,8 +377,11 @@ void LogicalReplay::apply_collective(const Event& e, const std::vector<Rank>& me
                              (p.bandwidth_Bps > 0 ? static_cast<double>(e.bytes) /
                                                         p.bandwidth_Bps * 1e9
                                                   : 0.0);
+          if (c == 0)
+            rec_iv(m, obs::IntervalKind::kCollective, *clk, *clk + one, e.bytes);
           cc.latency += p.overhead_ns + p.latency_ns;
           cc.bandwidth += one - p.overhead_ns - p.latency_ns;
+          cc.coll += one;
           *clk += one;
         }
       }
@@ -363,6 +399,8 @@ void LogicalReplay::run_rank(Rank r) {
       case OpType::kCompute: {
         double* clk = clock(r);
         Counters* cc = ctr(r);
+        rec_iv(r, obs::IntervalKind::kCompute, clk[0],
+               clk[0] + static_cast<double>(e.duration) * configs_[0].compute_scale);
         for (std::size_t c = 0; c < k_; ++c) {
           const double dur = static_cast<double>(e.duration) * configs_[c].compute_scale;
           clk[c] += dur;
@@ -453,6 +491,8 @@ std::vector<ConfigResult> LogicalReplay::run() {
       res.counters.bandwidth += counters_[r * k_ + c].bandwidth;
       res.counters.latency += counters_[r * k_ + c].latency;
       res.counters.compute += counters_[r * k_ + c].compute;
+      res.counters.p2p += counters_[r * k_ + c].p2p;
+      res.counters.coll += counters_[r * k_ + c].coll;
     }
     res.total_time = static_cast<SimTime>(maxclk);
     res.comm_time_mean = static_cast<SimTime>(comm_sum / static_cast<double>(nranks_));

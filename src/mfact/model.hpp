@@ -22,6 +22,10 @@
 #include "common/units.hpp"
 #include "trace/trace.hpp"
 
+namespace hps::obs {
+class TimelineRecorder;
+}
+
 namespace hps::mfact {
 
 /// One network configuration evaluated during replay.
@@ -33,12 +37,18 @@ struct NetworkConfigPoint {
 };
 
 /// The four logical time counters MFACT maintains per configuration
-/// (aggregated across ranks in the results; nanoseconds).
+/// (aggregated across ranks in the results; nanoseconds), plus an
+/// orthogonal split of the communication cost by operation class.
 struct Counters {
   double wait = 0;       ///< idle time waiting for messages/collectives
   double bandwidth = 0;  ///< time attributable to m/B terms
   double latency = 0;    ///< time attributable to L and o terms
   double compute = 0;    ///< computation time
+  /// Second decomposition of latency + bandwidth by attribution site:
+  /// point-to-point sends/receives vs. collective phases. Invariant:
+  /// p2p + coll == latency + bandwidth.
+  double p2p = 0;
+  double coll = 0;
 };
 
 /// Result for one configuration after the replay.
@@ -67,6 +77,10 @@ struct MfactParams {
   P2pCostModel p2p_model = P2pCostModel::kHockney;
   /// LogGP inter-message gap g (ns); 0 = use the overhead o.
   SimTime loggp_gap = 0;
+  /// Optional virtual-time timeline sink (not owned). When set, the replay
+  /// records per-rank intervals for the *base* configuration (index 0) so
+  /// the model's predicted execution can be eyeballed next to a simulator's.
+  obs::TimelineRecorder* timeline = nullptr;
 };
 
 /// Replay `t` once, evaluating every configuration in `configs`

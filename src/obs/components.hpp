@@ -1,0 +1,28 @@
+// Virtual-time decomposition of one scheme's predicted execution.
+//
+// Every scheme — MFACT's logical-clock replay and the three DES simulators —
+// attributes its predicted time to the same four buckets the paper's
+// divergence analysis needs (plus a residual), summed over ranks in
+// nanoseconds of *simulated* time. The buckets are what `hpcsweep_inspect`
+// prints when explaining why DIFF_total exceeds the 2% threshold on a trace:
+// two schemes that agree on the total can still disagree wildly on where the
+// time goes.
+#pragma once
+
+namespace hps::obs {
+
+struct ComponentTimes {
+  double compute_ns = 0;     ///< measured (scaled) computation intervals
+  double p2p_ns = 0;         ///< point-to-point transfer/blocking time
+  double collective_ns = 0;  ///< collective phases (decomposed or analytic)
+  double wait_ns = 0;        ///< waits on nonblocking requests / logical idle
+  double other_ns = 0;       ///< residual (software overheads, scheduling gaps)
+
+  double total_ns() const {
+    return compute_ns + p2p_ns + collective_ns + wait_ns + other_ns;
+  }
+  /// Sum of the communication buckets (everything except compute).
+  double comm_ns() const { return p2p_ns + collective_ns + wait_ns + other_ns; }
+};
+
+}  // namespace hps::obs

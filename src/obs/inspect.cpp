@@ -1,0 +1,171 @@
+#include "obs/inspect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace hps::obs {
+
+namespace {
+
+std::string fmt_ms(double ns) { return fmt_double(ns / 1e6, 2); }
+
+/// Relative deviation |a/b - 1|; infinite when exactly one side is zero.
+double rel_dev(double a, double b) {
+  if (a == b) return 0;
+  if (b == 0) return std::numeric_limits<double>::infinity();
+  return std::abs(a / b - 1.0);
+}
+
+}  // namespace
+
+std::vector<Divergence> top_divergent(const std::vector<LedgerRecord>& records,
+                                      std::size_t n) {
+  // MFACT counterpart lookup per (study_key, spec_id).
+  std::map<std::pair<std::string, std::int32_t>, const LedgerRecord*> mfact;
+  for (const LedgerRecord& rec : records)
+    if (rec.scheme == "mfact" && rec.ok) mfact[{rec.study_key, rec.spec_id}] = &rec;
+
+  std::vector<Divergence> out;
+  for (const LedgerRecord& rec : records) {
+    if (rec.scheme == "mfact" || !rec.ok || rec.diff_total < 0) continue;
+    const auto it = mfact.find({rec.study_key, rec.spec_id});
+    if (it == mfact.end()) continue;
+    out.push_back({rec, *it->second, rec.diff_total});
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Divergence& a, const Divergence& b) {
+    return a.diff_total > b.diff_total;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+void render_top(std::ostream& os, const std::vector<Divergence>& top) {
+  TextTable t;
+  t.set_header({"spec", "app", "ranks", "scheme", "DIFF_total", "side", "total ms",
+                "compute ms", "p2p ms", "coll ms", "wait ms", "other ms"});
+  for (const Divergence& d : top) {
+    const auto row = [&](const LedgerRecord& r, const char* side, bool lead) {
+      const ComponentTimes& c = r.components;
+      t.add_row({lead ? std::to_string(d.sim.spec_id) : "", lead ? d.sim.app : "",
+                 lead ? std::to_string(d.sim.ranks) : "", r.scheme,
+                 lead ? fmt_percent(d.diff_total) : "", side,
+                 fmt_ms(static_cast<double>(r.predicted_total_ns)), fmt_ms(c.compute_ns),
+                 fmt_ms(c.p2p_ns), fmt_ms(c.collective_ns), fmt_ms(c.wait_ns),
+                 fmt_ms(c.other_ns)});
+    };
+    row(d.sim, "sim", true);
+    row(d.mfact, "model", false);
+    t.add_separator();
+  }
+  os << t.render();
+  if (top.empty()) os << "(no paired sim/MFACT records)\n";
+}
+
+void render_accuracy(std::ostream& os, const std::vector<LedgerRecord>& records,
+                     double threshold) {
+  struct Acc {
+    std::size_t n = 0, within = 0, failed = 0;
+    double sum = 0, max = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Acc> by_suite;  // (app, scheme)
+  for (const LedgerRecord& rec : records) {
+    if (rec.scheme == "mfact") continue;
+    Acc& a = by_suite[{rec.app, rec.scheme}];
+    if (!rec.ok || rec.diff_total < 0) {
+      ++a.failed;
+      continue;
+    }
+    ++a.n;
+    a.sum += rec.diff_total;
+    a.max = std::max(a.max, rec.diff_total);
+    if (rec.diff_total <= threshold) ++a.within;
+  }
+
+  TextTable t;
+  t.set_header({"app", "scheme", "traces", "mean DIFF", "max DIFF",
+                "<=" + fmt_percent(threshold), "failed"});
+  for (const auto& [key, a] : by_suite) {
+    t.add_row({key.first, key.second, std::to_string(a.n),
+               a.n ? fmt_percent(a.sum / static_cast<double>(a.n)) : "-",
+               a.n ? fmt_percent(a.max) : "-",
+               a.n ? fmt_percent(static_cast<double>(a.within) / static_cast<double>(a.n))
+                   : "-",
+               std::to_string(a.failed)});
+  }
+  os << t.render();
+  if (by_suite.empty()) os << "(no simulator records)\n";
+}
+
+DiffResult diff_ledgers(const std::vector<LedgerRecord>& before,
+                        const std::vector<LedgerRecord>& after,
+                        const DiffOptions& opts) {
+  using Key = std::pair<std::int32_t, std::string>;
+  std::map<Key, const LedgerRecord*> b_index, a_index;
+  for (const LedgerRecord& r : before) b_index[{r.spec_id, r.scheme}] = &r;
+  for (const LedgerRecord& r : after) a_index[{r.spec_id, r.scheme}] = &r;
+
+  DiffResult out;
+  for (const auto& [key, b] : b_index) {
+    const auto it = a_index.find(key);
+    if (it == a_index.end()) {
+      ++out.only_before;
+      continue;
+    }
+    const LedgerRecord* a = it->second;
+    ++out.compared;
+    const std::string label = "spec " + std::to_string(key.first) + " " + key.second;
+    if (b->ok != a->ok) {
+      out.regressions.push_back({label, "ok flipped", b->ok ? 1.0 : 0.0, a->ok ? 1.0 : 0.0});
+      continue;
+    }
+    if (!b->ok) continue;  // both failed the same way: nothing to compare
+    const double pdev = rel_dev(static_cast<double>(a->predicted_total_ns),
+                                static_cast<double>(b->predicted_total_ns));
+    if (pdev > opts.tolerance) {
+      out.regressions.push_back({label, "predicted_total_ns",
+                                 static_cast<double>(b->predicted_total_ns),
+                                 static_cast<double>(a->predicted_total_ns)});
+    }
+    if (opts.wall_tolerance > 0) {
+      const double wdev = rel_dev(a->wall_seconds, b->wall_seconds);
+      if (wdev > opts.wall_tolerance)
+        out.regressions.push_back({label, "wall_seconds", b->wall_seconds, a->wall_seconds});
+    }
+  }
+  for (const auto& [key, a] : a_index)
+    if (!b_index.contains(key)) ++out.only_after;
+  return out;
+}
+
+void render_diff(std::ostream& os, const DiffResult& diff, const DiffOptions& opts) {
+  os << "compared " << diff.compared << " record pairs (tolerance "
+     << fmt_percent(opts.tolerance) << ")\n";
+  if (diff.only_before) os << "  " << diff.only_before << " record(s) only in ledger A\n";
+  if (diff.only_after) os << "  " << diff.only_after << " record(s) only in ledger B\n";
+  if (diff.regressions.empty()) {
+    if (diff.ok())
+      os << "OK: no divergence beyond tolerance\n";
+    else
+      os << "FAIL: ledgers cover different record sets\n";
+  } else {
+    TextTable t;
+    t.set_header({"record", "field", "before", "after", "delta"});
+    std::size_t shown = 0;
+    for (const Regression& r : diff.regressions) {
+      if (shown++ >= opts.max_report) break;
+      t.add_row({r.key, r.what, fmt_double(r.before, 6), fmt_double(r.after, 6),
+                 fmt_percent(rel_dev(r.after, r.before))});
+    }
+    os << t.render();
+    if (diff.regressions.size() > opts.max_report)
+      os << "(+" << diff.regressions.size() - opts.max_report << " more)\n";
+    os << "FAIL: " << diff.regressions.size() << " divergence(s) beyond tolerance\n";
+  }
+}
+
+}  // namespace hps::obs

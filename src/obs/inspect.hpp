@@ -1,0 +1,74 @@
+// Ledger analysis: the logic behind `hpcsweep_inspect`.
+//
+// Pure functions over loaded ledger records — grouping per trace, ranking by
+// DIFF_total with per-component attribution, per-suite accuracy tables, and
+// the two-ledger regression diff used as a CI gate. Kept in the library so
+// tests exercise the exact code the CLI runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+
+namespace hps::obs {
+
+/// One simulated scheme's divergence from MFACT on one trace.
+struct Divergence {
+  LedgerRecord sim;    ///< the simulator record (scheme != "mfact")
+  LedgerRecord mfact;  ///< the paired MFACT record for the same trace
+  double diff_total = 0;
+};
+
+/// Pair each non-MFACT record with the MFACT record of the same
+/// (study_key, spec_id) and sort by descending |diff_total|. Records without
+/// a counterpart, or whose diff is unavailable (!ok), are skipped.
+std::vector<Divergence> top_divergent(const std::vector<LedgerRecord>& records,
+                                      std::size_t n);
+
+/// Render the top-N divergence table: one row per (trace, scheme) with the
+/// per-component virtual-time attribution of both the simulator and MFACT.
+void render_top(std::ostream& os, const std::vector<Divergence>& top);
+
+/// Render the per-suite accuracy table: for each (app, scheme), the count of
+/// traces, mean/max DIFF_total, and the share of traces within `threshold`.
+void render_accuracy(std::ostream& os, const std::vector<LedgerRecord>& records,
+                     double threshold = 0.02);
+
+struct DiffOptions {
+  double tolerance = 0.02;       ///< relative predicted-time tolerance
+  double wall_tolerance = 0;     ///< relative wall-time tolerance; 0 = ignore walls
+  std::size_t max_report = 20;   ///< cap on printed regressions
+};
+
+/// One record pair whose predicted (or wall) time moved beyond tolerance,
+/// or a record present on only one side.
+struct Regression {
+  std::string key;  ///< "spec <id> <scheme>"
+  std::string what;
+  double before = 0;
+  double after = 0;
+};
+
+struct DiffResult {
+  std::vector<Regression> regressions;
+  std::size_t compared = 0;       ///< record pairs present in both ledgers
+  std::size_t only_before = 0;
+  std::size_t only_after = 0;
+  bool ok() const { return regressions.empty() && only_before == 0 && only_after == 0; }
+};
+
+/// Compare two ledgers record-by-record, keyed on (spec_id, scheme). The
+/// study_key is intentionally not part of the pairing key, so ledgers from
+/// different configurations can still be diffed (the divergence then shows up
+/// in the values). Predicted times compare exactly against `tolerance`;
+/// wall times only when `wall_tolerance > 0`.
+DiffResult diff_ledgers(const std::vector<LedgerRecord>& before,
+                        const std::vector<LedgerRecord>& after,
+                        const DiffOptions& opts = {});
+
+void render_diff(std::ostream& os, const DiffResult& diff, const DiffOptions& opts);
+
+}  // namespace hps::obs

@@ -1,0 +1,306 @@
+#include "obs/ledger.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace hps::obs {
+
+namespace {
+
+void put_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// %.17g round-trips doubles exactly and is locale-independent for the values
+// we emit (the runner never produces inf/nan predictions).
+void put_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+template <typename Int>
+void field_int(std::string& out, const char* key, Int v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void field_double(std::string& out, const char* key, double v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  put_double(out, v);
+}
+
+void field_str(std::string& out, const char* key, const std::string& v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  put_escaped(out, v);
+}
+
+// --- minimal flat-object JSON scanner -------------------------------------
+//
+// Ledger lines are flat objects whose values are numbers, strings, or bools;
+// this scanner accepts exactly that (plus unknown keys, for forward
+// compatibility) and throws hps::Error with position context otherwise.
+
+struct Scanner {
+  std::string_view in;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error("ledger: bad record at byte " + std::to_string(pos) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos < in.size() && std::isspace(static_cast<unsigned char>(in[pos]))) ++pos;
+  }
+  char peek() const { return pos < in.size() ? in[pos] : '\0'; }
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < in.size() && in[pos] != '"') {
+      char c = in[pos++];
+      if (c == '\\') {
+        if (pos >= in.size()) fail("truncated escape");
+        const char e = in[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos + 4 > in.size()) fail("truncated \\u escape");
+            const unsigned code =
+                static_cast<unsigned>(std::strtoul(std::string(in.substr(pos, 4)).c_str(), nullptr, 16));
+            pos += 4;
+            // Ledger strings only ever escape control characters; reject the
+            // rest rather than mis-decode multi-byte sequences.
+            if (code > 0x7f) fail("unsupported \\u escape");
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos >= in.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+  /// A scalar value as raw text: number, true/false, or a quoted string.
+  /// Returns (text, was_string).
+  std::pair<std::string, bool> parse_value() {
+    skip_ws();
+    if (peek() == '"') return {parse_string(), true};
+    const std::size_t start = pos;
+    while (pos < in.size() && in[pos] != ',' && in[pos] != '}' &&
+           !std::isspace(static_cast<unsigned char>(in[pos])))
+      ++pos;
+    if (pos == start) fail("empty value");
+    return {std::string(in.substr(start, pos - start)), false};
+  }
+};
+
+struct Value {
+  std::string text;
+  bool is_string = false;
+};
+
+using FlatObject = std::unordered_map<std::string, Value>;
+
+FlatObject parse_flat_object(const std::string& line) {
+  Scanner sc{line};
+  FlatObject obj;
+  sc.expect('{');
+  sc.skip_ws();
+  if (sc.peek() == '}') {
+    ++sc.pos;
+    return obj;
+  }
+  while (true) {
+    std::string key = sc.parse_string();
+    sc.expect(':');
+    auto [text, is_string] = sc.parse_value();
+    obj[std::move(key)] = {std::move(text), is_string};
+    sc.skip_ws();
+    if (sc.peek() == ',') {
+      ++sc.pos;
+      continue;
+    }
+    sc.expect('}');
+    break;
+  }
+  return obj;
+}
+
+const Value& require(const FlatObject& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw Error(std::string("ledger: missing field \"") + key + "\"");
+  return it->second;
+}
+
+std::int64_t get_i64(const FlatObject& obj, const char* key) {
+  return std::strtoll(require(obj, key).text.c_str(), nullptr, 10);
+}
+std::uint64_t get_u64(const FlatObject& obj, const char* key) {
+  return std::strtoull(require(obj, key).text.c_str(), nullptr, 10);
+}
+double get_f64(const FlatObject& obj, const char* key) {
+  return std::strtod(require(obj, key).text.c_str(), nullptr);
+}
+std::string get_str(const FlatObject& obj, const char* key) {
+  const Value& v = require(obj, key);
+  if (!v.is_string) throw Error(std::string("ledger: field \"") + key + "\" is not a string");
+  return v.text;
+}
+bool get_bool(const FlatObject& obj, const char* key) {
+  const std::string& t = require(obj, key).text;
+  if (t == "true") return true;
+  if (t == "false") return false;
+  throw Error(std::string("ledger: field \"") + key + "\" is not a bool");
+}
+
+}  // namespace
+
+std::string to_json_line(const LedgerRecord& rec) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"schema\":";
+  out += std::to_string(rec.schema);
+  field_str(out, "study_key", rec.study_key);
+  field_int(out, "spec_id", rec.spec_id);
+  field_str(out, "app", rec.app);
+  field_str(out, "machine", rec.machine);
+  field_int(out, "ranks", rec.ranks);
+  field_int(out, "events", rec.events);
+  field_str(out, "scheme", rec.scheme);
+  out += ",\"ok\":";
+  out += rec.ok ? "true" : "false";
+  field_str(out, "error", rec.error);
+  field_int(out, "predicted_total_ns", rec.predicted_total_ns);
+  field_int(out, "predicted_comm_ns", rec.predicted_comm_ns);
+  field_int(out, "measured_total_ns", rec.measured_total_ns);
+  field_double(out, "diff_total", rec.diff_total);
+  field_double(out, "diff_comm", rec.diff_comm);
+  field_double(out, "comp_compute_ns", rec.components.compute_ns);
+  field_double(out, "comp_p2p_ns", rec.components.p2p_ns);
+  field_double(out, "comp_collective_ns", rec.components.collective_ns);
+  field_double(out, "comp_wait_ns", rec.components.wait_ns);
+  field_double(out, "comp_other_ns", rec.components.other_ns);
+  field_int(out, "des_events", rec.des_events);
+  field_int(out, "net_messages", rec.net_messages);
+  field_int(out, "net_bytes", rec.net_bytes);
+  field_int(out, "net_packets", rec.net_packets);
+  field_int(out, "net_rate_updates", rec.net_rate_updates);
+  field_int(out, "net_ripple_iterations", rec.net_ripple_iterations);
+  field_int(out, "net_stalls", rec.net_stalls);
+  field_int(out, "net_max_active", rec.net_max_active);
+  field_double(out, "wall_seconds", rec.wall_seconds);
+  out += "}";
+  return out;
+}
+
+LedgerRecord parse_ledger_line(const std::string& line) {
+  const FlatObject obj = parse_flat_object(line);
+  const auto schema = static_cast<std::uint32_t>(get_u64(obj, "schema"));
+  if (schema != kObsSchemaVersion) {
+    throw Error("ledger: schema version " + std::to_string(schema) + " != expected " +
+                std::to_string(kObsSchemaVersion));
+  }
+  LedgerRecord rec;
+  rec.schema = schema;
+  rec.study_key = get_str(obj, "study_key");
+  rec.spec_id = static_cast<std::int32_t>(get_i64(obj, "spec_id"));
+  rec.app = get_str(obj, "app");
+  rec.machine = get_str(obj, "machine");
+  rec.ranks = static_cast<std::int32_t>(get_i64(obj, "ranks"));
+  rec.events = get_u64(obj, "events");
+  rec.scheme = get_str(obj, "scheme");
+  rec.ok = get_bool(obj, "ok");
+  rec.error = get_str(obj, "error");
+  rec.predicted_total_ns = get_i64(obj, "predicted_total_ns");
+  rec.predicted_comm_ns = get_i64(obj, "predicted_comm_ns");
+  rec.measured_total_ns = get_i64(obj, "measured_total_ns");
+  rec.diff_total = get_f64(obj, "diff_total");
+  rec.diff_comm = get_f64(obj, "diff_comm");
+  rec.components.compute_ns = get_f64(obj, "comp_compute_ns");
+  rec.components.p2p_ns = get_f64(obj, "comp_p2p_ns");
+  rec.components.collective_ns = get_f64(obj, "comp_collective_ns");
+  rec.components.wait_ns = get_f64(obj, "comp_wait_ns");
+  rec.components.other_ns = get_f64(obj, "comp_other_ns");
+  rec.des_events = get_u64(obj, "des_events");
+  rec.net_messages = get_u64(obj, "net_messages");
+  rec.net_bytes = get_u64(obj, "net_bytes");
+  rec.net_packets = get_u64(obj, "net_packets");
+  rec.net_rate_updates = get_u64(obj, "net_rate_updates");
+  rec.net_ripple_iterations = get_u64(obj, "net_ripple_iterations");
+  rec.net_stalls = get_u64(obj, "net_stalls");
+  rec.net_max_active = get_u64(obj, "net_max_active");
+  rec.wall_seconds = get_f64(obj, "wall_seconds");
+  return rec;
+}
+
+void append_ledger(const std::string& path, const std::vector<LedgerRecord>& records) {
+  if (records.empty()) return;
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  if (!out) throw Error("ledger: cannot open for append: " + path);
+  for (const LedgerRecord& rec : records) out << to_json_line(rec) << "\n";
+  if (!out) throw Error("ledger: write failed: " + path);
+}
+
+std::vector<LedgerRecord> load_ledger(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("ledger: cannot open: " + path);
+  std::vector<LedgerRecord> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      records.push_back(parse_ledger_line(line));
+    } catch (const Error& e) {
+      throw Error(path + ":" + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  return records;
+}
+
+}  // namespace hps::obs

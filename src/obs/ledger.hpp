@@ -1,0 +1,76 @@
+// Structured run ledger.
+//
+// `core::run_study` appends one JSON-lines record per trace×scheme to a
+// ledger file alongside the binary result cache. A record carries everything
+// the cross-run analysis in `hpcsweep_inspect` needs — predicted times, the
+// per-component virtual-time breakdown, DIFF vs. MFACT, per-run simulator
+// effort counters, and the study configuration hash — so accuracy and
+// performance regressions can be diffed between two ledgers without
+// re-running either study.
+//
+// The format is versioned: `schema` is written into every record and mixed
+// into the study cache key, so both the binary cache and the ledger refuse
+// data written by an incompatible build instead of misreading it. Records
+// are deterministic modulo the wall-clock fields: two identical `run_study`
+// invocations produce byte-identical lines once `wall_seconds` is zeroed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/components.hpp"
+
+namespace hps::obs {
+
+/// Bump when the ledger record layout or the meaning of any field changes.
+/// Mixed into `core::study_cache_key`, so a bump also invalidates binary
+/// caches written before the change.
+inline constexpr std::uint32_t kObsSchemaVersion = 1;
+
+/// One trace×scheme observation. Field order here matches the JSON output.
+struct LedgerRecord {
+  std::uint32_t schema = kObsSchemaVersion;
+  std::string study_key;  ///< hex study_cache_key of the producing run
+  std::int32_t spec_id = -1;
+  std::string app;
+  std::string machine;
+  std::int32_t ranks = 0;
+  std::uint64_t events = 0;
+  std::string scheme;  ///< "mfact" | "packet" | "flow" | "packet-flow"
+  bool ok = false;
+  std::string error;
+  std::int64_t predicted_total_ns = 0;
+  std::int64_t predicted_comm_ns = 0;
+  std::int64_t measured_total_ns = 0;
+  double diff_total = -1;  ///< DIFF_total vs. MFACT; -1 = not applicable
+  double diff_comm = -1;
+  ComponentTimes components;
+  std::uint64_t des_events = 0;
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_bytes = 0;
+  std::uint64_t net_packets = 0;
+  std::uint64_t net_rate_updates = 0;
+  std::uint64_t net_ripple_iterations = 0;
+  std::uint64_t net_stalls = 0;
+  std::uint64_t net_max_active = 0;
+  double wall_seconds = 0;  ///< the only nondeterministic field
+};
+
+/// Serialize one record as a single JSON object line (no trailing newline).
+/// Field order is fixed, so equal records yield byte-identical lines.
+std::string to_json_line(const LedgerRecord& rec);
+
+/// Parse one ledger line. Throws hps::Error on malformed JSON, missing
+/// required fields, or a schema version other than kObsSchemaVersion.
+LedgerRecord parse_ledger_line(const std::string& line);
+
+/// Append records to `path` (created if absent). Throws hps::Error on I/O
+/// failure.
+void append_ledger(const std::string& path, const std::vector<LedgerRecord>& records);
+
+/// Load every record of a ledger file. Throws hps::Error on I/O failure or
+/// any bad line (including schema mismatch). Blank lines are skipped.
+std::vector<LedgerRecord> load_ledger(const std::string& path);
+
+}  // namespace hps::obs

@@ -1,0 +1,104 @@
+// Virtual-time timeline recorder.
+//
+// An opt-in, bounded-memory sink for per-rank intervals in *simulated* time:
+// compute bursts, blocking sends/receives, rendezvous handshakes, collective
+// phases, request waits and network stalls. Unlike telemetry::Span (which
+// timestamps host wall clock), intervals here are keyed by the DES engine's
+// virtual clock, so the exported Chrome trace shows the *predicted*
+// execution of the application — one row per rank, plus auxiliary rows for
+// fabric links — and can be eyeballed next to MFACT's model decomposition.
+//
+// Recording is off unless a component holds a recorder pointer (the engine
+// carries one for its clients; see des::Engine::recorder()). Every
+// instrumentation point is a single pointer test when disabled. Memory is
+// bounded: past `max_intervals` the recorder counts drops instead of
+// growing, so pathological traces cannot exhaust the host.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hps::obs {
+
+enum class IntervalKind : std::uint8_t {
+  kCompute,     // local computation between MPI calls
+  kSend,        // blocking send in progress (eager injection span)
+  kRecv,        // blocking receive from post to data arrival
+  kRendezvous,  // blocking rendezvous send: RTS -> CTS -> payload drained
+  kWait,        // Wait/WaitAll on nonblocking requests
+  kCollective,  // enclosing collective phase (decomposed or analytic)
+  kNetStall,    // network-level stall: link-queue wait or starved flow
+};
+
+inline constexpr int kNumIntervalKinds = 7;
+
+const char* interval_kind_name(IntervalKind k);
+
+/// Tracks >= kLinkTrackBase are fabric links (track - base == LinkId); lower
+/// tracks are ranks. Keeps the two namespaces apart without the recorder
+/// having to know the rank count.
+inline constexpr std::int32_t kLinkTrackBase = 1 << 20;
+
+struct Interval {
+  std::int32_t track = 0;  ///< rank, or kLinkTrackBase + link
+  IntervalKind kind = IntervalKind::kCompute;
+  SimTime start = 0;  ///< virtual ns
+  SimTime end = 0;    ///< virtual ns, >= start
+  std::uint64_t detail = 0;  ///< kind-specific payload (bytes, peer, ...)
+};
+
+class TimelineRecorder {
+ public:
+  struct Options {
+    /// Hard cap on stored intervals; further records are counted as drops.
+    std::size_t max_intervals = std::size_t{1} << 20;
+  };
+
+  TimelineRecorder() : TimelineRecorder(Options{}) {}
+  explicit TimelineRecorder(Options opts) : opts_(opts) {}
+
+  /// Record one completed interval. Ignores end < start (a defensive no-op:
+  /// callers derive both ends from the same virtual clock).
+  void record(std::int32_t track, IntervalKind kind, SimTime start, SimTime end,
+              std::uint64_t detail = 0) {
+    if (end < start) return;
+    if (intervals_.size() >= opts_.max_intervals) {
+      ++dropped_;
+      return;
+    }
+    intervals_.push_back({track, kind, start, end, detail});
+  }
+
+  /// Human label for a track row in the exported trace ("rank 3", "CG/base").
+  void set_track_name(std::int32_t track, std::string name);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  std::uint64_t dropped() const { return dropped_; }
+  bool empty() const { return intervals_.empty(); }
+
+  /// Largest interval end seen (the virtual makespan of the recording).
+  SimTime max_end() const;
+
+  /// Chrome trace_event JSON of the recorded intervals, with `ts`/`dur` in
+  /// microseconds of *virtual* time. Loadable in chrome://tracing and
+  /// ui.perfetto.dev; rank rows are threads of one "virtual time" process.
+  void write_chrome_trace(std::ostream& os) const;
+
+  void clear() {
+    intervals_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  Options opts_;
+  std::vector<Interval> intervals_;
+  std::unordered_map<std::int32_t, std::string> track_names_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hps::obs

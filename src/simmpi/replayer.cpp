@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "obs/timeline.hpp"
 #include "simnet/flow_model.hpp"
 #include "simnet/packet_model.hpp"
 #include "simnet/packetflow_model.hpp"
@@ -30,6 +31,7 @@ Replayer::Replayer(const trace::Trace& t, const machine::MachineInstance& m, Net
                    const ReplayConfig& cfg)
     : trace_(t), machine_(m), cfg_(cfg), kind_(kind) {
   HPS_CHECK(t.nranks() == m.nranks());
+  eng_.set_recorder(cfg_.timeline);
 
   simnet::NetConfig nc;
   const auto& net = m.config().net;
@@ -81,11 +83,55 @@ void Replayer::handle(des::Engine&, std::uint64_t a, std::uint64_t) {
   advance(static_cast<Rank>(a));
 }
 
+void Replayer::begin_block(RankState& st, Block b, std::int64_t req) {
+  st.block = b;
+  st.block_req = req;
+  st.block_since = eng_.now();
+}
+
 void Replayer::unblock(Rank r) {
   RankState& st = ranks_[static_cast<std::size_t>(r)];
+  const SimTime now = eng_.now();
+  const SimTime blocked = now - st.block_since;
+  if (blocked > 0) {
+    st.blocked_total += blocked;
+    // Attribute the blocked interval: blocking sends/receives issued from a
+    // collective sub-schedule count as collective time, as do waits on
+    // collective-internal requests; plain request waits and app-level
+    // WaitAll count as wait time.
+    const bool in_coll = !st.subops.empty();
+    double* bucket = &components_.wait_ns;
+    auto kind = obs::IntervalKind::kWait;
+    switch (st.block) {
+      case Block::kRecv:
+        bucket = in_coll ? &components_.collective_ns : &components_.p2p_ns;
+        kind = in_coll ? obs::IntervalKind::kCollective : obs::IntervalKind::kRecv;
+        break;
+      case Block::kSendRdv:
+        bucket = in_coll ? &components_.collective_ns : &components_.p2p_ns;
+        kind = in_coll ? obs::IntervalKind::kCollective : obs::IntervalKind::kRendezvous;
+        break;
+      case Block::kWaitReq:
+        if (is_coll_req(st.block_req)) {
+          bucket = &components_.collective_ns;
+          kind = obs::IntervalKind::kCollective;
+        }
+        break;
+      case Block::kWaitAllColl:
+        bucket = &components_.collective_ns;
+        kind = obs::IntervalKind::kCollective;
+        break;
+      case Block::kWaitAllApp:
+      case Block::kNone:
+        break;
+    }
+    *bucket += static_cast<double>(blocked);
+    if (obs::TimelineRecorder* rec = eng_.recorder())
+      rec->record(r, kind, st.block_since, now);
+  }
   st.block = Block::kNone;
   st.block_req = -1;
-  schedule_advance(r, eng_.now());
+  schedule_advance(r, now);
 }
 
 void Replayer::advance(Rank r) {
@@ -125,6 +171,8 @@ bool Replayer::exec_event(Rank r, RankState& st, const trace::Event& e) {
                                             cfg_.compute_scale);
       if (dur <= 0) return true;
       st.compute_total += dur;
+      if (obs::TimelineRecorder* rec = eng_.recorder())
+        rec->record(r, obs::IntervalKind::kCompute, eng_.now(), eng_.now() + dur);
       schedule_advance(r, eng_.now() + dur);
       return false;
     }
@@ -155,7 +203,7 @@ bool Replayer::exec_event(Rank r, RankState& st, const trace::Event& e) {
       return do_wait(r, st, e.request);
     case OpType::kWaitAll:
       if (st.pending_app == 0) return true;
-      st.block = Block::kWaitAllApp;
+      begin_block(st, Block::kWaitAllApp);
       return false;
     default:
       HPS_CHECK(trace::is_collective(e.type));
@@ -190,7 +238,7 @@ bool Replayer::exec_subop(Rank r, RankState& st, const SubOp& op) {
     case SubOp::Kind::kWaitAll:
       st.coll_isends.clear();
       if (st.pending_coll == 0) return true;
-      st.block = Block::kWaitAllColl;
+      begin_block(st, Block::kWaitAllColl);
       return false;
   }
   return true;
@@ -199,8 +247,7 @@ bool Replayer::exec_subop(Rank r, RankState& st, const SubOp& op) {
 bool Replayer::do_wait(Rank r, RankState& st, std::int64_t req) {
   (void)r;
   if (!st.pending_reqs.contains(req)) return true;  // already completed
-  st.block = Block::kWaitReq;
-  st.block_req = req;
+  begin_block(st, Block::kWaitReq, req);
   return false;
 }
 
@@ -220,6 +267,9 @@ void Replayer::do_send(Rank r, RankState& st, Rank dst, Tag tag, std::uint64_t b
   if (bytes <= cfg_.eager_threshold) {
     // Eager: the payload leaves immediately; the send completes locally.
     ms.sender_done = true;
+    if (obs::TimelineRecorder* rec = eng_.recorder())
+      rec->record(r, obs::IntervalKind::kSend, eng_.now(),
+                  eng_.now() + machine_.software_overhead(), bytes);
     inject(MsgKind::kEagerData, key, r, dst, bytes);
     if (req >= 0) complete_request(r, req);
   } else {
@@ -228,7 +278,7 @@ void Replayer::do_send(Rank r, RankState& st, Rank dst, Tag tag, std::uint64_t b
     ms.is_rdv = true;
     inject(MsgKind::kRts, key, r, dst, 0);
     if (blocking) {
-      st.block = Block::kSendRdv;
+      begin_block(st, Block::kSendRdv);
     } else {
       ms.send_req = req;
     }
@@ -250,7 +300,7 @@ void Replayer::do_recv(Rank r, RankState& st, Rank src, Tag tag, bool blocking,
     return;
   }
   if (ms.is_rdv && ms.rts_arrived && !ms.cts_sent) send_cts(key);
-  if (blocking) st.block = Block::kRecv;
+  if (blocking) begin_block(st, Block::kRecv);
 }
 
 void Replayer::inject(MsgKind kind, const detail::MatchKey& key, Rank from, Rank to,
@@ -429,8 +479,14 @@ ReplayResult Replayer::run() {
     res.rank_comm.push_back(comm);
     comm_sum += comm;
     res.total_time = std::max(res.total_time, st.finish);
+    // Whatever part of a rank's lifetime is neither compute nor a blocked
+    // interval is software overhead and scheduling gaps: the residual bucket.
+    components_.compute_ns += static_cast<double>(st.compute_total);
+    components_.other_ns +=
+        static_cast<double>(st.finish - st.compute_total - st.blocked_total);
   }
   res.comm_time_mean = comm_sum / static_cast<SimTime>(ranks_.size());
+  res.components = components_;
   res.engine = eng_.stats();
   res.net = net_->stats();
   res.link_bytes = net_->link_bytes();
@@ -450,10 +506,14 @@ void Replayer::flush_scheme_telemetry(const ReplayResult& res) {
   reg.counter(p + "net_messages").add(res.net.messages);
   reg.counter(p + "net_bytes").add(res.net.bytes);
   reg.counter(p + "net_packets").add(res.net.packets);
+  reg.counter(p + "net_rate_updates").add(res.net.rate_updates);
+  reg.counter(p + "net_ripple_iterations").add(res.net.ripple_iterations);
+  reg.counter(p + "net_queue_stalls").add(res.net.queue_events);
   reg.counter(p + "collectives").add(collectives_.value());
   reg.counter(p + "msgs_matched").add(msgs_matched_.value());
   reg.counter(p + "rendezvous").add(rdv_sends_.value());
   reg.gauge(p + "max_queue_depth").record(res.engine.max_queue_depth);
+  reg.gauge(p + "net_max_active").record(res.net.max_active);
   reg.histogram(p + "wall_seconds", telemetry::duration_bounds()).observe(res.wall_seconds);
   collectives_.reset();
   msgs_matched_.reset();

@@ -24,10 +24,15 @@
 #include "common/units.hpp"
 #include "des/engine.hpp"
 #include "machine/machine.hpp"
+#include "obs/components.hpp"
 #include "simmpi/collectives.hpp"
 #include "simnet/network.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
+
+namespace hps::obs {
+class TimelineRecorder;
+}
 
 namespace hps::simmpi {
 
@@ -47,6 +52,9 @@ struct ReplayConfig {
   /// Packet size for the hybrid packet-flow model (coarse, 1-8 KB per the
   /// SST/Macro guidance; 4 KB default).
   std::uint64_t packetflow_packet_size = 4 * KiB;
+  /// Optional virtual-time timeline sink (not owned). When set, the replayer
+  /// and the network model record per-rank/per-link intervals into it.
+  obs::TimelineRecorder* timeline = nullptr;
 };
 
 struct ReplayResult {
@@ -58,6 +66,9 @@ struct ReplayResult {
   simnet::NetStats net;
   /// Bytes carried per directed fabric link (hotspot telemetry).
   std::vector<std::uint64_t> link_bytes;
+  /// Virtual-time decomposition summed over ranks (compute / p2p /
+  /// collective / wait / residual).
+  obs::ComponentTimes components;
   double wall_seconds = 0;  ///< host wall-clock spent replaying
 };
 
@@ -140,6 +151,8 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
 
     Block block = Block::kNone;
     std::int64_t block_req = -1;
+    SimTime block_since = 0;    ///< virtual time the current block began
+    SimTime blocked_total = 0;  ///< lifetime sum of blocked intervals
 
     std::unordered_set<std::int64_t> pending_reqs;
     int pending_app = 0;   // count of pending app (trace) requests
@@ -178,6 +191,9 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
   void complete_recv(const detail::MatchKey& key, MatchState& st);
   void complete_rdv_sender(const detail::MatchKey& key, MatchState& st);
   void maybe_erase(const detail::MatchKey& key);
+  /// Enter a blocked state, stamping the block start for component
+  /// attribution. All five block sites go through here.
+  void begin_block(RankState& st, Block b, std::int64_t req = -1);
   void unblock(Rank r);
   void schedule_advance(Rank r, SimTime at);
 
@@ -219,6 +235,7 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
 
   std::int64_t next_coll_req_ = 0;
   Rank finished_ = 0;
+  obs::ComponentTimes components_;  ///< accumulated at each unblock
   std::vector<std::uint64_t> recv_sizes_scratch_;
   std::vector<SubOp> subop_scratch_;
 };

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "obs/timeline.hpp"
 
 namespace hps::simnet {
 
@@ -58,6 +59,7 @@ void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
   f.rate = 0;
   f.last_update = eng_.now();
   f.tail_latency = latency;
+  f.starved_since = -1;
   ++f.gen;
   f.active = true;
   f.route = route_scratch_;
@@ -81,6 +83,7 @@ void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
     f.listed = true;
   }
   ++active_count_;
+  stats_.max_active = std::max<std::uint64_t>(stats_.max_active, active_count_);
 
   if (bytes == 0) {
     // Pure-latency message; no fluid to drain.
@@ -239,6 +242,25 @@ void FlowModel::recompute_rates() {
         // Touched links get a fresh heap entry; stale ones are skipped above.
         if (link_unfrozen_[lj] > 0 && l != top.link) heap.push({share_of(l), l});
       }
+    }
+  }
+
+  // Starvation accounting: a flow the water-filling left at rate zero is
+  // stalled by contention. Count the stall once, when it ends, and record
+  // the interval on the flow's first fabric link.
+  for (const std::uint32_t i : active_) {
+    Flow& f = flows_[i];
+    if (f.rate <= 0) {
+      if (f.starved_since < 0) f.starved_since = now;
+    } else if (f.starved_since >= 0) {
+      ++stats_.queue_events;
+      if (obs::TimelineRecorder* rec = eng_.recorder()) {
+        const LinkId first = f.route.empty() ? 0 : f.route.front();
+        rec->record(obs::kLinkTrackBase + static_cast<std::int32_t>(first),
+                    obs::IntervalKind::kNetStall, f.starved_since, now,
+                    static_cast<std::uint64_t>(f.remaining));
+      }
+      f.starved_since = -1;
     }
   }
 

@@ -37,6 +37,7 @@ class FlowModel final : public NetworkModel, private des::Handler {
     double rate = 0;       // bytes per ns
     SimTime last_update = 0;
     SimTime tail_latency = 0;  // fixed path latency added at completion
+    SimTime starved_since = -1;  // start of a zero-rate interval, -1 if fed
     std::uint32_t gen = 0;     // invalidates superseded completion events
     bool active = false;
     bool listed = false;  // has an entry in active_ (entries outlive the flow

@@ -25,11 +25,13 @@ NetworkModel::~NetworkModel() {
   if (!reg.enabled()) return;
   struct Handles {
     telemetry::Counter messages, bytes, packets, rate_updates, ripple_iterations, queue_stalls;
+    telemetry::Gauge max_active;
   };
   static const Handles h{
       reg.counter("simnet.messages"),          reg.counter("simnet.bytes"),
       reg.counter("simnet.packets"),           reg.counter("simnet.rate_updates"),
       reg.counter("simnet.ripple_iterations"), reg.counter("simnet.queue_stalls"),
+      reg.gauge("simnet.max_active"),
   };
   h.messages.add(stats_.messages);
   h.bytes.add(stats_.bytes);
@@ -37,6 +39,7 @@ NetworkModel::~NetworkModel() {
   h.rate_updates.add(stats_.rate_updates);
   h.ripple_iterations.add(stats_.ripple_iterations);
   h.queue_stalls.add(stats_.queue_events);
+  h.max_active.record(stats_.max_active);
 }
 
 bool NetworkModel::deliver_local_if_same_node(MsgId id, NodeId src, NodeId dst,

@@ -68,7 +68,10 @@ struct NetStats {
   std::uint64_t packets = 0;            // packet & packet-flow models
   std::uint64_t rate_updates = 0;       // flow model ripple recomputations
   std::uint64_t ripple_iterations = 0;  // flow model: flows frozen across all updates
-  std::uint64_t queue_events = 0;       // packet model link-queue stalls (hotspots)
+  std::uint64_t queue_events = 0;       // stalls: link-queue waits (packet),
+                                        // contended hops (packet-flow),
+                                        // starved flows (flow)
+  std::uint64_t max_active = 0;         // peak concurrent in-flight messages/flows
 };
 
 class NetworkModel {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/timeline.hpp"
 
 namespace hps::simnet {
 
@@ -53,6 +54,7 @@ void PacketModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) 
   stats_.bytes += bytes;
 
   const std::uint32_t midx = alloc_msg();
+  stats_.max_active = std::max<std::uint64_t>(stats_.max_active, msgs_.size() - msg_free_.size());
   MsgState& m = msgs_[midx];
   m.id = id;
   topo_.route(src, dst, route_scratch_, id);
@@ -116,6 +118,7 @@ void PacketModel::packet_ready(std::uint32_t pkt_idx) {
   if (l.busy) {
     l.queue.push_back(pkt_idx);
     ++stats_.queue_events;
+    p.enq = eng_.now();
   } else {
     start_tx(link, pkt_idx);
   }
@@ -140,6 +143,10 @@ void PacketModel::tx_complete(LinkId link, std::uint32_t pkt_idx) {
   } else {
     const std::uint32_t next = l.queue.front();
     l.queue.pop_front();
+    if (obs::TimelineRecorder* rec = eng_.recorder())
+      rec->record(obs::kLinkTrackBase + static_cast<std::int32_t>(link),
+                  obs::IntervalKind::kNetStall, packets_[next].enq, eng_.now(),
+                  packets_[next].bytes);
     start_tx(link, next);
   }
 }

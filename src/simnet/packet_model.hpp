@@ -34,6 +34,7 @@ class PacketModel final : public NetworkModel, private des::Handler {
     std::uint32_t msg = 0;   // index into msgs_
     std::uint32_t hop = 0;   // next link index in the message route
     std::uint32_t bytes = 0;
+    SimTime enq = 0;  // virtual time it joined a link queue (timeline only)
   };
   struct Link {
     bool busy = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/timeline.hpp"
 
 namespace hps::simnet {
 
@@ -47,6 +48,7 @@ void PacketFlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t byt
   stats_.bytes += bytes;
 
   const std::uint32_t midx = alloc_msg();
+  stats_.max_active = std::max<std::uint64_t>(stats_.max_active, msgs_.size() - msg_free_.size());
   MsgState& m = msgs_[midx];
   m.id = id;
   topo_.route(src, dst, route_scratch_, id);
@@ -114,6 +116,16 @@ void PacketFlowModel::hop_enter(std::uint32_t pkt_idx) {
   const SimTime ser = transfer_time(static_cast<std::uint64_t>(p.bytes) *
                                         static_cast<std::uint64_t>(share),
                                     cfg_.link_bandwidth);
+  if (share > 1) {
+    // Contended hop: the serialization stretch beyond the uncontended time
+    // is this model's analogue of a queue stall.
+    ++stats_.queue_events;
+    if (obs::TimelineRecorder* rec = eng_.recorder())
+      rec->record(obs::kLinkTrackBase + static_cast<std::int32_t>(link),
+                  obs::IntervalKind::kNetStall, eng_.now(),
+                  eng_.now() + cfg_.hop_latency + ser,
+                  static_cast<std::uint64_t>(share));
+  }
   eng_.schedule_in(cfg_.hop_latency + ser, this, kHopExit, pkt_idx);
 }
 

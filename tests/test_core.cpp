@@ -106,6 +106,31 @@ TEST(Study, RunsMiniCorpusAndCaches) {
   std::remove(opts.cache_path.c_str());
 }
 
+TEST(Study, StaleSchemaKeyForcesRecompute) {
+  // A cache written under a different key — e.g. by a build with another
+  // obs::kObsSchemaVersion, which study_cache_key mixes in — must be ignored
+  // and the study recomputed rather than misread.
+  StudyOptions opts;
+  opts.corpus.limit = 2;
+  opts.corpus.duration_scale = 0.1;
+  opts.cache_path =
+      std::string("/tmp/hps_test_cache_stale_") + std::to_string(getpid()) + ".bin";
+  std::remove(opts.cache_path.c_str());
+
+  const StudyResult fresh = run_study(opts);
+  EXPECT_FALSE(fresh.from_cache);
+
+  // Rewrite the cache as an incompatible build would have keyed it.
+  save_outcomes(fresh.outcomes, opts.cache_path, study_cache_key(opts) ^ 0x5eed);
+  const StudyResult after_stale = run_study(opts);
+  EXPECT_FALSE(after_stale.from_cache) << "stale key must force recompute";
+
+  // The recompute rewrote the cache under the current key: now it hits.
+  const StudyResult after_fix = run_study(opts);
+  EXPECT_TRUE(after_fix.from_cache);
+  std::remove(opts.cache_path.c_str());
+}
+
 TEST(Study, CacheRejectsWrongKey) {
   const std::string path =
       std::string("/tmp/hps_test_cache_key_") + std::to_string(getpid()) + ".bin";

@@ -1,0 +1,456 @@
+// Tests for the observability layer: the virtual-time timeline recorder
+// (bounded memory, Chrome export, per-scheme recording), the JSON-lines run
+// ledger (round-trip, schema versioning, determinism) and the inspect
+// analysis used by hpcsweep_inspect (top-N divergence, accuracy, regression
+// diff with CI exit semantics).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "core/runner.hpp"
+#include "core/study.hpp"
+#include "machine/machine.hpp"
+#include "mfact/classify.hpp"
+#include "obs/inspect.hpp"
+#include "obs/ledger.hpp"
+#include "obs/timeline.hpp"
+#include "simmpi/replayer.hpp"
+#include "workloads/generators.hpp"
+
+namespace hps::obs {
+namespace {
+
+// --- TimelineRecorder -----------------------------------------------------
+
+TEST(Timeline, RecordsAndExportsChromeTrace) {
+  TimelineRecorder rec;
+  rec.record(0, IntervalKind::kCompute, 0, 1000);
+  rec.record(0, IntervalKind::kSend, 1000, 2500, /*detail=*/64);
+  rec.record(1, IntervalKind::kRecv, 500, 2500);
+  rec.record(kLinkTrackBase + 3, IntervalKind::kNetStall, 100, 200);
+  rec.set_track_name(1, "rank one");
+  ASSERT_EQ(rec.intervals().size(), 4u);
+  EXPECT_EQ(rec.max_end(), 2500);
+
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("rank one"), std::string::npos);   // explicit name
+  EXPECT_NE(json.find("link 3"), std::string::npos);     // derived link name
+  EXPECT_NE(json.find("compute"), std::string::npos);
+  EXPECT_NE(json.find("net-stall"), std::string::npos);
+}
+
+TEST(Timeline, BoundedMemoryCountsDrops) {
+  TimelineRecorder::Options opts;
+  opts.max_intervals = 3;
+  TimelineRecorder rec(opts);
+  for (int i = 0; i < 10; ++i)
+    rec.record(0, IntervalKind::kCompute, i * 10, i * 10 + 5);
+  EXPECT_EQ(rec.intervals().size(), 3u);
+  EXPECT_EQ(rec.dropped(), 7u);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(Timeline, IgnoresBackwardIntervals) {
+  TimelineRecorder rec;
+  rec.record(0, IntervalKind::kWait, 100, 50);
+  EXPECT_TRUE(rec.empty());
+}
+
+TEST(Timeline, RecordingIsOffByDefault) {
+  // The whole layer is opt-in: nothing holds a recorder unless configured.
+  EXPECT_EQ(simmpi::ReplayConfig{}.timeline, nullptr);
+  EXPECT_EQ(mfact::MfactParams{}.timeline, nullptr);
+}
+
+workloads::GenParams tiny_params() {
+  workloads::GenParams p;
+  p.ranks = 16;
+  p.seed = 7;
+  p.iter_factor = 0.2;
+  return p;
+}
+
+/// Acceptance (a): every scheme can render a per-rank virtual-time trace.
+TEST(Timeline, EverySchemeRecordsIntervals) {
+  const auto t = workloads::generate_app("MiniFE", tiny_params());
+  const machine::MachineConfig mc = machine::machine_by_name(t.meta().machine);
+
+  // MFACT records the base-configuration replay.
+  {
+    TimelineRecorder rec;
+    mfact::ClassifyParams cp;
+    cp.mfact.timeline = &rec;
+    const auto cl =
+        mfact::classify(t, mc.net.link_bandwidth, mc.net.end_to_end_latency, cp);
+    EXPECT_GT(cl.sweep[mfact::kSweepBase].total_time, 0);
+    EXPECT_FALSE(rec.empty());
+    bool has_compute = false, has_rank_track = false;
+    for (const Interval& iv : rec.intervals()) {
+      has_compute = has_compute || iv.kind == IntervalKind::kCompute;
+      has_rank_track = has_rank_track || iv.track < kLinkTrackBase;
+      EXPECT_GE(iv.end, iv.start);
+    }
+    EXPECT_TRUE(has_compute);
+    EXPECT_TRUE(has_rank_track);
+  }
+
+  // The three simulators record through the replayer and network models.
+  const machine::MachineInstance mi(mc, t.nranks(), t.meta().ranks_per_node);
+  for (const auto kind : {simmpi::NetModelKind::kPacket, simmpi::NetModelKind::kFlow,
+                          simmpi::NetModelKind::kPacketFlow}) {
+    TimelineRecorder rec;
+    simmpi::ReplayConfig rc;
+    rc.timeline = &rec;
+    const auto rr = simmpi::replay_trace(t, mi, kind, rc);
+    EXPECT_GT(rr.total_time, 0);
+    ASSERT_FALSE(rec.empty()) << simmpi::net_model_name(kind);
+    bool has_compute = false;
+    SimTime max_end = 0;
+    for (const Interval& iv : rec.intervals()) {
+      has_compute = has_compute || iv.kind == IntervalKind::kCompute;
+      if (iv.track < kLinkTrackBase) max_end = std::max(max_end, iv.end);
+    }
+    EXPECT_TRUE(has_compute) << simmpi::net_model_name(kind);
+    // Rank intervals live within the predicted makespan.
+    EXPECT_LE(max_end, rr.total_time);
+
+    std::ostringstream os;
+    rec.write_chrome_trace(os);
+    EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+  }
+}
+
+// --- Ledger ---------------------------------------------------------------
+
+LedgerRecord sample_record() {
+  LedgerRecord r;
+  r.study_key = "00c0ffee00c0ffee";
+  r.spec_id = 42;
+  r.app = "CG";
+  r.machine = "hopper";
+  r.ranks = 128;
+  r.events = 123456;
+  r.scheme = "packet-flow";
+  r.ok = true;
+  r.predicted_total_ns = 987654321;
+  r.predicted_comm_ns = 12345678;
+  r.measured_total_ns = 990000000;
+  r.diff_total = 0.0123;
+  r.diff_comm = 0.25;
+  r.components.compute_ns = 1e9;
+  r.components.p2p_ns = 2.5e8;
+  r.components.collective_ns = 1.25e8;
+  r.components.wait_ns = 3e7;
+  r.components.other_ns = 1e6;
+  r.des_events = 777;
+  r.net_messages = 10;
+  r.net_bytes = 1 << 20;
+  r.net_packets = 1024;
+  r.net_rate_updates = 5;
+  r.net_ripple_iterations = 2;
+  r.net_stalls = 3;
+  r.net_max_active = 4;
+  r.wall_seconds = 0.125;
+  return r;
+}
+
+TEST(Ledger, JsonLineRoundTrip) {
+  const LedgerRecord r = sample_record();
+  const std::string line = to_json_line(r);
+  const LedgerRecord back = parse_ledger_line(line);
+  EXPECT_EQ(back.schema, kObsSchemaVersion);
+  EXPECT_EQ(back.study_key, r.study_key);
+  EXPECT_EQ(back.spec_id, r.spec_id);
+  EXPECT_EQ(back.app, r.app);
+  EXPECT_EQ(back.machine, r.machine);
+  EXPECT_EQ(back.ranks, r.ranks);
+  EXPECT_EQ(back.events, r.events);
+  EXPECT_EQ(back.scheme, r.scheme);
+  EXPECT_EQ(back.ok, r.ok);
+  EXPECT_EQ(back.error, r.error);
+  EXPECT_EQ(back.predicted_total_ns, r.predicted_total_ns);
+  EXPECT_EQ(back.predicted_comm_ns, r.predicted_comm_ns);
+  EXPECT_EQ(back.measured_total_ns, r.measured_total_ns);
+  EXPECT_DOUBLE_EQ(back.diff_total, r.diff_total);
+  EXPECT_DOUBLE_EQ(back.diff_comm, r.diff_comm);
+  EXPECT_DOUBLE_EQ(back.components.compute_ns, r.components.compute_ns);
+  EXPECT_DOUBLE_EQ(back.components.p2p_ns, r.components.p2p_ns);
+  EXPECT_DOUBLE_EQ(back.components.collective_ns, r.components.collective_ns);
+  EXPECT_DOUBLE_EQ(back.components.wait_ns, r.components.wait_ns);
+  EXPECT_DOUBLE_EQ(back.components.other_ns, r.components.other_ns);
+  EXPECT_EQ(back.des_events, r.des_events);
+  EXPECT_EQ(back.net_messages, r.net_messages);
+  EXPECT_EQ(back.net_bytes, r.net_bytes);
+  EXPECT_EQ(back.net_packets, r.net_packets);
+  EXPECT_EQ(back.net_rate_updates, r.net_rate_updates);
+  EXPECT_EQ(back.net_ripple_iterations, r.net_ripple_iterations);
+  EXPECT_EQ(back.net_stalls, r.net_stalls);
+  EXPECT_EQ(back.net_max_active, r.net_max_active);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, r.wall_seconds);
+
+  // Re-serializing the parsed record reproduces the exact line.
+  EXPECT_EQ(to_json_line(back), line);
+}
+
+TEST(Ledger, EscapesStringsInErrorField) {
+  LedgerRecord r = sample_record();
+  r.ok = false;
+  r.error = "bad \"quote\"\nand\tcontrol \\ chars";
+  const LedgerRecord back = parse_ledger_line(to_json_line(r));
+  EXPECT_EQ(back.error, r.error);
+}
+
+TEST(Ledger, RejectsWrongSchemaVersion) {
+  std::string line = to_json_line(sample_record());
+  const std::string want = "\"schema\":1";
+  const auto pos = line.find(want);
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, want.size(), "\"schema\":999");
+  EXPECT_THROW((void)parse_ledger_line(line), Error);
+}
+
+TEST(Ledger, RejectsMalformedLines) {
+  EXPECT_THROW((void)parse_ledger_line("not json"), Error);
+  EXPECT_THROW((void)parse_ledger_line("{}"), Error);
+  EXPECT_THROW((void)parse_ledger_line("{\"schema\":1}"), Error);
+}
+
+TEST(Ledger, AppendAndLoadFile) {
+  const std::string path =
+      "/tmp/hps_test_ledger_" + std::to_string(getpid()) + ".jsonl";
+  std::remove(path.c_str());
+  LedgerRecord a = sample_record();
+  LedgerRecord b = sample_record();
+  b.spec_id = 43;
+  b.scheme = "flow";
+  append_ledger(path, {a});
+  append_ledger(path, {b});  // appends, does not truncate
+  const auto loaded = load_ledger(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].spec_id, 42);
+  EXPECT_EQ(loaded[1].spec_id, 43);
+  EXPECT_EQ(loaded[1].scheme, "flow");
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)load_ledger("/nonexistent/ledger.jsonl"), Error);
+}
+
+TEST(Ledger, LoadReportsLineNumbers) {
+  const std::string path =
+      "/tmp/hps_test_ledger_bad_" + std::to_string(getpid()) + ".jsonl";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs((to_json_line(sample_record()) + "\n\ngarbage\n").c_str(), f);
+    std::fclose(f);
+  }
+  try {
+    (void)load_ledger(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(":3:"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+/// Two identical studies yield byte-identical ledger records once the sole
+/// nondeterministic field (wall_seconds) is zeroed.
+TEST(Ledger, StudyRecordsAreDeterministic) {
+  core::StudyOptions opts;
+  opts.corpus.limit = 2;
+  opts.corpus.duration_scale = 0.1;
+
+  const auto run_lines = [&opts] {
+    const core::StudyResult res = core::run_study(opts);
+    auto records = core::ledger_records(res.outcomes, core::study_cache_key(opts));
+    std::string lines;
+    for (LedgerRecord& r : records) {
+      r.wall_seconds = 0;
+      lines += to_json_line(r) + "\n";
+    }
+    return lines;
+  };
+  const std::string first = run_lines();
+  const std::string second = run_lines();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Ledger, StudyAppendsLedgerOnComputeOnly) {
+  const std::string base = "/tmp/hps_test_study_" + std::to_string(getpid());
+  const std::string ledger = base + ".jsonl";
+  const std::string cache = base + ".cache";
+  std::remove(ledger.c_str());
+  std::remove(cache.c_str());
+
+  core::StudyOptions opts;
+  opts.corpus.limit = 2;
+  opts.corpus.duration_scale = 0.1;
+  opts.cache_path = cache;
+  opts.ledger_path = ledger;
+
+  const core::StudyResult first = core::run_study(opts);
+  EXPECT_FALSE(first.from_cache);
+  const auto after_first = load_ledger(ledger);
+  EXPECT_EQ(after_first.size(),
+            2u * static_cast<std::size_t>(core::Scheme::kNumSchemes));
+  for (const LedgerRecord& r : after_first) {
+    EXPECT_EQ(r.schema, kObsSchemaVersion);
+    EXPECT_FALSE(r.study_key.empty());
+  }
+
+  // A cache hit must not append duplicate records.
+  const core::StudyResult second = core::run_study(opts);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(load_ledger(ledger).size(), after_first.size());
+
+  std::remove(ledger.c_str());
+  std::remove(cache.c_str());
+}
+
+// --- Inspect --------------------------------------------------------------
+
+/// Synthetic ledger: mfact + two sims for two traces with known diffs.
+std::vector<LedgerRecord> synthetic_ledger() {
+  std::vector<LedgerRecord> out;
+  for (int spec : {0, 1}) {
+    LedgerRecord m = sample_record();
+    m.spec_id = spec;
+    m.scheme = "mfact";
+    m.app = spec == 0 ? "CG" : "FT";
+    m.diff_total = -1;
+    m.diff_comm = -1;
+    m.predicted_total_ns = 1000000;
+    out.push_back(m);
+    int i = 0;
+    for (const char* scheme : {"packet", "flow"}) {
+      LedgerRecord s = m;
+      s.scheme = scheme;
+      // spec 1 diverges harder; flow diverges harder than packet.
+      s.diff_total = 0.01 * (1 + i) * (1 + 3 * spec);
+      s.predicted_total_ns =
+          static_cast<std::int64_t>(1000000 * (1.0 + s.diff_total));
+      ++i;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+/// Acceptance (b): top-N divergence with per-component attribution.
+TEST(Inspect, TopDivergentRanksAndPairs) {
+  const auto records = synthetic_ledger();
+  const auto top = top_divergent(records, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // Descending by diff: spec1/flow (0.08), spec1/packet (0.04), spec0/flow (0.02)
+  EXPECT_EQ(top[0].sim.spec_id, 1);
+  EXPECT_EQ(top[0].sim.scheme, "flow");
+  EXPECT_NEAR(top[0].diff_total, 0.08, 1e-12);
+  EXPECT_EQ(top[1].sim.scheme, "packet");
+  EXPECT_EQ(top[2].sim.spec_id, 0);
+  // Every divergence is paired with its trace's MFACT record.
+  for (const Divergence& d : top) {
+    EXPECT_EQ(d.mfact.scheme, "mfact");
+    EXPECT_EQ(d.mfact.spec_id, d.sim.spec_id);
+    EXPECT_GT(d.sim.components.compute_ns, 0);
+  }
+
+  std::ostringstream os;
+  render_top(os, top);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("FT"), std::string::npos);
+  EXPECT_NE(text.find("flow"), std::string::npos);
+  EXPECT_NE(text.find("compute"), std::string::npos);
+}
+
+TEST(Inspect, TopSkipsUnpairedAndFailed) {
+  auto records = synthetic_ledger();
+  LedgerRecord orphan = sample_record();
+  orphan.spec_id = 99;
+  orphan.scheme = "packet";  // no mfact partner
+  records.push_back(orphan);
+  LedgerRecord failed = records[1];
+  failed.ok = false;
+  failed.diff_total = -1;
+  records.push_back(failed);
+  const auto top = top_divergent(records, 100);
+  for (const Divergence& d : top) {
+    EXPECT_NE(d.sim.spec_id, 99);
+    EXPECT_TRUE(d.sim.ok);
+  }
+}
+
+TEST(Inspect, AccuracyTableRenders) {
+  std::ostringstream os;
+  render_accuracy(os, synthetic_ledger(), 0.03);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("CG"), std::string::npos);
+  EXPECT_NE(text.find("FT"), std::string::npos);
+  EXPECT_NE(text.find("packet"), std::string::npos);
+}
+
+/// Acceptance (c): the diff gate reports divergence via a failing result.
+TEST(Inspect, DiffDetectsRegressions) {
+  const auto base = synthetic_ledger();
+
+  // Identical ledgers pass.
+  EXPECT_TRUE(diff_ledgers(base, base).ok());
+
+  // A prediction drifting past tolerance fails.
+  auto drifted = base;
+  drifted[1].predicted_total_ns =
+      static_cast<std::int64_t>(drifted[1].predicted_total_ns * 1.10);
+  DiffOptions opts;
+  opts.tolerance = 0.05;
+  const DiffResult r = diff_ledgers(base, drifted, opts);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].what, "predicted_total_ns");
+  // ...but passes with a looser tolerance.
+  DiffOptions loose;
+  loose.tolerance = 0.2;
+  EXPECT_TRUE(diff_ledgers(base, drifted, loose).ok());
+
+  // A record flipping from ok to failed is always a regression.
+  auto broke = base;
+  broke[1].ok = false;
+  EXPECT_FALSE(diff_ledgers(base, broke).ok());
+
+  // Records missing from either side fail the gate.
+  auto shrunk = base;
+  shrunk.pop_back();
+  const DiffResult missing = diff_ledgers(base, shrunk);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.only_before, 1u);
+
+  std::ostringstream os;
+  render_diff(os, r, opts);
+  EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+  std::ostringstream ok_os;
+  render_diff(ok_os, diff_ledgers(base, base), DiffOptions{});
+  EXPECT_NE(ok_os.str().find("OK"), std::string::npos);
+}
+
+TEST(Inspect, DiffComparesWallClockOnlyWhenAsked) {
+  const auto base = synthetic_ledger();
+  auto slower = base;
+  for (auto& r : slower) r.wall_seconds *= 10;
+  EXPECT_TRUE(diff_ledgers(base, slower).ok()) << "walls ignored by default";
+  DiffOptions opts;
+  opts.wall_tolerance = 0.5;
+  EXPECT_FALSE(diff_ledgers(base, slower, opts).ok());
+}
+
+}  // namespace
+}  // namespace hps::obs

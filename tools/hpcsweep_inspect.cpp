@@ -1,0 +1,267 @@
+// Observability companion to the study pipeline: produce and interrogate run
+// ledgers, and export per-rank virtual-time Chrome traces for any corpus
+// trace under any scheme.
+//
+// Subcommands:
+//   run       run a (small) corpus study and append its JSON-lines ledger
+//   timeline  replay one corpus trace under one scheme, write a Chrome trace
+//   top       rank a ledger's traces by DIFF_total with component attribution
+//   accuracy  per-(app, scheme) accuracy table from one ledger
+//   diff      compare two ledgers; non-zero exit on regressions (CI gate)
+//   check     alias for diff (reads naturally in CI: `inspect check golden new`)
+//
+// Exit codes: 0 success / no divergence, 1 divergence or runtime error,
+// 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/runner.hpp"
+#include "core/study.hpp"
+#include "machine/machine.hpp"
+#include "mfact/classify.hpp"
+#include "obs/inspect.hpp"
+#include "obs/ledger.hpp"
+#include "obs/timeline.hpp"
+#include "simmpi/replayer.hpp"
+#include "workloads/corpus.hpp"
+
+namespace {
+
+using namespace hps;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hpcsweep_inspect <subcommand> [args]\n"
+      "\n"
+      "  run --out <ledger.jsonl> [--limit N] [--duration-scale X] [--seed S]\n"
+      "      [--threads N] [--cache <path>]\n"
+      "      Run the corpus study (all four schemes) and append its ledger.\n"
+      "\n"
+      "  timeline --spec N --scheme mfact|packet|flow|packet-flow --out <trace.json>\n"
+      "      [--duration-scale X] [--seed S]\n"
+      "      Replay corpus trace N under one scheme, recording per-rank (and\n"
+      "      per-link) intervals in virtual time; write Chrome trace_event JSON\n"
+      "      loadable in chrome://tracing or ui.perfetto.dev.\n"
+      "\n"
+      "  top <ledger.jsonl> [--n 10]\n"
+      "      The N most model-divergent (trace, scheme) pairs, with per-component\n"
+      "      virtual-time attribution next to MFACT's decomposition.\n"
+      "\n"
+      "  accuracy <ledger.jsonl> [--threshold 0.02]\n"
+      "      Per-(app, scheme) accuracy: mean/max DIFF_total, share within\n"
+      "      threshold.\n"
+      "\n"
+      "  diff|check <before.jsonl> <after.jsonl> [--tolerance 0.02]\n"
+      "      [--wall-tolerance X] [--max-report N]\n"
+      "      Record-by-record regression diff; exits 1 when any prediction moved\n"
+      "      beyond tolerance or records appear/disappear.\n");
+  return 2;
+}
+
+bool want(const char* arg, const char* name) { return std::strcmp(arg, name) == 0; }
+
+/// Parse "--flag value" pairs; returns false (usage error) on an unknown flag
+/// or a flag missing its value.
+struct Flags {
+  std::vector<std::string> positional;
+  bool ok = true;
+
+  std::string out;
+  std::string cache;
+  int limit = 0;
+  int spec = -1;
+  int threads = 0;
+  std::size_t n = 10;
+  std::uint64_t seed = 42;
+  double duration_scale = 0.1;
+  double threshold = 0.02;
+  std::string scheme;
+  obs::DiffOptions diff;
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags f;
+  for (int i = first; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        f.ok = false;
+        return "";
+      }
+      return argv[++i];
+    };
+    if (want(a, "--out")) {
+      f.out = next();
+    } else if (want(a, "--cache")) {
+      f.cache = next();
+    } else if (want(a, "--limit")) {
+      f.limit = std::atoi(next());
+    } else if (want(a, "--spec")) {
+      f.spec = std::atoi(next());
+    } else if (want(a, "--threads")) {
+      f.threads = std::atoi(next());
+    } else if (want(a, "--n")) {
+      f.n = static_cast<std::size_t>(std::atoll(next()));
+    } else if (want(a, "--seed")) {
+      f.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (want(a, "--duration-scale")) {
+      f.duration_scale = std::atof(next());
+    } else if (want(a, "--threshold")) {
+      f.threshold = std::atof(next());
+    } else if (want(a, "--scheme")) {
+      f.scheme = next();
+    } else if (want(a, "--tolerance")) {
+      f.diff.tolerance = std::atof(next());
+    } else if (want(a, "--wall-tolerance")) {
+      f.diff.wall_tolerance = std::atof(next());
+    } else if (want(a, "--max-report")) {
+      f.diff.max_report = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      f.ok = false;
+    } else {
+      f.positional.push_back(a);
+    }
+  }
+  return f;
+}
+
+int cmd_run(const Flags& f) {
+  if (f.out.empty()) {
+    std::fprintf(stderr, "run: --out <ledger.jsonl> is required\n");
+    return 2;
+  }
+  core::StudyOptions opts;
+  opts.corpus.seed = f.seed;
+  opts.corpus.duration_scale = f.duration_scale;
+  opts.corpus.limit = f.limit;
+  opts.threads = f.threads;
+  opts.cache_path = f.cache;  // empty = always compute, so the ledger appends
+  opts.ledger_path = f.out;
+  opts.progress = true;
+  const core::StudyResult res = core::run_study(opts);
+  std::printf("ran %zu traces (%zu ledger records) in %.1f s -> %s\n",
+              res.outcomes.size(),
+              res.outcomes.size() * static_cast<std::size_t>(core::Scheme::kNumSchemes),
+              res.wall_seconds, f.out.c_str());
+  return 0;
+}
+
+int cmd_timeline(const Flags& f) {
+  if (f.spec < 0 || f.out.empty() || f.scheme.empty()) {
+    std::fprintf(stderr, "timeline: --spec, --scheme and --out are required\n");
+    return 2;
+  }
+  workloads::CorpusOptions co;
+  co.seed = f.seed;
+  co.duration_scale = f.duration_scale;
+  const auto specs = workloads::build_corpus_specs(co);
+  if (f.spec >= static_cast<int>(specs.size())) {
+    std::fprintf(stderr, "timeline: --spec %d out of range (corpus has %zu specs)\n",
+                 f.spec, specs.size());
+    return 2;
+  }
+  const trace::Trace t = workloads::generate_spec(specs[static_cast<std::size_t>(f.spec)]);
+  const machine::MachineConfig mc = machine::machine_by_name(t.meta().machine);
+
+  obs::TimelineRecorder rec;
+  SimTime predicted = 0;
+  if (f.scheme == "mfact") {
+    mfact::ClassifyParams cp;
+    cp.mfact.timeline = &rec;
+    const auto cl =
+        mfact::classify(t, mc.net.link_bandwidth, mc.net.end_to_end_latency, cp);
+    predicted = cl.sweep[mfact::kSweepBase].total_time;
+  } else {
+    simmpi::NetModelKind kind;
+    if (f.scheme == "packet") {
+      kind = simmpi::NetModelKind::kPacket;
+    } else if (f.scheme == "flow") {
+      kind = simmpi::NetModelKind::kFlow;
+    } else if (f.scheme == "packet-flow") {
+      kind = simmpi::NetModelKind::kPacketFlow;
+    } else {
+      std::fprintf(stderr, "timeline: bad --scheme %s\n", f.scheme.c_str());
+      return 2;
+    }
+    simmpi::ReplayConfig rc;
+    rc.timeline = &rec;
+    const machine::MachineInstance mi(mc, t.nranks(), t.meta().ranks_per_node);
+    const auto rr = simmpi::replay_trace(t, mi, kind, rc);
+    predicted = rr.total_time;
+  }
+
+  std::ofstream os(f.out);
+  if (!os.is_open()) {
+    std::fprintf(stderr, "timeline: cannot write %s\n", f.out.c_str());
+    return 1;
+  }
+  rec.write_chrome_trace(os);
+  std::printf("spec %d (%s, %d ranks, %s) under %s: predicted %.6f s, "
+              "%zu intervals (%llu dropped) -> %s\n",
+              f.spec, t.meta().app.c_str(), t.nranks(), t.meta().machine.c_str(),
+              f.scheme.c_str(), time_to_seconds(predicted), rec.intervals().size(),
+              static_cast<unsigned long long>(rec.dropped()), f.out.c_str());
+  return 0;
+}
+
+int cmd_top(const Flags& f) {
+  if (f.positional.size() != 1) {
+    std::fprintf(stderr, "top: expected one ledger path\n");
+    return 2;
+  }
+  const auto records = obs::load_ledger(f.positional[0]);
+  const auto top = obs::top_divergent(records, f.n);
+  obs::render_top(std::cout, top);
+  return 0;
+}
+
+int cmd_accuracy(const Flags& f) {
+  if (f.positional.size() != 1) {
+    std::fprintf(stderr, "accuracy: expected one ledger path\n");
+    return 2;
+  }
+  const auto records = obs::load_ledger(f.positional[0]);
+  obs::render_accuracy(std::cout, records, f.threshold);
+  return 0;
+}
+
+int cmd_diff(const Flags& f) {
+  if (f.positional.size() != 2) {
+    std::fprintf(stderr, "diff: expected <before.jsonl> <after.jsonl>\n");
+    return 2;
+  }
+  const auto before = obs::load_ledger(f.positional[0]);
+  const auto after = obs::load_ledger(f.positional[1]);
+  const auto result = obs::diff_ledgers(before, after, f.diff);
+  obs::render_diff(std::cout, result, f.diff);
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* cmd = argv[1];
+  const Flags f = parse_flags(argc, argv, 2);
+  if (!f.ok) return usage();
+  try {
+    if (want(cmd, "run")) return cmd_run(f);
+    if (want(cmd, "timeline")) return cmd_timeline(f);
+    if (want(cmd, "top")) return cmd_top(f);
+    if (want(cmd, "accuracy")) return cmd_accuracy(f);
+    if (want(cmd, "diff") || want(cmd, "check")) return cmd_diff(f);
+  } catch (const hps::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown subcommand: %s\n", cmd);
+  return usage();
+}
