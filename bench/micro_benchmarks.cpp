@@ -9,9 +9,11 @@
 
 #include "common/rng.hpp"
 #include "des/engine.hpp"
+#include "des/event_queue.hpp"
 #include "machine/machine.hpp"
 #include "mfact/model.hpp"
 #include "simmpi/replayer.hpp"
+#include "simnet/flow_model.hpp"
 #include "simnet/packet_model.hpp"
 #include "simnet/packetflow_model.hpp"
 #include "stats/logistic.hpp"
@@ -41,6 +43,23 @@ void BM_EngineScheduleDispatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_EngineScheduleDispatch)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 18);
+
+// --- Event queue alone: push+pop throughput (events/sec). -------------------
+// The small arg stays in the binary-heap regime, the large ones exercise the
+// calendar windows, so a regression in either mode shows up separately.
+void BM_EventQueuePushPop(benchmark::State& state) {
+  NullHandler h;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(7);
+  des::EventQueue q;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < n; ++i)
+      q.push(static_cast<SimTime>(rng.uniform_u64(1 << 20)), &h, 0, 0);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 6)->Arg(1 << 13)->Arg(1 << 17);
 
 // --- Topology routing. ------------------------------------------------------
 template <typename MakeTopo>
@@ -87,6 +106,7 @@ void net_bench(benchmark::State& state) {
   cfg.injection_bandwidth = 2e10;
   Rng rng(3);
   const int msgs = static_cast<int>(state.range(0));
+  std::uint64_t packets = 0;  // items = packets, the models' unit of work
   for (auto _ : state) {
     des::Engine eng;
     Sink sink;
@@ -96,8 +116,12 @@ void net_bench(benchmark::State& state) {
                    static_cast<NodeId>(rng.uniform_u64(64)),
                    static_cast<NodeId>(rng.uniform_u64(64)), 16 * 1024);
     eng.run();
+    packets += model.stats().packets;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(msgs) * state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.counters["msgs"] = benchmark::Counter(
+      static_cast<double>(msgs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
 }
 
 void BM_PacketModel(benchmark::State& state) { net_bench<simnet::PacketModel>(state); }
@@ -107,6 +131,38 @@ void BM_PacketFlowModel(benchmark::State& state) {
   net_bench<simnet::PacketFlowModel>(state);
 }
 BENCHMARK(BM_PacketFlowModel)->Arg(512)->Arg(4096);
+
+// --- Flow model: incremental ripple throughput (re-rate iterations/sec). ----
+void BM_FlowRipple(benchmark::State& state) {
+  class Sink final : public simnet::MessageSink {
+   public:
+    void message_delivered(simnet::MsgId, SimTime) override {}
+  };
+  topo::Torus3D topo(4, 4, 4);
+  simnet::NetConfig cfg;
+  cfg.message_bandwidth = 1.25e9;
+  cfg.link_bandwidth = 1.25e10;
+  cfg.injection_bandwidth = 2e10;
+  Rng rng(9);
+  const int msgs = static_cast<int>(state.range(0));
+  std::uint64_t ripples = 0;
+  for (auto _ : state) {
+    des::Engine eng;
+    Sink sink;
+    simnet::FlowModel model(eng, topo, cfg, sink);
+    for (int i = 0; i < msgs; ++i)
+      model.inject(static_cast<simnet::MsgId>(i),
+                   static_cast<NodeId>(rng.uniform_u64(64)),
+                   static_cast<NodeId>(rng.uniform_u64(64)), 256 * 1024);
+    eng.run();
+    ripples += model.stats().ripple_iterations;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ripples));
+  state.counters["msgs"] = benchmark::Counter(
+      static_cast<double>(msgs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlowRipple)->Arg(256)->Arg(2048);
 
 // --- MFACT: trace events per second and multi-config scaling. ---------------
 void BM_MfactReplay(benchmark::State& state) {

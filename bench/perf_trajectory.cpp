@@ -1,0 +1,165 @@
+// Perf-trajectory harness: the simulator-cost half of the paper's trade-off
+// (§V-B tool time) as a CI-gateable number. Runs the small smoke corpus
+// through all four schemes single-threaded, takes the per-scheme minimum of
+// summed host wall time over a few repeats (minimum, not mean: scheduling
+// noise only ever adds time), and emits BENCH_study.json. With --check it
+// instead compares a fresh measurement against a committed baseline and
+// fails on regression, so hot-path changes keep their speedups honest.
+//
+// Usage:
+//   perf_trajectory [--out BENCH_study.json] [--repeats 3]
+//                   [--check ci/BENCH_baseline.json] [--tolerance 0.25]
+//                   [--limit 12] [--scale 0.25]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace {
+
+using namespace hps;
+
+constexpr int kNumSchemes = static_cast<int>(core::Scheme::kNumSchemes);
+
+struct Measurement {
+  double wall[kNumSchemes] = {};  // per-scheme summed wall over the corpus
+  double total = 0;               // end-to-end study wall (best repeat)
+};
+
+Measurement measure(int repeats, int limit, double scale) {
+  Measurement best;
+  for (int si = 0; si < kNumSchemes; ++si) best.wall[si] = 1e300;
+  best.total = 1e300;
+  for (int rep = 0; rep < repeats; ++rep) {
+    core::StudyOptions opts;
+    opts.corpus.limit = limit;
+    opts.corpus.duration_scale = scale;
+    opts.threads = 1;  // single-threaded: wall times are per-scheme sums
+    const core::StudyResult res = core::run_study(opts);
+    double wall[kNumSchemes] = {};
+    for (const core::TraceOutcome& o : res.outcomes)
+      for (int si = 0; si < kNumSchemes; ++si) wall[si] += o.scheme[si].wall_seconds;
+    for (int si = 0; si < kNumSchemes; ++si) best.wall[si] = std::min(best.wall[si], wall[si]);
+    best.total = std::min(best.total, res.wall_seconds);
+  }
+  return best;
+}
+
+std::string to_json(const Measurement& m, int repeats, int limit, double scale) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"schema\": 1,\n"
+     << "  \"corpus_limit\": " << limit << ",\n"
+     << "  \"duration_scale\": " << scale << ",\n"
+     << "  \"threads\": 1,\n"
+     << "  \"repeats\": " << repeats << ",\n"
+     << "  \"wall_seconds\": {";
+  for (int si = 0; si < kNumSchemes; ++si)
+    os << (si ? ", " : "") << '"' << core::scheme_name(static_cast<core::Scheme>(si))
+       << "\": " << m.wall[si];
+  os << "},\n"
+     << "  \"total_wall_seconds\": " << m.total << "\n"
+     << "}\n";
+  return os.str();
+}
+
+/// Value of `"key": <number>` in a flat-enough JSON text; -1 when absent.
+/// The baseline files are written by this binary, so a targeted scan beats
+/// carrying a JSON library for one nested object.
+double find_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+int check_against(const Measurement& m, const std::string& baseline_path, double tolerance) {
+  std::ifstream is(baseline_path);
+  if (!is.is_open()) {
+    std::fprintf(stderr, "perf_trajectory: cannot open baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string base = buf.str();
+
+  int failures = 0;
+  std::printf("%-12s %10s %10s %9s   %s\n", "scheme", "baseline", "now", "ratio", "status");
+  for (int si = 0; si < kNumSchemes; ++si) {
+    const char* name = core::scheme_name(static_cast<core::Scheme>(si));
+    const double ref = find_number(base, name);
+    if (ref <= 0) {
+      std::printf("%-12s %10s %10.3f %9s   skipped (no baseline)\n", name, "-", m.wall[si], "-");
+      continue;
+    }
+    const double ratio = m.wall[si] / ref;
+    const bool ok = ratio <= 1.0 + tolerance;
+    if (!ok) ++failures;
+    std::printf("%-12s %10.3f %10.3f %8.2fx   %s\n", name, ref, m.wall[si], ratio,
+                ok ? "ok" : "REGRESSION");
+  }
+  if (failures > 0) {
+    std::printf("FAIL: %d scheme(s) regressed beyond %.0f%%\n", failures, tolerance * 100);
+    return 1;
+  }
+  std::printf("OK: all schemes within %.0f%% of baseline\n", tolerance * 100);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_study.json";
+  std::string check_path;
+  double tolerance = 0.25;
+  int repeats = 3;
+  int limit = 12;
+  double scale = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return static_cast<const char*>(nullptr);
+      if (++i >= argc) {
+        std::fprintf(stderr, "perf_trajectory: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return static_cast<const char*>(argv[i]);
+    };
+    if (const char* v = arg("--out")) out_path = v;
+    else if (const char* v = arg("--check")) check_path = v;
+    else if (const char* v = arg("--tolerance")) tolerance = std::strtod(v, nullptr);
+    else if (const char* v = arg("--repeats")) repeats = std::atoi(v);
+    else if (const char* v = arg("--limit")) limit = std::atoi(v);
+    else if (const char* v = arg("--scale")) scale = std::strtod(v, nullptr);
+    else {
+      std::fprintf(stderr, "perf_trajectory: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (repeats < 1 || limit < 1 || scale <= 0 || tolerance < 0) {
+    std::fprintf(stderr, "perf_trajectory: invalid options\n");
+    return 2;
+  }
+
+  const Measurement m = measure(repeats, limit, scale);
+  const std::string json = to_json(m, repeats, limit, scale);
+  {
+    std::ofstream os(out_path);
+    if (!os.is_open()) {
+      std::fprintf(stderr, "perf_trajectory: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    os << json;
+  }
+  std::printf("%s", json.c_str());
+  std::printf("wrote %s (min over %d repeat(s))\n", out_path.c_str(), repeats);
+
+  if (!check_path.empty()) return check_against(m, check_path, tolerance);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Open-addressing hash map for simulator hot paths.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hps {
+
+/// Multiplicative mixer for integral keys whose low bits are structured
+/// (packed rank/tag words, sequence numbers).
+struct Mix64Hash {
+  std::size_t operator()(std::uint64_t x) const {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Linear-probing hash map over one contiguous slot array: no per-node
+/// allocation (the std::unordered_map cost this replaces), and erase uses
+/// backward-shift deletion instead of tombstones, so heavy insert/erase
+/// churn — one match record per message in the replayer — cannot degrade
+/// probe lengths over a run. Capacity is a power of two and only grows;
+/// clear() keeps it. Iteration order is unspecified and pointers are
+/// invalidated by rehash, like the standard containers.
+template <typename K, typename V, typename H>
+class FlatMap {
+ public:
+  /// Value for `key`, default-constructed on first access.
+  V& operator[](const K& key) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+    std::size_t i = probe(key);
+    if (!used_[i]) {
+      used_[i] = 1;
+      ++size_;
+      slots_[i].first = key;
+      slots_[i].second = V{};
+    }
+    return slots_[i].second;
+  }
+
+  /// Pointer to the mapped value, or nullptr when absent.
+  V* find(const K& key) {
+    if (size_ == 0) return nullptr;
+    const std::size_t i = probe(key);
+    return used_[i] ? &slots_[i].second : nullptr;
+  }
+
+  /// Mapped value; the key must be present.
+  V& at(const K& key) {
+    V* v = find(key);
+    HPS_CHECK_MSG(v != nullptr, "FlatMap::at: key not present");
+    return *v;
+  }
+
+  /// Remove `key` if present; returns whether it was. Backward-shifts the
+  /// displaced tail of the probe chain, leaving no tombstone.
+  bool erase(const K& key) {
+    if (size_ == 0) return false;
+    std::size_t i = probe(key);
+    if (!used_[i]) return false;
+    --size_;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t j = i;
+    for (;;) {
+      used_[i] = 0;
+      std::size_t home;
+      do {
+        j = (j + 1) & mask;
+        if (!used_[j]) return true;
+        home = H{}(slots_[j].first) & mask;
+        // Keep scanning while slot j's home lies cyclically inside (i, j]:
+        // such an entry cannot move back past its home position.
+      } while (i <= j ? (i < home && home <= j) : (i < home || home <= j));
+      slots_[i] = std::move(slots_[j]);
+      used_[i] = 1;
+      i = j;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drop all entries but keep the slot array's capacity.
+  void clear() {
+    std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+ private:
+  /// Index of `key`'s slot, or of the empty slot where it would go.
+  std::size_t probe(const K& key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = H{}(key) & mask;
+    while (used_[i] && !(slots_[i].first == key)) i = (i + 1) & mask;
+    return i;
+  }
+
+  void grow() {
+    const std::size_t new_cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<std::pair<K, V>> old_slots(new_cap);
+    std::vector<std::uint8_t> old_used(new_cap, 0);
+    old_slots.swap(slots_);
+    old_used.swap(used_);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      const std::size_t j = probe(old_slots[i].first);
+      slots_[j] = std::move(old_slots[i]);
+      used_[j] = 1;
+    }
+  }
+
+  std::vector<std::pair<K, V>> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hps

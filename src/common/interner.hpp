@@ -1,0 +1,44 @@
+// String interner: dense stable ids for repeated small strings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace hps {
+
+/// Maps each distinct string to a dense uint32 id and keeps one canonical
+/// copy with a stable address. Study bookkeeping and ledger analysis key
+/// maps by (app, machine, scheme, ...) over thousands of records drawn from
+/// a few dozen distinct names — comparing interned ids replaces repeated
+/// string hashing and comparison, and every repeat shares one allocation.
+class StringInterner {
+ public:
+  /// Id of `s`, interning it on first sight.
+  std::uint32_t id(std::string_view s) {
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    strings_.emplace_back(s);
+    const auto new_id = static_cast<std::uint32_t>(strings_.size() - 1);
+    index_.emplace(strings_.back(), new_id);
+    return new_id;
+  }
+
+  /// Canonical copy of `s` (interning it on first sight). The reference
+  /// stays valid for the interner's lifetime.
+  const std::string& intern(std::string_view s) { return strings_[id(s)]; }
+
+  /// String for a previously returned id.
+  const std::string& str(std::uint32_t id) const { return strings_[id]; }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;  // deque: growth never moves elements
+  // Views point into strings_; safe because entries are never removed.
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace hps

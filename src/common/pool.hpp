@@ -1,0 +1,48 @@
+// Free-list index pool shared by the simulators' hot paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hps {
+
+/// Slab of reusable slots addressed by dense 32-bit indices: alloc() pops the
+/// free list or grows the slab, release() pushes the slot back. Slots are
+/// never destroyed between uses, so per-slot containers (routes, payloads)
+/// keep their heap capacity across recycling — after warm-up a simulator
+/// allocates nothing per message or packet. Indices stay valid across
+/// alloc()/release(), which is what lets clients link slots into intrusive
+/// lists.
+template <typename T>
+class IndexPool {
+ public:
+  std::uint32_t alloc() {
+    if (!free_.empty()) {
+      const std::uint32_t i = free_.back();
+      free_.pop_back();
+      return i;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  void release(std::uint32_t i) { free_.push_back(i); }
+
+  T& operator[](std::uint32_t i) { return slots_[i]; }
+  const T& operator[](std::uint32_t i) const { return slots_[i]; }
+
+  /// Slots currently allocated (slab size minus free-list length).
+  std::size_t live() const { return slots_.size() - free_.size(); }
+  /// Total slots ever created (high-water mark of live()).
+  std::size_t capacity() const { return slots_.size(); }
+
+  void clear() {
+    slots_.clear();
+    free_.clear();
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace hps

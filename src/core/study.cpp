@@ -146,7 +146,10 @@ std::optional<std::vector<TraceOutcome>> load_outcomes(const std::string& path,
     out.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_outcome(is));
     return out;
-  } catch (const Error&) {
+  } catch (const std::exception&) {
+    // Treat any read failure as a cache miss, not just hps::Error: a
+    // truncated or bit-flipped file can also surface as std::bad_alloc or
+    // std::length_error from a corrupt length prefix.
     return std::nullopt;
   }
 }

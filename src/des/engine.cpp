@@ -11,11 +11,11 @@ class Engine::FnHandler final : public Handler {
  public:
   explicit FnHandler(Engine& eng) : eng_(eng) {}
   void handle(Engine&, std::uint64_t a, std::uint64_t) override {
-    auto& slot = eng_.pending_fns_[a];
-    HPS_CHECK(slot != nullptr);
-    auto fn = std::move(slot);
-    slot.reset();
-    (*fn)();
+    auto fn = std::move(eng_.pending_fns_[a]);
+    HPS_CHECK(static_cast<bool>(fn));
+    eng_.pending_fns_[a] = nullptr;
+    eng_.free_fn_slots_.push_back(static_cast<std::size_t>(a));
+    fn();
   }
 
  private:
@@ -60,61 +60,48 @@ void Engine::flush_telemetry() {
   }
 }
 
-void Engine::push(Ev ev) {
-  heap_.push_back(ev);
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  max_queue_depth_.record(heap_.size());
-}
-
-Engine::Ev Engine::pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Ev ev = heap_.back();
-  heap_.pop_back();
-  return ev;
-}
-
 void Engine::schedule_at(SimTime t, Handler* h, std::uint64_t a, std::uint64_t b) {
   HPS_CHECK_MSG(t >= now_, "cannot schedule into the past");
   HPS_CHECK(h != nullptr);
-  push({t, next_seq_++, h, a, b});
+  queue_.push(t, h, a, b);
+  max_queue_depth_.record(queue_.size());
   events_scheduled_.add();
 }
 
 void Engine::schedule_fn_at(SimTime t, std::function<void()> fn) {
   if (!fn_handler_) fn_handler_ = std::make_unique<FnHandler>(*this);
-  // Reuse an empty slot if available to bound growth in long runs.
-  std::size_t idx = pending_fns_.size();
-  for (std::size_t i = 0; i < pending_fns_.size(); ++i) {
-    if (!pending_fns_[i]) {
-      idx = i;
-      break;
-    }
+  std::size_t idx;
+  if (!free_fn_slots_.empty()) {
+    idx = free_fn_slots_.back();
+    free_fn_slots_.pop_back();
+  } else {
+    idx = pending_fns_.size();
+    pending_fns_.emplace_back();
   }
-  if (idx == pending_fns_.size()) pending_fns_.emplace_back();
-  pending_fns_[idx] = std::make_unique<std::function<void()>>(std::move(fn));
+  pending_fns_[idx] = std::move(fn);
   schedule_at(t, fn_handler_.get(), idx, 0);
 }
 
-void Engine::dispatch(const Ev& ev) {
+void Engine::dispatch(const QueuedEvent& ev) {
   now_ = ev.t;
   events_processed_.add();
   ev.h->handle(*this, ev.a, ev.b);
 }
 
 SimTime Engine::run() {
-  while (!heap_.empty()) dispatch(pop());
+  while (!queue_.empty()) dispatch(queue_.pop());
   flush_telemetry();
   return now_;
 }
 
 bool Engine::run_until(SimTime t_limit) {
   bool drained = true;
-  while (!heap_.empty()) {
-    if (heap_.front().t > t_limit) {
+  while (!queue_.empty()) {
+    if (queue_.next_time() > t_limit) {
       drained = false;
       break;
     }
-    dispatch(pop());
+    dispatch(queue_.pop());
   }
   flush_telemetry();
   return drained;
@@ -122,10 +109,10 @@ bool Engine::run_until(SimTime t_limit) {
 
 void Engine::reset() {
   flush_telemetry();
-  heap_.clear();
+  queue_.clear();
   pending_fns_.clear();
+  free_fn_slots_.clear();
   now_ = 0;
-  next_seq_ = 0;
   events_processed_.reset();
   events_scheduled_.reset();
   max_queue_depth_.reset();

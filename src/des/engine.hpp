@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "des/event_queue.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hps::obs {
@@ -79,7 +80,7 @@ class Engine {
   /// offending event left unprocessed).
   bool run_until(SimTime t_limit);
 
-  bool empty() const { return heap_.empty(); }
+  bool empty() const { return queue_.empty(); }
 
   /// Current statistics as a value snapshot.
   EngineStats stats() const {
@@ -104,25 +105,14 @@ class Engine {
   void set_recorder(obs::TimelineRecorder* rec) { recorder_ = rec; }
 
  private:
-  struct Ev {
-    SimTime t;
-    std::uint64_t seq;  // tie-break for determinism
-    Handler* h;
-    std::uint64_t a, b;
-  };
-  // Min-heap on (t, seq).
-  static bool later(const Ev& x, const Ev& y) {
-    return x.t > y.t || (x.t == y.t && x.seq > y.seq);
-  }
-  void push(Ev ev);
-  Ev pop();
-  void dispatch(const Ev& ev);
+  void dispatch(const QueuedEvent& ev);
 
   class FnHandler;
 
-  std::vector<Ev> heap_;
+  // Calendar/bucket queue of pending events (see event_queue.hpp); events
+  // fire in (time, push sequence) order.
+  EventQueue queue_;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
   // Single-writer telemetry counters: plain increments on the hot path,
   // flushed as deltas into the shared registry at run boundaries.
   telemetry::LocalCounter events_processed_;
@@ -130,7 +120,10 @@ class Engine {
   telemetry::LocalMax max_queue_depth_;
   SimTime flushed_sim_time_ = 0;
   obs::TimelineRecorder* recorder_ = nullptr;
-  std::vector<std::unique_ptr<std::function<void()>>> pending_fns_;
+  // Pooled one-shot callables for schedule_fn_*: slots are recycled through
+  // a free list, so steady-state scheduling performs no allocation.
+  std::vector<std::function<void()>> pending_fns_;
+  std::vector<std::size_t> free_fn_slots_;
   std::unique_ptr<FnHandler> fn_handler_;
 };
 

@@ -1,0 +1,62 @@
+#include "des/event_queue.hpp"
+
+#include <bit>
+
+namespace hps::des {
+
+void EventQueue::rebuild_window() {
+  // All pending events now live in heap_. Decide whether a bucket window is
+  // worthwhile and, if so, size it from the population: bucket width ~= the
+  // mean gap (so in-window buckets average about one event), bucket count ~=
+  // half the population (so the window absorbs roughly half the events and
+  // rebuilds amortize to O(1) per pop).
+  const std::size_t n = heap_.size();
+  if (n < kCalendarOff) {
+    calendar_ = false;
+    return;
+  }
+  SimTime lo = heap_.front().t;  // heap root = earliest
+  SimTime hi = lo;
+  for (const QueuedEvent& ev : heap_) hi = std::max(hi, ev.t);
+
+  // Bucket width: the mean inter-event gap, rounded up to a power of two so
+  // the bucket mapping is a shift, and capped so a far-future outlier cannot
+  // blow up the resolution for the near events.
+  const auto span = static_cast<std::uint64_t>(hi - lo);
+  const std::uint64_t width = std::max<std::uint64_t>(span / n, 1);
+  shift_ = width <= 1 ? 0 : std::min<int>(std::bit_width(width - 1), kMaxWidthShift);
+
+  num_buckets_ = std::bit_ceil(std::clamp<std::size_t>(n / 2, 64, kMaxBuckets));
+  if (buckets_.size() < num_buckets_) buckets_.resize(num_buckets_);
+
+  win_start_ = lo;
+  cur_ = 0;
+  const auto extent = static_cast<std::uint64_t>(num_buckets_) << shift_;
+  const auto headroom = static_cast<std::uint64_t>(kSimTimeMax - lo);
+  win_end_ = extent >= headroom ? kSimTimeMax : lo + static_cast<SimTime>(extent);
+
+  // Partition the heap storage: in-window events scatter into buckets, the
+  // remainder re-forms the far heap. A saturated window takes everything.
+  std::size_t keep = 0;
+  for (QueuedEvent& ev : heap_) {
+    if (ev.t < win_end_ || win_end_ == kSimTimeMax)
+      buckets_[bucket_of(ev.t)].push_back(ev);
+    else
+      heap_[keep++] = ev;
+  }
+  heap_.resize(keep);
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  cur_sorted_ = false;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  for (auto& b : buckets_) b.clear();
+  calendar_ = false;
+  size_ = 0;
+  next_seq_ = 0;
+  cur_ = 0;
+  cur_sorted_ = false;
+}
+
+}  // namespace hps::des

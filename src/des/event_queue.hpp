@@ -1,0 +1,214 @@
+// Pending-event set of the DES engine: a two-level calendar/bucket queue.
+//
+// Events pop in (time, sequence) order — sequence is assigned at push, so
+// equal-time events come back FIFO and every drain is exactly reproducible.
+// The structure adapts to the event population:
+//
+//   * Small or sparse populations use a plain binary heap (the classic
+//     std::priority_queue layout): O(log n) but with tiny constants and no
+//     tuning hazard when events are spread over an arbitrary horizon.
+//   * Dense populations switch to a calendar: a ring of buckets, each
+//     covering a fixed slice of simulated time, sized at each window rebuild
+//     so the in-window population averages about one event per bucket.
+//     Pushes into the window are O(1) appends; pops sort one bucket at a
+//     time. Events beyond the window overflow into the far heap (the second
+//     level) and migrate in at the next rebuild, so a handful of far-future
+//     events — timeouts, kSimTimeMax sentinels — cannot stretch the bucket
+//     width and ruin the near events' distribution.
+//
+// The pop order is a pure function of the (time, sequence) pairs pushed:
+// bucket boundaries, mode switches and rebuild instants cannot reorder
+// events, which the differential test in tests/test_event_queue.cpp checks
+// against a reference std::priority_queue.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hps::des {
+
+class Handler;
+
+/// One scheduled event. `seq` is the global push counter used to break time
+/// ties; `h` and the payload words are opaque to the queue.
+struct QueuedEvent {
+  SimTime t = 0;
+  std::uint64_t seq = 0;
+  Handler* h = nullptr;
+  std::uint64_t a = 0, b = 0;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // The push/pop/next_time hot paths are defined inline below the class:
+  // they run once per simulated event, and the call overhead of an
+  // out-of-line definition is measurable against their short bodies.
+
+  /// Enqueue an event; the queue assigns the FIFO tie-break sequence.
+  void push(SimTime t, Handler* h, std::uint64_t a, std::uint64_t b);
+
+  /// Remove and return the earliest event (min (t, seq)). Precondition:
+  /// !empty().
+  QueuedEvent pop();
+
+  /// Time of the earliest event without removing it. Precondition: !empty().
+  /// May advance internal cursors (lazy bucket sorting), hence non-const.
+  SimTime next_time();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Drop all pending events and reset the sequence counter to zero.
+  void clear();
+
+ private:
+  // Ordering predicate: true if `x` fires after `y`. Used directly for the
+  // std::*_heap family (max-heap on "fires later" == min-heap on fire order)
+  // and for the descending in-bucket sort (earliest at the back).
+  static bool later(const QueuedEvent& x, const QueuedEvent& y) {
+    return x.t > y.t || (x.t == y.t && x.seq > y.seq);
+  }
+
+  void heap_push(QueuedEvent ev);
+  QueuedEvent heap_pop();
+  /// Ring index for time `t`, clamped to [cur_, num_buckets_). Valid only in
+  /// calendar mode.
+  std::size_t bucket_of(SimTime t) const;
+  /// Move to the next nonempty bucket (rebuilding the window from the far
+  /// heap when the ring is exhausted) and sort it if needed. Precondition:
+  /// !empty(). Returns false if the rebuild fell back to heap mode.
+  bool prepare_front();
+  /// Recompute the bucket window from the far heap's population, or fall
+  /// back to heap mode when it is too small to be worth bucketing.
+  void rebuild_window();
+  void bucket_insert(QueuedEvent ev);
+
+  // Tuning. Switch to the calendar above kCalendarOn pending events; a
+  // window rebuild reverts to the heap below kCalendarOff. The bucket count
+  // tracks the population (capped), the width tracks the mean gap (capped so
+  // a far outlier cannot zero out the resolution).
+  static constexpr std::size_t kCalendarOn = 128;
+  static constexpr std::size_t kCalendarOff = 64;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 16;
+  static constexpr int kMaxWidthShift = 32;
+
+  bool calendar_ = false;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+  // Heap-mode storage; in calendar mode, the far (beyond-window) overflow.
+  std::vector<QueuedEvent> heap_;
+
+  // Calendar state (valid only when calendar_):
+  std::vector<std::vector<QueuedEvent>> buckets_;  // ring, cleared not freed
+  std::size_t num_buckets_ = 0;                    // power of two
+  int shift_ = 0;                                  // bucket width = 1 << shift_
+  SimTime win_start_ = 0;
+  SimTime win_end_ = 0;
+  std::size_t cur_ = 0;        // bucket holding the earliest event
+  bool cur_sorted_ = false;    // bucket cur_ is sorted descending by (t, seq)
+};
+
+inline void EventQueue::heap_push(QueuedEvent ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+inline QueuedEvent EventQueue::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  QueuedEvent ev = heap_.back();
+  heap_.pop_back();
+  return ev;
+}
+
+inline std::size_t EventQueue::bucket_of(SimTime t) const {
+  if (t < win_start_) return cur_;  // non-monotone push: keep it poppable first
+  const auto off = static_cast<std::uint64_t>(t - win_start_) >> shift_;
+  // A saturated window (win_end_ == kSimTimeMax) folds the tail into the
+  // last bucket; ordering is restored by the per-bucket sort.
+  const std::size_t idx = std::min(static_cast<std::size_t>(off), num_buckets_ - 1);
+  return std::max(idx, cur_);
+}
+
+inline void EventQueue::bucket_insert(QueuedEvent ev) {
+  const std::size_t idx = bucket_of(ev.t);
+  std::vector<QueuedEvent>& b = buckets_[idx];
+  if (idx != cur_ || !cur_sorted_ || b.empty() || later(b.back(), ev)) {
+    // Untouched buckets take unsorted appends. The front bucket is kept
+    // sorted descending (earliest at the back), but an event firing before
+    // the current earliest — the common "schedule at now + epsilon" case —
+    // also appends, since it becomes the new back.
+    b.push_back(ev);
+  } else {
+    b.insert(std::upper_bound(b.begin(), b.end(), ev, later), ev);
+  }
+}
+
+inline void EventQueue::push(SimTime t, Handler* h, std::uint64_t a, std::uint64_t b) {
+  const QueuedEvent ev{t, next_seq_++, h, a, b};
+  ++size_;
+  if (!calendar_) {
+    heap_push(ev);
+    if (size_ > kCalendarOn) {
+      calendar_ = true;
+      rebuild_window();
+    }
+    return;
+  }
+  if (t >= win_end_)
+    heap_push(ev);
+  else
+    bucket_insert(ev);
+}
+
+inline SimTime EventQueue::next_time() {
+  HPS_CHECK(size_ > 0);
+  if (calendar_ && prepare_front()) return buckets_[cur_].back().t;
+  return heap_.front().t;
+}
+
+inline QueuedEvent EventQueue::pop() {
+  HPS_CHECK(size_ > 0);
+  --size_;
+  QueuedEvent ev;
+  if (calendar_ && prepare_front()) {
+    ev = buckets_[cur_].back();
+    buckets_[cur_].pop_back();
+  } else {
+    ev = heap_pop();
+  }
+  if (size_ == 0 && calendar_) {
+    // Fully drained: revert to heap mode. Keeping the stale window alive
+    // would clamp a later burst of earlier-time pushes into the single
+    // current bucket, degrading its sorted inserts to quadratic time.
+    calendar_ = false;
+    cur_ = 0;
+    cur_sorted_ = false;
+  }
+  return ev;
+}
+
+inline bool EventQueue::prepare_front() {
+  while (buckets_[cur_].empty()) {
+    cur_sorted_ = false;
+    if (++cur_ == num_buckets_) {
+      // Window drained: everything pending is in the far heap.
+      rebuild_window();
+      if (!calendar_) return false;
+    }
+  }
+  if (!cur_sorted_) {
+    std::vector<QueuedEvent>& b = buckets_[cur_];
+    std::sort(b.begin(), b.end(), later);  // descending: earliest at back()
+    cur_sorted_ = true;
+  }
+  return true;
+}
+
+}  // namespace hps::des

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <ostream>
 
+#include "common/flat_hash.hpp"
+#include "common/interner.hpp"
 #include "common/table.hpp"
 
 namespace hps::obs {
@@ -25,17 +26,24 @@ double rel_dev(double a, double b) {
 
 std::vector<Divergence> top_divergent(const std::vector<LedgerRecord>& records,
                                       std::size_t n) {
-  // MFACT counterpart lookup per (study_key, spec_id).
-  std::map<std::pair<std::string, std::int32_t>, const LedgerRecord*> mfact;
+  // MFACT counterpart lookup per (study_key, spec_id): study keys intern to
+  // dense ids so the index hashes one packed word per record instead of a
+  // string pair.
+  StringInterner keys;
+  const auto packed = [&](const LedgerRecord& rec) {
+    return (static_cast<std::uint64_t>(keys.id(rec.study_key)) << 32) |
+           static_cast<std::uint32_t>(rec.spec_id);
+  };
+  FlatMap<std::uint64_t, const LedgerRecord*, Mix64Hash> mfact;
   for (const LedgerRecord& rec : records)
-    if (rec.scheme == "mfact" && rec.ok) mfact[{rec.study_key, rec.spec_id}] = &rec;
+    if (rec.scheme == "mfact" && rec.ok) mfact[packed(rec)] = &rec;
 
   std::vector<Divergence> out;
   for (const LedgerRecord& rec : records) {
     if (rec.scheme == "mfact" || !rec.ok || rec.diff_total < 0) continue;
-    const auto it = mfact.find({rec.study_key, rec.spec_id});
-    if (it == mfact.end()) continue;
-    out.push_back({rec, *it->second, rec.diff_total});
+    const LedgerRecord* const* m = mfact.find(packed(rec));
+    if (m == nullptr) continue;
+    out.push_back({rec, **m, rec.diff_total});
   }
   std::stable_sort(out.begin(), out.end(), [](const Divergence& a, const Divergence& b) {
     return a.diff_total > b.diff_total;
@@ -72,10 +80,19 @@ void render_accuracy(std::ostream& os, const std::vector<LedgerRecord>& records,
     std::size_t n = 0, within = 0, failed = 0;
     double sum = 0, max = 0;
   };
-  std::map<std::pair<std::string, std::string>, Acc> by_suite;  // (app, scheme)
+  // Suites key by (app, scheme); both draw from a handful of distinct names,
+  // so intern them and aggregate under one packed id per suite. The table is
+  // rendered in (app, scheme) string order, as a string-keyed map would
+  // iterate, by sorting the interned keys at the end.
+  StringInterner names;
+  FlatMap<std::uint64_t, Acc, Mix64Hash> by_suite;
+  std::vector<std::uint64_t> suites;  // insertion-ordered distinct keys
   for (const LedgerRecord& rec : records) {
     if (rec.scheme == "mfact") continue;
-    Acc& a = by_suite[{rec.app, rec.scheme}];
+    const std::uint64_t key = (static_cast<std::uint64_t>(names.id(rec.app)) << 32) |
+                              names.id(rec.scheme);
+    if (by_suite.find(key) == nullptr) suites.push_back(key);
+    Acc& a = by_suite[key];
     if (!rec.ok || rec.diff_total < 0) {
       ++a.failed;
       continue;
@@ -85,12 +102,21 @@ void render_accuracy(std::ostream& os, const std::vector<LedgerRecord>& records,
     a.max = std::max(a.max, rec.diff_total);
     if (rec.diff_total <= threshold) ++a.within;
   }
+  const auto unpack = [&](std::uint64_t key) {
+    return std::pair<const std::string&, const std::string&>(
+        names.str(static_cast<std::uint32_t>(key >> 32)),
+        names.str(static_cast<std::uint32_t>(key)));
+  };
+  std::sort(suites.begin(), suites.end(),
+            [&](std::uint64_t a, std::uint64_t b) { return unpack(a) < unpack(b); });
 
   TextTable t;
   t.set_header({"app", "scheme", "traces", "mean DIFF", "max DIFF",
                 "<=" + fmt_percent(threshold), "failed"});
-  for (const auto& [key, a] : by_suite) {
-    t.add_row({key.first, key.second, std::to_string(a.n),
+  for (const std::uint64_t key : suites) {
+    const auto [app, scheme] = unpack(key);
+    const Acc& a = *by_suite.find(key);
+    t.add_row({app, scheme, std::to_string(a.n),
                a.n ? fmt_percent(a.sum / static_cast<double>(a.n)) : "-",
                a.n ? fmt_percent(a.max) : "-",
                a.n ? fmt_percent(static_cast<double>(a.within) / static_cast<double>(a.n))
@@ -98,27 +124,48 @@ void render_accuracy(std::ostream& os, const std::vector<LedgerRecord>& records,
                std::to_string(a.failed)});
   }
   os << t.render();
-  if (by_suite.empty()) os << "(no simulator records)\n";
+  if (suites.empty()) os << "(no simulator records)\n";
 }
 
 DiffResult diff_ledgers(const std::vector<LedgerRecord>& before,
                         const std::vector<LedgerRecord>& after,
                         const DiffOptions& opts) {
-  using Key = std::pair<std::int32_t, std::string>;
-  std::map<Key, const LedgerRecord*> b_index, a_index;
-  for (const LedgerRecord& r : before) b_index[{r.spec_id, r.scheme}] = &r;
-  for (const LedgerRecord& r : after) a_index[{r.spec_id, r.scheme}] = &r;
+  // Records key by (spec_id, scheme). Scheme names intern to small ids so
+  // both indexes hash one packed word; regressions are reported in
+  // (spec_id, scheme) order, as the previous string-keyed map iterated, by
+  // sorting the collected B-side keys.
+  StringInterner names;
+  const auto packed = [&](const LedgerRecord& r) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.spec_id)) << 32) |
+           names.id(r.scheme);
+  };
+  FlatMap<std::uint64_t, const LedgerRecord*, Mix64Hash> b_index, a_index;
+  std::vector<std::uint64_t> b_keys;
+  for (const LedgerRecord& r : before) {
+    const std::uint64_t key = packed(r);
+    if (b_index.find(key) == nullptr) b_keys.push_back(key);
+    b_index[key] = &r;
+  }
+  for (const LedgerRecord& r : after) a_index[packed(r)] = &r;
+  const auto unpack = [&](std::uint64_t key) {
+    return std::pair<std::int32_t, const std::string&>(
+        static_cast<std::int32_t>(key >> 32), names.str(static_cast<std::uint32_t>(key)));
+  };
+  std::sort(b_keys.begin(), b_keys.end(),
+            [&](std::uint64_t a, std::uint64_t b) { return unpack(a) < unpack(b); });
 
   DiffResult out;
-  for (const auto& [key, b] : b_index) {
-    const auto it = a_index.find(key);
-    if (it == a_index.end()) {
+  for (const std::uint64_t key : b_keys) {
+    const LedgerRecord* b = *b_index.find(key);
+    const LedgerRecord* const* ap = a_index.find(key);
+    if (ap == nullptr) {
       ++out.only_before;
       continue;
     }
-    const LedgerRecord* a = it->second;
+    const LedgerRecord* a = *ap;
     ++out.compared;
-    const std::string label = "spec " + std::to_string(key.first) + " " + key.second;
+    const auto [spec_id, scheme] = unpack(key);
+    const std::string label = "spec " + std::to_string(spec_id) + " " + scheme;
     if (b->ok != a->ok) {
       out.regressions.push_back({label, "ok flipped", b->ok ? 1.0 : 0.0, a->ok ? 1.0 : 0.0});
       continue;
@@ -137,8 +184,8 @@ DiffResult diff_ledgers(const std::vector<LedgerRecord>& before,
         out.regressions.push_back({label, "wall_seconds", b->wall_seconds, a->wall_seconds});
     }
   }
-  for (const auto& [key, a] : a_index)
-    if (!b_index.contains(key)) ++out.only_after;
+  // Every compared pair consumed one distinct A-side key; the rest are new.
+  out.only_after = a_index.size() - out.compared;
   return out;
 }
 

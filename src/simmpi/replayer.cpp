@@ -146,7 +146,7 @@ void Replayer::advance(Rank r) {
       continue;
     }
     if (!st.subops.empty()) {
-      HPS_CHECK_MSG(st.coll_isends.empty(), "collective ended with unwaited isends");
+      HPS_CHECK_MSG(st.coll_isends_empty(), "collective ended with unwaited isends");
       st.subops.clear();
       st.sub_pc = 0;
     }
@@ -183,7 +183,7 @@ bool Replayer::exec_event(Rank r, RankState& st, const trace::Event& e) {
       return false;
     case OpType::kIsend: {
       const std::int64_t req = e.request;
-      st.pending_reqs.insert(req);
+      st.pending_reqs[static_cast<std::uint64_t>(req)] = 1;
       ++st.pending_app;
       do_send(r, st, e.peer, e.tag, e.bytes, /*blocking=*/false, req);
       schedule_advance(r, eng_.now() + call_o);
@@ -194,7 +194,7 @@ bool Replayer::exec_event(Rank r, RankState& st, const trace::Event& e) {
       return st.block == Block::kNone;
     case OpType::kIrecv: {
       const std::int64_t req = e.request;
-      st.pending_reqs.insert(req);
+      st.pending_reqs[static_cast<std::uint64_t>(req)] = 1;
       ++st.pending_app;
       do_recv(r, st, e.peer, e.tag, /*blocking=*/false, req);
       return true;
@@ -230,13 +230,13 @@ bool Replayer::exec_subop(Rank r, RankState& st, const SubOp& op) {
       return st.block == Block::kNone;
     }
     case SubOp::Kind::kWaitOne: {
-      HPS_CHECK_MSG(!st.coll_isends.empty(), "WaitOne with no outstanding collective isend");
-      const std::int64_t req = st.coll_isends.front();
-      st.coll_isends.pop_front();
+      HPS_CHECK_MSG(!st.coll_isends_empty(), "WaitOne with no outstanding collective isend");
+      const std::int64_t req = st.coll_isends[st.coll_head++];
       return do_wait(r, st, req);
     }
     case SubOp::Kind::kWaitAll:
       st.coll_isends.clear();
+      st.coll_head = 0;
       if (st.pending_coll == 0) return true;
       begin_block(st, Block::kWaitAllColl);
       return false;
@@ -246,14 +246,15 @@ bool Replayer::exec_subop(Rank r, RankState& st, const SubOp& op) {
 
 bool Replayer::do_wait(Rank r, RankState& st, std::int64_t req) {
   (void)r;
-  if (!st.pending_reqs.contains(req)) return true;  // already completed
+  if (st.pending_reqs.find(static_cast<std::uint64_t>(req)) == nullptr)
+    return true;  // already completed
   begin_block(st, Block::kWaitReq, req);
   return false;
 }
 
 std::int64_t Replayer::new_coll_req(RankState& st) {
   const std::int64_t req = kCollReqBase + next_coll_req_++;
-  st.pending_reqs.insert(req);
+  st.pending_reqs[static_cast<std::uint64_t>(req)] = 1;
   ++st.pending_coll;
   return req;
 }
@@ -326,9 +327,9 @@ void Replayer::send_cts(const detail::MatchKey& key) {
 void Replayer::message_delivered(simnet::MsgId id, SimTime /*at*/) {
   const MsgRec rec = msg_pool_[static_cast<std::size_t>(id)];
   msg_free_.push_back(static_cast<std::uint32_t>(id));
-  const auto it = matches_.find(rec.key);
-  HPS_CHECK_MSG(it != matches_.end(), "delivery for unknown match record");
-  MatchState& ms = it->second;
+  MatchState* found = matches_.find(rec.key);
+  HPS_CHECK_MSG(found != nullptr, "delivery for unknown match record");
+  MatchState& ms = *found;
   switch (rec.kind) {
     case MsgKind::kRts:
       ms.is_rdv = true;
@@ -377,8 +378,8 @@ void Replayer::complete_rdv_sender(const detail::MatchKey& key, MatchState& ms) 
 
 void Replayer::complete_request(Rank r, std::int64_t req) {
   RankState& st = ranks_[static_cast<std::size_t>(r)];
-  const std::size_t erased = st.pending_reqs.erase(req);
-  HPS_CHECK_MSG(erased == 1, "completing unknown request");
+  const bool erased = st.pending_reqs.erase(static_cast<std::uint64_t>(req));
+  HPS_CHECK_MSG(erased, "completing unknown request");
   if (is_coll_req(req))
     --st.pending_coll;
   else
@@ -400,10 +401,9 @@ void Replayer::complete_request(Rank r, std::int64_t req) {
 }
 
 void Replayer::maybe_erase(const detail::MatchKey& key) {
-  const auto it = matches_.find(key);
-  if (it == matches_.end()) return;
-  const MatchState& ms = it->second;
-  if (ms.recv_done && ms.sender_done && ms.data_delivered) matches_.erase(it);
+  const MatchState* ms = matches_.find(key);
+  if (ms == nullptr) return;
+  if (ms->recv_done && ms->sender_done && ms->data_delivered) matches_.erase(key);
 }
 
 void Replayer::begin_collective(Rank r, RankState& st, const trace::Event& e) {
@@ -412,7 +412,7 @@ void Replayer::begin_collective(Rank r, RankState& st, const trace::Event& e) {
   const std::int32_t me = comm_index_[static_cast<std::size_t>(e.comm)][static_cast<std::size_t>(r)];
   HPS_CHECK_MSG(me >= 0, "rank not a member of collective communicator");
 
-  const std::uint32_t inst = st.coll_count[e.comm]++;
+  const std::uint32_t inst = st.coll_count[static_cast<std::uint32_t>(e.comm)]++;
   HPS_CHECK_MSG(inst < (1u << 20) && e.comm < (1 << 10),
                 "collective tag space exhausted");
   const Tag tag = -(1 + (e.comm << 20) + static_cast<Tag>(inst));
@@ -429,7 +429,7 @@ void Replayer::begin_collective(Rank r, RankState& st, const trace::Event& e) {
     d.root = root;
   }
   if (e.type == trace::OpType::kAlltoallv) {
-    const std::uint32_t ainst = st.a2av_count[e.comm]++;
+    const std::uint32_t ainst = st.a2av_count[static_cast<std::uint32_t>(e.comm)]++;
     const auto& my_vlist = trace_.rank(r).vlists[static_cast<std::size_t>(e.aux)];
     d.send_sizes = my_vlist;
     recv_sizes_scratch_.resize(members.size());
@@ -496,25 +496,85 @@ ReplayResult Replayer::run() {
   return res;
 }
 
+namespace {
+
+/// Handles into the global registry for one scheme's `scheme.<model>.*`
+/// metrics. Resolved once per model kind — handle lookup by string would
+/// otherwise rebuild ~15 keys per finished run.
+struct SchemeMetrics {
+  telemetry::Counter runs;
+  telemetry::Counter des_events_processed;
+  telemetry::Counter des_events_scheduled;
+  telemetry::Counter net_messages;
+  telemetry::Counter net_bytes;
+  telemetry::Counter net_packets;
+  telemetry::Counter net_rate_updates;
+  telemetry::Counter net_ripple_iterations;
+  telemetry::Counter net_queue_stalls;
+  telemetry::Counter collectives;
+  telemetry::Counter msgs_matched;
+  telemetry::Counter rendezvous;
+  telemetry::Gauge max_queue_depth;
+  telemetry::Gauge net_max_active;
+  telemetry::Histogram wall_seconds;
+
+  explicit SchemeMetrics(NetModelKind k)
+      : SchemeMetrics(std::string("scheme.") + net_model_name(k) + ".") {}
+  explicit SchemeMetrics(const std::string& p)
+      : runs(telemetry::Registry::global().counter(p + "runs")),
+        des_events_processed(telemetry::Registry::global().counter(p + "des_events_processed")),
+        des_events_scheduled(telemetry::Registry::global().counter(p + "des_events_scheduled")),
+        net_messages(telemetry::Registry::global().counter(p + "net_messages")),
+        net_bytes(telemetry::Registry::global().counter(p + "net_bytes")),
+        net_packets(telemetry::Registry::global().counter(p + "net_packets")),
+        net_rate_updates(telemetry::Registry::global().counter(p + "net_rate_updates")),
+        net_ripple_iterations(
+            telemetry::Registry::global().counter(p + "net_ripple_iterations")),
+        net_queue_stalls(telemetry::Registry::global().counter(p + "net_queue_stalls")),
+        collectives(telemetry::Registry::global().counter(p + "collectives")),
+        msgs_matched(telemetry::Registry::global().counter(p + "msgs_matched")),
+        rendezvous(telemetry::Registry::global().counter(p + "rendezvous")),
+        max_queue_depth(telemetry::Registry::global().gauge(p + "max_queue_depth")),
+        net_max_active(telemetry::Registry::global().gauge(p + "net_max_active")),
+        wall_seconds(telemetry::Registry::global().histogram(p + "wall_seconds",
+                                                             telemetry::duration_bounds())) {}
+
+  static const SchemeMetrics& get(NetModelKind k) {
+    static const SchemeMetrics packet{NetModelKind::kPacket};
+    static const SchemeMetrics flow{NetModelKind::kFlow};
+    static const SchemeMetrics packetflow{NetModelKind::kPacketFlow};
+    switch (k) {
+      case NetModelKind::kPacket:
+        return packet;
+      case NetModelKind::kFlow:
+        return flow;
+      default:
+        return packetflow;
+    }
+  }
+};
+
+}  // namespace
+
 void Replayer::flush_scheme_telemetry(const ReplayResult& res) {
   auto& reg = telemetry::Registry::global();
   if (!reg.enabled()) return;
-  const std::string p = std::string("scheme.") + net_model_name(kind_) + ".";
-  reg.counter(p + "runs").add(1);
-  reg.counter(p + "des_events_processed").add(res.engine.events_processed);
-  reg.counter(p + "des_events_scheduled").add(res.engine.events_scheduled);
-  reg.counter(p + "net_messages").add(res.net.messages);
-  reg.counter(p + "net_bytes").add(res.net.bytes);
-  reg.counter(p + "net_packets").add(res.net.packets);
-  reg.counter(p + "net_rate_updates").add(res.net.rate_updates);
-  reg.counter(p + "net_ripple_iterations").add(res.net.ripple_iterations);
-  reg.counter(p + "net_queue_stalls").add(res.net.queue_events);
-  reg.counter(p + "collectives").add(collectives_.value());
-  reg.counter(p + "msgs_matched").add(msgs_matched_.value());
-  reg.counter(p + "rendezvous").add(rdv_sends_.value());
-  reg.gauge(p + "max_queue_depth").record(res.engine.max_queue_depth);
-  reg.gauge(p + "net_max_active").record(res.net.max_active);
-  reg.histogram(p + "wall_seconds", telemetry::duration_bounds()).observe(res.wall_seconds);
+  const SchemeMetrics& m = SchemeMetrics::get(kind_);
+  m.runs.add(1);
+  m.des_events_processed.add(res.engine.events_processed);
+  m.des_events_scheduled.add(res.engine.events_scheduled);
+  m.net_messages.add(res.net.messages);
+  m.net_bytes.add(res.net.bytes);
+  m.net_packets.add(res.net.packets);
+  m.net_rate_updates.add(res.net.rate_updates);
+  m.net_ripple_iterations.add(res.net.ripple_iterations);
+  m.net_queue_stalls.add(res.net.queue_events);
+  m.collectives.add(collectives_.value());
+  m.msgs_matched.add(msgs_matched_.value());
+  m.rendezvous.add(rdv_sends_.value());
+  m.max_queue_depth.record(res.engine.max_queue_depth);
+  m.net_max_active.record(res.net.max_active);
+  m.wall_seconds.observe(res.wall_seconds);
   collectives_.reset();
   msgs_matched_.reset();
   rdv_sends_.reset();

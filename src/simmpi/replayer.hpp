@@ -15,12 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/units.hpp"
 #include "des/engine.hpp"
 #include "machine/machine.hpp"
@@ -147,21 +146,28 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
     std::size_t sub_pc = 0;
     const std::vector<Rank>* coll_members = nullptr;
     Tag coll_tag = 0;
-    std::deque<std::int64_t> coll_isends;  // issue order, not yet waited
+    // Collective isends in issue order, not yet waited: a vector drained by
+    // a head cursor instead of a deque — the set is tiny and reset at every
+    // collective, so one reused buffer beats the deque's paged storage.
+    std::vector<std::int64_t> coll_isends;
+    std::size_t coll_head = 0;
+    bool coll_isends_empty() const { return coll_head == coll_isends.size(); }
 
     Block block = Block::kNone;
     std::int64_t block_req = -1;
     SimTime block_since = 0;    ///< virtual time the current block began
     SimTime blocked_total = 0;  ///< lifetime sum of blocked intervals
 
-    std::unordered_set<std::int64_t> pending_reqs;
+    // Outstanding request ids (used as a set; the mapped byte is ignored).
+    FlatMap<std::uint64_t, std::uint8_t, Mix64Hash> pending_reqs;
     int pending_app = 0;   // count of pending app (trace) requests
     int pending_coll = 0;  // count of pending collective requests
 
-    std::unordered_map<std::uint64_t, std::uint32_t> send_seq;  // (peer,tag) -> next seq
-    std::unordered_map<std::uint64_t, std::uint32_t> recv_seq;
-    std::unordered_map<CommId, std::uint32_t> coll_count;  // collective instances per comm
-    std::unordered_map<CommId, std::uint32_t> a2av_count;  // alltoallv instances per comm
+    FlatMap<std::uint64_t, std::uint32_t, Mix64Hash> send_seq;  // (peer,tag) -> next seq
+    FlatMap<std::uint64_t, std::uint32_t, Mix64Hash> recv_seq;
+    // Collective / alltoallv instances per comm.
+    FlatMap<std::uint64_t, std::uint32_t, Mix64Hash> coll_count;
+    FlatMap<std::uint64_t, std::uint32_t, Mix64Hash> a2av_count;
 
     SimTime compute_total = 0;
     SimTime finish = -1;
@@ -223,7 +229,7 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
   std::unique_ptr<simnet::NetworkModel> net_;
 
   std::vector<RankState> ranks_;
-  std::unordered_map<detail::MatchKey, MatchState, detail::MatchKeyHash> matches_;
+  FlatMap<detail::MatchKey, MatchState, detail::MatchKeyHash> matches_;
   std::vector<MsgRec> msg_pool_;
   std::vector<std::uint32_t> msg_free_;
 

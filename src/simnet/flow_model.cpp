@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "common/error.hpp"
 #include "obs/timeline.hpp"
@@ -25,22 +24,16 @@ FlowModel::FlowModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg
   link_residual_.resize(total_links, 0.0);
   link_unfrozen_.resize(total_links, 0);
   link_flows_.resize(total_links);
-}
-
-std::uint32_t FlowModel::alloc_flow() {
-  if (!flow_free_.empty()) {
-    const std::uint32_t i = flow_free_.back();
-    flow_free_.pop_back();
-    return i;
-  }
-  flows_.emplace_back();
-  return static_cast<std::uint32_t>(flows_.size() - 1);
+  link_dirty_.resize(total_links, 0);
+  link_visited_.resize(total_links, 0);
 }
 
 void FlowModel::free_flow(std::uint32_t idx) {
-  flows_[idx].route.clear();
-  flows_[idx].active = false;
-  flow_free_.push_back(idx);
+  Flow& f = flows_[idx];
+  f.route.clear();
+  f.active = false;
+  ++f.epoch;  // kills this slot's link_flows_ entries
+  flows_.release(idx);
 }
 
 void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
@@ -52,7 +45,7 @@ void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
   account_route(route_scratch_, bytes);
   const SimTime latency = path_latency(static_cast<int>(route_scratch_.size()));
 
-  const std::uint32_t fidx = alloc_flow();
+  const std::uint32_t fidx = flows_.alloc();
   Flow& f = flows_[fidx];
   f.id = id;
   f.remaining = static_cast<double>(bytes);
@@ -74,6 +67,8 @@ void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
       link_residual_.resize(need, 0.0);
       link_unfrozen_.resize(need, 0);
       link_flows_.resize(need);
+      link_dirty_.resize(need, 0);
+      link_visited_.resize(need, 0);
     }
     f.route.push_back(pace);
   }
@@ -86,11 +81,23 @@ void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
   stats_.max_active = std::max<std::uint64_t>(stats_.max_active, active_count_);
 
   if (bytes == 0) {
-    // Pure-latency message; no fluid to drain.
+    // Pure-latency message; no fluid to drain and no link-list membership.
     complete_flow(fidx);
     return;
   }
+  for (const LinkId l : f.route) {
+    link_flows_[static_cast<std::size_t>(l)].push_back({fidx, f.epoch});
+    mark_link_dirty(l);
+  }
+  f.in_lists = true;
   mark_dirty();
+}
+
+void FlowModel::mark_link_dirty(LinkId l) {
+  const auto li = static_cast<std::size_t>(l);
+  if (link_dirty_[li]) return;
+  link_dirty_[li] = 1;
+  dirty_links_.push_back(l);
 }
 
 void FlowModel::mark_dirty() {
@@ -156,6 +163,12 @@ void FlowModel::complete_flow(std::uint32_t fidx) {
   // Completion notification arrives after the fixed path latency.
   if (!notify_) notify_ = std::make_unique<Notify>(sink_);
   eng_.schedule_in(latency, notify_.get(), id, 0);
+  // The departing flow's links must be re-rated; its link-list entries die
+  // with the epoch bump in free_flow and are swept on the next visit.
+  if (f.in_lists) {
+    for (const LinkId l : f.route) mark_link_dirty(l);
+    f.in_lists = false;
+  }
   // Compact the active list lazily during recompute; here just drop the slot.
   free_flow(fidx);
 }
@@ -165,7 +178,9 @@ void FlowModel::recompute_rates() {
   const SimTime now = eng_.now();
   last_recompute_ = now;
 
-  // Compact the active index list and settle all byte counts to `now`.
+  // Compact the active index list and settle all byte counts to `now` (every
+  // pass, so `remaining` follows the same piecewise drain regardless of
+  // which flows the incremental ripple re-rates).
   active_.erase(std::remove_if(active_.begin(), active_.end(),
                                [&](std::uint32_t i) {
                                  if (flows_[i].active) return false;
@@ -175,61 +190,92 @@ void FlowModel::recompute_rates() {
                 active_.end());
   for (const std::uint32_t i : active_) advance_flow(flows_[i], now);
 
-  // Build per-link flow lists.
+  // Affected-component walk: starting from the dirty links, flood the
+  // flow–link sharing graph. Every flow on a visited link is re-rated and
+  // pulls the rest of its route into the visit set, so the walk closes over
+  // exactly the connected component(s) whose membership changed; dead
+  // entries (epoch mismatch) are swept out of each visited list in passing.
+  // Flows outside the component share no link with a re-rated flow, and
+  // max-min allocation decomposes over components, so their rates stand.
+  std::vector<double>& old_rates = rate_scratch_;
+  affected_.clear();
+  old_rates.clear();
   used_links_.clear();
-  for (const std::uint32_t i : active_) {
-    for (const LinkId l : flows_[i].route) {
-      auto& lf = link_flows_[static_cast<std::size_t>(l)];
-      if (lf.empty()) used_links_.push_back(l);
-      lf.push_back(i);
+  visit_stack_.swap(dirty_links_);
+  dirty_links_.clear();
+  for (const LinkId l : visit_stack_) link_dirty_[static_cast<std::size_t>(l)] = 0;
+  while (!visit_stack_.empty()) {
+    const LinkId l = visit_stack_.back();
+    visit_stack_.pop_back();
+    const auto li = static_cast<std::size_t>(l);
+    if (link_visited_[li]) continue;
+    link_visited_[li] = 1;
+    used_links_.push_back(l);
+    auto& lf = link_flows_[li];
+    lf.erase(std::remove_if(lf.begin(), lf.end(),
+                            [&](const LinkEntry& e) {
+                              return flows_[e.flow].epoch != e.epoch || !flows_[e.flow].active;
+                            }),
+             lf.end());
+    for (const LinkEntry& e : lf) {
+      Flow& f = flows_[e.flow];
+      if (f.rate < 0) continue;  // already collected this pass
+      affected_.push_back(e.flow);
+      old_rates.push_back(f.rate);
+      f.rate = -1.0;  // -1 marks unfrozen
+      for (const LinkId rl : f.route)
+        if (!link_visited_[static_cast<std::size_t>(rl)]) visit_stack_.push_back(rl);
     }
   }
 
-  // Water-filling max-min fair allocation, driven by a lazy min-heap of link
-  // fair shares: pop the candidate bottleneck, re-validate its share (links
-  // touched since the push are stale), and freeze its flows. O((L + F*h)
-  // log L) instead of the naive O(L * bottlenecks) scan.
-  for (const LinkId l : used_links_) {
-    link_residual_[static_cast<std::size_t>(l)] = Bps_to_Bpns(link_capacity(l));
-    link_unfrozen_[static_cast<std::size_t>(l)] =
-        static_cast<std::int32_t>(link_flows_[static_cast<std::size_t>(l)].size());
-  }
-  std::size_t unfrozen = active_.size();
+  // Water-filling max-min fair allocation over the affected component,
+  // driven by a lazy min-heap of link fair shares: pop the candidate
+  // bottleneck, re-validate its share (links touched since the push are
+  // stale), and freeze its flows. O((L + F*h) log L) in the component size
+  // instead of the naive O(L * bottlenecks) scan over every active flow.
   const double old_rate_epsilon = 1e-15;
-  std::vector<double>& old_rates = rate_scratch_;
-  old_rates.clear();
-  for (const std::uint32_t i : active_) {
-    old_rates.push_back(flows_[i].rate);
-    flows_[i].rate = -1.0;  // -1 marks unfrozen
-  }
-
-  struct HeapEntry {
-    double share;
-    LinkId link;
-    bool operator>(const HeapEntry& o) const { return share > o.share; }
+  std::vector<HeapEntry>& heap = heap_scratch_;
+  heap.clear();
+  const auto heap_after = [](const HeapEntry& x, const HeapEntry& y) {
+    return x.share > y.share;
   };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  const auto heap_push = [&](HeapEntry e) {
+    heap.push_back(e);
+    std::push_heap(heap.begin(), heap.end(), heap_after);
+  };
+  const auto heap_pop = [&] {
+    std::pop_heap(heap.begin(), heap.end(), heap_after);
+    const HeapEntry e = heap.back();
+    heap.pop_back();
+    return e;
+  };
   auto share_of = [&](LinkId l) {
     const auto li = static_cast<std::size_t>(l);
     return link_residual_[li] / static_cast<double>(link_unfrozen_[li]);
   };
-  for (const LinkId l : used_links_) heap.push({share_of(l), l});
+  for (const LinkId l : used_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    if (link_flows_[li].empty()) continue;  // dirty but deserted (all swept)
+    link_residual_[li] = Bps_to_Bpns(link_capacity(l));
+    link_unfrozen_[li] = static_cast<std::int32_t>(link_flows_[li].size());
+    heap_push({share_of(l), l});
+  }
 
+  std::size_t unfrozen = affected_.size();
   while (unfrozen > 0) {
     HPS_CHECK_MSG(!heap.empty(), "water-filling ran out of bottleneck candidates");
-    const HeapEntry top = heap.top();
-    heap.pop();
+    const HeapEntry top = heap_pop();
     const auto li = static_cast<std::size_t>(top.link);
     if (link_unfrozen_[li] <= 0) continue;  // fully frozen since pushed
     const double share = share_of(top.link);
     if (share > top.share + old_rate_epsilon) {
-      heap.push({share, top.link});  // stale entry: re-insert with fresh share
+      heap_push({share, top.link});  // stale entry: re-insert with fresh share
       continue;
     }
     const double best_share = std::max(share, 0.0);
     // Freeze every unfrozen flow crossing the bottleneck at the fair share.
-    for (const std::uint32_t fi : link_flows_[li]) {
-      Flow& f = flows_[fi];
+    for (const LinkEntry& e : link_flows_[li]) {
+      Flow& f = flows_[e.flow];
       if (f.rate >= 0) continue;
       f.rate = best_share;
       --unfrozen;
@@ -240,15 +286,16 @@ void FlowModel::recompute_rates() {
         if (link_residual_[lj] < 0) link_residual_[lj] = 0;
         --link_unfrozen_[lj];
         // Touched links get a fresh heap entry; stale ones are skipped above.
-        if (link_unfrozen_[lj] > 0 && l != top.link) heap.push({share_of(l), l});
+        if (link_unfrozen_[lj] > 0 && l != top.link) heap_push({share_of(l), l});
       }
     }
   }
 
   // Starvation accounting: a flow the water-filling left at rate zero is
   // stalled by contention. Count the stall once, when it ends, and record
-  // the interval on the flow's first fabric link.
-  for (const std::uint32_t i : active_) {
+  // the interval on the flow's first fabric link. Only re-rated flows can
+  // transition.
+  for (const std::uint32_t i : affected_) {
     Flow& f = flows_[i];
     if (f.rate <= 0) {
       if (f.starved_since < 0) f.starved_since = now;
@@ -264,12 +311,12 @@ void FlowModel::recompute_rates() {
     }
   }
 
-  // Clear per-link lists for the next pass. Reschedule completions only for
-  // flows whose rate changed: an unchanged rate means the previously
-  // scheduled completion instant is still correct.
-  for (const LinkId l : used_links_) link_flows_[static_cast<std::size_t>(l)].clear();
-  for (std::size_t idx = 0; idx < active_.size(); ++idx) {
-    const std::uint32_t i = active_[idx];
+  // Reset visit flags (the entry lists persist) and reschedule completions
+  // only for flows whose rate changed: an unchanged rate means the
+  // previously scheduled completion instant is still correct.
+  for (const LinkId l : used_links_) link_visited_[static_cast<std::size_t>(l)] = 0;
+  for (std::size_t idx = 0; idx < affected_.size(); ++idx) {
+    const std::uint32_t i = affected_[idx];
     const double old_rate = old_rates[idx];
     if (old_rate > 0 &&
         std::fabs(flows_[i].rate - old_rate) <= old_rate * 1e-12) {

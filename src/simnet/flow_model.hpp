@@ -8,12 +8,21 @@
 // timestamp), the standard optimization for fluid simulators; the
 // `rate_updates` stat counts the passes actually performed.
 //
+// The ripple is incremental: links whose flow set changed are marked dirty,
+// and a recompute re-rates only the connected component of the flow–link
+// sharing graph reachable from the dirty links. Max-min fairness decomposes
+// over components (disjoint components share no capacity), so flows outside
+// the affected component provably keep their rates and their pending
+// completion events stand. `ripple_iterations` therefore counts only the
+// flows actually re-rated by each pass.
+//
 // Injection and ejection NICs are modeled as pseudo-links with the machine's
 // injection bandwidth so a node cannot source or sink faster than its NIC.
 #pragma once
 
 #include <vector>
 
+#include "common/pool.hpp"
 #include "simnet/network.hpp"
 
 namespace hps::simnet {
@@ -39,21 +48,33 @@ class FlowModel final : public NetworkModel, private des::Handler {
     SimTime tail_latency = 0;  // fixed path latency added at completion
     SimTime starved_since = -1;  // start of a zero-rate interval, -1 if fed
     std::uint32_t gen = 0;     // invalidates superseded completion events
+    std::uint32_t epoch = 0;   // bumped on slot release; validates link-list
+                               // entries left behind by a finished flow
     bool active = false;
     bool listed = false;  // has an entry in active_ (entries outlive the flow
                           // until the next recompute compaction; a recycled
                           // slot inherits its live entry)
+    bool in_lists = false;  // has entries in link_flows_ (zero-byte flows
+                            // complete inside inject and never enter them)
     std::vector<LinkId> route;  // topo links + injection/ejection pseudo-links
+  };
+  /// One flow's membership on one link; dead once the slot's epoch moves on.
+  struct LinkEntry {
+    std::uint32_t flow = 0;
+    std::uint32_t epoch = 0;
+  };
+  struct HeapEntry {
+    double share;
+    LinkId link;
   };
 
   void handle(des::Engine& eng, std::uint64_t a, std::uint64_t b) override;
   void mark_dirty();
+  void mark_link_dirty(LinkId l);
   void recompute_rates();
   void advance_flow(Flow& f, SimTime now);
   void schedule_completion(std::uint32_t fidx);
   void complete_flow(std::uint32_t fidx);
-
-  std::uint32_t alloc_flow();
   void free_flow(std::uint32_t idx);
 
   LinkId injection_link(NodeId n) const { return topo_.num_links() + n; }
@@ -81,20 +102,30 @@ class FlowModel final : public NetworkModel, private des::Handler {
   };
   std::unique_ptr<Notify> notify_;
 
-  std::vector<Flow> flows_;
-  std::vector<std::uint32_t> flow_free_;
+  IndexPool<Flow> flows_;
   std::vector<std::uint32_t> active_;  // indices of active flows
   std::size_t active_count_ = 0;
   bool dirty_scheduled_ = false;
   SimTime last_recompute_ = 0;
   std::vector<LinkId> route_scratch_;
 
-  // Scratch buffers for water-filling, persisted to avoid reallocation.
+  // Persistent flow–link sharing graph: per-link entries are appended at
+  // inject and invalidated by epoch at completion; dead entries are swept
+  // out when the incremental ripple visits the (necessarily dirty) link.
+  std::vector<std::vector<LinkEntry>> link_flows_;
+  std::vector<std::uint8_t> link_dirty_;
+  std::vector<LinkId> dirty_links_;
+
+  // Scratch buffers for the affected-component walk and water-filling,
+  // persisted to avoid reallocation.
   std::vector<double> link_residual_;
   std::vector<std::int32_t> link_unfrozen_;
-  std::vector<std::vector<std::uint32_t>> link_flows_;
-  std::vector<LinkId> used_links_;
+  std::vector<std::uint8_t> link_visited_;
+  std::vector<LinkId> visit_stack_;
+  std::vector<LinkId> used_links_;           // visited links, for flag reset
+  std::vector<std::uint32_t> affected_;      // flows re-rated this pass
   std::vector<double> rate_scratch_;  // previous rates, for reschedule skips
+  std::vector<HeapEntry> heap_scratch_;
 };
 
 }  // namespace hps::simnet

@@ -21,40 +21,13 @@ PacketModel::PacketModel(des::Engine& eng, const topo::Topology& topo, NetConfig
   HPS_CHECK(cfg_.packet_size > 0);
 }
 
-std::uint32_t PacketModel::alloc_msg() {
-  if (!msg_free_.empty()) {
-    const std::uint32_t i = msg_free_.back();
-    msg_free_.pop_back();
-    return i;
-  }
-  msgs_.emplace_back();
-  return static_cast<std::uint32_t>(msgs_.size() - 1);
-}
-
-void PacketModel::free_msg(std::uint32_t idx) {
-  msgs_[idx].route.clear();
-  msg_free_.push_back(idx);
-}
-
-std::uint32_t PacketModel::alloc_packet() {
-  if (!packet_free_.empty()) {
-    const std::uint32_t i = packet_free_.back();
-    packet_free_.pop_back();
-    return i;
-  }
-  packets_.emplace_back();
-  return static_cast<std::uint32_t>(packets_.size() - 1);
-}
-
-void PacketModel::free_packet(std::uint32_t idx) { packet_free_.push_back(idx); }
-
 void PacketModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
   if (deliver_local_if_same_node(id, src, dst, bytes)) return;
   ++stats_.messages;
   stats_.bytes += bytes;
 
-  const std::uint32_t midx = alloc_msg();
-  stats_.max_active = std::max<std::uint64_t>(stats_.max_active, msgs_.size() - msg_free_.size());
+  const std::uint32_t midx = msgs_.alloc();
+  stats_.max_active = std::max<std::uint64_t>(stats_.max_active, msgs_.live());
   MsgState& m = msgs_[midx];
   m.id = id;
   topo_.route(src, dst, route_scratch_, id);
@@ -78,8 +51,12 @@ void PacketModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) 
   for (std::uint32_t k = 0; k < npackets; ++k) {
     const std::uint32_t pbytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(left, psz));
     left -= pbytes;
-    const std::uint32_t pidx = alloc_packet();
-    packets_[pidx] = {midx, 0, pbytes};
+    const std::uint32_t pidx = packets_.alloc();
+    Packet& p = packets_[pidx];
+    p.msg = midx;
+    p.hop = 0;
+    p.bytes = pbytes;
+    p.next = kNil;
     pace += transfer_time(pbytes, cfg_.message_rate());
     nic += transfer_time(pbytes, cfg_.injection_bandwidth);
     eng_.schedule_at(std::max(pace, nic), this, kPacketReady, pidx);
@@ -97,7 +74,8 @@ void PacketModel::handle(des::Engine&, std::uint64_t a, std::uint64_t b) {
     case kDeliver: {
       const auto midx = static_cast<std::uint32_t>(b);
       const MsgId id = msgs_[midx].id;
-      free_msg(midx);
+      msgs_[midx].route.clear();
+      msgs_.release(midx);
       sink_.message_delivered(id, eng_.now());
       break;
     }
@@ -116,7 +94,12 @@ void PacketModel::packet_ready(std::uint32_t pkt_idx) {
   const LinkId link = m.route[p.hop];
   Link& l = links_[static_cast<std::size_t>(link)];
   if (l.busy) {
-    l.queue.push_back(pkt_idx);
+    p.next = kNil;
+    if (l.tail == kNil)
+      l.head = pkt_idx;
+    else
+      packets_[l.tail].next = pkt_idx;
+    l.tail = pkt_idx;
     ++stats_.queue_events;
     p.enq = eng_.now();
   } else {
@@ -138,11 +121,12 @@ void PacketModel::tx_complete(LinkId link, std::uint32_t pkt_idx) {
   eng_.schedule_in(cfg_.hop_latency, this, kPacketReady, pkt_idx);
 
   Link& l = links_[static_cast<std::size_t>(link)];
-  if (l.queue.empty()) {
+  if (l.head == kNil) {
     l.busy = false;
   } else {
-    const std::uint32_t next = l.queue.front();
-    l.queue.pop_front();
+    const std::uint32_t next = l.head;
+    l.head = packets_[next].next;
+    if (l.head == kNil) l.tail = kNil;
     if (obs::TimelineRecorder* rec = eng_.recorder())
       rec->record(obs::kLinkTrackBase + static_cast<std::int32_t>(link),
                   obs::IntervalKind::kNetStall, packets_[next].enq, eng_.now(),
@@ -153,7 +137,7 @@ void PacketModel::tx_complete(LinkId link, std::uint32_t pkt_idx) {
 
 void PacketModel::finish_packet(std::uint32_t pkt_idx) {
   const std::uint32_t midx = packets_[pkt_idx].msg;
-  free_packet(pkt_idx);
+  packets_.release(pkt_idx);
   MsgState& m = msgs_[midx];
   HPS_CHECK(m.packets_remaining > 0);
   if (--m.packets_remaining == 0) {

@@ -7,9 +7,9 @@
 // network, and the most expensive of the three models to run.
 #pragma once
 
-#include <deque>
 #include <vector>
 
+#include "common/pool.hpp"
 #include "simnet/network.hpp"
 
 namespace hps::simnet {
@@ -25,6 +25,8 @@ class PacketModel final : public NetworkModel, private des::Handler {
   // Event kinds carried in payload word `a`.
   enum : std::uint64_t { kPacketReady = 0, kTxComplete = 1, kDeliver = 2 };
 
+  static constexpr std::uint32_t kNil = 0xffffffff;
+
   struct MsgState {
     MsgId id = 0;
     std::uint32_t packets_remaining = 0;
@@ -34,11 +36,16 @@ class PacketModel final : public NetworkModel, private des::Handler {
     std::uint32_t msg = 0;   // index into msgs_
     std::uint32_t hop = 0;   // next link index in the message route
     std::uint32_t bytes = 0;
+    std::uint32_t next = kNil;  // intrusive FIFO link through the link queue
     SimTime enq = 0;  // virtual time it joined a link queue (timeline only)
   };
+  // A link's waiting packets form an intrusive FIFO threaded through the
+  // packet pool (`Packet::next`): enqueue and dequeue are pointer swings with
+  // no per-link container allocation.
   struct Link {
     bool busy = false;
-    std::deque<std::uint32_t> queue;  // waiting packet indices
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
   };
 
   void handle(des::Engine& eng, std::uint64_t a, std::uint64_t b) override;
@@ -47,15 +54,8 @@ class PacketModel final : public NetworkModel, private des::Handler {
   void tx_complete(LinkId link, std::uint32_t pkt_idx);
   void finish_packet(std::uint32_t pkt_idx);
 
-  std::uint32_t alloc_msg();
-  void free_msg(std::uint32_t idx);
-  std::uint32_t alloc_packet();
-  void free_packet(std::uint32_t idx);
-
-  std::vector<MsgState> msgs_;
-  std::vector<std::uint32_t> msg_free_;
-  std::vector<Packet> packets_;
-  std::vector<std::uint32_t> packet_free_;
+  IndexPool<MsgState> msgs_;
+  IndexPool<Packet> packets_;
   std::vector<Link> links_;
   std::vector<SimTime> nic_free_at_;  // per source node injection serialization
   std::vector<LinkId> route_scratch_;

@@ -15,40 +15,13 @@ PacketFlowModel::PacketFlowModel(des::Engine& eng, const topo::Topology& topo, N
   HPS_CHECK(cfg_.packet_size > 0);
 }
 
-std::uint32_t PacketFlowModel::alloc_msg() {
-  if (!msg_free_.empty()) {
-    const std::uint32_t i = msg_free_.back();
-    msg_free_.pop_back();
-    return i;
-  }
-  msgs_.emplace_back();
-  return static_cast<std::uint32_t>(msgs_.size() - 1);
-}
-
-void PacketFlowModel::free_msg(std::uint32_t idx) {
-  msgs_[idx].route.clear();
-  msg_free_.push_back(idx);
-}
-
-std::uint32_t PacketFlowModel::alloc_packet() {
-  if (!packet_free_.empty()) {
-    const std::uint32_t i = packet_free_.back();
-    packet_free_.pop_back();
-    return i;
-  }
-  packets_.emplace_back();
-  return static_cast<std::uint32_t>(packets_.size() - 1);
-}
-
-void PacketFlowModel::free_packet(std::uint32_t idx) { packet_free_.push_back(idx); }
-
 void PacketFlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
   if (deliver_local_if_same_node(id, src, dst, bytes)) return;
   ++stats_.messages;
   stats_.bytes += bytes;
 
-  const std::uint32_t midx = alloc_msg();
-  stats_.max_active = std::max<std::uint64_t>(stats_.max_active, msgs_.size() - msg_free_.size());
+  const std::uint32_t midx = msgs_.alloc();
+  stats_.max_active = std::max<std::uint64_t>(stats_.max_active, msgs_.live());
   MsgState& m = msgs_[midx];
   m.id = id;
   topo_.route(src, dst, route_scratch_, id);
@@ -71,7 +44,7 @@ void PacketFlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t byt
   for (std::uint32_t k = 0; k < npackets; ++k) {
     const std::uint32_t pbytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(left, psz));
     left -= pbytes;
-    const std::uint32_t pidx = alloc_packet();
+    const std::uint32_t pidx = packets_.alloc();
     packets_[pidx] = {midx, 0, pbytes, -1};
     pace += transfer_time(pbytes, cfg_.message_rate());
     nic += transfer_time(pbytes, cfg_.injection_bandwidth);
@@ -90,7 +63,8 @@ void PacketFlowModel::handle(des::Engine&, std::uint64_t a, std::uint64_t b) {
     case kDeliver: {
       const auto midx = static_cast<std::uint32_t>(b);
       const MsgId id = msgs_[midx].id;
-      free_msg(midx);
+      msgs_[midx].route.clear();
+      msgs_.release(midx);
       sink_.message_delivered(id, eng_.now());
       break;
     }
@@ -142,7 +116,7 @@ void PacketFlowModel::hop_exit(std::uint32_t pkt_idx) {
 
 void PacketFlowModel::finish_packet(std::uint32_t pkt_idx) {
   const std::uint32_t midx = packets_[pkt_idx].msg;
-  free_packet(pkt_idx);
+  packets_.release(pkt_idx);
   MsgState& m = msgs_[midx];
   HPS_CHECK(m.packets_remaining > 0);
   if (--m.packets_remaining == 0)

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/pool.hpp"
 #include "simnet/network.hpp"
 
 namespace hps::simnet {
@@ -44,15 +45,8 @@ class PacketFlowModel final : public NetworkModel, private des::Handler {
   void hop_exit(std::uint32_t pkt_idx);
   void finish_packet(std::uint32_t pkt_idx);
 
-  std::uint32_t alloc_msg();
-  void free_msg(std::uint32_t idx);
-  std::uint32_t alloc_packet();
-  void free_packet(std::uint32_t idx);
-
-  std::vector<MsgState> msgs_;
-  std::vector<std::uint32_t> msg_free_;
-  std::vector<Packet> packets_;
-  std::vector<std::uint32_t> packet_free_;
+  IndexPool<MsgState> msgs_;
+  IndexPool<Packet> packets_;
   std::vector<std::int32_t> link_in_flight_;  // packets currently sharing each link
   std::vector<SimTime> nic_free_at_;
   std::vector<LinkId> route_scratch_;

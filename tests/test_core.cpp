@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "core/decision.hpp"
 #include "core/runner.hpp"
@@ -140,6 +142,66 @@ TEST(Study, CacheRejectsWrongKey) {
   EXPECT_TRUE(load_outcomes(path, 1234).has_value());
   EXPECT_FALSE(load_outcomes(path, 9999).has_value());
   EXPECT_FALSE(load_outcomes("/nonexistent/file", 1234).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Study, CacheRejectsTruncation) {
+  // Every proper prefix of a valid cache must load as a miss — never a
+  // crash, never a partial result.
+  const std::string path =
+      std::string("/tmp/hps_test_cache_trunc_") + std::to_string(getpid()) + ".bin";
+  std::vector<TraceOutcome> outcomes(2);
+  outcomes[0].app = "CG";
+  outcomes[0].machine = "cielito";
+  outcomes[1].app = "MiniFE";
+  outcomes[1].scheme[1].error = "synthetic failure for string coverage";
+  save_outcomes(outcomes, path, 77);
+  std::string full;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    full = os.str();
+  }
+  ASSERT_TRUE(load_outcomes(path, 77).has_value());
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{4},
+                                std::size_t{11}, std::size_t{15}, full.size() / 2,
+                                full.size() - 1}) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(full.data(), static_cast<std::streamsize>(cut));
+    os.close();
+    EXPECT_FALSE(load_outcomes(path, 77).has_value()) << "truncated at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Study, CacheSurvivesBitFlips) {
+  // A bit-flipped cache may parse to garbage values or miss, but must never
+  // escape load_outcomes as an exception — a corrupt length prefix used to
+  // surface std::length_error/bad_alloc past the old hps::Error-only catch.
+  const std::string path =
+      std::string("/tmp/hps_test_cache_flip_") + std::to_string(getpid()) + ".bin";
+  std::vector<TraceOutcome> outcomes(2);
+  outcomes[0].app = "CG";
+  outcomes[0].machine = "cielito";
+  outcomes[1].app = "MiniFE";
+  outcomes[1].scheme[0].error = "synthetic failure for string coverage";
+  save_outcomes(outcomes, path, 99);
+  std::string full;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    full = os.str();
+  }
+  for (std::size_t i = 0; i < full.size(); i += 3) {
+    std::string bad = full;
+    bad[i] = static_cast<char>(bad[i] ^ 0xff);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    os.close();
+    EXPECT_NO_THROW(load_outcomes(path, 99)) << "flip at byte " << i;
+  }
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,56 @@
+// Golden replay: the predicted total and communication times of one NPB
+// trace (CG) and one DOE proxy app (MiniFE) are locked to committed
+// constants for all four schemes. Any hot-path change that shifts virtual
+// time — event ordering, rate arithmetic, pool recycling — fails here
+// immediately, with the offending scheme named. The constants were captured
+// before the calendar-queue/pool/incremental-ripple overhaul and verified
+// unchanged after it.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "workloads/generators.hpp"
+
+namespace hps::core {
+namespace {
+
+struct GoldenRow {
+  Scheme scheme;
+  SimTime total;
+  SimTime comm;
+};
+
+void check_app(const char* app, const GoldenRow (&rows)[4]) {
+  workloads::GenParams gp;
+  gp.ranks = 64;
+  gp.seed = 7;
+  gp.iter_factor = 0.25;
+  const trace::Trace t = workloads::generate_app(app, gp);
+  const TraceOutcome out = run_all_schemes(t);
+  for (const GoldenRow& row : rows) {
+    const SchemeOutcome& so = out.of(row.scheme);
+    EXPECT_TRUE(so.ok) << app << " " << scheme_name(row.scheme);
+    EXPECT_EQ(so.total_time, row.total) << app << " " << scheme_name(row.scheme);
+    EXPECT_EQ(so.comm_time, row.comm) << app << " " << scheme_name(row.scheme);
+  }
+}
+
+TEST(GoldenReplay, CG) {
+  check_app("CG", {
+                      {Scheme::kMfact, 364219145, 58504163},
+                      {Scheme::kPacket, 364106064, 58389268},
+                      {Scheme::kFlow, 364037512, 58320498},
+                      {Scheme::kPacketFlow, 364108527, 58391719},
+                  });
+}
+
+TEST(GoldenReplay, MiniFE) {
+  check_app("MiniFE", {
+                          {Scheme::kMfact, 218341703, 32192347},
+                          {Scheme::kPacket, 217658462, 31507702},
+                          {Scheme::kFlow, 217704521, 31553384},
+                          {Scheme::kPacketFlow, 217665553, 31514782},
+                      });
+}
+
+}  // namespace
+}  // namespace hps::core

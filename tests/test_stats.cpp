@@ -21,7 +21,13 @@ Dataset make_dataset(std::size_t n, double b0, double b1, double b2, int noise_c
   const std::size_t p = 2 + static_cast<std::size_t>(noise_cols);
   ds.x = Matrix(n, p);
   ds.y.resize(n);
-  for (std::size_t j = 0; j < p; ++j) ds.names.push_back("x" + std::to_string(j));
+  // Built without std::string operator+ to dodge a GCC 12 -O3 -Wrestrict
+  // false positive (PR105651) that -Werror turns fatal.
+  for (std::size_t j = 0; j < p; ++j) {
+    std::string name = "x";
+    name += std::to_string(j);
+    ds.names.push_back(std::move(name));
+  }
   Rng rng(seed);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < p; ++j) ds.x(i, j) = rng.normal();
