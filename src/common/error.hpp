@@ -19,6 +19,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A replay (DES or logical-clock) drained without every rank finishing: an
+/// application-level deadlock in the trace. Distinct from Error so the run
+/// guard can report FailKind::kDeadlock instead of a generic error.
+class DeadlockError : public Error {
+ public:
+  using Error::Error;
+};
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {
   std::fprintf(stderr, "HPS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "machine/machine.hpp"
+#include "robust/fault.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hps::core {
@@ -56,6 +57,15 @@ simmpi::NetModelKind to_net_kind(Scheme s) {
   }
 }
 
+/// Build the per-scheme fault context: inherit the ambient spec id (set by
+/// the spec overload) and add this scheme plus its budget token.
+robust::FaultContext scheme_fault_context(Scheme s, robust::CancelToken* token) {
+  robust::FaultContext ctx = robust::current_fault_context();
+  ctx.scheme = static_cast<int>(s);
+  ctx.token = token;
+  return ctx;
+}
+
 }  // namespace
 
 TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
@@ -85,8 +95,11 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
     telemetry::Span span(reg, std::string("mfact ") + out.app, "scheme");
     span.arg("app", out.app);
     span.arg("ranks", std::to_string(out.ranks));
-    try {
+    robust::CancelToken token(opts.budget);
+    robust::FaultScope fscope(scheme_fault_context(Scheme::kMfact, &token));
+    const auto failure = robust::run_guarded([&] {
       mfact::ClassifyParams cp = opts.classify;
+      cp.mfact.cancel = &token;
       double wall_total = 0;
       mfact::Classification cl;
       for (int rep = 0; rep < std::max(1, opts.timing_repeats); ++rep) {
@@ -108,8 +121,10 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
       out.lat_sensitivity = cl.lat_sensitivity;
       out.features[trace::kF_CL] =
           cl.group == mfact::SensitivityGroup::kCommSensitive ? 1.0 : 0.0;
-    } catch (const Error& e) {
-      so.error = e.what();
+    });
+    if (failure) {
+      so.error = failure->message;
+      so.fail_kind = failure->kind;
       reg.counter("scheme.mfact.errors").add(1);
     }
   }
@@ -124,6 +139,7 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
       if (unsupported) {
         so.attempted = false;
         so.error = "unsupported by SST/Macro 3.0-era model (compat emulation)";
+        so.fail_kind = robust::FailKind::kSkipped;
         continue;
       }
     }
@@ -131,12 +147,28 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
     telemetry::Span span(reg, std::string(scheme_name(s)) + " " + out.app, "scheme");
     span.arg("app", out.app);
     span.arg("ranks", std::to_string(out.ranks));
-    try {
+    robust::CancelToken token(opts.budget);
+    robust::FaultScope fscope(scheme_fault_context(s, &token));
+    const auto failure = robust::run_guarded([&] {
       double wall_total = 0;
       simmpi::ReplayResult rr;
-      for (int rep = 0; rep < std::max(1, opts.timing_repeats); ++rep) {
-        rr = simmpi::replay_trace(t, mi, to_net_kind(s), opts.replay);
-        wall_total += rr.wall_seconds;
+      simmpi::ReplayConfig rc = opts.replay;
+      rc.cancel = &token;
+      try {
+        for (int rep = 0; rep < std::max(1, opts.timing_repeats); ++rep) {
+          rr = simmpi::replay_trace(t, mi, to_net_kind(s), rc);
+          wall_total += rr.wall_seconds;
+        }
+      } catch (const simmpi::ReplayCancelled& e) {
+        // Budget trip: keep the partial progress on the outcome, then let
+        // the guard classify the cancellation.
+        const simmpi::ReplayResult& p = e.partial();
+        so.total_time = p.total_time;
+        so.components = p.components;
+        so.des_events = p.engine.events_processed;
+        so.net = p.net;
+        so.wall_seconds = p.wall_seconds;
+        throw;
       }
       so.wall_seconds = wall_total / std::max(1, opts.timing_repeats);
       so.total_time = rr.total_time;
@@ -145,8 +177,10 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
       so.des_events = rr.engine.events_processed;
       so.net = rr.net;
       so.ok = true;
-    } catch (const Error& e) {
-      so.error = e.what();
+    });
+    if (failure) {
+      so.error = failure->message;
+      so.fail_kind = failure->kind;
       reg.counter(std::string("scheme.") + scheme_name(s) + ".errors").add(1);
     }
   }
@@ -154,11 +188,30 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
 }
 
 TraceOutcome run_all_schemes(const workloads::TraceSpec& spec, const RunOptions& opts) {
-  const trace::Trace t = [&] {
+  // Ambient fault context for the whole spec: trace generation and every
+  // scheme run under it match `spec=<id>` fault rules.
+  robust::FaultContext fctx = robust::current_fault_context();
+  fctx.spec_id = spec.id;
+  robust::FaultScope fscope(fctx);
+
+  std::optional<trace::Trace> t;
+  const auto failure = robust::run_guarded([&] {
     telemetry::Span span("generate " + spec.app + "#" + std::to_string(spec.id), "generate");
-    return workloads::generate_spec(spec);
-  }();
-  TraceOutcome out = run_all_schemes(t, opts);
+    t.emplace(workloads::generate_spec(spec));
+  });
+  if (failure) {
+    // Generation failed: the trace never existed, so no scheme was attempted;
+    // all four report the structured generation failure.
+    TraceOutcome out;
+    out.spec_id = spec.id;
+    out.app = spec.app;
+    for (int i = 0; i < static_cast<int>(Scheme::kNumSchemes); ++i) {
+      out.scheme[i].error = "trace generation failed: " + failure->message;
+      out.scheme[i].fail_kind = failure->kind;
+    }
+    return out;
+  }
+  TraceOutcome out = run_all_schemes(*t, opts);
   out.spec_id = spec.id;
   return out;
 }

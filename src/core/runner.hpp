@@ -10,6 +10,7 @@
 #include "common/units.hpp"
 #include "mfact/classify.hpp"
 #include "obs/components.hpp"
+#include "robust/guard.hpp"
 #include "simmpi/replayer.hpp"
 #include "trace/features.hpp"
 #include "workloads/corpus.hpp"
@@ -25,6 +26,10 @@ struct SchemeOutcome {
   bool attempted = false;
   bool ok = false;
   std::string error;          ///< set when attempted && !ok
+  /// Structured failure class when !ok: error/oom/deadlock/budget/injected/
+  /// unknown, or kSkipped for compat skips. kNone when the scheme succeeded.
+  /// A budget trip still carries partial total_time/components/des_events.
+  robust::FailKind fail_kind = robust::FailKind::kNone;
   SimTime total_time = 0;     ///< predicted application time
   SimTime comm_time = 0;      ///< predicted mean communication time
   double wall_seconds = 0;    ///< host time the scheme took
@@ -75,6 +80,10 @@ struct RunOptions {
   /// packet model skips traces that use sub-communicators, and the flow
   /// model additionally skips traces containing Alltoallv/Gather/Scatter.
   bool sst30_compat = false;
+  /// Per-scheme execution budget (wall deadline, DES event cap, virtual-time
+  /// horizon). Unlimited by default; when limited, a scheme that exhausts it
+  /// degrades to a FailKind::kBudget outcome instead of hanging the study.
+  robust::Budget budget;
 };
 
 /// Run all four schemes over a freshly generated trace for `spec`.

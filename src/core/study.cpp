@@ -7,10 +7,13 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "robust/fault.hpp"
+#include "robust/journal.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/telemetry.hpp"
@@ -19,7 +22,7 @@ namespace hps::core {
 
 namespace {
 
-constexpr std::uint32_t kCacheVersion = 4;
+constexpr std::uint32_t kCacheVersion = 5;
 constexpr char kCacheMagic[4] = {'H', 'P', 'S', 'C'};
 
 template <typename T>
@@ -67,6 +70,7 @@ void put_outcome(std::ostream& os, const TraceOutcome& o) {
     put<std::uint8_t>(os, s.attempted ? 1 : 0);
     put<std::uint8_t>(os, s.ok ? 1 : 0);
     put_string(os, s.error);
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(s.fail_kind));
     put<SimTime>(os, s.total_time);
     put<SimTime>(os, s.comm_time);
     put<double>(os, s.wall_seconds);
@@ -94,6 +98,7 @@ TraceOutcome get_outcome(std::istream& is) {
     s.attempted = get<std::uint8_t>(is) != 0;
     s.ok = get<std::uint8_t>(is) != 0;
     s.error = get_string(is);
+    s.fail_kind = static_cast<robust::FailKind>(get<std::uint8_t>(is));
     s.total_time = get<SimTime>(is);
     s.comm_time = get<SimTime>(is);
     s.wall_seconds = get<double>(is);
@@ -117,18 +122,45 @@ std::uint64_t study_cache_key(const StudyOptions& opts) {
   h = mix_seed(h, opts.run.replay.eager_threshold);
   h = mix_seed(h, opts.run.replay.packet_size);
   h = mix_seed(h, opts.run.replay.packetflow_packet_size);
+  // Budgets change outcomes (a tripped scheme degrades to a budget failure),
+  // so budgeted and unbudgeted runs must never share cache entries.
+  h = mix_seed(h, static_cast<std::uint64_t>(opts.run.budget.wall_deadline_seconds * 1e6));
+  h = mix_seed(h, opts.run.budget.max_des_events);
+  h = mix_seed(h, static_cast<std::uint64_t>(opts.run.budget.virtual_horizon));
   return h;
+}
+
+std::string serialize_outcome(const TraceOutcome& o) {
+  std::ostringstream os(std::ios::binary);
+  put_outcome(os, o);
+  return std::move(os).str();
+}
+
+TraceOutcome deserialize_outcome(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  TraceOutcome o = get_outcome(is);
+  HPS_REQUIRE(is.peek() == std::char_traits<char>::eof(),
+              "outcome record has trailing bytes");
+  return o;
 }
 
 void save_outcomes(const std::vector<TraceOutcome>& outcomes, const std::string& path,
                    std::uint64_t key) {
-  std::ofstream os(path, std::ios::binary);
-  HPS_REQUIRE(os.is_open(), "cannot write study cache: " + path);
-  os.write(kCacheMagic, 4);
-  put<std::uint64_t>(os, key);
-  put<std::uint32_t>(os, static_cast<std::uint32_t>(outcomes.size()));
-  for (const auto& o : outcomes) put_outcome(os, o);
-  HPS_REQUIRE(static_cast<bool>(os), "study cache write failed");
+  // Write-temp-then-rename: a crash mid-save leaves the previous cache (or
+  // no cache) in place, never a truncated file under the real name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    HPS_REQUIRE(os.is_open(), "cannot write study cache: " + tmp);
+    os.write(kCacheMagic, 4);
+    put<std::uint64_t>(os, key);
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(outcomes.size()));
+    for (const auto& o : outcomes) put_outcome(os, o);
+    os.flush();
+    HPS_REQUIRE(static_cast<bool>(os), "study cache write failed");
+  }
+  HPS_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot move study cache into place: " + path);
 }
 
 std::optional<std::vector<TraceOutcome>> load_outcomes(const std::string& path,
@@ -175,6 +207,7 @@ std::vector<obs::LedgerRecord> ledger_records(const std::vector<TraceOutcome>& o
       rec.scheme = scheme_name(scheme);
       rec.ok = so.ok;
       rec.error = so.error;
+      rec.fail_kind = robust::fail_kind_name(so.fail_kind);
       rec.predicted_total_ns = so.total_time;
       rec.predicted_comm_ns = so.comm_time;
       rec.measured_total_ns = o.measured_total;
@@ -206,6 +239,7 @@ std::string default_cache_path(const std::string& tag) {
 
 StudyResult run_study(const StudyOptions& opts) {
   telemetry::init_from_env();
+  robust::init_faults_from_env();
   auto& reg = telemetry::Registry::global();
   telemetry::Span study_span(reg, "run_study", "study");
 
@@ -225,6 +259,43 @@ StudyResult run_study(const StudyOptions& opts) {
   const auto specs = workloads::build_corpus_specs(opts.corpus);
   result.outcomes.resize(specs.size());
 
+  // Crash-safe journal: restore every intact outcome a previous (killed) run
+  // of the same study already computed, then append new ones as they finish.
+  std::vector<char> have(specs.size(), 0);
+  robust::JournalWriter journal;
+  std::mutex journal_mu;
+  if (!opts.journal_path.empty()) {
+    char keyhex[24];
+    std::snprintf(keyhex, sizeof keyhex, "%016llx", static_cast<unsigned long long>(key));
+    const std::string jkey = keyhex;
+    const robust::JournalContents prior = robust::read_journal(opts.journal_path, jkey);
+    std::size_t restored = 0;
+    if (prior.existed && prior.key_matched) {
+      for (const std::string& rec : prior.records) {
+        TraceOutcome o;
+        try {
+          o = deserialize_outcome(rec);
+        } catch (const std::exception&) {
+          break;  // framing was intact but the payload is not: stop trusting
+        }
+        const auto idx = static_cast<std::size_t>(o.spec_id);
+        if (o.spec_id >= 0 && idx < specs.size() && specs[idx].id == o.spec_id &&
+            have[idx] == 0) {
+          result.outcomes[idx] = std::move(o);
+          have[idx] = 1;
+          ++restored;
+        }
+      }
+    }
+    if (restored > 0) {
+      journal.open_resume(opts.journal_path, prior.valid_bytes);
+      result.resumed_from_journal = static_cast<int>(restored);
+      reg.counter("robust.resumed").add(restored);
+    } else {
+      journal.open_fresh(opts.journal_path, jkey);
+    }
+  }
+
   int nthreads = opts.threads;
   if (nthreads <= 0)
     nthreads = std::min(16u, std::max(1u, std::thread::hardware_concurrency()));
@@ -239,7 +310,16 @@ StudyResult run_study(const StudyOptions& opts) {
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= specs.size()) return;
+      if (have[i] != 0) {
+        progress.completed("(restored from journal)");
+        continue;
+      }
       result.outcomes[i] = run_all_schemes(specs[i], opts.run);
+      if (journal.is_open()) {
+        const std::string rec = serialize_outcome(result.outcomes[i]);
+        const std::lock_guard<std::mutex> lk(journal_mu);
+        journal.append(rec);
+      }
       char label[80];
       std::snprintf(label, sizeof label, "%-12s %5d ranks  %8llu events",
                     specs[i].app.c_str(), specs[i].params.ranks,
@@ -257,6 +337,12 @@ StudyResult run_study(const StudyOptions& opts) {
   result.wall_seconds = std::chrono::duration<double>(end - start).count();
 
   if (!opts.cache_path.empty()) save_outcomes(result.outcomes, opts.cache_path, key);
+  if (journal.is_open()) {
+    // The study completed and (if configured) the cache now holds everything
+    // the journal protected; a leftover journal would only shadow it.
+    journal.close();
+    std::remove(opts.journal_path.c_str());
+  }
   if (!opts.ledger_path.empty()) {
     obs::append_ledger(opts.ledger_path, ledger_records(result.outcomes, key));
     reg.counter("study.ledger_records")

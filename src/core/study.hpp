@@ -25,12 +25,19 @@ struct StudyOptions {
   std::string ledger_path;
   bool force_recompute = false;
   bool progress = false;    ///< print one line per completed trace to stderr
+  /// Crash-safe journal: every completed TraceOutcome is appended (framed and
+  /// CRC-checked, flushed per record) as workers finish. If the process dies
+  /// mid-study, rerunning with the same options resumes from the journal,
+  /// recomputing only the missing specs. Removed after a successful run.
+  /// Empty = no journaling.
+  std::string journal_path;
 };
 
 struct StudyResult {
   std::vector<TraceOutcome> outcomes;  ///< ordered by spec id
   double wall_seconds = 0;
   bool from_cache = false;
+  int resumed_from_journal = 0;  ///< outcomes restored from the journal
 };
 
 /// Run (or load) the study.
@@ -54,5 +61,10 @@ void save_outcomes(const std::vector<TraceOutcome>& outcomes, const std::string&
                    std::uint64_t key);
 std::optional<std::vector<TraceOutcome>> load_outcomes(const std::string& path,
                                                        std::uint64_t key);
+
+/// Single-outcome codec (the cache's record format, exposed for the journal
+/// and tests). deserialize_outcome throws hps::Error on malformed bytes.
+std::string serialize_outcome(const TraceOutcome& o);
+TraceOutcome deserialize_outcome(const std::string& bytes);
 
 }  // namespace hps::core

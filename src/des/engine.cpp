@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "robust/cancel.hpp"
 
 namespace hps::des {
 
@@ -89,7 +90,17 @@ void Engine::dispatch(const QueuedEvent& ev) {
 }
 
 SimTime Engine::run() {
-  while (!queue_.empty()) dispatch(queue_.pop());
+  if (cancel_ == nullptr) {
+    while (!queue_.empty()) dispatch(queue_.pop());
+  } else {
+    // Separate loop so the common (unguarded) path stays a single branch.
+    // tick() may throw; the calendar is left intact so the caller can read
+    // now() and partial statistics off the cancelled engine.
+    while (!queue_.empty()) {
+      cancel_->tick(queue_.next_time());
+      dispatch(queue_.pop());
+    }
+  }
   flush_telemetry();
   return now_;
 }
@@ -101,6 +112,7 @@ bool Engine::run_until(SimTime t_limit) {
       drained = false;
       break;
     }
+    if (cancel_ != nullptr) cancel_->tick(queue_.next_time());
     dispatch(queue_.pop());
   }
   flush_telemetry();

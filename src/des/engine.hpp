@@ -25,6 +25,10 @@ namespace hps::obs {
 class TimelineRecorder;
 }
 
+namespace hps::robust {
+class CancelToken;
+}
+
 namespace hps::des {
 
 class Engine;
@@ -104,6 +108,13 @@ class Engine {
   obs::TimelineRecorder* recorder() const { return recorder_; }
   void set_recorder(obs::TimelineRecorder* rec) { recorder_ = rec; }
 
+  /// Optional cooperative cancellation/budget token. Null by default (one
+  /// pointer test per dispatched event). When set, the run loops call
+  /// tick() before each dispatch, so a tripped budget throws CancelledError
+  /// out of run()/run_until() with the calendar left intact. Not owned.
+  robust::CancelToken* cancel() const { return cancel_; }
+  void set_cancel(robust::CancelToken* token) { cancel_ = token; }
+
  private:
   void dispatch(const QueuedEvent& ev);
 
@@ -120,6 +131,7 @@ class Engine {
   telemetry::LocalMax max_queue_depth_;
   SimTime flushed_sim_time_ = 0;
   obs::TimelineRecorder* recorder_ = nullptr;
+  robust::CancelToken* cancel_ = nullptr;
   // Pooled one-shot callables for schedule_fn_*: slots are recycled through
   // a free list, so steady-state scheduling performs no allocation.
   std::vector<std::function<void()>> pending_fns_;

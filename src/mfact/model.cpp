@@ -8,6 +8,8 @@
 #include "common/error.hpp"
 #include "mfact/coll_cost.hpp"
 #include "obs/timeline.hpp"
+#include "robust/cancel.hpp"
+#include "robust/fault.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hps::mfact {
@@ -395,6 +397,8 @@ void LogicalReplay::run_rank(Rank r) {
   const auto& evs = trace_.rank(r).events;
   while (cur < evs.size()) {
     const Event& e = evs[cur];
+    if (params_.cancel != nullptr)
+      params_.cancel->tick(static_cast<SimTime>(clock(r)[0]));
     switch (e.type) {
       case OpType::kCompute: {
         double* clk = clock(r);
@@ -475,8 +479,10 @@ std::vector<ConfigResult> LogicalReplay::run() {
     run_rank(r);
   }
   for (Rank r = 0; r < trace_.nranks(); ++r)
-    HPS_REQUIRE(cursor_[static_cast<std::size_t>(r)] == trace_.rank(r).events.size(),
-                "MFACT replay deadlock in trace " + trace_.meta().app);
+    if (cursor_[static_cast<std::size_t>(r)] != trace_.rank(r).events.size())
+      throw DeadlockError("MFACT replay deadlock in trace " + trace_.meta().app + ": rank " +
+                          std::to_string(r) + " stuck at event " +
+                          std::to_string(cursor_[static_cast<std::size_t>(r)]));
 
   std::vector<ConfigResult> out(k_);
   for (std::size_t c = 0; c < k_; ++c) {
@@ -529,6 +535,7 @@ void flush_mfact_telemetry(const trace::Trace& t, std::size_t nconfigs,
 std::vector<ConfigResult> run_mfact(const trace::Trace& t,
                                     const std::vector<NetworkConfigPoint>& configs,
                                     const MfactParams& params, double* wall_seconds) {
+  robust::fault_point(robust::FaultSite::kMfact);
   const auto start = std::chrono::steady_clock::now();
   LogicalReplay replay(t, configs, params);
   auto out = replay.run();

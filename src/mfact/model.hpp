@@ -26,6 +26,10 @@ namespace hps::obs {
 class TimelineRecorder;
 }
 
+namespace hps::robust {
+class CancelToken;
+}
+
 namespace hps::mfact {
 
 /// One network configuration evaluated during replay.
@@ -81,6 +85,9 @@ struct MfactParams {
   /// records per-rank intervals for the *base* configuration (index 0) so
   /// the model's predicted execution can be eyeballed next to a simulator's.
   obs::TimelineRecorder* timeline = nullptr;
+  /// Optional cooperative budget/cancel token (not owned), ticked once per
+  /// replayed trace event with the rank's base logical clock.
+  robust::CancelToken* cancel = nullptr;
 };
 
 /// Replay `t` once, evaluating every configuration in `configs`

@@ -24,6 +24,32 @@ double rel_dev(double a, double b) {
 
 }  // namespace
 
+bool is_degraded(const LedgerRecord& rec) {
+  return rec.fail_kind != "none" && rec.fail_kind != "skipped";
+}
+
+std::vector<std::pair<std::string, std::size_t>> fail_kind_counts(
+    const std::vector<LedgerRecord>& records) {
+  std::vector<std::pair<std::string, std::size_t>> counts;
+  for (const LedgerRecord& rec : records) {
+    auto it = std::find_if(counts.begin(), counts.end(),
+                           [&](const auto& p) { return p.first == rec.fail_kind; });
+    if (it == counts.end())
+      counts.emplace_back(rec.fail_kind, 1);
+    else
+      ++it->second;
+  }
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+std::size_t degraded_count(const std::vector<LedgerRecord>& records) {
+  std::size_t n = 0;
+  for (const LedgerRecord& rec : records)
+    if (is_degraded(rec)) ++n;
+  return n;
+}
+
 std::vector<Divergence> top_divergent(const std::vector<LedgerRecord>& records,
                                       std::size_t n) {
   // MFACT counterpart lookup per (study_key, spec_id): study keys intern to
@@ -186,6 +212,9 @@ DiffResult diff_ledgers(const std::vector<LedgerRecord>& before,
   }
   // Every compared pair consumed one distinct A-side key; the rest are new.
   out.only_after = a_index.size() - out.compared;
+  out.after_fail_kinds = fail_kind_counts(after);
+  out.degraded_after = degraded_count(after);
+  out.degraded_blocking = out.degraded_after > 0 && !opts.allow_degraded;
   return out;
 }
 
@@ -194,9 +223,17 @@ void render_diff(std::ostream& os, const DiffResult& diff, const DiffOptions& op
      << fmt_percent(opts.tolerance) << ")\n";
   if (diff.only_before) os << "  " << diff.only_before << " record(s) only in ledger A\n";
   if (diff.only_after) os << "  " << diff.only_after << " record(s) only in ledger B\n";
+  if (diff.degraded_after > 0) {
+    os << "  " << diff.degraded_after << " degraded record(s) in ledger B:";
+    for (const auto& [kind, n] : diff.after_fail_kinds)
+      if (kind != "none" && kind != "skipped") os << " " << kind << "=" << n;
+    os << (opts.allow_degraded ? " (allowed)" : "") << "\n";
+  }
   if (diff.regressions.empty()) {
     if (diff.ok())
       os << "OK: no divergence beyond tolerance\n";
+    else if (diff.degraded_blocking)
+      os << "FAIL: degraded records present (rerun with --allow-degraded to tolerate)\n";
     else
       os << "FAIL: ledgers cover different record sets\n";
   } else {

@@ -9,11 +9,24 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/ledger.hpp"
 
 namespace hps::obs {
+
+/// True when a record carries a real failure: any fail_kind other than
+/// "none" (success) or "skipped" (deliberate compat skip).
+bool is_degraded(const LedgerRecord& rec);
+
+/// Count records per fail_kind, sorted by name ("budget", "deadlock", ...).
+/// Kinds with zero records are omitted.
+std::vector<std::pair<std::string, std::size_t>> fail_kind_counts(
+    const std::vector<LedgerRecord>& records);
+
+/// Number of records for which is_degraded() holds.
+std::size_t degraded_count(const std::vector<LedgerRecord>& records);
 
 /// One simulated scheme's divergence from MFACT on one trace.
 struct Divergence {
@@ -41,6 +54,10 @@ struct DiffOptions {
   double tolerance = 0.02;       ///< relative predicted-time tolerance
   double wall_tolerance = 0;     ///< relative wall-time tolerance; 0 = ignore walls
   std::size_t max_report = 20;   ///< cap on printed regressions
+  /// Degraded records (fail_kind beyond none/skipped) in the after-side
+  /// ledger fail the diff by default; set to tolerate them (the per-kind
+  /// counts are still reported).
+  bool allow_degraded = false;
 };
 
 /// One record pair whose predicted (or wall) time moved beyond tolerance,
@@ -57,7 +74,13 @@ struct DiffResult {
   std::size_t compared = 0;       ///< record pairs present in both ledgers
   std::size_t only_before = 0;
   std::size_t only_after = 0;
-  bool ok() const { return regressions.empty() && only_before == 0 && only_after == 0; }
+  /// Per-fail_kind record counts of the after-side ledger.
+  std::vector<std::pair<std::string, std::size_t>> after_fail_kinds;
+  std::size_t degraded_after = 0;     ///< after-side records with real failures
+  bool degraded_blocking = false;     ///< degraded_after > 0 && !allow_degraded
+  bool ok() const {
+    return regressions.empty() && only_before == 0 && only_after == 0 && !degraded_blocking;
+  }
 };
 
 /// Compare two ledgers record-by-record, keyed on (spec_id, scheme). The

@@ -214,6 +214,7 @@ std::string to_json_line(const LedgerRecord& rec) {
   out += ",\"ok\":";
   out += rec.ok ? "true" : "false";
   field_str(out, "error", rec.error);
+  field_str(out, "fail_kind", rec.fail_kind);
   field_int(out, "predicted_total_ns", rec.predicted_total_ns);
   field_int(out, "predicted_comm_ns", rec.predicted_comm_ns);
   field_int(out, "measured_total_ns", rec.measured_total_ns);
@@ -255,6 +256,7 @@ LedgerRecord parse_ledger_line(const std::string& line) {
   rec.scheme = get_str(obj, "scheme");
   rec.ok = get_bool(obj, "ok");
   rec.error = get_str(obj, "error");
+  rec.fail_kind = get_str(obj, "fail_kind");
   rec.predicted_total_ns = get_i64(obj, "predicted_total_ns");
   rec.predicted_comm_ns = get_i64(obj, "predicted_comm_ns");
   rec.measured_total_ns = get_i64(obj, "measured_total_ns");

@@ -26,7 +26,8 @@ namespace hps::obs {
 /// Bump when the ledger record layout or the meaning of any field changes.
 /// Mixed into `core::study_cache_key`, so a bump also invalidates binary
 /// caches written before the change.
-inline constexpr std::uint32_t kObsSchemaVersion = 1;
+/// v2: added `fail_kind` (structured failure class from the run guards).
+inline constexpr std::uint32_t kObsSchemaVersion = 2;
 
 /// One trace×scheme observation. Field order here matches the JSON output.
 struct LedgerRecord {
@@ -40,6 +41,10 @@ struct LedgerRecord {
   std::string scheme;  ///< "mfact" | "packet" | "flow" | "packet-flow"
   bool ok = false;
   std::string error;
+  /// Structured failure class (robust::fail_kind_name): "none" on success,
+  /// "skipped" for compat skips, else error/oom/deadlock/budget/injected/
+  /// unknown. Stored as a plain string so obs stays independent of robust.
+  std::string fail_kind = "none";
   std::int64_t predicted_total_ns = 0;
   std::int64_t predicted_comm_ns = 0;
   std::int64_t measured_total_ns = 0;

@@ -1,0 +1,42 @@
+#include "robust/cancel.hpp"
+
+#include <string>
+
+namespace hps::robust {
+
+const char* cancel_reason_name(CancelReason r) {
+  switch (r) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kDeadline: return "deadline";
+    case CancelReason::kEventCap: return "event-cap";
+    case CancelReason::kHorizon: return "horizon";
+    case CancelReason::kInjected: return "injected";
+  }
+  return "?";
+}
+
+void CancelToken::raise(CancelReason reason) {
+  reason_ = reason;
+  cancelled_.store(true, std::memory_order_release);
+  std::string msg = "cancelled (";
+  msg += cancel_reason_name(reason);
+  msg += ")";
+  switch (reason) {
+    case CancelReason::kDeadline:
+      msg += ": wall deadline " + std::to_string(budget_.wall_deadline_seconds) +
+             "s exceeded after " + std::to_string(ticks_) + " events";
+      break;
+    case CancelReason::kEventCap:
+      msg += ": event cap " + std::to_string(budget_.max_des_events) + " exceeded";
+      break;
+    case CancelReason::kHorizon:
+      msg += ": virtual-time horizon " + std::to_string(budget_.virtual_horizon) +
+             "ns exceeded";
+      break;
+    default:
+      break;
+  }
+  throw CancelledError(reason, msg);
+}
+
+}  // namespace hps::robust

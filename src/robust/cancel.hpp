@@ -1,0 +1,131 @@
+// Cooperative cancellation and execution budgets.
+//
+// A CancelToken is armed with a Budget — wall-clock deadline, DES event-count
+// cap, virtual-time horizon — and handed to the hot loops (des::Engine's
+// dispatch loop, MFACT's logical replay). Those loops call tick() once per
+// event; when any budget dimension is exhausted the token throws
+// CancelledError, which the run guard (guard.hpp) maps to a structured
+// budget_exceeded outcome instead of letting a runaway simulation wedge the
+// study pool. cancel() trips the token from outside the running thread (or
+// from an injected fault), surfacing at the next tick.
+//
+// Cost discipline: an unarmed engine pays one pointer test per event; an
+// armed token pays one relaxed atomic load plus two integer compares, with
+// the steady_clock read amortized over 4096 ticks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hps::robust {
+
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kDeadline,  ///< wall-clock budget exhausted
+  kEventCap,  ///< DES event-count budget exhausted
+  kHorizon,   ///< virtual-time budget exhausted
+  kInjected,  ///< tripped by fault injection / an external cancel()
+};
+
+const char* cancel_reason_name(CancelReason r);
+
+/// Thrown from CancelToken::tick()/check() when a budget trips or the token
+/// is cancelled. Derives from hps::Error so legacy catch sites still treat it
+/// as a recoverable per-trace failure; the run guard catches it first and
+/// preserves the reason.
+class CancelledError : public Error {
+ public:
+  CancelledError(CancelReason reason, const std::string& what)
+      : Error(what), reason_(reason) {}
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+/// Per-scheme execution budget. Zero in any dimension means unlimited; the
+/// default is fully unlimited, so existing call sites pay only the disabled
+/// fast path and produce bit-identical results.
+struct Budget {
+  double wall_deadline_seconds = 0;  ///< host wall-clock cap per scheme run
+  std::uint64_t max_des_events = 0;  ///< cap on processed events (DES or logical)
+  SimTime virtual_horizon = 0;       ///< cap on simulated time, ns
+  bool limited() const {
+    return wall_deadline_seconds > 0 || max_des_events > 0 || virtual_horizon > 0;
+  }
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(const Budget& b) { arm(b); }
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// (Re)arm with a budget; the wall-clock deadline starts now.
+  void arm(const Budget& b) {
+    budget_ = b;
+    ticks_ = 0;
+    armed_ = b.limited();
+    reason_ = CancelReason::kNone;
+    cancelled_.store(false, std::memory_order_relaxed);
+    if (b.wall_deadline_seconds > 0)
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(b.wall_deadline_seconds));
+  }
+
+  /// Trip the token (thread-safe); the running loop throws at its next tick.
+  void cancel(CancelReason reason) {
+    reason_ = reason;  // written before the flag; readers re-check after load
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  CancelReason reason() const { return reason_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+  /// Throw if cancel() was called. For non-loop checkpoints.
+  void check() {
+    if (cancelled())
+      raise(reason_ == CancelReason::kNone ? CancelReason::kInjected : reason_);
+  }
+
+  /// Hot-path progress checkpoint: one call per processed event. `now` is the
+  /// virtual time about to be processed (0 when the caller has no meaningful
+  /// clock). Throws CancelledError when the budget is exhausted.
+  void tick(SimTime now) {
+    ++ticks_;
+    if (cancelled_.load(std::memory_order_relaxed)) check();
+    if (!armed_) return;
+    if (budget_.virtual_horizon > 0 && now > budget_.virtual_horizon)
+      raise(CancelReason::kHorizon);
+    if (budget_.max_des_events > 0 && ticks_ > budget_.max_des_events)
+      raise(CancelReason::kEventCap);
+    if (budget_.wall_deadline_seconds > 0 && (ticks_ & kWallCheckMask) == 0 &&
+        std::chrono::steady_clock::now() > deadline_)
+      raise(CancelReason::kDeadline);
+  }
+
+  const Budget& budget() const { return budget_; }
+
+ private:
+  [[noreturn]] void raise(CancelReason reason);
+
+  /// The steady_clock read costs ~20ns; sampling every 4096 events bounds
+  /// deadline overshoot to microseconds at packet-model event rates.
+  static constexpr std::uint64_t kWallCheckMask = (std::uint64_t{1} << 12) - 1;
+
+  Budget budget_;
+  std::uint64_t ticks_ = 0;
+  bool armed_ = false;
+  CancelReason reason_ = CancelReason::kNone;
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace hps::robust

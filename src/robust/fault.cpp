@@ -1,0 +1,208 @@
+#include "robust/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hps::robust {
+
+namespace {
+
+// The installed plan. Swapped whole-sale by set/clear; fault points read it
+// with one relaxed load on the disabled path. The retired plan is kept alive
+// (not freed) to stay safe against a racing reader — plans are tiny and
+// installed a handful of times per process.
+std::atomic<const FaultPlan*> g_plan{nullptr};
+
+thread_local FaultContext t_context;
+
+bool spec_selected(const FaultSpec& f, const FaultContext& ctx) {
+  if (f.probability >= 1.0) return true;
+  std::uint64_t h = mix_seed(f.seed, 0x9e3779b97f4a7c15ULL);
+  h = mix_seed(h, static_cast<std::uint64_t>(f.site));
+  h = mix_seed(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(ctx.spec_id)));
+  h = mix_seed(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(ctx.scheme)));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / static_cast<double>(std::uint64_t{1} << 53));
+  return u < f.probability;
+}
+
+[[noreturn]] void throw_injected(FaultSite site) {
+  throw Error(std::string("injected fault at site ") + fault_site_name(site));
+}
+
+void trigger(const FaultSpec& f, FaultSite site, const FaultContext& ctx) {
+  telemetry::Registry::global().counter("robust.faults_injected").add(1);
+  switch (f.kind) {
+    case FaultKind::kThrow:
+      throw_injected(site);
+    case FaultKind::kAllocFail:
+      throw std::bad_alloc();
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(f.delay_ms));
+      return;
+    case FaultKind::kCancel:
+      if (ctx.token != nullptr) {
+        ctx.token->cancel(CancelReason::kInjected);
+        ctx.token->check();  // does not return
+      }
+      throw CancelledError(CancelReason::kInjected,
+                           std::string("injected cancel at site ") + fault_site_name(site));
+    case FaultKind::kExit:
+      // Simulate a hard crash / external kill: no unwinding, no flushes
+      // beyond what has already reached the OS (the journal flushes every
+      // record, which is exactly the guarantee under test).
+      std::_Exit(f.exit_code);
+  }
+}
+
+FaultSite parse_site(const std::string& v) {
+  if (v == "mfact") return FaultSite::kMfact;
+  if (v == "packet") return FaultSite::kPacket;
+  if (v == "flow") return FaultSite::kFlow;
+  if (v == "packet-flow" || v == "packetflow") return FaultSite::kPacketFlow;
+  if (v == "generate") return FaultSite::kGenerate;
+  throw Error("fault plan: unknown site \"" + v + "\"");
+}
+
+int parse_scheme(const std::string& v) {
+  // Matches core::Scheme's order (stable public contract of the runner).
+  if (v == "mfact") return 0;
+  if (v == "packet") return 1;
+  if (v == "flow") return 2;
+  if (v == "packet-flow" || v == "packetflow") return 3;
+  throw Error("fault plan: unknown scheme \"" + v + "\"");
+}
+
+FaultKind parse_kind(const std::string& v) {
+  if (v == "throw") return FaultKind::kThrow;
+  if (v == "alloc") return FaultKind::kAllocFail;
+  if (v == "delay") return FaultKind::kDelay;
+  if (v == "cancel") return FaultKind::kCancel;
+  if (v == "exit") return FaultKind::kExit;
+  throw Error("fault plan: unknown kind \"" + v + "\"");
+}
+
+FaultSpec parse_spec(const std::string& text) {
+  FaultSpec f;
+  bool has_site = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string field = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos)
+      throw Error("fault plan: field \"" + field + "\" is not key=value");
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    if (key == "site") {
+      f.site = parse_site(val);
+      has_site = true;
+    } else if (key == "spec") {
+      f.spec_id = std::atoi(val.c_str());
+    } else if (key == "scheme") {
+      f.scheme = parse_scheme(val);
+    } else if (key == "kind") {
+      f.kind = parse_kind(val);
+    } else if (key == "p") {
+      f.probability = std::atof(val.c_str());
+    } else if (key == "seed") {
+      f.seed = static_cast<std::uint64_t>(std::atoll(val.c_str()));
+    } else if (key == "delay_ms") {
+      f.delay_ms = std::atoi(val.c_str());
+    } else if (key == "exit_code") {
+      f.exit_code = std::atoi(val.c_str());
+    } else {
+      throw Error("fault plan: unknown key \"" + key + "\"");
+    }
+  }
+  if (!has_site) throw Error("fault plan: spec \"" + text + "\" is missing site=");
+  return f;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::kMfact: return "mfact";
+    case FaultSite::kPacket: return "packet";
+    case FaultSite::kFlow: return "flow";
+    case FaultSite::kPacketFlow: return "packet-flow";
+    case FaultSite::kGenerate: return "generate";
+  }
+  return "?";
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kAllocFail: return "alloc";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kCancel: return "cancel";
+    case FaultKind::kExit: return "exit";
+  }
+  return "?";
+}
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string part = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (part.find_first_not_of(" \t") == std::string::npos) continue;
+    plan.specs.push_back(parse_spec(part));
+  }
+  return plan;
+}
+
+void set_fault_plan(FaultPlan plan) {
+  if (plan.empty()) {
+    clear_fault_plan();
+    return;
+  }
+  // Intentionally leaked (see g_plan comment).
+  g_plan.store(new FaultPlan(std::move(plan)), std::memory_order_release);
+}
+
+void clear_fault_plan() { g_plan.store(nullptr, std::memory_order_release); }
+
+bool fault_plan_active() { return g_plan.load(std::memory_order_acquire) != nullptr; }
+
+void init_faults_from_env() {
+  const char* env = std::getenv("HPS_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  set_fault_plan(parse_fault_plan(env));
+}
+
+FaultContext current_fault_context() { return t_context; }
+
+FaultScope::FaultScope(const FaultContext& ctx) : saved_(t_context) { t_context = ctx; }
+
+FaultScope::~FaultScope() { t_context = saved_; }
+
+void fault_point(FaultSite site) {
+  const FaultPlan* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return;
+  const FaultContext& ctx = t_context;
+  for (const FaultSpec& f : plan->specs) {
+    if (f.site != site) continue;
+    if (f.spec_id >= 0 && f.spec_id != ctx.spec_id) continue;
+    if (f.scheme >= 0 && f.scheme != ctx.scheme) continue;
+    if (!spec_selected(f, ctx)) continue;
+    trigger(f, site, ctx);
+  }
+}
+
+}  // namespace hps::robust

@@ -1,0 +1,108 @@
+// Deterministic fault injection.
+//
+// A FaultPlan — installed programmatically or parsed from the HPS_FAULT
+// environment variable — arms instrumented sites in MFACT, the three network
+// models, trace generation, and (implicitly, through CancelToken) the DES
+// engine. Each FaultSpec matches a site plus optional corpus spec id and
+// scheme, so a single trace×scheme execution can be made to throw, fail an
+// allocation, stall, cancel, or kill the process — deterministically, which
+// is what makes the recovery paths (run guards, crash-safe journal resume)
+// testable in CI.
+//
+// Grammar (HPS_FAULT): specs separated by ';', fields by ',':
+//
+//   site=<mfact|packet|flow|packet-flow|generate>   required
+//   spec=<id>          corpus spec to hit (default: any)
+//   scheme=<mfact|packet|flow|packet-flow>          (default: any)
+//   kind=<throw|alloc|delay|cancel|exit>            (default: throw)
+//   p=<0..1>,seed=<n>  deterministic hashed selection (default: always fire)
+//   delay_ms=<n>       per-hit sleep for kind=delay (default: 20)
+//   exit_code=<n>      process exit status for kind=exit (default: 77)
+//
+// Example: HPS_FAULT="site=packet,spec=3,kind=alloc;site=generate,kind=throw"
+//
+// The disabled fast path — no plan installed — is a single relaxed atomic
+// load, so the instrumented sites cost nothing in production runs and results
+// stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "robust/cancel.hpp"
+
+namespace hps::robust {
+
+enum class FaultSite : std::uint8_t { kMfact, kPacket, kFlow, kPacketFlow, kGenerate };
+const char* fault_site_name(FaultSite s);
+
+enum class FaultKind : std::uint8_t {
+  kThrow,      ///< throw hps::Error at the site
+  kAllocFail,  ///< throw std::bad_alloc at the site
+  kDelay,      ///< sleep delay_ms per hit (trips a wall-deadline budget)
+  kCancel,     ///< trip the ambient CancelToken with CancelReason::kInjected
+  kExit,       ///< std::_Exit(exit_code): simulates a mid-study crash/kill
+};
+const char* fault_kind_name(FaultKind k);
+
+struct FaultSpec {
+  FaultSite site = FaultSite::kPacket;
+  int spec_id = -1;  ///< corpus spec id to match; -1 = any
+  int scheme = -1;   ///< core::Scheme index (0=mfact,1=packet,2=flow,3=packet-flow); -1 = any
+  FaultKind kind = FaultKind::kThrow;
+  /// Fire with this probability, decided by a deterministic hash of
+  /// (seed, site, spec, scheme) — the same plan always hits the same runs.
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+  int delay_ms = 20;
+  int exit_code = 77;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+  bool empty() const { return specs.empty(); }
+};
+
+/// Parse the HPS_FAULT grammar above. Throws hps::Error on unknown keys,
+/// sites, kinds, or malformed fields.
+FaultPlan parse_fault_plan(const std::string& text);
+
+/// Install / replace / clear the global plan (not thread-safe against
+/// concurrently executing fault points; install before spawning workers).
+void set_fault_plan(FaultPlan plan);
+void clear_fault_plan();
+bool fault_plan_active();
+
+/// Install the plan from $HPS_FAULT if set (no-op otherwise). Called by
+/// core::run_study so studies honor the variable without tool changes.
+void init_faults_from_env();
+
+/// Ambient per-thread attribution for fault matching: which corpus spec and
+/// scheme the current thread is executing, and the CancelToken guarding it.
+struct FaultContext {
+  int spec_id = -1;
+  int scheme = -1;
+  CancelToken* token = nullptr;
+};
+
+FaultContext current_fault_context();
+
+/// RAII: install a context for the current scope, restoring the previous one
+/// on exit. Nest freely (the runner sets spec_id; each scheme adds itself).
+class FaultScope {
+ public:
+  explicit FaultScope(const FaultContext& ctx);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultContext saved_;
+};
+
+/// Instrumented site: fires any matching FaultSpec of the installed plan.
+/// One relaxed atomic load when no plan is installed.
+void fault_point(FaultSite site);
+
+}  // namespace hps::robust

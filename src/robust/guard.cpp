@@ -1,0 +1,58 @@
+#include "robust/guard.hpp"
+
+#include <exception>
+#include <new>
+#include <stdexcept>
+
+#include "telemetry/telemetry.hpp"
+
+namespace hps::robust {
+
+const char* fail_kind_name(FailKind k) {
+  switch (k) {
+    case FailKind::kNone: return "none";
+    case FailKind::kSkipped: return "skipped";
+    case FailKind::kError: return "error";
+    case FailKind::kOom: return "oom";
+    case FailKind::kDeadlock: return "deadlock";
+    case FailKind::kBudget: return "budget";
+    case FailKind::kInjected: return "injected";
+    case FailKind::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Failure classify_active_exception() {
+  Failure f;
+  // Ordered most-specific first: CancelledError and DeadlockError both derive
+  // from hps::Error, and length_error (a corrupt size reaching a container)
+  // is treated as the allocation failure it becomes in practice.
+  try {
+    throw;
+  } catch (const CancelledError& e) {
+    f.kind = e.reason() == CancelReason::kInjected ? FailKind::kInjected : FailKind::kBudget;
+    f.message = e.what();
+  } catch (const DeadlockError& e) {
+    f.kind = FailKind::kDeadlock;
+    f.message = e.what();
+  } catch (const Error& e) {
+    f.kind = FailKind::kError;
+    f.message = e.what();
+  } catch (const std::bad_alloc& e) {
+    f.kind = FailKind::kOom;
+    f.message = e.what();
+  } catch (const std::length_error& e) {
+    f.kind = FailKind::kOom;
+    f.message = e.what();
+  } catch (const std::exception& e) {
+    f.kind = FailKind::kError;
+    f.message = e.what();
+  } catch (...) {
+    f.kind = FailKind::kUnknown;
+    f.message = "unknown non-std exception";
+  }
+  telemetry::Registry::global().counter("robust.guard_trips").add(1);
+  return f;
+}
+
+}  // namespace hps::robust

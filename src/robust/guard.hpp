@@ -1,0 +1,55 @@
+// Run guards: execute one scheme (or any per-trace unit of work) and map
+// *every* escaping exception to a structured failure instead of letting it
+// cross a worker-thread boundary and call std::terminate.
+//
+// FailKind is the taxonomy the ledger, cache and `hpcsweep_inspect check`
+// report: error (recoverable hps::Error or foreign std::exception), oom
+// (bad_alloc / length_error), deadlock (replayer/MFACT progress failure),
+// budget (a CancelToken tripped on deadline / event cap / horizon), injected
+// (a deterministic fault-plan cancel), unknown (a non-std exception), and
+// skipped (never attempted, e.g. SST 3.0 compat emulation).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "robust/cancel.hpp"
+
+namespace hps::robust {
+
+enum class FailKind : std::uint8_t {
+  kNone = 0,  ///< succeeded
+  kSkipped,   ///< not attempted (scheme-compat skip)
+  kError,     ///< hps::Error or another std::exception
+  kOom,       ///< std::bad_alloc / std::length_error
+  kDeadlock,  ///< replay could not make progress
+  kBudget,    ///< budget exceeded (deadline / event cap / horizon)
+  kInjected,  ///< deterministic fault-plan cancellation
+  kUnknown,   ///< non-std exception type
+};
+
+const char* fail_kind_name(FailKind k);
+
+struct Failure {
+  FailKind kind = FailKind::kError;
+  std::string message;
+};
+
+/// Classify the exception currently in flight. Must be called from inside a
+/// catch block; bumps the `robust.guard_trips` telemetry counter.
+Failure classify_active_exception();
+
+/// Run `f`, absorbing every exception into a structured Failure. Returns
+/// nullopt on success.
+template <typename F>
+std::optional<Failure> run_guarded(F&& f) {
+  try {
+    std::forward<F>(f)();
+    return std::nullopt;
+  } catch (...) {
+    return classify_active_exception();
+  }
+}
+
+}  // namespace hps::robust

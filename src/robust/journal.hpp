@@ -1,0 +1,69 @@
+// Crash-safe append-only journal.
+//
+// run_study appends each completed trace outcome to the journal as workers
+// finish; if the process dies mid-study (crash, OOM kill, injected exit), the
+// restart reads the journal back, keeps every intact record, and re-runs only
+// the missing specs. Records are framed as
+//
+//   u32 payload_len | u32 crc32(payload) | payload bytes
+//
+// after a fixed header ("HPSJ", format version, and the caller's study key so
+// a journal is never resumed against a different corpus/config). A torn tail
+// — the partially flushed record of the dying write — fails its length or CRC
+// check and is truncated on resume; everything before it is trusted.
+//
+// The journal is payload-agnostic (records are opaque byte strings); the
+// study layer serializes TraceOutcome with the same codec as the result
+// cache, so a resumed study reproduces the uninterrupted one byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hps::robust {
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`. Exposed for tests.
+std::uint32_t crc32(const void* data, std::size_t len);
+
+struct JournalContents {
+  bool existed = false;       ///< a journal file was present
+  bool key_matched = false;   ///< header key matched the caller's key
+  std::vector<std::string> records;  ///< intact records, in append order
+  std::uint64_t valid_bytes = 0;     ///< prefix length covering the records
+  std::uint64_t torn_bytes = 0;      ///< trailing bytes discarded (torn tail)
+};
+
+/// Read every intact record of `path`. Missing file → existed=false. A header
+/// mismatch (foreign magic/version/key) yields key_matched=false and no
+/// records — the caller should start fresh rather than resume.
+JournalContents read_journal(const std::string& path, const std::string& key);
+
+/// Appender. Every append() is framed, written, and flushed before returning,
+/// so a record either fully survives a crash or is discarded as a torn tail.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Truncate/create `path` and write a fresh header for `key`.
+  void open_fresh(const std::string& path, const std::string& key);
+
+  /// Reopen an existing journal for appending after read_journal() validated
+  /// a prefix: the file is truncated to `valid_bytes` (dropping any torn
+  /// tail) and subsequent appends extend the intact prefix.
+  void open_resume(const std::string& path, std::uint64_t valid_bytes);
+
+  void append(const std::string& record);
+  bool is_open() const { return f_ != nullptr; }
+  void close();
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace hps::robust

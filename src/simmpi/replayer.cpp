@@ -32,6 +32,7 @@ Replayer::Replayer(const trace::Trace& t, const machine::MachineInstance& m, Net
     : trace_(t), machine_(m), cfg_(cfg), kind_(kind) {
   HPS_CHECK(t.nranks() == m.nranks());
   eng_.set_recorder(cfg_.timeline);
+  eng_.set_cancel(cfg_.cancel);
 
   simnet::NetConfig nc;
   const auto& net = m.config().net;
@@ -453,7 +454,23 @@ void Replayer::begin_collective(Rank r, RankState& st, const trace::Event& e) {
 ReplayResult Replayer::run() {
   const auto wall_start = std::chrono::steady_clock::now();
   for (Rank r = 0; r < trace_.nranks(); ++r) schedule_advance(r, 0);
-  eng_.run();
+  try {
+    eng_.run();
+  } catch (const robust::CancelledError& e) {
+    // Budget trip: report how far the replay got. Rank finish times are
+    // unreliable mid-flight, so only the aggregate decomposition, virtual
+    // time reached, and engine/network statistics are harvested.
+    ReplayResult partial;
+    partial.total_time = eng_.now();
+    partial.components = components_;  // blocked intervals attributed so far
+    for (const RankState& st : ranks_)
+      partial.components.compute_ns += static_cast<double>(st.compute_total);
+    partial.engine = eng_.stats();
+    partial.net = net_->stats();
+    partial.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    throw ReplayCancelled(e, std::move(partial));
+  }
 
   if (finished_ != trace_.nranks()) {
     std::string msg = "replay deadlock in " + trace_.meta().app + ": ";
@@ -466,7 +483,7 @@ ReplayResult Replayer::run() {
              "; ";
       ++shown;
     }
-    HPS_THROW(msg);
+    throw DeadlockError(msg);
   }
 
   ReplayResult res;

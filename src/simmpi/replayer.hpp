@@ -24,6 +24,7 @@
 #include "des/engine.hpp"
 #include "machine/machine.hpp"
 #include "obs/components.hpp"
+#include "robust/cancel.hpp"
 #include "simmpi/collectives.hpp"
 #include "simnet/network.hpp"
 #include "telemetry/telemetry.hpp"
@@ -54,6 +55,10 @@ struct ReplayConfig {
   /// Optional virtual-time timeline sink (not owned). When set, the replayer
   /// and the network model record per-rank/per-link intervals into it.
   obs::TimelineRecorder* timeline = nullptr;
+  /// Optional cooperative budget/cancel token (not owned). The replayer hands
+  /// it to its DES engine; a trip surfaces as ReplayCancelled carrying the
+  /// partial result accumulated up to the cancellation point.
+  robust::CancelToken* cancel = nullptr;
 };
 
 struct ReplayResult {
@@ -71,10 +76,26 @@ struct ReplayResult {
   double wall_seconds = 0;  ///< host wall-clock spent replaying
 };
 
-/// Replay `t` on machine `m` with the given network model. Throws hps::Error
-/// on malformed traces (deadlock, bad matching).
+/// Replay `t` on machine `m` with the given network model. Throws
+/// hps::DeadlockError when the calendar drains with unfinished ranks,
+/// hps::Error on other malformed traces (bad matching), and ReplayCancelled
+/// when cfg.cancel trips mid-run.
 ReplayResult replay_trace(const trace::Trace& t, const machine::MachineInstance& m,
                           NetModelKind kind, const ReplayConfig& cfg = {});
+
+/// A budget/cancel trip that carries the partial result accumulated up to the
+/// cancellation point (virtual time reached, component decomposition, engine
+/// and network statistics) so a budget-exceeded outcome still reports how far
+/// the run got.
+class ReplayCancelled : public robust::CancelledError {
+ public:
+  ReplayCancelled(const robust::CancelledError& cause, ReplayResult partial)
+      : robust::CancelledError(cause), partial_(std::move(partial)) {}
+  const ReplayResult& partial() const { return partial_; }
+
+ private:
+  ReplayResult partial_;
+};
 
 namespace detail {
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/timeline.hpp"
+#include "robust/fault.hpp"
 
 namespace hps::simnet {
 
@@ -37,6 +38,7 @@ void FlowModel::free_flow(std::uint32_t idx) {
 }
 
 void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
+  robust::fault_point(robust::FaultSite::kFlow);
   if (deliver_local_if_same_node(id, src, dst, bytes)) return;
   ++stats_.messages;
   stats_.bytes += bytes;

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/timeline.hpp"
+#include "robust/fault.hpp"
 
 namespace hps::simnet {
 
@@ -16,6 +17,7 @@ PacketFlowModel::PacketFlowModel(des::Engine& eng, const topo::Topology& topo, N
 }
 
 void PacketFlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
+  robust::fault_point(robust::FaultSite::kPacketFlow);
   if (deliver_local_if_same_node(id, src, dst, bytes)) return;
   ++stats_.messages;
   stats_.bytes += bytes;

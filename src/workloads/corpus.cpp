@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "robust/fault.hpp"
 
 namespace hps::workloads {
 
@@ -88,6 +89,7 @@ std::vector<TraceSpec> build_corpus_specs(const CorpusOptions& opts) {
 }
 
 trace::Trace generate_spec(const TraceSpec& spec) {
+  robust::fault_point(robust::FaultSite::kGenerate);
   return generate_app(spec.app, spec.params);
 }
 

@@ -213,7 +213,7 @@ TEST(Ledger, EscapesStringsInErrorField) {
 
 TEST(Ledger, RejectsWrongSchemaVersion) {
   std::string line = to_json_line(sample_record());
-  const std::string want = "\"schema\":1";
+  const std::string want = "\"schema\":" + std::to_string(kObsSchemaVersion);
   const auto pos = line.find(want);
   ASSERT_NE(pos, std::string::npos);
   line.replace(pos, want.size(), "\"schema\":999");
@@ -223,7 +223,9 @@ TEST(Ledger, RejectsWrongSchemaVersion) {
 TEST(Ledger, RejectsMalformedLines) {
   EXPECT_THROW((void)parse_ledger_line("not json"), Error);
   EXPECT_THROW((void)parse_ledger_line("{}"), Error);
-  EXPECT_THROW((void)parse_ledger_line("{\"schema\":1}"), Error);
+  EXPECT_THROW((void)parse_ledger_line("{\"schema\":" +
+                                       std::to_string(kObsSchemaVersion) + "}"),
+               Error);
 }
 
 TEST(Ledger, AppendAndLoadFile) {
@@ -440,6 +442,43 @@ TEST(Inspect, DiffDetectsRegressions) {
   std::ostringstream ok_os;
   render_diff(ok_os, diff_ledgers(base, base), DiffOptions{});
   EXPECT_NE(ok_os.str().find("OK"), std::string::npos);
+}
+
+TEST(Inspect, DegradedRecordsGateTheDiff) {
+  const auto base = synthetic_ledger();
+  auto degraded = base;
+  degraded[0].ok = false;
+  degraded[0].fail_kind = "budget";
+  degraded[1].ok = false;
+  degraded[1].fail_kind = "deadlock";
+
+  EXPECT_FALSE(is_degraded(base[0]));
+  EXPECT_TRUE(is_degraded(degraded[0]));
+  LedgerRecord skipped = base[0];
+  skipped.fail_kind = "skipped";
+  EXPECT_FALSE(is_degraded(skipped)) << "compat skips are not failures";
+  EXPECT_EQ(degraded_count(degraded), 2u);
+  const auto counts = fail_kind_counts(degraded);
+  ASSERT_GE(counts.size(), 2u);
+  EXPECT_EQ(counts.front().first, "budget");  // sorted by kind name
+
+  // Degraded after-side records fail the gate even where ok-flips are the
+  // only regressions...
+  auto both = degraded;
+  const DiffResult blocked = diff_ledgers(degraded, both);
+  EXPECT_EQ(blocked.degraded_after, 2u);
+  EXPECT_TRUE(blocked.degraded_blocking);
+  EXPECT_FALSE(blocked.ok());
+  std::ostringstream os;
+  render_diff(os, blocked, DiffOptions{});
+  EXPECT_NE(os.str().find("degraded"), std::string::npos);
+
+  // ...unless explicitly allowed.
+  DiffOptions allow;
+  allow.allow_degraded = true;
+  const DiffResult tolerated = diff_ledgers(degraded, both, allow);
+  EXPECT_FALSE(tolerated.degraded_blocking);
+  EXPECT_TRUE(tolerated.ok());
 }
 
 TEST(Inspect, DiffComparesWallClockOnlyWhenAsked) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "machine/machine.hpp"
+#include "robust/guard.hpp"
 #include "simmpi/replayer.hpp"
 #include "trace/builder.hpp"
 #include "trace/validate.hpp"
@@ -225,6 +226,22 @@ TEST_P(ReplayerAllModels, DeadlockDetected) {
   b1.send(0, 1 * MiB, 2, 0);
   b1.recv(0, 1 * MiB, 1, 0);
   EXPECT_THROW(replay_trace(t, instance(t), GetParam()), Error);
+}
+
+TEST_P(ReplayerAllModels, UnmatchedRecvDeadlock) {
+  // A receive with no matching send anywhere: the replayer must terminate
+  // with a structured DeadlockError — and the run guard must classify it as
+  // FailKind::kDeadlock — instead of hanging forever.
+  Trace t(meta(2));
+  RankBuilder b0(t, 0), b1(t, 1);
+  b0.recv(1, 4096, 1, 0);
+  b1.compute(1000);
+  EXPECT_THROW(replay_trace(t, instance(t), GetParam()), DeadlockError);
+  const auto failure =
+      robust::run_guarded([&] { (void)replay_trace(t, instance(t), GetParam()); });
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->kind, robust::FailKind::kDeadlock);
+  EXPECT_FALSE(failure->message.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, ReplayerAllModels,

@@ -41,8 +41,15 @@ int usage() {
       "usage: hpcsweep_inspect <subcommand> [args]\n"
       "\n"
       "  run --out <ledger.jsonl> [--limit N] [--duration-scale X] [--seed S]\n"
-      "      [--threads N] [--cache <path>]\n"
+      "      [--threads N] [--cache <path>] [--journal <path>] [--deadline SECONDS]\n"
+      "      [--max-events N] [--horizon-ns N] [--allow-degraded]\n"
       "      Run the corpus study (all four schemes) and append its ledger.\n"
+      "      --journal enables crash-safe resume: a killed run restarted with\n"
+      "      the same options recomputes only the missing traces. The budget\n"
+      "      flags cap each scheme run (wall clock / DES events / virtual time);\n"
+      "      exceeding one degrades that scheme to a budget failure. Exits 1 if\n"
+      "      any scheme degraded (crashed, OOMed, deadlocked, over budget)\n"
+      "      unless --allow-degraded.\n"
       "\n"
       "  timeline --spec N --scheme mfact|packet|flow|packet-flow --out <trace.json>\n"
       "      [--duration-scale X] [--seed S]\n"
@@ -59,9 +66,11 @@ int usage() {
       "      threshold.\n"
       "\n"
       "  diff|check <before.jsonl> <after.jsonl> [--tolerance 0.02]\n"
-      "      [--wall-tolerance X] [--max-report N]\n"
+      "      [--wall-tolerance X] [--max-report N] [--allow-degraded]\n"
       "      Record-by-record regression diff; exits 1 when any prediction moved\n"
-      "      beyond tolerance or records appear/disappear.\n");
+      "      beyond tolerance, records appear/disappear, or the after-side\n"
+      "      ledger holds degraded records (unless --allow-degraded). Prints\n"
+      "      per-fail_kind counts.\n");
   return 2;
 }
 
@@ -75,6 +84,11 @@ struct Flags {
 
   std::string out;
   std::string cache;
+  std::string journal;
+  double deadline = 0;
+  std::uint64_t max_events = 0;
+  std::int64_t horizon_ns = 0;
+  bool allow_degraded = false;
   int limit = 0;
   int spec = -1;
   int threads = 0;
@@ -101,6 +115,17 @@ Flags parse_flags(int argc, char** argv, int first) {
       f.out = next();
     } else if (want(a, "--cache")) {
       f.cache = next();
+    } else if (want(a, "--journal")) {
+      f.journal = next();
+    } else if (want(a, "--deadline")) {
+      f.deadline = std::atof(next());
+    } else if (want(a, "--max-events")) {
+      f.max_events = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (want(a, "--horizon-ns")) {
+      f.horizon_ns = std::atoll(next());
+    } else if (want(a, "--allow-degraded")) {
+      f.allow_degraded = true;
+      f.diff.allow_degraded = true;
     } else if (want(a, "--limit")) {
       f.limit = std::atoi(next());
     } else if (want(a, "--spec")) {
@@ -145,12 +170,32 @@ int cmd_run(const Flags& f) {
   opts.threads = f.threads;
   opts.cache_path = f.cache;  // empty = always compute, so the ledger appends
   opts.ledger_path = f.out;
+  opts.journal_path = f.journal;
+  opts.run.budget.wall_deadline_seconds = f.deadline;
+  opts.run.budget.max_des_events = f.max_events;
+  opts.run.budget.virtual_horizon = f.horizon_ns;
   opts.progress = true;
   const core::StudyResult res = core::run_study(opts);
   std::printf("ran %zu traces (%zu ledger records) in %.1f s -> %s\n",
               res.outcomes.size(),
               res.outcomes.size() * static_cast<std::size_t>(core::Scheme::kNumSchemes),
               res.wall_seconds, f.out.c_str());
+  if (res.resumed_from_journal > 0)
+    std::printf("resumed %d trace(s) from journal %s\n", res.resumed_from_journal,
+                f.journal.c_str());
+
+  // Degraded-outcome summary: count trace×scheme results per fail_kind and
+  // gate the exit code, so CI catches crashed/over-budget schemes even when
+  // the study as a whole "succeeded".
+  const auto records = core::ledger_records(res.outcomes, core::study_cache_key(opts));
+  const std::size_t degraded = obs::degraded_count(records);
+  if (degraded > 0) {
+    std::printf("%zu degraded record(s):", degraded);
+    for (const auto& [kind, n] : obs::fail_kind_counts(records))
+      if (kind != "none" && kind != "skipped") std::printf(" %s=%zu", kind.c_str(), n);
+    std::printf("%s\n", f.allow_degraded ? " (allowed)" : "");
+    if (!f.allow_degraded) return 1;
+  }
   return 0;
 }
 
