@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "machine/machine.hpp"
 #include "robust/fault.hpp"
+#include "robust/interrupt.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hps::core {
@@ -87,9 +88,22 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
 
   const machine::MachineConfig mc = machine::machine_by_name(t.meta().machine);
 
+  // A scheme already in flight when SIGINT/SIGTERM lands unwinds through its
+  // CancelToken (kInterrupted → kSkipped); this lambda keeps the *next*
+  // schemes from even starting, so the worker reaches the journal/ledger
+  // flush quickly.
+  const auto mark_interrupted = [](SchemeOutcome& so) {
+    so.attempted = false;
+    so.ok = false;
+    so.error = "study interrupted";
+    so.fail_kind = robust::FailKind::kSkipped;
+  };
+
   // --- MFACT: one multi-config replay gives baseline prediction,
   // sensitivity sweep and classification.
-  {
+  if (robust::interrupt_requested()) {
+    mark_interrupted(out.of(Scheme::kMfact));
+  } else {
     SchemeOutcome& so = out.of(Scheme::kMfact);
     so.attempted = true;
     telemetry::Span span(reg, std::string("mfact ") + out.app, "scheme");
@@ -133,6 +147,10 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
   const machine::MachineInstance mi(mc, t.nranks(), t.meta().ranks_per_node);
   for (const Scheme s : {Scheme::kPacket, Scheme::kFlow, Scheme::kPacketFlow}) {
     SchemeOutcome& so = out.of(s);
+    if (robust::interrupt_requested()) {
+      mark_interrupted(so);
+      continue;
+    }
     if (opts.sst30_compat && s != Scheme::kPacketFlow) {
       const bool unsupported =
           uses_subcomms(t) || (s == Scheme::kFlow && uses_complex_grouping(t));

@@ -27,9 +27,14 @@ struct SchemeOutcome {
   bool ok = false;
   std::string error;          ///< set when attempted && !ok
   /// Structured failure class when !ok: error/oom/deadlock/budget/injected/
-  /// unknown, or kSkipped for compat skips. kNone when the scheme succeeded.
-  /// A budget trip still carries partial total_time/components/des_events.
+  /// unknown, kSkipped for compat skips or interrupted studies, or (under
+  /// process isolation) kCrash/kTimeout for a worker the supervisor lost.
+  /// kNone when the scheme succeeded. A budget trip still carries partial
+  /// total_time/components/des_events.
   robust::FailKind fail_kind = robust::FailKind::kNone;
+  /// Terminating signal of the isolated worker when fail_kind is kCrash
+  /// (11 = SIGSEGV, 6 = SIGABRT, ...); 0 otherwise.
+  std::int32_t signal = 0;
   SimTime total_time = 0;     ///< predicted application time
   SimTime comm_time = 0;      ///< predicted mean communication time
   double wall_seconds = 0;    ///< host time the scheme took

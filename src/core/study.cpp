@@ -13,7 +13,9 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "robust/fault.hpp"
+#include "robust/interrupt.hpp"
 #include "robust/journal.hpp"
+#include "robust/supervisor.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/telemetry.hpp"
@@ -22,7 +24,9 @@ namespace hps::core {
 
 namespace {
 
-constexpr std::uint32_t kCacheVersion = 5;
+// v6: SchemeOutcome gained `signal` (terminating signal of a crashed
+// isolated worker); FailKind gained kCrash/kTimeout.
+constexpr std::uint32_t kCacheVersion = 6;
 constexpr char kCacheMagic[4] = {'H', 'P', 'S', 'C'};
 
 template <typename T>
@@ -71,6 +75,7 @@ void put_outcome(std::ostream& os, const TraceOutcome& o) {
     put<std::uint8_t>(os, s.ok ? 1 : 0);
     put_string(os, s.error);
     put<std::uint8_t>(os, static_cast<std::uint8_t>(s.fail_kind));
+    put<std::int32_t>(os, s.signal);
     put<SimTime>(os, s.total_time);
     put<SimTime>(os, s.comm_time);
     put<double>(os, s.wall_seconds);
@@ -99,12 +104,33 @@ TraceOutcome get_outcome(std::istream& is) {
     s.ok = get<std::uint8_t>(is) != 0;
     s.error = get_string(is);
     s.fail_kind = static_cast<robust::FailKind>(get<std::uint8_t>(is));
+    s.signal = get<std::int32_t>(is);
     s.total_time = get<SimTime>(is);
     s.comm_time = get<SimTime>(is);
     s.wall_seconds = get<double>(is);
     s.components = get<obs::ComponentTimes>(is);
     s.des_events = get<std::uint64_t>(is);
     s.net = get<simnet::NetStats>(is);
+  }
+  return o;
+}
+
+/// Outcome for a trace that never produced one in-process: an interrupted
+/// study (kSkipped, not attempted) or a quarantined worker crash/timeout
+/// (attempted — the worker died trying).
+TraceOutcome synthesize_outcome(const workloads::TraceSpec& spec, robust::FailKind kind,
+                                const std::string& error, int signal, bool attempted) {
+  TraceOutcome o;
+  o.spec_id = spec.id;
+  o.app = spec.app;
+  o.machine = spec.params.machine;
+  o.ranks = spec.params.ranks;
+  for (auto& s : o.scheme) {
+    s.attempted = attempted;
+    s.ok = false;
+    s.error = error;
+    s.fail_kind = kind;
+    s.signal = signal;
   }
   return o;
 }
@@ -159,8 +185,14 @@ void save_outcomes(const std::vector<TraceOutcome>& outcomes, const std::string&
     os.flush();
     HPS_REQUIRE(static_cast<bool>(os), "study cache write failed");
   }
+  // Rename alone only survives a process crash. For power loss the data must
+  // be on disk before the rename points at it, and the rename itself lives
+  // in the directory, so: fsync(tmp), rename, fsync(dir). Best effort — a
+  // filesystem that rejects fsync still gets the process-crash guarantee.
+  robust::sync_file(tmp);
   HPS_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
               "cannot move study cache into place: " + path);
+  robust::sync_parent_dir(path);
 }
 
 std::optional<std::vector<TraceOutcome>> load_outcomes(const std::string& path,
@@ -208,6 +240,7 @@ std::vector<obs::LedgerRecord> ledger_records(const std::vector<TraceOutcome>& o
       rec.ok = so.ok;
       rec.error = so.error;
       rec.fail_kind = robust::fail_kind_name(so.fail_kind);
+      rec.signal = so.signal;
       rec.predicted_total_ns = so.total_time;
       rec.predicted_comm_ns = so.comm_time;
       rec.measured_total_ns = o.measured_total;
@@ -302,46 +335,141 @@ StudyResult run_study(const StudyOptions& opts) {
   nthreads = std::min<int>(nthreads, static_cast<int>(specs.size()));
   reg.gauge("study.threads").record(static_cast<std::uint64_t>(nthreads));
 
-  std::atomic<std::size_t> next{0};
+  // Cooperative SIGINT/SIGTERM: a signal trips a flag; workers stop claiming
+  // traces, in-flight schemes unwind as FailKind::kSkipped, the ledger is
+  // still flushed, and the journal stays in place so the next invocation
+  // resumes. A second signal kills the process the traditional way.
+  robust::StudySignalGuard signal_guard;
+
   telemetry::ProgressReporter progress(specs.size(), opts.progress);
-  auto worker = [&] {
-    const telemetry::ScopedTimer busy(
-        reg.histogram("study.worker_busy_seconds", telemetry::duration_bounds()));
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size()) return;
-      if (have[i] != 0) {
-        progress.completed("(restored from journal)");
-        continue;
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    if (have[i] != 0) progress.completed("(restored from journal)");
+
+  if (opts.isolate == IsolateMode::kProcess) {
+    // Supervised task index -> spec index (restored specs are not re-run).
+    std::vector<std::size_t> todo;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      if (have[i] == 0) todo.push_back(i);
+
+    if (!todo.empty()) {
+      robust::SupervisorOptions sup;
+      sup.workers = nthreads;
+      sup.max_retries = std::max(0, opts.retries);
+      sup.rss_limit_mb = opts.rss_limit_mb;
+      sup.watchdog_timeout_s = opts.watchdog_timeout_seconds;
+
+      // The task payload is empty: a worker is a fork of this process and
+      // inherits `specs`/`opts`, so env.task_index is all it needs. The
+      // result payload is the cache codec — exactly the journal's record
+      // format, so the hook can append it verbatim.
+      const std::vector<std::string> tasks(todo.size());
+      auto fn = [&](const std::string&, const robust::WorkerEnv& env) {
+        return serialize_outcome(run_all_schemes(specs[todo[env.task_index]], opts.run));
+      };
+      auto on_result = [&](std::size_t k, const robust::TaskResult& r) {
+        const workloads::TraceSpec& spec = specs[todo[k]];
+        if (r.status == robust::TaskResult::Status::kOk && journal.is_open() &&
+            !robust::interrupt_requested())
+          journal.append(r.payload);
+        char label[80];
+        std::snprintf(label, sizeof label, "%-12s %5d ranks  [%s]", spec.app.c_str(),
+                      spec.params.ranks, robust::task_status_name(r.status));
+        progress.completed(label);
+      };
+      const auto task_results = robust::run_supervised(tasks, fn, sup, on_result);
+
+      for (std::size_t k = 0; k < task_results.size(); ++k) {
+        const std::size_t i = todo[k];
+        const robust::TaskResult& r = task_results[k];
+        switch (r.status) {
+          case robust::TaskResult::Status::kOk:
+            try {
+              result.outcomes[i] = deserialize_outcome(r.payload);
+            } catch (const std::exception& e) {
+              result.outcomes[i] = synthesize_outcome(
+                  specs[i], robust::FailKind::kCrash,
+                  std::string("worker result undecodable: ") + e.what(), 0, true);
+            }
+            break;
+          case robust::TaskResult::Status::kFailed:
+            // The WorkerFn threw outside the scheme guards (e.g. the trace
+            // generation phase hit the RLIMIT_AS ceiling).
+            result.outcomes[i] = synthesize_outcome(
+                specs[i],
+                r.detail.find("bad_alloc") != std::string::npos ? robust::FailKind::kOom
+                                                                : robust::FailKind::kError,
+                r.detail, 0, true);
+            break;
+          case robust::TaskResult::Status::kCrash:
+            result.outcomes[i] = synthesize_outcome(specs[i], robust::FailKind::kCrash,
+                                                    r.detail, r.signal, true);
+            break;
+          case robust::TaskResult::Status::kTimeout:
+            result.outcomes[i] = synthesize_outcome(specs[i], robust::FailKind::kTimeout,
+                                                    r.detail, 0, true);
+            break;
+          case robust::TaskResult::Status::kSkipped:
+            result.outcomes[i] = synthesize_outcome(
+                specs[i], robust::FailKind::kSkipped,
+                "study interrupted before this trace ran", 0, false);
+            break;
+        }
       }
-      result.outcomes[i] = run_all_schemes(specs[i], opts.run);
-      if (journal.is_open()) {
-        const std::string rec = serialize_outcome(result.outcomes[i]);
-        const std::lock_guard<std::mutex> lk(journal_mu);
-        journal.append(rec);
-      }
-      char label[80];
-      std::snprintf(label, sizeof label, "%-12s %5d ranks  %8llu events",
-                    specs[i].app.c_str(), specs[i].params.ranks,
-                    static_cast<unsigned long long>(result.outcomes[i].events));
-      progress.completed(label);
     }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(nthreads));
-  for (int i = 0; i < nthreads; ++i) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  } else {
+    std::vector<char> computed(specs.size(), 0);
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      const telemetry::ScopedTimer busy(
+          reg.histogram("study.worker_busy_seconds", telemetry::duration_bounds()));
+      while (true) {
+        if (robust::interrupt_requested()) return;  // stop claiming traces
+        const std::size_t i = next.fetch_add(1);
+        if (i >= specs.size()) return;
+        if (have[i] != 0) continue;
+        result.outcomes[i] = run_all_schemes(specs[i], opts.run);
+        computed[i] = 1;
+        // An interrupted trace carries kSkipped schemes: journaling it would
+        // make the resumed run restore the hole instead of recomputing it.
+        if (journal.is_open() && !robust::interrupt_requested()) {
+          const std::string rec = serialize_outcome(result.outcomes[i]);
+          const std::lock_guard<std::mutex> lk(journal_mu);
+          journal.append(rec);
+        }
+        char label[80];
+        std::snprintf(label, sizeof label, "%-12s %5d ranks  %8llu events",
+                      specs[i].app.c_str(), specs[i].params.ranks,
+                      static_cast<unsigned long long>(result.outcomes[i].events));
+        progress.completed(label);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads));
+    for (int i = 0; i < nthreads; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      if (have[i] == 0 && computed[i] == 0)
+        result.outcomes[i] =
+            synthesize_outcome(specs[i], robust::FailKind::kSkipped,
+                               "study interrupted before this trace ran", 0, false);
+  }
   progress.finish();
+
+  result.interrupted = robust::interrupt_requested();
+  result.interrupt_signal = robust::interrupt_signal();
 
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(end - start).count();
 
-  if (!opts.cache_path.empty()) save_outcomes(result.outcomes, opts.cache_path, key);
+  // An interrupted study's outcomes are full of holes: never cache them, and
+  // keep the journal so the next invocation resumes instead of restarting.
+  if (!opts.cache_path.empty() && !result.interrupted)
+    save_outcomes(result.outcomes, opts.cache_path, key);
   if (journal.is_open()) {
-    // The study completed and (if configured) the cache now holds everything
+    // On a completed study the cache (if configured) now holds everything
     // the journal protected; a leftover journal would only shadow it.
     journal.close();
-    std::remove(opts.journal_path.c_str());
+    if (!result.interrupted) std::remove(opts.journal_path.c_str());
   }
   if (!opts.ledger_path.empty()) {
     obs::append_ledger(opts.ledger_path, ledger_records(result.outcomes, key));

@@ -14,6 +14,14 @@
 
 namespace hps::core {
 
+/// How run_study distributes traces over workers.
+enum class IsolateMode {
+  kThread,   ///< in-process thread pool (default; fastest)
+  kProcess,  ///< forked worker processes: a SIGSEGV/abort/OOM in one trace is
+             ///< contained, classified (FailKind::kCrash/kTimeout/kOom), and
+             ///< retried instead of killing the whole study
+};
+
 struct StudyOptions {
   workloads::CorpusOptions corpus;
   RunOptions run;
@@ -26,11 +34,27 @@ struct StudyOptions {
   bool force_recompute = false;
   bool progress = false;    ///< print one line per completed trace to stderr
   /// Crash-safe journal: every completed TraceOutcome is appended (framed and
-  /// CRC-checked, flushed per record) as workers finish. If the process dies
-  /// mid-study, rerunning with the same options resumes from the journal,
-  /// recomputing only the missing specs. Removed after a successful run.
-  /// Empty = no journaling.
+  /// CRC-checked, flushed and fsynced per record) as workers finish. If the
+  /// process dies mid-study, rerunning with the same options resumes from the
+  /// journal, recomputing only the missing specs. Removed after a successful
+  /// run. Empty = no journaling.
   std::string journal_path;
+  /// Execution isolation. Under kProcess the `threads` field sizes the worker
+  /// *process* pool instead of the thread pool; results for healthy traces
+  /// are byte-identical to thread mode (wall_seconds aside).
+  IsolateMode isolate = IsolateMode::kThread;
+  /// Process mode only: extra attempts for a trace whose worker crashed or
+  /// timed out, with exponential backoff, before it is quarantined as
+  /// FailKind::kCrash/kTimeout.
+  int retries = 1;
+  /// Process mode only: RLIMIT_AS per worker in MB (0 = unlimited). A trace
+  /// that exhausts it fails in-worker with FailKind::kOom instead of taking
+  /// the machine down.
+  long rss_limit_mb = 0;
+  /// Process mode only: hard-kill a worker not heard from (heartbeat or
+  /// result) for this long; its trace is retried/quarantined as
+  /// FailKind::kTimeout. 0 disables the watchdog.
+  double watchdog_timeout_seconds = 0;
 };
 
 struct StudyResult {
@@ -38,6 +62,12 @@ struct StudyResult {
   double wall_seconds = 0;
   bool from_cache = false;
   int resumed_from_journal = 0;  ///< outcomes restored from the journal
+  /// True when the study returned early because SIGINT/SIGTERM was received:
+  /// unfinished traces are marked FailKind::kSkipped, the journal is kept in
+  /// place for resumption, and no result cache is written. CLIs should exit
+  /// with robust::kInterruptedExitCode (75).
+  bool interrupted = false;
+  int interrupt_signal = 0;  ///< the signal that interrupted the study
 };
 
 /// Run (or load) the study.

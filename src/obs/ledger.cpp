@@ -215,6 +215,7 @@ std::string to_json_line(const LedgerRecord& rec) {
   out += rec.ok ? "true" : "false";
   field_str(out, "error", rec.error);
   field_str(out, "fail_kind", rec.fail_kind);
+  field_int(out, "signal", rec.signal);
   field_int(out, "predicted_total_ns", rec.predicted_total_ns);
   field_int(out, "predicted_comm_ns", rec.predicted_comm_ns);
   field_int(out, "measured_total_ns", rec.measured_total_ns);
@@ -257,6 +258,7 @@ LedgerRecord parse_ledger_line(const std::string& line) {
   rec.ok = get_bool(obj, "ok");
   rec.error = get_str(obj, "error");
   rec.fail_kind = get_str(obj, "fail_kind");
+  rec.signal = static_cast<std::int32_t>(get_i64(obj, "signal"));
   rec.predicted_total_ns = get_i64(obj, "predicted_total_ns");
   rec.predicted_comm_ns = get_i64(obj, "predicted_comm_ns");
   rec.measured_total_ns = get_i64(obj, "measured_total_ns");

@@ -27,7 +27,9 @@ namespace hps::obs {
 /// Mixed into `core::study_cache_key`, so a bump also invalidates binary
 /// caches written before the change.
 /// v2: added `fail_kind` (structured failure class from the run guards).
-inline constexpr std::uint32_t kObsSchemaVersion = 2;
+/// v3: added `signal` (terminating signal of a crashed isolated worker) and
+///     the process-isolation fail kinds "crash" / "timeout".
+inline constexpr std::uint32_t kObsSchemaVersion = 3;
 
 /// One trace×scheme observation. Field order here matches the JSON output.
 struct LedgerRecord {
@@ -42,9 +44,14 @@ struct LedgerRecord {
   bool ok = false;
   std::string error;
   /// Structured failure class (robust::fail_kind_name): "none" on success,
-  /// "skipped" for compat skips, else error/oom/deadlock/budget/injected/
-  /// unknown. Stored as a plain string so obs stays independent of robust.
+  /// "skipped" for compat skips or interrupted studies, "crash"/"timeout"
+  /// for a worker process the isolation supervisor lost, else error/oom/
+  /// deadlock/budget/injected/unknown. Stored as a plain string so obs stays
+  /// independent of robust.
   std::string fail_kind = "none";
+  /// Terminating signal of the worker process when fail_kind is "crash"
+  /// (e.g. 11 for SIGSEGV, 6 for SIGABRT); 0 otherwise.
+  std::int32_t signal = 0;
   std::int64_t predicted_total_ns = 0;
   std::int64_t predicted_comm_ns = 0;
   std::int64_t measured_total_ns = 0;

@@ -1,6 +1,9 @@
 #include "robust/cancel.hpp"
 
+#include <algorithm>
 #include <string>
+
+#include "robust/interrupt.hpp"
 
 namespace hps::robust {
 
@@ -11,8 +14,41 @@ const char* cancel_reason_name(CancelReason r) {
     case CancelReason::kEventCap: return "event-cap";
     case CancelReason::kHorizon: return "horizon";
     case CancelReason::kInjected: return "injected";
+    case CancelReason::kInterrupted: return "interrupted";
   }
   return "?";
+}
+
+void CancelToken::sample_wall() {
+  const auto now = std::chrono::steady_clock::now();
+  if (now > deadline_) raise(CancelReason::kDeadline);
+
+  std::uint64_t stride = kMaxWallStride;
+  const double dt = std::chrono::duration<double>(now - last_wall_time_).count();
+  const std::uint64_t dticks = std::max<std::uint64_t>(1, ticks_ - last_wall_ticks_);
+  if (dt > 0) {
+    // Events per kWallSamplePeriod at the observed rate.
+    const double per_period =
+        static_cast<double>(dticks) * (kWallSamplePeriodSeconds / dt);
+    stride = per_period < 1.0 ? 1
+             : per_period >= static_cast<double>(kMaxWallStride)
+                 ? kMaxWallStride
+                 : static_cast<std::uint64_t>(per_period);
+    // Never schedule the next sample past the projected deadline: cap the
+    // stride at half the events we estimate remain, so the sampling cadence
+    // tightens as the deadline approaches even if the rate estimate drifts.
+    const double remaining = std::chrono::duration<double>(deadline_ - now).count();
+    const double ticks_left = static_cast<double>(dticks) * (remaining / dt);
+    if (ticks_left / 2 < static_cast<double>(stride))
+      stride = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(ticks_left / 2));
+  }
+  last_wall_time_ = now;
+  last_wall_ticks_ = ticks_;
+  next_wall_check_ = ticks_ + stride;
+}
+
+void CancelToken::check_interrupt() {
+  if (interrupt_requested()) raise(CancelReason::kInterrupted);
 }
 
 void CancelToken::raise(CancelReason reason) {
@@ -32,6 +68,9 @@ void CancelToken::raise(CancelReason reason) {
     case CancelReason::kHorizon:
       msg += ": virtual-time horizon " + std::to_string(budget_.virtual_horizon) +
              "ns exceeded";
+      break;
+    case CancelReason::kInterrupted:
+      msg += ": study interrupted by signal " + std::to_string(interrupt_signal());
       break;
     default:
       break;

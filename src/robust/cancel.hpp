@@ -25,10 +25,11 @@ namespace hps::robust {
 
 enum class CancelReason : std::uint8_t {
   kNone = 0,
-  kDeadline,  ///< wall-clock budget exhausted
-  kEventCap,  ///< DES event-count budget exhausted
-  kHorizon,   ///< virtual-time budget exhausted
-  kInjected,  ///< tripped by fault injection / an external cancel()
+  kDeadline,     ///< wall-clock budget exhausted
+  kEventCap,     ///< DES event-count budget exhausted
+  kHorizon,      ///< virtual-time budget exhausted
+  kInjected,     ///< tripped by fault injection / an external cancel()
+  kInterrupted,  ///< SIGINT/SIGTERM observed (graceful study shutdown)
 };
 
 const char* cancel_reason_name(CancelReason r);
@@ -73,10 +74,14 @@ class CancelToken {
     armed_ = b.limited();
     reason_ = CancelReason::kNone;
     cancelled_.store(false, std::memory_order_relaxed);
-    if (b.wall_deadline_seconds > 0)
-      deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(b.wall_deadline_seconds));
+    if (b.wall_deadline_seconds > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      deadline_ = now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(b.wall_deadline_seconds));
+      last_wall_time_ = now;
+      last_wall_ticks_ = 0;
+      next_wall_check_ = 1;  // sample on the very first tick, then adapt
+    }
   }
 
   /// Trip the token (thread-safe); the running loop throws at its next tick.
@@ -97,18 +102,18 @@ class CancelToken {
 
   /// Hot-path progress checkpoint: one call per processed event. `now` is the
   /// virtual time about to be processed (0 when the caller has no meaningful
-  /// clock). Throws CancelledError when the budget is exhausted.
+  /// clock). Throws CancelledError when the budget is exhausted or a study
+  /// interrupt (SIGINT/SIGTERM) is pending.
   void tick(SimTime now) {
     ++ticks_;
     if (cancelled_.load(std::memory_order_relaxed)) check();
+    if ((ticks_ & kInterruptCheckMask) == 0) check_interrupt();
     if (!armed_) return;
     if (budget_.virtual_horizon > 0 && now > budget_.virtual_horizon)
       raise(CancelReason::kHorizon);
     if (budget_.max_des_events > 0 && ticks_ > budget_.max_des_events)
       raise(CancelReason::kEventCap);
-    if (budget_.wall_deadline_seconds > 0 && (ticks_ & kWallCheckMask) == 0 &&
-        std::chrono::steady_clock::now() > deadline_)
-      raise(CancelReason::kDeadline);
+    if (budget_.wall_deadline_seconds > 0 && ticks_ >= next_wall_check_) sample_wall();
   }
 
   const Budget& budget() const { return budget_; }
@@ -116,9 +121,26 @@ class CancelToken {
  private:
   [[noreturn]] void raise(CancelReason reason);
 
-  /// The steady_clock read costs ~20ns; sampling every 4096 events bounds
-  /// deadline overshoot to microseconds at packet-model event rates.
-  static constexpr std::uint64_t kWallCheckMask = (std::uint64_t{1} << 12) - 1;
+  /// Consult the wall clock and re-plan the next sampling point. The stride
+  /// between samples is adaptive — derived from the observed event rate so
+  /// the clock is read roughly every kWallSamplePeriod of *real* time rather
+  /// than every fixed 4096 events, which on sparse/slow-event traces (a
+  /// replay sleeping in an injected delay, a model crunching huge
+  /// collectives) could overshoot the deadline by orders of magnitude.
+  /// Defined out of line: the hot loop only pays the integer compare above.
+  void sample_wall();
+
+  /// Study interrupts (SIGINT/SIGTERM) are observed on a coarse fixed
+  /// stride even when no budget is armed, so a ^C reaches in-flight scheme
+  /// runs, not just the study loop between traces. Out of line.
+  void check_interrupt();
+
+  /// Aim to read steady_clock about every 5ms of real time...
+  static constexpr double kWallSamplePeriodSeconds = 0.005;
+  /// ...but never let more than 4096 events pass unsampled (the previous
+  /// fixed stride, now an upper bound), nor fewer than 1.
+  static constexpr std::uint64_t kMaxWallStride = std::uint64_t{1} << 12;
+  static constexpr std::uint64_t kInterruptCheckMask = (std::uint64_t{1} << 10) - 1;
 
   Budget budget_;
   std::uint64_t ticks_ = 0;
@@ -126,6 +148,9 @@ class CancelToken {
   CancelReason reason_ = CancelReason::kNone;
   std::atomic<bool> cancelled_{false};
   std::chrono::steady_clock::time_point deadline_{};
+  std::chrono::steady_clock::time_point last_wall_time_{};
+  std::uint64_t last_wall_ticks_ = 0;
+  std::uint64_t next_wall_check_ = 0;
 };
 
 }  // namespace hps::robust

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -15,10 +16,16 @@ namespace hps::robust {
 namespace {
 
 // The installed plan. Swapped whole-sale by set/clear; fault points read it
-// with one relaxed load on the disabled path. The retired plan is kept alive
-// (not freed) to stay safe against a racing reader — plans are tiny and
-// installed a handful of times per process.
+// with one relaxed load on the disabled path. Retired plans are kept alive
+// (parked in g_retired, never freed) to stay safe against a racing reader —
+// plans are tiny and installed a handful of times per process, and keeping
+// them reachable from a static also keeps LeakSanitizer quiet about it.
 std::atomic<const FaultPlan*> g_plan{nullptr};
+
+std::vector<std::unique_ptr<const FaultPlan>>& retired_plans() {
+  static std::vector<std::unique_ptr<const FaultPlan>> g_retired;
+  return g_retired;
+}
 
 thread_local FaultContext t_context;
 
@@ -59,6 +66,16 @@ void trigger(const FaultSpec& f, FaultSite site, const FaultContext& ctx) {
       // beyond what has already reached the OS (the journal flushes every
       // record, which is exactly the guarantee under test).
       std::_Exit(f.exit_code);
+    case FaultKind::kSegv:
+      // Reset to the default disposition first so the death is a genuine
+      // signal 11 even under sanitizers that install their own SEGV handler
+      // (the supervisor's crash classification is what is under test).
+      std::signal(SIGSEGV, SIG_DFL);
+      std::raise(SIGSEGV);
+      std::_Exit(139);  // unreachable; raise does not return for fatal signals
+    case FaultKind::kAbort:
+      std::signal(SIGABRT, SIG_DFL);
+      std::abort();
   }
 }
 
@@ -86,6 +103,8 @@ FaultKind parse_kind(const std::string& v) {
   if (v == "delay") return FaultKind::kDelay;
   if (v == "cancel") return FaultKind::kCancel;
   if (v == "exit") return FaultKind::kExit;
+  if (v == "segv") return FaultKind::kSegv;
+  if (v == "abort") return FaultKind::kAbort;
   throw Error("fault plan: unknown kind \"" + v + "\"");
 }
 
@@ -149,6 +168,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kCancel: return "cancel";
     case FaultKind::kExit: return "exit";
+    case FaultKind::kSegv: return "segv";
+    case FaultKind::kAbort: return "abort";
   }
   return "?";
 }
@@ -172,8 +193,10 @@ void set_fault_plan(FaultPlan plan) {
     clear_fault_plan();
     return;
   }
-  // Intentionally leaked (see g_plan comment).
-  g_plan.store(new FaultPlan(std::move(plan)), std::memory_order_release);
+  // Never freed, only parked (see g_plan comment).
+  auto owned = std::make_unique<const FaultPlan>(std::move(plan));
+  g_plan.store(owned.get(), std::memory_order_release);
+  retired_plans().push_back(std::move(owned));
 }
 
 void clear_fault_plan() { g_plan.store(nullptr, std::memory_order_release); }

@@ -14,7 +14,7 @@
 //   site=<mfact|packet|flow|packet-flow|generate>   required
 //   spec=<id>          corpus spec to hit (default: any)
 //   scheme=<mfact|packet|flow|packet-flow>          (default: any)
-//   kind=<throw|alloc|delay|cancel|exit>            (default: throw)
+//   kind=<throw|alloc|delay|cancel|exit|segv|abort> (default: throw)
 //   p=<0..1>,seed=<n>  deterministic hashed selection (default: always fire)
 //   delay_ms=<n>       per-hit sleep for kind=delay (default: 20)
 //   exit_code=<n>      process exit status for kind=exit (default: 77)
@@ -43,6 +43,8 @@ enum class FaultKind : std::uint8_t {
   kDelay,      ///< sleep delay_ms per hit (trips a wall-deadline budget)
   kCancel,     ///< trip the ambient CancelToken with CancelReason::kInjected
   kExit,       ///< std::_Exit(exit_code): simulates a mid-study crash/kill
+  kSegv,       ///< raise(SIGSEGV) with the default disposition: hard crash
+  kAbort,      ///< std::abort(): SIGABRT death, as a failed assert would
 };
 const char* fault_kind_name(FaultKind k);
 

@@ -18,6 +18,8 @@ const char* fail_kind_name(FailKind k) {
     case FailKind::kBudget: return "budget";
     case FailKind::kInjected: return "injected";
     case FailKind::kUnknown: return "unknown";
+    case FailKind::kCrash: return "crash";
+    case FailKind::kTimeout: return "timeout";
   }
   return "?";
 }
@@ -30,7 +32,11 @@ Failure classify_active_exception() {
   try {
     throw;
   } catch (const CancelledError& e) {
-    f.kind = e.reason() == CancelReason::kInjected ? FailKind::kInjected : FailKind::kBudget;
+    // kInterrupted means the *study* is shutting down (^C), not that this
+    // trace misbehaved: classify as skipped so a resumed run recomputes it.
+    f.kind = e.reason() == CancelReason::kInjected     ? FailKind::kInjected
+             : e.reason() == CancelReason::kInterrupted ? FailKind::kSkipped
+                                                        : FailKind::kBudget;
     f.message = e.what();
   } catch (const DeadlockError& e) {
     f.kind = FailKind::kDeadlock;

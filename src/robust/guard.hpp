@@ -20,13 +20,17 @@ namespace hps::robust {
 
 enum class FailKind : std::uint8_t {
   kNone = 0,  ///< succeeded
-  kSkipped,   ///< not attempted (scheme-compat skip)
+  kSkipped,   ///< not attempted (scheme-compat skip, or interrupted study)
   kError,     ///< hps::Error or another std::exception
   kOom,       ///< std::bad_alloc / std::length_error
   kDeadlock,  ///< replay could not make progress
   kBudget,    ///< budget exceeded (deadline / event cap / horizon)
   kInjected,  ///< deterministic fault-plan cancellation
   kUnknown,   ///< non-std exception type
+  // Process-isolation kinds (supervisor verdicts, never thrown in-process;
+  // appended so persisted numeric values of the kinds above stay stable):
+  kCrash,     ///< worker process died (signal / nonzero exit / garbled stream)
+  kTimeout,   ///< worker hard-killed by the heartbeat watchdog
 };
 
 const char* fail_kind_name(FailKind k);

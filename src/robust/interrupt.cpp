@@ -1,0 +1,59 @@
+#include "robust/interrupt.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace hps::robust {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+// Previous dispositions, restored when the guard leaves scope. Only one
+// guard is ever active (run_study is not reentrant per process); a nested
+// guard degrades to a no-op installer.
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+std::atomic<bool> g_installed{false};
+
+extern "C" void hps_interrupt_handler(int sig) {
+  // First signal: set the flag and let the study unwind cooperatively.
+  // Second signal: restore the default disposition and re-raise, so an
+  // operator can still hard-kill a wedged process with another ^C.
+  int expected = 0;
+  if (!g_signal.compare_exchange_strong(expected, sig, std::memory_order_relaxed)) {
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+}
+
+}  // namespace
+
+bool interrupt_requested() { return g_signal.load(std::memory_order_relaxed) != 0; }
+
+int interrupt_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+void request_interrupt(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+void clear_interrupt() { g_signal.store(0, std::memory_order_relaxed); }
+
+StudySignalGuard::StudySignalGuard() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;  // nested: no-op
+  installed_ = true;
+  struct sigaction sa {};
+  sa.sa_handler = hps_interrupt_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, &g_prev_int);
+  sigaction(SIGTERM, &sa, &g_prev_term);
+}
+
+StudySignalGuard::~StudySignalGuard() {
+  if (!installed_) return;
+  sigaction(SIGINT, &g_prev_int, nullptr);
+  sigaction(SIGTERM, &g_prev_term, nullptr);
+  g_installed.store(false);
+}
+
+}  // namespace hps::robust

@@ -1,0 +1,51 @@
+// Graceful SIGINT/SIGTERM for long studies.
+//
+// A StudySignalGuard installs handlers that only set a process-wide flag;
+// everything else is cooperative. Worker threads stop claiming new traces,
+// in-flight scheme runs observe the flag through CancelToken's amortized
+// checkpoint and unwind as CancelReason::kInterrupted (classified as
+// FailKind::kSkipped — the trace was not computed, not broken), and
+// run_study flushes the journal and ledger before returning, keeping the
+// journal in place so the next invocation resumes instead of restarting.
+// The CLI then exits with the documented code 75 (kInterruptedExitCode)
+// rather than dying mid-write with whatever the default disposition does.
+//
+// The flag is also honored by the process-isolation supervisor: it stops
+// dispatching, reaps its workers, and reports undone tasks as skipped.
+#pragma once
+
+namespace hps::robust {
+
+/// Exit code a CLI should use after a study returned early due to
+/// SIGINT/SIGTERM (distinct from 0 ok, 1 degraded/error, 2 usage).
+inline constexpr int kInterruptedExitCode = 75;
+
+/// True once SIGINT/SIGTERM was received (or request_interrupt was called).
+bool interrupt_requested();
+
+/// The signal that tripped the flag; 0 when none.
+int interrupt_signal();
+
+/// Trip the flag programmatically (tests; also the signal handler's body —
+/// a single relaxed atomic store, so it is async-signal-safe).
+void request_interrupt(int sig);
+
+/// Reset the flag (between studies in one process, and in tests).
+void clear_interrupt();
+
+/// RAII: install the SIGINT/SIGTERM handlers, restoring the previous
+/// dispositions on destruction. A second signal while the guard is active
+/// re-raises the default disposition, so a double ^C still kills a stuck
+/// process the traditional way.
+class StudySignalGuard {
+ public:
+  StudySignalGuard();
+  ~StudySignalGuard();
+  StudySignalGuard(const StudySignalGuard&) = delete;
+  StudySignalGuard& operator=(const StudySignalGuard&) = delete;
+
+ private:
+  bool installed_ = false;
+};
+
+}  // namespace hps::robust

@@ -1,0 +1,144 @@
+#include "robust/ipc.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "robust/journal.hpp"
+
+namespace hps::robust::ipc {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t decode_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+int g_worker_result_fd = -1;
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kTask: return "task";
+    case MsgType::kResult: return "result";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kError: return "error";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string encode_frame(const Message& m) {
+  std::string payload;
+  payload.reserve(1 + m.payload.size());
+  payload.push_back(static_cast<char>(m.type));
+  payload += m.payload;
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame += payload;
+  return frame;
+}
+
+bool write_frame(int fd, const Message& m) {
+  const std::string frame = encode_frame(m);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (corrupt_) return;
+  // Compact lazily: drop the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::next(Message& out) {
+  if (corrupt_) return Status::kCorrupt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 8) return Status::kNeedMore;
+  const std::uint32_t len = decode_u32(buf_.data() + pos_);
+  const std::uint32_t crc = decode_u32(buf_.data() + pos_ + 4);
+  if (len == 0 || len > kMaxFrameBytes) {
+    // A zero-length payload can't even carry the type byte; both cases mean
+    // the length field itself is garbage.
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  if (avail < 8 + static_cast<std::size_t>(len)) return Status::kNeedMore;
+  const char* payload = buf_.data() + pos_ + 8;
+  if (crc32(payload, len) != crc) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  out.type = static_cast<MsgType>(static_cast<unsigned char>(payload[0]));
+  out.payload.assign(payload + 1, len - 1);
+  pos_ += 8 + len;
+  return Status::kMessage;
+}
+
+namespace {
+
+/// Read exactly `n` bytes. Returns kMessage when filled, kEof on a clean EOF
+/// before the first byte, kCorrupt on EOF mid-read, kError on a hard error.
+ReadStatus read_exact(int fd, char* p, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, p + off, n - off);
+    if (r == 0) return off == 0 ? ReadStatus::kEof : ReadStatus::kCorrupt;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return ReadStatus::kMessage;
+}
+
+}  // namespace
+
+ReadStatus read_message(int fd, Message& out) {
+  // Exact-size reads: never consume bytes beyond this frame, so successive
+  // calls on the same blocking fd each see a whole frame.
+  char header[8];
+  ReadStatus st = read_exact(fd, header, sizeof header);
+  if (st != ReadStatus::kMessage) return st;
+  const std::uint32_t len = decode_u32(header);
+  const std::uint32_t crc = decode_u32(header + 4);
+  if (len == 0 || len > kMaxFrameBytes) return ReadStatus::kCorrupt;
+  std::string payload(len, '\0');
+  st = read_exact(fd, payload.data(), len);
+  if (st != ReadStatus::kMessage) return st == ReadStatus::kError ? st : ReadStatus::kCorrupt;
+  if (crc32(payload.data(), payload.size()) != crc) return ReadStatus::kCorrupt;
+  out.type = static_cast<MsgType>(static_cast<unsigned char>(payload[0]));
+  out.payload.assign(payload, 1, payload.size() - 1);
+  return ReadStatus::kMessage;
+}
+
+int worker_result_fd() { return g_worker_result_fd; }
+
+void set_worker_result_fd(int fd) { g_worker_result_fd = fd; }
+
+}  // namespace hps::robust::ipc

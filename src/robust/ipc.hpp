@@ -1,0 +1,100 @@
+// Supervisor ↔ worker pipe protocol.
+//
+// The process-isolated study mode (supervisor.hpp) shards work over plain
+// POSIX pipes. Messages reuse the HPSJ record framing from journal.hpp —
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//
+// where the payload's first byte is the message type and the rest is opaque
+// to this layer. The CRC is not paranoia: a worker that is dying (heap
+// corruption, a signal landing mid-write) can emit a torn or garbled frame,
+// and the supervisor must detect that deterministically and treat it as a
+// worker death rather than deserialize garbage into a study outcome.
+//
+// Two read paths share one decoder:
+//  - workers block on their task pipe (read_message), and
+//  - the supervisor polls many result pipes, feeding whatever bytes arrive
+//    into a per-worker FrameDecoder that yields complete messages as they
+//    close (kNeedMore in between, kCorrupt permanently once the stream is
+//    unframeable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hps::robust::ipc {
+
+/// First payload byte of every frame.
+enum class MsgType : std::uint8_t {
+  kTask = 1,       ///< supervisor → worker: one unit of work
+  kResult = 2,     ///< worker → supervisor: completed task payload
+  kHeartbeat = 3,  ///< worker → supervisor: liveness (watchdog food)
+  kError = 4,      ///< worker → supervisor: task failed with an exception
+  kShutdown = 5,   ///< supervisor → worker: drain and exit
+};
+
+const char* msg_type_name(MsgType t);
+
+struct Message {
+  MsgType type = MsgType::kHeartbeat;
+  std::string payload;
+};
+
+/// Frames larger than this are rejected as corrupt length fields, mirroring
+/// the journal's cap (serialized outcomes are a few KB).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Frame a message: length/CRC header plus type byte plus payload.
+std::string encode_frame(const Message& m);
+
+/// Write the whole frame to `fd`, retrying short writes and EINTR. Returns
+/// false on any hard write error (EPIPE after the peer died, EBADF, ...).
+/// The caller must have SIGPIPE ignored or blocked.
+bool write_frame(int fd, const Message& m);
+
+/// Incremental frame decoder for a nonblocking stream.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  ///< no complete frame buffered yet
+    kMessage,   ///< one message produced; call next() again for more
+    kCorrupt,   ///< stream is unframeable (bad CRC / oversized length)
+  };
+
+  /// Buffer `n` raw bytes read off the pipe.
+  void feed(const char* data, std::size_t n);
+
+  /// Try to decode the next buffered frame into `out`. Once kCorrupt is
+  /// returned the decoder stays corrupt: framing has no resync point, so the
+  /// rest of the stream is untrustworthy by construction.
+  Status next(Message& out);
+
+  bool corrupt() const { return corrupt_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+enum class ReadStatus {
+  kMessage,  ///< one complete message decoded
+  kEof,      ///< orderly end of stream (writer closed the pipe)
+  kCorrupt,  ///< framing violation
+  kError,    ///< read(2) failed hard
+};
+
+/// Blocking convenience for the worker side: read exactly one message off a
+/// blocking fd.
+ReadStatus read_message(int fd, Message& out);
+
+/// The worker's result-pipe fd, valid only inside a worker process spawned
+/// by run_supervised (-1 elsewhere). Exposed so tests can inject protocol
+/// garbage into the stream exactly as a corrupted worker would.
+int worker_result_fd();
+
+/// Internal: set by the supervisor's child bootstrap.
+void set_worker_result_fd(int fd);
+
+}  // namespace hps::robust::ipc

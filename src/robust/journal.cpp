@@ -2,7 +2,9 @@
 
 #include <array>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
+#include <unistd.h>
 
 #include "common/error.hpp"
 
@@ -52,6 +54,24 @@ std::string header_bytes(const std::string& key) {
 constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
 
 }  // namespace
+
+bool sync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
 
 std::uint32_t crc32(const void* data, std::size_t len) {
   static const std::array<std::uint32_t, 256> table = make_crc_table();
@@ -119,6 +139,8 @@ void JournalWriter::open_fresh(const std::string& path, const std::string& key) 
   if (std::fwrite(h.data(), 1, h.size(), f_) != h.size())
     HPS_THROW("journal: header write failed for " + path);
   std::fflush(f_);
+  ::fsync(fileno(f_));
+  sync_parent_dir(path);  // the creat() itself must survive power loss too
 }
 
 void JournalWriter::open_resume(const std::string& path, std::uint64_t valid_bytes) {
@@ -141,6 +163,10 @@ void JournalWriter::append(const std::string& record) {
   if (std::fwrite(frame.data(), 1, frame.size(), f_) != frame.size())
     HPS_THROW("journal: append failed for " + path_);
   std::fflush(f_);
+  // fflush hands the record to the kernel (survives our death); fsync hands
+  // it to the disk (survives the machine's). Appends are per completed
+  // trace, so the sync is far off any hot path.
+  ::fsync(fileno(f_));
 }
 
 void JournalWriter::close() {

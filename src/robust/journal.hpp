@@ -27,6 +27,18 @@ namespace hps::robust {
 /// CRC-32 (IEEE 802.3, reflected) of `data`. Exposed for tests.
 std::uint32_t crc32(const void* data, std::size_t len);
 
+/// fsync `path`'s data+metadata to stable storage. Atomic tmp+rename only
+/// survives a *process* crash by itself; surviving power loss additionally
+/// needs the data fsynced before the rename and the directory fsynced after
+/// it, or the rename can reach disk pointing at unwritten blocks. Best
+/// effort: returns false when the file cannot be opened or fsync fails
+/// (e.g. a filesystem that does not support it), which callers treat as
+/// non-fatal — the atomicity guarantee still holds.
+bool sync_file(const std::string& path);
+
+/// fsync the directory containing `path` (making a rename/creat durable).
+bool sync_parent_dir(const std::string& path);
+
 struct JournalContents {
   bool existed = false;       ///< a journal file was present
   bool key_matched = false;   ///< header key matched the caller's key
@@ -40,8 +52,9 @@ struct JournalContents {
 /// records — the caller should start fresh rather than resume.
 JournalContents read_journal(const std::string& path, const std::string& key);
 
-/// Appender. Every append() is framed, written, and flushed before returning,
-/// so a record either fully survives a crash or is discarded as a torn tail.
+/// Appender. Every append() is framed, written, flushed, and fsynced before
+/// returning, so a record either fully survives a crash — including power
+/// loss, not just process death — or is discarded as a torn tail.
 class JournalWriter {
  public:
   JournalWriter() = default;

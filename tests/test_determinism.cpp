@@ -74,6 +74,32 @@ TEST(Determinism, ThreadCountIsObservationallyInvisible) {
   std::remove(lb.c_str());
 }
 
+TEST(Determinism, ProcessIsolationIsObservationallyInvisible) {
+  // The process-isolated supervisor ships each TraceOutcome back over a pipe
+  // with the same codec the cache uses; for healthy traces the study must be
+  // byte-identical to the in-process thread pool, whatever the pool size.
+  StudyResult a = run_study(mini_opts(4));
+  StudyOptions popts = mini_opts(2);
+  popts.isolate = IsolateMode::kProcess;
+  StudyResult b = run_study(popts);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  zero_walls(a.outcomes);
+  zero_walls(b.outcomes);
+
+  const std::string tag = std::to_string(getpid());
+  const std::string pa = "/tmp/hps_det_t_" + tag + ".bin";
+  const std::string pb = "/tmp/hps_det_p_" + tag + ".bin";
+  save_outcomes(a.outcomes, pa, 42);
+  save_outcomes(b.outcomes, pb, 42);
+  EXPECT_EQ(slurp(pa), slurp(pb)) << "study outcomes depend on isolation mode";
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+
+  // Isolation options are deliberately not part of the cache key: both modes
+  // may share one result cache precisely because of the equality above.
+  EXPECT_EQ(study_cache_key(mini_opts(2)), study_cache_key(popts));
+}
+
 TEST(Determinism, RepeatedRunsAreIdentical) {
   // Two identical single-threaded runs: a degenerate but cheap guard that
   // nothing (RNG reuse, static state, pool recycling) leaks between runs.

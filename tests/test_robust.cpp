@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/runner.hpp"
@@ -105,6 +107,30 @@ TEST(CancelToken, WallDeadlineStopsRunawayEngine) {
   } catch (const robust::CancelledError& e) {
     EXPECT_EQ(e.reason(), robust::CancelReason::kDeadline);
   }
+}
+
+TEST(CancelToken, WallDeadlineTripsPromptlyOnSlowEventTraces) {
+  // Regression: the wall clock used to be sampled on a fixed 4096-event
+  // stride, so a trace processing ~2ms per event overshot a 50ms deadline by
+  // ~8 seconds before the first sample. The stride is now adaptive (derived
+  // from the observed event rate), so the trip must land within a small
+  // multiple of the deadline even when individual events are glacial.
+  robust::Budget b;
+  b.wall_deadline_seconds = 0.05;
+  robust::CancelToken token(b);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    for (std::uint64_t i = 0;; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      token.tick(0);
+    }
+  } catch (const robust::CancelledError& e) {
+    EXPECT_EQ(e.reason(), robust::CancelReason::kDeadline);
+  }
+  const double elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start).count();
+  // Generous CI margin, but far below the ~8s the fixed stride would take.
+  EXPECT_LT(elapsed, 1.0) << "wall sampling stride failed to adapt";
 }
 
 TEST(CancelToken, ExternalCancelSurfacesAtNextTick) {

@@ -11,7 +11,7 @@
 //   check     alias for diff (reads naturally in CI: `inspect check golden new`)
 //
 // Exit codes: 0 success / no divergence, 1 divergence or runtime error,
-// 2 usage error.
+// 2 usage error, 75 study interrupted by SIGINT/SIGTERM (resumable).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +28,7 @@
 #include "obs/inspect.hpp"
 #include "obs/ledger.hpp"
 #include "obs/timeline.hpp"
+#include "robust/interrupt.hpp"
 #include "simmpi/replayer.hpp"
 #include "workloads/corpus.hpp"
 
@@ -43,6 +44,8 @@ int usage() {
       "  run --out <ledger.jsonl> [--limit N] [--duration-scale X] [--seed S]\n"
       "      [--threads N] [--cache <path>] [--journal <path>] [--deadline SECONDS]\n"
       "      [--max-events N] [--horizon-ns N] [--allow-degraded]\n"
+      "      [--isolate thread|process] [--workers N] [--retries R]\n"
+      "      [--rss-limit-mb M] [--watchdog SECONDS]\n"
       "      Run the corpus study (all four schemes) and append its ledger.\n"
       "      --journal enables crash-safe resume: a killed run restarted with\n"
       "      the same options recomputes only the missing traces. The budget\n"
@@ -50,6 +53,17 @@ int usage() {
       "      exceeding one degrades that scheme to a budget failure. Exits 1 if\n"
       "      any scheme degraded (crashed, OOMed, deadlocked, over budget)\n"
       "      unless --allow-degraded.\n"
+      "      --isolate process forks a pool of worker processes (sized by\n"
+      "      --workers, falling back to --threads) so a SIGSEGV/abort/OOM in\n"
+      "      one trace is contained: the trace is retried up to --retries\n"
+      "      times with backoff, then quarantined as fail_kind=crash/timeout\n"
+      "      (its terminating signal recorded in the ledger) while the rest\n"
+      "      of the sweep completes. --rss-limit-mb caps each worker's\n"
+      "      address space; --watchdog hard-kills workers silent that long.\n"
+      "      Healthy-trace results are byte-identical to thread mode.\n"
+      "      SIGINT/SIGTERM interrupts a run gracefully: unfinished traces\n"
+      "      are marked skipped, the journal is kept for resume, and the\n"
+      "      exit code is 75.\n"
       "\n"
       "  timeline --spec N --scheme mfact|packet|flow|packet-flow --out <trace.json>\n"
       "      [--duration-scale X] [--seed S]\n"
@@ -97,6 +111,11 @@ struct Flags {
   double duration_scale = 0.1;
   double threshold = 0.02;
   std::string scheme;
+  std::string isolate = "thread";
+  int workers = 0;
+  int retries = 1;
+  long rss_limit_mb = 0;
+  double watchdog = 0;
   obs::DiffOptions diff;
 };
 
@@ -142,6 +161,16 @@ Flags parse_flags(int argc, char** argv, int first) {
       f.threshold = std::atof(next());
     } else if (want(a, "--scheme")) {
       f.scheme = next();
+    } else if (want(a, "--isolate")) {
+      f.isolate = next();
+    } else if (want(a, "--workers")) {
+      f.workers = std::atoi(next());
+    } else if (want(a, "--retries")) {
+      f.retries = std::atoi(next());
+    } else if (want(a, "--rss-limit-mb")) {
+      f.rss_limit_mb = std::atol(next());
+    } else if (want(a, "--watchdog")) {
+      f.watchdog = std::atof(next());
     } else if (want(a, "--tolerance")) {
       f.diff.tolerance = std::atof(next());
     } else if (want(a, "--wall-tolerance")) {
@@ -175,6 +204,17 @@ int cmd_run(const Flags& f) {
   opts.run.budget.max_des_events = f.max_events;
   opts.run.budget.virtual_horizon = f.horizon_ns;
   opts.progress = true;
+  if (f.isolate == "process") {
+    opts.isolate = core::IsolateMode::kProcess;
+  } else if (f.isolate != "thread") {
+    std::fprintf(stderr, "run: --isolate must be thread or process (got %s)\n",
+                 f.isolate.c_str());
+    return 2;
+  }
+  if (f.workers > 0) opts.threads = f.workers;  // sizes the process pool too
+  opts.retries = f.retries;
+  opts.rss_limit_mb = f.rss_limit_mb;
+  opts.watchdog_timeout_seconds = f.watchdog;
   const core::StudyResult res = core::run_study(opts);
   std::printf("ran %zu traces (%zu ledger records) in %.1f s -> %s\n",
               res.outcomes.size(),
@@ -183,6 +223,14 @@ int cmd_run(const Flags& f) {
   if (res.resumed_from_journal > 0)
     std::printf("resumed %d trace(s) from journal %s\n", res.resumed_from_journal,
                 f.journal.c_str());
+  if (res.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted by signal %d: unfinished traces marked skipped; "
+                 "rerun with the same options to resume%s\n",
+                 res.interrupt_signal,
+                 f.journal.empty() ? " (enable --journal to make resume cheap)" : "");
+    return hps::robust::kInterruptedExitCode;
+  }
 
   // Degraded-outcome summary: count trace×scheme results per fail_kind and
   // gate the exit code, so CI catches crashed/over-budget schemes even when
