@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_diff_threshold.dir/ablation_diff_threshold.cpp.o"
+  "CMakeFiles/ablation_diff_threshold.dir/ablation_diff_threshold.cpp.o.d"
+  "ablation_diff_threshold"
+  "ablation_diff_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_diff_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

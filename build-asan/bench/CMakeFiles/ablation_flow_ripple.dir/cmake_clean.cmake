@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flow_ripple.dir/ablation_flow_ripple.cpp.o"
+  "CMakeFiles/ablation_flow_ripple.dir/ablation_flow_ripple.cpp.o.d"
+  "ablation_flow_ripple"
+  "ablation_flow_ripple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flow_ripple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hotspots.dir/ablation_hotspots.cpp.o"
+  "CMakeFiles/ablation_hotspots.dir/ablation_hotspots.cpp.o.d"
+  "ablation_hotspots"
+  "ablation_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

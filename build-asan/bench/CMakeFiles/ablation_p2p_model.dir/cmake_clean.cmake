@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_p2p_model.dir/ablation_p2p_model.cpp.o"
+  "CMakeFiles/ablation_p2p_model.dir/ablation_p2p_model.cpp.o.d"
+  "ablation_p2p_model"
+  "ablation_p2p_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_p2p_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_time_ratio.dir/fig1_time_ratio.cpp.o"
+  "CMakeFiles/fig1_time_ratio.dir/fig1_time_ratio.cpp.o.d"
+  "fig1_time_ratio"
+  "fig1_time_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_time_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

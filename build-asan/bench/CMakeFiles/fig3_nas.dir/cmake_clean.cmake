@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nas.dir/fig3_nas.cpp.o"
+  "CMakeFiles/fig3_nas.dir/fig3_nas.cpp.o.d"
+  "fig3_nas"
+  "fig3_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

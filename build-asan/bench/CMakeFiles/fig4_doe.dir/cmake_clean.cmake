@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_doe.dir/fig4_doe.cpp.o"
+  "CMakeFiles/fig4_doe.dir/fig4_doe.cpp.o.d"
+  "fig4_doe"
+  "fig4_doe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

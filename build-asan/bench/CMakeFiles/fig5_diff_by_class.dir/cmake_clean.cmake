@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_diff_by_class.dir/fig5_diff_by_class.cpp.o"
+  "CMakeFiles/fig5_diff_by_class.dir/fig5_diff_by_class.cpp.o.d"
+  "fig5_diff_by_class"
+  "fig5_diff_by_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_diff_by_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_diff_by_class.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/hps_bench_common.dir/bench_common.cpp.o.d"
+  "libhps_bench_common.a"
+  "libhps_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

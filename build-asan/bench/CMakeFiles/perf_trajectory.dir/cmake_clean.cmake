@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_trajectory.dir/perf_trajectory.cpp.o"
+  "CMakeFiles/perf_trajectory.dir/perf_trajectory.cpp.o.d"
+  "perf_trajectory"
+  "perf_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

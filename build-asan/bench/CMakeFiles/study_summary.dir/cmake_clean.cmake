@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_summary.dir/study_summary.cpp.o"
+  "CMakeFiles/study_summary.dir/study_summary.cpp.o.d"
+  "study_summary"
+  "study_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_corpus.dir/table1_corpus.cpp.o"
+  "CMakeFiles/table1_corpus.dir/table1_corpus.cpp.o.d"
+  "table1_corpus"
+  "table1_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_stepwise.dir/table4_stepwise.cpp.o"
+  "CMakeFiles/table4_stepwise.dir/table4_stepwise.cpp.o.d"
+  "table4_stepwise"
+  "table4_stepwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_stepwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_predictor.dir/table5_predictor.cpp.o"
+  "CMakeFiles/table5_predictor.dir/table5_predictor.cpp.o.d"
+  "table5_predictor"
+  "table5_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsweep_cli.dir/hpcsweep_cli.cpp.o"
+  "CMakeFiles/hpcsweep_cli.dir/hpcsweep_cli.cpp.o.d"
+  "hpcsweep_cli"
+  "hpcsweep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsweep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

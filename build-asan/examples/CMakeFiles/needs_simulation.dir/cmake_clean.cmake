@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/needs_simulation.dir/needs_simulation.cpp.o"
+  "CMakeFiles/needs_simulation.dir/needs_simulation.cpp.o.d"
+  "needs_simulation"
+  "needs_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/needs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

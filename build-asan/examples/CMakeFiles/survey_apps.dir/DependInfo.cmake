@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/survey_apps.cpp" "examples/CMakeFiles/survey_apps.dir/survey_apps.cpp.o" "gcc" "examples/CMakeFiles/survey_apps.dir/survey_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/hps_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workloads/CMakeFiles/hps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simmpi/CMakeFiles/hps_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/machine/CMakeFiles/hps_machine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simnet/CMakeFiles/hps_simnet.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/topo/CMakeFiles/hps_topo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/des/CMakeFiles/hps_des.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mfact/CMakeFiles/hps_mfact.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/robust/CMakeFiles/hps_robust.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/hps_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/hps_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/hps_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/hps_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/hps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_apps.dir/survey_apps.cpp.o"
+  "CMakeFiles/survey_apps.dir/survey_apps.cpp.o.d"
+  "survey_apps"
+  "survey_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("telemetry")
+subdirs("robust")
+subdirs("obs")
+subdirs("trace")
+subdirs("topo")
+subdirs("machine")
+subdirs("des")
+subdirs("simnet")
+subdirs("simmpi")
+subdirs("mfact")
+subdirs("stats")
+subdirs("workloads")
+subdirs("core")

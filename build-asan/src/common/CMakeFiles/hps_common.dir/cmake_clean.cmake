@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_common.dir/matrix.cpp.o"
+  "CMakeFiles/hps_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/hps_common.dir/rng.cpp.o"
+  "CMakeFiles/hps_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hps_common.dir/stats_util.cpp.o"
+  "CMakeFiles/hps_common.dir/stats_util.cpp.o.d"
+  "CMakeFiles/hps_common.dir/table.cpp.o"
+  "CMakeFiles/hps_common.dir/table.cpp.o.d"
+  "libhps_common.a"
+  "libhps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

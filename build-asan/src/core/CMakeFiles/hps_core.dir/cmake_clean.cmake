@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_core.dir/decision.cpp.o"
+  "CMakeFiles/hps_core.dir/decision.cpp.o.d"
+  "CMakeFiles/hps_core.dir/runner.cpp.o"
+  "CMakeFiles/hps_core.dir/runner.cpp.o.d"
+  "CMakeFiles/hps_core.dir/study.cpp.o"
+  "CMakeFiles/hps_core.dir/study.cpp.o.d"
+  "libhps_core.a"
+  "libhps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

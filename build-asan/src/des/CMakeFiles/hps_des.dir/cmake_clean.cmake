@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_des.dir/engine.cpp.o"
+  "CMakeFiles/hps_des.dir/engine.cpp.o.d"
+  "CMakeFiles/hps_des.dir/event_queue.cpp.o"
+  "CMakeFiles/hps_des.dir/event_queue.cpp.o.d"
+  "libhps_des.a"
+  "libhps_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_machine.dir/machine.cpp.o"
+  "CMakeFiles/hps_machine.dir/machine.cpp.o.d"
+  "libhps_machine.a"
+  "libhps_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_mfact.dir/classify.cpp.o"
+  "CMakeFiles/hps_mfact.dir/classify.cpp.o.d"
+  "CMakeFiles/hps_mfact.dir/coll_cost.cpp.o"
+  "CMakeFiles/hps_mfact.dir/coll_cost.cpp.o.d"
+  "CMakeFiles/hps_mfact.dir/model.cpp.o"
+  "CMakeFiles/hps_mfact.dir/model.cpp.o.d"
+  "libhps_mfact.a"
+  "libhps_mfact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_mfact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

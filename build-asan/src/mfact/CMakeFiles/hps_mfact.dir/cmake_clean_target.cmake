@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhps_mfact.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/inspect.cpp" "src/obs/CMakeFiles/hps_obs.dir/inspect.cpp.o" "gcc" "src/obs/CMakeFiles/hps_obs.dir/inspect.cpp.o.d"
+  "/root/repo/src/obs/ledger.cpp" "src/obs/CMakeFiles/hps_obs.dir/ledger.cpp.o" "gcc" "src/obs/CMakeFiles/hps_obs.dir/ledger.cpp.o.d"
+  "/root/repo/src/obs/timeline.cpp" "src/obs/CMakeFiles/hps_obs.dir/timeline.cpp.o" "gcc" "src/obs/CMakeFiles/hps_obs.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/hps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

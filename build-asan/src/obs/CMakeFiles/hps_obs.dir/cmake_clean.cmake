@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_obs.dir/inspect.cpp.o"
+  "CMakeFiles/hps_obs.dir/inspect.cpp.o.d"
+  "CMakeFiles/hps_obs.dir/ledger.cpp.o"
+  "CMakeFiles/hps_obs.dir/ledger.cpp.o.d"
+  "CMakeFiles/hps_obs.dir/timeline.cpp.o"
+  "CMakeFiles/hps_obs.dir/timeline.cpp.o.d"
+  "libhps_obs.a"
+  "libhps_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

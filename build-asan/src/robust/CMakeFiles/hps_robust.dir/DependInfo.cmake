@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robust/cancel.cpp" "src/robust/CMakeFiles/hps_robust.dir/cancel.cpp.o" "gcc" "src/robust/CMakeFiles/hps_robust.dir/cancel.cpp.o.d"
+  "/root/repo/src/robust/fault.cpp" "src/robust/CMakeFiles/hps_robust.dir/fault.cpp.o" "gcc" "src/robust/CMakeFiles/hps_robust.dir/fault.cpp.o.d"
+  "/root/repo/src/robust/guard.cpp" "src/robust/CMakeFiles/hps_robust.dir/guard.cpp.o" "gcc" "src/robust/CMakeFiles/hps_robust.dir/guard.cpp.o.d"
+  "/root/repo/src/robust/interrupt.cpp" "src/robust/CMakeFiles/hps_robust.dir/interrupt.cpp.o" "gcc" "src/robust/CMakeFiles/hps_robust.dir/interrupt.cpp.o.d"
+  "/root/repo/src/robust/ipc.cpp" "src/robust/CMakeFiles/hps_robust.dir/ipc.cpp.o" "gcc" "src/robust/CMakeFiles/hps_robust.dir/ipc.cpp.o.d"
+  "/root/repo/src/robust/journal.cpp" "src/robust/CMakeFiles/hps_robust.dir/journal.cpp.o" "gcc" "src/robust/CMakeFiles/hps_robust.dir/journal.cpp.o.d"
+  "/root/repo/src/robust/supervisor.cpp" "src/robust/CMakeFiles/hps_robust.dir/supervisor.cpp.o" "gcc" "src/robust/CMakeFiles/hps_robust.dir/supervisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/hps_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/hps_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

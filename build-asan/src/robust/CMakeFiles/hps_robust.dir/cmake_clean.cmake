@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_robust.dir/cancel.cpp.o"
+  "CMakeFiles/hps_robust.dir/cancel.cpp.o.d"
+  "CMakeFiles/hps_robust.dir/fault.cpp.o"
+  "CMakeFiles/hps_robust.dir/fault.cpp.o.d"
+  "CMakeFiles/hps_robust.dir/guard.cpp.o"
+  "CMakeFiles/hps_robust.dir/guard.cpp.o.d"
+  "CMakeFiles/hps_robust.dir/interrupt.cpp.o"
+  "CMakeFiles/hps_robust.dir/interrupt.cpp.o.d"
+  "CMakeFiles/hps_robust.dir/ipc.cpp.o"
+  "CMakeFiles/hps_robust.dir/ipc.cpp.o.d"
+  "CMakeFiles/hps_robust.dir/journal.cpp.o"
+  "CMakeFiles/hps_robust.dir/journal.cpp.o.d"
+  "CMakeFiles/hps_robust.dir/supervisor.cpp.o"
+  "CMakeFiles/hps_robust.dir/supervisor.cpp.o.d"
+  "libhps_robust.a"
+  "libhps_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_simmpi.dir/collectives.cpp.o"
+  "CMakeFiles/hps_simmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/hps_simmpi.dir/replayer.cpp.o"
+  "CMakeFiles/hps_simmpi.dir/replayer.cpp.o.d"
+  "libhps_simmpi.a"
+  "libhps_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_simnet.dir/flow_model.cpp.o"
+  "CMakeFiles/hps_simnet.dir/flow_model.cpp.o.d"
+  "CMakeFiles/hps_simnet.dir/network.cpp.o"
+  "CMakeFiles/hps_simnet.dir/network.cpp.o.d"
+  "CMakeFiles/hps_simnet.dir/packet_model.cpp.o"
+  "CMakeFiles/hps_simnet.dir/packet_model.cpp.o.d"
+  "CMakeFiles/hps_simnet.dir/packetflow_model.cpp.o"
+  "CMakeFiles/hps_simnet.dir/packetflow_model.cpp.o.d"
+  "libhps_simnet.a"
+  "libhps_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_stats.dir/crossval.cpp.o"
+  "CMakeFiles/hps_stats.dir/crossval.cpp.o.d"
+  "CMakeFiles/hps_stats.dir/logistic.cpp.o"
+  "CMakeFiles/hps_stats.dir/logistic.cpp.o.d"
+  "CMakeFiles/hps_stats.dir/stepwise.cpp.o"
+  "CMakeFiles/hps_stats.dir/stepwise.cpp.o.d"
+  "libhps_stats.a"
+  "libhps_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/export.cpp" "src/telemetry/CMakeFiles/hps_telemetry.dir/export.cpp.o" "gcc" "src/telemetry/CMakeFiles/hps_telemetry.dir/export.cpp.o.d"
+  "/root/repo/src/telemetry/progress.cpp" "src/telemetry/CMakeFiles/hps_telemetry.dir/progress.cpp.o" "gcc" "src/telemetry/CMakeFiles/hps_telemetry.dir/progress.cpp.o.d"
+  "/root/repo/src/telemetry/telemetry.cpp" "src/telemetry/CMakeFiles/hps_telemetry.dir/telemetry.cpp.o" "gcc" "src/telemetry/CMakeFiles/hps_telemetry.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/hps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_telemetry.dir/export.cpp.o"
+  "CMakeFiles/hps_telemetry.dir/export.cpp.o.d"
+  "CMakeFiles/hps_telemetry.dir/progress.cpp.o"
+  "CMakeFiles/hps_telemetry.dir/progress.cpp.o.d"
+  "CMakeFiles/hps_telemetry.dir/telemetry.cpp.o"
+  "CMakeFiles/hps_telemetry.dir/telemetry.cpp.o.d"
+  "libhps_telemetry.a"
+  "libhps_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_topo.dir/topology.cpp.o"
+  "CMakeFiles/hps_topo.dir/topology.cpp.o.d"
+  "libhps_topo.a"
+  "libhps_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_trace.dir/builder.cpp.o"
+  "CMakeFiles/hps_trace.dir/builder.cpp.o.d"
+  "CMakeFiles/hps_trace.dir/event.cpp.o"
+  "CMakeFiles/hps_trace.dir/event.cpp.o.d"
+  "CMakeFiles/hps_trace.dir/features.cpp.o"
+  "CMakeFiles/hps_trace.dir/features.cpp.o.d"
+  "CMakeFiles/hps_trace.dir/io.cpp.o"
+  "CMakeFiles/hps_trace.dir/io.cpp.o.d"
+  "CMakeFiles/hps_trace.dir/text_format.cpp.o"
+  "CMakeFiles/hps_trace.dir/text_format.cpp.o.d"
+  "CMakeFiles/hps_trace.dir/trace.cpp.o"
+  "CMakeFiles/hps_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/hps_trace.dir/validate.cpp.o"
+  "CMakeFiles/hps_trace.dir/validate.cpp.o.d"
+  "libhps_trace.a"
+  "libhps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_workloads.dir/apps_doe.cpp.o"
+  "CMakeFiles/hps_workloads.dir/apps_doe.cpp.o.d"
+  "CMakeFiles/hps_workloads.dir/apps_npb.cpp.o"
+  "CMakeFiles/hps_workloads.dir/apps_npb.cpp.o.d"
+  "CMakeFiles/hps_workloads.dir/corpus.cpp.o"
+  "CMakeFiles/hps_workloads.dir/corpus.cpp.o.d"
+  "CMakeFiles/hps_workloads.dir/generators.cpp.o"
+  "CMakeFiles/hps_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/hps_workloads.dir/ground_truth.cpp.o"
+  "CMakeFiles/hps_workloads.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/hps_workloads.dir/pattern_helpers.cpp.o"
+  "CMakeFiles/hps_workloads.dir/pattern_helpers.cpp.o.d"
+  "libhps_workloads.a"
+  "libhps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

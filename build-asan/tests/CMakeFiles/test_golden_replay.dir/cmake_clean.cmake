@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_replay.dir/test_golden_replay.cpp.o"
+  "CMakeFiles/test_golden_replay.dir/test_golden_replay.cpp.o.d"
+  "test_golden_replay"
+  "test_golden_replay.pdb"
+  "test_golden_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

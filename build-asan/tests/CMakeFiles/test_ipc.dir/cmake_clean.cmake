@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipc.dir/test_ipc.cpp.o"
+  "CMakeFiles/test_ipc.dir/test_ipc.cpp.o.d"
+  "test_ipc"
+  "test_ipc.pdb"
+  "test_ipc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

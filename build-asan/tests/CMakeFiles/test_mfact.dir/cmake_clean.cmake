@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfact.dir/test_mfact.cpp.o"
+  "CMakeFiles/test_mfact.dir/test_mfact.cpp.o.d"
+  "test_mfact"
+  "test_mfact.pdb"
+  "test_mfact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replayer.dir/test_replayer.cpp.o"
+  "CMakeFiles/test_replayer.dir/test_replayer.cpp.o.d"
+  "test_replayer"
+  "test_replayer.pdb"
+  "test_replayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_topo[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_des[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_machine[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_replayer[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_mfact[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_robust[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ipc[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_supervisor[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_golden_replay[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_property[1]_include.cmake")

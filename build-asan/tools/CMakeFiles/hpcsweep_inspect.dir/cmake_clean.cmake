@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsweep_inspect.dir/hpcsweep_inspect.cpp.o"
+  "CMakeFiles/hpcsweep_inspect.dir/hpcsweep_inspect.cpp.o.d"
+  "hpcsweep_inspect"
+  "hpcsweep_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsweep_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
