@@ -1,0 +1,289 @@
+// Serving-path load harness: N concurrent clients fire study requests at a
+// hpcsweepd daemon and the harness reports throughput and latency quantiles
+// into BENCH_serve.json — the serving analogue of perf_trajectory's study
+// gate. Seeds cycle through a small distinct set so the run exercises the
+// whole serving surface: cold misses, shared-cache hits, and single-flight
+// coalescing when identical requests race.
+//
+// By default the harness embeds its own daemon (in-process Server on a
+// private Unix socket) so one binary is a self-contained smoke test; point
+// --socket at an external `hpcsweep_inspect serve` to load-test a real
+// deployment. With --check it compares a fresh run against a committed
+// baseline: throughput may not drop more than --tolerance below baseline,
+// p99 latency may not rise more than --tolerance above it.
+//
+// Usage:
+//   load_test [--clients 4] [--requests 8] [--distinct 3]
+//             [--scale 0.05] [--limit 2] [--socket PATH]
+//             [--out BENCH_serve.json]
+//             [--check ci/BENCH_serve_baseline.json] [--tolerance 0.5]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hps;
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  int clients = 4;
+  int requests = 8;   // per client
+  int distinct = 3;   // distinct seeds cycled across all requests
+  double scale = 0.05;
+  int limit = 2;
+  std::string socket;  // empty: embed a daemon
+  std::string out_path = "BENCH_serve.json";
+  std::string check_path;
+  double tolerance = 0.5;
+};
+
+struct Result {
+  std::vector<double> latencies_ms;  // successful requests only
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;  // queue-full / draining backpressure
+  std::uint64_t errors = 0;    // transport failures or server-side errors
+  double wall_seconds = 0;     // whole load phase
+  serve::Stats daemon;
+};
+
+double quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+Result run_load(const Config& cfg, const std::string& socket_path) {
+  Result res;
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(cfg.clients));
+  std::atomic<std::uint64_t> ok{0}, degraded{0}, rejected{0}, errors{0};
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.clients));
+  for (int c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < cfg.requests; ++r) {
+        serve::Request req;
+        req.kind = serve::Request::Kind::kStudy;
+        // Cycle a small seed set shifted per client so concurrent clients
+        // collide on keys: misses, hits, and coalesced waits all occur.
+        req.seed = 1000u + static_cast<std::uint64_t>((c + r) % cfg.distinct);
+        req.duration_scale = cfg.scale;
+        req.limit = cfg.limit;
+        const auto t0 = Clock::now();
+        try {
+          // One connection per request: the daemon's documented client model.
+          serve::Client cl = serve::Client::connect_unix(socket_path);
+          const auto reply = cl.study(req);
+          const double ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+          switch (reply.summary.status) {
+            case serve::Status::kOk:
+              ok.fetch_add(1, std::memory_order_relaxed);
+              lat[static_cast<std::size_t>(c)].push_back(ms);
+              break;
+            case serve::Status::kDegraded:
+              degraded.fetch_add(1, std::memory_order_relaxed);
+              lat[static_cast<std::size_t>(c)].push_back(ms);
+              break;
+            case serve::Status::kQueueFull:
+            case serve::Status::kDraining:
+              rejected.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              errors.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        } catch (const std::exception& e) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "load_test: client %d request %d: %s\n", c, r, e.what());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  res.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  for (const auto& l : lat)
+    res.latencies_ms.insert(res.latencies_ms.end(), l.begin(), l.end());
+  std::sort(res.latencies_ms.begin(), res.latencies_ms.end());
+  res.ok = ok;
+  res.degraded = degraded;
+  res.rejected = rejected;
+  res.errors = errors;
+
+  serve::Client cl = serve::Client::connect_unix(socket_path);
+  res.daemon = cl.stats();
+  return res;
+}
+
+std::string to_json(const Config& cfg, const Result& r) {
+  const std::uint64_t served = r.ok + r.degraded;
+  const double throughput =
+      r.wall_seconds > 0 ? static_cast<double>(served) / r.wall_seconds : 0;
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"schema\": 1,\n"
+     << "  \"clients\": " << cfg.clients << ",\n"
+     << "  \"requests_per_client\": " << cfg.requests << ",\n"
+     << "  \"distinct_seeds\": " << cfg.distinct << ",\n"
+     << "  \"duration_scale\": " << cfg.scale << ",\n"
+     << "  \"corpus_limit\": " << cfg.limit << ",\n"
+     << "  \"served\": " << served << ",\n"
+     << "  \"rejected\": " << r.rejected << ",\n"
+     << "  \"errors\": " << r.errors << ",\n"
+     << "  \"wall_seconds\": " << r.wall_seconds << ",\n"
+     << "  \"throughput_rps\": " << throughput << ",\n"
+     << "  \"latency_ms\": {\"p50\": " << quantile(r.latencies_ms, 0.50)
+     << ", \"p99\": " << quantile(r.latencies_ms, 0.99)
+     << ", \"max\": " << (r.latencies_ms.empty() ? 0 : r.latencies_ms.back()) << "},\n"
+     << "  \"daemon\": " << serve::stats_to_json(r.daemon) << "\n"
+     << "}\n";
+  return os.str();
+}
+
+/// Value of `"key": <number>` in a flat-enough JSON text; -1 when absent
+/// (same targeted scan as perf_trajectory — these files are written by us).
+double find_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+int check_against(const Config& cfg, const Result& r, const std::string& json) {
+  std::ifstream is(cfg.check_path);
+  if (!is.is_open()) {
+    std::fprintf(stderr, "load_test: cannot open baseline %s\n", cfg.check_path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string base = buf.str();
+
+  int failures = 0;
+  const auto gate = [&](const char* name, double now, double ref, bool higher_is_better) {
+    if (ref <= 0) {
+      std::printf("%-16s %10s %10.3f   skipped (no baseline)\n", name, "-", now);
+      return;
+    }
+    const double ratio = now / ref;
+    const bool ok = higher_is_better ? ratio >= 1.0 - cfg.tolerance
+                                     : ratio <= 1.0 + cfg.tolerance;
+    if (!ok) ++failures;
+    std::printf("%-16s %10.3f %10.3f %8.2fx   %s\n", name, ref, now, ratio,
+                ok ? "ok" : "REGRESSION");
+  };
+  std::printf("%-16s %10s %10s %9s   %s\n", "metric", "baseline", "now", "ratio",
+              "status");
+  gate("throughput_rps", find_number(json, "throughput_rps"),
+       find_number(base, "throughput_rps"), /*higher_is_better=*/true);
+  // p50/p99 live in a nested object; scan the run's own JSON the same way.
+  const auto nested = [&](const std::string& text, const char* key) {
+    const std::size_t at = text.find("\"latency_ms\"");
+    return at == std::string::npos ? -1 : find_number(text.substr(at), key);
+  };
+  gate("latency_p50_ms", nested(json, "p50"), nested(base, "p50"), false);
+  gate("latency_p99_ms", nested(json, "p99"), nested(base, "p99"), false);
+
+  if (r.errors > 0) {
+    std::printf("FAIL: %llu request(s) errored\n",
+                static_cast<unsigned long long>(r.errors));
+    return 1;
+  }
+  if (failures > 0) {
+    std::printf("FAIL: %d metric(s) beyond %.0f%% of baseline\n", failures,
+                cfg.tolerance * 100);
+    return 1;
+  }
+  std::printf("OK: serving within %.0f%% of baseline\n", cfg.tolerance * 100);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "load_test: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--clients") cfg.clients = std::atoi(next());
+    else if (a == "--requests") cfg.requests = std::atoi(next());
+    else if (a == "--distinct") cfg.distinct = std::max(1, std::atoi(next()));
+    else if (a == "--scale") cfg.scale = std::atof(next());
+    else if (a == "--limit") cfg.limit = std::atoi(next());
+    else if (a == "--socket") cfg.socket = next();
+    else if (a == "--out") cfg.out_path = next();
+    else if (a == "--check") cfg.check_path = next();
+    else if (a == "--tolerance") cfg.tolerance = std::atof(next());
+    else {
+      std::fprintf(stderr, "load_test: unknown flag %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  // Embedded daemon unless an external socket was given.
+  std::string socket_path = cfg.socket;
+  std::unique_ptr<serve::Server> embedded;
+  std::thread runner;
+  if (socket_path.empty()) {
+    socket_path = "/tmp/hps_load_test_" + std::to_string(::getpid()) + ".sock";
+    serve::ServerOptions so;
+    so.socket_path = socket_path;
+    so.dispatchers = 2;
+    // Queue sized to the worst-case burst so the measurement exercises the
+    // cache and coalescing, not backpressure (backpressure has its own test).
+    so.queue_capacity = static_cast<std::size_t>(cfg.clients * cfg.requests);
+    so.cache_bytes = 64u << 20;
+    so.max_duration_scale = 1.0;
+    so.install_signal_guard = false;
+    embedded = std::make_unique<serve::Server>(std::move(so));
+    runner = std::thread([&] { embedded->run(); });
+  }
+
+  const Result res = run_load(cfg, socket_path);
+
+  if (embedded) {
+    embedded->shutdown();
+    runner.join();
+    ::unlink(socket_path.c_str());
+  }
+
+  const std::string json = to_json(cfg, res);
+  std::ofstream os(cfg.out_path);
+  if (!os.is_open()) {
+    std::fprintf(stderr, "load_test: cannot write %s\n", cfg.out_path.c_str());
+    return 2;
+  }
+  os << json;
+  std::printf("%s", json.c_str());
+
+  if (!cfg.check_path.empty()) return check_against(cfg, res, json);
+  return res.errors > 0 ? 1 : 0;
+}

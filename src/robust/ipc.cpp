@@ -34,6 +34,22 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kHeartbeat: return "heartbeat";
     case MsgType::kError: return "error";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kRequest: return "request";
+    case MsgType::kRecord: return "record";
+    case MsgType::kSummary: return "summary";
+    case MsgType::kReject: return "reject";
+    case MsgType::kPong: return "pong";
+    case MsgType::kStatsReply: return "stats-reply";
+  }
+  return "?";
+}
+
+const char* read_status_name(ReadStatus s) {
+  switch (s) {
+    case ReadStatus::kMessage: return "message";
+    case ReadStatus::kEof: return "eof";
+    case ReadStatus::kCorrupt: return "corrupt";
+    case ReadStatus::kError: return "error";
   }
   return "?";
 }
@@ -81,16 +97,18 @@ FrameDecoder::Status FrameDecoder::next(Message& out) {
   if (avail < 8) return Status::kNeedMore;
   const std::uint32_t len = decode_u32(buf_.data() + pos_);
   const std::uint32_t crc = decode_u32(buf_.data() + pos_ + 4);
-  if (len == 0 || len > kMaxFrameBytes) {
-    // A zero-length payload can't even carry the type byte; both cases mean
-    // the length field itself is garbage.
+  if (len == 0 || len > max_frame_) {
+    // A zero-length payload can't even carry the type byte; an oversized one
+    // means the length field itself is garbage (or the peer is abusive).
     corrupt_ = true;
+    reason_ = len == 0 ? "zero-length frame" : "oversized frame";
     return Status::kCorrupt;
   }
   if (avail < 8 + static_cast<std::size_t>(len)) return Status::kNeedMore;
   const char* payload = buf_.data() + pos_ + 8;
   if (crc32(payload, len) != crc) {
     corrupt_ = true;
+    reason_ = "crc mismatch";
     return Status::kCorrupt;
   }
   out.type = static_cast<MsgType>(static_cast<unsigned char>(payload[0]));
@@ -119,7 +137,7 @@ ReadStatus read_exact(int fd, char* p, std::size_t n) {
 
 }  // namespace
 
-ReadStatus read_message(int fd, Message& out) {
+ReadStatus read_message(int fd, Message& out, std::uint32_t max_frame) {
   // Exact-size reads: never consume bytes beyond this frame, so successive
   // calls on the same blocking fd each see a whole frame.
   char header[8];
@@ -127,7 +145,7 @@ ReadStatus read_message(int fd, Message& out) {
   if (st != ReadStatus::kMessage) return st;
   const std::uint32_t len = decode_u32(header);
   const std::uint32_t crc = decode_u32(header + 4);
-  if (len == 0 || len > kMaxFrameBytes) return ReadStatus::kCorrupt;
+  if (len == 0 || len > max_frame) return ReadStatus::kCorrupt;
   std::string payload(len, '\0');
   st = read_exact(fd, payload.data(), len);
   if (st != ReadStatus::kMessage) return st == ReadStatus::kError ? st : ReadStatus::kCorrupt;

@@ -1,22 +1,28 @@
-// Supervisor ↔ worker pipe protocol.
+// CRC-framed message transport, shared by the supervisor ↔ worker pipes
+// (supervisor.hpp) and the hpcsweepd request socket (src/serve/).
 //
-// The process-isolated study mode (supervisor.hpp) shards work over plain
-// POSIX pipes. Messages reuse the HPSJ record framing from journal.hpp —
+// Messages reuse the HPSJ record framing from journal.hpp —
 //
 //   u32 payload_len | u32 crc32(payload) | payload
 //
 // where the payload's first byte is the message type and the rest is opaque
 // to this layer. The CRC is not paranoia: a worker that is dying (heap
-// corruption, a signal landing mid-write) can emit a torn or garbled frame,
-// and the supervisor must detect that deterministically and treat it as a
-// worker death rather than deserialize garbage into a study outcome.
+// corruption, a signal landing mid-write) can emit a torn or garbled frame —
+// and an arbitrary network client can send literal garbage — so both readers
+// must detect that deterministically and treat the stream as dead rather
+// than deserialize garbage.
 //
 // Two read paths share one decoder:
-//  - workers block on their task pipe (read_message), and
-//  - the supervisor polls many result pipes, feeding whatever bytes arrive
-//    into a per-worker FrameDecoder that yields complete messages as they
+//  - workers (and the serve client) block on their fd (read_message), and
+//  - the supervisor and server poll many fds, feeding whatever bytes arrive
+//    into a per-peer FrameDecoder that yields complete messages as they
 //    close (kNeedMore in between, kCorrupt permanently once the stream is
 //    unframeable).
+//
+// Both paths take the same per-stream frame-size cap, defaulting to
+// kMaxFrameBytes — the one constant the journal's record cap also aliases —
+// so "how big may a frame be" has exactly one answer per transport, chosen
+// where the stream is opened (the server caps client *requests* far lower).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +37,15 @@ enum class MsgType : std::uint8_t {
   kHeartbeat = 3,  ///< worker → supervisor: liveness (watchdog food)
   kError = 4,      ///< worker → supervisor: task failed with an exception
   kShutdown = 5,   ///< supervisor → worker: drain and exit
+
+  // hpcsweepd socket transport (src/serve/protocol.hpp) — same framing, a
+  // disjoint type range so a frame can never be mistaken across transports.
+  kRequest = 16,     ///< client → server: one serve::Request
+  kRecord = 17,      ///< server → client: one ledger record (JSON line)
+  kSummary = 18,     ///< server → client: terminal reply for a request
+  kReject = 19,      ///< server → client: admission rejection (terminal)
+  kPong = 20,        ///< server → client: liveness reply
+  kStatsReply = 21,  ///< server → client: serve::Stats snapshot
 };
 
 const char* msg_type_name(MsgType t);
@@ -40,8 +55,9 @@ struct Message {
   std::string payload;
 };
 
-/// Frames larger than this are rejected as corrupt length fields, mirroring
-/// the journal's cap (serialized outcomes are a few KB).
+/// Default per-stream frame cap: frames larger than this are rejected as
+/// corrupt length fields. The journal's record cap is this same constant
+/// (robust/journal.cpp), not a second magic number.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
 /// Frame a message: length/CRC header plus type byte plus payload.
@@ -61,6 +77,11 @@ class FrameDecoder {
     kCorrupt,   ///< stream is unframeable (bad CRC / oversized length)
   };
 
+  /// `max_frame` caps the length field this stream will accept; anything
+  /// larger poisons the stream as corrupt (it is never allocated).
+  explicit FrameDecoder(std::uint32_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
   /// Buffer `n` raw bytes read off the pipe.
   void feed(const char* data, std::size_t n);
 
@@ -70,12 +91,18 @@ class FrameDecoder {
   Status next(Message& out);
 
   bool corrupt() const { return corrupt_; }
+  /// Why the stream went corrupt ("" while healthy): "zero-length frame",
+  /// "oversized frame", or "crc mismatch". One vocabulary for supervisor
+  /// verdicts, server rejections, and test assertions.
+  const char* corrupt_reason() const { return reason_; }
   std::size_t buffered() const { return buf_.size() - pos_; }
 
  private:
   std::string buf_;
   std::size_t pos_ = 0;
+  std::uint32_t max_frame_ = kMaxFrameBytes;
   bool corrupt_ = false;
+  const char* reason_ = "";
 };
 
 enum class ReadStatus {
@@ -85,9 +112,12 @@ enum class ReadStatus {
   kError,    ///< read(2) failed hard
 };
 
-/// Blocking convenience for the worker side: read exactly one message off a
-/// blocking fd.
-ReadStatus read_message(int fd, Message& out);
+const char* read_status_name(ReadStatus s);
+
+/// Blocking convenience for the worker / serve-client side: read exactly one
+/// message off a blocking fd. `max_frame` mirrors FrameDecoder's cap.
+ReadStatus read_message(int fd, Message& out,
+                        std::uint32_t max_frame = kMaxFrameBytes);
 
 /// The worker's result-pipe fd, valid only inside a worker process spawned
 /// by run_supervised (-1 elsewhere). Exposed so tests can inject protocol

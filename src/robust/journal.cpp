@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "common/error.hpp"
+#include "robust/ipc.hpp"
 
 namespace hps::robust {
 
@@ -50,8 +51,9 @@ std::string header_bytes(const std::string& key) {
 }
 
 /// Sanity cap on a single record — anything larger is a torn/corrupt length
-/// field, not a real outcome (serialized outcomes are a few KB).
-constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+/// field, not a real outcome (serialized outcomes are a few KB). The cap is
+/// the transport-wide frame limit, not a second magic number.
+constexpr std::uint32_t kMaxRecordBytes = ipc::kMaxFrameBytes;
 
 }  // namespace
 

@@ -363,7 +363,9 @@ void Supervisor::pump(Worker& w) {
         if (st == ipc::FrameDecoder::Status::kCorrupt) {
           // Garbage mid-stream: the worker is compromised even if it is
           // still breathing. Kill it; the in-flight task is retried.
-          handle_death(w, /*force_kill=*/true, "worker result stream is corrupt");
+          handle_death(w, /*force_kill=*/true,
+                       std::string("worker result stream is corrupt (") +
+                           w.dec.corrupt_reason() + ")");
           return;
         }
         break;  // kNeedMore

@@ -1,0 +1,59 @@
+#include "serve/cache.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace hps::serve {
+
+std::shared_ptr<const CachedResult> ResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    telemetry::Registry::global().counter("serve.cache_misses").add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  ++hits_;
+  telemetry::Registry::global().counter("serve.cache_hits").add(1);
+  return it->second->value;
+}
+
+void ResultCache::insert(std::uint64_t key, std::shared_ptr<const CachedResult> value) {
+  if (budget_ == 0 || value == nullptr) return;
+  const std::size_t bytes = value->byte_size();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  if (bytes > budget_) return;  // would evict everything and still not fit
+  lru_.push_front(Entry{key, std::move(value), bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  evict_to_budget_locked();
+}
+
+void ResultCache::evict_to_budget_locked() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    telemetry::Registry::global().counter("serve.cache_evictions").add(1);
+  }
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Counters c;
+  c.hits = hits_;
+  c.misses = misses_;
+  c.evictions = evictions_;
+  c.bytes = bytes_;
+  c.entries = lru_.size();
+  return c;
+}
+
+}  // namespace hps::serve

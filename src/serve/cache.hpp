@@ -1,0 +1,84 @@
+// Content-addressed in-memory result cache shared across serve requests.
+//
+// Keys are core::study_cache_key values — a study's full configuration hash,
+// including the cache-format and ledger-schema versions — so two requests
+// that would compute byte-identical ledgers share one entry, and any option
+// that changes the result changes the key. Values are the finished response:
+// the ledger JSON lines plus the summary metadata needed to replay them to a
+// new client without recomputation.
+//
+// Entries are immutable and handed out as shared_ptr, so eviction (or a
+// clear) while another thread is still streaming an entry to its client is
+// safe: the streamer keeps the bytes alive, the cache just forgets them.
+// Eviction is LRU under a byte budget — the serving process must stay
+// resident under "millions of users" of distinct studies, so the budget, not
+// the entry count, is the contract.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace hps::serve {
+
+/// One finished study, ready to stream.
+struct CachedResult {
+  Status status = Status::kOk;        ///< kOk or kDegraded (never transient)
+  std::uint32_t degraded = 0;         ///< records with a real fail_kind
+  double wall_seconds = 0;            ///< what the original computation cost
+  std::vector<std::string> records;   ///< ledger JSON lines, spec order
+
+  std::size_t byte_size() const {
+    std::size_t n = sizeof(CachedResult);
+    for (const std::string& r : records) n += r.size() + sizeof(std::string);
+    return n;
+  }
+};
+
+class ResultCache {
+ public:
+  /// `byte_budget` caps the summed byte_size() of live entries; 0 disables
+  /// caching entirely (every lookup misses, inserts are dropped).
+  explicit ResultCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+  /// Hit: bumps the entry to most-recently-used and returns it. Miss: null.
+  std::shared_ptr<const CachedResult> lookup(std::uint64_t key);
+
+  /// Insert (or replace) the entry for `key`, then evict LRU entries until
+  /// the budget holds again. An entry larger than the whole budget is
+  /// dropped immediately — correct, just never cached.
+  void insert(std::uint64_t key, std::shared_ptr<const CachedResult> value);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t entries = 0;
+  };
+  Counters counters() const;
+
+ private:
+  void evict_to_budget_locked();
+
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const CachedResult> value;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace hps::serve

@@ -1,0 +1,150 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "robust/ipc.hpp"
+
+namespace hps::serve {
+
+namespace {
+
+namespace ipc = robust::ipc;
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+void send_request(int fd, const Request& req) {
+  ipc::Message m;
+  m.type = ipc::MsgType::kRequest;
+  m.payload = encode_request(req);
+  HPS_REQUIRE(ipc::write_frame(fd, m), "serve client: daemon connection lost mid-write");
+}
+
+ipc::Message read_reply(int fd) {
+  ipc::Message m;
+  const ipc::ReadStatus st = ipc::read_message(fd, m);
+  HPS_REQUIRE(st == ipc::ReadStatus::kMessage,
+              std::string("serve client: reply stream ") + ipc::read_status_name(st));
+  return m;
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& socket_path) {
+  ignore_sigpipe();
+  sockaddr_un addr{};
+  HPS_REQUIRE(socket_path.size() < sizeof addr.sun_path,
+              "serve client: socket path too long: " + socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HPS_REQUIRE(fd >= 0, std::string("serve client: socket() failed: ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    HPS_THROW("serve client: cannot connect to " + socket_path + ": " + err +
+              " (is hpcsweepd running?)");
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  ignore_sigpipe();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HPS_REQUIRE(fd >= 0, std::string("serve client: socket() failed: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    HPS_THROW("serve client: bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    HPS_THROW("serve client: cannot connect to " + host + ":" + std::to_string(port) +
+              ": " + err + " (is hpcsweepd running?)");
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::StudyReply Client::study(
+    const Request& req, const std::function<void(const std::string&)>& on_record) {
+  send_request(fd_, req);
+  StudyReply reply;
+  for (;;) {
+    const ipc::Message m = read_reply(fd_);
+    switch (m.type) {
+      case ipc::MsgType::kRecord:
+        if (on_record) on_record(m.payload);
+        reply.records.push_back(m.payload);
+        continue;
+      case ipc::MsgType::kSummary:
+      case ipc::MsgType::kReject:
+        reply.summary = decode_summary(m.payload);
+        return reply;
+      default:
+        HPS_THROW(std::string("serve client: unexpected reply frame: ") +
+                  ipc::msg_type_name(m.type));
+    }
+  }
+}
+
+bool Client::ping() {
+  Request req;
+  req.kind = Request::Kind::kPing;
+  try {
+    send_request(fd_, req);
+    return read_reply(fd_).type == ipc::MsgType::kPong;
+  } catch (const hps::Error&) {
+    return false;
+  }
+}
+
+Stats Client::stats() {
+  Request req;
+  req.kind = Request::Kind::kStats;
+  send_request(fd_, req);
+  const ipc::Message m = read_reply(fd_);
+  HPS_REQUIRE(m.type == ipc::MsgType::kStatsReply,
+              std::string("serve client: expected stats-reply, got ") +
+                  ipc::msg_type_name(m.type));
+  return decode_stats(m.payload);
+}
+
+Summary Client::shutdown_server() {
+  Request req;
+  req.kind = Request::Kind::kShutdown;
+  send_request(fd_, req);
+  const ipc::Message m = read_reply(fd_);
+  HPS_REQUIRE(m.type == ipc::MsgType::kSummary || m.type == ipc::MsgType::kReject,
+              std::string("serve client: expected summary, got ") +
+                  ipc::msg_type_name(m.type));
+  return decode_summary(m.payload);
+}
+
+}  // namespace hps::serve

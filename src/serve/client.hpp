@@ -1,0 +1,58 @@
+// Client side of the hpcsweepd protocol: connect, send one request frame,
+// consume the streamed reply. Used by `hpcsweep_inspect request`, the
+// bench/load_test harness, and the serve tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace hps::serve {
+
+class Client {
+ public:
+  /// Both throw hps::Error when the daemon is not reachable. Connecting
+  /// ignores SIGPIPE process-wide: a daemon dying mid-request must surface
+  /// as an error status, not kill the client.
+  static Client connect_unix(const std::string& socket_path);
+  static Client connect_tcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  struct StudyReply {
+    Summary summary;
+    std::vector<std::string> records;  ///< streamed ledger JSON lines
+  };
+
+  /// Send a study request and collect the streamed reply. `on_record`, when
+  /// set, sees each ledger line as it arrives (records are still collected).
+  /// Rejections come back as the summary status — only transport failures
+  /// (daemon gone, garbled stream) throw hps::Error.
+  StudyReply study(const Request& req,
+                   const std::function<void(const std::string&)>& on_record = {});
+
+  /// Liveness probe; false when the reply was not a clean pong.
+  bool ping();
+
+  /// Daemon counter snapshot. Throws on transport failure.
+  Stats stats();
+
+  /// Ask the daemon to drain and exit; returns its acknowledgment.
+  Summary shutdown_server();
+
+  /// Raw connection fd — tests use it to inject protocol garbage exactly as
+  /// a broken or malicious client would.
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace hps::serve

@@ -1,0 +1,218 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hps::serve {
+
+namespace {
+
+// Little-endian fixed-width primitives, string-backed (the payloads live in
+// ipc::Message::payload). Decoding is bounds-checked: a short payload is a
+// protocol violation, reported as hps::Error for the server to map onto
+// Status::kBadRequest.
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+struct Reader {
+  const std::string& buf;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    HPS_REQUIRE(pos + n <= buf.size(), "serve payload truncated");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(buf[pos++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)])) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)])) << (8 * i);
+    pos += 8;
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    HPS_REQUIRE(n <= kMaxRequestBytes, "serve payload string too large");
+    need(n);
+    std::string s = buf.substr(pos, n);
+    pos += n;
+    return s;
+  }
+  void done() const {
+    HPS_REQUIRE(pos == buf.size(), "serve payload has trailing bytes");
+  }
+};
+
+}  // namespace
+
+const char* request_kind_name(Request::Kind k) {
+  switch (k) {
+    case Request::Kind::kStudy: return "study";
+    case Request::Kind::kPing: return "ping";
+    case Request::Kind::kStats: return "stats";
+    case Request::Kind::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kDegraded: return "degraded";
+    case Status::kInterrupted: return "interrupted";
+    case Status::kQueueFull: return "queue-full";
+    case Status::kDraining: return "draining";
+    case Status::kOversized: return "oversized";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+std::string encode_request(const Request& r) {
+  std::string out;
+  out.reserve(64);
+  put_u32(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(r.kind));
+  put_u64(out, r.seed);
+  put_f64(out, r.duration_scale);
+  put_u32(out, static_cast<std::uint32_t>(r.limit));
+  put_u8(out, r.force_recompute ? 1 : 0);
+  put_f64(out, r.wall_deadline_s);
+  put_u64(out, r.max_des_events);
+  put_u64(out, static_cast<std::uint64_t>(r.virtual_horizon_ns));
+  return out;
+}
+
+Request decode_request(const std::string& payload) {
+  Reader rd{payload};
+  const std::uint32_t version = rd.u32();
+  HPS_REQUIRE(version == kProtocolVersion,
+              "serve protocol version mismatch (got " + std::to_string(version) +
+                  ", want " + std::to_string(kProtocolVersion) + ")");
+  Request r;
+  const std::uint8_t kind = rd.u8();
+  HPS_REQUIRE(kind >= 1 && kind <= 4, "serve request kind out of range");
+  r.kind = static_cast<Request::Kind>(kind);
+  r.seed = rd.u64();
+  r.duration_scale = rd.f64();
+  r.limit = static_cast<std::int32_t>(rd.u32());
+  r.force_recompute = rd.u8() != 0;
+  r.wall_deadline_s = rd.f64();
+  r.max_des_events = rd.u64();
+  r.virtual_horizon_ns = static_cast<std::int64_t>(rd.u64());
+  rd.done();
+  HPS_REQUIRE(r.duration_scale > 0 && r.duration_scale <= 10.0,
+              "serve request duration_scale out of range");
+  HPS_REQUIRE(r.limit >= 0, "serve request limit out of range");
+  return r;
+}
+
+std::string encode_summary(const Summary& s) {
+  std::string out;
+  out.reserve(32 + s.detail.size());
+  put_u32(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(s.status));
+  put_u8(out, s.cache_hit ? 1 : 0);
+  put_u32(out, s.records);
+  put_u32(out, s.degraded);
+  put_f64(out, s.wall_seconds);
+  put_str(out, s.detail);
+  return out;
+}
+
+Summary decode_summary(const std::string& payload) {
+  Reader rd{payload};
+  HPS_REQUIRE(rd.u32() == kProtocolVersion, "serve summary version mismatch");
+  Summary s;
+  const std::uint8_t st = rd.u8();
+  HPS_REQUIRE(st <= static_cast<std::uint8_t>(Status::kError),
+              "serve summary status out of range");
+  s.status = static_cast<Status>(st);
+  s.cache_hit = rd.u8() != 0;
+  s.records = rd.u32();
+  s.degraded = rd.u32();
+  s.wall_seconds = rd.f64();
+  s.detail = rd.str();
+  rd.done();
+  return s;
+}
+
+std::string encode_stats(const Stats& s) {
+  std::string out;
+  out.reserve(16 + 13 * 8);
+  put_u32(out, kProtocolVersion);
+  for (const std::uint64_t v :
+       {s.requests, s.studies_run, s.cache_hits, s.cache_misses, s.cache_bytes,
+        s.cache_entries, s.cache_evictions, s.coalesced, s.rejected_queue_full,
+        s.rejected_draining, s.rejected_bad, s.active, s.queued})
+    put_u64(out, v);
+  return out;
+}
+
+Stats decode_stats(const std::string& payload) {
+  Reader rd{payload};
+  HPS_REQUIRE(rd.u32() == kProtocolVersion, "serve stats version mismatch");
+  Stats s;
+  for (std::uint64_t* v :
+       {&s.requests, &s.studies_run, &s.cache_hits, &s.cache_misses, &s.cache_bytes,
+        &s.cache_entries, &s.cache_evictions, &s.coalesced, &s.rejected_queue_full,
+        &s.rejected_draining, &s.rejected_bad, &s.active, &s.queued})
+    *v = rd.u64();
+  rd.done();
+  return s;
+}
+
+std::string stats_to_json(const Stats& s) {
+  std::ostringstream os;
+  os << "{\"requests\":" << s.requests << ",\"studies_run\":" << s.studies_run
+     << ",\"cache_hits\":" << s.cache_hits << ",\"cache_misses\":" << s.cache_misses
+     << ",\"cache_bytes\":" << s.cache_bytes << ",\"cache_entries\":" << s.cache_entries
+     << ",\"cache_evictions\":" << s.cache_evictions << ",\"coalesced\":" << s.coalesced
+     << ",\"rejected_queue_full\":" << s.rejected_queue_full
+     << ",\"rejected_draining\":" << s.rejected_draining
+     << ",\"rejected_bad\":" << s.rejected_bad << ",\"active\":" << s.active
+     << ",\"queued\":" << s.queued << "}";
+  return os.str();
+}
+
+}  // namespace hps::serve

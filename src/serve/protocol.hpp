@@ -1,0 +1,112 @@
+// hpcsweepd wire protocol: what travels inside the CRC-framed transport
+// (robust/ipc.hpp) between a client and the prediction daemon.
+//
+// Every exchange is one client kRequest frame answered by a terminal server
+// frame, optionally preceded by streamed kRecord frames:
+//
+//   study    → kRecord* (one ledger JSON line each), then kSummary
+//            → or kReject (admission control said no; Summary payload)
+//   ping     → kPong
+//   stats    → kStatsReply (Stats payload)
+//   shutdown → kSummary, then the server drains and exits
+//
+// Payloads are little-endian fixed-width binary (the study cache's codec
+// style): versioned, explicit, and cheap to reject. A request frame is tiny;
+// the server caps request frames at kMaxRequestBytes so an abusive length
+// field is dropped before any allocation — responses (which carry whole
+// ledgers) use the transport-wide ipc::kMaxFrameBytes instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hps::serve {
+
+/// Bump on any wire-layout change; a mismatched request is rejected as
+/// kBadRequest rather than misread.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Cap on a single *request* frame. Requests are a fixed few dozen bytes;
+/// anything bigger is garbage or abuse, refused before allocation.
+inline constexpr std::uint32_t kMaxRequestBytes = 64u << 10;
+
+struct Request {
+  enum class Kind : std::uint8_t {
+    kStudy = 1,     ///< run (or serve from cache) a corpus study
+    kPing = 2,      ///< liveness probe
+    kStats = 3,     ///< daemon counters snapshot
+    kShutdown = 4,  ///< drain and exit (admin)
+  };
+  Kind kind = Kind::kStudy;
+
+  // Study parameters (kStudy only) — the subset of core::StudyOptions a
+  // remote caller may choose; everything else is daemon policy.
+  std::uint64_t seed = 42;
+  double duration_scale = 0.1;
+  std::int32_t limit = 0;
+  bool force_recompute = false;  ///< bypass the shared result cache
+
+  // Per-request budget (0 = unlimited); the daemon clamps each value to its
+  // own configured ceiling before running.
+  double wall_deadline_s = 0;
+  std::uint64_t max_des_events = 0;
+  std::int64_t virtual_horizon_ns = 0;
+};
+
+const char* request_kind_name(Request::Kind k);
+
+/// Terminal verdict of one request.
+enum class Status : std::uint8_t {
+  kOk = 0,          ///< study ran (or was served from cache), all records ok
+  kDegraded,        ///< study completed but some records carry failures
+  kInterrupted,     ///< the daemon was interrupted mid-study (drain)
+  kQueueFull,       ///< backpressure: the admission queue is at capacity
+  kDraining,        ///< the daemon is shutting down, not accepting work
+  kOversized,       ///< request frame exceeded kMaxRequestBytes
+  kBadRequest,      ///< unframeable/undecodable/unsupported request
+  kError,           ///< server-side failure (detail says what)
+};
+
+const char* status_name(Status s);
+
+/// Payload of kSummary and kReject frames.
+struct Summary {
+  Status status = Status::kOk;
+  bool cache_hit = false;     ///< served from the shared result cache
+  std::uint32_t records = 0;  ///< kRecord frames that preceded this summary
+  std::uint32_t degraded = 0; ///< records with a real fail_kind
+  double wall_seconds = 0;    ///< server-side study wall time (0 on a hit)
+  std::string detail;         ///< human-readable context (errors, reasons)
+};
+
+/// Payload of kStatsReply: the daemon's cumulative counters.
+struct Stats {
+  std::uint64_t requests = 0;          ///< study requests admitted or rejected
+  std::uint64_t studies_run = 0;       ///< actual computations dispatched
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bytes = 0;       ///< current cache footprint
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t coalesced = 0;         ///< waiters attached to an in-flight study
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t rejected_bad = 0;      ///< oversized + unframeable + undecodable
+  std::uint64_t active = 0;            ///< studies executing right now
+  std::uint64_t queued = 0;            ///< jobs waiting in the admission queue
+};
+
+std::string encode_request(const Request& r);
+/// Throws hps::Error on a short/garbled/version-mismatched payload.
+Request decode_request(const std::string& payload);
+
+std::string encode_summary(const Summary& s);
+Summary decode_summary(const std::string& payload);
+
+std::string encode_stats(const Stats& s);
+Stats decode_stats(const std::string& payload);
+
+/// One-line JSON rendering (diagnostics, `hpcsweep_inspect request --stats`).
+std::string stats_to_json(const Stats& s);
+
+}  // namespace hps::serve

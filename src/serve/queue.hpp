@@ -1,0 +1,84 @@
+// Bounded admission queue: the backpressure point of the serving path.
+//
+// Producers (connection handlers) try_push and are told immediately when the
+// queue is at capacity — the caller turns that into an explicit kQueueFull
+// rejection on the wire instead of letting requests pile up until the daemon
+// OOMs or clients time out blind. Consumers (dispatcher threads) block in
+// pop until work arrives or the queue is closed.
+//
+// close() flips the queue into drain mode: try_push refuses with kClosed
+// (→ kDraining on the wire) while pop keeps yielding the already-admitted
+// backlog — admission is a promise, so accepted work is finished (or, under
+// an interrupt, fails fast inside the study itself) rather than dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace hps::serve {
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  enum class Push {
+    kAccepted,  ///< admitted; a dispatcher will pop it
+    kFull,      ///< at capacity — reject with backpressure, do not wait
+    kClosed,    ///< draining — no new admissions
+  };
+
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  Push try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return Push::kClosed;
+      if (items_.size() >= capacity_) return Push::kFull;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return Push::kAccepted;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* empty.
+  /// Returns false only in the latter case (the consumer should exit).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ready_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace hps::serve

@@ -1,0 +1,489 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <optional>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "obs/inspect.hpp"
+#include "obs/ledger.hpp"
+#include "robust/interrupt.hpp"
+#include "robust/ipc.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hps::serve {
+
+namespace {
+
+namespace ipc = robust::ipc;
+
+/// Ignore SIGPIPE for the server's lifetime: a client vanishing mid-stream
+/// must surface as EPIPE on the write, not kill the daemon.
+class SigpipeIgnore {
+ public:
+  SigpipeIgnore() {
+    struct sigaction sa{};
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, &saved_);
+  }
+  ~SigpipeIgnore() { ::sigaction(SIGPIPE, &saved_, nullptr); }
+
+ private:
+  struct sigaction saved_{};
+};
+
+int make_unix_listener(const std::string& path) {
+  HPS_REQUIRE(!path.empty(), "serve: a Unix socket path is required");
+  sockaddr_un addr{};
+  HPS_REQUIRE(path.size() < sizeof addr.sun_path,
+              "serve: socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HPS_REQUIRE(fd >= 0, std::string("serve: socket() failed: ") + std::strerror(errno));
+  ::unlink(path.c_str());  // a stale socket from a dead daemon is not a peer
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    HPS_THROW("serve: cannot listen on " + path + ": " + err);
+  }
+  return fd;
+}
+
+/// Loopback-only TCP listener; returns {fd, bound port}.
+std::pair<int, int> make_tcp_listener(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HPS_REQUIRE(fd >= 0, std::string("serve: socket() failed: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    HPS_THROW("serve: cannot listen on 127.0.0.1:" + std::to_string(port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  return {fd, ntohs(bound.sin_port)};
+}
+
+bool send_msg(int fd, ipc::MsgType type, std::string payload) {
+  ipc::Message m;
+  m.type = type;
+  m.payload = std::move(payload);
+  return ipc::write_frame(fd, m);
+}
+
+/// min-with-ceiling for budget clamps: 0 means unlimited on both sides.
+double clamp_budget(double requested, double ceiling) {
+  if (ceiling <= 0) return requested;
+  if (requested <= 0) return ceiling;
+  return std::min(requested, ceiling);
+}
+
+template <typename T>
+T clamp_budget_int(T requested, T ceiling) {
+  if (ceiling <= 0) return requested;
+  if (requested <= 0) return ceiling;
+  return std::min(requested, ceiling);
+}
+
+}  // namespace
+
+void InFlight::complete(Status st, std::shared_ptr<const CachedResult> res,
+                        std::string why) {
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    status = st;
+    result = std::move(res);
+    detail = std::move(why);
+    done = true;
+  }
+  cv.notify_all();
+}
+
+void InFlight::wait() {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return done; });
+}
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_bytes),
+      queue_(std::max<std::size_t>(1, opts_.queue_capacity)) {
+  opts_.dispatchers = std::max(1, opts_.dispatchers);
+  unix_fd_ = make_unix_listener(opts_.socket_path);
+  if (opts_.tcp_port >= 0) {
+    try {
+      const auto [fd, port] = make_tcp_listener(opts_.tcp_port);
+      tcp_fd_ = fd;
+      tcp_port_ = port;
+    } catch (...) {
+      ::close(unix_fd_);
+      ::unlink(opts_.socket_path.c_str());
+      throw;
+    }
+  }
+}
+
+Server::~Server() {
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  ::unlink(opts_.socket_path.c_str());
+}
+
+bool Server::draining() const {
+  return draining_.load(std::memory_order_relaxed) || robust::interrupt_requested();
+}
+
+void Server::shutdown() { draining_.store(true, std::memory_order_relaxed); }
+
+core::StudyOptions Server::study_options(const Request& req) const {
+  core::StudyOptions so;
+  so.corpus.seed = req.seed;
+  so.corpus.duration_scale = std::min(req.duration_scale, opts_.max_duration_scale);
+  so.corpus.limit = req.limit;
+  if (opts_.max_limit > 0)
+    so.corpus.limit = req.limit <= 0 ? opts_.max_limit
+                                     : std::min(req.limit, opts_.max_limit);
+  so.threads = opts_.threads_per_study;
+  so.isolate = opts_.isolate;
+  so.retries = opts_.retries;
+  so.rss_limit_mb = opts_.rss_limit_mb;
+  so.watchdog_timeout_seconds = opts_.watchdog_timeout_s;
+  so.run.budget.wall_deadline_seconds =
+      clamp_budget(req.wall_deadline_s, opts_.max_wall_deadline_s);
+  so.run.budget.max_des_events =
+      clamp_budget_int<std::uint64_t>(req.max_des_events, opts_.max_des_events);
+  so.run.budget.virtual_horizon =
+      clamp_budget_int<std::int64_t>(req.virtual_horizon_ns, opts_.max_virtual_horizon_ns);
+  // No file-backed cache/ledger/journal: the daemon's shared in-memory cache
+  // is the durability story per request, and the client gets the ledger.
+  return so;
+}
+
+void Server::dispatcher_loop() {
+  std::shared_ptr<InFlight> job;
+  while (queue_.pop(job)) {
+    active_.fetch_add(1, std::memory_order_relaxed);
+    Status status = Status::kError;
+    std::string detail;
+    std::shared_ptr<const CachedResult> cached;
+    try {
+      const core::StudyResult res = core::run_study(job->study);
+      const auto records = core::ledger_records(res.outcomes, job->key);
+      auto built = std::make_shared<CachedResult>();
+      built->wall_seconds = res.wall_seconds;
+      built->degraded = static_cast<std::uint32_t>(obs::degraded_count(records));
+      built->records.reserve(records.size());
+      for (const auto& rec : records) built->records.push_back(obs::to_json_line(rec));
+      if (res.interrupted) {
+        // A drain signal landed mid-study: the outcome is full of skipped
+        // holes. Report it, never cache it.
+        status = Status::kInterrupted;
+        detail = "daemon interrupted while running this study";
+      } else {
+        status = built->degraded > 0 ? Status::kDegraded : Status::kOk;
+        built->status = status;
+        cached = built;
+        cache_.insert(job->key, cached);
+        studies_run_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::Registry::global().counter("serve.studies_run").add(1);
+      }
+    } catch (const std::exception& e) {
+      status = Status::kError;
+      detail = e.what();
+    } catch (...) {
+      status = Status::kError;
+      detail = "non-std exception while running study";
+    }
+    {
+      // Retire the single-flight slot (only if it is still ours: a
+      // force-recompute may have replaced it).
+      std::lock_guard<std::mutex> lk(inflight_mu_);
+      const auto it = inflight_.find(job->key);
+      if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+    }
+    job->complete(status, std::move(cached), std::move(detail));
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::send_reject(int fd, Status status, const std::string& detail) {
+  Summary s;
+  s.status = status;
+  s.detail = detail;
+  return send_msg(fd, ipc::MsgType::kReject, encode_summary(s));
+}
+
+bool Server::stream_result(int fd, const CachedResult& result, bool cache_hit) {
+  for (const std::string& line : result.records)
+    if (!send_msg(fd, ipc::MsgType::kRecord, line)) return false;
+  Summary s;
+  s.status = result.status;
+  s.cache_hit = cache_hit;
+  s.records = static_cast<std::uint32_t>(result.records.size());
+  s.degraded = result.degraded;
+  s.wall_seconds = cache_hit ? 0 : result.wall_seconds;
+  return send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
+}
+
+bool Server::handle_study(int fd, const Request& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::Registry::global().counter("serve.requests").add(1);
+
+  const core::StudyOptions so = study_options(req);
+  const std::uint64_t key = core::study_cache_key(so);
+
+  if (!req.force_recompute) {
+    if (const auto hit = cache_.lookup(key)) return stream_result(fd, *hit, true);
+  }
+
+  // Single-flight: identical concurrent misses share one computation.
+  std::shared_ptr<InFlight> job;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end() && !req.force_recompute) {
+      job = it->second;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      job = std::make_shared<InFlight>();
+      job->key = key;
+      job->study = so;
+      inflight_[key] = job;
+      owner = true;
+    }
+  }
+
+  if (owner) {
+    switch (queue_.try_push(job)) {
+      case AdmissionQueue<std::shared_ptr<InFlight>>::Push::kAccepted:
+        break;
+      case AdmissionQueue<std::shared_ptr<InFlight>>::Push::kFull: {
+        {
+          std::lock_guard<std::mutex> lk(inflight_mu_);
+          const auto it = inflight_.find(key);
+          if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+        }
+        rejected_full_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::Registry::global().counter("serve.rejected_queue_full").add(1);
+        // Explicit backpressure: the client knows immediately and may retry
+        // with jitter; nothing server-side was spent on the study.
+        return send_reject(fd, Status::kQueueFull,
+                           "admission queue at capacity (" +
+                               std::to_string(queue_.capacity()) + ")");
+      }
+      case AdmissionQueue<std::shared_ptr<InFlight>>::Push::kClosed: {
+        {
+          std::lock_guard<std::mutex> lk(inflight_mu_);
+          const auto it = inflight_.find(key);
+          if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+        }
+        rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+        return send_reject(fd, Status::kDraining, "daemon is draining");
+      }
+    }
+  }
+
+  job->wait();
+
+  std::shared_ptr<const CachedResult> result;
+  Status status;
+  std::string detail;
+  {
+    std::lock_guard<std::mutex> lk(job->mu);
+    result = job->result;
+    status = job->status;
+    detail = job->detail;
+  }
+  // A coalesced waiter reports cache_hit: it rode a computation it did not
+  // pay for (the owner paid; its summary carries the wall time).
+  if (result != nullptr) return stream_result(fd, *result, !owner);
+  Summary s;
+  s.status = status;
+  s.detail = detail;
+  return send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
+}
+
+bool Server::handle_request(int fd, const ipc::Message& m) {
+  if (m.type != ipc::MsgType::kRequest) {
+    rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+    send_reject(fd, Status::kBadRequest,
+                std::string("unexpected frame type: ") + ipc::msg_type_name(m.type));
+    return false;
+  }
+  Request req;
+  try {
+    req = decode_request(m.payload);
+  } catch (const std::exception& e) {
+    rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+    send_reject(fd, Status::kBadRequest, e.what());
+    return false;
+  }
+  switch (req.kind) {
+    case Request::Kind::kPing:
+      return send_msg(fd, ipc::MsgType::kPong, {});
+    case Request::Kind::kStats:
+      return send_msg(fd, ipc::MsgType::kStatsReply, encode_stats(stats()));
+    case Request::Kind::kShutdown: {
+      Summary s;
+      s.status = Status::kOk;
+      s.detail = "draining";
+      send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
+      shutdown();
+      return false;
+    }
+    case Request::Kind::kStudy:
+      if (draining()) {
+        rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+        return send_reject(fd, Status::kDraining, "daemon is draining");
+      }
+      return handle_study(fd, req);
+  }
+  return false;
+}
+
+void Server::handle_connection(int fd) {
+  ipc::FrameDecoder dec(kMaxRequestBytes);
+  char buf[4096];
+  bool keep = true;
+  while (keep) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {
+      // Idle tick: an idle connection does not outlive the drain.
+      if (draining()) break;
+      continue;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n == 0) break;  // client closed
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    dec.feed(buf, static_cast<std::size_t>(n));
+    ipc::Message m;
+    for (;;) {
+      const auto st = dec.next(m);
+      if (st == ipc::FrameDecoder::Status::kMessage) {
+        keep = handle_request(fd, m);
+        if (!keep) break;
+        continue;
+      }
+      if (st == ipc::FrameDecoder::Status::kCorrupt) {
+        // Torn, poisoned, or abusive framing: one explicit reject, then the
+        // stream is dead (framing has no resync point).
+        rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::Registry::global().counter("serve.rejected_bad").add(1);
+        const bool oversized =
+            std::strcmp(dec.corrupt_reason(), "oversized frame") == 0;
+        send_reject(fd, oversized ? Status::kOversized : Status::kBadRequest,
+                    dec.corrupt_reason());
+        keep = false;
+        break;
+      }
+      break;  // kNeedMore
+    }
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    --active_conns_;
+  }
+  conn_cv_.notify_all();
+}
+
+void Server::run() {
+  SigpipeIgnore sigpipe;
+  std::optional<robust::StudySignalGuard> guard;
+  if (opts_.install_signal_guard) guard.emplace();
+
+  dispatchers_.reserve(static_cast<std::size_t>(opts_.dispatchers));
+  for (int i = 0; i < opts_.dispatchers; ++i)
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+
+  while (!draining()) {
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    fds[nfds++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[nfds++] = {tcp_fd_, POLLIN, 0};
+    const int rc = ::poll(fds, nfds, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the drain flag
+      queue_.close();
+      for (auto& t : dispatchers_) t.join();
+      HPS_THROW(std::string("serve: poll() failed: ") + std::strerror(errno));
+    }
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      {
+        std::lock_guard<std::mutex> lk(conn_mu_);
+        ++active_conns_;
+      }
+      std::thread([this, cfd] { handle_connection(cfd); }).detach();
+    }
+  }
+
+  // Drain: stop accepting, refuse new admissions, finish the admitted
+  // backlog (each job fails fast inside run_study if a signal tripped the
+  // interrupt flag), answer every waiter, then wait out the connections.
+  ::close(unix_fd_);
+  unix_fd_ = -1;
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  ::unlink(opts_.socket_path.c_str());
+  queue_.close();
+  for (auto& t : dispatchers_) t.join();
+  dispatchers_.clear();
+  {
+    std::unique_lock<std::mutex> lk(conn_mu_);
+    conn_cv_.wait(lk, [&] { return active_conns_ == 0; });
+  }
+}
+
+Stats Server::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.studies_run = studies_run_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
+  s.rejected_bad = rejected_bad_.load(std::memory_order_relaxed);
+  s.active = active_.load(std::memory_order_relaxed);
+  s.queued = queue_.size();
+  const ResultCache::Counters c = cache_.counters();
+  s.cache_hits = c.hits;
+  s.cache_misses = c.misses;
+  s.cache_bytes = c.bytes;
+  s.cache_entries = c.entries;
+  s.cache_evictions = c.evictions;
+  return s;
+}
+
+}  // namespace hps::serve

@@ -1,0 +1,153 @@
+// hpcsweepd: the prediction-as-a-service daemon.
+//
+// A Server owns one Unix-domain listener (and optionally a loopback TCP
+// listener), a pool of dispatcher threads that execute studies through
+// core::run_study — thread mode or the process-isolated supervisor pool —
+// and the shared ResultCache. The serving path for one study request:
+//
+//   connection thread:  decode request → clamp to daemon policy →
+//                       cache lookup (hit: stream immediately) →
+//                       single-flight: attach to an identical in-flight
+//                       study, or admit a new job to the bounded queue
+//                       (full: explicit kQueueFull backpressure reject) →
+//                       wait → stream kRecord* + kSummary
+//   dispatcher thread:  pop job → run_study → cache insert → wake waiters
+//
+// Concurrency model: one (detached, counted) thread per connection — they
+// spend their lives blocked on a socket or a condition variable — and
+// `dispatchers` study executors, so at most that many studies compute at
+// once no matter how many clients are connected. Admission control happens
+// before any study work: a request that cannot be queued costs the daemon a
+// frame decode and one small reject frame.
+//
+// Shutdown is cooperative, reusing the study interrupt flag: SIGINT/SIGTERM
+// (via robust::StudySignalGuard) or an admin shutdown request flips the
+// daemon into drain — listeners close, new admissions are refused with
+// kDraining, already-admitted jobs finish (under a signal they fail fast as
+// interrupted inside run_study), every waiter gets a terminal frame, and
+// run() returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/study.hpp"
+#include "robust/ipc.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+
+namespace hps::serve {
+
+struct ServerOptions {
+  std::string socket_path;  ///< Unix-domain listener path (required)
+  /// Loopback TCP listener: -1 = off, 0 = ephemeral port (see tcp_port()),
+  /// else the port to bind on 127.0.0.1.
+  int tcp_port = -1;
+  int dispatchers = 2;              ///< concurrent study executors
+  std::size_t queue_capacity = 16;  ///< admitted-but-not-started jobs
+  std::size_t cache_bytes = 64u << 20;  ///< shared result cache budget (0 = off)
+
+  // Study execution policy (applied to every request).
+  int threads_per_study = 0;  ///< run_study threads/workers (0 = auto)
+  core::IsolateMode isolate = core::IsolateMode::kThread;
+  int retries = 1;            ///< process mode: per-trace crash retries
+  long rss_limit_mb = 0;      ///< process mode: per-worker RLIMIT_AS
+  double watchdog_timeout_s = 0;
+
+  // Admission clamps: what a remote caller may ask for. A request beyond a
+  // ceiling is clamped, not rejected — the clamped key is what is cached.
+  double max_duration_scale = 1.0;
+  std::int32_t max_limit = 0;        ///< 0 = full corpus allowed
+  double max_wall_deadline_s = 0;    ///< budget ceilings; 0 = no ceiling
+  std::uint64_t max_des_events = 0;
+  std::int64_t max_virtual_horizon_ns = 0;
+
+  /// Install robust::StudySignalGuard for the run() lifetime so SIGINT/
+  /// SIGTERM drain the daemon. Tests drive robust::request_interrupt()
+  /// directly and may turn this off.
+  bool install_signal_guard = true;
+};
+
+/// A study admitted (or admitting) to the dispatch queue; shared between the
+/// owning connection, any coalesced waiters, and the dispatcher.
+struct InFlight {
+  std::uint64_t key = 0;
+  core::StudyOptions study;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status = Status::kError;
+  std::string detail;
+  std::shared_ptr<const CachedResult> result;  ///< null unless kOk/kDegraded
+
+  void complete(Status st, std::shared_ptr<const CachedResult> res, std::string why);
+  /// Blocks until complete() ran.
+  void wait();
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws hps::Error on any socket failure) but does
+  /// not serve until run().
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serve until drained (signal or shutdown request). Blocks.
+  void run();
+
+  /// Programmatic drain trigger (thread-safe, idempotent).
+  void shutdown();
+
+  /// Actual TCP port after binding (-1 when TCP is off).
+  int tcp_port() const { return tcp_port_; }
+
+  Stats stats() const;
+
+ private:
+  void dispatcher_loop();
+  void handle_connection(int fd);
+  /// Returns false when the connection should close.
+  bool handle_request(int fd, const robust::ipc::Message& m);
+  bool handle_study(int fd, const Request& req);
+  bool stream_result(int fd, const CachedResult& result, bool cache_hit);
+  bool send_reject(int fd, Status status, const std::string& detail);
+  core::StudyOptions study_options(const Request& req) const;
+  bool draining() const;
+
+  ServerOptions opts_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+
+  ResultCache cache_;
+  AdmissionQueue<std::shared_ptr<InFlight>> queue_;
+  std::mutex inflight_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+
+  std::atomic<bool> draining_{false};
+  std::vector<std::thread> dispatchers_;
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::size_t active_conns_ = 0;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> studies_run_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_draining_{0};
+  std::atomic<std::uint64_t> rejected_bad_{0};
+  std::atomic<std::uint64_t> active_{0};
+};
+
+}  // namespace hps::serve

@@ -162,12 +162,63 @@ TEST(Ipc, EncodeFrameMatchesJournalFraming) {
   EXPECT_EQ(f.substr(9), "zz");
 }
 
+TEST(Ipc, ConfigurableFrameCapRejectsBeforeTheTransportWideLimit) {
+  // A decoder built with a tighter cap (the serve request path) refuses a
+  // frame the default transport limit would have accepted.
+  const std::string frame = encode_frame({MsgType::kRequest, std::string(256, 'x')});
+  FrameDecoder tight(128);
+  tight.feed(frame.data(), frame.size());
+  Message m;
+  EXPECT_EQ(tight.next(m), FrameDecoder::Status::kCorrupt);
+  EXPECT_STREQ(tight.corrupt_reason(), "oversized frame");
+
+  FrameDecoder roomy;  // default kMaxFrameBytes
+  roomy.feed(frame.data(), frame.size());
+  EXPECT_EQ(roomy.next(m), FrameDecoder::Status::kMessage);
+  EXPECT_EQ(m.payload.size(), 256u);
+
+  // The blocking reader honors the same knob.
+  Pipe p;
+  ASSERT_TRUE(write_frame(p.wr(), {MsgType::kRequest, std::string(256, 'x')}));
+  EXPECT_EQ(read_message(p.rd(), m, /*max_frame=*/128), ReadStatus::kCorrupt);
+}
+
+TEST(Ipc, CorruptReasonDistinguishesFailureModes) {
+  Message m;
+
+  std::string zero(8, '\0');
+  FrameDecoder dz;
+  dz.feed(zero.data(), zero.size());
+  EXPECT_EQ(dz.next(m), FrameDecoder::Status::kCorrupt);
+  EXPECT_STREQ(dz.corrupt_reason(), "zero-length frame");
+
+  std::string flipped = encode_frame({MsgType::kResult, "x"});
+  flipped.back() ^= 0x01;
+  FrameDecoder dc;
+  dc.feed(flipped.data(), flipped.size());
+  EXPECT_EQ(dc.next(m), FrameDecoder::Status::kCorrupt);
+  EXPECT_STREQ(dc.corrupt_reason(), "crc mismatch");
+
+  FrameDecoder ok;
+  EXPECT_STREQ(ok.corrupt_reason(), "");  // clean decoder: no reason
+}
+
 TEST(Ipc, MsgTypeNames) {
   EXPECT_STREQ(msg_type_name(MsgType::kTask), "task");
   EXPECT_STREQ(msg_type_name(MsgType::kResult), "result");
   EXPECT_STREQ(msg_type_name(MsgType::kHeartbeat), "heartbeat");
   EXPECT_STREQ(msg_type_name(MsgType::kError), "error");
   EXPECT_STREQ(msg_type_name(MsgType::kShutdown), "shutdown");
+  // Serve-transport types share the enum but a disjoint range.
+  EXPECT_STREQ(msg_type_name(MsgType::kRequest), "request");
+  EXPECT_STREQ(msg_type_name(MsgType::kRecord), "record");
+  EXPECT_STREQ(msg_type_name(MsgType::kSummary), "summary");
+  EXPECT_STREQ(msg_type_name(MsgType::kReject), "reject");
+  EXPECT_STREQ(msg_type_name(MsgType::kPong), "pong");
+  EXPECT_STREQ(msg_type_name(MsgType::kStatsReply), "stats-reply");
+  EXPECT_STREQ(read_status_name(ReadStatus::kMessage), "message");
+  EXPECT_STREQ(read_status_name(ReadStatus::kEof), "eof");
+  EXPECT_STREQ(read_status_name(ReadStatus::kCorrupt), "corrupt");
 }
 
 }  // namespace

@@ -9,9 +9,12 @@
 //   accuracy  per-(app, scheme) accuracy table from one ledger
 //   diff      compare two ledgers; non-zero exit on regressions (CI gate)
 //   check     alias for diff (reads naturally in CI: `inspect check golden new`)
+//   serve     run hpcsweepd: the prediction daemon (docs/serving.md)
+//   request   client for a running hpcsweepd (study / ping / stats / shutdown)
 //
 // Exit codes: 0 success / no divergence, 1 divergence or runtime error,
-// 2 usage error, 75 study interrupted by SIGINT/SIGTERM (resumable).
+// 2 usage error, 3 request rejected by the daemon (backpressure / draining /
+// bad request), 75 study interrupted by SIGINT/SIGTERM (resumable).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +32,9 @@
 #include "obs/ledger.hpp"
 #include "obs/timeline.hpp"
 #include "robust/interrupt.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "simmpi/replayer.hpp"
 #include "workloads/corpus.hpp"
 
@@ -84,7 +90,30 @@ int usage() {
       "      Record-by-record regression diff; exits 1 when any prediction moved\n"
       "      beyond tolerance, records appear/disappear, or the after-side\n"
       "      ledger holds degraded records (unless --allow-degraded). Prints\n"
-      "      per-fail_kind counts.\n");
+      "      per-fail_kind counts.\n"
+      "\n"
+      "  serve --socket <path> [--tcp PORT] [--dispatchers N] [--queue N]\n"
+      "      [--cache-mb M] [--threads N] [--isolate thread|process] [--workers N]\n"
+      "      [--retries R] [--rss-limit-mb M] [--watchdog SECONDS]\n"
+      "      [--max-duration-scale X] [--max-limit N]\n"
+      "      [--deadline S] [--max-events N] [--horizon-ns N]\n"
+      "      Run hpcsweepd: accept study requests over the Unix socket (and\n"
+      "      127.0.0.1:PORT with --tcp), execute them on up to --dispatchers\n"
+      "      concurrent study runners (thread pools, or supervised worker\n"
+      "      processes under --isolate process), share results through an\n"
+      "      in-memory LRU cache of --cache-mb megabytes, and reject work\n"
+      "      beyond --queue pending studies with explicit backpressure.\n"
+      "      The budget flags are *ceilings* clamped onto every request.\n"
+      "      SIGINT/SIGTERM drains gracefully. See docs/serving.md.\n"
+      "\n"
+      "  request --socket <path> | --tcp-host H --tcp-port P\n"
+      "      [--limit N] [--duration-scale X] [--seed S] [--deadline S]\n"
+      "      [--max-events N] [--horizon-ns N] [--out <ledger.jsonl>] [--force]\n"
+      "      [--allow-degraded] [--ping] [--stats] [--shutdown]\n"
+      "      Send one request to a running hpcsweepd and stream the reply;\n"
+      "      --out appends the returned ledger records to a file. Exits 0 on\n"
+      "      success, 1 degraded/error, 3 rejected (queue full / draining /\n"
+      "      bad request), 75 when the daemon was interrupted mid-study.\n");
   return 2;
 }
 
@@ -117,6 +146,21 @@ struct Flags {
   long rss_limit_mb = 0;
   double watchdog = 0;
   obs::DiffOptions diff;
+
+  // serve / request
+  std::string socket_path;
+  int tcp = -1;  ///< serve: -1 off, 0 ephemeral, else port
+  std::string tcp_host;
+  int tcp_port = 0;
+  int dispatchers = 2;
+  int queue = 16;
+  double cache_mb = 64;
+  double max_duration_scale = 1.0;
+  int max_limit = 0;
+  bool force = false;
+  bool ping = false;
+  bool stats = false;
+  bool shutdown = false;
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
@@ -171,6 +215,32 @@ Flags parse_flags(int argc, char** argv, int first) {
       f.rss_limit_mb = std::atol(next());
     } else if (want(a, "--watchdog")) {
       f.watchdog = std::atof(next());
+    } else if (want(a, "--socket")) {
+      f.socket_path = next();
+    } else if (want(a, "--tcp")) {
+      f.tcp = std::atoi(next());
+    } else if (want(a, "--tcp-host")) {
+      f.tcp_host = next();
+    } else if (want(a, "--tcp-port")) {
+      f.tcp_port = std::atoi(next());
+    } else if (want(a, "--dispatchers")) {
+      f.dispatchers = std::atoi(next());
+    } else if (want(a, "--queue")) {
+      f.queue = std::atoi(next());
+    } else if (want(a, "--cache-mb")) {
+      f.cache_mb = std::atof(next());
+    } else if (want(a, "--max-duration-scale")) {
+      f.max_duration_scale = std::atof(next());
+    } else if (want(a, "--max-limit")) {
+      f.max_limit = std::atoi(next());
+    } else if (want(a, "--force")) {
+      f.force = true;
+    } else if (want(a, "--ping")) {
+      f.ping = true;
+    } else if (want(a, "--stats")) {
+      f.stats = true;
+    } else if (want(a, "--shutdown")) {
+      f.shutdown = true;
     } else if (want(a, "--tolerance")) {
       f.diff.tolerance = std::atof(next());
     } else if (want(a, "--wall-tolerance")) {
@@ -326,6 +396,116 @@ int cmd_accuracy(const Flags& f) {
   return 0;
 }
 
+int cmd_serve(const Flags& f) {
+  if (f.socket_path.empty()) {
+    std::fprintf(stderr, "serve: --socket <path> is required\n");
+    return 2;
+  }
+  serve::ServerOptions so;
+  so.socket_path = f.socket_path;
+  so.tcp_port = f.tcp;
+  so.dispatchers = f.dispatchers;
+  so.queue_capacity = static_cast<std::size_t>(std::max(1, f.queue));
+  so.cache_bytes = static_cast<std::size_t>(f.cache_mb * 1024.0 * 1024.0);
+  so.threads_per_study = f.workers > 0 ? f.workers : f.threads;
+  if (f.isolate == "process") {
+    so.isolate = core::IsolateMode::kProcess;
+  } else if (f.isolate != "thread") {
+    std::fprintf(stderr, "serve: --isolate must be thread or process (got %s)\n",
+                 f.isolate.c_str());
+    return 2;
+  }
+  so.retries = f.retries;
+  so.rss_limit_mb = f.rss_limit_mb;
+  so.watchdog_timeout_s = f.watchdog;
+  so.max_duration_scale = f.max_duration_scale;
+  so.max_limit = f.max_limit;
+  so.max_wall_deadline_s = f.deadline;
+  so.max_des_events = f.max_events;
+  so.max_virtual_horizon_ns = f.horizon_ns;
+
+  serve::Server server(std::move(so));
+  std::printf("hpcsweepd: listening on %s", f.socket_path.c_str());
+  if (server.tcp_port() >= 0) std::printf(" and 127.0.0.1:%d", server.tcp_port());
+  std::printf(" (%d dispatcher(s), queue %d, cache %.0f MB, isolate %s)\n",
+              f.dispatchers, f.queue, f.cache_mb, f.isolate.c_str());
+  std::fflush(stdout);
+  server.run();
+  const serve::Stats st = server.stats();
+  std::printf("hpcsweepd: drained — %s\n", serve::stats_to_json(st).c_str());
+  return 0;
+}
+
+int cmd_request(const Flags& f) {
+  if (f.socket_path.empty() && f.tcp_host.empty()) {
+    std::fprintf(stderr, "request: --socket <path> or --tcp-host/--tcp-port required\n");
+    return 2;
+  }
+  serve::Client client = f.socket_path.empty()
+                             ? serve::Client::connect_tcp(f.tcp_host, f.tcp_port)
+                             : serve::Client::connect_unix(f.socket_path);
+  if (f.ping) {
+    const bool ok = client.ping();
+    std::printf("%s\n", ok ? "pong" : "no pong");
+    return ok ? 0 : 1;
+  }
+  if (f.stats) {
+    std::printf("%s\n", serve::stats_to_json(client.stats()).c_str());
+    return 0;
+  }
+  if (f.shutdown) {
+    const serve::Summary s = client.shutdown_server();
+    std::printf("shutdown: %s\n", serve::status_name(s.status));
+    return s.status == serve::Status::kOk ? 0 : 1;
+  }
+
+  serve::Request req;
+  req.kind = serve::Request::Kind::kStudy;
+  req.seed = f.seed;
+  req.duration_scale = f.duration_scale;
+  req.limit = f.limit;
+  req.force_recompute = f.force;
+  req.wall_deadline_s = f.deadline;
+  req.max_des_events = f.max_events;
+  req.virtual_horizon_ns = f.horizon_ns;
+
+  std::ofstream out;
+  if (!f.out.empty()) {
+    out.open(f.out, std::ios::app);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "request: cannot write %s\n", f.out.c_str());
+      return 1;
+    }
+  }
+  const auto reply = client.study(req, [&](const std::string& line) {
+    if (out.is_open()) out << line << '\n';
+  });
+  const serve::Summary& s = reply.summary;
+  std::printf("%s: %u record(s)%s%s, wall %.3f s%s\n", serve::status_name(s.status),
+              s.records, s.cache_hit ? " (cache hit)" : "",
+              s.degraded > 0 ? (" (" + std::to_string(s.degraded) + " degraded)").c_str()
+                             : "",
+              s.wall_seconds, f.out.empty() ? "" : (" -> " + f.out).c_str());
+  if (!s.detail.empty()) std::printf("  %s\n", s.detail.c_str());
+
+  switch (s.status) {
+    case serve::Status::kOk:
+      return 0;
+    case serve::Status::kDegraded:
+      return f.allow_degraded ? 0 : 1;
+    case serve::Status::kInterrupted:
+      return hps::robust::kInterruptedExitCode;
+    case serve::Status::kQueueFull:
+    case serve::Status::kDraining:
+    case serve::Status::kOversized:
+    case serve::Status::kBadRequest:
+      return 3;
+    case serve::Status::kError:
+      return 1;
+  }
+  return 1;
+}
+
 int cmd_diff(const Flags& f) {
   if (f.positional.size() != 2) {
     std::fprintf(stderr, "diff: expected <before.jsonl> <after.jsonl>\n");
@@ -351,6 +531,8 @@ int main(int argc, char** argv) {
     if (want(cmd, "top")) return cmd_top(f);
     if (want(cmd, "accuracy")) return cmd_accuracy(f);
     if (want(cmd, "diff") || want(cmd, "check")) return cmd_diff(f);
+    if (want(cmd, "serve")) return cmd_serve(f);
+    if (want(cmd, "request")) return cmd_request(f);
   } catch (const hps::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
