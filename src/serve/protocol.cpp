@@ -179,12 +179,13 @@ Summary decode_summary(const std::string& payload) {
 
 std::string encode_stats(const Stats& s) {
   std::string out;
-  out.reserve(16 + 13 * 8);
+  out.reserve(16 + 14 * 8);
   put_u32(out, kProtocolVersion);
   for (const std::uint64_t v :
        {s.requests, s.studies_run, s.cache_hits, s.cache_misses, s.cache_bytes,
         s.cache_entries, s.cache_evictions, s.coalesced, s.rejected_queue_full,
-        s.rejected_draining, s.rejected_bad, s.active, s.queued})
+        s.rejected_draining, s.rejected_bad, s.rejected_conn_limit, s.active,
+        s.queued})
     put_u64(out, v);
   return out;
 }
@@ -196,7 +197,8 @@ Stats decode_stats(const std::string& payload) {
   for (std::uint64_t* v :
        {&s.requests, &s.studies_run, &s.cache_hits, &s.cache_misses, &s.cache_bytes,
         &s.cache_entries, &s.cache_evictions, &s.coalesced, &s.rejected_queue_full,
-        &s.rejected_draining, &s.rejected_bad, &s.active, &s.queued})
+        &s.rejected_draining, &s.rejected_bad, &s.rejected_conn_limit, &s.active,
+        &s.queued})
     *v = rd.u64();
   rd.done();
   return s;
@@ -210,7 +212,9 @@ std::string stats_to_json(const Stats& s) {
      << ",\"cache_evictions\":" << s.cache_evictions << ",\"coalesced\":" << s.coalesced
      << ",\"rejected_queue_full\":" << s.rejected_queue_full
      << ",\"rejected_draining\":" << s.rejected_draining
-     << ",\"rejected_bad\":" << s.rejected_bad << ",\"active\":" << s.active
+     << ",\"rejected_bad\":" << s.rejected_bad
+     << ",\"rejected_conn_limit\":" << s.rejected_conn_limit
+     << ",\"active\":" << s.active
      << ",\"queued\":" << s.queued << "}";
   return os.str();
 }

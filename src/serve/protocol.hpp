@@ -92,6 +92,7 @@ struct Stats {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_draining = 0;
   std::uint64_t rejected_bad = 0;      ///< oversized + unframeable + undecodable
+  std::uint64_t rejected_conn_limit = 0;  ///< accepts refused at max_connections
   std::uint64_t active = 0;            ///< studies executing right now
   std::uint64_t queued = 0;            ///< jobs waiting in the admission queue
 };

@@ -47,11 +47,20 @@ int make_unix_listener(const std::string& path) {
   sockaddr_un addr{};
   HPS_REQUIRE(path.size() < sizeof addr.sun_path,
               "serve: socket path too long: " + path);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  HPS_REQUIRE(fd >= 0, std::string("serve: socket() failed: ") + std::strerror(errno));
-  ::unlink(path.c_str());  // a stale socket from a dead daemon is not a peer
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  // Only a *stale* socket (dead daemon) may be reclaimed. A connect() that
+  // succeeds means a live daemon is accepting on this path — unlinking it
+  // would silently steal its traffic, so refuse to start instead.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HPS_REQUIRE(probe >= 0, std::string("serve: socket() failed: ") + std::strerror(errno));
+  const bool live =
+      ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  ::close(probe);
+  HPS_REQUIRE(!live, "serve: a daemon is already listening on " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HPS_REQUIRE(fd >= 0, std::string("serve: socket() failed: ") + std::strerror(errno));
+  ::unlink(path.c_str());
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
       ::listen(fd, 64) != 0) {
     const std::string err = std::strerror(errno);
@@ -128,6 +137,7 @@ Server::Server(ServerOptions opts)
       cache_(opts_.cache_bytes),
       queue_(std::max<std::size_t>(1, opts_.queue_capacity)) {
   opts_.dispatchers = std::max(1, opts_.dispatchers);
+  opts_.max_connections = std::max<std::size_t>(1, opts_.max_connections);
   unix_fd_ = make_unix_listener(opts_.socket_path);
   if (opts_.tcp_port >= 0) {
     try {
@@ -283,13 +293,17 @@ bool Server::handle_study(int fd, const Request& req) {
           const auto it = inflight_.find(key);
           if (it != inflight_.end() && it->second == job) inflight_.erase(it);
         }
+        // The job was registered before the push, so an identical request
+        // may already be attached: it will never be dispatched — complete
+        // it now so every waiter wakes with the same rejection.
+        const std::string detail = "admission queue at capacity (" +
+                                   std::to_string(queue_.capacity()) + ")";
+        job->complete(Status::kQueueFull, nullptr, detail);
         rejected_full_.fetch_add(1, std::memory_order_relaxed);
         telemetry::Registry::global().counter("serve.rejected_queue_full").add(1);
         // Explicit backpressure: the client knows immediately and may retry
         // with jitter; nothing server-side was spent on the study.
-        return send_reject(fd, Status::kQueueFull,
-                           "admission queue at capacity (" +
-                               std::to_string(queue_.capacity()) + ")");
+        return send_reject(fd, Status::kQueueFull, detail);
       }
       case AdmissionQueue<std::shared_ptr<InFlight>>::Push::kClosed: {
         {
@@ -297,6 +311,7 @@ bool Server::handle_study(int fd, const Request& req) {
           const auto it = inflight_.find(key);
           if (it != inflight_.end() && it->second == job) inflight_.erase(it);
         }
+        job->complete(Status::kDraining, nullptr, "daemon is draining");
         rejected_draining_.fetch_add(1, std::memory_order_relaxed);
         return send_reject(fd, Status::kDraining, "daemon is draining");
       }
@@ -317,13 +332,17 @@ bool Server::handle_study(int fd, const Request& req) {
   // A coalesced waiter reports cache_hit: it rode a computation it did not
   // pay for (the owner paid; its summary carries the wall time).
   if (result != nullptr) return stream_result(fd, *result, !owner);
+  // A waiter attached to a job whose owner failed admission gets the same
+  // kReject frame the owner's client got.
+  if (status == Status::kQueueFull || status == Status::kDraining)
+    return send_reject(fd, status, detail);
   Summary s;
   s.status = status;
   s.detail = detail;
   return send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
 }
 
-bool Server::handle_request(int fd, const ipc::Message& m) {
+bool Server::handle_request(int fd, bool trusted, const ipc::Message& m) {
   if (m.type != ipc::MsgType::kRequest) {
     rejected_bad_.fetch_add(1, std::memory_order_relaxed);
     send_reject(fd, Status::kBadRequest,
@@ -344,6 +363,14 @@ bool Server::handle_request(int fd, const ipc::Message& m) {
     case Request::Kind::kStats:
       return send_msg(fd, ipc::MsgType::kStatsReply, encode_stats(stats()));
     case Request::Kind::kShutdown: {
+      if (!trusted) {
+        // Anything loopback-local can reach the TCP port; only the Unix
+        // socket (gated by its file permissions) may drain the daemon.
+        rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+        send_reject(fd, Status::kBadRequest,
+                    "shutdown is only accepted on the Unix-domain socket");
+        return false;
+      }
       Summary s;
       s.status = Status::kOk;
       s.detail = "draining";
@@ -361,7 +388,7 @@ bool Server::handle_request(int fd, const ipc::Message& m) {
   return false;
 }
 
-void Server::handle_connection(int fd) {
+void Server::handle_connection(int fd, bool trusted) {
   ipc::FrameDecoder dec(kMaxRequestBytes);
   char buf[4096];
   bool keep = true;
@@ -388,7 +415,7 @@ void Server::handle_connection(int fd) {
     for (;;) {
       const auto st = dec.next(m);
       if (st == ipc::FrameDecoder::Status::kMessage) {
-        keep = handle_request(fd, m);
+        keep = handle_request(fd, trusted, m);
         if (!keep) break;
         continue;
       }
@@ -424,6 +451,7 @@ void Server::run() {
   for (int i = 0; i < opts_.dispatchers; ++i)
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
 
+  std::string poll_error;
   while (!draining()) {
     pollfd fds[2];
     nfds_t nfds = 0;
@@ -432,19 +460,38 @@ void Server::run() {
     const int rc = ::poll(fds, nfds, 200);
     if (rc < 0) {
       if (errno == EINTR) continue;  // signal: loop re-checks the drain flag
-      queue_.close();
-      for (auto& t : dispatchers_) t.join();
-      HPS_THROW(std::string("serve: poll() failed: ") + std::strerror(errno));
+      // Fall through to the full drain below: detached connection threads
+      // must not outlive the Server members they use.
+      poll_error = std::strerror(errno);
+      shutdown();
+      break;
     }
     for (nfds_t i = 0; i < nfds; ++i) {
       if ((fds[i].revents & POLLIN) == 0) continue;
+      const bool trusted = fds[i].fd == unix_fd_;
       const int cfd = ::accept(fds[i].fd, nullptr, nullptr);
       if (cfd < 0) continue;
+      bool admitted = false;
       {
         std::lock_guard<std::mutex> lk(conn_mu_);
-        ++active_conns_;
+        if (active_conns_ < opts_.max_connections) {
+          ++active_conns_;
+          admitted = true;
+        }
       }
-      std::thread([this, cfd] { handle_connection(cfd); }).detach();
+      if (!admitted) {
+        // Connection-level backpressure: without a cap, a connection flood
+        // means unbounded threads. The reject frame is tiny (fits any fresh
+        // socket buffer), so this cannot stall the accept loop.
+        rejected_conn_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::Registry::global().counter("serve.rejected_conn_limit").add(1);
+        send_reject(cfd, Status::kQueueFull,
+                    "connection limit (" +
+                        std::to_string(opts_.max_connections) + ")");
+        ::close(cfd);
+        continue;
+      }
+      std::thread([this, cfd, trusted] { handle_connection(cfd, trusted); }).detach();
     }
   }
 
@@ -465,6 +512,8 @@ void Server::run() {
     std::unique_lock<std::mutex> lk(conn_mu_);
     conn_cv_.wait(lk, [&] { return active_conns_ == 0; });
   }
+  if (!poll_error.empty())
+    HPS_THROW("serve: poll() failed: " + poll_error);
 }
 
 Stats Server::stats() const {
@@ -475,6 +524,7 @@ Stats Server::stats() const {
   s.rejected_queue_full = rejected_full_.load(std::memory_order_relaxed);
   s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
   s.rejected_bad = rejected_bad_.load(std::memory_order_relaxed);
+  s.rejected_conn_limit = rejected_conn_.load(std::memory_order_relaxed);
   s.active = active_.load(std::memory_order_relaxed);
   s.queued = queue_.size();
   const ResultCache::Counters c = cache_.counters();

@@ -16,9 +16,12 @@
 // Concurrency model: one (detached, counted) thread per connection — they
 // spend their lives blocked on a socket or a condition variable — and
 // `dispatchers` study executors, so at most that many studies compute at
-// once no matter how many clients are connected. Admission control happens
-// before any study work: a request that cannot be queued costs the daemon a
-// frame decode and one small reject frame.
+// once no matter how many clients are connected. Connections themselves are
+// capped at `max_connections`: an accept beyond the cap is rejected and
+// closed on the accept thread, so a connection flood cannot grow threads
+// without bound. Admission control happens before any study work: a request
+// that cannot be queued costs the daemon a frame decode and one small
+// reject frame.
 //
 // Shutdown is cooperative, reusing the study interrupt flag: SIGINT/SIGTERM
 // (via robust::StudySignalGuard) or an admin shutdown request flips the
@@ -54,6 +57,9 @@ struct ServerOptions {
   int dispatchers = 2;              ///< concurrent study executors
   std::size_t queue_capacity = 16;  ///< admitted-but-not-started jobs
   std::size_t cache_bytes = 64u << 20;  ///< shared result cache budget (0 = off)
+  /// Concurrent connections (each costs one thread); an accept beyond the
+  /// cap gets an immediate kReject and close, mirroring queue backpressure.
+  std::size_t max_connections = 256;
 
   // Study execution policy (applied to every request).
   int threads_per_study = 0;  ///< run_study threads/workers (0 = auto)
@@ -116,9 +122,11 @@ class Server {
 
  private:
   void dispatcher_loop();
-  void handle_connection(int fd);
+  /// `trusted` marks the Unix-domain transport: admin actions (shutdown)
+  /// are refused over TCP, where anything loopback-local can connect.
+  void handle_connection(int fd, bool trusted);
   /// Returns false when the connection should close.
-  bool handle_request(int fd, const robust::ipc::Message& m);
+  bool handle_request(int fd, bool trusted, const robust::ipc::Message& m);
   bool handle_study(int fd, const Request& req);
   bool stream_result(int fd, const CachedResult& result, bool cache_hit);
   bool send_reject(int fd, Status status, const std::string& detail);
@@ -147,6 +155,7 @@ class Server {
   std::atomic<std::uint64_t> rejected_full_{0};
   std::atomic<std::uint64_t> rejected_draining_{0};
   std::atomic<std::uint64_t> rejected_bad_{0};
+  std::atomic<std::uint64_t> rejected_conn_{0};
   std::atomic<std::uint64_t> active_{0};
 };
 

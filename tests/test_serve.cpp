@@ -5,12 +5,14 @@
 // drain on SIGTERM.
 #include <gtest/gtest.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -83,6 +85,7 @@ TEST(ServeProtocol, SummaryAndStatsRoundTrip) {
   st.rejected_queue_full = 2;
   st.rejected_draining = 1;
   st.rejected_bad = 3;
+  st.rejected_conn_limit = 7;
   st.active = 1;
   st.queued = 2;
   const Stats gt = decode_stats(encode_stats(st));
@@ -97,6 +100,7 @@ TEST(ServeProtocol, SummaryAndStatsRoundTrip) {
   EXPECT_EQ(gt.rejected_queue_full, st.rejected_queue_full);
   EXPECT_EQ(gt.rejected_draining, st.rejected_draining);
   EXPECT_EQ(gt.rejected_bad, st.rejected_bad);
+  EXPECT_EQ(gt.rejected_conn_limit, st.rejected_conn_limit);
   EXPECT_EQ(gt.active, st.active);
   EXPECT_EQ(gt.queued, st.queued);
   // JSON rendering carries every counter by name.
@@ -564,6 +568,84 @@ TEST(ServeDaemon, TcpLoopbackServesTheSameProtocol) {
   const auto r = c.study(tiny_study(61));
   EXPECT_EQ(r.summary.status, Status::kOk);
   EXPECT_GT(r.records.size(), 0u);
+}
+
+TEST(ServeDaemon, ConnectionCapRejectsExcessConnections) {
+  ServerOptions o = DaemonFixture::small();
+  o.max_connections = 1;
+  DaemonFixture d(std::move(o));
+
+  Client first = Client::connect_unix(d.path);
+  ASSERT_TRUE(first.ping());  // the single connection slot is taken
+
+  // The next connection is accepted, told why it cannot be served, and
+  // closed — never a silent hang, never an unbounded thread.
+  Client second = Client::connect_unix(d.path);
+  ipc::Message m;
+  ASSERT_EQ(ipc::read_message(second.fd(), m), ipc::ReadStatus::kMessage);
+  EXPECT_EQ(m.type, ipc::MsgType::kReject);
+  const Summary s = decode_summary(m.payload);
+  EXPECT_EQ(s.status, Status::kQueueFull);
+  EXPECT_NE(s.detail.find("connection limit"), std::string::npos);
+  EXPECT_EQ(ipc::read_message(second.fd(), m), ipc::ReadStatus::kEof);
+
+  // The admitted connection is unaffected, and the rejection was counted.
+  EXPECT_TRUE(first.ping());
+  EXPECT_GE(first.stats().rejected_conn_limit, 1u);
+}
+
+TEST(ServeDaemon, TcpShutdownIsRefusedUnixShutdownWorks) {
+  ServerOptions o = DaemonFixture::small();
+  o.tcp_port = 0;
+  DaemonFixture d(std::move(o));
+  ASSERT_GT(d.server->tcp_port(), 0);
+
+  // Shutdown over TCP: explicit bad-request reject, daemon stays up.
+  Client tcp = Client::connect_tcp("127.0.0.1", d.server->tcp_port());
+  const Summary refused = tcp.shutdown_server();
+  EXPECT_EQ(refused.status, Status::kBadRequest);
+  EXPECT_NE(refused.detail.find("Unix-domain"), std::string::npos);
+
+  Client unix_client = Client::connect_unix(d.path);
+  EXPECT_TRUE(unix_client.ping());  // still serving
+
+  // The same request over the Unix socket drains as before.
+  const Summary ack = unix_client.shutdown_server();
+  EXPECT_EQ(ack.status, Status::kOk);
+  d.runner.join();
+}
+
+TEST(ServeListener, RefusesToStealALiveDaemonsSocket) {
+  DaemonFixture d(DaemonFixture::small());
+  Client c = Client::connect_unix(d.path);
+  ASSERT_TRUE(c.ping());
+
+  ServerOptions o = DaemonFixture::small();
+  o.socket_path = d.path;
+  EXPECT_THROW(Server second(std::move(o)), hps::Error);
+
+  // The live daemon kept its socket and its traffic.
+  EXPECT_TRUE(c.ping());
+}
+
+TEST(ServeListener, StaleSocketFileIsReclaimed) {
+  const std::string path = "/tmp/hps_serve_stale_" + std::to_string(::getpid()) +
+                           ".sock";
+  ::unlink(path.c_str());
+  // Bind a socket, then close it: the filesystem entry survives with no
+  // listener behind it — exactly what a crashed daemon leaves.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ::close(fd);
+
+  ServerOptions o = DaemonFixture::small();
+  o.socket_path = path;
+  EXPECT_NO_THROW({ Server reclaimed(std::move(o)); });  // stale file reclaimed
+  ::unlink(path.c_str());
 }
 
 TEST(ServeDaemon, ShutdownRequestAcksThenDrains) {

@@ -93,7 +93,8 @@ int usage() {
       "      per-fail_kind counts.\n"
       "\n"
       "  serve --socket <path> [--tcp PORT] [--dispatchers N] [--queue N]\n"
-      "      [--cache-mb M] [--threads N] [--isolate thread|process] [--workers N]\n"
+      "      [--max-conns N] [--cache-mb M] [--threads N]\n"
+      "      [--isolate thread|process] [--workers N]\n"
       "      [--retries R] [--rss-limit-mb M] [--watchdog SECONDS]\n"
       "      [--max-duration-scale X] [--max-limit N]\n"
       "      [--deadline S] [--max-events N] [--horizon-ns N]\n"
@@ -102,9 +103,11 @@ int usage() {
       "      concurrent study runners (thread pools, or supervised worker\n"
       "      processes under --isolate process), share results through an\n"
       "      in-memory LRU cache of --cache-mb megabytes, and reject work\n"
-      "      beyond --queue pending studies with explicit backpressure.\n"
+      "      beyond --queue pending studies (or --max-conns connections)\n"
+      "      with explicit backpressure.\n"
       "      The budget flags are *ceilings* clamped onto every request.\n"
-      "      SIGINT/SIGTERM drains gracefully. See docs/serving.md.\n"
+      "      SIGINT/SIGTERM drains gracefully; shutdown requests are only\n"
+      "      honored on the Unix socket. See docs/serving.md.\n"
       "\n"
       "  request --socket <path> | --tcp-host H --tcp-port P\n"
       "      [--limit N] [--duration-scale X] [--seed S] [--deadline S]\n"
@@ -154,6 +157,7 @@ struct Flags {
   int tcp_port = 0;
   int dispatchers = 2;
   int queue = 16;
+  int max_conns = 256;
   double cache_mb = 64;
   double max_duration_scale = 1.0;
   int max_limit = 0;
@@ -227,6 +231,8 @@ Flags parse_flags(int argc, char** argv, int first) {
       f.dispatchers = std::atoi(next());
     } else if (want(a, "--queue")) {
       f.queue = std::atoi(next());
+    } else if (want(a, "--max-conns")) {
+      f.max_conns = std::atoi(next());
     } else if (want(a, "--cache-mb")) {
       f.cache_mb = std::atof(next());
     } else if (want(a, "--max-duration-scale")) {
@@ -406,6 +412,7 @@ int cmd_serve(const Flags& f) {
   so.tcp_port = f.tcp;
   so.dispatchers = f.dispatchers;
   so.queue_capacity = static_cast<std::size_t>(std::max(1, f.queue));
+  so.max_connections = static_cast<std::size_t>(std::max(1, f.max_conns));
   so.cache_bytes = static_cast<std::size_t>(f.cache_mb * 1024.0 * 1024.0);
   so.threads_per_study = f.workers > 0 ? f.workers : f.threads;
   if (f.isolate == "process") {
