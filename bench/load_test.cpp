@@ -12,19 +12,29 @@
 // baseline: throughput may not drop more than --tolerance below baseline,
 // p99 latency may not rise more than --tolerance above it.
 //
+// Each client first fires --warmup untimed requests (excluded from every
+// latency and throughput figure), so the measured phase starts against a
+// warm daemon instead of charging cold-start to p50. The daemon's own
+// per-phase latency histograms (kMetrics, protocol v2) are scraped after the
+// load and written into BENCH_serve.json as a per-phase breakdown; the
+// --check gate skips any metric the baseline file predates, so older
+// baselines stay compatible.
+//
 // Usage:
-//   load_test [--clients 4] [--requests 8] [--distinct 3]
+//   load_test [--clients 4] [--requests 8] [--distinct 3] [--warmup 1]
 //             [--scale 0.05] [--limit 2] [--socket PATH]
 //             [--out BENCH_serve.json]
 //             [--check ci/BENCH_serve_baseline.json] [--tolerance 0.5]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -32,6 +42,7 @@
 #include <vector>
 
 #include "serve/client.hpp"
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
@@ -44,6 +55,7 @@ struct Config {
   int clients = 4;
   int requests = 8;   // per client
   int distinct = 3;   // distinct seeds cycled across all requests
+  int warmup = 1;     // untimed warmup requests per client
   double scale = 0.05;
   int limit = 2;
   std::string socket;  // empty: embed a daemon
@@ -53,13 +65,15 @@ struct Config {
 };
 
 struct Result {
-  std::vector<double> latencies_ms;  // successful requests only
+  std::vector<double> latencies_ms;  // successful timed requests only
   std::uint64_t ok = 0;
   std::uint64_t degraded = 0;
   std::uint64_t rejected = 0;  // queue-full / draining backpressure
   std::uint64_t errors = 0;    // transport failures or server-side errors
-  double wall_seconds = 0;     // whole load phase
+  double wall_seconds = 0;     // timed load phase (warmup excluded)
   serve::Stats daemon;
+  serve::MetricsReply metrics;  // daemon's per-phase histograms
+  bool have_metrics = false;
 };
 
 double quantile(std::vector<double> sorted, double q) {
@@ -76,11 +90,38 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
   std::vector<std::vector<double>> lat(static_cast<std::size_t>(cfg.clients));
   std::atomic<std::uint64_t> ok{0}, degraded{0}, rejected{0}, errors{0};
 
-  const auto start = Clock::now();
+  // Start barrier: every client finishes its warmup requests first, then the
+  // timed phase begins for all of them at once — cold-start (first corpus
+  // computation, connection setup) never lands in the measured quantiles.
+  std::mutex start_mu;
+  std::condition_variable start_cv;
+  int warmed = 0;
+  bool go = false;
+  Clock::time_point start;
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(cfg.clients));
   for (int c = 0; c < cfg.clients; ++c) {
     threads.emplace_back([&, c] {
+      for (int r = 0; r < cfg.warmup; ++r) {
+        serve::Request req;
+        req.kind = serve::Request::Kind::kStudy;
+        req.seed = 1000u + static_cast<std::uint64_t>((c + r) % cfg.distinct);
+        req.duration_scale = cfg.scale;
+        req.limit = cfg.limit;
+        try {
+          serve::Client cl = serve::Client::connect_unix(socket_path);
+          cl.study(req);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "load_test: client %d warmup %d: %s\n", c, r, e.what());
+        }
+      }
+      {
+        std::unique_lock<std::mutex> lk(start_mu);
+        ++warmed;
+        start_cv.notify_all();
+        start_cv.wait(lk, [&] { return go; });
+      }
       for (int r = 0; r < cfg.requests; ++r) {
         serve::Request req;
         req.kind = serve::Request::Kind::kStudy;
@@ -120,6 +161,13 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
       }
     });
   }
+  {
+    std::unique_lock<std::mutex> lk(start_mu);
+    start_cv.wait(lk, [&] { return warmed == cfg.clients; });
+    start = Clock::now();
+    go = true;
+    start_cv.notify_all();
+  }
   for (std::thread& t : threads) t.join();
   res.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -133,6 +181,14 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
 
   serve::Client cl = serve::Client::connect_unix(socket_path);
   res.daemon = cl.stats();
+  try {
+    // Per-phase breakdown from the daemon's own histograms. An older daemon
+    // without protocol v2 rejects the request; the breakdown is just absent.
+    res.metrics = cl.metrics();
+    res.have_metrics = true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "load_test: metrics scrape unavailable: %s\n", e.what());
+  }
   return res;
 }
 
@@ -147,6 +203,7 @@ std::string to_json(const Config& cfg, const Result& r) {
      << "  \"clients\": " << cfg.clients << ",\n"
      << "  \"requests_per_client\": " << cfg.requests << ",\n"
      << "  \"distinct_seeds\": " << cfg.distinct << ",\n"
+     << "  \"warmup_per_client\": " << cfg.warmup << ",\n"
      << "  \"duration_scale\": " << cfg.scale << ",\n"
      << "  \"corpus_limit\": " << cfg.limit << ",\n"
      << "  \"served\": " << served << ",\n"
@@ -156,8 +213,24 @@ std::string to_json(const Config& cfg, const Result& r) {
      << "  \"throughput_rps\": " << throughput << ",\n"
      << "  \"latency_ms\": {\"p50\": " << quantile(r.latencies_ms, 0.50)
      << ", \"p99\": " << quantile(r.latencies_ms, 0.99)
-     << ", \"max\": " << (r.latencies_ms.empty() ? 0 : r.latencies_ms.back()) << "},\n"
-     << "  \"daemon\": " << serve::stats_to_json(r.daemon) << "\n"
+     << ", \"p999\": " << quantile(r.latencies_ms, 0.999)
+     << ", \"max\": " << (r.latencies_ms.empty() ? 0 : r.latencies_ms.back()) << "},\n";
+  if (r.have_metrics) {
+    // Daemon-side per-phase wall latency (covers warmup traffic too: these
+    // are the daemon's cumulative histograms, not the client-side samples).
+    os << "  \"phase_ms\": {";
+    bool first = true;
+    const std::size_t plen = std::strlen(serve::kPhaseMetricPrefix);
+    for (const auto& h : r.metrics.hists) {
+      if (h.name.rfind(serve::kPhaseMetricPrefix, 0) != 0 || h.data.count == 0) continue;
+      os << (first ? "" : ", ") << "\"" << h.name.substr(plen) << "\": {\"p50\": "
+         << h.data.quantile(0.50) * 1e3 << ", \"p99\": " << h.data.quantile(0.99) * 1e3
+         << ", \"count\": " << h.data.count << "}";
+      first = false;
+    }
+    os << "},\n";
+  }
+  os << "  \"daemon\": " << serve::stats_to_json(r.daemon) << "\n"
      << "}\n";
   return os.str();
 }
@@ -205,6 +278,9 @@ int check_against(const Config& cfg, const Result& r, const std::string& json) {
   };
   gate("latency_p50_ms", nested(json, "p50"), nested(base, "p50"), false);
   gate("latency_p99_ms", nested(json, "p99"), nested(base, "p99"), false);
+  // Baselines written before p999 existed report -1 here and are skipped, so
+  // adding quantiles never invalidates a committed baseline.
+  gate("latency_p999_ms", nested(json, "p999"), nested(base, "p999"), false);
 
   if (r.errors > 0) {
     std::printf("FAIL: %llu request(s) errored\n",
@@ -236,6 +312,7 @@ int main(int argc, char** argv) {
     if (a == "--clients") cfg.clients = std::atoi(next());
     else if (a == "--requests") cfg.requests = std::atoi(next());
     else if (a == "--distinct") cfg.distinct = std::max(1, std::atoi(next()));
+    else if (a == "--warmup") cfg.warmup = std::max(0, std::atoi(next()));
     else if (a == "--scale") cfg.scale = std::atof(next());
     else if (a == "--limit") cfg.limit = std::atoi(next());
     else if (a == "--socket") cfg.socket = next();

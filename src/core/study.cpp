@@ -274,6 +274,11 @@ StudyResult run_study(const StudyOptions& opts) {
   telemetry::init_from_env();
   robust::init_faults_from_env();
   auto& reg = telemetry::Registry::global();
+  // Serving-path request attribution: every span below (including the study
+  // span itself) carries the request's trace id. Nonzero ambient ids (a
+  // caller that already scoped this thread) are preserved.
+  const telemetry::TraceIdScope trace_scope(
+      opts.trace_id != 0 ? opts.trace_id : telemetry::current_trace_id());
   telemetry::Span study_span(reg, "run_study", "study");
 
   StudyResult result;
@@ -357,6 +362,7 @@ StudyResult run_study(const StudyOptions& opts) {
       sup.max_retries = std::max(0, opts.retries);
       sup.rss_limit_mb = opts.rss_limit_mb;
       sup.watchdog_timeout_s = opts.watchdog_timeout_seconds;
+      sup.trace_id = telemetry::current_trace_id();
 
       // The task payload is empty: a worker is a fork of this process and
       // inherits `specs`/`opts`, so env.task_index is all it needs. The
@@ -419,7 +425,8 @@ StudyResult run_study(const StudyOptions& opts) {
   } else {
     std::vector<char> computed(specs.size(), 0);
     std::atomic<std::size_t> next{0};
-    auto worker = [&] {
+    auto worker = [&, trace_id = telemetry::current_trace_id()] {
+      const telemetry::TraceIdScope worker_trace(trace_id);
       const telemetry::ScopedTimer busy(
           reg.histogram("study.worker_busy_seconds", telemetry::duration_bounds()));
       while (true) {

@@ -55,6 +55,12 @@ struct StudyOptions {
   /// result) for this long; its trace is retried/quarantined as
   /// FailKind::kTimeout. 0 disables the watchdog.
   double watchdog_timeout_seconds = 0;
+  /// Request trace id for serving-path observability (0 = unattributed).
+  /// Set as the telemetry trace id for the study's worker threads/processes
+  /// so every span they record carries it. Deliberately NOT mixed into
+  /// study_cache_key: tracing must never change what gets computed or
+  /// cached.
+  std::uint64_t trace_id = 0;
 };
 
 struct StudyResult {

@@ -1,203 +1,23 @@
 #include "obs/ledger.hpp"
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <sstream>
-#include <string_view>
-#include <unordered_map>
 
 #include "common/error.hpp"
+#include "obs/jsonl.hpp"
 
 namespace hps::obs {
 
-namespace {
-
-void put_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-// %.17g round-trips doubles exactly and is locale-independent for the values
-// we emit (the runner never produces inf/nan predictions).
-void put_double(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
-
-template <typename Int>
-void field_int(std::string& out, const char* key, Int v) {
-  out += ",\"";
-  out += key;
-  out += "\":";
-  out += std::to_string(v);
-}
-
-void field_double(std::string& out, const char* key, double v) {
-  out += ",\"";
-  out += key;
-  out += "\":";
-  put_double(out, v);
-}
-
-void field_str(std::string& out, const char* key, const std::string& v) {
-  out += ",\"";
-  out += key;
-  out += "\":";
-  put_escaped(out, v);
-}
-
-// --- minimal flat-object JSON scanner -------------------------------------
-//
-// Ledger lines are flat objects whose values are numbers, strings, or bools;
-// this scanner accepts exactly that (plus unknown keys, for forward
-// compatibility) and throws hps::Error with position context otherwise.
-
-struct Scanner {
-  std::string_view in;
-  std::size_t pos = 0;
-
-  [[noreturn]] void fail(const std::string& why) const {
-    throw Error("ledger: bad record at byte " + std::to_string(pos) + ": " + why);
-  }
-  void skip_ws() {
-    while (pos < in.size() && std::isspace(static_cast<unsigned char>(in[pos]))) ++pos;
-  }
-  char peek() const { return pos < in.size() ? in[pos] : '\0'; }
-  void expect(char c) {
-    skip_ws();
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos;
-  }
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos < in.size() && in[pos] != '"') {
-      char c = in[pos++];
-      if (c == '\\') {
-        if (pos >= in.size()) fail("truncated escape");
-        const char e = in[pos++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u': {
-            if (pos + 4 > in.size()) fail("truncated \\u escape");
-            const unsigned code =
-                static_cast<unsigned>(std::strtoul(std::string(in.substr(pos, 4)).c_str(), nullptr, 16));
-            pos += 4;
-            // Ledger strings only ever escape control characters; reject the
-            // rest rather than mis-decode multi-byte sequences.
-            if (code > 0x7f) fail("unsupported \\u escape");
-            out += static_cast<char>(code);
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    if (pos >= in.size()) fail("unterminated string");
-    ++pos;  // closing quote
-    return out;
-  }
-  /// A scalar value as raw text: number, true/false, or a quoted string.
-  /// Returns (text, was_string).
-  std::pair<std::string, bool> parse_value() {
-    skip_ws();
-    if (peek() == '"') return {parse_string(), true};
-    const std::size_t start = pos;
-    while (pos < in.size() && in[pos] != ',' && in[pos] != '}' &&
-           !std::isspace(static_cast<unsigned char>(in[pos])))
-      ++pos;
-    if (pos == start) fail("empty value");
-    return {std::string(in.substr(start, pos - start)), false};
-  }
-};
-
-struct Value {
-  std::string text;
-  bool is_string = false;
-};
-
-using FlatObject = std::unordered_map<std::string, Value>;
-
-FlatObject parse_flat_object(const std::string& line) {
-  Scanner sc{line};
-  FlatObject obj;
-  sc.expect('{');
-  sc.skip_ws();
-  if (sc.peek() == '}') {
-    ++sc.pos;
-    return obj;
-  }
-  while (true) {
-    std::string key = sc.parse_string();
-    sc.expect(':');
-    auto [text, is_string] = sc.parse_value();
-    obj[std::move(key)] = {std::move(text), is_string};
-    sc.skip_ws();
-    if (sc.peek() == ',') {
-      ++sc.pos;
-      continue;
-    }
-    sc.expect('}');
-    break;
-  }
-  return obj;
-}
-
-const Value& require(const FlatObject& obj, const char* key) {
-  const auto it = obj.find(key);
-  if (it == obj.end()) throw Error(std::string("ledger: missing field \"") + key + "\"");
-  return it->second;
-}
-
-std::int64_t get_i64(const FlatObject& obj, const char* key) {
-  return std::strtoll(require(obj, key).text.c_str(), nullptr, 10);
-}
-std::uint64_t get_u64(const FlatObject& obj, const char* key) {
-  return std::strtoull(require(obj, key).text.c_str(), nullptr, 10);
-}
-double get_f64(const FlatObject& obj, const char* key) {
-  return std::strtod(require(obj, key).text.c_str(), nullptr);
-}
-std::string get_str(const FlatObject& obj, const char* key) {
-  const Value& v = require(obj, key);
-  if (!v.is_string) throw Error(std::string("ledger: field \"") + key + "\" is not a string");
-  return v.text;
-}
-bool get_bool(const FlatObject& obj, const char* key) {
-  const std::string& t = require(obj, key).text;
-  if (t == "true") return true;
-  if (t == "false") return false;
-  throw Error(std::string("ledger: field \"") + key + "\" is not a bool");
-}
-
-}  // namespace
+// Writer/scanner primitives shared with the serve ledger (jsonl.hpp).
+using jsonl::field_double;
+using jsonl::field_int;
+using jsonl::field_str;
+using jsonl::FlatObject;
+using jsonl::get_bool;
+using jsonl::get_f64;
+using jsonl::get_i64;
+using jsonl::get_str;
+using jsonl::get_u64;
+using jsonl::parse_flat_object;
 
 std::string to_json_line(const LedgerRecord& rec) {
   std::string out;

@@ -1,0 +1,173 @@
+#include "obs/serve_ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "obs/jsonl.hpp"
+
+namespace hps::obs {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+constexpr const char* kPhasePrefix = "phase_";
+constexpr const char* kPhaseSuffix = "_ns";
+
+}  // namespace
+
+std::string to_json_line(const ServeRecord& rec) {
+  std::string out;
+  out.reserve(384);
+  out += "{\"schema\":";
+  out += std::to_string(rec.schema);
+  jsonl::field_str(out, "kind", "request");
+  jsonl::field_str(out, "trace_id", hex16(rec.trace_id));
+  jsonl::field_str(out, "status", rec.status);
+  out += ",\"cache_hit\":";
+  out += rec.cache_hit ? "true" : "false";
+  out += ",\"coalesced\":";
+  out += rec.coalesced ? "true" : "false";
+  jsonl::field_int(out, "records", rec.records);
+  jsonl::field_int(out, "degraded", rec.degraded);
+  jsonl::field_int(out, "seed", rec.seed);
+  jsonl::field_double(out, "duration_scale", rec.duration_scale);
+  jsonl::field_int(out, "limit", rec.limit);
+  jsonl::field_str(out, "app_classes", rec.app_classes);
+  jsonl::field_int(out, "total_ns", rec.total_ns);
+  for (const auto& [name, dur_ns] : rec.phases)
+    jsonl::field_int(out, (kPhasePrefix + name + kPhaseSuffix).c_str(), dur_ns);
+  out += "}";
+  return out;
+}
+
+std::string to_json_line(const CostCell& cell) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"schema\":";
+  out += std::to_string(kServeSchemaVersion);
+  jsonl::field_str(out, "kind", "cost");
+  jsonl::field_str(out, "app_class", cell.app_class);
+  jsonl::field_str(out, "scheme", cell.scheme);
+  jsonl::field_int(out, "count", cell.count);
+  jsonl::field_double(out, "wall_seconds", cell.wall_seconds);
+  out += "}";
+  return out;
+}
+
+void CostModel::add(const std::string& app_class, const std::string& scheme,
+                    std::uint64_t count, double wall_seconds) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (CostCell& c : cells_) {
+    if (c.app_class == app_class && c.scheme == scheme) {
+      c.count += count;
+      c.wall_seconds += wall_seconds;
+      return;
+    }
+  }
+  cells_.push_back({app_class, scheme, count, wall_seconds});
+}
+
+std::vector<CostCell> CostModel::cells() const {
+  std::vector<CostCell> out;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    out = cells_;
+  }
+  std::sort(out.begin(), out.end(), [](const CostCell& a, const CostCell& b) {
+    return a.app_class != b.app_class ? a.app_class < b.app_class : a.scheme < b.scheme;
+  });
+  return out;
+}
+
+ServeLedgerWriter::ServeLedgerWriter(const std::string& path) : path_(path) {
+  out_.open(path, std::ios::app | std::ios::binary);
+  if (!out_) throw Error("serve ledger: cannot open for append: " + path);
+}
+
+void ServeLedgerWriter::write_line(const std::string& line) {
+  out_ << line << "\n";
+  out_.flush();
+  if (!out_) throw Error("serve ledger: write failed: " + path_);
+}
+
+void ServeLedgerWriter::append(const ServeRecord& rec) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  write_line(to_json_line(rec));
+  ++records_;
+}
+
+void ServeLedgerWriter::append_costs(const std::vector<CostCell>& cells) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (const CostCell& c : cells) write_line(to_json_line(c));
+}
+
+std::uint64_t ServeLedgerWriter::records_written() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+ServeLedger load_serve_ledger(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("serve ledger: cannot open: " + path);
+  ServeLedger ledger;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      const jsonl::FlatObject obj = jsonl::parse_flat_object(line);
+      const auto schema = static_cast<std::uint32_t>(jsonl::get_u64(obj, "schema"));
+      if (schema != kServeSchemaVersion) {
+        throw Error("serve ledger: schema version " + std::to_string(schema) +
+                    " != expected " + std::to_string(kServeSchemaVersion));
+      }
+      const std::string kind = jsonl::get_str(obj, "kind");
+      if (kind == "cost") {
+        CostCell cell;
+        cell.app_class = jsonl::get_str(obj, "app_class");
+        cell.scheme = jsonl::get_str(obj, "scheme");
+        cell.count = jsonl::get_u64(obj, "count");
+        cell.wall_seconds = jsonl::get_f64(obj, "wall_seconds");
+        ledger.costs.push_back(std::move(cell));
+      } else if (kind == "request") {
+        ServeRecord rec;
+        rec.schema = schema;
+        rec.trace_id = std::strtoull(jsonl::get_str(obj, "trace_id").c_str(), nullptr, 16);
+        rec.status = jsonl::get_str(obj, "status");
+        rec.cache_hit = jsonl::get_bool(obj, "cache_hit");
+        rec.coalesced = jsonl::get_bool(obj, "coalesced");
+        rec.records = static_cast<std::uint32_t>(jsonl::get_u64(obj, "records"));
+        rec.degraded = static_cast<std::uint32_t>(jsonl::get_u64(obj, "degraded"));
+        rec.seed = jsonl::get_u64(obj, "seed");
+        rec.duration_scale = jsonl::get_f64(obj, "duration_scale");
+        rec.limit = static_cast<std::int32_t>(jsonl::get_i64(obj, "limit"));
+        rec.app_classes = jsonl::get_str(obj, "app_classes");
+        rec.total_ns = jsonl::get_i64(obj, "total_ns");
+        for (const auto& [key, value] : obj) {
+          if (key.rfind(kPhasePrefix, 0) != 0) continue;
+          const std::size_t suffix_at = key.size() - 3;
+          if (key.size() <= 9 || key.compare(suffix_at, 3, kPhaseSuffix) != 0) continue;
+          rec.phases.emplace_back(key.substr(6, suffix_at - 6),
+                                  std::strtoll(value.text.c_str(), nullptr, 10));
+        }
+        // FlatObject iteration order is unspecified; sort for determinism.
+        std::sort(rec.phases.begin(), rec.phases.end());
+        ledger.requests.push_back(std::move(rec));
+      } else {
+        throw Error("serve ledger: unknown record kind \"" + kind + "\"");
+      }
+    } catch (const Error& e) {
+      throw Error(path + ":" + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  return ledger;
+}
+
+}  // namespace hps::obs

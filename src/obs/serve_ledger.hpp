@@ -1,0 +1,113 @@
+// Wall-clock serve ledger: the serving-path sibling of the virtual-time run
+// ledger (ledger.hpp).
+//
+// hpcsweepd appends one JSON-lines record per finished request — trace id,
+// disposition (cache hit / coalesced / rejected), request parameters, total
+// wall latency, and the per-phase breakdown (decode, clamp, cache_lookup,
+// queue_wait | coalesce_wait, execute, cache_insert, stream) whose durations
+// tile the request end to end. On drain the daemon appends footer lines: one
+// `kind=cost` record per (trace class × scheme) cell of the measured-cost
+// model, the calibration input for routing requests by predicted cost
+// (ROADMAP item 4).
+//
+// Like the run ledger the format is schema-versioned and flat; unknown keys
+// are ignored on load, so new phases can be added without a breaking bump.
+// All durations here are *wall-clock* nanoseconds — see
+// docs/observability.md for the wall-clock vs virtual-time distinction.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hps::obs {
+
+/// Bump when the serve-ledger record layout or field meanings change.
+/// (Adding a new phase_*_ns key is not a breaking change.)
+inline constexpr std::uint32_t kServeSchemaVersion = 1;
+
+/// One finished request. Phases are (name, wall-ns) in serving order; the
+/// daemon stamps consecutive steady-clock boundaries, so the durations sum
+/// to total_ns up to clock-read jitter.
+struct ServeRecord {
+  std::uint32_t schema = kServeSchemaVersion;
+  std::uint64_t trace_id = 0;  ///< written as 16-digit hex
+  std::string status;          ///< serve::status_name of the terminal frame
+  bool cache_hit = false;
+  bool coalesced = false;       ///< waited on an identical in-flight study
+  std::uint32_t records = 0;    ///< ledger lines streamed
+  std::uint32_t degraded = 0;   ///< records with a real fail_kind
+  std::uint64_t seed = 0;
+  double duration_scale = 0;
+  std::int32_t limit = 0;
+  /// Distinct MFACT trace classes in the served study, comma-joined and
+  /// sorted ("" when the request never reached a result).
+  std::string app_classes;
+  std::int64_t total_ns = 0;  ///< decode start → terminal frame sent
+  std::vector<std::pair<std::string, std::int64_t>> phases;
+};
+
+/// One (trace class × scheme) cell of the measured-cost model: how much wall
+/// time this daemon spent computing traces of that class under that scheme.
+struct CostCell {
+  std::string app_class;
+  std::string scheme;
+  std::uint64_t count = 0;   ///< trace×scheme computations aggregated
+  double wall_seconds = 0;   ///< summed measured wall cost
+  double mean_seconds() const {
+    return count > 0 ? wall_seconds / static_cast<double>(count) : 0.0;
+  }
+};
+
+std::string to_json_line(const ServeRecord& rec);
+std::string to_json_line(const CostCell& cell);
+
+/// Thread-safe accumulator for the measured-cost model, fed by the
+/// dispatcher from every *computed* study (cache hits cost nothing).
+class CostModel {
+ public:
+  void add(const std::string& app_class, const std::string& scheme, std::uint64_t count,
+           double wall_seconds);
+  /// Cells sorted by (app_class, scheme) for deterministic output.
+  std::vector<CostCell> cells() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CostCell> cells_;  // few entries (5 classes × 4 schemes max)
+};
+
+/// Append-only serve ledger writer; one line per append, flushed so a
+/// crashed daemon loses at most the in-progress line.
+class ServeLedgerWriter {
+ public:
+  /// Opens `path` for append. Throws hps::Error on failure.
+  explicit ServeLedgerWriter(const std::string& path);
+  void append(const ServeRecord& rec);
+  /// Footer: one kind=cost line per cell.
+  void append_costs(const std::vector<CostCell>& cells);
+  std::uint64_t records_written() const;
+
+ private:
+  void write_line(const std::string& line);
+
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::string path_;
+  std::uint64_t records_ = 0;
+};
+
+/// Everything in a serve ledger file, requests and cost footer separated.
+struct ServeLedger {
+  std::vector<ServeRecord> requests;
+  std::vector<CostCell> costs;
+};
+
+/// Load a serve ledger. Throws hps::Error on I/O failure, malformed lines,
+/// or a schema version other than kServeSchemaVersion. Blank lines are
+/// skipped; unknown keys are ignored.
+ServeLedger load_serve_ledger(const std::string& path);
+
+}  // namespace hps::obs

@@ -40,6 +40,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kReject: return "reject";
     case MsgType::kPong: return "pong";
     case MsgType::kStatsReply: return "stats-reply";
+    case MsgType::kMetricsReply: return "metrics-reply";
   }
   return "?";
 }

@@ -46,6 +46,7 @@ enum class MsgType : std::uint8_t {
   kReject = 19,      ///< server → client: admission rejection (terminal)
   kPong = 20,        ///< server → client: liveness reply
   kStatsReply = 21,  ///< server → client: serve::Stats snapshot
+  kMetricsReply = 22,  ///< server → client: serve::MetricsReply snapshot
 };
 
 const char* msg_type_name(MsgType t);

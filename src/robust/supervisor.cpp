@@ -41,6 +41,21 @@ std::uint32_t get_u32(const std::string& s, std::size_t off) {
          (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
 }
 
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const std::string& s, std::size_t off) {
+  return static_cast<std::uint64_t>(get_u32(s, off)) |
+         (static_cast<std::uint64_t>(get_u32(s, off + 4)) << 32);
+}
+
+/// kTask payload header: u32 task index | u32 attempt | u64 trace id, then
+/// the opaque task bytes. Both ends are the same binary (fork without exec),
+/// so this layout can change freely as long as both sides agree.
+constexpr std::size_t kTaskHeaderBytes = 16;
+
 /// Ignore SIGPIPE for the supervisor's lifetime (a worker dying between our
 /// poll and our dispatch write must surface as EPIPE, not kill the study).
 class SigpipeIgnore {
@@ -96,12 +111,13 @@ class SigpipeIgnore {
     if (st == ipc::ReadStatus::kEof) std::_Exit(0);  // parent closed: done
     if (st != ipc::ReadStatus::kMessage) std::_Exit(3);
     if (m.type == ipc::MsgType::kShutdown) std::_Exit(0);
-    if (m.type != ipc::MsgType::kTask || m.payload.size() < 8) std::_Exit(3);
+    if (m.type != ipc::MsgType::kTask || m.payload.size() < kTaskHeaderBytes) std::_Exit(3);
 
     WorkerEnv env;
     env.task_index = get_u32(m.payload, 0);
     env.attempt = static_cast<int>(get_u32(m.payload, 4));
-    const std::string task = m.payload.substr(8);
+    const telemetry::TraceIdScope trace_scope(get_u64(m.payload, 8));
+    const std::string task = m.payload.substr(kTaskHeaderBytes);
 
     ipc::Message reply;
     reply.payload.reserve(64);
@@ -402,9 +418,10 @@ void Supervisor::dispatch() {
 
     ipc::Message m;
     m.type = ipc::MsgType::kTask;
-    m.payload.reserve(8 + tasks_[p.index].size());
+    m.payload.reserve(kTaskHeaderBytes + tasks_[p.index].size());
     put_u32(m.payload, static_cast<std::uint32_t>(p.index));
     put_u32(m.payload, static_cast<std::uint32_t>(p.attempt));
+    put_u64(m.payload, opts_.trace_id);
     m.payload += tasks_[p.index];
     if (!ipc::write_frame(w.task_fd, m)) {
       // The worker died between poll rounds; the attempt never started, so

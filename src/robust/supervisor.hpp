@@ -46,6 +46,11 @@ struct SupervisorOptions {
   /// Exponential backoff before retry r: backoff_base_s * 2^r, capped.
   double backoff_base_s = 0.05;
   double backoff_max_s = 2.0;
+  /// Telemetry trace id carried inside every kTask frame and installed
+  /// around the WorkerFn in the worker process (0 = unattributed), so spans
+  /// recorded across the process boundary still name the originating
+  /// serving request.
+  std::uint64_t trace_id = 0;
 };
 
 /// Environment a WorkerFn executes in (inside the worker process).

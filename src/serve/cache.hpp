@@ -33,9 +33,12 @@ struct CachedResult {
   std::uint32_t degraded = 0;         ///< records with a real fail_kind
   double wall_seconds = 0;            ///< what the original computation cost
   std::vector<std::string> records;   ///< ledger JSON lines, spec order
+  /// Sorted distinct MFACT class names in the study (comma-joined), stamped
+  /// into the serve ledger so cache hits keep their cost-attribution class.
+  std::string app_classes;
 
   std::size_t byte_size() const {
-    std::size_t n = sizeof(CachedResult);
+    std::size_t n = sizeof(CachedResult) + app_classes.size();
     for (const std::string& r : records) n += r.size() + sizeof(std::string);
     return n;
   }

@@ -136,6 +136,17 @@ Stats Client::stats() {
   return decode_stats(m.payload);
 }
 
+MetricsReply Client::metrics() {
+  Request req;
+  req.kind = Request::Kind::kMetrics;
+  send_request(fd_, req);
+  const ipc::Message m = read_reply(fd_);
+  HPS_REQUIRE(m.type == ipc::MsgType::kMetricsReply,
+              std::string("serve client: expected metrics-reply, got ") +
+                  ipc::msg_type_name(m.type));
+  return decode_metrics(m.payload);
+}
+
 Summary Client::shutdown_server() {
   Request req;
   req.kind = Request::Kind::kShutdown;

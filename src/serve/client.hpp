@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 
 namespace hps::serve {
@@ -42,6 +43,11 @@ class Client {
 
   /// Daemon counter snapshot. Throws on transport failure.
   Stats stats();
+
+  /// Live-metrics snapshot: Stats plus the per-phase / per-trace-class
+  /// latency histograms and cost-model cells (protocol v2). Throws on
+  /// transport failure or a pre-v2 daemon.
+  MetricsReply metrics();
 
   /// Ask the daemon to drain and exit; returns its acknowledgment.
   Summary shutdown_server();

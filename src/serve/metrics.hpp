@@ -1,0 +1,59 @@
+// kMetrics payload: the daemon's live observability snapshot.
+//
+// A kMetrics request (protocol v2) is answered with one kMetricsReply frame
+// carrying the cumulative Stats counters, the per-phase / per-trace-class /
+// whole-request wall-latency histograms from the serving registry, and the
+// measured-cost model cells ((trace class × scheme) → summed wall seconds).
+// The payload is the usual versioned little-endian binary; renderers turn it
+// into Prometheus text exposition (`hpcsweep_inspect metrics`) or the live
+// terminal dashboard (`hpcsweep_inspect watch`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/serve_ledger.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hps::serve {
+
+/// Serving-registry metric names. Phase and class histograms share these
+/// prefixes; the suffix is the phase name / mfact::app_class_name.
+inline constexpr const char* kPhaseMetricPrefix = "serve.phase.";
+inline constexpr const char* kClassMetricPrefix = "serve.class.";
+/// Whole-request wall latency (decode start → terminal frame sent).
+inline constexpr const char* kRequestMetric = "serve.request";
+
+/// Payload of a kMetricsReply frame.
+struct MetricsReply {
+  Stats stats;
+  double uptime_seconds = 0;
+
+  struct Hist {
+    std::string name;  ///< registry metric name (see prefixes above)
+    telemetry::HistogramData data;
+  };
+  std::vector<Hist> hists;  ///< sorted by name (registry snapshot order)
+
+  std::vector<obs::CostCell> costs;  ///< sorted by (app_class, scheme)
+
+  const Hist* find(const std::string& name) const;
+};
+
+std::string encode_metrics(const MetricsReply& m);
+/// Throws hps::Error on a short/garbled/version-mismatched payload.
+MetricsReply decode_metrics(const std::string& payload);
+
+/// Prometheus text exposition (version 0.0.4): counters/gauges from Stats,
+/// one histogram family per phase/class with cumulative `le` buckets, and
+/// the cost model as labeled totals.
+std::string render_prometheus(const MetricsReply& m);
+
+/// One terminal-dashboard frame for `hpcsweep_inspect watch`. `prev` (may be
+/// null) supplies the previous poll for rate figures over `interval_s`.
+std::string render_dashboard(const MetricsReply& m, const MetricsReply* prev,
+                             double interval_s);
+
+}  // namespace hps::serve

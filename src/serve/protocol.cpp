@@ -90,9 +90,24 @@ const char* request_kind_name(Request::Kind k) {
     case Request::Kind::kPing: return "ping";
     case Request::Kind::kStats: return "stats";
     case Request::Kind::kShutdown: return "shutdown";
+    case Request::Kind::kMetrics: return "metrics";
   }
   return "?";
 }
+
+namespace {
+
+/// A peer may speak any version in [kMinProtocolVersion, kProtocolVersion];
+/// newer-than-us is rejected (we cannot know what the extra bytes mean).
+std::uint32_t check_version(std::uint32_t version, const char* what) {
+  HPS_REQUIRE(version >= kMinProtocolVersion && version <= kProtocolVersion,
+              std::string("serve ") + what + " version " + std::to_string(version) +
+                  " unsupported (accept " + std::to_string(kMinProtocolVersion) + ".." +
+                  std::to_string(kProtocolVersion) + ")");
+  return version;
+}
+
+}  // namespace
 
 const char* status_name(Status s) {
   switch (s) {
@@ -125,13 +140,12 @@ std::string encode_request(const Request& r) {
 
 Request decode_request(const std::string& payload) {
   Reader rd{payload};
-  const std::uint32_t version = rd.u32();
-  HPS_REQUIRE(version == kProtocolVersion,
-              "serve protocol version mismatch (got " + std::to_string(version) +
-                  ", want " + std::to_string(kProtocolVersion) + ")");
+  const std::uint32_t version = check_version(rd.u32(), "request");
   Request r;
   const std::uint8_t kind = rd.u8();
-  HPS_REQUIRE(kind >= 1 && kind <= 4, "serve request kind out of range");
+  // kMetrics joined in v2; a v1 payload may not claim it.
+  const std::uint8_t max_kind = version >= 2 ? 5 : 4;
+  HPS_REQUIRE(kind >= 1 && kind <= max_kind, "serve request kind out of range");
   r.kind = static_cast<Request::Kind>(kind);
   r.seed = rd.u64();
   r.duration_scale = rd.f64();
@@ -162,7 +176,7 @@ std::string encode_summary(const Summary& s) {
 
 Summary decode_summary(const std::string& payload) {
   Reader rd{payload};
-  HPS_REQUIRE(rd.u32() == kProtocolVersion, "serve summary version mismatch");
+  check_version(rd.u32(), "summary");
   Summary s;
   const std::uint8_t st = rd.u8();
   HPS_REQUIRE(st <= static_cast<std::uint8_t>(Status::kError),
@@ -179,7 +193,7 @@ Summary decode_summary(const std::string& payload) {
 
 std::string encode_stats(const Stats& s) {
   std::string out;
-  out.reserve(16 + 14 * 8);
+  out.reserve(16 + 17 * 8);
   put_u32(out, kProtocolVersion);
   for (const std::uint64_t v :
        {s.requests, s.studies_run, s.cache_hits, s.cache_misses, s.cache_bytes,
@@ -187,12 +201,15 @@ std::string encode_stats(const Stats& s) {
         s.rejected_draining, s.rejected_bad, s.rejected_conn_limit, s.active,
         s.queued})
     put_u64(out, v);
+  // v2 extension: appended so a v1 decoder's fixed prefix is untouched.
+  for (const std::uint64_t v : {s.uptime_ms, s.ledger_records, s.spans_dropped})
+    put_u64(out, v);
   return out;
 }
 
 Stats decode_stats(const std::string& payload) {
   Reader rd{payload};
-  HPS_REQUIRE(rd.u32() == kProtocolVersion, "serve stats version mismatch");
+  const std::uint32_t version = check_version(rd.u32(), "stats");
   Stats s;
   for (std::uint64_t* v :
        {&s.requests, &s.studies_run, &s.cache_hits, &s.cache_misses, &s.cache_bytes,
@@ -200,6 +217,8 @@ Stats decode_stats(const std::string& payload) {
         &s.rejected_draining, &s.rejected_bad, &s.rejected_conn_limit, &s.active,
         &s.queued})
     *v = rd.u64();
+  if (version >= 2)
+    for (std::uint64_t* v : {&s.uptime_ms, &s.ledger_records, &s.spans_dropped}) *v = rd.u64();
   rd.done();
   return s;
 }
@@ -215,7 +234,10 @@ std::string stats_to_json(const Stats& s) {
      << ",\"rejected_bad\":" << s.rejected_bad
      << ",\"rejected_conn_limit\":" << s.rejected_conn_limit
      << ",\"active\":" << s.active
-     << ",\"queued\":" << s.queued << "}";
+     << ",\"queued\":" << s.queued
+     << ",\"uptime_ms\":" << s.uptime_ms
+     << ",\"ledger_records\":" << s.ledger_records
+     << ",\"spans_dropped\":" << s.spans_dropped << "}";
   return os.str();
 }
 

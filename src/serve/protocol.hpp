@@ -22,9 +22,15 @@
 
 namespace hps::serve {
 
-/// Bump on any wire-layout change; a mismatched request is rejected as
-/// kBadRequest rather than misread.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Bump on any wire-layout change; a request newer than the server is
+/// rejected as kBadRequest rather than misread. Decoders accept payloads
+/// from kMinProtocolVersion up: old fixed-layout fields come first, newer
+/// fields are appended and defaulted when absent, so a v1 peer still
+/// interoperates (pinned by protocol tests).
+/// v2: Request gains the kMetrics kind; Stats appends uptime_ms,
+///     ledger_records and spans_dropped.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Cap on a single *request* frame. Requests are a fixed few dozen bytes;
 /// anything bigger is garbage or abuse, refused before allocation.
@@ -36,6 +42,7 @@ struct Request {
     kPing = 2,      ///< liveness probe
     kStats = 3,     ///< daemon counters snapshot
     kShutdown = 4,  ///< drain and exit (admin)
+    kMetrics = 5,   ///< live metrics snapshot (histograms + cost model), v2+
   };
   Kind kind = Kind::kStudy;
 
@@ -95,6 +102,11 @@ struct Stats {
   std::uint64_t rejected_conn_limit = 0;  ///< accepts refused at max_connections
   std::uint64_t active = 0;            ///< studies executing right now
   std::uint64_t queued = 0;            ///< jobs waiting in the admission queue
+
+  // v2 fields (defaulted when decoding a v1 payload).
+  std::uint64_t uptime_ms = 0;         ///< since the daemon started serving
+  std::uint64_t ledger_records = 0;    ///< serve-ledger request lines written
+  std::uint64_t spans_dropped = 0;     ///< request spans lost to the ring cap
 };
 
 std::string encode_request(const Request& r);

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <set>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -15,10 +17,13 @@
 #include <unistd.h>
 
 #include "common/error.hpp"
+#include "core/runner.hpp"
+#include "mfact/classify.hpp"
 #include "obs/inspect.hpp"
 #include "obs/ledger.hpp"
 #include "robust/interrupt.hpp"
 #include "robust/ipc.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hps::serve {
@@ -113,7 +118,54 @@ T clamp_budget_int(T requested, T ceiling) {
   return std::min(requested, ceiling);
 }
 
+/// Distinct MFACT class names across a study's traces, sorted and
+/// comma-joined — the serve ledger's per-request class summary.
+std::string app_class_summary(const std::vector<core::TraceOutcome>& outcomes) {
+  std::set<std::string> classes;
+  for (const core::TraceOutcome& o : outcomes)
+    classes.insert(mfact::app_class_name(o.app_class));
+  std::string joined;
+  for (const std::string& c : classes) {
+    if (!joined.empty()) joined += ',';
+    joined += c;
+  }
+  return joined;
+}
+
+/// The serve-phase names, in serving order (pre-registered so a metrics
+/// scrape before the first request already shows every family).
+constexpr const char* kPhaseNames[] = {"decode",        "clamp",   "cache_lookup",
+                                       "queue_wait",    "execute", "cache_insert",
+                                       "coalesce_wait", "stream"};
+
 }  // namespace
+
+/// Phase tiling for one request: consecutive boundary stamps on the server's
+/// observability clock, so per-phase durations sum exactly to the request's
+/// total latency.
+struct Server::RequestTimer {
+  Server& srv;
+  std::uint64_t trace_id = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t last_ns = 0;
+  std::vector<std::pair<std::string, std::int64_t>> phases;  ///< (name, wall ns)
+  std::vector<std::int64_t> starts;  ///< phase start stamps, parallel to phases
+
+  RequestTimer(Server& s, std::int64_t recv_ns)
+      : srv(s), start_ns(recv_ns), last_ns(recv_ns) {}
+
+  /// Close the phase that started at the previous boundary, ending now.
+  void phase(const char* name) { phase_until(name, srv.obs_.now_ns()); }
+
+  /// Close the phase at an externally measured boundary (the dispatcher's
+  /// stamps). Clamped monotonic so a cross-thread stamp can't go backwards.
+  void phase_until(const char* name, std::int64_t boundary_ns) {
+    if (boundary_ns < last_ns) boundary_ns = last_ns;
+    phases.emplace_back(name, boundary_ns - last_ns);
+    starts.push_back(last_ns);
+    last_ns = boundary_ns;
+  }
+};
 
 void InFlight::complete(Status st, std::shared_ptr<const CachedResult> res,
                         std::string why) {
@@ -138,6 +190,15 @@ Server::Server(ServerOptions opts)
       queue_(std::max<std::size_t>(1, opts_.queue_capacity)) {
   opts_.dispatchers = std::max(1, opts_.dispatchers);
   opts_.max_connections = std::max<std::size_t>(1, opts_.max_connections);
+  // Observability comes up before the listeners so a constructor failure
+  // here cannot leak a bound socket.
+  obs_.set_enabled(true);
+  obs_.set_tracing(!opts_.trace_path.empty());
+  for (const char* p : kPhaseNames)
+    obs_.histogram(std::string(kPhaseMetricPrefix) + p, telemetry::latency_bounds());
+  obs_.histogram(kRequestMetric, telemetry::latency_bounds());
+  if (!opts_.serve_ledger_path.empty())
+    ledger_ = std::make_unique<obs::ServeLedgerWriter>(opts_.serve_ledger_path);
   unix_fd_ = make_unix_listener(opts_.socket_path);
   if (opts_.tcp_port >= 0) {
     try {
@@ -191,18 +252,37 @@ core::StudyOptions Server::study_options(const Request& req) const {
 void Server::dispatcher_loop() {
   std::shared_ptr<InFlight> job;
   while (queue_.pop(job)) {
+    const std::int64_t popped_ns = obs_.now_ns();
     active_.fetch_add(1, std::memory_order_relaxed);
     Status status = Status::kError;
     std::string detail;
     std::shared_ptr<const CachedResult> cached;
+    std::int64_t run_done_ns = popped_ns;
     try {
+      // Every span recorded while this study runs — on worker threads or in
+      // forked worker processes — carries the owning request's trace id.
+      const telemetry::TraceIdScope trace_scope(job->trace_id);
       const core::StudyResult res = core::run_study(job->study);
+      run_done_ns = obs_.now_ns();
       const auto records = core::ledger_records(res.outcomes, job->key);
       auto built = std::make_shared<CachedResult>();
       built->wall_seconds = res.wall_seconds;
       built->degraded = static_cast<std::uint32_t>(obs::degraded_count(records));
       built->records.reserve(records.size());
       for (const auto& rec : records) built->records.push_back(obs::to_json_line(rec));
+      built->app_classes = app_class_summary(res.outcomes);
+      // Measured-cost model: attribute each attempted scheme run's wall cost
+      // to its trace's MFACT class. Only computed studies reach this loop —
+      // cache hits and coalesced waiters cost nothing.
+      for (const core::TraceOutcome& o : res.outcomes) {
+        const char* cls = mfact::app_class_name(o.app_class);
+        for (int si = 0; si < static_cast<int>(core::Scheme::kNumSchemes); ++si) {
+          const core::SchemeOutcome& sc = o.scheme[si];
+          if (!sc.attempted) continue;
+          costs_.add(cls, core::scheme_name(static_cast<core::Scheme>(si)), 1,
+                     sc.wall_seconds);
+        }
+      }
       if (res.interrupted) {
         // A drain signal landed mid-study: the outcome is full of skipped
         // holes. Report it, never cache it.
@@ -230,6 +310,14 @@ void Server::dispatcher_loop() {
       const auto it = inflight_.find(job->key);
       if (it != inflight_.end() && it->second == job) inflight_.erase(it);
     }
+    {
+      // Phase boundaries for the owner's queue_wait/execute/cache_insert
+      // tiling; published under mu before done flips in complete().
+      std::lock_guard<std::mutex> lk(job->mu);
+      job->popped_ns = popped_ns;
+      job->run_done_ns = run_done_ns;
+      job->done_ns = obs_.now_ns();
+    }
     job->complete(status, std::move(cached), std::move(detail));
     active_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -254,15 +342,30 @@ bool Server::stream_result(int fd, const CachedResult& result, bool cache_hit) {
   return send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
 }
 
-bool Server::handle_study(int fd, const Request& req) {
+bool Server::handle_study(int fd, const Request& req, std::int64_t recv_ns) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   telemetry::Registry::global().counter("serve.requests").add(1);
 
-  const core::StudyOptions so = study_options(req);
+  RequestTimer timer(*this, recv_ns);
+  timer.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  timer.phase("decode");
+
+  core::StudyOptions so = study_options(req);
+  // The trace id rides inside StudyOptions but is deliberately excluded from
+  // study_cache_key: tracing must never change what is computed or cached.
+  so.trace_id = timer.trace_id;
   const std::uint64_t key = core::study_cache_key(so);
+  timer.phase("clamp");
 
   if (!req.force_recompute) {
-    if (const auto hit = cache_.lookup(key)) return stream_result(fd, *hit, true);
+    if (const auto hit = cache_.lookup(key)) {
+      timer.phase("cache_lookup");
+      const bool ok = stream_result(fd, *hit, true);
+      finish_request(timer, req, hit->status, /*cache_hit=*/true, /*coalesced=*/false,
+                     static_cast<std::uint32_t>(hit->records.size()), hit->degraded,
+                     hit->app_classes);
+      return ok;
+    }
   }
 
   // Single-flight: identical concurrent misses share one computation.
@@ -278,10 +381,12 @@ bool Server::handle_study(int fd, const Request& req) {
       job = std::make_shared<InFlight>();
       job->key = key;
       job->study = so;
+      job->trace_id = timer.trace_id;
       inflight_[key] = job;
       owner = true;
     }
   }
+  timer.phase("cache_lookup");
 
   if (owner) {
     switch (queue_.try_push(job)) {
@@ -303,7 +408,9 @@ bool Server::handle_study(int fd, const Request& req) {
         telemetry::Registry::global().counter("serve.rejected_queue_full").add(1);
         // Explicit backpressure: the client knows immediately and may retry
         // with jitter; nothing server-side was spent on the study.
-        return send_reject(fd, Status::kQueueFull, detail);
+        const bool ok = send_reject(fd, Status::kQueueFull, detail);
+        finish_request(timer, req, Status::kQueueFull, false, false, 0, 0, {});
+        return ok;
       }
       case AdmissionQueue<std::shared_ptr<InFlight>>::Push::kClosed: {
         {
@@ -313,7 +420,9 @@ bool Server::handle_study(int fd, const Request& req) {
         }
         job->complete(Status::kDraining, nullptr, "daemon is draining");
         rejected_draining_.fetch_add(1, std::memory_order_relaxed);
-        return send_reject(fd, Status::kDraining, "daemon is draining");
+        const bool ok = send_reject(fd, Status::kDraining, "daemon is draining");
+        finish_request(timer, req, Status::kDraining, false, false, 0, 0, {});
+        return ok;
       }
     }
   }
@@ -323,26 +432,127 @@ bool Server::handle_study(int fd, const Request& req) {
   std::shared_ptr<const CachedResult> result;
   Status status;
   std::string detail;
+  std::int64_t popped_ns = 0, run_done_ns = 0, done_ns = 0;
   {
     std::lock_guard<std::mutex> lk(job->mu);
     result = job->result;
     status = job->status;
     detail = job->detail;
+    popped_ns = job->popped_ns;
+    run_done_ns = job->run_done_ns;
+    done_ns = job->done_ns;
   }
-  // A coalesced waiter reports cache_hit: it rode a computation it did not
-  // pay for (the owner paid; its summary carries the wall time).
-  if (result != nullptr) return stream_result(fd, *result, !owner);
-  // A waiter attached to a job whose owner failed admission gets the same
-  // kReject frame the owner's client got.
-  if (status == Status::kQueueFull || status == Status::kDraining)
-    return send_reject(fd, status, detail);
-  Summary s;
-  s.status = status;
-  s.detail = detail;
-  return send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
+  if (owner) {
+    if (popped_ns > 0) {
+      timer.phase_until("queue_wait", popped_ns);
+      timer.phase_until("execute", run_done_ns);
+      timer.phase_until("cache_insert", done_ns);
+    } else {
+      // Completed without ever being dispatched (drain raced the pop).
+      timer.phase("queue_wait");
+    }
+  } else {
+    timer.phase("coalesce_wait");
+  }
+
+  bool ok;
+  std::uint32_t nrecords = 0, ndegraded = 0;
+  std::string classes;
+  if (result != nullptr) {
+    nrecords = static_cast<std::uint32_t>(result->records.size());
+    ndegraded = result->degraded;
+    classes = result->app_classes;
+    // A coalesced waiter reports cache_hit: it rode a computation it did not
+    // pay for (the owner paid; its summary carries the wall time).
+    ok = stream_result(fd, *result, !owner);
+  } else if (status == Status::kQueueFull || status == Status::kDraining) {
+    // A waiter attached to a job whose owner failed admission gets the same
+    // kReject frame the owner's client got.
+    ok = send_reject(fd, status, detail);
+  } else {
+    Summary s;
+    s.status = status;
+    s.detail = detail;
+    ok = send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
+  }
+  finish_request(timer, req, status, /*cache_hit=*/false, /*coalesced=*/!owner,
+                 nrecords, ndegraded, classes);
+  return ok;
+}
+
+void Server::finish_request(RequestTimer& t, const Request& req, Status status,
+                            bool cache_hit, bool coalesced, std::uint32_t records,
+                            std::uint32_t degraded, const std::string& app_classes) {
+  t.phase("stream");
+  const std::int64_t total_ns = t.last_ns - t.start_ns;
+  const double total_s = static_cast<double>(total_ns) * 1e-9;
+
+  obs_.histogram(kRequestMetric, telemetry::latency_bounds()).observe(total_s);
+  for (const auto& [name, dur_ns] : t.phases)
+    obs_.histogram(kPhaseMetricPrefix + name, telemetry::latency_bounds())
+        .observe(static_cast<double>(dur_ns) * 1e-9);
+  // Per-trace-class latency: a request whose study spans several classes
+  // counts toward each ("how slow are requests touching class X").
+  for (std::size_t pos = 0; pos < app_classes.size();) {
+    std::size_t comma = app_classes.find(',', pos);
+    if (comma == std::string::npos) comma = app_classes.size();
+    if (comma > pos)
+      obs_.histogram(kClassMetricPrefix + app_classes.substr(pos, comma - pos),
+                     telemetry::latency_bounds())
+          .observe(total_s);
+    pos = comma + 1;
+  }
+
+  if (obs_.tracing()) {
+    // Retroactive span tree from the boundary stamps already taken: one
+    // parent per request, one child per phase, all carrying the trace id.
+    telemetry::SpanRecord whole;
+    whole.name = "request";
+    whole.cat = "serve";
+    whole.trace_id = t.trace_id;
+    whole.start_ns = t.start_ns;
+    whole.dur_ns = total_ns;
+    whole.args = {{"status", status_name(status)},
+                  {"seed", std::to_string(req.seed)},
+                  {"cache_hit", cache_hit ? "true" : "false"},
+                  {"coalesced", coalesced ? "true" : "false"}};
+    obs_.record_span(std::move(whole));
+    for (std::size_t i = 0; i < t.phases.size(); ++i) {
+      telemetry::SpanRecord p;
+      p.name = t.phases[i].first;
+      p.cat = "serve.phase";
+      p.trace_id = t.trace_id;
+      p.start_ns = t.starts[i];
+      p.dur_ns = t.phases[i].second;
+      obs_.record_span(std::move(p));
+    }
+  }
+
+  if (ledger_ != nullptr) {
+    obs::ServeRecord rec;
+    rec.trace_id = t.trace_id;
+    rec.status = status_name(status);
+    rec.cache_hit = cache_hit;
+    rec.coalesced = coalesced;
+    rec.records = records;
+    rec.degraded = degraded;
+    rec.seed = req.seed;
+    rec.duration_scale = req.duration_scale;
+    rec.limit = req.limit;
+    rec.app_classes = app_classes;
+    rec.total_ns = total_ns;
+    rec.phases = t.phases;
+    try {
+      ledger_->append(rec);
+    } catch (const std::exception&) {
+      // A full disk must not take the serving path down.
+      ledger_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 bool Server::handle_request(int fd, bool trusted, const ipc::Message& m) {
+  const std::int64_t recv_ns = obs_.now_ns();
   if (m.type != ipc::MsgType::kRequest) {
     rejected_bad_.fetch_add(1, std::memory_order_relaxed);
     send_reject(fd, Status::kBadRequest,
@@ -362,6 +572,8 @@ bool Server::handle_request(int fd, bool trusted, const ipc::Message& m) {
       return send_msg(fd, ipc::MsgType::kPong, {});
     case Request::Kind::kStats:
       return send_msg(fd, ipc::MsgType::kStatsReply, encode_stats(stats()));
+    case Request::Kind::kMetrics:
+      return send_msg(fd, ipc::MsgType::kMetricsReply, encode_metrics(metrics()));
     case Request::Kind::kShutdown: {
       if (!trusted) {
         // Anything loopback-local can reach the TCP port; only the Unix
@@ -381,9 +593,14 @@ bool Server::handle_request(int fd, bool trusted, const ipc::Message& m) {
     case Request::Kind::kStudy:
       if (draining()) {
         rejected_draining_.fetch_add(1, std::memory_order_relaxed);
-        return send_reject(fd, Status::kDraining, "daemon is draining");
+        RequestTimer timer(*this, recv_ns);
+        timer.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+        timer.phase("decode");
+        const bool ok = send_reject(fd, Status::kDraining, "daemon is draining");
+        finish_request(timer, req, Status::kDraining, false, false, 0, 0, {});
+        return ok;
       }
-      return handle_study(fd, req);
+      return handle_study(fd, req, recv_ns);
   }
   return false;
 }
@@ -512,6 +729,22 @@ void Server::run() {
     std::unique_lock<std::mutex> lk(conn_mu_);
     conn_cv_.wait(lk, [&] { return active_conns_ == 0; });
   }
+
+  // Persist the observability footers now that every request is finished:
+  // the cost-model cells into the serve ledger, the span timeline as a
+  // Chrome trace. Neither failure mode may mask the drain itself.
+  if (ledger_ != nullptr) {
+    try {
+      ledger_->append_costs(costs_.cells());
+    } catch (const std::exception&) {
+      ledger_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!opts_.trace_path.empty()) {
+    std::ofstream os(opts_.trace_path, std::ios::binary | std::ios::trunc);
+    if (os) telemetry::write_chrome_trace(obs_.spans(), os);
+  }
+
   if (!poll_error.empty())
     HPS_THROW("serve: poll() failed: " + poll_error);
 }
@@ -533,7 +766,22 @@ Stats Server::stats() const {
   s.cache_bytes = c.bytes;
   s.cache_entries = c.entries;
   s.cache_evictions = c.evictions;
+  s.uptime_ms = static_cast<std::uint64_t>(obs_.now_ns() / 1000000);
+  s.ledger_records = ledger_ != nullptr ? ledger_->records_written() : 0;
+  s.spans_dropped = obs_.spans_dropped();
   return s;
+}
+
+MetricsReply Server::metrics() const {
+  MetricsReply m;
+  m.stats = stats();
+  m.uptime_seconds = static_cast<double>(obs_.now_ns()) * 1e-9;
+  const telemetry::Snapshot snap = obs_.snapshot();
+  for (const telemetry::MetricValue& mv : snap.metrics)
+    if (mv.kind == telemetry::MetricKind::kHistogram)
+      m.hists.push_back({mv.name, mv.hist});
+  m.costs = costs_.cells();
+  return m;
 }
 
 }  // namespace hps::serve

@@ -42,10 +42,13 @@
 #include <vector>
 
 #include "core/study.hpp"
+#include "obs/serve_ledger.hpp"
 #include "robust/ipc.hpp"
 #include "serve/cache.hpp"
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hps::serve {
 
@@ -80,6 +83,16 @@ struct ServerOptions {
   /// SIGTERM drain the daemon. Tests drive robust::request_interrupt()
   /// directly and may turn this off.
   bool install_signal_guard = true;
+
+  // Wall-clock observability (docs/observability.md). Latency histograms and
+  // the cost model are always collected (a few relaxed atomic bumps per
+  // request); these two switches control what is persisted.
+  /// Serve ledger: one JSON-lines record per study request, plus the
+  /// (trace class × scheme) cost footer on drain. Empty = off.
+  std::string serve_ledger_path;
+  /// Per-request span tree as a Chrome trace, written on drain. Enables
+  /// request tracing (telemetry spans) for the daemon's lifetime. Empty = off.
+  std::string trace_path;
 };
 
 /// A study admitted (or admitting) to the dispatch queue; shared between the
@@ -87,6 +100,7 @@ struct ServerOptions {
 struct InFlight {
   std::uint64_t key = 0;
   core::StudyOptions study;
+  std::uint64_t trace_id = 0;  ///< owning request's trace id (study.trace_id)
 
   std::mutex mu;
   std::condition_variable cv;
@@ -94,6 +108,12 @@ struct InFlight {
   Status status = Status::kError;
   std::string detail;
   std::shared_ptr<const CachedResult> result;  ///< null unless kOk/kDegraded
+  // Dispatcher-side phase boundaries (Server's obs clock, ns), written under
+  // mu before complete() so the owner can tile queue_wait/execute/
+  // cache_insert exactly against its own enqueue timestamp.
+  std::int64_t popped_ns = 0;    ///< dispatcher picked the job up
+  std::int64_t run_done_ns = 0;  ///< run_study returned
+  std::int64_t done_ns = 0;      ///< cache insert finished, waiters woken
 
   void complete(Status st, std::shared_ptr<const CachedResult> res, std::string why);
   /// Blocks until complete() ran.
@@ -120,18 +140,29 @@ class Server {
 
   Stats stats() const;
 
+  /// Live-metrics snapshot (what a kMetrics request returns): Stats plus the
+  /// per-phase / per-class latency histograms and the cost-model cells.
+  MetricsReply metrics() const;
+
  private:
+  struct RequestTimer;  // phase tiling for one request (server.cpp)
+
   void dispatcher_loop();
   /// `trusted` marks the Unix-domain transport: admin actions (shutdown)
   /// are refused over TCP, where anything loopback-local can connect.
   void handle_connection(int fd, bool trusted);
   /// Returns false when the connection should close.
   bool handle_request(int fd, bool trusted, const robust::ipc::Message& m);
-  bool handle_study(int fd, const Request& req);
+  bool handle_study(int fd, const Request& req, std::int64_t recv_ns);
   bool stream_result(int fd, const CachedResult& result, bool cache_hit);
   bool send_reject(int fd, Status status, const std::string& detail);
   core::StudyOptions study_options(const Request& req) const;
   bool draining() const;
+  /// Closes the timer's final phase, feeds the latency histograms, emits the
+  /// request's span tree, and appends the serve-ledger record.
+  void finish_request(RequestTimer& t, const Request& req, Status status, bool cache_hit,
+                      bool coalesced, std::uint32_t records, std::uint32_t degraded,
+                      const std::string& app_classes);
 
   ServerOptions opts_;
   int unix_fd_ = -1;
@@ -157,6 +188,15 @@ class Server {
   std::atomic<std::uint64_t> rejected_bad_{0};
   std::atomic<std::uint64_t> rejected_conn_{0};
   std::atomic<std::uint64_t> active_{0};
+
+  // Observability. The registry is private to the daemon (never the global
+  // one), so serving-path histograms and spans cannot perturb the study hot
+  // path or leak into a study's own telemetry exports.
+  telemetry::Registry obs_;
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  obs::CostModel costs_;
+  std::unique_ptr<obs::ServeLedgerWriter> ledger_;
+  std::atomic<std::uint64_t> ledger_errors_{0};
 };
 
 }  // namespace hps::serve

@@ -161,10 +161,18 @@ void write_chrome_trace(const std::vector<SpanRecord>& spans, std::ostream& os) 
     std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f",
                   static_cast<double>(s.start_ns) / 1e3, static_cast<double>(s.dur_ns) / 1e3);
     os << buf;
-    if (!s.args.empty()) {
+    if (!s.args.empty() || s.trace_id != 0) {
       os << ",\"args\":{";
+      bool first_arg = true;
+      if (s.trace_id != 0) {
+        std::snprintf(buf, sizeof buf, "\"trace_id\":\"%016llx\"",
+                      static_cast<unsigned long long>(s.trace_id));
+        os << buf;
+        first_arg = false;
+      }
       for (std::size_t i = 0; i < s.args.size(); ++i) {
-        if (i) os << ",";
+        if (!first_arg) os << ",";
+        first_arg = false;
         os << "\"" << json_escape(s.args[i].first) << "\":\"" << json_escape(s.args[i].second)
            << "\"";
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <iterator>
 
 #include "common/error.hpp"
 
@@ -15,12 +16,26 @@ namespace {
 /// built-in instrumentation registers.
 constexpr std::uint32_t kSlotCapacity = 4096;
 
+/// Default per-thread span ring capacity. A long-lived traced daemon keeps
+/// at most this many spans per thread; older ones are overwritten and
+/// counted in spans_dropped().
+constexpr std::size_t kDefaultSpanCapacity = 16384;
+
 std::uint64_t next_registry_id() {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// Trace id attributed to work on this thread; crosses registries on
+/// purpose (the serving request id must reach study-internal spans on the
+/// global registry).
+thread_local std::uint64_t tls_trace_id = 0;
+
 }  // namespace
+
+std::uint64_t current_trace_id() { return tls_trace_id; }
+
+void set_current_trace_id(std::uint64_t id) { tls_trace_id = id; }
 
 const char* metric_kind_name(MetricKind k) {
   switch (k) {
@@ -42,13 +57,38 @@ std::uint64_t Snapshot::value(const std::string& name) const {
   return m != nullptr ? m->value : 0;
 }
 
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(c) >= rank) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      if (i >= bounds.size()) return lo;  // overflow: no upper bound to interpolate to
+      const double frac =
+          std::clamp((rank - static_cast<double>(cum)) / static_cast<double>(c), 0.0, 1.0);
+      return lo + (bounds[i] - lo) * frac;
+    }
+    cum += c;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 /// Per-thread storage. Only the owning thread writes; relaxed atomics make
 /// the concurrent snapshot reads well-defined without fetch_add traffic.
 struct Registry::Shard {
   explicit Shard(std::uint32_t tid_in) : tid(tid_in) {}
   std::array<std::atomic<std::uint64_t>, kSlotCapacity> slots{};
   std::mutex span_mu;  // uncontended: taken by the owner and the exporter
+  /// Ring of the most recent spans: below capacity it's a plain vector
+  /// (span_head 0); at capacity, span_head is the oldest entry, overwritten
+  /// on the next push. Insertion order = [span_head..end) + [0..span_head).
   std::vector<SpanRecord> spans;
+  std::size_t span_head = 0;
+  std::uint64_t span_dropped = 0;
   const std::uint32_t tid;
 };
 
@@ -63,7 +103,10 @@ struct TlsEntry {
 thread_local std::vector<TlsEntry> tls_shards;
 }  // namespace
 
-Registry::Registry() : id_(next_registry_id()), epoch_(std::chrono::steady_clock::now()) {}
+Registry::Registry()
+    : span_capacity_(kDefaultSpanCapacity),
+      id_(next_registry_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
 
 Registry::~Registry() = default;
 
@@ -199,9 +242,36 @@ std::vector<SpanRecord> Registry::spans() const {
   std::vector<SpanRecord> out;
   for (const auto& sh : shards_) {
     const std::lock_guard<std::mutex> slk(sh->span_mu);
-    out.insert(out.end(), sh->spans.begin(), sh->spans.end());
+    out.insert(out.end(), sh->spans.begin() + static_cast<std::ptrdiff_t>(sh->span_head),
+               sh->spans.end());
+    out.insert(out.end(), sh->spans.begin(),
+               sh->spans.begin() + static_cast<std::ptrdiff_t>(sh->span_head));
   }
   return out;
+}
+
+void Registry::set_span_capacity(std::size_t capacity) {
+  HPS_CHECK_MSG(capacity > 0, "telemetry span capacity must be > 0");
+  span_capacity_.store(capacity, std::memory_order_relaxed);
+}
+
+std::size_t Registry::span_capacity() const {
+  return span_capacity_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::spans_dropped() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> slk(sh->span_mu);
+    total += sh->span_dropped;
+  }
+  return total;
+}
+
+void Registry::record_span(SpanRecord rec) {
+  if (!tracing()) return;
+  push_span(std::move(rec));
 }
 
 void Registry::reset_values() {
@@ -210,14 +280,37 @@ void Registry::reset_values() {
     for (auto& s : sh->slots) s.store(0, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> slk(sh->span_mu);
     sh->spans.clear();
+    sh->span_head = 0;
+    sh->span_dropped = 0;
   }
 }
 
 void Registry::push_span(SpanRecord rec) {
   Shard& sh = local_shard();
   rec.tid = sh.tid;
+  const std::size_t cap = span_capacity_.load(std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lk(sh.span_mu);
-  sh.spans.push_back(std::move(rec));
+  if (sh.spans.size() > cap) {
+    // Capacity was lowered: keep the newest `cap` spans (insertion order is
+    // the rotation at span_head), count the rest as dropped.
+    std::vector<SpanRecord> ordered;
+    ordered.reserve(sh.spans.size());
+    std::move(sh.spans.begin() + static_cast<std::ptrdiff_t>(sh.span_head), sh.spans.end(),
+              std::back_inserter(ordered));
+    std::move(sh.spans.begin(), sh.spans.begin() + static_cast<std::ptrdiff_t>(sh.span_head),
+              std::back_inserter(ordered));
+    sh.span_dropped += ordered.size() - cap;
+    sh.spans.assign(std::make_move_iterator(ordered.end() - static_cast<std::ptrdiff_t>(cap)),
+                    std::make_move_iterator(ordered.end()));
+    sh.span_head = 0;
+  }
+  if (sh.spans.size() < cap) {
+    sh.spans.push_back(std::move(rec));
+  } else {
+    sh.spans[sh.span_head] = std::move(rec);
+    sh.span_head = (sh.span_head + 1) % cap;
+    ++sh.span_dropped;
+  }
 }
 
 Span::Span(Registry& reg, std::string name, const char* cat) {
@@ -225,6 +318,7 @@ Span::Span(Registry& reg, std::string name, const char* cat) {
   reg_ = &reg;
   rec_.name = std::move(name);
   rec_.cat = cat;
+  rec_.trace_id = current_trace_id();
   start_ns_ = reg.now_ns();
 }
 
@@ -254,6 +348,14 @@ ScopedTimer::~ScopedTimer() {
 
 std::vector<double> duration_bounds() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+}
+
+std::vector<double> latency_bounds() {
+  std::vector<double> b;
+  for (double decade = 1e-6; decade < 20.0; decade *= 10.0)
+    for (const double m : {1.0, 2.0, 5.0}) b.push_back(decade * m);
+  b.push_back(100.0);
+  return b;
 }
 
 }  // namespace hps::telemetry

@@ -49,6 +49,10 @@ struct HistogramData {
   std::uint64_t count = 0;
   double sum = 0;
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket containing the rank. Error is bounded by the bucket width; the
+  /// overflow bucket reports its lower bound. 0 when the histogram is empty.
+  double quantile(double q) const;
 };
 
 struct MetricValue {
@@ -72,9 +76,33 @@ struct SpanRecord {
   std::string name;
   std::string cat;
   std::uint32_t tid = 0;
+  /// Request trace id (current_trace_id() at span construction); 0 when the
+  /// span is not attributed to a request.
+  std::uint64_t trace_id = 0;
   std::int64_t start_ns = 0;
   std::int64_t dur_ns = 0;
   std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Trace id attributed to work on the current thread; 0 = unattributed.
+/// Spans stamp it at construction, so study-internal spans pick up the
+/// serving request that caused them without any signature changes.
+std::uint64_t current_trace_id();
+void set_current_trace_id(std::uint64_t id);
+
+/// RAII scope: sets the thread's trace id, restoring the previous value on
+/// exit (scopes nest — a coalesced study keeps its owner's id).
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(std::uint64_t id) : prev_(current_trace_id()) {
+    set_current_trace_id(id);
+  }
+  ~TraceIdScope() { set_current_trace_id(prev_); }
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
 };
 
 /// Monotonically increasing counter handle.
@@ -157,8 +185,23 @@ class Registry {
   /// while workers are still updating (relaxed reads; per-slot atomicity).
   Snapshot snapshot() const;
 
-  /// All spans recorded so far, across threads, in per-thread order.
+  /// All retained spans, across threads, in per-thread insertion order.
+  /// Span storage is a per-thread ring of span_capacity() records; once a
+  /// thread overflows its ring the oldest spans are overwritten and counted
+  /// in spans_dropped() — a long-lived traced daemon stays bounded.
   std::vector<SpanRecord> spans() const;
+
+  /// Per-thread span ring capacity (applies to rings created afterwards and
+  /// truncates existing ones on next write). Must be > 0.
+  void set_span_capacity(std::size_t capacity);
+  std::size_t span_capacity() const;
+  /// Spans overwritten because a thread's ring was full, across threads.
+  std::uint64_t spans_dropped() const;
+
+  /// Record an externally-built span (the serving path emits retroactive
+  /// per-phase spans from timestamps it already took). No-op unless tracing;
+  /// the record's tid is overwritten with the calling thread's shard id.
+  void record_span(SpanRecord rec);
 
   /// Zero every metric in every shard and drop recorded spans. Metric
   /// definitions (and outstanding handles) stay valid. Intended for tests.
@@ -194,6 +237,7 @@ class Registry {
   std::unordered_map<std::string, MetricDef*> by_name_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint32_t next_slot_ = 0;
+  std::atomic<std::size_t> span_capacity_;
   std::atomic<bool> enabled_{false};
   std::atomic<bool> tracing_{false};
   const std::uint64_t id_;  // unique per instance, keys the thread-local cache
@@ -287,5 +331,10 @@ class LocalMax {
 /// Standard log-spaced bounds for wall-clock duration histograms: 1 µs to
 /// 100 s in decades.
 std::vector<double> duration_bounds();
+
+/// Finer 1-2-5 log-spaced bounds (1 µs to 100 s) for serving-latency
+/// histograms, where quantile() interpolation error must stay small enough
+/// for p50/p99/p99.9 to be meaningful.
+std::vector<double> latency_bounds();
 
 }  // namespace hps::telemetry

@@ -13,16 +13,20 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/serve_ledger.hpp"
 #include "robust/interrupt.hpp"
 #include "robust/ipc.hpp"
 #include "serve/cache.hpp"
 #include "serve/client.hpp"
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
@@ -655,6 +659,253 @@ TEST(ServeDaemon, ShutdownRequestAcksThenDrains) {
   EXPECT_EQ(ack.status, Status::kOk);
   d.runner.join();
   EXPECT_THROW(Client::connect_unix(d.path), hps::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: observability extensions stay backward compatible
+
+TEST(ServeProtocol, StatsV2FieldsRoundTrip) {
+  Stats st;
+  st.requests = 10;
+  st.uptime_ms = 123456;
+  st.ledger_records = 10;
+  st.spans_dropped = 3;
+  const Stats gt = decode_stats(encode_stats(st));
+  EXPECT_EQ(gt.requests, st.requests);
+  EXPECT_EQ(gt.uptime_ms, st.uptime_ms);
+  EXPECT_EQ(gt.ledger_records, st.ledger_records);
+  EXPECT_EQ(gt.spans_dropped, st.spans_dropped);
+  const std::string j = stats_to_json(st);
+  EXPECT_NE(j.find("\"uptime_ms\":123456"), std::string::npos);
+  EXPECT_NE(j.find("\"spans_dropped\":3"), std::string::npos);
+}
+
+TEST(ServeProtocol, V1StatsPayloadStillDecodesWithV2FieldsDefaulted) {
+  Stats st;
+  st.requests = 7;
+  st.cache_hits = 4;
+  st.uptime_ms = 999;       // v2-only — must vanish from a v1 payload
+  st.ledger_records = 888;
+  st.spans_dropped = 777;
+  // Reconstruct what a v1 daemon would have sent: the v2 extension is
+  // *appended*, so drop the three trailing u64s and patch the version word.
+  std::string v1 = encode_stats(st);
+  ASSERT_GT(v1.size(), 3u * 8u);
+  v1.resize(v1.size() - 3 * 8);
+  v1[0] = 1;  // little-endian u32 version: 2 -> 1
+  const Stats gt = decode_stats(v1);
+  EXPECT_EQ(gt.requests, 7u);
+  EXPECT_EQ(gt.cache_hits, 4u);
+  EXPECT_EQ(gt.uptime_ms, 0u);
+  EXPECT_EQ(gt.ledger_records, 0u);
+  EXPECT_EQ(gt.spans_dropped, 0u);
+  // A v1 payload that *kept* the trailing bytes is garbage, not half-valid.
+  std::string v1_trailing = encode_stats(st);
+  v1_trailing[0] = 1;
+  EXPECT_THROW(decode_stats(v1_trailing), hps::Error);
+}
+
+TEST(ServeProtocol, V1RequestPayloadStillDecodesButMayNotClaimMetrics) {
+  Request r = tiny_study(5);
+  std::string v1 = encode_request(r);
+  v1[0] = 1;  // same byte layout in v1; only the version word moved
+  const Request got = decode_request(v1);
+  EXPECT_EQ(got.kind, Request::Kind::kStudy);
+  EXPECT_EQ(got.seed, 5u);
+
+  // kMetrics is a v2 kind: valid in a v2 payload, out of range in v1.
+  Request m;
+  m.kind = Request::Kind::kMetrics;
+  std::string enc = encode_request(m);
+  EXPECT_EQ(decode_request(enc).kind, Request::Kind::kMetrics);
+  enc[0] = 1;
+  EXPECT_THROW(decode_request(enc), hps::Error);
+}
+
+TEST(ServeMetrics, MetricsReplyCodecRoundTrip) {
+  MetricsReply m;
+  m.stats.requests = 5;
+  m.stats.spans_dropped = 2;
+  m.uptime_seconds = 12.5;
+  MetricsReply::Hist h;
+  h.name = std::string(kPhaseMetricPrefix) + "execute";
+  h.data.bounds = {0.001, 0.01, 0.1};
+  h.data.buckets = {1, 2, 3, 0};
+  h.data.count = 6;
+  h.data.sum = 0.123;
+  m.hists.push_back(h);
+  obs::CostCell cell;
+  cell.app_class = "stencil";
+  cell.scheme = "packet";
+  cell.count = 4;
+  cell.wall_seconds = 0.25;
+  m.costs.push_back(cell);
+
+  const MetricsReply got = decode_metrics(encode_metrics(m));
+  EXPECT_EQ(got.stats.requests, 5u);
+  EXPECT_EQ(got.stats.spans_dropped, 2u);
+  EXPECT_DOUBLE_EQ(got.uptime_seconds, 12.5);
+  ASSERT_EQ(got.hists.size(), 1u);
+  EXPECT_EQ(got.hists[0].name, h.name);
+  EXPECT_EQ(got.hists[0].data.bounds, h.data.bounds);
+  EXPECT_EQ(got.hists[0].data.buckets, h.data.buckets);
+  EXPECT_EQ(got.hists[0].data.count, 6u);
+  EXPECT_DOUBLE_EQ(got.hists[0].data.sum, 0.123);
+  ASSERT_EQ(got.costs.size(), 1u);
+  EXPECT_EQ(got.costs[0].app_class, "stencil");
+  EXPECT_EQ(got.costs[0].scheme, "packet");
+  EXPECT_EQ(got.costs[0].count, 4u);
+  EXPECT_DOUBLE_EQ(got.costs[0].wall_seconds, 0.25);
+  ASSERT_NE(got.find(h.name), nullptr);
+  EXPECT_EQ(got.find("no.such.metric"), nullptr);
+
+  const std::string enc = encode_metrics(m);
+  EXPECT_THROW(decode_metrics(enc.substr(0, enc.size() - 5)), hps::Error);
+  EXPECT_THROW(decode_metrics(enc + "z"), hps::Error);
+  EXPECT_THROW(decode_metrics(""), hps::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Live observability: kMetrics, serve ledger, tracing neutrality
+
+TEST(ServeMetrics, LiveDaemonServesPhaseHistogramsAndCosts) {
+  DaemonFixture d(DaemonFixture::small());
+  Client c = Client::connect_unix(d.path);
+  ASSERT_EQ(c.study(tiny_study(71)).summary.status, Status::kOk);       // miss
+  ASSERT_TRUE(c.study(tiny_study(71)).summary.cache_hit);               // hit
+
+  const MetricsReply m = c.metrics();
+  EXPECT_EQ(m.stats.requests, 2u);
+  EXPECT_EQ(m.stats.cache_hits, 1u);
+  EXPECT_GT(m.uptime_seconds, 0.0);
+
+  // Every request passes decode/clamp/cache_lookup/stream; only the computed
+  // one passes queue_wait/execute/cache_insert.
+  const auto count_of = [&](const std::string& name) -> std::uint64_t {
+    const MetricsReply::Hist* h = m.find(name);
+    return h ? h->data.count : 0;
+  };
+  EXPECT_EQ(count_of(kRequestMetric), 2u);
+  EXPECT_EQ(count_of(std::string(kPhaseMetricPrefix) + "decode"), 2u);
+  EXPECT_EQ(count_of(std::string(kPhaseMetricPrefix) + "cache_lookup"), 2u);
+  EXPECT_EQ(count_of(std::string(kPhaseMetricPrefix) + "stream"), 2u);
+  EXPECT_EQ(count_of(std::string(kPhaseMetricPrefix) + "execute"), 1u);
+  EXPECT_EQ(count_of(std::string(kPhaseMetricPrefix) + "cache_insert"), 1u);
+  // The computed study populates per-class latency and the cost model.
+  bool saw_class_hist = false;
+  for (const auto& h : m.hists)
+    if (h.name.rfind(kClassMetricPrefix, 0) == 0 && h.data.count > 0) saw_class_hist = true;
+  EXPECT_TRUE(saw_class_hist);
+  ASSERT_FALSE(m.costs.empty());
+  for (const auto& cell : m.costs) {
+    EXPECT_FALSE(cell.app_class.empty());
+    EXPECT_FALSE(cell.scheme.empty());
+    EXPECT_GT(cell.count, 0u);
+  }
+
+  // The Prometheus rendering carries the counter families and histograms.
+  const std::string prom = render_prometheus(m);
+  EXPECT_NE(prom.find("# TYPE hpcsweepd_requests_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("hpcsweepd_requests_total 2"), std::string::npos);
+  EXPECT_NE(prom.find("hpcsweepd_phase_latency_seconds_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("{phase=\"execute\""), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  // Dashboard rendering is exercised for crash-freedom and headline counters.
+  const std::string dash = render_dashboard(m, nullptr, 2.0);
+  EXPECT_NE(dash.find("hpcsweepd"), std::string::npos);
+}
+
+TEST(ServeLedger, OneRecordPerRequestPhasesTileAndCostFooterOnDrain) {
+  const std::string stem = "/tmp/hps_serve_obs_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++);
+  const std::string ledger_path = stem + ".jsonl";
+  const std::string trace_path = stem + ".trace.json";
+  {
+    ServerOptions o = DaemonFixture::small();
+    o.serve_ledger_path = ledger_path;
+    o.trace_path = trace_path;
+    DaemonFixture d(std::move(o));
+    Client c = Client::connect_unix(d.path);
+    ASSERT_EQ(c.study(tiny_study(81)).summary.status, Status::kOk);   // computed
+    ASSERT_TRUE(c.study(tiny_study(81)).summary.cache_hit);           // hit
+    ASSERT_EQ(c.study(tiny_study(82)).summary.status, Status::kOk);   // computed
+    EXPECT_EQ(c.stats().ledger_records, 3u);
+  }  // fixture dtor drains: cost footer + Chrome trace written here
+
+  const obs::ServeLedger led = obs::load_serve_ledger(ledger_path);
+  ASSERT_EQ(led.requests.size(), 3u);
+  std::set<std::uint64_t> ids;
+  for (const obs::ServeRecord& rec : led.requests) {
+    EXPECT_EQ(rec.schema, obs::kServeSchemaVersion);
+    EXPECT_NE(rec.trace_id, 0u);
+    ids.insert(rec.trace_id);
+    EXPECT_EQ(rec.status, "ok");
+    EXPECT_FALSE(rec.app_classes.empty());
+    EXPECT_GT(rec.total_ns, 0);
+    // Acceptance bar: per-phase durations tile the request within 1%.
+    std::int64_t phase_sum = 0;
+    for (const auto& [name, ns] : rec.phases) {
+      EXPECT_GE(ns, 0) << name;
+      phase_sum += ns;
+    }
+    EXPECT_NEAR(static_cast<double>(phase_sum), static_cast<double>(rec.total_ns),
+                static_cast<double>(rec.total_ns) * 0.01);
+  }
+  EXPECT_EQ(ids.size(), 3u);  // trace ids are unique per request
+  EXPECT_FALSE(led.requests[0].cache_hit);
+  EXPECT_TRUE(led.requests[1].cache_hit);
+  EXPECT_FALSE(led.requests[2].cache_hit);
+
+  // Drain appended the measured-cost footer for the two computed studies.
+  ASSERT_FALSE(led.costs.empty());
+  double wall_total = 0;
+  for (const obs::CostCell& cell : led.costs) wall_total += cell.wall_seconds;
+  EXPECT_GT(wall_total, 0.0);
+
+  // The Chrome trace landed too, with trace-id-tagged request spans.
+  std::ifstream tf(trace_path);
+  ASSERT_TRUE(tf.good());
+  std::string trace((std::istreambuf_iterator<char>(tf)), std::istreambuf_iterator<char>());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"trace_id\""), std::string::npos);
+  EXPECT_NE(trace.find("\"request\""), std::string::npos);
+
+  std::remove(ledger_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(ServeDaemon, TracingOnOrOffPredictionsAreIdentical) {
+  // The trace id must never leak into study results or cache keys: a daemon
+  // with full tracing enabled streams the same records (modulo the measured
+  // wall_seconds timing field) as one with tracing off.
+  const std::string stem = "/tmp/hps_serve_trc_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++);
+  Client::StudyReply plain, traced;
+  {
+    DaemonFixture d(DaemonFixture::small());
+    Client c = Client::connect_unix(d.path);
+    plain = c.study(tiny_study(91));
+  }
+  {
+    ServerOptions o = DaemonFixture::small();
+    o.serve_ledger_path = stem + ".jsonl";
+    o.trace_path = stem + ".trace.json";
+    DaemonFixture d(std::move(o));
+    Client c = Client::connect_unix(d.path);
+    traced = c.study(tiny_study(91));
+  }
+  ASSERT_EQ(plain.summary.status, Status::kOk);
+  ASSERT_EQ(traced.summary.status, Status::kOk);
+  const auto strip_wall = [](std::string line) {
+    const std::size_t at = line.find(",\"wall_seconds\":");
+    if (at != std::string::npos) line.resize(at);
+    return line;
+  };
+  ASSERT_EQ(traced.records.size(), plain.records.size());
+  for (std::size_t i = 0; i < plain.records.size(); ++i)
+    EXPECT_EQ(strip_wall(traced.records[i]), strip_wall(plain.records[i]));
+  std::remove((stem + ".jsonl").c_str());
+  std::remove((stem + ".trace.json").c_str());
 }
 
 }  // namespace

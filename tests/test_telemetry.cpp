@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -153,6 +155,179 @@ TEST(ScopedTimer, ObservesElapsedSeconds) {
   ASSERT_NE(m, nullptr);
   EXPECT_EQ(m->hist.count, 1u);
   EXPECT_GE(m->hist.sum, 0.0);
+}
+
+// --- Histogram quantiles ---------------------------------------------------
+
+TEST(HistogramQuantile, EmptySingleAndOverflowEdgeCases) {
+  HistogramData h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram one = reg.histogram("one", {1.0, 10.0});
+  one.observe(4.0);
+  const Snapshot snap1 = reg.snapshot();
+  const MetricValue* m = snap1.find("one");
+  ASSERT_NE(m, nullptr);
+  // One sample in (1,10]: every quantile interpolates inside that bucket.
+  for (const double q : {0.0, 0.5, 0.999, 1.0}) {
+    const double v = m->hist.quantile(q);
+    EXPECT_GE(v, 1.0) << q;
+    EXPECT_LE(v, 10.0) << q;
+  }
+
+  Histogram over = reg.histogram("over", {1.0, 10.0});
+  over.observe(5000.0);  // lands in the overflow bucket
+  const Snapshot snap2 = reg.snapshot();
+  const MetricValue* mo = snap2.find("over");
+  ASSERT_NE(mo, nullptr);
+  // The overflow bucket has no upper bound; quantile reports its lower bound
+  // rather than inventing one.
+  EXPECT_DOUBLE_EQ(mo->hist.quantile(0.99), 10.0);
+}
+
+TEST(HistogramQuantile, CrossShardMergeMatchesSingleThreadedFill) {
+  // The same observations spread across 4 threads (4 shards) must merge to
+  // the same histogram — and hence the same quantiles — as one thread doing
+  // all the work.
+  const std::vector<double> bounds = latency_bounds();
+  std::vector<double> values;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 4000; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    // Log-uniform-ish across the microsecond..second range the bounds cover.
+    const double exp = static_cast<double>((rng >> 33) % 6000) / 1000.0;  // [0,6)
+    values.push_back(1e-6 * std::pow(10.0, exp));
+  }
+
+  Registry solo;
+  solo.set_enabled(true);
+  Histogram hs = solo.histogram("lat", bounds);
+  for (const double v : values) hs.observe(v);
+
+  Registry sharded;
+  sharded.set_enabled(true);
+  Histogram hp = sharded.histogram("lat", bounds);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t)
+    pool.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < values.size(); i += 4)
+        hp.observe(values[i]);
+    });
+  for (auto& t : pool) t.join();
+
+  const Snapshot snap_solo = solo.snapshot();
+  const Snapshot snap_sharded = sharded.snapshot();
+  const MetricValue* a = snap_solo.find("lat");
+  const MetricValue* b = snap_sharded.find("lat");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->hist.count, values.size());
+  EXPECT_EQ(b->hist.count, values.size());
+  EXPECT_EQ(a->hist.buckets, b->hist.buckets);
+  EXPECT_NEAR(a->hist.sum, b->hist.sum, 1e-9 * a->hist.sum);
+  for (const double q : {0.5, 0.9, 0.99, 0.999})
+    EXPECT_DOUBLE_EQ(a->hist.quantile(q), b->hist.quantile(q)) << q;
+}
+
+TEST(HistogramQuantile, RandomizedDifferentialAgainstSortedVectorOracle) {
+  // Histogram quantiles are bucket-interpolated; their error is bounded by
+  // the width of the bucket holding the true quantile. Check p50/p99/p99.9
+  // against a sorted-vector oracle over deterministic pseudo-random data.
+  const std::vector<double> bounds = latency_bounds();
+  std::uint64_t rng = 42;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<double> values;
+    const int n = 500 + round * 700;
+    for (int i = 0; i < n; ++i) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const double exp = static_cast<double>((rng >> 33) % 7000) / 1000.0;  // [0,7)
+      values.push_back(2e-6 * std::pow(10.0, exp));
+    }
+
+    Registry reg;
+    reg.set_enabled(true);
+    Histogram h = reg.histogram("lat", bounds);
+    for (const double v : values) h.observe(v);
+    const Snapshot snap = reg.snapshot();
+    const MetricValue* m = snap.find("lat");
+    ASSERT_NE(m, nullptr);
+
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double q : {0.5, 0.99, 0.999}) {
+      const double oracle =
+          sorted[std::min(sorted.size() - 1,
+                          static_cast<std::size_t>(q * static_cast<double>(sorted.size())))];
+      // The bucket containing the oracle value bounds the estimate.
+      std::size_t bi = 0;
+      while (bi < bounds.size() && oracle > bounds[bi]) ++bi;
+      const double lo = bi == 0 ? 0.0 : bounds[bi - 1];
+      const double hi = bi < bounds.size() ? bounds[bi] : bounds.back();
+      const double est = m->hist.quantile(q);
+      EXPECT_GE(est, lo) << "round " << round << " q " << q;
+      EXPECT_LE(est, hi) << "round " << round << " q " << q;
+    }
+  }
+}
+
+// --- Span ring buffer and trace ids ----------------------------------------
+
+TEST(SpanRing, BoundedStorageDropsOldestAndCountsDrops) {
+  Registry reg;
+  reg.set_tracing(true);
+  reg.set_span_capacity(8);
+  EXPECT_EQ(reg.span_capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    SpanRecord s;
+    s.name = "s";
+    s.name += std::to_string(i);
+    s.cat = "test";
+    reg.record_span(std::move(s));
+  }
+  const auto spans = reg.spans();
+  ASSERT_EQ(spans.size(), 8u);        // bounded, not 20
+  EXPECT_EQ(reg.spans_dropped(), 12u);
+  // The ring keeps the *newest* spans in insertion order.
+  for (int i = 0; i < 8; ++i) {
+    const std::string want = "s" + std::to_string(12 + i);
+    EXPECT_EQ(spans[static_cast<std::size_t>(i)].name, want);
+  }
+  reg.reset_values();
+  EXPECT_EQ(reg.spans_dropped(), 0u);
+  EXPECT_TRUE(reg.spans().empty());
+}
+
+TEST(SpanRing, RecordSpanIsNoOpUnlessTracing) {
+  Registry reg;
+  SpanRecord s;
+  s.name = "dropped";
+  reg.record_span(std::move(s));
+  EXPECT_TRUE(reg.spans().empty());
+  EXPECT_EQ(reg.spans_dropped(), 0u);
+}
+
+TEST(TraceId, ScopeSetsNestsAndRestores) {
+  EXPECT_EQ(current_trace_id(), 0u);
+  {
+    TraceIdScope outer(7);
+    EXPECT_EQ(current_trace_id(), 7u);
+    {
+      TraceIdScope inner(9);
+      EXPECT_EQ(current_trace_id(), 9u);
+    }
+    EXPECT_EQ(current_trace_id(), 7u);
+
+    // Spans born inside the scope inherit the id.
+    Registry reg;
+    reg.set_tracing(true);
+    { Span s(reg, "tagged", "test"); }
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].trace_id, 7u);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
 }
 
 // --- Exporters -------------------------------------------------------------

@@ -11,17 +11,25 @@
 //   check     alias for diff (reads naturally in CI: `inspect check golden new`)
 //   serve     run hpcsweepd: the prediction daemon (docs/serving.md)
 //   request   client for a running hpcsweepd (study / ping / stats / shutdown)
+//   metrics   scrape a running hpcsweepd as Prometheus text exposition
+//   watch     live terminal dashboard over a running hpcsweepd
+//   cost      measured-cost model per (trace class x scheme), from a serve
+//             ledger or a live daemon
 //
 // Exit codes: 0 success / no divergence, 1 divergence or runtime error,
 // 2 usage error, 3 request rejected by the daemon (backpressure / draining /
 // bad request), 75 study interrupted by SIGINT/SIGTERM (resumable).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/error.hpp"
 #include "core/runner.hpp"
@@ -30,9 +38,11 @@
 #include "mfact/classify.hpp"
 #include "obs/inspect.hpp"
 #include "obs/ledger.hpp"
+#include "obs/serve_ledger.hpp"
 #include "obs/timeline.hpp"
 #include "robust/interrupt.hpp"
 #include "serve/client.hpp"
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "simmpi/replayer.hpp"
@@ -98,6 +108,7 @@ int usage() {
       "      [--retries R] [--rss-limit-mb M] [--watchdog SECONDS]\n"
       "      [--max-duration-scale X] [--max-limit N]\n"
       "      [--deadline S] [--max-events N] [--horizon-ns N]\n"
+      "      [--serve-ledger <path>] [--trace-out <path>]\n"
       "      Run hpcsweepd: accept study requests over the Unix socket (and\n"
       "      127.0.0.1:PORT with --tcp), execute them on up to --dispatchers\n"
       "      concurrent study runners (thread pools, or supervised worker\n"
@@ -106,6 +117,10 @@ int usage() {
       "      beyond --queue pending studies (or --max-conns connections)\n"
       "      with explicit backpressure.\n"
       "      The budget flags are *ceilings* clamped onto every request.\n"
+      "      --serve-ledger appends one JSON-lines record per request (trace\n"
+      "      id, disposition, per-phase wall latency) plus a cost-model footer\n"
+      "      on drain; --trace-out writes the per-request span timeline as\n"
+      "      Chrome trace JSON on drain.\n"
       "      SIGINT/SIGTERM drains gracefully; shutdown requests are only\n"
       "      honored on the Unix socket. See docs/serving.md.\n"
       "\n"
@@ -116,7 +131,24 @@ int usage() {
       "      Send one request to a running hpcsweepd and stream the reply;\n"
       "      --out appends the returned ledger records to a file. Exits 0 on\n"
       "      success, 1 degraded/error, 3 rejected (queue full / draining /\n"
-      "      bad request), 75 when the daemon was interrupted mid-study.\n");
+      "      bad request), 75 when the daemon was interrupted mid-study.\n"
+      "\n"
+      "  metrics --socket <path> | --tcp-host H --tcp-port P\n"
+      "      One live-metrics scrape of a running hpcsweepd, rendered as\n"
+      "      Prometheus text exposition (0.0.4): request counters, cache and\n"
+      "      queue gauges, per-phase / per-trace-class latency histograms,\n"
+      "      and the measured-cost totals.\n"
+      "\n"
+      "  watch --socket <path> | --tcp-host H --tcp-port P\n"
+      "      [--interval SECONDS] [--iterations N]\n"
+      "      Live terminal dashboard: qps, in-flight/queued studies, cache\n"
+      "      hit ratio, rejects, and p50/p99/p99.9 per serving phase,\n"
+      "      refreshed every --interval (default 2) seconds. --iterations 0\n"
+      "      (the default) runs until interrupted.\n"
+      "\n"
+      "  cost <serve-ledger.jsonl> | --socket <path> | --tcp-host H --tcp-port P\n"
+      "      Measured-cost model: wall seconds per (MFACT trace class x\n"
+      "      scheme), from a serve ledger's drain footer or a live daemon.\n");
   return 2;
 }
 
@@ -165,6 +197,10 @@ struct Flags {
   bool ping = false;
   bool stats = false;
   bool shutdown = false;
+  std::string serve_ledger;
+  std::string trace_out;
+  double interval = 2.0;
+  int iterations = 0;  ///< watch: 0 = until interrupted
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
@@ -247,6 +283,14 @@ Flags parse_flags(int argc, char** argv, int first) {
       f.stats = true;
     } else if (want(a, "--shutdown")) {
       f.shutdown = true;
+    } else if (want(a, "--serve-ledger")) {
+      f.serve_ledger = next();
+    } else if (want(a, "--trace-out")) {
+      f.trace_out = next();
+    } else if (want(a, "--interval")) {
+      f.interval = std::atof(next());
+    } else if (want(a, "--iterations")) {
+      f.iterations = std::atoi(next());
     } else if (want(a, "--tolerance")) {
       f.diff.tolerance = std::atof(next());
     } else if (want(a, "--wall-tolerance")) {
@@ -430,6 +474,8 @@ int cmd_serve(const Flags& f) {
   so.max_wall_deadline_s = f.deadline;
   so.max_des_events = f.max_events;
   so.max_virtual_horizon_ns = f.horizon_ns;
+  so.serve_ledger_path = f.serve_ledger;
+  so.trace_path = f.trace_out;
 
   serve::Server server(std::move(so));
   std::printf("hpcsweepd: listening on %s", f.socket_path.c_str());
@@ -513,6 +559,70 @@ int cmd_request(const Flags& f) {
   return 1;
 }
 
+serve::Client connect_client(const Flags& f) {
+  return f.socket_path.empty() ? serve::Client::connect_tcp(f.tcp_host, f.tcp_port)
+                               : serve::Client::connect_unix(f.socket_path);
+}
+
+int cmd_metrics(const Flags& f) {
+  if (f.socket_path.empty() && f.tcp_host.empty()) {
+    std::fprintf(stderr, "metrics: --socket <path> or --tcp-host/--tcp-port required\n");
+    return 2;
+  }
+  serve::Client client = connect_client(f);
+  std::fputs(serve::render_prometheus(client.metrics()).c_str(), stdout);
+  return 0;
+}
+
+int cmd_watch(const Flags& f) {
+  if (f.socket_path.empty() && f.tcp_host.empty()) {
+    std::fprintf(stderr, "watch: --socket <path> or --tcp-host/--tcp-port required\n");
+    return 2;
+  }
+  const double interval = f.interval > 0 ? f.interval : 2.0;
+  serve::Client client = connect_client(f);
+  serve::MetricsReply prev;
+  bool have_prev = false;
+  const bool tty = ::isatty(STDOUT_FILENO) == 1;
+  for (int i = 0; f.iterations <= 0 || i < f.iterations; ++i) {
+    if (i > 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(interval * 1000)));
+    const serve::MetricsReply m = client.metrics();
+    if (tty) std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home, like watch(1)
+    std::fputs(serve::render_dashboard(m, have_prev ? &prev : nullptr, interval).c_str(),
+               stdout);
+    std::fflush(stdout);
+    prev = m;
+    have_prev = true;
+  }
+  return 0;
+}
+
+int cmd_cost(const Flags& f) {
+  std::vector<obs::CostCell> cells;
+  if (!f.positional.empty()) {
+    cells = obs::load_serve_ledger(f.positional[0]).costs;
+  } else if (!f.socket_path.empty() || !f.tcp_host.empty()) {
+    cells = connect_client(f).metrics().costs;
+  } else {
+    std::fprintf(stderr,
+                 "cost: expected <serve-ledger.jsonl> or --socket/--tcp-host\n");
+    return 2;
+  }
+  if (cells.empty()) {
+    std::printf("no cost cells (no study computed yet)\n");
+    return 0;
+  }
+  std::printf("%-22s %-12s %8s %14s %14s\n", "class", "scheme", "runs", "wall-total-s",
+              "mean-s");
+  for (const obs::CostCell& c : cells)
+    std::printf("%-22s %-12s %8llu %14.6f %14.6f\n", c.app_class.c_str(),
+                c.scheme.c_str(), static_cast<unsigned long long>(c.count),
+                c.wall_seconds, c.mean_seconds());
+  return 0;
+}
+
 int cmd_diff(const Flags& f) {
   if (f.positional.size() != 2) {
     std::fprintf(stderr, "diff: expected <before.jsonl> <after.jsonl>\n");
@@ -540,6 +650,9 @@ int main(int argc, char** argv) {
     if (want(cmd, "diff") || want(cmd, "check")) return cmd_diff(f);
     if (want(cmd, "serve")) return cmd_serve(f);
     if (want(cmd, "request")) return cmd_request(f);
+    if (want(cmd, "metrics")) return cmd_metrics(f);
+    if (want(cmd, "watch")) return cmd_watch(f);
+    if (want(cmd, "cost")) return cmd_cost(f);
   } catch (const hps::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
