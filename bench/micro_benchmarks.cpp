@@ -164,6 +164,79 @@ void BM_FlowRipple(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowRipple)->Arg(256)->Arg(2048);
 
+// --- Max-min solver: full re-solve vs incremental component churn. ----------
+// BM_MaxMinSolveFull dirties every constraint each iteration, forcing the
+// whole-system water-fill the retired ripple performed on every rate update.
+// BM_MaxMinSolveIncremental replaces one flow per iteration, the steady-state
+// pattern of a running simulation, so each solve re-rates only the dirty
+// component. Routes stay inside 8-link blocks (a sparse traffic pattern —
+// neighbor exchanges, clustered collectives), keeping the sharing graph in
+// many small components; the throughput gap between the two fixtures is the
+// component-locality win. With all-to-all routes the graph collapses into
+// one component and the gap vanishes by construction — locality is a
+// property of the traffic, not of the solver.
+constexpr int kMaxMinLinks = 256;
+constexpr int kMaxMinBlock = 8;
+
+void maxmin_add_clustered(simnet::maxmin::System& sys, Rng& rng,
+                          std::vector<simnet::maxmin::VarId>& ids) {
+  const auto base = static_cast<int>(rng.uniform_u64(kMaxMinLinks / kMaxMinBlock)) *
+                    kMaxMinBlock;
+  const auto v = sys.add_variable(1.25);
+  for (int h = 0; h < 3; ++h)
+    sys.attach(v, static_cast<simnet::maxmin::ConsId>(
+                      base + static_cast<int>(rng.uniform_u64(kMaxMinBlock))));
+  sys.admit(v);
+  ids.push_back(v);
+}
+
+void maxmin_populate(simnet::maxmin::System& sys, Rng& rng, int flows,
+                     std::vector<simnet::maxmin::VarId>& ids) {
+  for (int l = 0; l < kMaxMinLinks; ++l) sys.add_constraint(12.5);
+  for (int i = 0; i < flows; ++i) maxmin_add_clustered(sys, rng, ids);
+  sys.solve();
+}
+
+void BM_MaxMinSolveFull(benchmark::State& state) {
+  Rng rng(11);
+  simnet::maxmin::System sys;
+  std::vector<simnet::maxmin::VarId> ids;
+  maxmin_populate(sys, rng, static_cast<int>(state.range(0)), ids);
+  std::uint64_t touched = 0;
+  for (auto _ : state) {
+    for (int l = 0; l < kMaxMinLinks; ++l)
+      sys.set_capacity(static_cast<simnet::maxmin::ConsId>(l), 12.5);
+    sys.solve();
+    touched += sys.touched_constraints();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["touched"] = benchmark::Counter(
+      static_cast<double>(touched), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MaxMinSolveFull)->Arg(256)->Arg(2048);
+
+void BM_MaxMinSolveIncremental(benchmark::State& state) {
+  Rng rng(11);
+  simnet::maxmin::System sys;
+  std::vector<simnet::maxmin::VarId> ids;
+  maxmin_populate(sys, rng, static_cast<int>(state.range(0)), ids);
+  std::size_t victim = 0;
+  std::uint64_t touched = 0;
+  for (auto _ : state) {
+    sys.retire(ids[victim]);
+    maxmin_add_clustered(sys, rng, ids);  // appends the replacement id
+    ids[victim] = ids.back();
+    ids.pop_back();
+    victim = (victim + 1) % ids.size();
+    sys.solve();
+    touched += sys.touched_constraints();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["touched"] = benchmark::Counter(
+      static_cast<double>(touched), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MaxMinSolveIncremental)->Arg(256)->Arg(2048);
+
 // --- MFACT: trace events per second and multi-config scaling. ---------------
 void BM_MfactReplay(benchmark::State& state) {
   workloads::GenParams gp;

@@ -61,14 +61,6 @@ void Engine::flush_telemetry() {
   }
 }
 
-void Engine::schedule_at(SimTime t, Handler* h, std::uint64_t a, std::uint64_t b) {
-  HPS_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  HPS_CHECK(h != nullptr);
-  queue_.push(t, h, a, b);
-  max_queue_depth_.record(queue_.size());
-  events_scheduled_.add();
-}
-
 void Engine::schedule_fn_at(SimTime t, std::function<void()> fn) {
   if (!fn_handler_) fn_handler_ = std::make_unique<FnHandler>(*this);
   std::size_t idx;

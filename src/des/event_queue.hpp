@@ -68,12 +68,17 @@ class EventQueue {
   void clear();
 
  private:
-  // Ordering predicate: true if `x` fires after `y`. Used directly for the
-  // std::*_heap family (max-heap on "fires later" == min-heap on fire order)
-  // and for the descending in-bucket sort (earliest at the back).
-  static bool later(const QueuedEvent& x, const QueuedEvent& y) {
-    return x.t > y.t || (x.t == y.t && x.seq > y.seq);
-  }
+  // Ordering predicate: true if `x` fires after `y`. A stateless functor
+  // rather than a static member function so std::sort / the std::*_heap
+  // family (max-heap on "fires later" == min-heap on fire order) inline the
+  // comparison instead of calling through a function pointer — the compare
+  // runs tens of times per popped event in the in-bucket sorts.
+  struct Later {
+    bool operator()(const QueuedEvent& x, const QueuedEvent& y) const {
+      return x.t > y.t || (x.t == y.t && x.seq > y.seq);
+    }
+  };
+  static constexpr Later later{};
 
   void heap_push(QueuedEvent ev);
   QueuedEvent heap_pop();

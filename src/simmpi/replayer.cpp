@@ -260,11 +260,31 @@ std::int64_t Replayer::new_coll_req(RankState& st) {
   return req;
 }
 
+std::uint32_t Replayer::match_of(const detail::MatchKey& key) {
+  // The mapped value is slot + 1, so the map's value-initialized zero means
+  // "no record yet" and the find-or-insert stays a single probe.
+  std::uint32_t& mapped = match_slot_[key];
+  if (mapped == 0) {
+    std::uint32_t slot;
+    if (!match_free_.empty()) {
+      slot = match_free_.back();
+      match_free_.pop_back();
+      match_pool_[slot] = MatchState{};
+    } else {
+      slot = static_cast<std::uint32_t>(match_pool_.size());
+      match_pool_.emplace_back();
+    }
+    mapped = slot + 1;
+  }
+  return mapped - 1;
+}
+
 void Replayer::do_send(Rank r, RankState& st, Rank dst, Tag tag, std::uint64_t bytes,
                        bool blocking, std::int64_t req) {
   const std::uint32_t seq = st.send_seq[stream_key(dst, tag)]++;
   const detail::MatchKey key{r, dst, tag, seq};
-  MatchState& ms = matches_[key];
+  const std::uint32_t slot = match_of(key);
+  MatchState& ms = match_pool_[slot];
   ms.send_bytes = bytes;
   if (bytes <= cfg_.eager_threshold) {
     // Eager: the payload leaves immediately; the send completes locally.
@@ -272,13 +292,13 @@ void Replayer::do_send(Rank r, RankState& st, Rank dst, Tag tag, std::uint64_t b
     if (obs::TimelineRecorder* rec = eng_.recorder())
       rec->record(r, obs::IntervalKind::kSend, eng_.now(),
                   eng_.now() + machine_.software_overhead(), bytes);
-    inject(MsgKind::kEagerData, key, r, dst, bytes);
+    inject(MsgKind::kEagerData, key, slot, r, dst, bytes);
     if (req >= 0) complete_request(r, req);
   } else {
     // Rendezvous: request-to-send now; data travels after the CTS arrives.
     rdv_sends_.add();
     ms.is_rdv = true;
-    inject(MsgKind::kRts, key, r, dst, 0);
+    inject(MsgKind::kRts, key, slot, r, dst, 0);
     if (blocking) {
       begin_block(st, Block::kSendRdv);
     } else {
@@ -291,22 +311,23 @@ void Replayer::do_recv(Rank r, RankState& st, Rank src, Tag tag, bool blocking,
                        std::int64_t req) {
   const std::uint32_t seq = st.recv_seq[stream_key(src, tag)]++;
   const detail::MatchKey key{src, r, tag, seq};
-  MatchState& ms = matches_[key];
+  const std::uint32_t slot = match_of(key);
+  MatchState& ms = match_pool_[slot];
   ms.recv_posted = true;
   ms.recv_blocking = blocking;
   ms.recv_req = req;
   if (ms.data_delivered) {
     // The message was waiting in the unexpected queue; consume it now.
     complete_recv(key, ms);
-    maybe_erase(key);
+    maybe_erase(key, slot, ms);
     return;
   }
-  if (ms.is_rdv && ms.rts_arrived && !ms.cts_sent) send_cts(key);
+  if (ms.is_rdv && ms.rts_arrived && !ms.cts_sent) send_cts(key, slot);
   if (blocking) begin_block(st, Block::kRecv);
 }
 
-void Replayer::inject(MsgKind kind, const detail::MatchKey& key, Rank from, Rank to,
-                      std::uint64_t bytes) {
+void Replayer::inject(MsgKind kind, const detail::MatchKey& key, std::uint32_t slot,
+                      Rank from, Rank to, std::uint64_t bytes) {
   std::uint32_t id;
   if (!msg_free_.empty()) {
     id = msg_free_.back();
@@ -315,42 +336,42 @@ void Replayer::inject(MsgKind kind, const detail::MatchKey& key, Rank from, Rank
     msg_pool_.emplace_back();
     id = static_cast<std::uint32_t>(msg_pool_.size() - 1);
   }
-  msg_pool_[id] = {kind, key};
+  msg_pool_[id] = {kind, key, slot};
   net_->inject(id, node_of(from), node_of(to), bytes);
 }
 
-void Replayer::send_cts(const detail::MatchKey& key) {
-  MatchState& ms = matches_.at(key);
-  ms.cts_sent = true;
-  inject(MsgKind::kCts, key, key.dst, key.src, 0);
+void Replayer::send_cts(const detail::MatchKey& key, std::uint32_t slot) {
+  match_pool_[slot].cts_sent = true;
+  inject(MsgKind::kCts, key, slot, key.dst, key.src, 0);
 }
 
 void Replayer::message_delivered(simnet::MsgId id, SimTime /*at*/) {
   const MsgRec rec = msg_pool_[static_cast<std::size_t>(id)];
   msg_free_.push_back(static_cast<std::uint32_t>(id));
-  MatchState* found = matches_.find(rec.key);
-  HPS_CHECK_MSG(found != nullptr, "delivery for unknown match record");
-  MatchState& ms = *found;
+  // The record is reached through the slot carried by the message itself;
+  // records outlive every message in flight for them (see match_slot_), so
+  // no lookup — and no existence check — is needed here.
+  MatchState& ms = match_pool_[rec.slot];
   switch (rec.kind) {
     case MsgKind::kRts:
       ms.is_rdv = true;
       ms.rts_arrived = true;
-      if (ms.recv_posted && !ms.cts_sent) send_cts(rec.key);
+      if (ms.recv_posted && !ms.cts_sent) send_cts(rec.key, rec.slot);
       break;
     case MsgKind::kCts:
       // Arrived back at the sender: ship the payload.
-      inject(MsgKind::kRdvData, rec.key, rec.key.src, rec.key.dst, ms.send_bytes);
+      inject(MsgKind::kRdvData, rec.key, rec.slot, rec.key.src, rec.key.dst, ms.send_bytes);
       break;
     case MsgKind::kEagerData:
       ms.data_delivered = true;
       if (ms.recv_posted && !ms.recv_done) complete_recv(rec.key, ms);
-      maybe_erase(rec.key);
+      maybe_erase(rec.key, rec.slot, ms);
       break;
     case MsgKind::kRdvData:
       ms.data_delivered = true;
       complete_rdv_sender(rec.key, ms);
       if (ms.recv_posted && !ms.recv_done) complete_recv(rec.key, ms);
-      maybe_erase(rec.key);
+      maybe_erase(rec.key, rec.slot, ms);
       break;
   }
 }
@@ -401,10 +422,14 @@ void Replayer::complete_request(Rank r, std::int64_t req) {
   }
 }
 
-void Replayer::maybe_erase(const detail::MatchKey& key) {
-  const MatchState* ms = matches_.find(key);
-  if (ms == nullptr) return;
-  if (ms->recv_done && ms->sender_done && ms->data_delivered) matches_.erase(key);
+void Replayer::maybe_erase(const detail::MatchKey& key, std::uint32_t slot,
+                           const MatchState& ms) {
+  // Only a fully completed record pays the erase probe; its slot goes back
+  // on the free list for the next match_of().
+  if (ms.recv_done && ms.sender_done && ms.data_delivered) {
+    match_slot_.erase(key);
+    match_free_.push_back(slot);
+  }
 }
 
 void Replayer::begin_collective(Rank r, RankState& st, const trace::Event& e) {

@@ -159,6 +159,7 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
   struct MsgRec {
     MsgKind kind = MsgKind::kEagerData;
     detail::MatchKey key;
+    std::uint32_t slot = 0;  // index into match_pool_; skips the hash probe
   };
 
   struct RankState {
@@ -211,13 +212,15 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
   bool do_wait(Rank r, RankState& st, std::int64_t req);
   void begin_collective(Rank r, RankState& st, const trace::Event& e);
 
-  void inject(MsgKind kind, const detail::MatchKey& key, Rank from, Rank to,
-              std::uint64_t bytes);
-  void send_cts(const detail::MatchKey& key);
+  void inject(MsgKind kind, const detail::MatchKey& key, std::uint32_t slot, Rank from,
+              Rank to, std::uint64_t bytes);
+  void send_cts(const detail::MatchKey& key, std::uint32_t slot);
   void complete_request(Rank r, std::int64_t req);
   void complete_recv(const detail::MatchKey& key, MatchState& st);
   void complete_rdv_sender(const detail::MatchKey& key, MatchState& st);
-  void maybe_erase(const detail::MatchKey& key);
+  /// Find-or-create the match record for `key`; returns its match_pool_ slot.
+  std::uint32_t match_of(const detail::MatchKey& key);
+  void maybe_erase(const detail::MatchKey& key, std::uint32_t slot, const MatchState& ms);
   /// Enter a blocked state, stamping the block start for component
   /// attribution. All five block sites go through here.
   void begin_block(RankState& st, Block b, std::int64_t req = -1);
@@ -250,7 +253,15 @@ class Replayer final : public simnet::MessageSink, private des::Handler {
   std::unique_ptr<simnet::NetworkModel> net_;
 
   std::vector<RankState> ranks_;
-  FlatMap<detail::MatchKey, MatchState, detail::MatchKeyHash> matches_;
+  // Match records live in a recycled pool; the map only resolves key -> slot
+  // (stored as slot + 1 so the map's value-initialized state means "new").
+  // In-flight network messages carry the slot in their MsgRec, so a delivery
+  // reaches its record with no hash probe at all. A record is erased only
+  // when both sides and the data are done, so no in-flight message can
+  // outlive its slot.
+  FlatMap<detail::MatchKey, std::uint32_t, detail::MatchKeyHash> match_slot_;
+  std::vector<MatchState> match_pool_;
+  std::vector<std::uint32_t> match_free_;
   std::vector<MsgRec> msg_pool_;
   std::vector<std::uint32_t> msg_free_;
 

@@ -20,20 +20,21 @@ constexpr double Bps_to_Bpns(Bandwidth b) { return b * 1e-9; }
 FlowModel::FlowModel(des::Engine& eng, const topo::Topology& topo, NetConfig cfg,
                      MessageSink& sink)
     : NetworkModel(eng, topo, cfg, sink) {
-  const std::size_t total_links =
-      static_cast<std::size_t>(topo.num_links()) + 2 * static_cast<std::size_t>(topo.num_nodes());
-  link_residual_.resize(total_links, 0.0);
-  link_unfrozen_.resize(total_links, 0);
-  link_flows_.resize(total_links);
-  link_dirty_.resize(total_links, 0);
-  link_visited_.resize(total_links, 0);
+  const double fabric = Bps_to_Bpns(cfg_.link_bandwidth);
+  const double nic = Bps_to_Bpns(cfg_.injection_bandwidth);
+  for (LinkId l = 0; l < topo.num_links(); ++l) sys_.add_constraint(fabric);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) sys_.add_constraint(nic);  // injection
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) sys_.add_constraint(nic);  // ejection
+  if (cfg_.message_bandwidth > 0) pace_bound_ = Bps_to_Bpns(cfg_.message_bandwidth);
 }
 
 void FlowModel::free_flow(std::uint32_t idx) {
   Flow& f = flows_[idx];
   f.route.clear();
   f.active = false;
-  ++f.epoch;  // kills this slot's link_flows_ entries
+  // Release the solver variable and the flow slot back to back: both pools
+  // recycle LIFO, which keeps slot == VarId in lockstep.
+  sys_.retire(idx);
   flows_.release(idx);
 }
 
@@ -43,37 +44,23 @@ void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
   ++stats_.messages;
   stats_.bytes += bytes;
 
-  topo_.route(src, dst, route_scratch_, id);
-  account_route(route_scratch_, bytes);
-  const SimTime latency = path_latency(static_cast<int>(route_scratch_.size()));
-
   const std::uint32_t fidx = flows_.alloc();
+  const maxmin::VarId v = sys_.add_variable(pace_bound_);
+  HPS_CHECK(v == fidx);
+  if (remaining_.size() <= fidx) {
+    remaining_.resize(fidx + 1, 0.0);
+    last_update_.resize(fidx + 1, 0);
+  }
   Flow& f = flows_[fidx];
   f.id = id;
-  f.remaining = static_cast<double>(bytes);
-  f.rate = 0;
-  f.last_update = eng_.now();
-  f.tail_latency = latency;
+  topo_.route(src, dst, f.route, id);  // routed in place: no scratch copy
+  account_route(f.route, bytes);
+  f.tail_latency = path_latency(static_cast<int>(f.route.size()));
   f.starved_since = -1;
   ++f.gen;
   f.active = true;
-  f.route = route_scratch_;
-  f.route.push_back(injection_link(src));
-  f.route.push_back(ejection_link(dst));
-  if (cfg_.message_bandwidth > 0) {
-    // Per-flow pacing: a private pseudo-link of capacity message_bandwidth
-    // caps this flow at the Hockney rate inside the max-min computation.
-    const LinkId pace = pacing_link(fidx);
-    const auto need = static_cast<std::size_t>(pace) + 1;
-    if (link_residual_.size() < need) {
-      link_residual_.resize(need, 0.0);
-      link_unfrozen_.resize(need, 0);
-      link_flows_.resize(need);
-      link_dirty_.resize(need, 0);
-      link_visited_.resize(need, 0);
-    }
-    f.route.push_back(pace);
-  }
+  remaining_[fidx] = static_cast<double>(bytes);
+  last_update_[fidx] = eng_.now();
 
   if (!f.listed) {
     active_.push_back(fidx);
@@ -83,30 +70,23 @@ void FlowModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) {
   stats_.max_active = std::max<std::uint64_t>(stats_.max_active, active_count_);
 
   if (bytes == 0) {
-    // Pure-latency message; no fluid to drain and no link-list membership.
+    // Pure-latency message; no fluid to drain and no sharing-graph membership.
     complete_flow(fidx);
     return;
   }
-  for (const LinkId l : f.route) {
-    link_flows_[static_cast<std::size_t>(l)].push_back({fidx, f.epoch});
-    mark_link_dirty(l);
-  }
-  f.in_lists = true;
+  for (const LinkId l : f.route) sys_.attach(v, static_cast<maxmin::ConsId>(l));
+  sys_.attach(v, injection_cons(src));
+  sys_.attach(v, ejection_cons(dst));
+  sys_.admit(v);
+  f.in_solver = true;
   mark_dirty();
-}
-
-void FlowModel::mark_link_dirty(LinkId l) {
-  const auto li = static_cast<std::size_t>(l);
-  if (link_dirty_[li]) return;
-  link_dirty_[li] = 1;
-  dirty_links_.push_back(l);
 }
 
 void FlowModel::mark_dirty() {
   if (dirty_scheduled_) return;
   dirty_scheduled_ = true;
-  // Batched ripple: all changes inside the update window share one
-  // recompute. Never schedule before the previous recompute's interval has
+  // Batched admission: all flow add/remove events inside the update window
+  // share one solve. Never schedule before the previous solve's interval has
   // elapsed, so staggered completions cannot force per-event passes.
   const SimTime earliest = last_recompute_ + cfg_.flow_update_interval;
   eng_.schedule_at(std::max(eng_.now(), earliest), this, kRecompute, 0);
@@ -123,9 +103,15 @@ void FlowModel::handle(des::Engine&, std::uint64_t a, std::uint64_t b) {
       const auto gen = static_cast<std::uint32_t>(b);
       Flow& f = flows_[fidx];
       if (!f.active || f.gen != gen) return;  // superseded by a rate change
-      advance_flow(f, eng_.now());
+      const SimTime now = eng_.now();
+      const double rate = sys_.rate(fidx);
+      if (now > last_update_[fidx] && rate > 0) {
+        remaining_[fidx] -= rate * static_cast<double>(now - last_update_[fidx]);
+        if (remaining_[fidx] < 0) remaining_[fidx] = 0;
+      }
+      last_update_[fidx] = now;
       // Guard against floating-point residue: anything below one byte is done.
-      if (f.remaining <= 1.0) {
+      if (remaining_[fidx] <= 1.0) {
         complete_flow(fidx);
         mark_dirty();
       } else {
@@ -138,19 +124,12 @@ void FlowModel::handle(des::Engine&, std::uint64_t a, std::uint64_t b) {
   }
 }
 
-void FlowModel::advance_flow(Flow& f, SimTime now) {
-  if (now > f.last_update && f.rate > 0) {
-    f.remaining -= f.rate * static_cast<double>(now - f.last_update);
-    if (f.remaining < 0) f.remaining = 0;
-  }
-  f.last_update = now;
-}
-
 void FlowModel::schedule_completion(std::uint32_t fidx) {
   Flow& f = flows_[fidx];
   ++f.gen;
-  if (f.rate <= 0) return;  // starved; a later recompute will reschedule
-  const double ns = f.remaining / f.rate;
+  const double rate = sys_.rate(fidx);
+  if (rate <= 0) return;  // starved; a later solve will reschedule
+  const double ns = remaining_[fidx] / rate;
   const SimTime when = eng_.now() + std::max<SimTime>(1, static_cast<SimTime>(std::ceil(ns)));
   eng_.schedule_at(when, this, kFlowDone, pack(fidx, f.gen));
 }
@@ -165,12 +144,9 @@ void FlowModel::complete_flow(std::uint32_t fidx) {
   // Completion notification arrives after the fixed path latency.
   if (!notify_) notify_ = std::make_unique<Notify>(sink_);
   eng_.schedule_in(latency, notify_.get(), id, 0);
-  // The departing flow's links must be re-rated; its link-list entries die
-  // with the epoch bump in free_flow and are swept on the next visit.
-  if (f.in_lists) {
-    for (const LinkId l : f.route) mark_link_dirty(l);
-    f.in_lists = false;
-  }
+  // The departing flow's constraints must be re-rated; retiring the variable
+  // (inside free_flow) unlinks its memberships and marks them dirty.
+  f.in_solver = false;
   // Compact the active list lazily during recompute; here just drop the slot.
   free_flow(fidx);
 }
@@ -182,7 +158,7 @@ void FlowModel::recompute_rates() {
 
   // Compact the active index list and settle all byte counts to `now` (every
   // pass, so `remaining` follows the same piecewise drain regardless of
-  // which flows the incremental ripple re-rates).
+  // which flows the incremental solve re-rates).
   active_.erase(std::remove_if(active_.begin(), active_.end(),
                                [&](std::uint32_t i) {
                                  if (flows_[i].active) return false;
@@ -190,116 +166,30 @@ void FlowModel::recompute_rates() {
                                  return true;
                                }),
                 active_.end());
-  for (const std::uint32_t i : active_) advance_flow(flows_[i], now);
-
-  // Affected-component walk: starting from the dirty links, flood the
-  // flow–link sharing graph. Every flow on a visited link is re-rated and
-  // pulls the rest of its route into the visit set, so the walk closes over
-  // exactly the connected component(s) whose membership changed; dead
-  // entries (epoch mismatch) are swept out of each visited list in passing.
-  // Flows outside the component share no link with a re-rated flow, and
-  // max-min allocation decomposes over components, so their rates stand.
-  std::vector<double>& old_rates = rate_scratch_;
-  affected_.clear();
-  old_rates.clear();
-  used_links_.clear();
-  visit_stack_.swap(dirty_links_);
-  dirty_links_.clear();
-  for (const LinkId l : visit_stack_) link_dirty_[static_cast<std::size_t>(l)] = 0;
-  while (!visit_stack_.empty()) {
-    const LinkId l = visit_stack_.back();
-    visit_stack_.pop_back();
-    const auto li = static_cast<std::size_t>(l);
-    if (link_visited_[li]) continue;
-    link_visited_[li] = 1;
-    used_links_.push_back(l);
-    auto& lf = link_flows_[li];
-    lf.erase(std::remove_if(lf.begin(), lf.end(),
-                            [&](const LinkEntry& e) {
-                              return flows_[e.flow].epoch != e.epoch || !flows_[e.flow].active;
-                            }),
-             lf.end());
-    for (const LinkEntry& e : lf) {
-      Flow& f = flows_[e.flow];
-      if (f.rate < 0) continue;  // already collected this pass
-      affected_.push_back(e.flow);
-      old_rates.push_back(f.rate);
-      f.rate = -1.0;  // -1 marks unfrozen
-      for (const LinkId rl : f.route)
-        if (!link_visited_[static_cast<std::size_t>(rl)]) visit_stack_.push_back(rl);
+  const double* rates = sys_.rates();
+  for (const std::uint32_t i : active_) {
+    if (now > last_update_[i] && rates[i] > 0) {
+      remaining_[i] -= rates[i] * static_cast<double>(now - last_update_[i]);
+      if (remaining_[i] < 0) remaining_[i] = 0;
     }
+    last_update_[i] = now;
   }
 
-  // Water-filling max-min fair allocation over the affected component,
-  // driven by a lazy min-heap of link fair shares: pop the candidate
-  // bottleneck, re-validate its share (links touched since the push are
-  // stale), and freeze its flows. O((L + F*h) log L) in the component size
-  // instead of the naive O(L * bottlenecks) scan over every active flow.
-  const double old_rate_epsilon = 1e-15;
-  std::vector<HeapEntry>& heap = heap_scratch_;
-  heap.clear();
-  const auto heap_after = [](const HeapEntry& x, const HeapEntry& y) {
-    return x.share > y.share;
-  };
-  const auto heap_push = [&](HeapEntry e) {
-    heap.push_back(e);
-    std::push_heap(heap.begin(), heap.end(), heap_after);
-  };
-  const auto heap_pop = [&] {
-    std::pop_heap(heap.begin(), heap.end(), heap_after);
-    const HeapEntry e = heap.back();
-    heap.pop_back();
-    return e;
-  };
-  auto share_of = [&](LinkId l) {
-    const auto li = static_cast<std::size_t>(l);
-    return link_residual_[li] / static_cast<double>(link_unfrozen_[li]);
-  };
-  for (const LinkId l : used_links_) {
-    const auto li = static_cast<std::size_t>(l);
-    if (link_flows_[li].empty()) continue;  // dirty but deserted (all swept)
-    link_residual_[li] = Bps_to_Bpns(link_capacity(l));
-    link_unfrozen_[li] = static_cast<std::int32_t>(link_flows_[li].size());
-    heap_push({share_of(l), l});
-  }
+  // Re-rate the affected component(s); see simnet/maxmin/system.hpp for the
+  // walk and the water-filling.
+  sys_.solve();
+  stats_.ripple_iterations += sys_.touched_constraints();
 
-  std::size_t unfrozen = affected_.size();
-  while (unfrozen > 0) {
-    HPS_CHECK_MSG(!heap.empty(), "water-filling ran out of bottleneck candidates");
-    const HeapEntry top = heap_pop();
-    const auto li = static_cast<std::size_t>(top.link);
-    if (link_unfrozen_[li] <= 0) continue;  // fully frozen since pushed
-    const double share = share_of(top.link);
-    if (share > top.share + old_rate_epsilon) {
-      heap_push({share, top.link});  // stale entry: re-insert with fresh share
-      continue;
-    }
-    const double best_share = std::max(share, 0.0);
-    // Freeze every unfrozen flow crossing the bottleneck at the fair share.
-    for (const LinkEntry& e : link_flows_[li]) {
-      Flow& f = flows_[e.flow];
-      if (f.rate >= 0) continue;
-      f.rate = best_share;
-      --unfrozen;
-      ++stats_.ripple_iterations;
-      for (const LinkId l : f.route) {
-        const auto lj = static_cast<std::size_t>(l);
-        link_residual_[lj] -= best_share;
-        if (link_residual_[lj] < 0) link_residual_[lj] = 0;
-        --link_unfrozen_[lj];
-        // Touched links get a fresh heap entry; stale ones are skipped above.
-        if (link_unfrozen_[lj] > 0 && l != top.link) heap_push({share_of(l), l});
-      }
-    }
-  }
+  const std::vector<maxmin::VarId>& collected = sys_.collected();
+  const std::vector<double>& old_rates = sys_.old_rates();
 
   // Starvation accounting: a flow the water-filling left at rate zero is
   // stalled by contention. Count the stall once, when it ends, and record
   // the interval on the flow's first fabric link. Only re-rated flows can
   // transition.
-  for (const std::uint32_t i : affected_) {
+  for (const std::uint32_t i : collected) {
     Flow& f = flows_[i];
-    if (f.rate <= 0) {
+    if (rates[i] <= 0) {
       if (f.starved_since < 0) f.starved_since = now;
     } else if (f.starved_since >= 0) {
       ++stats_.queue_events;
@@ -307,21 +197,18 @@ void FlowModel::recompute_rates() {
         const LinkId first = f.route.empty() ? 0 : f.route.front();
         rec->record(obs::kLinkTrackBase + static_cast<std::int32_t>(first),
                     obs::IntervalKind::kNetStall, f.starved_since, now,
-                    static_cast<std::uint64_t>(f.remaining));
+                    static_cast<std::uint64_t>(remaining_[i]));
       }
       f.starved_since = -1;
     }
   }
 
-  // Reset visit flags (the entry lists persist) and reschedule completions
-  // only for flows whose rate changed: an unchanged rate means the
-  // previously scheduled completion instant is still correct.
-  for (const LinkId l : used_links_) link_visited_[static_cast<std::size_t>(l)] = 0;
-  for (std::size_t idx = 0; idx < affected_.size(); ++idx) {
-    const std::uint32_t i = affected_[idx];
+  // Reschedule completions only for flows whose rate changed: an unchanged
+  // rate means the previously scheduled completion instant is still correct.
+  for (std::size_t idx = 0; idx < collected.size(); ++idx) {
+    const std::uint32_t i = collected[idx];
     const double old_rate = old_rates[idx];
-    if (old_rate > 0 &&
-        std::fabs(flows_[i].rate - old_rate) <= old_rate * 1e-12) {
+    if (old_rate > 0 && std::fabs(rates[i] - old_rate) <= old_rate * 1e-12) {
       continue;  // same rate: the pending completion event stands
     }
     schedule_completion(i);

@@ -4,25 +4,33 @@
 // link bandwidth max-min fairly. Whenever the set of active flows changes,
 // every affected rate must be recomputed and every completion event
 // re-estimated — the "ripple effect" of the paper's §II-A. Recomputations at
-// the same simulated instant are batched (one water-filling pass per
-// timestamp), the standard optimization for fluid simulators; the
-// `rate_updates` stat counts the passes actually performed.
+// the same simulated instant are batched (one solver pass per timestamp),
+// the standard optimization for fluid simulators; the `rate_updates` stat
+// counts the passes actually performed.
 //
-// The ripple is incremental: links whose flow set changed are marked dirty,
-// and a recompute re-rates only the connected component of the flow–link
-// sharing graph reachable from the dirty links. Max-min fairness decomposes
-// over components (disjoint components share no capacity), so flows outside
-// the affected component provably keep their rates and their pending
-// completion events stand. `ripple_iterations` therefore counts only the
-// flows actually re-rated by each pass.
+// The bandwidth sharing itself lives in the maxmin::System subsystem
+// (simnet/maxmin/system.hpp): fabric links and injection/ejection NICs are
+// its constraints, flows are its variables, and the per-flow Hockney pacing
+// cap is a variable bound. Flow add/remove events inside one update window
+// are admitted as a batch, and a solve re-rates only the connected
+// component(s) of the flow–link sharing graph reachable from the modified
+// constraints — max-min fairness decomposes over components (disjoint
+// components share no capacity), so flows outside the affected component
+// provably keep their rates and their pending completion events stand.
+// `ripple_iterations` counts the constraints each solve touches (bounded by
+// the affected component's size, not the total flow count). The solver's
+// design and its measured cost model are documented in docs/performance.md
+// ("The max-min bandwidth-sharing solver").
 //
-// Injection and ejection NICs are modeled as pseudo-links with the machine's
-// injection bandwidth so a node cannot source or sink faster than its NIC.
+// Injection and ejection NICs are modeled as solver constraints with the
+// machine's injection bandwidth so a node cannot source or sink faster than
+// its NIC.
 #pragma once
 
 #include <vector>
 
 #include "common/pool.hpp"
+#include "simnet/maxmin/system.hpp"
 #include "simnet/network.hpp"
 
 namespace hps::simnet {
@@ -40,53 +48,39 @@ class FlowModel final : public NetworkModel, private des::Handler {
  private:
   enum : std::uint64_t { kRecompute = 0, kFlowDone = 1 };
 
+  /// Cold per-flow state. The hot byte-accounting lanes (remaining bytes,
+  /// last settlement time) live in SoA vectors indexed by the flow slot, and
+  /// the rate lives in the solver; the slot doubles as the solver VarId
+  /// (both pools recycle indices LIFO in lockstep).
   struct Flow {
     MsgId id = 0;
-    double remaining = 0;  // bytes
-    double rate = 0;       // bytes per ns
-    SimTime last_update = 0;
-    SimTime tail_latency = 0;  // fixed path latency added at completion
+    SimTime tail_latency = 0;    // fixed path latency added at completion
     SimTime starved_since = -1;  // start of a zero-rate interval, -1 if fed
-    std::uint32_t gen = 0;     // invalidates superseded completion events
-    std::uint32_t epoch = 0;   // bumped on slot release; validates link-list
-                               // entries left behind by a finished flow
+    std::uint32_t gen = 0;       // invalidates superseded completion events
     bool active = false;
     bool listed = false;  // has an entry in active_ (entries outlive the flow
                           // until the next recompute compaction; a recycled
                           // slot inherits its live entry)
-    bool in_lists = false;  // has entries in link_flows_ (zero-byte flows
-                            // complete inside inject and never enter them)
-    std::vector<LinkId> route;  // topo links + injection/ejection pseudo-links
-  };
-  /// One flow's membership on one link; dead once the slot's epoch moves on.
-  struct LinkEntry {
-    std::uint32_t flow = 0;
-    std::uint32_t epoch = 0;
-  };
-  struct HeapEntry {
-    double share;
-    LinkId link;
+    bool in_solver = false;  // admitted into the sharing graph (zero-byte
+                             // flows complete inside inject and never are)
+    std::vector<LinkId> route;  // fabric links, for byte accounting and
+                                // stall attribution
   };
 
   void handle(des::Engine& eng, std::uint64_t a, std::uint64_t b) override;
   void mark_dirty();
-  void mark_link_dirty(LinkId l);
   void recompute_rates();
-  void advance_flow(Flow& f, SimTime now);
   void schedule_completion(std::uint32_t fidx);
   void complete_flow(std::uint32_t fidx);
   void free_flow(std::uint32_t idx);
 
-  LinkId injection_link(NodeId n) const { return topo_.num_links() + n; }
-  LinkId ejection_link(NodeId n) const { return topo_.num_links() + topo_.num_nodes() + n; }
-  /// Per-flow pacing pseudo-link (only used when message_bandwidth > 0).
-  LinkId pacing_link(std::uint32_t flow_idx) const {
-    return topo_.num_links() + 2 * topo_.num_nodes() + static_cast<LinkId>(flow_idx);
+  /// Solver constraint ids: fabric links map 1:1, then one injection and one
+  /// ejection NIC constraint per node.
+  maxmin::ConsId injection_cons(NodeId n) const {
+    return static_cast<maxmin::ConsId>(topo_.num_links() + n);
   }
-  Bandwidth link_capacity(LinkId l) const {
-    if (l < topo_.num_links()) return cfg_.link_bandwidth;
-    if (l < topo_.num_links() + 2 * topo_.num_nodes()) return cfg_.injection_bandwidth;
-    return cfg_.message_bandwidth;
+  maxmin::ConsId ejection_cons(NodeId n) const {
+    return static_cast<maxmin::ConsId>(topo_.num_links() + topo_.num_nodes() + n);
   }
 
   /// Delivers the sink notification after the fixed path latency.
@@ -102,30 +96,18 @@ class FlowModel final : public NetworkModel, private des::Handler {
   };
   std::unique_ptr<Notify> notify_;
 
+  maxmin::System sys_;
+  double pace_bound_ = 0;  // Hockney cap in bytes/ns; 0 disables pacing
+
   IndexPool<Flow> flows_;
+  // Hot SoA lanes, indexed by flow slot (sized with the pool).
+  std::vector<double> remaining_;     // bytes
+  std::vector<SimTime> last_update_;  // last byte-settlement instant
+
   std::vector<std::uint32_t> active_;  // indices of active flows
   std::size_t active_count_ = 0;
   bool dirty_scheduled_ = false;
   SimTime last_recompute_ = 0;
-  std::vector<LinkId> route_scratch_;
-
-  // Persistent flow–link sharing graph: per-link entries are appended at
-  // inject and invalidated by epoch at completion; dead entries are swept
-  // out when the incremental ripple visits the (necessarily dirty) link.
-  std::vector<std::vector<LinkEntry>> link_flows_;
-  std::vector<std::uint8_t> link_dirty_;
-  std::vector<LinkId> dirty_links_;
-
-  // Scratch buffers for the affected-component walk and water-filling,
-  // persisted to avoid reallocation.
-  std::vector<double> link_residual_;
-  std::vector<std::int32_t> link_unfrozen_;
-  std::vector<std::uint8_t> link_visited_;
-  std::vector<LinkId> visit_stack_;
-  std::vector<LinkId> used_links_;           // visited links, for flag reset
-  std::vector<std::uint32_t> affected_;      // flows re-rated this pass
-  std::vector<double> rate_scratch_;  // previous rates, for reschedule skips
-  std::vector<HeapEntry> heap_scratch_;
 };
 
 }  // namespace hps::simnet

@@ -1,0 +1,309 @@
+#include "simnet/maxmin/system.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hps::simnet::maxmin {
+
+namespace {
+/// Stale-entry tolerance of the lazy heap: a popped candidate whose live
+/// share grew past its recorded share by more than this is re-advertised
+/// instead of frozen. Shares only grow during a fill, so staleness is
+/// one-sided and the comparison is safe.
+constexpr double kStaleEpsilon = 1e-15;
+}  // namespace
+
+ConsId System::add_constraint(double capacity) {
+  const ConsId c = static_cast<ConsId>(cons_capacity_.size());
+  cons_capacity_.push_back(capacity);
+  cons_residual_.push_back(0.0);
+  cons_unfrozen_.push_back(0);
+  cons_size_.push_back(0);
+  cons_dirty_.push_back(0);
+  cons_visited_.push_back(0);
+  cons_head_.push_back(kNil);
+  cons_tail_.push_back(kNil);
+  return c;
+}
+
+void System::set_capacity(ConsId c, double capacity) {
+  cons_capacity_[c] = capacity;
+  mark_cons_dirty(c);
+}
+
+VarId System::add_variable(double bound) {
+  VarId v;
+  if (!var_free_.empty()) {
+    v = var_free_.back();
+    var_free_.pop_back();
+  } else {
+    v = static_cast<VarId>(var_rate_.size());
+    var_rate_.push_back(0.0);
+    var_bound_.push_back(0.0);
+    var_head_.push_back(kNil);
+    var_tail_.push_back(kNil);
+    var_live_.push_back(0);
+    var_admitted_.push_back(0);
+    station_dirty_.push_back(0);
+    station_visited_.push_back(0);
+  }
+  var_rate_[v] = 0.0;
+  var_bound_[v] = bound;
+  var_head_[v] = kNil;
+  var_tail_[v] = kNil;
+  var_live_[v] = 1;
+  var_admitted_[v] = 0;
+  ++live_vars_;
+  return v;
+}
+
+void System::attach(VarId v, ConsId c) {
+  HPS_CHECK(var_live_[v] && !var_admitted_[v]);
+  std::uint32_t e;
+  if (!elem_free_.empty()) {
+    e = elem_free_.back();
+    elem_free_.pop_back();
+  } else {
+    e = static_cast<std::uint32_t>(elems_.size());
+    elems_.emplace_back();
+  }
+  Elem& el = elems_[e];
+  el.var = v;
+  el.cons = c;
+
+  el.next_in_var = kNil;
+  if (var_tail_[v] == kNil)
+    var_head_[v] = e;
+  else
+    elems_[var_tail_[v]].next_in_var = e;
+  var_tail_[v] = e;
+
+  el.next_in_cons = kNil;
+  el.prev_in_cons = cons_tail_[c];
+  if (cons_tail_[c] == kNil)
+    cons_head_[c] = e;
+  else
+    elems_[cons_tail_[c]].next_in_cons = e;
+  cons_tail_[c] = e;
+  ++cons_size_[c];
+}
+
+void System::mark_cons_dirty(ConsId c) {
+  if (cons_dirty_[c]) return;
+  cons_dirty_[c] = 1;
+  dirty_.push_back(c);
+}
+
+void System::mark_station_dirty(VarId v) {
+  if (station_dirty_[v]) return;
+  station_dirty_[v] = 1;
+  dirty_.push_back(v | kVarFlag);
+}
+
+void System::admit(VarId v) {
+  HPS_CHECK(var_live_[v] && !var_admitted_[v]);
+  HPS_CHECK_MSG(var_head_[v] != kNil || var_bound_[v] > 0,
+                "a variable with no constraints and no bound has no finite fair rate");
+  var_admitted_[v] = 1;
+  for (std::uint32_t e = var_head_[v]; e != kNil; e = elems_[e].next_in_var)
+    mark_cons_dirty(elems_[e].cons);
+  if (var_bound_[v] > 0) mark_station_dirty(v);
+}
+
+void System::retire(VarId v) {
+  HPS_CHECK(var_live_[v]);
+  if (var_admitted_[v]) {
+    for (std::uint32_t e = var_head_[v]; e != kNil;) {
+      const Elem& el = elems_[e];
+      const ConsId c = el.cons;
+      mark_cons_dirty(c);
+      if (el.prev_in_cons == kNil)
+        cons_head_[c] = el.next_in_cons;
+      else
+        elems_[el.prev_in_cons].next_in_cons = el.next_in_cons;
+      if (el.next_in_cons == kNil)
+        cons_tail_[c] = el.prev_in_cons;
+      else
+        elems_[el.next_in_cons].prev_in_cons = el.prev_in_cons;
+      --cons_size_[c];
+      const std::uint32_t dead = e;
+      e = el.next_in_var;
+      elem_free_.push_back(dead);
+    }
+    if (var_bound_[v] > 0) mark_station_dirty(v);
+  } else {
+    HPS_CHECK_MSG(var_head_[v] == kNil, "retiring an attached but never-admitted variable");
+  }
+  var_head_[v] = kNil;
+  var_tail_[v] = kNil;
+  var_live_[v] = 0;
+  var_admitted_[v] = 0;
+  --live_vars_;
+  var_free_.push_back(v);
+}
+
+void System::set_bound(VarId v, double bound) {
+  HPS_CHECK(var_live_[v]);
+  if (var_admitted_[v])
+    HPS_CHECK_MSG(var_head_[v] != kNil || bound > 0,
+                  "unbounding a constraint-less variable would give it an infinite rate");
+  var_bound_[v] = bound;
+  if (var_admitted_[v]) {
+    for (std::uint32_t e = var_head_[v]; e != kNil; e = elems_[e].next_in_var)
+      mark_cons_dirty(elems_[e].cons);
+    // The station is the collection trigger even when the new bound is
+    // "unbounded": it pulls the variable's component into the re-solve.
+    mark_station_dirty(v);
+  }
+}
+
+void System::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& x, const HeapEntry& y) { return x.share > y.share; });
+}
+
+System::HeapEntry System::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const HeapEntry& x, const HeapEntry& y) { return x.share > y.share; });
+  const HeapEntry e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+void System::collect(VarId v) {
+  collected_.push_back(v);
+  old_rates_.push_back(var_rate_[v]);
+  var_rate_[v] = -1.0;  // marks "collected, awaiting freeze"
+  for (std::uint32_t e = var_head_[v]; e != kNil; e = elems_[e].next_in_var) {
+    const ConsId c = elems_[e].cons;
+    if (!cons_visited_[c]) visit_stack_.push_back(c);
+  }
+  // The bound station rides the visit stack after the constraints, where a
+  // materialized private constraint (appended last to the route) would sit.
+  if (var_bound_[v] > 0 && !station_visited_[v]) visit_stack_.push_back(v | kVarFlag);
+}
+
+void System::solve() {
+  collected_.clear();
+  old_rates_.clear();
+  touched_constraints_ = 0;
+  if (dirty_.empty()) return;
+  ++solves_;
+
+  // Affected-component walk: flood the variable–constraint sharing graph
+  // from the dirty set. Every variable on a visited constraint is collected
+  // for re-rating and pulls the rest of its memberships into the visit set,
+  // closing over exactly the component(s) whose membership or capacity
+  // changed. LIFO order and list iteration order are part of the
+  // determinism contract (see the header).
+  visit_stack_.swap(dirty_);
+  dirty_.clear();
+  used_.clear();
+  for (const std::uint32_t key : visit_stack_) {
+    if (key & kVarFlag)
+      station_dirty_[key & ~kVarFlag] = 0;
+    else
+      cons_dirty_[key] = 0;
+  }
+  while (!visit_stack_.empty()) {
+    const std::uint32_t key = visit_stack_.back();
+    visit_stack_.pop_back();
+    if (key & kVarFlag) {
+      const VarId v = key & ~kVarFlag;
+      if (station_visited_[v]) continue;
+      station_visited_[v] = 1;
+      used_.push_back(key);
+      // The station's only tenant is the slot's live admitted variable (a
+      // retired tenant left nothing behind; a recycled slot hosts its new
+      // one).
+      if (var_live_[v] && var_admitted_[v] && var_rate_[v] >= 0) collect(v);
+    } else {
+      const ConsId c = key;
+      if (cons_visited_[c]) continue;
+      cons_visited_[c] = 1;
+      ++touched_constraints_;
+      used_.push_back(c);
+      for (std::uint32_t e = cons_head_[c]; e != kNil; e = elems_[e].next_in_cons) {
+        const VarId v = elems_[e].var;
+        if (var_rate_[v] < 0) continue;  // already collected this pass
+        collect(v);
+      }
+    }
+  }
+
+  // Seed the candidate heap in visit order: every used constraint starts
+  // with its full capacity split over its (all unfrozen) members; every
+  // used station advertises its variable's bound (a private constraint of
+  // that capacity with one member).
+  heap_.clear();
+  for (const std::uint32_t key : used_) {
+    if (key & kVarFlag) {
+      const VarId v = key & ~kVarFlag;
+      if (var_live_[v] && var_admitted_[v] && var_bound_[v] > 0)
+        heap_push({var_bound_[v], key});
+    } else {
+      const ConsId c = key;
+      if (cons_size_[c] == 0) continue;  // dirty but deserted
+      cons_residual_[c] = cons_capacity_[c];
+      cons_unfrozen_[c] = cons_size_[c];
+      heap_push({share_of(c), c});
+    }
+  }
+
+  // Progressive water-filling: pop the candidate bottleneck, re-validate its
+  // share against the live residual, freeze every unfrozen variable crossing
+  // it at the fair share and drain that share from the rest of their routes.
+  std::size_t unfrozen_total = collected_.size();
+  while (unfrozen_total > 0) {
+    HPS_CHECK_MSG(!heap_.empty(), "water-filling ran out of bottleneck candidates");
+    const HeapEntry top = heap_pop();
+    if (top.key & kVarFlag) {
+      const VarId v = top.key & ~kVarFlag;
+      if (var_rate_[v] < 0) {
+        // Still unfrozen, so the station is untouched and its share is the
+        // bound exactly; freeze the variable at it.
+        freeze(v, std::max(var_bound_[v], 0.0), top.key);
+        --unfrozen_total;
+      }
+    } else {
+      const ConsId c = top.key;
+      if (cons_unfrozen_[c] <= 0) continue;  // fully frozen since pushed
+      const double share = share_of(c);
+      if (share > top.share + kStaleEpsilon) {
+        heap_push({share, c});  // stale entry: re-advertise the fresh share
+        continue;
+      }
+      const double best = std::max(share, 0.0);
+      for (std::uint32_t e = cons_head_[c]; e != kNil; e = elems_[e].next_in_cons) {
+        const VarId v = elems_[e].var;
+        if (var_rate_[v] >= 0) continue;
+        freeze(v, best, top.key);
+        --unfrozen_total;
+      }
+    }
+  }
+
+  for (const std::uint32_t key : used_) {
+    if (key & kVarFlag)
+      station_visited_[key & ~kVarFlag] = 0;
+    else
+      cons_visited_[key] = 0;
+  }
+}
+
+void System::freeze(VarId v, double rate, std::uint32_t popped_key) {
+  var_rate_[v] = rate;
+  for (std::uint32_t e = var_head_[v]; e != kNil; e = elems_[e].next_in_var) {
+    const ConsId c = elems_[e].cons;
+    cons_residual_[c] -= rate;
+    if (cons_residual_[c] < 0) cons_residual_[c] = 0;
+    --cons_unfrozen_[c];
+    // Touched constraints get a fresh heap entry; stale ones are skipped at
+    // pop time. The popped bottleneck itself is exhausted, not re-advertised.
+    if (cons_unfrozen_[c] > 0 && c != popped_key) heap_push({share_of(c), c});
+  }
+}
+
+}  // namespace hps::simnet::maxmin

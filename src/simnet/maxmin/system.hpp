@@ -1,0 +1,178 @@
+// Incremental max-min fair bandwidth-sharing solver (the SimGrid "surf"
+// linear max-min structure, specialized to equal weights).
+//
+// The system holds *variables* (flows wanting rate) and *constraints* (links
+// with finite capacity), connected by membership *elements* kept in
+// arena-allocated pools with intrusive doubly-linked lists — after warm-up a
+// simulation allocates nothing per flow. A variable may carry a *bound*, the
+// private rate cap a single flow can never exceed (the Hockney per-rank
+// bandwidth); a bound behaves exactly like a private constraint of that
+// capacity shared by nobody else, without materializing one.
+//
+// Changes are admitted in batches: admit()/retire()/set_capacity()/
+// set_bound() only mark the touched constraints dirty, and a later solve()
+// re-rates exactly the connected component(s) of the variable–constraint
+// sharing graph reachable from the dirty set. Max-min allocation decomposes
+// over components (disjoint components share no capacity), so rates outside
+// the dirty components provably keep their values — solve() reports which
+// variables it re-rated and what their previous rates were, so the caller
+// can skip rescheduling completion events whose instant still stands.
+//
+// Within a component the solve is progressive water-filling driven by a lazy
+// min-heap of candidate bottleneck shares: pop the candidate, re-validate
+// its share against the live residual (entries go stale as earlier freezes
+// drain capacity), and freeze every unfrozen variable crossing it at the
+// fair share. Shares only grow as the filling proceeds, so a stale entry is
+// always an underestimate and re-validation is sound.
+//
+// Bounded variables additionally appear in the solve as *stations*: marker
+// entries in the dirty stack, visit order, and candidate heap occupying
+// exactly the slots a materialized private constraint would. This is not
+// cosmetic — the heap breaks ties among equal candidate shares by array
+// layout, and the freeze order among equal shares steers which link's share
+// is recomputed (with its own rounding) versus taken fresh, so heap layout
+// is part of the floating-point contract.
+//
+// Determinism contract: given the same sequence of admit/retire/solve calls,
+// the solver performs the same floating-point operations in the same order,
+// so allocated rates are bit-identical run to run — and bit-identical to a
+// from-scratch water-filling of the full system, which is what
+// tests/test_maxmin.cpp checks against a brute-force oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hps::simnet::maxmin {
+
+using VarId = std::uint32_t;
+using ConsId = std::uint32_t;
+
+class System {
+ public:
+  /// Add a constraint with `capacity` in bytes/ns. Constraints are
+  /// permanent: a simulation's link set does not change.
+  ConsId add_constraint(double capacity);
+
+  /// Change a constraint's capacity (bytes/ns); takes effect at the next
+  /// solve, which re-rates the constraint's component.
+  void set_capacity(ConsId c, double capacity);
+  double capacity(ConsId c) const { return cons_capacity_[c]; }
+
+  /// Add a variable with a private rate cap in bytes/ns (<= 0: unbounded).
+  /// The id is pool-recycled: ids released by retire() are reused LIFO.
+  VarId add_variable(double bound);
+
+  /// Attach `v` to constraint `c`. Attach order is significant: it fixes the
+  /// deterministic traversal order of the incremental solve. Call between
+  /// add_variable() and admit().
+  void attach(VarId v, ConsId c);
+
+  /// Admit the variable into the next solve's batch: marks its constraints
+  /// dirty (in attach order) and queues the variable for (re-)rating. A
+  /// variable with neither constraints nor a positive bound cannot be
+  /// admitted (its fair rate would be unbounded).
+  void admit(VarId v);
+
+  /// Remove the variable and release its id: unlinks every membership in
+  /// O(degree), marking the constraints it used dirty (in attach order).
+  void retire(VarId v);
+
+  /// Change a variable's bound; takes effect at the next solve.
+  void set_bound(VarId v, double bound);
+  double bound(VarId v) const { return var_bound_[v]; }
+
+  /// Re-rate the connected component(s) reachable from the dirty set.
+  /// No-op when nothing is dirty. After the call, collected()/old_rates()
+  /// describe the variables this solve touched.
+  void solve();
+
+  /// Current allocated rate of `v` (bytes/ns), valid after the last solve.
+  double rate(VarId v) const { return var_rate_[v]; }
+  /// Dense rate array indexed by VarId (for bulk byte-accounting loops).
+  const double* rates() const { return var_rate_.data(); }
+
+  /// Variables re-rated by the last solve, in deterministic collection
+  /// order, and the rates they held before it.
+  const std::vector<VarId>& collected() const { return collected_; }
+  const std::vector<double>& old_rates() const { return old_rates_; }
+
+  /// Constraints visited by the last solve (the affected component's links).
+  std::uint64_t touched_constraints() const { return touched_constraints_; }
+  /// Cumulative count of solve() calls that had work to do.
+  std::uint64_t solves() const { return solves_; }
+
+  std::size_t num_constraints() const { return cons_capacity_.size(); }
+  /// Live (admitted, not retired) variables.
+  std::size_t live_variables() const { return live_vars_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Dirty-stack entries and heap keys tag variables with the top bit; plain
+  /// values are constraint ids.
+  static constexpr std::uint32_t kVarFlag = 0x80000000u;
+
+  struct HeapEntry {
+    double share;
+    std::uint32_t key;  // ConsId, or VarId | kVarFlag for a bound entry
+  };
+
+  void mark_cons_dirty(ConsId c);
+  void mark_station_dirty(VarId v);
+  void collect(VarId v);
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
+  double share_of(ConsId c) const {
+    return cons_residual_[c] / static_cast<double>(cons_unfrozen_[c]);
+  }
+  /// Freeze `v` at `rate`, draining its share from every constraint it
+  /// crosses and re-advertising their candidate shares.
+  void freeze(VarId v, double rate, std::uint32_t popped_key);
+
+  // --- Variable pool (SoA; slots recycled LIFO via var_free_). -------------
+  std::vector<double> var_rate_;        // -1 marks "collected, unfrozen" mid-solve
+  std::vector<double> var_bound_;       // <= 0: unbounded
+  std::vector<std::uint32_t> var_head_; // first element, attach order
+  std::vector<std::uint32_t> var_tail_;
+  std::vector<std::uint8_t> var_live_;      // allocated, not retired
+  std::vector<std::uint8_t> var_admitted_;  // in the sharing graph
+  std::vector<std::uint8_t> station_dirty_;
+  std::vector<std::uint8_t> station_visited_;
+  std::vector<VarId> var_free_;
+  std::size_t live_vars_ = 0;
+
+  // --- Constraint pool (SoA; permanent). -----------------------------------
+  std::vector<double> cons_capacity_;   // bytes/ns
+  std::vector<double> cons_residual_;   // valid only during a solve
+  std::vector<std::int32_t> cons_unfrozen_;
+  std::vector<std::int32_t> cons_size_;   // live membership count
+  std::vector<std::uint8_t> cons_dirty_;
+  std::vector<std::uint8_t> cons_visited_;
+  std::vector<std::uint32_t> cons_head_;  // membership list, insertion order
+  std::vector<std::uint32_t> cons_tail_;
+
+  // --- Element arena: one entry per (variable, constraint) membership. -----
+  // A single struct-of-links (not parallel arrays): list traversal touches
+  // one cache line per element, and traversal is the solver's inner loop.
+  struct Elem {
+    VarId var = 0;
+    ConsId cons = 0;
+    std::uint32_t next_in_var = kNil;
+    std::uint32_t next_in_cons = kNil;
+    std::uint32_t prev_in_cons = kNil;
+  };
+  std::vector<Elem> elems_;
+  std::vector<std::uint32_t> elem_free_;
+
+  // --- Dirty set and solve scratch (persistent to avoid reallocation). -----
+  std::vector<std::uint32_t> dirty_;       // ConsId or VarId|kVarFlag, mark order
+  std::vector<std::uint32_t> visit_stack_;
+  std::vector<ConsId> used_;               // visited constraints, for flag reset
+  std::vector<VarId> collected_;
+  std::vector<double> old_rates_;
+  std::vector<HeapEntry> heap_;
+  std::uint64_t touched_constraints_ = 0;
+  std::uint64_t solves_ = 0;
+};
+
+}  // namespace hps::simnet::maxmin

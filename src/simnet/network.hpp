@@ -66,8 +66,14 @@ struct NetStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t packets = 0;            // packet & packet-flow models
-  std::uint64_t rate_updates = 0;       // flow model ripple recomputations
-  std::uint64_t ripple_iterations = 0;  // flow model: flows frozen across all updates
+  std::uint64_t rate_updates = 0;  // flow model rate recomputation passes
+  // Flow model: constraints (links, NIC injection/ejection ports, bound
+  // stations) the incremental max-min solver visited, summed across all rate
+  // updates. Each solve's contribution is bounded by the size of the dirty
+  // connected component, so this measures how local the re-solves stay —
+  // formerly "flows frozen per ripple", renamed when the water-filling
+  // ripple became the incremental solver (see simnet/maxmin/system.hpp).
+  std::uint64_t ripple_iterations = 0;
   std::uint64_t queue_events = 0;       // stalls: link-queue waits (packet),
                                         // contended hops (packet-flow),
                                         // starved flows (flow)

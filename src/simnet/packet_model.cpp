@@ -32,8 +32,7 @@ void PacketModel::inject(MsgId id, NodeId src, NodeId dst, std::uint64_t bytes) 
   stats_.max_active = std::max<std::uint64_t>(stats_.max_active, msgs_.live());
   MsgState& m = msgs_[midx];
   m.id = id;
-  topo_.route(src, dst, route_scratch_, id);
-  m.route = route_scratch_;
+  topo_.route(src, dst, m.route, id);  // routed in place: no scratch copy
   HPS_CHECK(!m.route.empty());
   account_route(m.route, bytes);
 

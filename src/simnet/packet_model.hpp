@@ -58,7 +58,6 @@ class PacketModel final : public NetworkModel, private des::Handler {
   IndexPool<Packet> packets_;
   std::vector<Link> links_;
   std::vector<SimTime> nic_free_at_;  // per source node injection serialization
-  std::vector<LinkId> route_scratch_;
 };
 
 }  // namespace hps::simnet

@@ -49,7 +49,6 @@ class PacketFlowModel final : public NetworkModel, private des::Handler {
   IndexPool<Packet> packets_;
   std::vector<std::int32_t> link_in_flight_;  // packets currently sharing each link
   std::vector<SimTime> nic_free_at_;
-  std::vector<LinkId> route_scratch_;
 };
 
 }  // namespace hps::simnet

@@ -1,10 +1,13 @@
-// Golden replay: the predicted total and communication times of one NPB
-// trace (CG) and one DOE proxy app (MiniFE) are locked to committed
+// Golden replay: the predicted total and communication times of two NPB
+// traces (CG, MG) and one DOE proxy app (MiniFE) are locked to committed
 // constants for all four schemes. Any hot-path change that shifts virtual
 // time — event ordering, rate arithmetic, pool recycling — fails here
-// immediately, with the offending scheme named. The constants were captured
-// before the calendar-queue/pool/incremental-ripple overhaul and verified
-// unchanged after it.
+// immediately, with the offending scheme named. The CG and MiniFE constants
+// were captured before the calendar-queue/pool/incremental-ripple overhaul
+// and verified unchanged after it, including across the replacement of the
+// flow model's ripple with the incremental max-min solver; MG was added with
+// the solver already in place, locked to values the pre-solver code also
+// produces.
 #include <gtest/gtest.h>
 
 #include "core/runner.hpp"
@@ -40,6 +43,15 @@ TEST(GoldenReplay, CG) {
                       {Scheme::kPacket, 364106064, 58389268},
                       {Scheme::kFlow, 364037512, 58320498},
                       {Scheme::kPacketFlow, 364108527, 58391719},
+                  });
+}
+
+TEST(GoldenReplay, MG) {
+  check_app("MG", {
+                      {Scheme::kMfact, 131212895, 22951920},
+                      {Scheme::kPacket, 131334624, 23072191},
+                      {Scheme::kFlow, 131330597, 23067188},
+                      {Scheme::kPacketFlow, 131336380, 23073943},
                   });
 }
 

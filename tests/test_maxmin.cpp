@@ -1,0 +1,541 @@
+// Differential and property harness for the incremental max-min solver
+// (simnet/maxmin/system.hpp).
+//
+// The central check is *exact* (bitwise) equality between the incremental
+// solver — which re-rates only the dirty component and reuses rates across
+// solves — and a from-scratch brute-force water-filling oracle that re-rates
+// the whole system every time. Exactness is a sound assertion because the
+// test draws capacities and bounds from continuous distributions: candidate
+// bottleneck shares are then pairwise distinct (ties are measure-zero), the
+// water-filling freeze order is determined by share *values* alone, and both
+// implementations perform the identical sequence of IEEE operations. Real
+// workloads do produce exact ties (symmetric topologies); tie-break
+// determinism is covered separately by the replay/golden tests, which pin
+// the solver against its own history rather than an oracle.
+//
+// Property tests cover the invariants that hold regardless of ties: no
+// constraint over capacity, every variable capped by its bound or crossing a
+// saturated constraint, exact scale-equivariance under power-of-two
+// rescaling, and component-bounded incremental work.
+
+#include "simnet/maxmin/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace {
+
+using hps::simnet::maxmin::ConsId;
+using hps::simnet::maxmin::System;
+using hps::simnet::maxmin::VarId;
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// Test-side mirror of a System: remembers every live variable's bound and
+/// route plus each constraint's member list in the same insertion order the
+/// solver keeps, and can water-fill the whole thing from scratch.
+class Shadow {
+ public:
+  ConsId add_constraint(System& sys, double cap) {
+    const ConsId c = sys.add_constraint(cap);
+    cap_.push_back(cap);
+    members_.emplace_back();
+    return c;
+  }
+
+  void set_capacity(System& sys, ConsId c, double cap) {
+    sys.set_capacity(c, cap);
+    cap_[c] = cap;
+  }
+
+  VarId add_flow(System& sys, double bound, const std::vector<ConsId>& route) {
+    const VarId v = sys.add_variable(bound);
+    for (const ConsId c : route) sys.attach(v, c);
+    sys.admit(v);
+    if (vars_.size() <= v) vars_.resize(v + 1);
+    vars_[v] = {bound, route, true};
+    for (const ConsId c : route) members_[c].push_back(v);
+    live_.push_back(v);
+    return v;
+  }
+
+  void retire(System& sys, VarId v) {
+    sys.retire(v);
+    vars_[v].live = false;
+    for (const ConsId c : vars_[v].route) std::erase(members_[c], v);
+    std::erase(live_, v);
+  }
+
+  void set_bound(System& sys, VarId v, double bound) {
+    sys.set_bound(v, bound);
+    vars_[v].bound = bound;
+  }
+
+  const std::vector<VarId>& live() const { return live_; }
+  std::size_t num_cons() const { return cap_.size(); }
+  double capacity(ConsId c) const { return cap_[c]; }
+  const std::vector<VarId>& members(ConsId c) const { return members_[c]; }
+  double bound_of(VarId v) const { return vars_[v].bound; }
+  const std::vector<ConsId>& route_of(VarId v) const { return vars_[v].route; }
+
+  /// From-scratch progressive water-filling of the full system. Freezes one
+  /// globally minimal candidate at a time (scan order: constraints by id,
+  /// then bounds by id); with distinct shares this performs bitwise the same
+  /// arithmetic as the solver's heap-driven fill. Returns rates indexed by
+  /// VarId; dead slots hold NaN.
+  std::vector<double> water_fill() const {
+    std::vector<double> rate(vars_.size(), std::numeric_limits<double>::quiet_NaN());
+    std::vector<double> residual = cap_;
+    std::vector<int> unfrozen(cap_.size(), 0);
+    std::vector<std::uint8_t> frozen(vars_.size(), 0);
+    std::size_t remaining = live_.size();
+    for (const ConsId c : cons_ids()) unfrozen[c] = static_cast<int>(members_[c].size());
+
+    auto freeze_var = [&](VarId v, double r) {
+      rate[v] = r;
+      frozen[v] = 1;
+      for (const ConsId c : vars_[v].route) {
+        residual[c] -= r;
+        if (residual[c] < 0) residual[c] = 0;
+        --unfrozen[c];
+      }
+      --remaining;
+    };
+
+    while (remaining > 0) {
+      double best = std::numeric_limits<double>::infinity();
+      bool best_is_cons = false;
+      std::uint32_t best_id = 0;
+      for (const ConsId c : cons_ids()) {
+        if (unfrozen[c] <= 0) continue;
+        const double share = residual[c] / static_cast<double>(unfrozen[c]);
+        if (share < best) {
+          best = share;
+          best_is_cons = true;
+          best_id = c;
+        }
+      }
+      for (const VarId v : live_) {
+        if (frozen[v] || vars_[v].bound <= 0) continue;
+        if (vars_[v].bound < best) {
+          best = vars_[v].bound;
+          best_is_cons = false;
+          best_id = v;
+        }
+      }
+      if (!std::isfinite(best)) {
+        ADD_FAILURE() << "oracle ran out of candidates";
+        return rate;
+      }
+      if (best_is_cons) {
+        const double r = std::max(best, 0.0);
+        // Copy: freeze_var edits members_[best_id] ordering never, but the
+        // loop must not be invalidated by anything; iterate a snapshot.
+        const std::vector<VarId> group = members_[best_id];
+        for (const VarId v : group)
+          if (!frozen[v]) freeze_var(v, r);
+      } else {
+        freeze_var(best_id, std::max(vars_[best_id].bound, 0.0));
+      }
+    }
+    return rate;
+  }
+
+ private:
+  struct Var {
+    double bound = 0;
+    std::vector<ConsId> route;
+    bool live = false;
+  };
+
+  std::vector<ConsId> cons_ids() const {
+    std::vector<ConsId> ids(cap_.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<ConsId>(i);
+    return ids;
+  }
+
+  std::vector<double> cap_;
+  std::vector<std::vector<VarId>> members_;  // insertion order, like the solver
+  std::vector<Var> vars_;
+  std::vector<VarId> live_;
+};
+
+void expect_rates_match_oracle(const System& sys, const Shadow& sh, const char* where) {
+  const std::vector<double> want = sh.water_fill();
+  for (const VarId v : sh.live()) {
+    ASSERT_EQ(bits(sys.rate(v)), bits(want[v]))
+        << where << ": var " << v << " solver=" << sys.rate(v) << " oracle=" << want[v];
+  }
+}
+
+/// Invariants that hold with or without ties. `tol` absorbs the one-ULP
+/// slack of summing member rates in a different order than the fill drained
+/// them.
+void expect_feasible_and_bottlenecked(const System& sys, const Shadow& sh) {
+  constexpr double kTol = 1e-9;
+  std::vector<double> load(sh.num_cons(), 0.0);
+  for (const VarId v : sh.live())
+    for (const ConsId c : sh.route_of(v)) load[c] += sys.rate(v);
+  for (ConsId c = 0; c < sh.num_cons(); ++c) {
+    ASSERT_LE(load[c], sh.capacity(c) + kTol * std::max(1.0, sh.capacity(c)))
+        << "constraint " << c << " over capacity";
+  }
+  for (const VarId v : sh.live()) {
+    const double r = sys.rate(v);
+    ASSERT_GE(r, 0.0);
+    const double b = sh.bound_of(v);
+    if (b > 0 && r == b) continue;  // at its private cap
+    bool saturated = false;
+    for (const ConsId c : sh.route_of(v)) {
+      if (load[c] >= sh.capacity(c) * (1.0 - kTol) - kTol) {
+        saturated = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(saturated) << "var " << v << " rate " << r
+                           << " is below its bound but crosses no saturated constraint "
+                              "(not max-min fair)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-computed fixtures.
+// ---------------------------------------------------------------------------
+
+TEST(MaxMinSystem, SingleLinkSplitsEvenly) {
+  System sys;
+  Shadow sh;
+  const ConsId l = sh.add_constraint(sys, 12.0);
+  for (int i = 0; i < 4; ++i) sh.add_flow(sys, 0.0, {l});
+  sys.solve();
+  for (const VarId v : sh.live()) EXPECT_EQ(sys.rate(v), 3.0);
+}
+
+TEST(MaxMinSystem, ClassicTandemBottleneck) {
+  // f0 on L0 (cap 1), f1 on L1 (cap 2), f2 on both. L0 is the bottleneck:
+  // f0 = f2 = 0.5, and f1 takes L1's residual 1.5.
+  System sys;
+  Shadow sh;
+  const ConsId l0 = sh.add_constraint(sys, 1.0);
+  const ConsId l1 = sh.add_constraint(sys, 2.0);
+  const VarId f0 = sh.add_flow(sys, 0.0, {l0});
+  const VarId f1 = sh.add_flow(sys, 0.0, {l1});
+  const VarId f2 = sh.add_flow(sys, 0.0, {l0, l1});
+  sys.solve();
+  EXPECT_EQ(sys.rate(f0), 0.5);
+  EXPECT_EQ(sys.rate(f2), 0.5);
+  EXPECT_EQ(sys.rate(f1), 1.5);
+  expect_rates_match_oracle(sys, sh, "tandem");
+}
+
+TEST(MaxMinSystem, BoundActsAsPrivateConstraint) {
+  // Two flows on a cap-10 link; one is bounded at 2, so the other gets 8.
+  System sys;
+  Shadow sh;
+  const ConsId l = sh.add_constraint(sys, 10.0);
+  const VarId slow = sh.add_flow(sys, 2.0, {l});
+  const VarId fast = sh.add_flow(sys, 0.0, {l});
+  sys.solve();
+  EXPECT_EQ(sys.rate(slow), 2.0);
+  EXPECT_EQ(sys.rate(fast), 8.0);
+  expect_rates_match_oracle(sys, sh, "bound");
+}
+
+TEST(MaxMinSystem, ZeroCapacityStarves) {
+  System sys;
+  Shadow sh;
+  const ConsId dead = sh.add_constraint(sys, 0.0);
+  const ConsId ok = sh.add_constraint(sys, 5.0);
+  const VarId starved = sh.add_flow(sys, 0.0, {dead, ok});
+  const VarId happy = sh.add_flow(sys, 0.0, {ok});
+  sys.solve();
+  EXPECT_EQ(sys.rate(starved), 0.0);
+  EXPECT_EQ(sys.rate(happy), 5.0);
+  expect_rates_match_oracle(sys, sh, "zero-cap");
+}
+
+TEST(MaxMinSystem, BoundOnlyVariableRatesAtBound) {
+  System sys;
+  Shadow sh;
+  const VarId v = sh.add_flow(sys, 3.25, {});
+  sys.solve();
+  EXPECT_EQ(sys.rate(v), 3.25);
+  expect_rates_match_oracle(sys, sh, "bound-only");
+}
+
+TEST(MaxMinSystem, VarIdsRecycleLifo) {
+  // The flow model relies on slot == VarId lockstep with its LIFO IndexPool.
+  System sys;
+  const ConsId l = sys.add_constraint(1.0);
+  auto mk = [&] {
+    const VarId v = sys.add_variable(0.0);
+    sys.attach(v, l);
+    sys.admit(v);
+    return v;
+  };
+  const VarId a = mk();
+  const VarId b = mk();
+  const VarId c = mk();
+  sys.retire(b);
+  sys.retire(a);
+  EXPECT_EQ(mk(), a);  // last released, first reused
+  EXPECT_EQ(mk(), b);
+  EXPECT_EQ(mk(), c + 1);
+  sys.solve();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential churn against the oracle.
+// ---------------------------------------------------------------------------
+
+struct ChurnParams {
+  std::uint32_t seed = 1;
+  int num_links = 24;
+  int clusters = 3;  // routes stay inside one cluster: disjoint components
+  int steps = 4000;
+  int max_live = 80;
+  double cross_cluster_prob = 0.05;  // occasionally bridge components
+};
+
+void run_churn(const ChurnParams& p) {
+  std::mt19937 rng(p.seed);
+  std::uniform_real_distribution<double> cap_dist(0.25, 8.0);
+  std::uniform_real_distribution<double> bound_dist(0.05, 6.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  System sys;
+  Shadow sh;
+  for (int l = 0; l < p.num_links; ++l) sh.add_constraint(sys, cap_dist(rng));
+
+  const int per_cluster = p.num_links / p.clusters;
+  auto random_route = [&] {
+    std::vector<ConsId> route;
+    const int cluster = static_cast<int>(rng() % static_cast<std::uint32_t>(p.clusters));
+    const int len = 1 + static_cast<int>(rng() % 4u);
+    for (int i = 0; i < len; ++i) {
+      int c;
+      if (coin(rng) < p.cross_cluster_prob) {
+        c = static_cast<int>(rng() % static_cast<std::uint32_t>(p.num_links));
+      } else {
+        c = cluster * per_cluster + static_cast<int>(rng() % static_cast<std::uint32_t>(per_cluster));
+      }
+      if (std::find(route.begin(), route.end(), static_cast<ConsId>(c)) == route.end())
+        route.push_back(static_cast<ConsId>(c));
+    }
+    return route;
+  };
+
+  int until_solve = 1 + static_cast<int>(rng() % 8u);
+  for (int step = 0; step < p.steps; ++step) {
+    const double u = coin(rng);
+    const std::size_t nlive = sh.live().size();
+    if (nlive == 0 || (u < 0.45 && nlive < static_cast<std::size_t>(p.max_live))) {
+      // ~20% of flows are unbounded; the rest carry a continuous pacing cap.
+      const double bound = coin(rng) < 0.2 ? 0.0 : bound_dist(rng);
+      sh.add_flow(sys, bound, random_route());
+    } else if (u < 0.70 && nlive > 0) {
+      sh.retire(sys, sh.live()[rng() % nlive]);
+    } else if (u < 0.85) {
+      const ConsId c = static_cast<ConsId>(rng() % static_cast<std::uint32_t>(p.num_links));
+      // Occasionally take a link down to zero capacity entirely.
+      sh.set_capacity(sys, c, coin(rng) < 0.1 ? 0.0 : cap_dist(rng));
+    } else if (nlive > 0) {
+      const VarId v = sh.live()[rng() % nlive];
+      if (!sh.route_of(v).empty())
+        sh.set_bound(sys, v, coin(rng) < 0.25 ? 0.0 : bound_dist(rng));
+    }
+
+    if (--until_solve == 0) {
+      until_solve = 1 + static_cast<int>(rng() % 8u);
+      sys.solve();
+      ASSERT_NO_FATAL_FAILURE(expect_rates_match_oracle(sys, sh, "churn"));
+    }
+  }
+  sys.solve();
+  ASSERT_NO_FATAL_FAILURE(expect_rates_match_oracle(sys, sh, "final"));
+  ASSERT_NO_FATAL_FAILURE(expect_feasible_and_bottlenecked(sys, sh));
+}
+
+TEST(MaxMinDifferential, RandomChurnMatchesOracleSeed1) {
+  run_churn({.seed = 1});
+}
+
+TEST(MaxMinDifferential, RandomChurnMatchesOracleSeed2) {
+  run_churn({.seed = 2, .num_links = 9, .clusters = 1, .max_live = 40});
+}
+
+TEST(MaxMinDifferential, RandomChurnMatchesOracleSeed3) {
+  // Wide, sparse, heavily clustered: exercises multi-component locality.
+  run_churn({.seed = 3, .num_links = 48, .clusters = 6, .max_live = 120,
+             .cross_cluster_prob = 0.0});
+}
+
+// ---------------------------------------------------------------------------
+// Property tests.
+// ---------------------------------------------------------------------------
+
+TEST(MaxMinProperty, FeasibleAndBottleneckJustifiedUnderChurn) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> cap_dist(0.25, 8.0);
+  std::uniform_real_distribution<double> bound_dist(0.05, 6.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  System sys;
+  Shadow sh;
+  const int num_links = 16;
+  for (int l = 0; l < num_links; ++l) sh.add_constraint(sys, cap_dist(rng));
+  for (int step = 0; step < 1500; ++step) {
+    const std::size_t nlive = sh.live().size();
+    if (nlive == 0 || (coin(rng) < 0.55 && nlive < 60)) {
+      std::vector<ConsId> route;
+      const int len = 1 + static_cast<int>(rng() % 3u);
+      for (int i = 0; i < len; ++i) {
+        const auto c = static_cast<ConsId>(rng() % num_links);
+        if (std::find(route.begin(), route.end(), c) == route.end()) route.push_back(c);
+      }
+      sh.add_flow(sys, coin(rng) < 0.3 ? bound_dist(rng) : 0.0, route);
+    } else {
+      sh.retire(sys, sh.live()[rng() % nlive]);
+    }
+    if (step % 5 == 0) {
+      sys.solve();
+      ASSERT_NO_FATAL_FAILURE(expect_feasible_and_bottlenecked(sys, sh));
+    }
+  }
+}
+
+TEST(MaxMinProperty, ScaleInvarianceUnderPowerOfTwoRescale) {
+  // Scaling every capacity and bound by 2^k multiplies every rate by exactly
+  // 2^k: the fill's divisions and subtractions all commute with a power-of-
+  // two scale, and share ordering is unchanged. Run the same churn script on
+  // a unit system and a scaled twin and compare bitwise.
+  for (const int k : {8, -8, 30}) {
+    const double scale = std::ldexp(1.0, k);
+    std::mt19937 rng_a(11), rng_b(11);
+    System sys_a, sys_b;
+    Shadow sh_a, sh_b;
+
+    auto script = [&](System& sys, Shadow& sh, std::mt19937& rng, double s) {
+      std::uniform_real_distribution<double> cap_dist(0.25, 8.0);
+      std::uniform_real_distribution<double> bound_dist(0.05, 6.0);
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      const int num_links = 12;
+      for (int l = 0; l < num_links; ++l) sh.add_constraint(sys, cap_dist(rng) * s);
+      for (int step = 0; step < 600; ++step) {
+        const std::size_t nlive = sh.live().size();
+        if (nlive == 0 || (coin(rng) < 0.5 && nlive < 50)) {
+          std::vector<ConsId> route;
+          const int len = 1 + static_cast<int>(rng() % 3u);
+          for (int i = 0; i < len; ++i) {
+            const auto c = static_cast<ConsId>(rng() % num_links);
+            if (std::find(route.begin(), route.end(), c) == route.end()) route.push_back(c);
+          }
+          const double b = coin(rng) < 0.3 ? bound_dist(rng) * s : 0.0;
+          sh.add_flow(sys, b, route);
+        } else {
+          sh.retire(sys, sh.live()[rng() % nlive]);
+        }
+        if (step % 7 == 0) sys.solve();
+      }
+      sys.solve();
+    };
+
+    script(sys_a, sh_a, rng_a, 1.0);
+    script(sys_b, sh_b, rng_b, scale);
+    ASSERT_EQ(sh_a.live().size(), sh_b.live().size());
+    for (std::size_t i = 0; i < sh_a.live().size(); ++i) {
+      const VarId va = sh_a.live()[i];
+      const VarId vb = sh_b.live()[i];
+      ASSERT_EQ(bits(sys_b.rate(vb)), bits(sys_a.rate(va) * scale))
+          << "k=" << k << " var " << va;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental locality: work and collection are bounded by the dirty
+// component (the ripple_iterations contract the flow model's telemetry
+// re-exports).
+// ---------------------------------------------------------------------------
+
+TEST(MaxMinSystem, SolveTouchesOnlyTheDirtyComponent) {
+  System sys;
+  Shadow sh;
+  // Two disjoint 8-link clusters, flows strictly inside their cluster.
+  const int num_links = 16;
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> cap_dist(0.5, 4.0);
+  for (int l = 0; l < num_links; ++l) sh.add_constraint(sys, cap_dist(rng));
+  auto route_in = [&](int cluster) {
+    std::vector<ConsId> route;
+    const int len = 1 + static_cast<int>(rng() % 3u);
+    for (int i = 0; i < len; ++i) {
+      const auto c = static_cast<ConsId>(cluster * 8 + static_cast<int>(rng() % 8u));
+      if (std::find(route.begin(), route.end(), c) == route.end()) route.push_back(c);
+    }
+    return route;
+  };
+  std::vector<VarId> left, right;
+  for (int i = 0; i < 10; ++i) left.push_back(sh.add_flow(sys, 0.0, route_in(0)));
+  for (int i = 0; i < 10; ++i) right.push_back(sh.add_flow(sys, 0.0, route_in(1)));
+  sys.solve();
+  EXPECT_LE(sys.touched_constraints(), static_cast<std::uint64_t>(num_links));
+
+  // Churn only the left cluster: the right cluster's rates must stand
+  // bitwise, the touched-constraint count must stay within the left cluster,
+  // and collected() must name only left-cluster flows.
+  std::vector<double> right_before;
+  for (const VarId v : right) right_before.push_back(sys.rate(v));
+  sh.retire(sys, left[3]);
+  sh.add_flow(sys, 0.0, route_in(0));
+  sys.solve();
+  EXPECT_GT(sys.touched_constraints(), 0u);
+  EXPECT_LE(sys.touched_constraints(), 8u) << "solve escaped the dirty component";
+  for (const VarId v : sys.collected())
+    EXPECT_LT(v, 20u);  // all left-cluster slots (right flows came later)
+  for (std::size_t i = 0; i < right.size(); ++i)
+    EXPECT_EQ(bits(sys.rate(right[i])), bits(right_before[i]));
+  expect_rates_match_oracle(sys, sh, "two-cluster");
+
+  // Nothing dirty: solve is a no-op and reports zero touched constraints.
+  const std::uint64_t solves_before = sys.solves();
+  sys.solve();
+  EXPECT_EQ(sys.touched_constraints(), 0u);
+  EXPECT_EQ(sys.collected().size(), 0u);
+  EXPECT_EQ(sys.solves(), solves_before);
+}
+
+TEST(MaxMinSystem, CollectedReportsOldRates) {
+  System sys;
+  const ConsId l = sys.add_constraint(6.0);
+  const VarId a = sys.add_variable(0.0);
+  sys.attach(a, l);
+  sys.admit(a);
+  sys.solve();
+  EXPECT_EQ(sys.rate(a), 6.0);
+
+  const VarId b = sys.add_variable(0.0);
+  sys.attach(b, l);
+  sys.admit(b);
+  sys.solve();
+  EXPECT_EQ(sys.rate(a), 3.0);
+  EXPECT_EQ(sys.rate(b), 3.0);
+  // Both were re-rated; a's previous rate is reported for resched filtering.
+  ASSERT_EQ(sys.collected().size(), 2u);
+  for (std::size_t i = 0; i < sys.collected().size(); ++i) {
+    if (sys.collected()[i] == a) {
+      EXPECT_EQ(sys.old_rates()[i], 6.0);
+    }
+    if (sys.collected()[i] == b) {
+      EXPECT_EQ(sys.old_rates()[i], 0.0);
+    }
+  }
+}
+
+}  // namespace

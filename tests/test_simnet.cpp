@@ -210,6 +210,26 @@ TEST(FlowModel, RippleUpdatesCounted) {
   EXPECT_EQ(model.active_flows(), 0u);
 }
 
+TEST(FlowModel, RippleIterationsBoundedByDirtyComponent) {
+  // ripple_iterations counts constraints the incremental solver visits,
+  // summed over rate updates. Two link-disjoint flows (0->1 and 2->3 on a
+  // directed 4-ring) each span 3 constraints — one fabric link plus the
+  // injection and ejection ports — so no solve may touch more than 6, even
+  // though the system holds 12 (4 links + 8 ports). A full-system re-solve
+  // per update would blow the bound immediately.
+  des::Engine eng;
+  topo::Torus3D topo(4, 1, 1);
+  CollectingSink sink;
+  FlowModel model(eng, topo, test_config(), sink);
+  model.inject(1, 0, 1, 100000);
+  model.inject(2, 2, 3, 100000);
+  eng.run();
+  const NetStats st = model.stats();
+  EXPECT_GT(st.ripple_iterations, 0u);
+  EXPECT_LE(st.ripple_iterations, st.rate_updates * 6)
+      << "a solve visited constraints outside the dirty flows' components";
+}
+
 TEST(FlowModel, DisjointFlowsDontShare) {
   des::Engine eng;
   topo::Torus3D topo(4, 1, 1);
