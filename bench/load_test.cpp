@@ -20,9 +20,18 @@
 // --check gate skips any metric the baseline file predates, so older
 // baselines stay compatible.
 //
+// Overload mode (--overload N) turns the harness into a chaos gate: the
+// client count is multiplied by N, warmup is skipped (cold-start pain is the
+// point), every request carries --deadline-ms, and each connection gets a
+// socket timeout so a wedged daemon fails the run instead of hanging CI.
+// The run then asserts the overload contract: every request resolves to an
+// explicit disposition (ok / degraded / expired / backpressure) — zero
+// transport errors, zero hangs, nothing queued unboundedly.
+//
 // Usage:
 //   load_test [--clients 4] [--requests 8] [--distinct 3] [--warmup 1]
 //             [--scale 0.05] [--limit 2] [--socket PATH]
+//             [--deadline-ms D] [--overload N] [--timeout-ms T]
 //             [--out BENCH_serve.json]
 //             [--check ci/BENCH_serve_baseline.json] [--tolerance 0.5]
 #include <algorithm>
@@ -62,13 +71,18 @@ struct Config {
   std::string out_path = "BENCH_serve.json";
   std::string check_path;
   double tolerance = 0.5;
+  std::uint64_t deadline_ms = 0;  // end-to-end deadline stamped on requests
+  int overload = 0;               // >0: overload-chaos mode, client multiplier
+  double timeout_ms = 0;          // per-connection socket deadline (0 = none)
 };
 
 struct Result {
   std::vector<double> latencies_ms;  // successful timed requests only
   std::uint64_t ok = 0;
   std::uint64_t degraded = 0;
-  std::uint64_t rejected = 0;  // queue-full / draining backpressure
+  std::uint64_t fallback = 0;  // degraded via MFACT-only deadline fallback
+  std::uint64_t expired = 0;   // end-to-end deadline expired
+  std::uint64_t rejected = 0;  // queue-full / shed / draining backpressure
   std::uint64_t errors = 0;    // transport failures or server-side errors
   double wall_seconds = 0;     // timed load phase (warmup excluded)
   serve::Stats daemon;
@@ -88,7 +102,8 @@ double quantile(std::vector<double> sorted, double q) {
 Result run_load(const Config& cfg, const std::string& socket_path) {
   Result res;
   std::vector<std::vector<double>> lat(static_cast<std::size_t>(cfg.clients));
-  std::atomic<std::uint64_t> ok{0}, degraded{0}, rejected{0}, errors{0};
+  std::atomic<std::uint64_t> ok{0}, degraded{0}, fallback{0}, expired{0}, rejected{0},
+      errors{0};
 
   // Start barrier: every client finishes its warmup requests first, then the
   // timed phase begins for all of them at once — cold-start (first corpus
@@ -109,8 +124,10 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
         req.seed = 1000u + static_cast<std::uint64_t>((c + r) % cfg.distinct);
         req.duration_scale = cfg.scale;
         req.limit = cfg.limit;
+        req.deadline_ms = cfg.deadline_ms;
         try {
           serve::Client cl = serve::Client::connect_unix(socket_path);
+          if (cfg.timeout_ms > 0) cl.set_timeout_ms(cfg.timeout_ms);
           cl.study(req);
         } catch (const std::exception& e) {
           std::fprintf(stderr, "load_test: client %d warmup %d: %s\n", c, r, e.what());
@@ -130,10 +147,12 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
         req.seed = 1000u + static_cast<std::uint64_t>((c + r) % cfg.distinct);
         req.duration_scale = cfg.scale;
         req.limit = cfg.limit;
+        req.deadline_ms = cfg.deadline_ms;
         const auto t0 = Clock::now();
         try {
           // One connection per request: the daemon's documented client model.
           serve::Client cl = serve::Client::connect_unix(socket_path);
+          if (cfg.timeout_ms > 0) cl.set_timeout_ms(cfg.timeout_ms);
           const auto reply = cl.study(req);
           const double ms =
               std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
@@ -144,7 +163,12 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
               break;
             case serve::Status::kDegraded:
               degraded.fetch_add(1, std::memory_order_relaxed);
+              if (reply.summary.mfact_fallback)
+                fallback.fetch_add(1, std::memory_order_relaxed);
               lat[static_cast<std::size_t>(c)].push_back(ms);
+              break;
+            case serve::Status::kExpired:
+              expired.fetch_add(1, std::memory_order_relaxed);
               break;
             case serve::Status::kQueueFull:
             case serve::Status::kDraining:
@@ -176,6 +200,8 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
   std::sort(res.latencies_ms.begin(), res.latencies_ms.end());
   res.ok = ok;
   res.degraded = degraded;
+  res.fallback = fallback;
+  res.expired = expired;
   res.rejected = rejected;
   res.errors = errors;
 
@@ -206,7 +232,11 @@ std::string to_json(const Config& cfg, const Result& r) {
      << "  \"warmup_per_client\": " << cfg.warmup << ",\n"
      << "  \"duration_scale\": " << cfg.scale << ",\n"
      << "  \"corpus_limit\": " << cfg.limit << ",\n"
+     << "  \"deadline_ms\": " << cfg.deadline_ms << ",\n"
+     << "  \"overload\": " << cfg.overload << ",\n"
      << "  \"served\": " << served << ",\n"
+     << "  \"mfact_fallback\": " << r.fallback << ",\n"
+     << "  \"expired\": " << r.expired << ",\n"
      << "  \"rejected\": " << r.rejected << ",\n"
      << "  \"errors\": " << r.errors << ",\n"
      << "  \"wall_seconds\": " << r.wall_seconds << ",\n"
@@ -319,10 +349,22 @@ int main(int argc, char** argv) {
     else if (a == "--out") cfg.out_path = next();
     else if (a == "--check") cfg.check_path = next();
     else if (a == "--tolerance") cfg.tolerance = std::atof(next());
+    else if (a == "--deadline-ms") cfg.deadline_ms = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (a == "--overload") cfg.overload = std::max(0, std::atoi(next()));
+    else if (a == "--timeout-ms") cfg.timeout_ms = std::atof(next());
     else {
       std::fprintf(stderr, "load_test: unknown flag %s\n", a.c_str());
       return 2;
     }
+  }
+
+  // Overload-chaos mode: multiply the client fleet, skip warmup (cold-start
+  // pain is part of the chaos), and bound every socket exchange so a wedged
+  // daemon fails the run loudly instead of hanging CI.
+  if (cfg.overload > 0) {
+    cfg.clients *= cfg.overload;
+    cfg.warmup = 0;
+    if (cfg.timeout_ms <= 0) cfg.timeout_ms = 120000;
   }
 
   // Embedded daemon unless an external socket was given.
@@ -340,6 +382,15 @@ int main(int argc, char** argv) {
     so.cache_bytes = 64u << 20;
     so.max_duration_scale = 1.0;
     so.install_signal_guard = false;
+    if (cfg.overload > 0) {
+      // Self-contained overload smoke: one dispatcher, a queue far smaller
+      // than the burst, and queue-delay shedding armed — the daemon must
+      // shed/degrade its way through, not absorb the burst silently.
+      so.dispatchers = 1;
+      so.queue_capacity = 4;
+      so.shed_target_ms = 20;
+      so.shed_interval_ms = 50;
+    }
     embedded = std::make_unique<serve::Server>(std::move(so));
     runner = std::thread([&] { embedded->run(); });
   }
@@ -360,6 +411,32 @@ int main(int argc, char** argv) {
   }
   os << json;
   std::printf("%s", json.c_str());
+
+  if (cfg.overload > 0) {
+    // The overload contract: every fired request resolved to an explicit
+    // disposition — served (possibly degraded to MFACT), expired against its
+    // deadline, or shed/rejected as backpressure. Transport errors mean the
+    // daemon wedged, crashed, or leaked a connection; any of those fails.
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(cfg.clients) * static_cast<std::uint64_t>(cfg.requests);
+    const std::uint64_t resolved = res.ok + res.degraded + res.expired + res.rejected;
+    std::printf("overload x%d: %llu requests -> ok %llu, degraded %llu "
+                "(mfact-fallback %llu), expired %llu, shed/rejected %llu, errors %llu\n",
+                cfg.overload, static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(res.ok),
+                static_cast<unsigned long long>(res.degraded),
+                static_cast<unsigned long long>(res.fallback),
+                static_cast<unsigned long long>(res.expired),
+                static_cast<unsigned long long>(res.rejected),
+                static_cast<unsigned long long>(res.errors));
+    if (res.errors > 0 || resolved != total) {
+      std::printf("OVERLOAD FAIL: %llu unresolved/errored request(s)\n",
+                  static_cast<unsigned long long>(total - resolved + res.errors));
+      return 1;
+    }
+    std::printf("OVERLOAD OK: all requests resolved explicitly\n");
+    return 0;
+  }
 
   if (!cfg.check_path.empty()) return check_against(cfg, res, json);
   return res.errors > 0 ? 1 : 0;

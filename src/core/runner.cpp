@@ -151,6 +151,12 @@ TraceOutcome run_all_schemes(const trace::Trace& t, const RunOptions& opts) {
       mark_interrupted(so);
       continue;
     }
+    if (opts.mfact_only) {
+      so.attempted = false;
+      so.error = "skipped: MFACT-only degraded run (deadline/overload fallback)";
+      so.fail_kind = robust::FailKind::kSkipped;
+      continue;
+    }
     if (opts.sst30_compat && s != Scheme::kPacketFlow) {
       const bool unsupported =
           uses_subcomms(t) || (s == Scheme::kFlow && uses_complex_grouping(t));

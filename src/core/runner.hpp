@@ -89,6 +89,11 @@ struct RunOptions {
   /// horizon). Unlimited by default; when limited, a scheme that exhausts it
   /// degrades to a FailKind::kBudget outcome instead of hanging the study.
   robust::Budget budget;
+  /// Graceful degradation (hpcsweepd overload/deadline fallback): run only
+  /// the analytical MFACT model and mark the three simulator schemes
+  /// FailKind::kSkipped — orders of magnitude cheaper than simulating, with
+  /// the accuracy loss the paper quantifies. Off everywhere by default.
+  bool mfact_only = false;
 };
 
 /// Run all four schemes over a freshly generated trace for `spec`.

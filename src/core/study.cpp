@@ -153,6 +153,9 @@ std::uint64_t study_cache_key(const StudyOptions& opts) {
   h = mix_seed(h, static_cast<std::uint64_t>(opts.run.budget.wall_deadline_seconds * 1e6));
   h = mix_seed(h, opts.run.budget.max_des_events);
   h = mix_seed(h, static_cast<std::uint64_t>(opts.run.budget.virtual_horizon));
+  // Mixed only when set so every pre-existing key is unchanged: an
+  // MFACT-only degraded run must never share an entry with the full study.
+  if (opts.run.mfact_only) h = mix_seed(h, 0x6d666163746f6e6cULL);  // "mfactonl"
   return h;
 }
 

@@ -40,6 +40,9 @@ std::string to_json_line(const ServeRecord& rec) {
   jsonl::field_int(out, "limit", rec.limit);
   jsonl::field_str(out, "app_classes", rec.app_classes);
   jsonl::field_int(out, "total_ns", rec.total_ns);
+  out += ",\"mfact_fallback\":";
+  out += rec.mfact_fallback ? "true" : "false";
+  jsonl::field_int(out, "deadline_ms", rec.deadline_ms);
   for (const auto& [name, dur_ns] : rec.phases)
     jsonl::field_int(out, (kPhasePrefix + name + kPhaseSuffix).c_str(), dur_ns);
   out += "}";
@@ -91,15 +94,29 @@ ServeLedgerWriter::ServeLedgerWriter(const std::string& path) : path_(path) {
 }
 
 void ServeLedgerWriter::write_line(const std::string& line) {
+  if (failed_) {
+    // Disabled after the first failed append: count the lost line, write
+    // nothing (a half-written record would corrupt every later parse).
+    ++write_errors_;
+    return;
+  }
   out_ << line << "\n";
   out_.flush();
-  if (!out_) throw Error("serve ledger: write failed: " + path_);
+  if (!out_) {
+    failed_ = true;
+    ++write_errors_;
+    std::fprintf(stderr,
+                 "hpcsweepd: serve ledger write failed (%s); "
+                 "disabling further appends\n",
+                 path_.c_str());
+  }
 }
 
 void ServeLedgerWriter::append(const ServeRecord& rec) {
   const std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t errors_before = write_errors_;
   write_line(to_json_line(rec));
-  ++records_;
+  if (write_errors_ == errors_before) ++records_;
 }
 
 void ServeLedgerWriter::append_costs(const std::vector<CostCell>& cells) {
@@ -110,6 +127,11 @@ void ServeLedgerWriter::append_costs(const std::vector<CostCell>& cells) {
 std::uint64_t ServeLedgerWriter::records_written() const {
   const std::lock_guard<std::mutex> lk(mu_);
   return records_;
+}
+
+std::uint64_t ServeLedgerWriter::write_errors() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return write_errors_;
 }
 
 ServeLedger load_serve_ledger(const std::string& path) {
@@ -150,6 +172,11 @@ ServeLedger load_serve_ledger(const std::string& path) {
         rec.limit = static_cast<std::int32_t>(jsonl::get_i64(obj, "limit"));
         rec.app_classes = jsonl::get_str(obj, "app_classes");
         rec.total_ns = jsonl::get_i64(obj, "total_ns");
+        // Optional v3 overload fields: absent in ledgers from older daemons.
+        if (obj.count("mfact_fallback") != 0)
+          rec.mfact_fallback = jsonl::get_bool(obj, "mfact_fallback");
+        if (obj.count("deadline_ms") != 0)
+          rec.deadline_ms = jsonl::get_u64(obj, "deadline_ms");
         for (const auto& [key, value] : obj) {
           if (key.rfind(kPhasePrefix, 0) != 0) continue;
           const std::size_t suffix_at = key.size() - 3;

@@ -47,6 +47,11 @@ struct ServeRecord {
   /// sorted ("" when the request never reached a result).
   std::string app_classes;
   std::int64_t total_ns = 0;  ///< decode start → terminal frame sent
+  /// The daemon answered with the MFACT fallback instead of the requested
+  /// simulation (deadline/overload degradation); the response was tagged
+  /// degraded=mfact_fallback and kept out of the result cache.
+  bool mfact_fallback = false;
+  std::uint64_t deadline_ms = 0;  ///< client end-to-end deadline (0 = none)
   std::vector<std::pair<std::string, std::int64_t>> phases;
 };
 
@@ -81,6 +86,12 @@ class CostModel {
 
 /// Append-only serve ledger writer; one line per append, flushed so a
 /// crashed daemon loses at most the in-progress line.
+///
+/// A failed append (ENOSPC, short write) must not take the serving path
+/// down *or* silently truncate JSON lines mid-record: the first failure
+/// latches the writer into a disabled state with one stderr warning, and
+/// every line lost from then on is counted in write_errors() — which the
+/// daemon surfaces as Stats::ledger_write_errors.
 class ServeLedgerWriter {
  public:
   /// Opens `path` for append. Throws hps::Error on failure.
@@ -89,6 +100,9 @@ class ServeLedgerWriter {
   /// Footer: one kind=cost line per cell.
   void append_costs(const std::vector<CostCell>& cells);
   std::uint64_t records_written() const;
+  /// Lines lost to I/O failure (the first failed one and every skipped one
+  /// after the writer disabled itself).
+  std::uint64_t write_errors() const;
 
  private:
   void write_line(const std::string& line);
@@ -97,6 +111,8 @@ class ServeLedgerWriter {
   std::ofstream out_;
   std::string path_;
   std::uint64_t records_ = 0;
+  std::uint64_t write_errors_ = 0;
+  bool failed_ = false;  ///< latched on the first failed append
 };
 
 /// Everything in a serve ledger file, requests and cost footer separated.

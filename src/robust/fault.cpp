@@ -85,6 +85,9 @@ FaultSite parse_site(const std::string& v) {
   if (v == "flow") return FaultSite::kFlow;
   if (v == "packet-flow" || v == "packetflow") return FaultSite::kPacketFlow;
   if (v == "generate") return FaultSite::kGenerate;
+  if (v == "serve.cache-insert") return FaultSite::kServeCacheInsert;
+  if (v == "serve.ledger-append") return FaultSite::kServeLedgerAppend;
+  if (v == "serve.dispatch") return FaultSite::kServeDispatch;
   throw Error("fault plan: unknown site \"" + v + "\"");
 }
 
@@ -157,6 +160,9 @@ const char* fault_site_name(FaultSite s) {
     case FaultSite::kFlow: return "flow";
     case FaultSite::kPacketFlow: return "packet-flow";
     case FaultSite::kGenerate: return "generate";
+    case FaultSite::kServeCacheInsert: return "serve.cache-insert";
+    case FaultSite::kServeLedgerAppend: return "serve.ledger-append";
+    case FaultSite::kServeDispatch: return "serve.dispatch";
   }
   return "?";
 }

@@ -11,7 +11,8 @@
 //
 // Grammar (HPS_FAULT): specs separated by ';', fields by ',':
 //
-//   site=<mfact|packet|flow|packet-flow|generate>   required
+//   site=<mfact|packet|flow|packet-flow|generate
+//         |serve.cache-insert|serve.ledger-append|serve.dispatch>  required
 //   spec=<id>          corpus spec to hit (default: any)
 //   scheme=<mfact|packet|flow|packet-flow>          (default: any)
 //   kind=<throw|alloc|delay|cancel|exit|segv|abort> (default: throw)
@@ -34,7 +35,20 @@
 
 namespace hps::robust {
 
-enum class FaultSite : std::uint8_t { kMfact, kPacket, kFlow, kPacketFlow, kGenerate };
+enum class FaultSite : std::uint8_t {
+  kMfact,
+  kPacket,
+  kFlow,
+  kPacketFlow,
+  kGenerate,
+  // Serving-path sites (hpcsweepd): arm the overload/degradation paths.
+  // kDelay at kServeDispatch stretches execution (trips deadlines/shedding);
+  // kThrow at the cache-insert/ledger-append sites exercises the paths that
+  // must swallow I/O failure without taking a request down.
+  kServeCacheInsert,   ///< dispatcher, before the shared-cache insert
+  kServeLedgerAppend,  ///< serve-ledger append of a finished request
+  kServeDispatch,      ///< dispatcher, before run_study
+};
 const char* fault_site_name(FaultSite s);
 
 enum class FaultKind : std::uint8_t {

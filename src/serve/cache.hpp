@@ -36,6 +36,10 @@ struct CachedResult {
   /// Sorted distinct MFACT class names in the study (comma-joined), stamped
   /// into the serve ledger so cache hits keep their cost-attribution class.
   std::string app_classes;
+  /// Computed as an MFACT-only degraded fallback (deadline/overload). Such
+  /// results are streamed to their waiters but never inserted in the cache,
+  /// so a later healthy request recomputes the real answer.
+  bool mfact_fallback = false;
 
   std::size_t byte_size() const {
     std::size_t n = sizeof(CachedResult) + app_classes.size();

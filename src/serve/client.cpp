@@ -1,13 +1,17 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -22,19 +26,31 @@ namespace ipc = robust::ipc;
 
 void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
 
+bool errno_is_timeout() { return errno == EAGAIN || errno == EWOULDBLOCK; }
+
 void send_request(int fd, const Request& req) {
   ipc::Message m;
   m.type = ipc::MsgType::kRequest;
   m.payload = encode_request(req);
-  HPS_REQUIRE(ipc::write_frame(fd, m), "serve client: daemon connection lost mid-write");
+  if (ipc::write_frame(fd, m)) return;
+  if (errno_is_timeout())
+    throw TimeoutError("serve client: timed out writing the request");
+  HPS_THROW("serve client: daemon connection lost mid-write");
 }
 
 ipc::Message read_reply(int fd) {
   ipc::Message m;
   const ipc::ReadStatus st = ipc::read_message(fd, m);
-  HPS_REQUIRE(st == ipc::ReadStatus::kMessage,
-              std::string("serve client: reply stream ") + ipc::read_status_name(st));
-  return m;
+  if (st == ipc::ReadStatus::kMessage) return m;
+  if (st == ipc::ReadStatus::kError && errno_is_timeout())
+    throw TimeoutError("serve client: timed out waiting for the daemon's reply");
+  HPS_THROW(std::string("serve client: reply stream ") + ipc::read_status_name(st));
+}
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -156,6 +172,145 @@ Summary Client::shutdown_server() {
               std::string("serve client: expected summary, got ") +
                   ipc::msg_type_name(m.type));
   return decode_summary(m.payload);
+}
+
+void Client::set_timeout_ms(double ms) {
+  timeval tv{};
+  if (ms > 0) {
+    const auto whole_s = static_cast<long>(ms / 1000.0);
+    tv.tv_sec = whole_s;
+    tv.tv_usec = static_cast<long>((ms - static_cast<double>(whole_s) * 1000.0) * 1000.0);
+    // A sub-millisecond request still needs a nonzero deadline: {0,0} means
+    // "no timeout" to the kernel.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+  }
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+// ---------------------------------------------------------------------------
+// ResilientClient
+
+ResilientClient ResilientClient::unix_socket(std::string path, ClientPolicy policy) {
+  return ResilientClient(false, std::move(path), 0, policy);
+}
+
+ResilientClient ResilientClient::tcp(std::string host, int port, ClientPolicy policy) {
+  return ResilientClient(true, std::move(host), port, policy);
+}
+
+ResilientClient::ResilientClient(bool use_tcp, std::string target, int port,
+                                 ClientPolicy policy)
+    : use_tcp_(use_tcp),
+      target_(std::move(target)),
+      port_(port),
+      policy_(policy),
+      jitter_state_(policy.jitter_seed != 0 ? policy.jitter_seed
+                                            : 0x9e3779b97f4a7c15ULL) {}
+
+const char* ResilientClient::breaker_name(Breaker b) {
+  switch (b) {
+    case Breaker::kClosed: return "closed";
+    case Breaker::kOpen: return "open";
+    case Breaker::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+ResilientClient::Breaker ResilientClient::breaker_state() const {
+  if (!open_) return Breaker::kClosed;
+  return steady_ms() * 1000000 >= open_until_ns_ ? Breaker::kHalfOpen : Breaker::kOpen;
+}
+
+Client ResilientClient::connect_raw() {
+  Client c = use_tcp_ ? Client::connect_tcp(target_, port_)
+                      : Client::connect_unix(target_);
+  if (policy_.timeout_ms > 0) c.set_timeout_ms(policy_.timeout_ms);
+  return c;
+}
+
+Client ResilientClient::connect_once() { return connect_raw(); }
+
+void ResilientClient::on_transport_failure() {
+  ++consecutive_failures_;
+  if (policy_.breaker_failures > 0 && consecutive_failures_ >= policy_.breaker_failures) {
+    open_ = true;
+    open_until_ns_ =
+        steady_ms() * 1000000 +
+        static_cast<std::int64_t>(policy_.breaker_cooldown_ms * 1e6);
+  }
+}
+
+void ResilientClient::on_transport_success() {
+  consecutive_failures_ = 0;
+  open_ = false;
+  open_until_ns_ = 0;
+}
+
+double ResilientClient::backoff_delay_ms(int attempt) {
+  double base = policy_.backoff_ms;
+  for (int i = 0; i < attempt && base < policy_.backoff_max_ms; ++i) base *= 2;
+  base = std::min(base, policy_.backoff_max_ms);
+  // splitmix64 step: a deterministic jitter stream keeps retry storms
+  // decorrelated in production (seed per client) and reproducible in tests.
+  jitter_state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = jitter_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) *
+                   (1.0 / static_cast<double>(std::uint64_t{1} << 53));
+  return base * (0.5 + 0.5 * u);
+}
+
+Client::StudyReply ResilientClient::study(
+    const Request& req, const std::function<void(const std::string&)>& on_record) {
+  last_attempts_ = 0;
+  for (int attempt = 0;; ++attempt) {
+    // Circuit breaker: while open, fail fast without touching the socket;
+    // once the cooldown elapses, exactly one half-open probe goes through
+    // (success re-closes the breaker, failure re-opens it for a fresh
+    // cooldown).
+    bool half_open_probe = false;
+    if (open_) {
+      if (steady_ms() * 1000000 < open_until_ns_)
+        throw CircuitOpenError(
+            "serve client: circuit breaker open after " +
+            std::to_string(consecutive_failures_) + " consecutive failures");
+      half_open_probe = true;
+    }
+
+    ++last_attempts_;
+    bool connected = false;
+    try {
+      Client c = connect_raw();
+      connected = true;
+      Client::StudyReply reply = c.study(req, on_record);
+      on_transport_success();
+      if (reply.summary.status == Status::kQueueFull && attempt < policy_.max_retries) {
+        // Explicit backpressure (queue full or shed): the one reject that is
+        // always safe — and useful — to retry after backing off.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_delay_ms(attempt)));
+        continue;
+      }
+      return reply;
+    } catch (const TimeoutError&) {
+      // The request may be executing server-side: count the failure for the
+      // breaker but never retry (a duplicate study is not idempotent cost).
+      on_transport_failure();
+      throw;
+    } catch (const hps::Error&) {
+      on_transport_failure();
+      if (connected) throw;  // post-send failure: may have executed
+      // Connect failures are retry-safe (nothing reached the daemon) — but a
+      // failed half-open probe re-opens the breaker instead of burning the
+      // remaining retry budget against a daemon that is still down.
+      if (half_open_probe || attempt >= policy_.max_retries) throw;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_delay_ms(attempt)));
+    }
+  }
 }
 
 }  // namespace hps::serve

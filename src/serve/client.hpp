@@ -1,16 +1,42 @@
 // Client side of the hpcsweepd protocol: connect, send one request frame,
 // consume the streamed reply. Used by `hpcsweep_inspect request`, the
 // bench/load_test harness, and the serve tests.
+//
+// Two layers:
+//   Client          — one connection, one exchange, no policy. A stalled
+//                     daemon blocks it forever unless set_timeout_ms is set.
+//   ResilientClient — wraps Client with socket timeouts, jittered
+//                     exponential-backoff retries on kQueueFull rejects and
+//                     connect failures (and ONLY those: anything after the
+//                     request hit the wire may have executed and is never
+//                     retried), and a circuit breaker with half-open probes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 
 namespace hps::serve {
+
+/// The socket deadline (Client::set_timeout_ms) elapsed mid-exchange. Kept
+/// distinct from Error because the request may have executed server-side —
+/// a timeout is terminal for retry purposes where a connect failure is not.
+class TimeoutError : public hps::Error {
+ public:
+  using Error::Error;
+};
+
+/// ResilientClient's circuit breaker is open: recent attempts failed at the
+/// transport layer, and the cooldown has not elapsed. Fails fast by design.
+class CircuitOpenError : public hps::Error {
+ public:
+  using Error::Error;
+};
 
 class Client {
  public:
@@ -52,6 +78,11 @@ class Client {
   /// Ask the daemon to drain and exit; returns its acknowledgment.
   Summary shutdown_server();
 
+  /// Socket read/write deadline (SO_RCVTIMEO/SO_SNDTIMEO): once set, a
+  /// stalled daemon surfaces as TimeoutError instead of blocking forever.
+  /// 0 clears the deadline.
+  void set_timeout_ms(double ms);
+
   /// Raw connection fd — tests use it to inject protocol garbage exactly as
   /// a broken or malicious client would.
   int fd() const { return fd_; }
@@ -59,6 +90,66 @@ class Client {
  private:
   explicit Client(int fd) : fd_(fd) {}
   int fd_ = -1;
+};
+
+/// Knobs for ResilientClient, surfaced as `hpcsweep_inspect request` flags.
+struct ClientPolicy {
+  double timeout_ms = 0;       ///< socket read/write deadline (0 = none)
+  int max_retries = 3;         ///< retry budget beyond the first attempt
+  double backoff_ms = 50;      ///< first retry delay; doubles per attempt
+  double backoff_max_ms = 2000;
+  /// Jitter stream seed: backoff delays are scaled by a deterministic
+  /// uniform factor in [0.5, 1.0] so a fleet of retrying clients does not
+  /// re-stampede in lockstep (and tests stay reproducible).
+  std::uint64_t jitter_seed = 0;
+  int breaker_failures = 5;    ///< consecutive transport failures → open
+  double breaker_cooldown_ms = 1000;  ///< open → half-open probe delay
+};
+
+/// Retrying, deadline-aware front end over Client. One ResilientClient
+/// targets one daemon; each attempt opens a fresh connection. Not
+/// thread-safe (the breaker state is unsynchronized by design — share
+/// nothing, or wrap it).
+class ResilientClient {
+ public:
+  static ResilientClient unix_socket(std::string path, ClientPolicy policy = {});
+  static ResilientClient tcp(std::string host, int port, ClientPolicy policy = {});
+
+  enum class Breaker { kClosed, kOpen, kHalfOpen };
+  static const char* breaker_name(Breaker b);
+
+  /// Like Client::study, plus the policy: retries (with jittered backoff)
+  /// on kQueueFull rejects and connect failures, never after the request
+  /// reached the daemon. Throws CircuitOpenError when the breaker is open,
+  /// TimeoutError on a tripped socket deadline, hps::Error otherwise.
+  Client::StudyReply study(const Request& req,
+                           const std::function<void(const std::string&)>& on_record = {});
+
+  /// One plain connection under the policy's socket deadline — for ping /
+  /// stats / metrics / shutdown, which have no retry semantics.
+  Client connect_once();
+
+  Breaker breaker_state() const;
+  /// Connect+exchange attempts the last study() spent (≥ 1).
+  int last_attempts() const { return last_attempts_; }
+
+ private:
+  ResilientClient(bool use_tcp, std::string target, int port, ClientPolicy policy);
+  Client connect_raw();
+  void on_transport_failure();
+  void on_transport_success();
+  double backoff_delay_ms(int attempt);
+
+  bool use_tcp_ = false;
+  std::string target_;  ///< socket path (unix) or host (tcp)
+  int port_ = 0;
+  ClientPolicy policy_;
+
+  int consecutive_failures_ = 0;
+  bool open_ = false;
+  std::int64_t open_until_ns_ = 0;  ///< steady-clock; breaker probe time
+  std::uint64_t jitter_state_ = 0;
+  int last_attempts_ = 0;
 };
 
 }  // namespace hps::serve

@@ -200,7 +200,12 @@ std::string render_prometheus(const MetricsReply& m) {
   os << "hpcsweepd_rejected_total{reason=\"draining\"} " << s.rejected_draining << "\n";
   os << "hpcsweepd_rejected_total{reason=\"bad_request\"} " << s.rejected_bad << "\n";
   os << "hpcsweepd_rejected_total{reason=\"conn_limit\"} " << s.rejected_conn_limit << "\n";
+  os << "hpcsweepd_rejected_total{reason=\"expired\"} " << s.rejected_expired << "\n";
+  os << "hpcsweepd_rejected_total{reason=\"slow_read\"} " << s.rejected_slow_read << "\n";
+  counter("hpcsweepd_shed_total", s.shed_queue_delay);
+  counter("hpcsweepd_degraded_fallback_total", s.degraded_fallback);
   counter("hpcsweepd_serve_ledger_records_total", s.ledger_records);
+  counter("hpcsweepd_ledger_write_errors_total", s.ledger_write_errors);
   counter("hpcsweepd_spans_dropped_total", s.spans_dropped);
   gauge("hpcsweepd_cache_bytes", std::to_string(s.cache_bytes));
   gauge("hpcsweepd_cache_entries", std::to_string(s.cache_entries));
@@ -278,17 +283,27 @@ std::string render_dashboard(const MetricsReply& m, const MetricsReply* prev,
                 static_cast<unsigned long long>(s.cache_bytes),
                 static_cast<unsigned long long>(s.cache_evictions));
   os << line;
-  const std::uint64_t rejected =
-      s.rejected_queue_full + s.rejected_draining + s.rejected_bad + s.rejected_conn_limit;
+  const std::uint64_t rejected = s.rejected_queue_full + s.rejected_draining +
+                                 s.rejected_bad + s.rejected_conn_limit +
+                                 s.rejected_expired + s.rejected_slow_read;
   std::snprintf(line, sizeof line,
-                "  rejected %llu (full %llu, draining %llu, bad %llu, conns %llu)  "
-                "ledger %llu  spans-dropped %llu\n",
+                "  rejected %llu (full %llu, draining %llu, bad %llu, conns %llu, "
+                "expired %llu, slow-read %llu)\n",
                 static_cast<unsigned long long>(rejected),
                 static_cast<unsigned long long>(s.rejected_queue_full),
                 static_cast<unsigned long long>(s.rejected_draining),
                 static_cast<unsigned long long>(s.rejected_bad),
                 static_cast<unsigned long long>(s.rejected_conn_limit),
+                static_cast<unsigned long long>(s.rejected_expired),
+                static_cast<unsigned long long>(s.rejected_slow_read));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  overload: shed %llu  mfact-fallback %llu  |  ledger %llu "
+                "(write-errors %llu)  spans-dropped %llu\n",
+                static_cast<unsigned long long>(s.shed_queue_delay),
+                static_cast<unsigned long long>(s.degraded_fallback),
                 static_cast<unsigned long long>(s.ledger_records),
+                static_cast<unsigned long long>(s.ledger_write_errors),
                 static_cast<unsigned long long>(s.spans_dropped));
   os << line;
 

@@ -119,6 +119,7 @@ const char* status_name(Status s) {
     case Status::kOversized: return "oversized";
     case Status::kBadRequest: return "bad-request";
     case Status::kError: return "error";
+    case Status::kExpired: return "expired";
   }
   return "?";
 }
@@ -135,6 +136,8 @@ std::string encode_request(const Request& r) {
   put_f64(out, r.wall_deadline_s);
   put_u64(out, r.max_des_events);
   put_u64(out, static_cast<std::uint64_t>(r.virtual_horizon_ns));
+  // v3 extension: appended so a v1/v2 decoder's fixed prefix is untouched.
+  put_u64(out, r.deadline_ms);
   return out;
 }
 
@@ -154,6 +157,7 @@ Request decode_request(const std::string& payload) {
   r.wall_deadline_s = rd.f64();
   r.max_des_events = rd.u64();
   r.virtual_horizon_ns = static_cast<std::int64_t>(rd.u64());
+  if (version >= 3) r.deadline_ms = rd.u64();
   rd.done();
   HPS_REQUIRE(r.duration_scale > 0 && r.duration_scale <= 10.0,
               "serve request duration_scale out of range");
@@ -171,22 +175,27 @@ std::string encode_summary(const Summary& s) {
   put_u32(out, s.degraded);
   put_f64(out, s.wall_seconds);
   put_str(out, s.detail);
+  // v3 extension: graceful-degradation tag, appended after the v2 layout.
+  put_u8(out, s.mfact_fallback ? 1 : 0);
   return out;
 }
 
 Summary decode_summary(const std::string& payload) {
   Reader rd{payload};
-  check_version(rd.u32(), "summary");
+  const std::uint32_t version = check_version(rd.u32(), "summary");
   Summary s;
   const std::uint8_t st = rd.u8();
-  HPS_REQUIRE(st <= static_cast<std::uint8_t>(Status::kError),
-              "serve summary status out of range");
+  // kExpired joined in v3; an older payload may not claim it.
+  const auto max_status = static_cast<std::uint8_t>(version >= 3 ? Status::kExpired
+                                                                 : Status::kError);
+  HPS_REQUIRE(st <= max_status, "serve summary status out of range");
   s.status = static_cast<Status>(st);
   s.cache_hit = rd.u8() != 0;
   s.records = rd.u32();
   s.degraded = rd.u32();
   s.wall_seconds = rd.f64();
   s.detail = rd.str();
+  if (version >= 3) s.mfact_fallback = rd.u8() != 0;
   rd.done();
   return s;
 }
@@ -204,6 +213,11 @@ std::string encode_stats(const Stats& s) {
   // v2 extension: appended so a v1 decoder's fixed prefix is untouched.
   for (const std::uint64_t v : {s.uptime_ms, s.ledger_records, s.spans_dropped})
     put_u64(out, v);
+  // v3 extension: overload counters, appended after the v2 layout.
+  for (const std::uint64_t v :
+       {s.rejected_expired, s.shed_queue_delay, s.degraded_fallback,
+        s.rejected_slow_read, s.ledger_write_errors})
+    put_u64(out, v);
   return out;
 }
 
@@ -219,6 +233,11 @@ Stats decode_stats(const std::string& payload) {
     *v = rd.u64();
   if (version >= 2)
     for (std::uint64_t* v : {&s.uptime_ms, &s.ledger_records, &s.spans_dropped}) *v = rd.u64();
+  if (version >= 3)
+    for (std::uint64_t* v :
+         {&s.rejected_expired, &s.shed_queue_delay, &s.degraded_fallback,
+          &s.rejected_slow_read, &s.ledger_write_errors})
+      *v = rd.u64();
   rd.done();
   return s;
 }
@@ -237,7 +256,12 @@ std::string stats_to_json(const Stats& s) {
      << ",\"queued\":" << s.queued
      << ",\"uptime_ms\":" << s.uptime_ms
      << ",\"ledger_records\":" << s.ledger_records
-     << ",\"spans_dropped\":" << s.spans_dropped << "}";
+     << ",\"spans_dropped\":" << s.spans_dropped
+     << ",\"rejected_expired\":" << s.rejected_expired
+     << ",\"shed_queue_delay\":" << s.shed_queue_delay
+     << ",\"degraded_fallback\":" << s.degraded_fallback
+     << ",\"rejected_slow_read\":" << s.rejected_slow_read
+     << ",\"ledger_write_errors\":" << s.ledger_write_errors << "}";
   return os.str();
 }
 

@@ -29,7 +29,11 @@ namespace hps::serve {
 /// interoperates (pinned by protocol tests).
 /// v2: Request gains the kMetrics kind; Stats appends uptime_ms,
 ///     ledger_records and spans_dropped.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: Request appends deadline_ms (client end-to-end deadline); Summary
+///     appends the mfact_fallback flag and Status gains kExpired; Stats
+///     appends the overload counters (rejected_expired, shed_queue_delay,
+///     degraded_fallback, rejected_slow_read, ledger_write_errors).
+inline constexpr std::uint32_t kProtocolVersion = 3;
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Cap on a single *request* frame. Requests are a fixed few dozen bytes;
@@ -58,6 +62,13 @@ struct Request {
   double wall_deadline_s = 0;
   std::uint64_t max_des_events = 0;
   std::int64_t virtual_horizon_ns = 0;
+
+  /// v3: end-to-end deadline in milliseconds from the moment the daemon
+  /// decodes the request (0 = none). Queue wait is charged against it: an
+  /// entry whose deadline passes before dispatch is rejected kExpired, and
+  /// the execution wall budget is derived from whatever deadline *remains*
+  /// at dispatch. Decoded as 0 from v1/v2 payloads.
+  std::uint64_t deadline_ms = 0;
 };
 
 const char* request_kind_name(Request::Kind k);
@@ -72,6 +83,8 @@ enum class Status : std::uint8_t {
   kOversized,       ///< request frame exceeded kMaxRequestBytes
   kBadRequest,      ///< unframeable/undecodable/unsupported request
   kError,           ///< server-side failure (detail says what)
+  kExpired,         ///< v3: the request's end-to-end deadline passed before
+                    ///< (or while) it waited for dispatch
 };
 
 const char* status_name(Status s);
@@ -84,6 +97,11 @@ struct Summary {
   std::uint32_t degraded = 0; ///< records with a real fail_kind
   double wall_seconds = 0;    ///< server-side study wall time (0 on a hit)
   std::string detail;         ///< human-readable context (errors, reasons)
+  /// v3: the requested simulation was infeasible within the remaining
+  /// deadline (or overload shedding state), so the daemon answered with the
+  /// cheap MFACT model instead — the result is tagged, never cached, and the
+  /// summary status reads kDegraded. Decoded as false from v1/v2 payloads.
+  bool mfact_fallback = false;
 };
 
 /// Payload of kStatsReply: the daemon's cumulative counters.
@@ -107,6 +125,15 @@ struct Stats {
   std::uint64_t uptime_ms = 0;         ///< since the daemon started serving
   std::uint64_t ledger_records = 0;    ///< serve-ledger request lines written
   std::uint64_t spans_dropped = 0;     ///< request spans lost to the ring cap
+
+  // v3 fields (defaulted when decoding a v1/v2 payload): overload handling.
+  std::uint64_t rejected_expired = 0;   ///< deadline passed before dispatch
+  std::uint64_t shed_queue_delay = 0;   ///< CoDel-style queue-delay sheds
+  std::uint64_t degraded_fallback = 0;  ///< answered with MFACT fallback
+  std::uint64_t rejected_slow_read = 0; ///< connections dropped by the
+                                        ///< slow-read (slowloris) guard
+  std::uint64_t ledger_write_errors = 0; ///< serve-ledger appends lost to I/O
+                                         ///< failure (ENOSPC, short writes)
 };
 
 std::string encode_request(const Request& r);

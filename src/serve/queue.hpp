@@ -6,19 +6,49 @@
 // OOMs or clients time out blind. Consumers (dispatcher threads) block in
 // pop until work arrives or the queue is closed.
 //
+// v3 additions (overload resilience):
+//
+//  * Entries carry an enqueue timestamp, an optional absolute deadline and a
+//    cost class. pop_entry() classifies what it hands back: an entry whose
+//    deadline passed while it waited comes out kExpired (the dispatcher
+//    completes it as a deadline reject instead of running it), and under
+//    sustained queue delay entries come out kShed.
+//
+//  * Shedding is CoDel-style: track the sojourn time of each dequeued entry;
+//    once it stays above ShedPolicy::target_ns continuously for
+//    ShedPolicy::interval_ns, enter the dropping state and shed every
+//    over-target dequeue until a dequeue comes out under target again. This
+//    bounds observed queue delay at roughly target + one interval regardless
+//    of offered load, which a fixed capacity bound cannot do when per-item
+//    service time varies by orders of magnitude.
+//
+//  * Two cost classes with weighted round-robin dequeue (class 0 = cheap /
+//    MFACT-planned, class 1 = simulation; weights 2:1) so cheap requests are
+//    not starved behind long packet simulations already in the backlog.
+//
 // close() flips the queue into drain mode: try_push refuses with kClosed
 // (→ kDraining on the wire) while pop keeps yielding the already-admitted
 // backlog — admission is a promise, so accepted work is finished (or, under
 // an interrupt, fails fast inside the study itself) rather than dropped.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
 
 namespace hps::serve {
+
+/// Queue-delay shedding policy. target_ns == 0 disables shedding entirely
+/// (the default — healthy deployments keep the fixed capacity bound only).
+struct ShedPolicy {
+  std::int64_t target_ns = 0;    ///< acceptable sojourn time for dequeued work
+  std::int64_t interval_ns = 0;  ///< how long sojourn must stay above target
+                                 ///< before the queue starts shedding
+};
 
 template <typename T>
 class AdmissionQueue {
@@ -29,29 +59,81 @@ class AdmissionQueue {
     kClosed,    ///< draining — no new admissions
   };
 
-  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// What pop_entry() handed back. kExpired/kShed entries are still *moved
+  /// out* to the consumer — the dispatcher owns completing them (reject on
+  /// the wire, retire coalescing state) rather than the queue dropping them
+  /// on the floor with waiters attached.
+  enum class Pop {
+    kClosed,   ///< closed and drained — the consumer should exit
+    kItem,     ///< healthy entry: execute it
+    kExpired,  ///< deadline passed while queued: complete as kExpired
+    kShed,     ///< overload shedding dropped it: complete as backpressure
+  };
 
-  Push try_push(T item) {
+  /// Number of cost classes (see weights in pop_entry).
+  static constexpr int kClasses = 2;
+
+  explicit AdmissionQueue(std::size_t capacity, ShedPolicy shed = {})
+      : capacity_(capacity), shed_(shed) {}
+
+  /// Monotonic clock all queue timestamps/deadlines are expressed in.
+  static std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  Push try_push(T item) { return try_push(std::move(item), 0, 0); }
+
+  /// deadline_ns: absolute steady_now_ns() instant past which the entry is
+  /// expired (0 = none). cls: cost class in [0, kClasses).
+  Push try_push(T item, std::int64_t deadline_ns, int cls) {
+    if (cls < 0 || cls >= kClasses) cls = kClasses - 1;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (closed_) return Push::kClosed;
-      if (items_.size() >= capacity_) return Push::kFull;
-      items_.push_back(std::move(item));
+      if (size_locked() >= capacity_) return Push::kFull;
+      items_[cls].push_back(Entry{std::move(item), steady_now_ns(), deadline_ns});
     }
     ready_.notify_one();
     return Push::kAccepted;
   }
 
-  /// Blocks until an item is available or the queue is closed *and* empty.
-  /// Returns false only in the latter case (the consumer should exit).
-  bool pop(T& out) {
+  /// Blocks until an entry is available or the queue is closed *and* empty.
+  /// Classifies the entry it hands back; see Pop. Expiry is checked before
+  /// shedding and does not feed the shedding state (an expired entry says
+  /// the *deadline* was tight, not necessarily that the queue is congested).
+  Pop pop_entry(T& out) {
     std::unique_lock<std::mutex> lk(mu_);
-    ready_.wait(lk, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
-    return true;
+    ready_.wait(lk, [&] { return closed_ || size_locked() > 0; });
+    if (size_locked() == 0) return Pop::kClosed;
+
+    Entry e = take_locked();
+    const std::int64_t now = steady_now_ns();
+    out = std::move(e.item);
+
+    if (e.deadline_ns > 0 && now >= e.deadline_ns) return Pop::kExpired;
+
+    if (shed_.target_ns > 0) {
+      const std::int64_t sojourn = now - e.enqueue_ns;
+      if (sojourn > shed_.target_ns) {
+        if (above_since_ns_ == 0) above_since_ns_ = now;
+        if (dropping_ || now - above_since_ns_ >= shed_.interval_ns) {
+          dropping_ = true;
+          ++shed_count_;
+          return Pop::kShed;
+        }
+      } else {
+        above_since_ns_ = 0;
+        dropping_ = false;
+      }
+    }
+    return Pop::kItem;
   }
+
+  /// Legacy interface: any entry (regardless of classification) counts as
+  /// work. Only meaningful when deadlines and shedding are unused.
+  bool pop(T& out) { return pop_entry(out) != Pop::kClosed; }
 
   void close() {
     {
@@ -68,17 +150,70 @@ class AdmissionQueue {
 
   std::size_t size() const {
     std::lock_guard<std::mutex> lk(mu_);
-    return items_.size();
+    return size_locked();
   }
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Entries shed so far (cumulative, for stats).
+  std::uint64_t shed_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return shed_count_;
+  }
+
  private:
+  struct Entry {
+    T item;
+    std::int64_t enqueue_ns = 0;
+    std::int64_t deadline_ns = 0;
+  };
+
+  std::size_t size_locked() const {
+    std::size_t n = 0;
+    for (const auto& q : items_) n += q.size();
+    return n;
+  }
+
+  /// Weighted round-robin across classes: class 0 is served twice for every
+  /// class-1 entry so cheap work keeps flowing past a simulation backlog.
+  /// A class with an empty deque forfeits its turn.
+  Entry take_locked() {
+    static constexpr int kWeights[kClasses] = {2, 1};
+    for (int step = 0; step < kClasses; ++step) {
+      const int cls = rr_class_;
+      if (!items_[cls].empty()) {
+        Entry e = std::move(items_[cls].front());
+        items_[cls].pop_front();
+        if (++rr_credit_ >= kWeights[cls]) {
+          rr_credit_ = 0;
+          rr_class_ = (cls + 1) % kClasses;
+        }
+        return e;
+      }
+      rr_credit_ = 0;
+      rr_class_ = (cls + 1) % kClasses;
+    }
+    // Unreachable: callers check size_locked() > 0 under the same lock.
+    Entry e = std::move(items_[0].front());
+    items_[0].pop_front();
+    return e;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable ready_;
-  std::deque<T> items_;
+  std::deque<Entry> items_[kClasses];
   std::size_t capacity_;
+  ShedPolicy shed_;
   bool closed_ = false;
+
+  // Weighted round-robin dequeue state (guarded by mu_).
+  int rr_class_ = 0;   ///< class whose turn it is
+  int rr_credit_ = 0;  ///< entries served from rr_class_ this turn
+
+  // CoDel state (guarded by mu_, mutated only by pop_entry).
+  std::int64_t above_since_ns_ = 0;  ///< when sojourn first exceeded target (0 = not above)
+  bool dropping_ = false;
+  std::uint64_t shed_count_ = 0;
 };
 
 }  // namespace hps::serve

@@ -21,6 +21,7 @@
 #include "mfact/classify.hpp"
 #include "obs/inspect.hpp"
 #include "obs/ledger.hpp"
+#include "robust/fault.hpp"
 #include "robust/interrupt.hpp"
 #include "robust/ipc.hpp"
 #include "telemetry/export.hpp"
@@ -187,7 +188,9 @@ void InFlight::wait() {
 Server::Server(ServerOptions opts)
     : opts_(std::move(opts)),
       cache_(opts_.cache_bytes),
-      queue_(std::max<std::size_t>(1, opts_.queue_capacity)) {
+      queue_(std::max<std::size_t>(1, opts_.queue_capacity),
+             ShedPolicy{static_cast<std::int64_t>(opts_.shed_target_ms * 1e6),
+                        static_cast<std::int64_t>(opts_.shed_interval_ms * 1e6)}) {
   opts_.dispatchers = std::max(1, opts_.dispatchers);
   opts_.max_connections = std::max<std::size_t>(1, opts_.max_connections);
   // Observability comes up before the listeners so a constructor failure
@@ -249,52 +252,150 @@ core::StudyOptions Server::study_options(const Request& req) const {
   return so;
 }
 
+double Server::predicted_full_seconds() const {
+  const std::uint64_t runs = studies_run_.load(std::memory_order_relaxed);
+  if (runs == 0) return 0;
+  double sim_seconds = 0;
+  for (const obs::CostCell& c : costs_.cells())
+    if (c.scheme != core::scheme_name(core::Scheme::kMfact))
+      sim_seconds += c.wall_seconds;
+  return sim_seconds / static_cast<double>(runs);
+}
+
 void Server::dispatcher_loop() {
+  using Queue = AdmissionQueue<std::shared_ptr<InFlight>>;
   std::shared_ptr<InFlight> job;
-  while (queue_.pop(job)) {
+  for (;;) {
+    const Queue::Pop popped = queue_.pop_entry(job);
+    if (popped == Queue::Pop::kClosed) break;
     const std::int64_t popped_ns = obs_.now_ns();
+
+    // Retire the single-flight slot (only if it is still ours: a
+    // force-recompute may have replaced it). Every exit from this iteration
+    // must retire — an expired or shed job left in the map would pin its
+    // coalesced waiters to a computation that will never happen.
+    const auto retire = [&] {
+      std::lock_guard<std::mutex> lk(inflight_mu_);
+      const auto it = inflight_.find(job->key);
+      if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+    };
+    const auto stamp = [&](std::int64_t run_done) {
+      // Phase boundaries for the owner's queue_wait/execute/cache_insert
+      // tiling; published under mu before done flips in complete().
+      std::lock_guard<std::mutex> lk(job->mu);
+      job->popped_ns = popped_ns;
+      job->run_done_ns = run_done;
+      job->done_ns = obs_.now_ns();
+    };
+
+    if (popped == Queue::Pop::kExpired) {
+      retire();
+      rejected_expired_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::Registry::global().counter("serve.rejected_expired").add(1);
+      stamp(popped_ns);
+      job->complete(Status::kExpired, nullptr,
+                    "end-to-end deadline expired while queued");
+      job.reset();
+      continue;
+    }
+    if (popped == Queue::Pop::kShed) {
+      retire();
+      telemetry::Registry::global().counter("serve.shed_queue_delay").add(1);
+      stamp(popped_ns);
+      // Shed reads as backpressure on the wire: the client's retry policy
+      // for kQueueFull (jittered backoff) is exactly right for overload.
+      job->complete(Status::kQueueFull, nullptr,
+                    "shed: queue delay over target (daemon overloaded)");
+      job.reset();
+      continue;
+    }
+
     active_.fetch_add(1, std::memory_order_relaxed);
     Status status = Status::kError;
     std::string detail;
     std::shared_ptr<const CachedResult> cached;
     std::int64_t run_done_ns = popped_ns;
+    bool expired_now = false;
     try {
       // Every span recorded while this study runs — on worker threads or in
       // forked worker processes — carries the owning request's trace id.
       const telemetry::TraceIdScope trace_scope(job->trace_id);
-      const core::StudyResult res = core::run_study(job->study);
-      run_done_ns = obs_.now_ns();
-      const auto records = core::ledger_records(res.outcomes, job->key);
-      auto built = std::make_shared<CachedResult>();
-      built->wall_seconds = res.wall_seconds;
-      built->degraded = static_cast<std::uint32_t>(obs::degraded_count(records));
-      built->records.reserve(records.size());
-      for (const auto& rec : records) built->records.push_back(obs::to_json_line(rec));
-      built->app_classes = app_class_summary(res.outcomes);
-      // Measured-cost model: attribute each attempted scheme run's wall cost
-      // to its trace's MFACT class. Only computed studies reach this loop —
-      // cache hits and coalesced waiters cost nothing.
-      for (const core::TraceOutcome& o : res.outcomes) {
-        const char* cls = mfact::app_class_name(o.app_class);
-        for (int si = 0; si < static_cast<int>(core::Scheme::kNumSchemes); ++si) {
-          const core::SchemeOutcome& sc = o.scheme[si];
-          if (!sc.attempted) continue;
-          costs_.add(cls, core::scheme_name(static_cast<core::Scheme>(si)), 1,
-                     sc.wall_seconds);
+      // Injected dispatch latency (chaos: site=serve.dispatch,kind=delay)
+      // lands before the deadline math so it is charged like queue wait
+      // rather than silently overrunning the execution budget.
+      robust::fault_point(robust::FaultSite::kServeDispatch);
+      if (job->deadline_ns > 0) {
+        const double remaining_s =
+            static_cast<double>(job->deadline_ns - Queue::steady_now_ns()) * 1e-9;
+        if (remaining_s <= 0) {
+          expired_now = true;
+        } else {
+          // Degrade rather than start a simulation that cannot finish: the
+          // measured cost model says how long a full study takes here.
+          if (!job->fallback && predicted_full_seconds() > remaining_s) {
+            job->fallback = true;
+            job->study.run.mfact_only = true;
+          }
+          // The execution budget is whatever deadline *remains* after queue
+          // wait — never the full client deadline over again.
+          double& wall = job->study.run.budget.wall_deadline_seconds;
+          wall = wall <= 0 ? remaining_s : std::min(wall, remaining_s);
         }
       }
-      if (res.interrupted) {
-        // A drain signal landed mid-study: the outcome is full of skipped
-        // holes. Report it, never cache it.
-        status = Status::kInterrupted;
-        detail = "daemon interrupted while running this study";
-      } else {
-        status = built->degraded > 0 ? Status::kDegraded : Status::kOk;
-        built->status = status;
-        cached = built;
-        cache_.insert(job->key, cached);
-        studies_run_.fetch_add(1, std::memory_order_relaxed);
-        telemetry::Registry::global().counter("serve.studies_run").add(1);
+      if (!expired_now) {
+        const core::StudyResult res = core::run_study(job->study);
+        run_done_ns = obs_.now_ns();
+        const auto records = core::ledger_records(res.outcomes, job->key);
+        auto built = std::make_shared<CachedResult>();
+        built->wall_seconds = res.wall_seconds;
+        built->degraded = static_cast<std::uint32_t>(obs::degraded_count(records));
+        built->records.reserve(records.size());
+        for (const auto& rec : records) built->records.push_back(obs::to_json_line(rec));
+        built->app_classes = app_class_summary(res.outcomes);
+        // Measured-cost model: attribute each attempted scheme run's wall cost
+        // to its trace's MFACT class. Only computed studies reach this loop —
+        // cache hits and coalesced waiters cost nothing.
+        for (const core::TraceOutcome& o : res.outcomes) {
+          const char* cls = mfact::app_class_name(o.app_class);
+          for (int si = 0; si < static_cast<int>(core::Scheme::kNumSchemes); ++si) {
+            const core::SchemeOutcome& sc = o.scheme[si];
+            if (!sc.attempted) continue;
+            costs_.add(cls, core::scheme_name(static_cast<core::Scheme>(si)), 1,
+                       sc.wall_seconds);
+          }
+        }
+        if (res.interrupted) {
+          // A drain signal landed mid-study: the outcome is full of skipped
+          // holes. Report it, never cache it.
+          status = Status::kInterrupted;
+          detail = "daemon interrupted while running this study";
+        } else {
+          built->mfact_fallback = job->fallback;
+          status = (built->degraded > 0 || job->fallback) ? Status::kDegraded
+                                                          : Status::kOk;
+          built->status = status;
+          if (job->fallback) {
+            detail = "degraded=mfact_fallback";
+            fallback_.fetch_add(1, std::memory_order_relaxed);
+            telemetry::Registry::global().counter("serve.degraded_fallback").add(1);
+          }
+          cached = built;
+          // Cacheability: a fallback answer must never mask the real one,
+          // and a deadline-shrunk budget computed a result under a tighter
+          // budget than the admission key encodes — cache it only if the
+          // budget provably never tripped (no degraded records).
+          const bool deadline_shrunk = job->deadline_ns > 0;
+          if (!job->fallback && (!deadline_shrunk || built->degraded == 0)) {
+            try {
+              robust::fault_point(robust::FaultSite::kServeCacheInsert);
+              cache_.insert(job->key, cached);
+            } catch (const std::exception&) {
+              // A failed insert costs a future cache hit, nothing else.
+            }
+          }
+          studies_run_.fetch_add(1, std::memory_order_relaxed);
+          telemetry::Registry::global().counter("serve.studies_run").add(1);
+        }
       }
     } catch (const std::exception& e) {
       status = Status::kError;
@@ -303,23 +404,17 @@ void Server::dispatcher_loop() {
       status = Status::kError;
       detail = "non-std exception while running study";
     }
-    {
-      // Retire the single-flight slot (only if it is still ours: a
-      // force-recompute may have replaced it).
-      std::lock_guard<std::mutex> lk(inflight_mu_);
-      const auto it = inflight_.find(job->key);
-      if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+    if (expired_now) {
+      status = Status::kExpired;
+      detail = "end-to-end deadline expired before execution";
+      rejected_expired_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::Registry::global().counter("serve.rejected_expired").add(1);
     }
-    {
-      // Phase boundaries for the owner's queue_wait/execute/cache_insert
-      // tiling; published under mu before done flips in complete().
-      std::lock_guard<std::mutex> lk(job->mu);
-      job->popped_ns = popped_ns;
-      job->run_done_ns = run_done_ns;
-      job->done_ns = obs_.now_ns();
-    }
+    retire();
+    stamp(run_done_ns);
     job->complete(status, std::move(cached), std::move(detail));
     active_.fetch_sub(1, std::memory_order_relaxed);
+    job.reset();
   }
 }
 
@@ -339,6 +434,8 @@ bool Server::stream_result(int fd, const CachedResult& result, bool cache_hit) {
   s.records = static_cast<std::uint32_t>(result.records.size());
   s.degraded = result.degraded;
   s.wall_seconds = cache_hit ? 0 : result.wall_seconds;
+  s.mfact_fallback = result.mfact_fallback;
+  if (result.mfact_fallback) s.detail = "degraded=mfact_fallback";
   return send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
 }
 
@@ -350,11 +447,19 @@ bool Server::handle_study(int fd, const Request& req, std::int64_t recv_ns) {
   timer.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   timer.phase("decode");
 
+  // End-to-end deadline, stamped on the queue's steady clock at decode so
+  // every later stage — queue wait included — is charged against it.
+  using Queue = AdmissionQueue<std::shared_ptr<InFlight>>;
+  const std::int64_t deadline_ns =
+      req.deadline_ms > 0
+          ? Queue::steady_now_ns() + static_cast<std::int64_t>(req.deadline_ms) * 1000000
+          : 0;
+
   core::StudyOptions so = study_options(req);
   // The trace id rides inside StudyOptions but is deliberately excluded from
   // study_cache_key: tracing must never change what is computed or cached.
   so.trace_id = timer.trace_id;
-  const std::uint64_t key = core::study_cache_key(so);
+  std::uint64_t key = core::study_cache_key(so);
   timer.phase("clamp");
 
   if (!req.force_recompute) {
@@ -365,6 +470,22 @@ bool Server::handle_study(int fd, const Request& req, std::int64_t recv_ns) {
                      static_cast<std::uint32_t>(hit->records.size()), hit->degraded,
                      hit->app_classes);
       return ok;
+    }
+  }
+
+  // Feasibility triage: when the measured cost of a full study already
+  // exceeds the whole deadline, plan the MFACT fallback up front. The
+  // request joins the cheap admission class (so it is not starved behind
+  // simulations) under the fallback's own cache key.
+  bool fallback_planned = false;
+  if (deadline_ns > 0) {
+    const double remaining_s =
+        static_cast<double>(deadline_ns - Queue::steady_now_ns()) * 1e-9;
+    const double predicted = predicted_full_seconds();
+    if (predicted > 0 && predicted > remaining_s) {
+      fallback_planned = true;
+      so.run.mfact_only = true;
+      key = core::study_cache_key(so);
     }
   }
 
@@ -382,6 +503,9 @@ bool Server::handle_study(int fd, const Request& req, std::int64_t recv_ns) {
       job->key = key;
       job->study = so;
       job->trace_id = timer.trace_id;
+      job->deadline_ns = deadline_ns;
+      job->cls = fallback_planned ? 0 : 1;
+      job->fallback = fallback_planned;
       inflight_[key] = job;
       owner = true;
     }
@@ -389,7 +513,7 @@ bool Server::handle_study(int fd, const Request& req, std::int64_t recv_ns) {
   timer.phase("cache_lookup");
 
   if (owner) {
-    switch (queue_.try_push(job)) {
+    switch (queue_.try_push(job, job->deadline_ns, job->cls)) {
       case AdmissionQueue<std::shared_ptr<InFlight>>::Push::kAccepted:
         break;
       case AdmissionQueue<std::shared_ptr<InFlight>>::Push::kFull: {
@@ -458,16 +582,20 @@ bool Server::handle_study(int fd, const Request& req, std::int64_t recv_ns) {
   bool ok;
   std::uint32_t nrecords = 0, ndegraded = 0;
   std::string classes;
+  bool fallback = false;
   if (result != nullptr) {
     nrecords = static_cast<std::uint32_t>(result->records.size());
     ndegraded = result->degraded;
     classes = result->app_classes;
+    fallback = result->mfact_fallback;
     // A coalesced waiter reports cache_hit: it rode a computation it did not
     // pay for (the owner paid; its summary carries the wall time).
     ok = stream_result(fd, *result, !owner);
-  } else if (status == Status::kQueueFull || status == Status::kDraining) {
-    // A waiter attached to a job whose owner failed admission gets the same
-    // kReject frame the owner's client got.
+  } else if (status == Status::kQueueFull || status == Status::kDraining ||
+             status == Status::kExpired) {
+    // A waiter attached to a job whose owner failed admission — or whose
+    // deadline expired / was shed before dispatch — gets the same kReject
+    // frame the owner's client got.
     ok = send_reject(fd, status, detail);
   } else {
     Summary s;
@@ -476,13 +604,14 @@ bool Server::handle_study(int fd, const Request& req, std::int64_t recv_ns) {
     ok = send_msg(fd, ipc::MsgType::kSummary, encode_summary(s));
   }
   finish_request(timer, req, status, /*cache_hit=*/false, /*coalesced=*/!owner,
-                 nrecords, ndegraded, classes);
+                 nrecords, ndegraded, classes, fallback);
   return ok;
 }
 
 void Server::finish_request(RequestTimer& t, const Request& req, Status status,
                             bool cache_hit, bool coalesced, std::uint32_t records,
-                            std::uint32_t degraded, const std::string& app_classes) {
+                            std::uint32_t degraded, const std::string& app_classes,
+                            bool mfact_fallback) {
   t.phase("stream");
   const std::int64_t total_ns = t.last_ns - t.start_ns;
   const double total_s = static_cast<double>(total_ns) * 1e-9;
@@ -541,11 +670,15 @@ void Server::finish_request(RequestTimer& t, const Request& req, Status status,
     rec.limit = req.limit;
     rec.app_classes = app_classes;
     rec.total_ns = total_ns;
+    rec.mfact_fallback = mfact_fallback;
+    rec.deadline_ms = req.deadline_ms;
     rec.phases = t.phases;
     try {
+      robust::fault_point(robust::FaultSite::kServeLedgerAppend);
       ledger_->append(rec);
     } catch (const std::exception&) {
-      // A full disk must not take the serving path down.
+      // A failing ledger (injected or real) must not take the serving path
+      // down; the writer itself hardens ENOSPC/short writes.
       ledger_errors_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -609,6 +742,24 @@ void Server::handle_connection(int fd, bool trusted) {
   ipc::FrameDecoder dec(kMaxRequestBytes);
   char buf[4096];
   bool keep = true;
+  // Slowloris guard: a request frame is tiny, so a peer holding a *partial*
+  // frame for longer than the cap is stalling on purpose (or dead in a way
+  // keepalives have not noticed). Without the cap each such peer pins a
+  // connection thread forever. partial_since_ns is when the currently
+  // buffered partial frame started; 0 = no partial frame pending.
+  const std::int64_t slow_limit_ns =
+      static_cast<std::int64_t>(opts_.slow_read_timeout_ms * 1e6);
+  std::int64_t partial_since_ns = 0;
+  const auto slow_read_tripped = [&] {
+    return slow_limit_ns > 0 && partial_since_ns > 0 &&
+           obs_.now_ns() - partial_since_ns > slow_limit_ns;
+  };
+  const auto reject_slow_read = [&] {
+    rejected_slow_read_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::Registry::global().counter("serve.rejected_slow_read").add(1);
+    send_reject(fd, Status::kBadRequest,
+                "slow read: partial request frame held past the cap");
+  };
   while (keep) {
     pollfd pfd{fd, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, 200);
@@ -617,8 +768,13 @@ void Server::handle_connection(int fd, bool trusted) {
       break;
     }
     if (rc == 0) {
-      // Idle tick: an idle connection does not outlive the drain.
+      // Idle tick: an idle connection does not outlive the drain, and a
+      // stalled partial frame does not outlive the slow-read cap.
       if (draining()) break;
+      if (slow_read_tripped()) {
+        reject_slow_read();
+        break;
+      }
       continue;
     }
     const ssize_t n = ::read(fd, buf, sizeof buf);
@@ -650,6 +806,18 @@ void Server::handle_connection(int fd, bool trusted) {
       }
       break;  // kNeedMore
     }
+    if (!keep) break;
+    // Trickling one byte per read must not reset the clock: the guard times
+    // the *frame*, so the stamp survives until the frame completes.
+    if (dec.buffered() > 0) {
+      if (partial_since_ns == 0) partial_since_ns = obs_.now_ns();
+      if (slow_read_tripped()) {
+        reject_slow_read();
+        break;
+      }
+    } else {
+      partial_since_ns = 0;
+    }
   }
   ::close(fd);
   {
@@ -661,6 +829,10 @@ void Server::handle_connection(int fd, bool trusted) {
 
 void Server::run() {
   SigpipeIgnore sigpipe;
+  // Arm $HPS_FAULT before the first request so serve-site specs
+  // (serve.dispatch / serve.cache-insert / serve.ledger-append) hit from the
+  // start — run_study would arm it too, but only after the first dispatch.
+  robust::init_faults_from_env();
   std::optional<robust::StudySignalGuard> guard;
   if (opts_.install_signal_guard) guard.emplace();
 
@@ -769,6 +941,14 @@ Stats Server::stats() const {
   s.uptime_ms = static_cast<std::uint64_t>(obs_.now_ns() / 1000000);
   s.ledger_records = ledger_ != nullptr ? ledger_->records_written() : 0;
   s.spans_dropped = obs_.spans_dropped();
+  s.rejected_expired = rejected_expired_.load(std::memory_order_relaxed);
+  s.shed_queue_delay = queue_.shed_count();
+  s.degraded_fallback = fallback_.load(std::memory_order_relaxed);
+  s.rejected_slow_read = rejected_slow_read_.load(std::memory_order_relaxed);
+  // Both layers lose lines: the writer's own hardened failures plus appends
+  // that threw before reaching it (fault injection).
+  s.ledger_write_errors = ledger_errors_.load(std::memory_order_relaxed) +
+                          (ledger_ != nullptr ? ledger_->write_errors() : 0);
   return s;
 }
 

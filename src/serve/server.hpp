@@ -79,6 +79,20 @@ struct ServerOptions {
   std::uint64_t max_des_events = 0;
   std::int64_t max_virtual_horizon_ns = 0;
 
+  // Overload policy (v3). Shedding is off by default: healthy deployments
+  // keep the fixed queue bound only, so nothing in the serving path changes
+  // until a target is set.
+  /// CoDel-style queue-delay shedding: once the sojourn time of dequeued
+  /// work exceeds this target continuously for shed_interval_ms, the queue
+  /// sheds over-target entries (rejected kQueueFull) until delay recovers.
+  /// 0 disables shedding.
+  double shed_target_ms = 0;
+  double shed_interval_ms = 100;
+  /// Slowloris guard: a connection that holds a partial request frame
+  /// longer than this is rejected and closed (Stats::rejected_slow_read).
+  /// 0 disables the guard.
+  double slow_read_timeout_ms = 5000;
+
   /// Install robust::StudySignalGuard for the run() lifetime so SIGINT/
   /// SIGTERM drain the daemon. Tests drive robust::request_interrupt()
   /// directly and may turn this off.
@@ -101,6 +115,14 @@ struct InFlight {
   std::uint64_t key = 0;
   core::StudyOptions study;
   std::uint64_t trace_id = 0;  ///< owning request's trace id (study.trace_id)
+  /// Absolute end-to-end deadline on AdmissionQueue::steady_now_ns()'s clock
+  /// (0 = none), stamped when the request was decoded.
+  std::int64_t deadline_ns = 0;
+  int cls = 0;  ///< admission cost class (0 = MFACT-planned, 1 = simulation)
+  /// The study ran (or will run) as an MFACT-only degraded fallback: decided
+  /// at admission when the predicted full cost already exceeds the deadline,
+  /// or at dispatch when queue wait ate it. Guarded by mu after admission.
+  bool fallback = false;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -158,11 +180,15 @@ class Server {
   bool send_reject(int fd, Status status, const std::string& detail);
   core::StudyOptions study_options(const Request& req) const;
   bool draining() const;
+  /// Measured mean wall cost of one full (all-schemes) study, from the
+  /// PR 7 cost model. 0 until the first study completes — optimistic, so a
+  /// cold daemon attempts the real thing and learns from it.
+  double predicted_full_seconds() const;
   /// Closes the timer's final phase, feeds the latency histograms, emits the
   /// request's span tree, and appends the serve-ledger record.
   void finish_request(RequestTimer& t, const Request& req, Status status, bool cache_hit,
                       bool coalesced, std::uint32_t records, std::uint32_t degraded,
-                      const std::string& app_classes);
+                      const std::string& app_classes, bool mfact_fallback = false);
 
   ServerOptions opts_;
   int unix_fd_ = -1;
@@ -187,6 +213,9 @@ class Server {
   std::atomic<std::uint64_t> rejected_draining_{0};
   std::atomic<std::uint64_t> rejected_bad_{0};
   std::atomic<std::uint64_t> rejected_conn_{0};
+  std::atomic<std::uint64_t> rejected_expired_{0};
+  std::atomic<std::uint64_t> rejected_slow_read_{0};
+  std::atomic<std::uint64_t> fallback_{0};
   std::atomic<std::uint64_t> active_{0};
 
   // Observability. The registry is private to the daemon (never the global

@@ -22,6 +22,7 @@
 
 #include "common/error.hpp"
 #include "obs/serve_ledger.hpp"
+#include "robust/fault.hpp"
 #include "robust/interrupt.hpp"
 #include "robust/ipc.hpp"
 #include "serve/cache.hpp"
@@ -687,12 +688,13 @@ TEST(ServeProtocol, V1StatsPayloadStillDecodesWithV2FieldsDefaulted) {
   st.uptime_ms = 999;       // v2-only — must vanish from a v1 payload
   st.ledger_records = 888;
   st.spans_dropped = 777;
-  // Reconstruct what a v1 daemon would have sent: the v2 extension is
-  // *appended*, so drop the three trailing u64s and patch the version word.
+  // Reconstruct what a v1 daemon would have sent: the v2 and v3 extensions
+  // are *appended*, so drop the five v3 u64s plus the three v2 u64s and
+  // patch the version word.
   std::string v1 = encode_stats(st);
-  ASSERT_GT(v1.size(), 3u * 8u);
-  v1.resize(v1.size() - 3 * 8);
-  v1[0] = 1;  // little-endian u32 version: 2 -> 1
+  ASSERT_GT(v1.size(), 8u * 8u);
+  v1.resize(v1.size() - 8 * 8);
+  v1[0] = 1;  // little-endian u32 version: 3 -> 1
   const Stats gt = decode_stats(v1);
   EXPECT_EQ(gt.requests, 7u);
   EXPECT_EQ(gt.cache_hits, 4u);
@@ -708,16 +710,18 @@ TEST(ServeProtocol, V1StatsPayloadStillDecodesWithV2FieldsDefaulted) {
 TEST(ServeProtocol, V1RequestPayloadStillDecodesButMayNotClaimMetrics) {
   Request r = tiny_study(5);
   std::string v1 = encode_request(r);
+  v1.resize(v1.size() - 8);  // drop the v3 deadline_ms tail
   v1[0] = 1;  // same byte layout in v1; only the version word moved
   const Request got = decode_request(v1);
   EXPECT_EQ(got.kind, Request::Kind::kStudy);
   EXPECT_EQ(got.seed, 5u);
 
-  // kMetrics is a v2 kind: valid in a v2 payload, out of range in v1.
+  // kMetrics is a v2 kind: valid in a v2+ payload, out of range in v1.
   Request m;
   m.kind = Request::Kind::kMetrics;
   std::string enc = encode_request(m);
   EXPECT_EQ(decode_request(enc).kind, Request::Kind::kMetrics);
+  enc.resize(enc.size() - 8);
   enc[0] = 1;
   EXPECT_THROW(decode_request(enc), hps::Error);
 }
@@ -906,6 +910,455 @@ TEST(ServeDaemon, TracingOnOrOffPredictionsAreIdentical) {
     EXPECT_EQ(strip_wall(traced.records[i]), strip_wall(plain.records[i]));
   std::remove((stem + ".jsonl").c_str());
   std::remove((stem + ".trace.json").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v3: end-to-end deadlines, expiry, graceful degradation
+
+TEST(ServeProtocol, V3DeadlineFallbackAndExpiredRoundTrip) {
+  Request r = tiny_study(9);
+  r.deadline_ms = 1500;
+  EXPECT_EQ(decode_request(encode_request(r)).deadline_ms, 1500u);
+
+  Summary s;
+  s.status = Status::kExpired;
+  s.mfact_fallback = true;
+  s.detail = "degraded=mfact_fallback";
+  const Summary gs = decode_summary(encode_summary(s));
+  EXPECT_EQ(gs.status, Status::kExpired);
+  EXPECT_TRUE(gs.mfact_fallback);
+  EXPECT_STREQ(status_name(Status::kExpired), "expired");
+
+  Stats st;
+  st.rejected_expired = 1;
+  st.shed_queue_delay = 2;
+  st.degraded_fallback = 3;
+  st.rejected_slow_read = 4;
+  st.ledger_write_errors = 5;
+  const Stats gt = decode_stats(encode_stats(st));
+  EXPECT_EQ(gt.rejected_expired, 1u);
+  EXPECT_EQ(gt.shed_queue_delay, 2u);
+  EXPECT_EQ(gt.degraded_fallback, 3u);
+  EXPECT_EQ(gt.rejected_slow_read, 4u);
+  EXPECT_EQ(gt.ledger_write_errors, 5u);
+  const std::string j = stats_to_json(st);
+  EXPECT_NE(j.find("\"shed_queue_delay\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"ledger_write_errors\":5"), std::string::npos);
+}
+
+TEST(ServeProtocol, V2PayloadsStillDecodeWithV3FieldsDefaulted) {
+  // Reconstruct what a v2 client/daemon would have sent: every v3 field is
+  // *appended*, so drop the trailing bytes and patch the version word.
+  Request r = tiny_study(5);
+  r.deadline_ms = 777;  // v3-only — must vanish from a v2 payload
+  std::string v2req = encode_request(r);
+  ASSERT_GT(v2req.size(), 8u);
+  v2req.resize(v2req.size() - 8);  // trailing u64 deadline_ms
+  v2req[0] = 2;
+  const Request gr = decode_request(v2req);
+  EXPECT_EQ(gr.seed, 5u);
+  EXPECT_EQ(gr.deadline_ms, 0u);
+
+  Summary s;
+  s.status = Status::kDegraded;
+  s.mfact_fallback = true;
+  std::string v2sum = encode_summary(s);
+  v2sum.resize(v2sum.size() - 1);  // trailing u8 mfact_fallback
+  v2sum[0] = 2;
+  const Summary gs = decode_summary(v2sum);
+  EXPECT_EQ(gs.status, Status::kDegraded);
+  EXPECT_FALSE(gs.mfact_fallback);
+
+  // kExpired is a v3 status: valid in v3, out of range in a v2 payload.
+  Summary e;
+  e.status = Status::kExpired;
+  std::string v2exp = encode_summary(e);
+  v2exp.resize(v2exp.size() - 1);
+  v2exp[0] = 2;
+  EXPECT_THROW(decode_summary(v2exp), hps::Error);
+
+  Stats st;
+  st.requests = 6;
+  st.rejected_expired = 9;  // v3-only
+  std::string v2st = encode_stats(st);
+  ASSERT_GT(v2st.size(), 5u * 8u);
+  v2st.resize(v2st.size() - 5 * 8);  // five trailing v3 counters
+  v2st[0] = 2;
+  const Stats gt = decode_stats(v2st);
+  EXPECT_EQ(gt.requests, 6u);
+  EXPECT_EQ(gt.rejected_expired, 0u);
+  EXPECT_EQ(gt.shed_queue_delay, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue v3: expiry, CoDel shedding, class fairness, close races
+
+TEST(AdmissionQueue, ExpiredEntriesComeOutClassifiedExpired) {
+  using Q = AdmissionQueue<int>;
+  Q q(4);
+  const std::int64_t past = Q::steady_now_ns() - 1;
+  const std::int64_t future = Q::steady_now_ns() + 60'000'000'000ll;
+  ASSERT_EQ(q.try_push(1, past, 1), Q::Push::kAccepted);
+  ASSERT_EQ(q.try_push(2, future, 1), Q::Push::kAccepted);
+  ASSERT_EQ(q.try_push(3, /*deadline_ns=*/0, 1), Q::Push::kAccepted);
+
+  int out = 0;
+  EXPECT_EQ(q.pop_entry(out), Q::Pop::kExpired);  // still handed to the consumer
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(q.pop_entry(out), Q::Pop::kItem);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(q.pop_entry(out), Q::Pop::kItem);  // 0 = no deadline, never expires
+  EXPECT_EQ(out, 3);
+}
+
+TEST(AdmissionQueue, CoDelShedsOnlySustainedOverTargetDelay) {
+  using Q = AdmissionQueue<int>;
+  Q q(8, ShedPolicy{/*target_ns=*/1'000'000, /*interval_ns=*/5'000'000});
+  int out = 0;
+
+  // A fast dequeue stays under target: no shed state accumulates.
+  ASSERT_EQ(q.try_push(0), Q::Push::kAccepted);
+  EXPECT_EQ(q.pop_entry(out), Q::Pop::kItem);
+
+  // First over-target dequeue only opens the observation window...
+  ASSERT_EQ(q.try_push(1), Q::Push::kAccepted);
+  ASSERT_EQ(q.try_push(2), Q::Push::kAccepted);
+  ASSERT_EQ(q.try_push(3), Q::Push::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(q.pop_entry(out), Q::Pop::kItem);
+  EXPECT_EQ(out, 1);
+  // ...and once delay has stayed above target past the interval, the queue
+  // drops into shedding and keeps shedding over-target dequeues.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(q.pop_entry(out), Q::Pop::kShed);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(q.pop_entry(out), Q::Pop::kShed);
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(q.shed_count(), 2u);
+
+  // The first under-target dequeue resets the state: recovery is immediate.
+  ASSERT_EQ(q.try_push(4), Q::Push::kAccepted);
+  EXPECT_EQ(q.pop_entry(out), Q::Pop::kItem);
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(q.shed_count(), 2u);
+}
+
+TEST(AdmissionQueue, WeightedRoundRobinKeepsCheapClassFlowing) {
+  using Q = AdmissionQueue<int>;
+  Q q(8);
+  // Four expensive simulations queued first, then two cheap MFACT-planned
+  // entries: the cheap class (weight 2) must jump the simulation backlog.
+  for (int i = 10; i < 14; ++i) ASSERT_EQ(q.try_push(i, 0, 1), Q::Push::kAccepted);
+  ASSERT_EQ(q.try_push(0, 0, 0), Q::Push::kAccepted);
+  ASSERT_EQ(q.try_push(1, 0, 0), Q::Push::kAccepted);
+
+  std::vector<int> order;
+  int out = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(q.pop_entry(out), Q::Pop::kItem);
+    order.push_back(out);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11, 12, 13}));
+}
+
+TEST(AdmissionQueue, CloseWhileConsumersBlockedInPopDoesNotHangOrDropWork) {
+  using Q = AdmissionQueue<int>;
+  Q q(128);
+  std::atomic<int> popped{0};
+  std::atomic<int> closed_seen{0};
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 4; ++t) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      for (;;) {
+        const Q::Pop p = q.pop_entry(out);
+        if (p == Q::Pop::kClosed) {
+          closed_seen.fetch_add(1);
+          return;
+        }
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(q.try_push(i), Q::Push::kAccepted);
+  q.close();  // races the consumers mid-pop: nothing may hang or vanish
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), 50);       // admission is a promise, even across close
+  EXPECT_EQ(closed_seen.load(), 4);   // every consumer exited cleanly
+  EXPECT_EQ(q.try_push(99), Q::Push::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end deadlines and graceful degradation against a live daemon
+
+/// Installs a fault plan for one scope; tests must never leak a global plan.
+struct FaultPlanGuard {
+  explicit FaultPlanGuard(const std::string& plan) {
+    robust::set_fault_plan(robust::parse_fault_plan(plan));
+  }
+  ~FaultPlanGuard() { robust::clear_fault_plan(); }
+};
+
+TEST(ServeDaemon, DeadlineExpiredByDispatchDelayComesBackExpired) {
+  ServerOptions o = DaemonFixture::small();
+  o.dispatchers = 1;
+  DaemonFixture d(std::move(o));
+  // Chaos: every dispatch stalls 300 ms, charged against the deadline like
+  // queue wait — a 50 ms end-to-end budget cannot survive it.
+  FaultPlanGuard fault("site=serve.dispatch,kind=delay,delay_ms=300");
+  Client c = Client::connect_unix(d.path);
+  Request req = tiny_study(201);
+  req.deadline_ms = 50;
+  const auto reply = c.study(req);
+  EXPECT_EQ(reply.summary.status, Status::kExpired);
+  EXPECT_EQ(reply.records.size(), 0u);
+  EXPECT_NE(reply.summary.detail.find("deadline"), std::string::npos);
+
+  Client probe = Client::connect_unix(d.path);
+  EXPECT_GE(probe.stats().rejected_expired, 1u);
+  // An undeadlined request sails through the same chaos untouched.
+  EXPECT_EQ(probe.study(tiny_study(202)).summary.status, Status::kOk);
+}
+
+TEST(ServeDaemon, InfeasibleDeadlineDegradesToMfactFallbackUncached) {
+  DaemonFixture d(DaemonFixture::small());
+  Client warm = Client::connect_unix(d.path);
+  // Warm the measured-cost model so the feasibility triage has a prediction.
+  Request big = tiny_study(211, /*limit=*/6);
+  const auto warmed = warm.study(big);
+  ASSERT_EQ(warmed.summary.status, Status::kOk);
+  if (warmed.summary.wall_seconds < 0.2)
+    GTEST_SKIP() << "study too fast (" << warmed.summary.wall_seconds
+                 << " s) to make any deadline infeasible";
+
+  // A deadline a quarter of the measured full-study wall cannot fit the
+  // simulation schemes; the daemon must degrade to MFACT-only, tag the
+  // reply, and keep the degraded result out of the shared cache.
+  Request rushed = tiny_study(212, /*limit=*/6);
+  rushed.deadline_ms = static_cast<std::uint64_t>(warmed.summary.wall_seconds * 250);
+  const auto first = Client::connect_unix(d.path).study(rushed);
+  ASSERT_EQ(first.summary.status, Status::kDegraded);
+  EXPECT_TRUE(first.summary.mfact_fallback);
+  EXPECT_NE(first.summary.detail.find("mfact_fallback"), std::string::npos);
+  EXPECT_GT(first.summary.records, 0u);
+
+  const auto second = Client::connect_unix(d.path).study(rushed);
+  ASSERT_EQ(second.summary.status, Status::kDegraded);
+  EXPECT_TRUE(second.summary.mfact_fallback);
+  EXPECT_FALSE(second.summary.cache_hit);  // degraded results are never cached
+
+  Client probe = Client::connect_unix(d.path);
+  EXPECT_GE(probe.stats().degraded_fallback, 2u);
+  // The healthy path is untouched: the full study is still served (from
+  // cache) byte-identically despite the degraded runs in between.
+  const auto again = probe.study(big);
+  ASSERT_EQ(again.summary.status, Status::kOk);
+  EXPECT_TRUE(again.summary.cache_hit);
+  ASSERT_EQ(again.records.size(), warmed.records.size());
+  for (std::size_t i = 0; i < again.records.size(); ++i)
+    EXPECT_EQ(again.records[i], warmed.records[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Resilient client: retries, circuit breaker, timeouts
+
+TEST(ResilientClient, BreakerOpensFailsFastThenHalfOpenProbeRecloses) {
+  const std::string path = "/tmp/hps_serve_cb_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++) + ".sock";
+  ClientPolicy policy;
+  policy.timeout_ms = 2000;
+  policy.max_retries = 1;
+  policy.backoff_ms = 1;
+  policy.backoff_max_ms = 2;
+  policy.jitter_seed = 7;
+  policy.breaker_failures = 2;
+  policy.breaker_cooldown_ms = 200;
+  ResilientClient rc = ResilientClient::unix_socket(path, policy);
+
+  // No daemon: first study burns its retry budget (two connect failures),
+  // which trips the breaker.
+  EXPECT_THROW(rc.study(tiny_study(221)), hps::Error);
+  EXPECT_EQ(rc.last_attempts(), 2);
+  EXPECT_EQ(rc.breaker_state(), ResilientClient::Breaker::kOpen);
+
+  // While open the client fails fast without touching the socket.
+  EXPECT_THROW(rc.study(tiny_study(221)), CircuitOpenError);
+
+  // After the cooldown one half-open probe goes through; the daemon is
+  // still down, so the probe fails immediately (no retry burn) and re-opens.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(rc.breaker_state(), ResilientClient::Breaker::kHalfOpen);
+  EXPECT_THROW(rc.study(tiny_study(221)), hps::Error);
+  EXPECT_EQ(rc.last_attempts(), 1);
+  EXPECT_EQ(rc.breaker_state(), ResilientClient::Breaker::kOpen);
+
+  // Bring a real daemon up on the same path: the next half-open probe
+  // succeeds and re-closes the breaker.
+  ServerOptions o = DaemonFixture::small();
+  o.socket_path = path;
+  o.install_signal_guard = false;
+  Server server(std::move(o));
+  std::thread runner([&] { server.run(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  const auto reply = rc.study(tiny_study(221));
+  EXPECT_EQ(reply.summary.status, Status::kOk);
+  EXPECT_EQ(rc.last_attempts(), 1);
+  EXPECT_EQ(rc.breaker_state(), ResilientClient::Breaker::kClosed);
+  server.shutdown();
+  runner.join();
+  ::unlink(path.c_str());
+}
+
+TEST(ResilientClient, SocketTimeoutSurfacesAsTimeoutErrorAndIsNeverRetried) {
+  // A listener that accepts connections (via the kernel backlog) but never
+  // replies: the documented worst case a socket deadline exists for.
+  const std::string path = "/tmp/hps_serve_stall_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++) + ".sock";
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+
+  ClientPolicy policy;
+  policy.timeout_ms = 50;
+  policy.max_retries = 3;
+  policy.backoff_ms = 1;
+  ResilientClient rc = ResilientClient::unix_socket(path, policy);
+  EXPECT_THROW(rc.study(tiny_study(231)), TimeoutError);
+  // The request reached the wire: retrying could double-execute it, so the
+  // whole retry budget must stay unspent.
+  EXPECT_EQ(rc.last_attempts(), 1);
+
+  ::close(lfd);
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Slowloris guard
+
+TEST(ServeDaemon, PartialFrameHeldPastTheCapIsRejected) {
+  ServerOptions o = DaemonFixture::small();
+  o.slow_read_timeout_ms = 100;
+  DaemonFixture d(std::move(o));
+
+  // A well-behaved client on the same daemon is unaffected before and after.
+  Client ok = Client::connect_unix(d.path);
+  ASSERT_EQ(ok.study(tiny_study(241)).summary.status, Status::kOk);
+
+  // Dribble 4 bytes of a valid request frame and then stall.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, d.path.c_str(), sizeof addr.sun_path - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const std::string frame =
+      ipc::encode_frame({ipc::MsgType::kRequest, encode_request(tiny_study(242))});
+  ASSERT_EQ(::send(fd, frame.data(), 4, 0), 4);
+
+  // The daemon must reject the connection with an explicit slow-read error
+  // (not silently hold it): read the reject frame back.
+  ipc::Message m;
+  ASSERT_EQ(ipc::read_message(fd, m), ipc::ReadStatus::kMessage);
+  EXPECT_EQ(m.type, ipc::MsgType::kReject);
+  const Summary s = decode_summary(m.payload);
+  EXPECT_EQ(s.status, Status::kBadRequest);
+  EXPECT_NE(s.detail.find("slow read"), std::string::npos);
+  ::close(fd);
+
+  Client probe = Client::connect_unix(d.path);
+  EXPECT_EQ(probe.stats().rejected_slow_read, 1u);
+  EXPECT_EQ(probe.study(tiny_study(243)).summary.status, Status::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Serve-ledger hardening and the new record fields
+
+TEST(ServeLedger, WriterDisablesAfterEnospcAndCountsEveryLostLine) {
+  if (!std::ofstream("/dev/full").is_open()) GTEST_SKIP() << "/dev/full unavailable";
+  obs::ServeLedgerWriter w("/dev/full");
+  obs::ServeRecord rec;
+  rec.trace_id = 1;
+  w.append(rec);  // first flush hits ENOSPC: latch + warn once
+  EXPECT_EQ(w.write_errors(), 1u);
+  EXPECT_EQ(w.records_written(), 0u);
+  w.append(rec);  // disabled: counted as lost, not attempted
+  w.append(rec);
+  EXPECT_EQ(w.write_errors(), 3u);
+  EXPECT_EQ(w.records_written(), 0u);
+}
+
+TEST(ServeLedger, FallbackAndDeadlineFieldsRoundTripThroughJsonl) {
+  obs::ServeRecord rec;
+  rec.trace_id = 0xabc;
+  rec.status = "degraded";
+  rec.mfact_fallback = true;
+  rec.deadline_ms = 1234;
+  const std::string line = obs::to_json_line(rec);
+  EXPECT_NE(line.find("\"mfact_fallback\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"deadline_ms\":1234"), std::string::npos);
+
+  const std::string path = "/tmp/hps_serve_led_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++) + ".jsonl";
+  {
+    obs::ServeLedgerWriter w(path);
+    w.append(rec);
+    EXPECT_EQ(w.records_written(), 1u);
+    EXPECT_EQ(w.write_errors(), 0u);
+  }
+  const obs::ServeLedger led = obs::load_serve_ledger(path);
+  ASSERT_EQ(led.requests.size(), 1u);
+  EXPECT_TRUE(led.requests[0].mfact_fallback);
+  EXPECT_EQ(led.requests[0].deadline_ms, 1234u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Serve fault sites: chaos hooks parse, fire, and never take the daemon down
+
+TEST(ServeFault, ServeSitesParseAndName) {
+  const auto plan = robust::parse_fault_plan(
+      "site=serve.cache-insert,kind=throw;site=serve.ledger-append;"
+      "site=serve.dispatch,kind=delay,delay_ms=5");
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_EQ(plan.specs[0].site, robust::FaultSite::kServeCacheInsert);
+  EXPECT_EQ(plan.specs[1].site, robust::FaultSite::kServeLedgerAppend);
+  EXPECT_EQ(plan.specs[2].site, robust::FaultSite::kServeDispatch);
+  EXPECT_STREQ(robust::fault_site_name(robust::FaultSite::kServeCacheInsert),
+               "serve.cache-insert");
+  EXPECT_STREQ(robust::fault_site_name(robust::FaultSite::kServeLedgerAppend),
+               "serve.ledger-append");
+  EXPECT_STREQ(robust::fault_site_name(robust::FaultSite::kServeDispatch),
+               "serve.dispatch");
+}
+
+TEST(ServeFault, CacheInsertFailureCostsOnlyTheFutureHit) {
+  DaemonFixture d(DaemonFixture::small());
+  FaultPlanGuard fault("site=serve.cache-insert,kind=throw");
+  Client c = Client::connect_unix(d.path);
+  const auto first = c.study(tiny_study(251));
+  ASSERT_EQ(first.summary.status, Status::kOk);  // the study itself succeeded
+  const auto second = c.study(tiny_study(251));
+  ASSERT_EQ(second.summary.status, Status::kOk);
+  EXPECT_FALSE(second.summary.cache_hit);  // insert failed: recomputed, not lost
+}
+
+TEST(ServeFault, LedgerAppendFailureIsCountedNotFatal) {
+  const std::string path = "/tmp/hps_serve_lf_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++) + ".jsonl";
+  ServerOptions o = DaemonFixture::small();
+  o.serve_ledger_path = path;
+  DaemonFixture d(std::move(o));
+  FaultPlanGuard fault("site=serve.ledger-append,kind=throw");
+  Client c = Client::connect_unix(d.path);
+  ASSERT_EQ(c.study(tiny_study(261)).summary.status, Status::kOk);
+  const Stats st = c.stats();
+  EXPECT_GE(st.ledger_write_errors, 1u);
+  EXPECT_EQ(st.ledger_records, 0u);  // the lost line is counted, not half-written
+  std::remove(path.c_str());
 }
 
 }  // namespace

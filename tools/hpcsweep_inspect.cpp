@@ -18,7 +18,9 @@
 //
 // Exit codes: 0 success / no divergence, 1 divergence or runtime error,
 // 2 usage error, 3 request rejected by the daemon (backpressure / draining /
-// bad request), 75 study interrupted by SIGINT/SIGTERM (resumable).
+// bad request), 4 end-to-end deadline expired, 5 client circuit breaker open,
+// 6 client socket timeout (request may still be executing server-side),
+// 75 study interrupted by SIGINT/SIGTERM (resumable).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -109,6 +111,7 @@ int usage() {
       "      [--max-duration-scale X] [--max-limit N]\n"
       "      [--deadline S] [--max-events N] [--horizon-ns N]\n"
       "      [--serve-ledger <path>] [--trace-out <path>]\n"
+      "      [--shed-target-ms T] [--shed-interval-ms I] [--slow-read-ms S]\n"
       "      Run hpcsweepd: accept study requests over the Unix socket (and\n"
       "      127.0.0.1:PORT with --tcp), execute them on up to --dispatchers\n"
       "      concurrent study runners (thread pools, or supervised worker\n"
@@ -121,6 +124,11 @@ int usage() {
       "      id, disposition, per-phase wall latency) plus a cost-model footer\n"
       "      on drain; --trace-out writes the per-request span timeline as\n"
       "      Chrome trace JSON on drain.\n"
+      "      --shed-target-ms enables CoDel-style queue-delay shedding: once\n"
+      "      dequeue delay stays above T for I ms, over-target work is shed\n"
+      "      (kQueueFull on the wire) until delay recovers. --slow-read-ms\n"
+      "      caps how long a partial request frame may dribble in before the\n"
+      "      connection is rejected (slowloris guard).\n"
       "      SIGINT/SIGTERM drains gracefully; shutdown requests are only\n"
       "      honored on the Unix socket. See docs/serving.md.\n"
       "\n"
@@ -128,10 +136,21 @@ int usage() {
       "      [--limit N] [--duration-scale X] [--seed S] [--deadline S]\n"
       "      [--max-events N] [--horizon-ns N] [--out <ledger.jsonl>] [--force]\n"
       "      [--allow-degraded] [--ping] [--stats] [--shutdown]\n"
+      "      [--deadline-ms D] [--timeout-ms T] [--retries R] [--backoff-ms B]\n"
+      "      [--breaker-failures N] [--breaker-cooldown-ms C]\n"
       "      Send one request to a running hpcsweepd and stream the reply;\n"
-      "      --out appends the returned ledger records to a file. Exits 0 on\n"
-      "      success, 1 degraded/error, 3 rejected (queue full / draining /\n"
-      "      bad request), 75 when the daemon was interrupted mid-study.\n"
+      "      --out appends the returned ledger records to a file.\n"
+      "      --deadline-ms sets an end-to-end deadline the daemon charges\n"
+      "      queue wait against (expired requests come back status=expired;\n"
+      "      the daemon may degrade to an MFACT-only study to fit the budget).\n"
+      "      The remaining flags configure the resilient client: socket\n"
+      "      timeout, jittered exponential-backoff retries on backpressure\n"
+      "      and connect failures (never after the request reached the\n"
+      "      daemon), and a circuit breaker.\n"
+      "      Exits 0 on success, 1 degraded/error, 3 rejected (queue full /\n"
+      "      draining / bad request), 4 deadline expired, 5 circuit breaker\n"
+      "      open, 6 socket timeout (request may still be executing), 75 when\n"
+      "      the daemon was interrupted mid-study.\n"
       "\n"
       "  metrics --socket <path> | --tcp-host H --tcp-port P\n"
       "      One live-metrics scrape of a running hpcsweepd, rendered as\n"
@@ -201,6 +220,18 @@ struct Flags {
   std::string trace_out;
   double interval = 2.0;
   int iterations = 0;  ///< watch: 0 = until interrupted
+
+  // serve: overload resilience (docs/serving.md)
+  double shed_target_ms = 0;     ///< 0 = shedding disabled
+  double shed_interval_ms = 100;
+  double slow_read_ms = 5000;
+
+  // request: end-to-end deadline + resilient-client policy
+  std::uint64_t deadline_ms = 0;       ///< 0 = no end-to-end deadline
+  double timeout_ms = 0;               ///< socket deadline (0 = none)
+  double backoff_ms = 50;              ///< first retry delay
+  int breaker_failures = 5;            ///< consecutive failures → open
+  double breaker_cooldown_ms = 1000;
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
@@ -287,6 +318,22 @@ Flags parse_flags(int argc, char** argv, int first) {
       f.serve_ledger = next();
     } else if (want(a, "--trace-out")) {
       f.trace_out = next();
+    } else if (want(a, "--shed-target-ms")) {
+      f.shed_target_ms = std::atof(next());
+    } else if (want(a, "--shed-interval-ms")) {
+      f.shed_interval_ms = std::atof(next());
+    } else if (want(a, "--slow-read-ms")) {
+      f.slow_read_ms = std::atof(next());
+    } else if (want(a, "--deadline-ms")) {
+      f.deadline_ms = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (want(a, "--timeout-ms")) {
+      f.timeout_ms = std::atof(next());
+    } else if (want(a, "--backoff-ms")) {
+      f.backoff_ms = std::atof(next());
+    } else if (want(a, "--breaker-failures")) {
+      f.breaker_failures = std::atoi(next());
+    } else if (want(a, "--breaker-cooldown-ms")) {
+      f.breaker_cooldown_ms = std::atof(next());
     } else if (want(a, "--interval")) {
       f.interval = std::atof(next());
     } else if (want(a, "--iterations")) {
@@ -476,6 +523,9 @@ int cmd_serve(const Flags& f) {
   so.max_virtual_horizon_ns = f.horizon_ns;
   so.serve_ledger_path = f.serve_ledger;
   so.trace_path = f.trace_out;
+  so.shed_target_ms = f.shed_target_ms;
+  so.shed_interval_ms = f.shed_interval_ms;
+  so.slow_read_timeout_ms = f.slow_read_ms;
 
   serve::Server server(std::move(so));
   std::printf("hpcsweepd: listening on %s", f.socket_path.c_str());
@@ -494,20 +544,28 @@ int cmd_request(const Flags& f) {
     std::fprintf(stderr, "request: --socket <path> or --tcp-host/--tcp-port required\n");
     return 2;
   }
-  serve::Client client = f.socket_path.empty()
-                             ? serve::Client::connect_tcp(f.tcp_host, f.tcp_port)
-                             : serve::Client::connect_unix(f.socket_path);
+  serve::ClientPolicy policy;
+  policy.timeout_ms = f.timeout_ms;
+  policy.max_retries = f.retries;
+  policy.backoff_ms = f.backoff_ms;
+  policy.jitter_seed = f.seed;
+  policy.breaker_failures = f.breaker_failures;
+  policy.breaker_cooldown_ms = f.breaker_cooldown_ms;
+  serve::ResilientClient rc =
+      f.socket_path.empty() ? serve::ResilientClient::tcp(f.tcp_host, f.tcp_port, policy)
+                            : serve::ResilientClient::unix_socket(f.socket_path, policy);
   if (f.ping) {
+    serve::Client client = rc.connect_once();
     const bool ok = client.ping();
     std::printf("%s\n", ok ? "pong" : "no pong");
     return ok ? 0 : 1;
   }
   if (f.stats) {
-    std::printf("%s\n", serve::stats_to_json(client.stats()).c_str());
+    std::printf("%s\n", serve::stats_to_json(rc.connect_once().stats()).c_str());
     return 0;
   }
   if (f.shutdown) {
-    const serve::Summary s = client.shutdown_server();
+    const serve::Summary s = rc.connect_once().shutdown_server();
     std::printf("shutdown: %s\n", serve::status_name(s.status));
     return s.status == serve::Status::kOk ? 0 : 1;
   }
@@ -521,6 +579,7 @@ int cmd_request(const Flags& f) {
   req.wall_deadline_s = f.deadline;
   req.max_des_events = f.max_events;
   req.virtual_horizon_ns = f.horizon_ns;
+  req.deadline_ms = f.deadline_ms;
 
   std::ofstream out;
   if (!f.out.empty()) {
@@ -530,16 +589,30 @@ int cmd_request(const Flags& f) {
       return 1;
     }
   }
-  const auto reply = client.study(req, [&](const std::string& line) {
-    if (out.is_open()) out << line << '\n';
-  });
+  serve::Client::StudyReply reply;
+  try {
+    reply = rc.study(req, [&](const std::string& line) {
+      if (out.is_open()) out << line << '\n';
+    });
+  } catch (const serve::CircuitOpenError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
+  } catch (const serve::TimeoutError& e) {
+    std::fprintf(stderr, "error: %s (request may still be executing server-side)\n",
+                 e.what());
+    return 6;
+  }
   const serve::Summary& s = reply.summary;
-  std::printf("%s: %u record(s)%s%s, wall %.3f s%s\n", serve::status_name(s.status),
+  std::printf("%s: %u record(s)%s%s%s, wall %.3f s%s\n", serve::status_name(s.status),
               s.records, s.cache_hit ? " (cache hit)" : "",
               s.degraded > 0 ? (" (" + std::to_string(s.degraded) + " degraded)").c_str()
                              : "",
+              s.mfact_fallback ? " [mfact fallback]" : "",
               s.wall_seconds, f.out.empty() ? "" : (" -> " + f.out).c_str());
   if (!s.detail.empty()) std::printf("  %s\n", s.detail.c_str());
+  if (rc.last_attempts() > 1)
+    std::printf("  (%d attempts, breaker %s)\n", rc.last_attempts(),
+                serve::ResilientClient::breaker_name(rc.breaker_state()));
 
   switch (s.status) {
     case serve::Status::kOk:
@@ -553,6 +626,8 @@ int cmd_request(const Flags& f) {
     case serve::Status::kOversized:
     case serve::Status::kBadRequest:
       return 3;
+    case serve::Status::kExpired:
+      return 4;
     case serve::Status::kError:
       return 1;
   }
