@@ -28,27 +28,43 @@
 // explicit disposition (ok / degraded / expired / backpressure) — zero
 // transport errors, zero hangs, nothing queued unboundedly.
 //
+// Restart mode (--restart) is the crash-durability chaos gate: the harness
+// forks the daemon as a child process on a durable --cache-dir, SIGKILLs it
+// after ~1/3 of the load has completed, and releases a second pre-forked
+// daemon on the same socket and cache dir. Clients drive the whole run
+// through ResilientClient, so the restart gap surfaces as retried connect
+// failures, not errors. The run then asserts the warm-restart contract:
+// zero hangs and zero transport errors, the second daemon recovered a
+// non-zero number of cache entries (cache_recovered > 0), and every kOk
+// reply for a given seed is byte-identical across the two daemon lifetimes.
+//
 // Usage:
 //   load_test [--clients 4] [--requests 8] [--distinct 3] [--warmup 1]
 //             [--scale 0.05] [--limit 2] [--socket PATH]
 //             [--deadline-ms D] [--overload N] [--timeout-ms T]
+//             [--restart] [--cache-dir DIR]
 //             [--out BENCH_serve.json]
 //             [--check ci/BENCH_serve_baseline.json] [--tolerance 0.5]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cerrno>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "serve/client.hpp"
 #include "serve/metrics.hpp"
@@ -74,6 +90,8 @@ struct Config {
   std::uint64_t deadline_ms = 0;  // end-to-end deadline stamped on requests
   int overload = 0;               // >0: overload-chaos mode, client multiplier
   double timeout_ms = 0;          // per-connection socket deadline (0 = none)
+  bool restart = false;           // warm-restart chaos mode (kill -9 mid-load)
+  std::string cache_dir;          // restart mode: durable cache dir
 };
 
 struct Result {
@@ -84,6 +102,7 @@ struct Result {
   std::uint64_t expired = 0;   // end-to-end deadline expired
   std::uint64_t rejected = 0;  // queue-full / shed / draining backpressure
   std::uint64_t errors = 0;    // transport failures or server-side errors
+  std::uint64_t mismatches = 0;  // restart mode: kOk replies not byte-identical
   double wall_seconds = 0;     // timed load phase (warmup excluded)
   serve::Stats daemon;
   serve::MetricsReply metrics;  // daemon's per-phase histograms
@@ -99,11 +118,37 @@ double quantile(std::vector<double> sorted, double q) {
   return sorted[lo] * (1 - frac) + sorted[hi] * frac;
 }
 
-Result run_load(const Config& cfg, const std::string& socket_path) {
+/// Restart-mode coordination between the client fleet and the chaos thread.
+/// Clients issue the first `hold_after` requests freely; later requests wait
+/// for `restarted`, so the run always has traffic on both sides of the kill
+/// (requests in flight when the kill lands simply retry through the gap).
+struct RestartGate {
+  std::uint64_t hold_after = 0;
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> restarted{false};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void release() {
+    const std::lock_guard<std::mutex> lk(mu);
+    restarted.store(true);
+    cv.notify_all();
+  }
+};
+
+Result run_load(const Config& cfg, const std::string& socket_path,
+                RestartGate* gate = nullptr) {
   Result res;
   std::vector<std::vector<double>> lat(static_cast<std::size_t>(cfg.clients));
   std::atomic<std::uint64_t> ok{0}, degraded{0}, fallback{0}, expired{0}, rejected{0},
-      errors{0};
+      errors{0}, mismatches{0};
+
+  // Restart mode: first kOk reply per seed is the reference; every later kOk
+  // reply for the same seed — including ones served by the restarted daemon
+  // from its recovered cache — must match it line for line.
+  std::mutex ref_mu;
+  std::map<std::uint64_t, std::vector<std::string>> refs;
 
   // Start barrier: every client finishes its warmup requests first, then the
   // timed phase begins for all of them at once — cold-start (first corpus
@@ -148,14 +193,54 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
         req.duration_scale = cfg.scale;
         req.limit = cfg.limit;
         req.deadline_ms = cfg.deadline_ms;
+        if (gate != nullptr) {
+          const std::uint64_t idx = gate->issued.fetch_add(1, std::memory_order_relaxed);
+          if (idx >= gate->hold_after && !gate->restarted.load()) {
+            std::unique_lock<std::mutex> lk(gate->mu);
+            gate->cv.wait(lk, [&] { return gate->restarted.load(); });
+          }
+        }
         const auto t0 = Clock::now();
         try {
-          // One connection per request: the daemon's documented client model.
-          serve::Client cl = serve::Client::connect_unix(socket_path);
-          if (cfg.timeout_ms > 0) cl.set_timeout_ms(cfg.timeout_ms);
-          const auto reply = cl.study(req);
+          serve::Client::StudyReply reply;
+          if (cfg.restart) {
+            // Ride through the kill/restart gap: connect failures retry with
+            // backoff until the relaunched daemon binds the socket. The
+            // breaker threshold is effectively disabled — one endpoint, and
+            // failing fast is exactly what this mode must not do.
+            serve::ClientPolicy pol;
+            pol.timeout_ms = cfg.timeout_ms;
+            pol.max_retries = 200;
+            pol.backoff_ms = 25;
+            pol.backoff_max_ms = 400;
+            pol.jitter_seed = static_cast<std::uint64_t>(c) * 1000u +
+                              static_cast<std::uint64_t>(r) + 1;
+            pol.breaker_failures = 1 << 20;
+            serve::ResilientClient rcl =
+                serve::ResilientClient::unix_socket(socket_path, pol);
+            reply = rcl.study(req);
+          } else {
+            // One connection per request: the daemon's documented client model.
+            serve::Client cl = serve::Client::connect_unix(socket_path);
+            if (cfg.timeout_ms > 0) cl.set_timeout_ms(cfg.timeout_ms);
+            reply = cl.study(req);
+          }
           const double ms =
               std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+          if (cfg.restart && reply.summary.status == serve::Status::kOk) {
+            const std::lock_guard<std::mutex> lk(ref_mu);
+            auto& ref = refs[req.seed];
+            if (ref.empty()) {
+              ref = reply.records;
+            } else if (ref != reply.records) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+              std::fprintf(stderr,
+                           "load_test: seed %llu reply diverged across restart "
+                           "(%zu vs %zu record(s))\n",
+                           static_cast<unsigned long long>(req.seed), ref.size(),
+                           reply.records.size());
+            }
+          }
           switch (reply.summary.status) {
             case serve::Status::kOk:
               ok.fetch_add(1, std::memory_order_relaxed);
@@ -182,6 +267,7 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
           errors.fetch_add(1, std::memory_order_relaxed);
           std::fprintf(stderr, "load_test: client %d request %d: %s\n", c, r, e.what());
         }
+        if (gate != nullptr) gate->completed.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -204,6 +290,7 @@ Result run_load(const Config& cfg, const std::string& socket_path) {
   res.expired = expired;
   res.rejected = rejected;
   res.errors = errors;
+  res.mismatches = mismatches;
 
   serve::Client cl = serve::Client::connect_unix(socket_path);
   res.daemon = cl.stats();
@@ -326,6 +413,51 @@ int check_against(const Config& cfg, const Result& r, const std::string& json) {
   return 0;
 }
 
+/// Fork a child that runs a durable-cache daemon on `socket_path`. With
+/// `wait_fd >= 0` the child stays armed — it blocks reading one byte from the
+/// pipe before constructing the server — so the second daemon generation can
+/// be forked while the parent is still single-threaded (forking later, with
+/// client threads live, could deadlock the child in an inherited lock).
+pid_t spawn_daemon(const Config& cfg, const std::string& socket_path, int wait_fd) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (wait_fd >= 0) {
+    char b = 0;
+    while (::read(wait_fd, &b, 1) < 0 && errno == EINTR) {
+    }
+  }
+  int code = 0;
+  try {
+    serve::ServerOptions so;
+    so.socket_path = socket_path;
+    so.dispatchers = 2;
+    so.queue_capacity = static_cast<std::size_t>(cfg.clients * cfg.requests);
+    so.cache_bytes = 64u << 20;
+    so.max_duration_scale = 1.0;
+    so.cache_dir = cfg.cache_dir;
+    so.scrub_interval_ms = 200;  // scrub under load, not just at rest
+    serve::Server srv(std::move(so));
+    srv.run();  // until SIGKILL (gen 1) or SIGTERM drain (gen 2)
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "load_test: daemon child: %s\n", e.what());
+    code = 1;
+  }
+  std::_Exit(code);
+}
+
+/// Wait until a daemon answers ping on `socket_path` (bounded).
+bool wait_for_daemon(const std::string& socket_path) {
+  for (int i = 0; i < 500; ++i) {
+    try {
+      serve::Client cl = serve::Client::connect_unix(socket_path);
+      if (cl.ping()) return true;
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -352,6 +484,8 @@ int main(int argc, char** argv) {
     else if (a == "--deadline-ms") cfg.deadline_ms = static_cast<std::uint64_t>(std::atoll(next()));
     else if (a == "--overload") cfg.overload = std::max(0, std::atoi(next()));
     else if (a == "--timeout-ms") cfg.timeout_ms = std::atof(next());
+    else if (a == "--restart") cfg.restart = true;
+    else if (a == "--cache-dir") cfg.cache_dir = next();
     else {
       std::fprintf(stderr, "load_test: unknown flag %s\n", a.c_str());
       return 2;
@@ -367,8 +501,69 @@ int main(int argc, char** argv) {
     if (cfg.timeout_ms <= 0) cfg.timeout_ms = 120000;
   }
 
-  // Embedded daemon unless an external socket was given.
+  // Warm-restart chaos mode: two pre-forked daemon generations on one socket
+  // and one durable cache dir; generation 1 is SIGKILLed after ~1/3 of the
+  // load completed and generation 2 (armed on a pipe) takes over.
   std::string socket_path = cfg.socket;
+  RestartGate gate;
+  std::thread chaos;
+  pid_t gen1 = -1, gen2 = -1;
+  int arm_pipe[2] = {-1, -1};
+  if (cfg.restart) {
+    if (!cfg.socket.empty()) {
+      std::fprintf(stderr, "load_test: --restart forks its own daemons; drop --socket\n");
+      return 2;
+    }
+    if (cfg.overload > 0) {
+      std::fprintf(stderr, "load_test: --restart and --overload are separate gates\n");
+      return 2;
+    }
+    socket_path = "/tmp/hps_load_restart_" + std::to_string(::getpid()) + ".sock";
+    if (cfg.cache_dir.empty())
+      cfg.cache_dir = "/tmp/hps_load_restart_" + std::to_string(::getpid()) + ".cache";
+    if (cfg.timeout_ms <= 0) cfg.timeout_ms = 120000;
+    if (::pipe(arm_pipe) != 0) {
+      std::fprintf(stderr, "load_test: pipe: %s\n", std::strerror(errno));
+      return 2;
+    }
+    gen1 = spawn_daemon(cfg, socket_path, -1);
+    gen2 = spawn_daemon(cfg, socket_path, arm_pipe[0]);
+    if (!wait_for_daemon(socket_path)) {
+      std::fprintf(stderr, "load_test: daemon never answered ping on %s\n",
+                   socket_path.c_str());
+      return 1;
+    }
+    const std::uint64_t total = static_cast<std::uint64_t>(cfg.clients) *
+                                static_cast<std::uint64_t>(cfg.requests);
+    if (total < 2) {
+      std::fprintf(stderr, "load_test: --restart needs at least 2 total requests\n");
+      return 2;
+    }
+    gate.hold_after = std::max<std::uint64_t>(1, total / 2);
+    chaos = std::thread([&] {
+      // Kill once at least one request completed (so the spill holds at
+      // least one entry to recover) but before the gated second half runs.
+      const std::uint64_t kill_at = std::max<std::uint64_t>(1, gate.hold_after / 2);
+      while (gate.completed.load(std::memory_order_relaxed) < kill_at)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      std::fprintf(stderr, "load_test: chaos — SIGKILL daemon gen 1 (pid %d) after %llu "
+                   "request(s)\n", static_cast<int>(gen1),
+                   static_cast<unsigned long long>(gate.completed.load()));
+      ::kill(gen1, SIGKILL);
+      int st = 0;
+      ::waitpid(gen1, &st, 0);
+      // Gen 1 is dead and its flock released; release gen 2 onto the same
+      // socket + cache dir. Clients retry connect failures until it binds.
+      const char go = 'g';
+      while (::write(arm_pipe[1], &go, 1) < 0 && errno == EINTR) {
+      }
+      if (!wait_for_daemon(socket_path))
+        std::fprintf(stderr, "load_test: gen-2 daemon never answered ping\n");
+      gate.release();
+    });
+  }
+
+  // Embedded daemon unless an external socket was given.
   std::unique_ptr<serve::Server> embedded;
   std::thread runner;
   if (socket_path.empty()) {
@@ -395,7 +590,20 @@ int main(int argc, char** argv) {
     runner = std::thread([&] { embedded->run(); });
   }
 
-  const Result res = run_load(cfg, socket_path);
+  const Result res = run_load(cfg, socket_path, cfg.restart ? &gate : nullptr);
+
+  if (chaos.joinable()) chaos.join();
+  serve::Stats restarted;  // gen-2 stats, scraped before it drains
+  if (cfg.restart) {
+    restarted = res.daemon;
+    ::kill(gen2, SIGTERM);
+    int st = 0;
+    ::waitpid(gen2, &st, 0);
+    ::close(arm_pipe[0]);
+    ::close(arm_pipe[1]);
+    ::unlink(socket_path.c_str());
+    ::unlink((socket_path + ".lock").c_str());
+  }
 
   if (embedded) {
     embedded->shutdown();
@@ -435,6 +643,43 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("OVERLOAD OK: all requests resolved explicitly\n");
+    return 0;
+  }
+
+  if (cfg.restart) {
+    // The warm-restart contract: zero hangs or transport errors (the retry
+    // layer must absorb the gap), the restarted daemon recovered a non-zero
+    // cache, and recovered hits answered byte-for-byte what gen 1 computed.
+    std::printf("restart: ok %llu, degraded %llu, rejected %llu, errors %llu, "
+                "mismatches %llu; gen-2 cache_recovered %llu (in %llu ms), "
+                "quarantined %llu, scrub passes %llu (rot %llu)\n",
+                static_cast<unsigned long long>(res.ok),
+                static_cast<unsigned long long>(res.degraded),
+                static_cast<unsigned long long>(res.rejected),
+                static_cast<unsigned long long>(res.errors),
+                static_cast<unsigned long long>(res.mismatches),
+                static_cast<unsigned long long>(restarted.cache_recovered),
+                static_cast<unsigned long long>(restarted.cache_recovery_ms),
+                static_cast<unsigned long long>(restarted.cache_quarantined),
+                static_cast<unsigned long long>(restarted.cache_scrub_passes),
+                static_cast<unsigned long long>(restarted.cache_scrub_corrupt));
+    int failures = 0;
+    if (res.errors > 0) {
+      std::printf("RESTART FAIL: %llu transport error(s) leaked past the retry layer\n",
+                  static_cast<unsigned long long>(res.errors));
+      ++failures;
+    }
+    if (res.mismatches > 0) {
+      std::printf("RESTART FAIL: %llu reply mismatch(es) across the restart\n",
+                  static_cast<unsigned long long>(res.mismatches));
+      ++failures;
+    }
+    if (restarted.cache_recovered == 0) {
+      std::printf("RESTART FAIL: gen-2 daemon recovered nothing (cold restart)\n");
+      ++failures;
+    }
+    if (failures > 0) return 1;
+    std::printf("RESTART OK: daemon came back warm, replies byte-identical\n");
     return 0;
   }
 

@@ -1,6 +1,7 @@
 #include "obs/serve_ledger.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "common/error.hpp"
@@ -18,6 +19,12 @@ std::string hex16(std::uint64_t v) {
 
 constexpr const char* kPhasePrefix = "phase_";
 constexpr const char* kPhaseSuffix = "_ns";
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -93,21 +100,51 @@ ServeLedgerWriter::ServeLedgerWriter(const std::string& path) : path_(path) {
   if (!out_) throw Error("serve ledger: cannot open for append: " + path);
 }
 
+bool ServeLedgerWriter::reprobe_due() const {
+  if (reprobe_records_ > 0 && lost_since_probe_ >= reprobe_records_) return true;
+  if (reprobe_seconds_ > 0 &&
+      static_cast<double>(steady_now_ns() - last_probe_ns_) * 1e-9 >= reprobe_seconds_)
+    return true;
+  return false;
+}
+
 void ServeLedgerWriter::write_line(const std::string& line) {
   if (failed_) {
-    // Disabled after the first failed append: count the lost line, write
-    // nothing (a half-written record would corrupt every later parse).
-    ++write_errors_;
-    return;
+    if (!reprobe_due()) {
+      // Disabled after a failed append: count the lost line, write nothing
+      // (a half-written record would corrupt every later parse).
+      ++write_errors_;
+      ++lost_since_probe_;
+      return;
+    }
+    // Re-probe: reopen (a fresh descriptor, in case the old one is wedged)
+    // and try the current line. Whatever was lost in between stays lost.
+    lost_since_probe_ = 0;
+    last_probe_ns_ = steady_now_ns();
+    out_.close();
+    out_.clear();
+    out_.open(path_, std::ios::app | std::ios::binary);
+    if (!out_) {
+      ++write_errors_;
+      ++lost_since_probe_;
+      return;
+    }
   }
   out_ << line << "\n";
   out_.flush();
   if (!out_) {
+    if (!failed_)
+      std::fprintf(stderr,
+                   "hpcsweepd: serve ledger write failed (%s); "
+                   "disabling appends until a re-probe succeeds\n",
+                   path_.c_str());
     failed_ = true;
     ++write_errors_;
-    std::fprintf(stderr,
-                 "hpcsweepd: serve ledger write failed (%s); "
-                 "disabling further appends\n",
+    ++lost_since_probe_;
+    last_probe_ns_ = steady_now_ns();
+  } else if (failed_) {
+    failed_ = false;
+    std::fprintf(stderr, "hpcsweepd: serve ledger re-probe succeeded (%s); appends re-enabled\n",
                  path_.c_str());
   }
 }
@@ -132,6 +169,19 @@ std::uint64_t ServeLedgerWriter::records_written() const {
 std::uint64_t ServeLedgerWriter::write_errors() const {
   const std::lock_guard<std::mutex> lk(mu_);
   return write_errors_;
+}
+
+void ServeLedgerWriter::set_reprobe_policy(std::uint64_t records, double seconds) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  reprobe_records_ = records;
+  reprobe_seconds_ = seconds;
+}
+
+void ServeLedgerWriter::force_failure_for_testing() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  failed_ = true;
+  lost_since_probe_ = 0;
+  last_probe_ns_ = steady_now_ns();
 }
 
 ServeLedger load_serve_ledger(const std::string& path) {

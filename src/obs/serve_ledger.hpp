@@ -92,6 +92,13 @@ class CostModel {
 /// latches the writer into a disabled state with one stderr warning, and
 /// every line lost from then on is counted in write_errors() — which the
 /// daemon surfaces as Stats::ledger_write_errors.
+///
+/// The latch is not permanent: transient failures (ENOSPC that an operator
+/// fixes) heal. Every `reprobe_records` lost lines — or `reprobe_seconds`
+/// after the last attempt — the writer re-probes by reopening the file and
+/// trying the current line; success re-enables appends. Lines lost while
+/// disabled stay lost and counted (write_errors() is monotonic), only the
+/// future recovers.
 class ServeLedgerWriter {
  public:
   /// Opens `path` for append. Throws hps::Error on failure.
@@ -101,18 +108,31 @@ class ServeLedgerWriter {
   void append_costs(const std::vector<CostCell>& cells);
   std::uint64_t records_written() const;
   /// Lines lost to I/O failure (the first failed one and every skipped one
-  /// after the writer disabled itself).
+  /// after the writer disabled itself). Monotonic: re-probe successes never
+  /// decrement it.
   std::uint64_t write_errors() const;
+
+  /// Tune the re-probe cadence (defaults: 64 lost records / 2 s). 0 disables
+  /// that trigger; both 0 restores the PR 9 permanent latch.
+  void set_reprobe_policy(std::uint64_t records, double seconds);
+  /// Force the failure latch, as the first real failed append would. Lets
+  /// tests (and drills) exercise the re-probe path deterministically.
+  void force_failure_for_testing();
 
  private:
   void write_line(const std::string& line);
+  bool reprobe_due() const;
 
   mutable std::mutex mu_;
   std::ofstream out_;
   std::string path_;
   std::uint64_t records_ = 0;
   std::uint64_t write_errors_ = 0;
-  bool failed_ = false;  ///< latched on the first failed append
+  bool failed_ = false;  ///< latched on a failed append, until a re-probe heals it
+  std::uint64_t reprobe_records_ = 64;
+  double reprobe_seconds_ = 2.0;
+  std::uint64_t lost_since_probe_ = 0;
+  std::int64_t last_probe_ns_ = 0;  ///< steady-clock stamp of the last attempt
 };
 
 /// Everything in a serve ledger file, requests and cost footer separated.

@@ -88,6 +88,9 @@ FaultSite parse_site(const std::string& v) {
   if (v == "serve.cache-insert") return FaultSite::kServeCacheInsert;
   if (v == "serve.ledger-append") return FaultSite::kServeLedgerAppend;
   if (v == "serve.dispatch") return FaultSite::kServeDispatch;
+  if (v == "serve.cache-spill") return FaultSite::kServeCacheSpill;
+  if (v == "serve.cache-recover") return FaultSite::kServeCacheRecover;
+  if (v == "serve.scrub") return FaultSite::kServeScrub;
   throw Error("fault plan: unknown site \"" + v + "\"");
 }
 
@@ -163,6 +166,9 @@ const char* fault_site_name(FaultSite s) {
     case FaultSite::kServeCacheInsert: return "serve.cache-insert";
     case FaultSite::kServeLedgerAppend: return "serve.ledger-append";
     case FaultSite::kServeDispatch: return "serve.dispatch";
+    case FaultSite::kServeCacheSpill: return "serve.cache-spill";
+    case FaultSite::kServeCacheRecover: return "serve.cache-recover";
+    case FaultSite::kServeScrub: return "serve.scrub";
   }
   return "?";
 }

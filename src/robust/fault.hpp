@@ -12,7 +12,8 @@
 // Grammar (HPS_FAULT): specs separated by ';', fields by ',':
 //
 //   site=<mfact|packet|flow|packet-flow|generate
-//         |serve.cache-insert|serve.ledger-append|serve.dispatch>  required
+//         |serve.cache-insert|serve.ledger-append|serve.dispatch
+//         |serve.cache-spill|serve.cache-recover|serve.scrub>      required
 //   spec=<id>          corpus spec to hit (default: any)
 //   scheme=<mfact|packet|flow|packet-flow>          (default: any)
 //   kind=<throw|alloc|delay|cancel|exit|segv|abort> (default: throw)
@@ -48,6 +49,14 @@ enum class FaultSite : std::uint8_t {
   kServeCacheInsert,   ///< dispatcher, before the shared-cache insert
   kServeLedgerAppend,  ///< serve-ledger append of a finished request
   kServeDispatch,      ///< dispatcher, before run_study
+  // Durable-cache sites (docs/serving.md): deterministic corruption /
+  // failure injection for the crash-durability paths. kThrow at the spill
+  // site loses a durable append (memory cache unaffected); kThrow at the
+  // recover site quarantines the record being recovered instead of crashing
+  // the startup; kThrow at the scrub site aborts one scrubber pass.
+  kServeCacheSpill,    ///< before appending one record to the spill file
+  kServeCacheRecover,  ///< per record while recovering the spill file
+  kServeScrub,         ///< at the start of one background scrub pass
 };
 const char* fault_site_name(FaultSite s);
 

@@ -48,19 +48,50 @@ struct CachedResult {
   }
 };
 
+/// Durability policy for a ResultCache. An empty dir keeps the PR 6 memory-
+/// only behavior; a non-empty dir backs the cache with an append-only spill
+/// file (serve/spill.hpp) so a restarted daemon comes back warm.
+struct SpillOptions {
+  std::string dir;     ///< cache directory ("" = memory-only)
+  bool fsync = false;  ///< fsync every spill append (power-loss durability)
+};
+
 class ResultCache {
  public:
   /// `byte_budget` caps the summed byte_size() of live entries; 0 disables
   /// caching entirely (every lookup misses, inserts are dropped).
-  explicit ResultCache(std::size_t byte_budget) : budget_(byte_budget) {}
+  explicit ResultCache(std::size_t byte_budget, SpillOptions spill = {});
+  ~ResultCache();
 
   /// Hit: bumps the entry to most-recently-used and returns it. Miss: null.
   std::shared_ptr<const CachedResult> lookup(std::uint64_t key);
 
   /// Insert (or replace) the entry for `key`, then evict LRU entries until
   /// the budget holds again. An entry larger than the whole budget is
-  /// dropped immediately — correct, just never cached.
+  /// dropped immediately — correct, just never cached. Admitted entries are
+  /// appended to the spill file when one is configured; a spill failure is
+  /// counted, never propagated (the in-memory insert already happened).
   void insert(std::uint64_t key, std::shared_ptr<const CachedResult> value);
+
+  struct RecoveryStats {
+    std::uint64_t recovered = 0;    ///< entries restored into the live cache
+    std::uint64_t quarantined = 0;  ///< damaged regions moved to the sidecar
+    std::uint64_t torn_bytes = 0;   ///< incomplete tail truncated (crash shape)
+  };
+
+  /// Recover the spill file configured at construction: validate every
+  /// record (CRC + schema), quarantine damage into the `.quarantine`
+  /// sidecar, admit survivors oldest-first under the byte budget, then
+  /// rewrite the spill file clean and open it for appending. Never throws
+  /// on corruption — only on unrecoverable I/O errors. No-op (all zeros)
+  /// when no spill dir is configured. Call once, before serving traffic.
+  RecoveryStats recover();
+
+  /// One scrubber pass: re-verify every on-disk record CRC. Any rot is
+  /// quarantined and the file is rewritten from the in-memory entries (the
+  /// authoritative copy). Returns the number of damaged regions found.
+  /// No-op when no spill dir is configured.
+  std::uint64_t scrub_once();
 
   struct Counters {
     std::uint64_t hits = 0;
@@ -68,11 +99,21 @@ class ResultCache {
     std::uint64_t evictions = 0;
     std::uint64_t bytes = 0;
     std::uint64_t entries = 0;
+    // Durability counters (all zero for a memory-only cache).
+    std::uint64_t spilled = 0;       ///< records appended to the spill file
+    std::uint64_t spill_errors = 0;  ///< appends lost to injected/real I/O failure
+    std::uint64_t recovered = 0;     ///< entries restored by recover()
+    std::uint64_t quarantined = 0;   ///< damaged regions sidecarred (recover + scrub)
+    std::uint64_t scrub_passes = 0;  ///< completed scrub_once() calls
+    std::uint64_t scrub_corrupt = 0; ///< damaged regions found by scrubbing
   };
   Counters counters() const;
 
  private:
   void evict_to_budget_locked();
+  bool insert_locked(std::uint64_t key, std::shared_ptr<const CachedResult> value);
+  void spill_append_locked(std::uint64_t key, const CachedResult& r);
+  void rewrite_spill_locked();
 
   struct Entry {
     std::uint64_t key = 0;
@@ -86,6 +127,11 @@ class ResultCache {
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
   std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+
+  SpillOptions spill_opts_;
+  std::unique_ptr<class SpillWriter> writer_;  ///< open iff spill configured
+  std::uint64_t spilled_ = 0, spill_errors_ = 0, recovered_ = 0, quarantined_ = 0;
+  std::uint64_t scrub_passes_ = 0, scrub_corrupt_ = 0;
 };
 
 }  // namespace hps::serve

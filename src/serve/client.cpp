@@ -192,21 +192,25 @@ void Client::set_timeout_ms(double ms) {
 // ResilientClient
 
 ResilientClient ResilientClient::unix_socket(std::string path, ClientPolicy policy) {
-  return ResilientClient(false, std::move(path), 0, policy);
+  return ResilientClient({Endpoint{false, std::move(path), 0}}, policy);
 }
 
 ResilientClient ResilientClient::tcp(std::string host, int port, ClientPolicy policy) {
-  return ResilientClient(true, std::move(host), port, policy);
+  return ResilientClient({Endpoint{true, std::move(host), port}}, policy);
 }
 
-ResilientClient::ResilientClient(bool use_tcp, std::string target, int port,
-                                 ClientPolicy policy)
-    : use_tcp_(use_tcp),
-      target_(std::move(target)),
-      port_(port),
+ResilientClient ResilientClient::endpoints(std::vector<Endpoint> eps, ClientPolicy policy) {
+  return ResilientClient(std::move(eps), policy);
+}
+
+ResilientClient::ResilientClient(std::vector<Endpoint> eps, ClientPolicy policy)
+    : endpoints_(std::move(eps)),
       policy_(policy),
+      breakers_(endpoints_.size()),
       jitter_state_(policy.jitter_seed != 0 ? policy.jitter_seed
-                                            : 0x9e3779b97f4a7c15ULL) {}
+                                            : 0x9e3779b97f4a7c15ULL) {
+  HPS_REQUIRE(!endpoints_.empty(), "serve client: at least one endpoint is required");
+}
 
 const char* ResilientClient::breaker_name(Breaker b) {
   switch (b) {
@@ -218,33 +222,78 @@ const char* ResilientClient::breaker_name(Breaker b) {
 }
 
 ResilientClient::Breaker ResilientClient::breaker_state() const {
-  if (!open_) return Breaker::kClosed;
-  return steady_ms() * 1000000 >= open_until_ns_ ? Breaker::kHalfOpen : Breaker::kOpen;
+  const BreakerState& b = breakers_[current_];
+  if (!b.open) return Breaker::kClosed;
+  return steady_ms() * 1000000 >= b.open_until_ns ? Breaker::kHalfOpen : Breaker::kOpen;
 }
 
-Client ResilientClient::connect_raw() {
-  Client c = use_tcp_ ? Client::connect_tcp(target_, port_)
-                      : Client::connect_unix(target_);
+Client ResilientClient::connect_raw(std::size_t idx) {
+  const Endpoint& ep = endpoints_[idx];
+  Client c = ep.tcp ? Client::connect_tcp(ep.target, ep.port)
+                    : Client::connect_unix(ep.target);
   if (policy_.timeout_ms > 0) c.set_timeout_ms(policy_.timeout_ms);
   return c;
 }
 
-Client ResilientClient::connect_once() { return connect_raw(); }
+Client ResilientClient::connect_once() {
+  std::string first_err;
+  for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+    const std::size_t i = (current_ + k) % endpoints_.size();
+    try {
+      Client c = connect_raw(i);
+      current_ = i;
+      return c;
+    } catch (const hps::Error& e) {
+      if (first_err.empty()) first_err = e.what();
+    }
+  }
+  HPS_THROW(first_err);
+}
 
-void ResilientClient::on_transport_failure() {
-  ++consecutive_failures_;
-  if (policy_.breaker_failures > 0 && consecutive_failures_ >= policy_.breaker_failures) {
-    open_ = true;
-    open_until_ns_ =
+void ResilientClient::on_transport_failure(std::size_t idx) {
+  BreakerState& b = breakers_[idx];
+  ++b.consecutive_failures;
+  if (policy_.breaker_failures > 0 && b.consecutive_failures >= policy_.breaker_failures) {
+    b.open = true;
+    b.open_until_ns =
         steady_ms() * 1000000 +
         static_cast<std::int64_t>(policy_.breaker_cooldown_ms * 1e6);
   }
 }
 
-void ResilientClient::on_transport_success() {
-  consecutive_failures_ = 0;
-  open_ = false;
-  open_until_ns_ = 0;
+void ResilientClient::on_transport_success(std::size_t idx) {
+  breakers_[idx] = BreakerState{};
+}
+
+std::size_t ResilientClient::pick_endpoint(bool& half_open) const {
+  const std::int64_t now_ns = steady_ms() * 1000000;
+  for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+    const std::size_t i = (current_ + k) % endpoints_.size();
+    const BreakerState& b = breakers_[i];
+    if (!b.open) {
+      half_open = false;
+      return i;
+    }
+    if (now_ns >= b.open_until_ns) {
+      half_open = true;
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+bool ResilientClient::advance_from(std::size_t idx) {
+  for (std::size_t k = 1; k < endpoints_.size(); ++k) {
+    const std::size_t i = (idx + k) % endpoints_.size();
+    const BreakerState& b = breakers_[i];
+    if (!b.open || steady_ms() * 1000000 >= b.open_until_ns) {
+      current_ = i;
+      ++failovers_;
+      return true;
+    }
+  }
+  current_ = idx;
+  return false;
 }
 
 double ResilientClient::backoff_delay_ms(int attempt) {
@@ -267,48 +316,68 @@ Client::StudyReply ResilientClient::study(
     const Request& req, const std::function<void(const std::string&)>& on_record) {
   last_attempts_ = 0;
   for (int attempt = 0;; ++attempt) {
-    // Circuit breaker: while open, fail fast without touching the socket;
-    // once the cooldown elapses, exactly one half-open probe goes through
-    // (success re-closes the breaker, failure re-opens it for a fresh
-    // cooldown).
+    // Per-endpoint circuit breaker: an open endpoint is skipped until its
+    // cooldown elapses (then exactly one half-open probe goes through —
+    // success re-closes the breaker, failure re-opens it for a fresh
+    // cooldown). Only when every endpoint is open does the client fail fast.
     bool half_open_probe = false;
-    if (open_) {
-      if (steady_ms() * 1000000 < open_until_ns_)
-        throw CircuitOpenError(
-            "serve client: circuit breaker open after " +
-            std::to_string(consecutive_failures_) + " consecutive failures");
-      half_open_probe = true;
-    }
+    const std::size_t idx = pick_endpoint(half_open_probe);
+    if (idx == std::string::npos)
+      throw CircuitOpenError("serve client: circuit breaker open on all " +
+                             std::to_string(endpoints_.size()) + " endpoint(s)");
 
     ++last_attempts_;
-    bool connected = false;
     try {
-      Client c = connect_raw();
-      connected = true;
-      Client::StudyReply reply = c.study(req, on_record);
-      on_transport_success();
+      Client c = connect_raw(idx);
+      // Records are buffered (no streaming callback) so an exchange that
+      // dies mid-stream and fails over cannot hand the caller duplicates.
+      Client::StudyReply reply = c.study(req, {});
+      on_transport_success(idx);
+      current_ = idx;
       if (reply.summary.status == Status::kQueueFull && attempt < policy_.max_retries) {
-        // Explicit backpressure (queue full or shed): the one reject that is
-        // always safe — and useful — to retry after backing off.
+        // Explicit backpressure (queue full or shed): safe to retry — the
+        // study never ran. Back off; the same daemon stays preferred (its
+        // peers share the cache, not the queue, so moving buys nothing).
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff_delay_ms(attempt)));
         continue;
       }
+      if (reply.summary.status == Status::kDraining && attempt < policy_.max_retries) {
+        // A draining daemon never admitted the study, so the retry is free;
+        // with a second endpoint available the rolling restart is invisible
+        // (no sleep), alone we back off and wait for the replacement.
+        ++draining_retries_;
+        if (!advance_from(idx))
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(backoff_delay_ms(attempt)));
+        continue;
+      }
+      if (on_record)
+        for (const std::string& line : reply.records) on_record(line);
       return reply;
     } catch (const TimeoutError&) {
-      // The request may be executing server-side: count the failure for the
-      // breaker but never retry (a duplicate study is not idempotent cost).
-      on_transport_failure();
+      // The daemon may merely be slow and the study may still be executing:
+      // count the failure for the breaker but never retry — re-sending
+      // would pile onto an overloaded server.
+      on_transport_failure(idx);
       throw;
     } catch (const hps::Error&) {
-      on_transport_failure();
-      if (connected) throw;  // post-send failure: may have executed
-      // Connect failures are retry-safe (nothing reached the daemon) — but a
-      // failed half-open probe re-opens the breaker instead of burning the
-      // remaining retry budget against a daemon that is still down.
-      if (half_open_probe || attempt >= policy_.max_retries) throw;
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_delay_ms(attempt)));
+      // Connect failure or the connection died mid-exchange. Either way the
+      // retry is safe: studies are content-addressed and deterministic, so a
+      // re-sent request returns the identical bytes (coalesced server-side
+      // if the first send is still running).
+      on_transport_failure(idx);
+      if (attempt >= policy_.max_retries) throw;
+      // A failed half-open probe re-opens the breaker; with no other
+      // endpoint to move to, throw instead of burning the retry budget
+      // against a daemon that is still down.
+      const bool moved = advance_from(idx);
+      if (half_open_probe && !moved) throw;
+      // Moving to a different endpoint skips the backoff sleep — that
+      // endpoint is healthy until proven otherwise.
+      if (!moved)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_delay_ms(attempt)));
     }
   }
 }

@@ -6,10 +6,16 @@
 //   Client          — one connection, one exchange, no policy. A stalled
 //                     daemon blocks it forever unless set_timeout_ms is set.
 //   ResilientClient — wraps Client with socket timeouts, jittered
-//                     exponential-backoff retries on kQueueFull rejects and
-//                     connect failures (and ONLY those: anything after the
-//                     request hit the wire may have executed and is never
-//                     retried), and a circuit breaker with half-open probes.
+//                     exponential-backoff retries, a per-endpoint circuit
+//                     breaker with half-open probes, and failover across an
+//                     ordered endpoint list. Retried (and failed over):
+//                     kQueueFull and kDraining rejects, connect failures,
+//                     and non-timeout transport errors — studies are
+//                     content-addressed and deterministic, so re-sending one
+//                     that may have executed returns the identical answer
+//                     (coalesced server-side if it is still running). Only a
+//                     socket *timeout* is terminal: the daemon may merely be
+//                     slow, and re-sending would pile onto it.
 #pragma once
 
 #include <cstdint>
@@ -106,50 +112,84 @@ struct ClientPolicy {
   double breaker_cooldown_ms = 1000;  ///< open → half-open probe delay
 };
 
-/// Retrying, deadline-aware front end over Client. One ResilientClient
-/// targets one daemon; each attempt opens a fresh connection. Not
+/// One daemon address a ResilientClient may talk to.
+struct Endpoint {
+  bool tcp = false;
+  std::string target;  ///< socket path (unix) or IPv4 host (tcp)
+  int port = 0;        ///< tcp only
+};
+
+/// Retrying, deadline-aware front end over Client with failover across an
+/// ordered endpoint list; each attempt opens a fresh connection. The circuit
+/// breaker is per endpoint, so one dead daemon fails fast while its peers
+/// keep serving; an attempt that fails moves the preference to the next
+/// usable endpoint without sleeping (the peer is healthy until proven
+/// otherwise), and a success sticks to the endpoint that answered. Not
 /// thread-safe (the breaker state is unsynchronized by design — share
 /// nothing, or wrap it).
 class ResilientClient {
  public:
   static ResilientClient unix_socket(std::string path, ClientPolicy policy = {});
   static ResilientClient tcp(std::string host, int port, ClientPolicy policy = {});
+  /// Failover client over `eps` in preference order (at least one required).
+  static ResilientClient endpoints(std::vector<Endpoint> eps, ClientPolicy policy = {});
 
   enum class Breaker { kClosed, kOpen, kHalfOpen };
   static const char* breaker_name(Breaker b);
 
   /// Like Client::study, plus the policy: retries (with jittered backoff)
-  /// on kQueueFull rejects and connect failures, never after the request
-  /// reached the daemon. Throws CircuitOpenError when the breaker is open,
-  /// TimeoutError on a tripped socket deadline, hps::Error otherwise.
+  /// and failover on kQueueFull / kDraining rejects, connect failures, and
+  /// non-timeout transport errors. Throws CircuitOpenError when every
+  /// endpoint's breaker is open, TimeoutError on a tripped socket deadline
+  /// (never retried — the study may still be executing), hps::Error
+  /// otherwise. `on_record` is invoked only after the exchange succeeded
+  /// (records are buffered), so a mid-stream failover cannot deliver
+  /// duplicate lines.
   Client::StudyReply study(const Request& req,
                            const std::function<void(const std::string&)>& on_record = {});
 
   /// One plain connection under the policy's socket deadline — for ping /
-  /// stats / metrics / shutdown, which have no retry semantics.
+  /// stats / metrics / shutdown, which have no retry semantics. Tries each
+  /// endpoint once, starting at the current preference.
   Client connect_once();
 
+  /// Breaker state of the currently preferred endpoint.
   Breaker breaker_state() const;
   /// Connect+exchange attempts the last study() spent (≥ 1).
   int last_attempts() const { return last_attempts_; }
+  /// Times the preference moved to a different endpoint after a failure.
+  int failovers() const { return failovers_; }
+  /// kDraining rejects that were retried (rolling-restart absorption).
+  int draining_retries() const { return draining_retries_; }
+  std::size_t endpoint_count() const { return endpoints_.size(); }
 
  private:
-  ResilientClient(bool use_tcp, std::string target, int port, ClientPolicy policy);
-  Client connect_raw();
-  void on_transport_failure();
-  void on_transport_success();
+  struct BreakerState {
+    int consecutive_failures = 0;
+    bool open = false;
+    std::int64_t open_until_ns = 0;  ///< steady-clock; breaker probe time
+  };
+
+  ResilientClient(std::vector<Endpoint> eps, ClientPolicy policy);
+  Client connect_raw(std::size_t idx);
+  void on_transport_failure(std::size_t idx);
+  void on_transport_success(std::size_t idx);
   double backoff_delay_ms(int attempt);
+  /// First usable endpoint starting at the preference: closed breaker, or
+  /// open with an elapsed cooldown (half-open probe). npos when all open.
+  std::size_t pick_endpoint(bool& half_open) const;
+  /// Move the preference to the next usable endpoint after `idx`; returns
+  /// true (counting a failover) when it actually moved.
+  bool advance_from(std::size_t idx);
 
-  bool use_tcp_ = false;
-  std::string target_;  ///< socket path (unix) or host (tcp)
-  int port_ = 0;
+  std::vector<Endpoint> endpoints_;
   ClientPolicy policy_;
-
-  int consecutive_failures_ = 0;
-  bool open_ = false;
-  std::int64_t open_until_ns_ = 0;  ///< steady-clock; breaker probe time
+  std::vector<BreakerState> breakers_;  ///< parallel to endpoints_
+  std::size_t current_ = 0;             ///< preferred endpoint index
   std::uint64_t jitter_state_ = 0;
   int last_attempts_ = 0;
+  int failovers_ = 0;
+  int draining_retries_ = 0;
 };
 
 }  // namespace hps::serve

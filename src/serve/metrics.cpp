@@ -204,6 +204,11 @@ std::string render_prometheus(const MetricsReply& m) {
   os << "hpcsweepd_rejected_total{reason=\"slow_read\"} " << s.rejected_slow_read << "\n";
   counter("hpcsweepd_shed_total", s.shed_queue_delay);
   counter("hpcsweepd_degraded_fallback_total", s.degraded_fallback);
+  counter("hpcsweepd_cache_spilled_total", s.cache_spilled);
+  counter("hpcsweepd_cache_recovered_total", s.cache_recovered);
+  counter("hpcsweepd_cache_quarantined_total", s.cache_quarantined);
+  counter("hpcsweepd_cache_scrub_passes_total", s.cache_scrub_passes);
+  counter("hpcsweepd_cache_scrub_corrupt_total", s.cache_scrub_corrupt);
   counter("hpcsweepd_serve_ledger_records_total", s.ledger_records);
   counter("hpcsweepd_ledger_write_errors_total", s.ledger_write_errors);
   counter("hpcsweepd_spans_dropped_total", s.spans_dropped);
@@ -212,6 +217,7 @@ std::string render_prometheus(const MetricsReply& m) {
   gauge("hpcsweepd_active_studies", std::to_string(s.active));
   gauge("hpcsweepd_queue_depth", std::to_string(s.queued));
   gauge("hpcsweepd_uptime_seconds", fmt_g(m.uptime_seconds));
+  gauge("hpcsweepd_cache_recovery_ms", std::to_string(s.cache_recovery_ms));
 
   // Histograms grouped by family so each # TYPE header appears once.
   std::vector<std::string> typed;
@@ -306,6 +312,18 @@ std::string render_dashboard(const MetricsReply& m, const MetricsReply* prev,
                 static_cast<unsigned long long>(s.ledger_write_errors),
                 static_cast<unsigned long long>(s.spans_dropped));
   os << line;
+  if (s.cache_spilled + s.cache_recovered + s.cache_quarantined + s.cache_scrub_passes > 0) {
+    std::snprintf(line, sizeof line,
+                  "  durable: spilled %llu  recovered %llu (%llu ms)  quarantined %llu  "
+                  "scrubs %llu (rot %llu)\n",
+                  static_cast<unsigned long long>(s.cache_spilled),
+                  static_cast<unsigned long long>(s.cache_recovered),
+                  static_cast<unsigned long long>(s.cache_recovery_ms),
+                  static_cast<unsigned long long>(s.cache_quarantined),
+                  static_cast<unsigned long long>(s.cache_scrub_passes),
+                  static_cast<unsigned long long>(s.cache_scrub_corrupt));
+    os << line;
+  }
 
   os << "  latency p50/p99/p99.9 ms (count)\n";
   for (const MetricsReply::Hist& h : m.hists) {

@@ -218,6 +218,11 @@ std::string encode_stats(const Stats& s) {
        {s.rejected_expired, s.shed_queue_delay, s.degraded_fallback,
         s.rejected_slow_read, s.ledger_write_errors})
     put_u64(out, v);
+  // v4 extension: durable-cache counters, appended after the v3 layout.
+  for (const std::uint64_t v :
+       {s.cache_spilled, s.cache_recovered, s.cache_quarantined,
+        s.cache_recovery_ms, s.cache_scrub_passes, s.cache_scrub_corrupt})
+    put_u64(out, v);
   return out;
 }
 
@@ -237,6 +242,11 @@ Stats decode_stats(const std::string& payload) {
     for (std::uint64_t* v :
          {&s.rejected_expired, &s.shed_queue_delay, &s.degraded_fallback,
           &s.rejected_slow_read, &s.ledger_write_errors})
+      *v = rd.u64();
+  if (version >= 4)
+    for (std::uint64_t* v :
+         {&s.cache_spilled, &s.cache_recovered, &s.cache_quarantined,
+          &s.cache_recovery_ms, &s.cache_scrub_passes, &s.cache_scrub_corrupt})
       *v = rd.u64();
   rd.done();
   return s;
@@ -261,7 +271,13 @@ std::string stats_to_json(const Stats& s) {
      << ",\"shed_queue_delay\":" << s.shed_queue_delay
      << ",\"degraded_fallback\":" << s.degraded_fallback
      << ",\"rejected_slow_read\":" << s.rejected_slow_read
-     << ",\"ledger_write_errors\":" << s.ledger_write_errors << "}";
+     << ",\"ledger_write_errors\":" << s.ledger_write_errors
+     << ",\"cache_spilled\":" << s.cache_spilled
+     << ",\"cache_recovered\":" << s.cache_recovered
+     << ",\"cache_quarantined\":" << s.cache_quarantined
+     << ",\"cache_recovery_ms\":" << s.cache_recovery_ms
+     << ",\"cache_scrub_passes\":" << s.cache_scrub_passes
+     << ",\"cache_scrub_corrupt\":" << s.cache_scrub_corrupt << "}";
   return os.str();
 }
 

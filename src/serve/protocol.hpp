@@ -33,7 +33,10 @@ namespace hps::serve {
 ///     appends the mfact_fallback flag and Status gains kExpired; Stats
 ///     appends the overload counters (rejected_expired, shed_queue_delay,
 ///     degraded_fallback, rejected_slow_read, ledger_write_errors).
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: Stats appends the durable-cache counters (cache_spilled,
+///     cache_recovered, cache_quarantined, cache_recovery_ms,
+///     cache_scrub_passes, cache_scrub_corrupt).
+inline constexpr std::uint32_t kProtocolVersion = 4;
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Cap on a single *request* frame. Requests are a fixed few dozen bytes;
@@ -134,6 +137,14 @@ struct Stats {
                                         ///< slow-read (slowloris) guard
   std::uint64_t ledger_write_errors = 0; ///< serve-ledger appends lost to I/O
                                          ///< failure (ENOSPC, short writes)
+
+  // v4 fields (defaulted when decoding an older payload): durable cache.
+  std::uint64_t cache_spilled = 0;      ///< records appended to the spill file
+  std::uint64_t cache_recovered = 0;    ///< entries restored on startup
+  std::uint64_t cache_quarantined = 0;  ///< damaged regions sidecarred
+  std::uint64_t cache_recovery_ms = 0;  ///< startup recovery wall time
+  std::uint64_t cache_scrub_passes = 0; ///< completed background scrub passes
+  std::uint64_t cache_scrub_corrupt = 0; ///< damaged regions found by scrubbing
 };
 
 std::string encode_request(const Request& r);

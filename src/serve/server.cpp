@@ -4,14 +4,17 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <set>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -48,29 +51,61 @@ class SigpipeIgnore {
   struct sigaction saved_{};
 };
 
-int make_unix_listener(const std::string& path) {
+/// Binds the Unix listener, guarding stale-socket reclaim with an exclusive
+/// flock on a `<path>.lock` sidecar: without it, two daemons racing through
+/// probe-connect → unlink → bind can steal the socket from whichever bound
+/// first (the probe and the unlink are not atomic). The lock fd is returned
+/// through `lock_fd` and must stay open for the daemon's lifetime — the
+/// kernel releases it on any death, including kill -9, so a stale lock file
+/// on disk is harmless and is deliberately never unlinked (removing it would
+/// reopen the race via a lock on a dead inode).
+int make_unix_listener(const std::string& path, int& lock_fd) {
   HPS_REQUIRE(!path.empty(), "serve: a Unix socket path is required");
   sockaddr_un addr{};
   HPS_REQUIRE(path.size() < sizeof addr.sun_path,
               "serve: socket path too long: " + path);
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const std::string lock_path = path + ".lock";
+  lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0600);
+  HPS_REQUIRE(lock_fd >= 0,
+              "serve: cannot open lock file " + lock_path + ": " + std::strerror(errno));
+  if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd);
+    lock_fd = -1;
+    HPS_THROW("serve: a daemon is already listening (or starting) on " + path);
+  }
   // Only a *stale* socket (dead daemon) may be reclaimed. A connect() that
   // succeeds means a live daemon is accepting on this path — unlinking it
-  // would silently steal its traffic, so refuse to start instead.
+  // would silently steal its traffic, so refuse to start instead. (A live
+  // daemon also holds the flock, but one started before the lock existed —
+  // or listening via an inherited fd — is still caught here.)
   const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  HPS_REQUIRE(probe >= 0, std::string("serve: socket() failed: ") + std::strerror(errno));
+  if (probe < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(lock_fd);
+    lock_fd = -1;
+    HPS_THROW(std::string("serve: socket() failed: ") + err);
+  }
   const bool live =
       ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
   ::close(probe);
-  HPS_REQUIRE(!live, "serve: a daemon is already listening on " + path);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  HPS_REQUIRE(fd >= 0, std::string("serve: socket() failed: ") + std::strerror(errno));
+  const int fd = live ? -1 : ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    const std::string err =
+        live ? "a daemon is already listening on " + path
+             : std::string("socket() failed: ") + std::strerror(errno);
+    ::close(lock_fd);
+    lock_fd = -1;
+    HPS_THROW("serve: " + err);
+  }
   ::unlink(path.c_str());
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
       ::listen(fd, 64) != 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
+    ::close(lock_fd);
+    lock_fd = -1;
     HPS_THROW("serve: cannot listen on " + path + ": " + err);
   }
   return fd;
@@ -187,7 +222,7 @@ void InFlight::wait() {
 
 Server::Server(ServerOptions opts)
     : opts_(std::move(opts)),
-      cache_(opts_.cache_bytes),
+      cache_(opts_.cache_bytes, SpillOptions{opts_.cache_dir, opts_.cache_fsync}),
       queue_(std::max<std::size_t>(1, opts_.queue_capacity),
              ShedPolicy{static_cast<std::int64_t>(opts_.shed_target_ms * 1e6),
                         static_cast<std::int64_t>(opts_.shed_interval_ms * 1e6)}) {
@@ -202,7 +237,25 @@ Server::Server(ServerOptions opts)
   obs_.histogram(kRequestMetric, telemetry::latency_bounds());
   if (!opts_.serve_ledger_path.empty())
     ledger_ = std::make_unique<obs::ServeLedgerWriter>(opts_.serve_ledger_path);
-  unix_fd_ = make_unix_listener(opts_.socket_path);
+  // Warm restart: recover the spill file before the listeners exist, so a
+  // client that can connect always sees the recovered cache.
+  if (!opts_.cache_dir.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ResultCache::RecoveryStats rs = cache_.recover();
+    cache_recovery_ms_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (rs.recovered > 0 || rs.quarantined > 0 || rs.torn_bytes > 0)
+      std::fprintf(stderr,
+                   "hpcsweepd: cache recovery: %llu entries restored, %llu regions "
+                   "quarantined, %llu torn bytes truncated (%llu ms)\n",
+                   static_cast<unsigned long long>(rs.recovered),
+                   static_cast<unsigned long long>(rs.quarantined),
+                   static_cast<unsigned long long>(rs.torn_bytes),
+                   static_cast<unsigned long long>(cache_recovery_ms_));
+  }
+  unix_fd_ = make_unix_listener(opts_.socket_path, lock_fd_);
   if (opts_.tcp_port >= 0) {
     try {
       const auto [fd, port] = make_tcp_listener(opts_.tcp_port);
@@ -210,6 +263,7 @@ Server::Server(ServerOptions opts)
       tcp_port_ = port;
     } catch (...) {
       ::close(unix_fd_);
+      ::close(lock_fd_);
       ::unlink(opts_.socket_path.c_str());
       throw;
     }
@@ -220,6 +274,9 @@ Server::~Server() {
   if (unix_fd_ >= 0) ::close(unix_fd_);
   if (tcp_fd_ >= 0) ::close(tcp_fd_);
   ::unlink(opts_.socket_path.c_str());
+  // Closing the lock fd releases the flock; the .lock file itself stays (see
+  // make_unix_listener).
+  if (lock_fd_ >= 0) ::close(lock_fd_);
 }
 
 bool Server::draining() const {
@@ -840,6 +897,28 @@ void Server::run() {
   for (int i = 0; i < opts_.dispatchers; ++i)
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
 
+  // Low-rate background scrubber: re-verifies on-disk cache record CRCs and
+  // repairs rot from the in-memory copy. Sleeps in short ticks so drain is
+  // never held up by a long interval.
+  if (!opts_.cache_dir.empty() && opts_.scrub_interval_ms > 0) {
+    scrubber_ = std::thread([this] {
+      double elapsed_ms = 0;
+      while (!draining()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        elapsed_ms += 50;
+        if (elapsed_ms < opts_.scrub_interval_ms) continue;
+        elapsed_ms = 0;
+        try {
+          cache_.scrub_once();
+        } catch (const std::exception& e) {
+          // Injected (serve.scrub) or real failure: skip this pass, keep the
+          // cadence — the scrubber must never take the daemon down.
+          std::fprintf(stderr, "hpcsweepd: scrub pass failed: %s\n", e.what());
+        }
+      }
+    });
+  }
+
   std::string poll_error;
   while (!draining()) {
     pollfd fds[2];
@@ -897,6 +976,7 @@ void Server::run() {
   queue_.close();
   for (auto& t : dispatchers_) t.join();
   dispatchers_.clear();
+  if (scrubber_.joinable()) scrubber_.join();
   {
     std::unique_lock<std::mutex> lk(conn_mu_);
     conn_cv_.wait(lk, [&] { return active_conns_ == 0; });
@@ -938,6 +1018,12 @@ Stats Server::stats() const {
   s.cache_bytes = c.bytes;
   s.cache_entries = c.entries;
   s.cache_evictions = c.evictions;
+  s.cache_spilled = c.spilled;
+  s.cache_recovered = c.recovered;
+  s.cache_quarantined = c.quarantined;
+  s.cache_recovery_ms = cache_recovery_ms_;
+  s.cache_scrub_passes = c.scrub_passes;
+  s.cache_scrub_corrupt = c.scrub_corrupt;
   s.uptime_ms = static_cast<std::uint64_t>(obs_.now_ns() / 1000000);
   s.ledger_records = ledger_ != nullptr ? ledger_->records_written() : 0;
   s.spans_dropped = obs_.spans_dropped();

@@ -60,6 +60,14 @@ struct ServerOptions {
   int dispatchers = 2;              ///< concurrent study executors
   std::size_t queue_capacity = 16;  ///< admitted-but-not-started jobs
   std::size_t cache_bytes = 64u << 20;  ///< shared result cache budget (0 = off)
+  /// Durable cache directory: non-empty backs the result cache with an
+  /// append-only spill file recovered on startup (warm restart), plus the
+  /// `.quarantine` sidecar for corrupt records. Empty = memory-only.
+  std::string cache_dir;
+  bool cache_fsync = false;  ///< fsync every spill append (power-loss durability)
+  /// Background scrubber cadence: every interval, re-verify on-disk record
+  /// CRCs and repair rot from memory. 0 disables; ignored without cache_dir.
+  double scrub_interval_ms = 5000;
   /// Concurrent connections (each costs one thread); an accept beyond the
   /// cap gets an immediate kReject and close, mirroring queue backpressure.
   std::size_t max_connections = 256;
@@ -192,6 +200,7 @@ class Server {
 
   ServerOptions opts_;
   int unix_fd_ = -1;
+  int lock_fd_ = -1;  ///< flock'd sidecar guarding stale-socket reclaim
   int tcp_fd_ = -1;
   int tcp_port_ = -1;
 
@@ -202,6 +211,8 @@ class Server {
 
   std::atomic<bool> draining_{false};
   std::vector<std::thread> dispatchers_;
+  std::thread scrubber_;
+  std::uint64_t cache_recovery_ms_ = 0;  ///< startup spill recovery wall time
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;
   std::size_t active_conns_ = 0;

@@ -13,7 +13,9 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <set>
 #include <string>
@@ -31,6 +33,7 @@
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
+#include "serve/spill.hpp"
 
 namespace hps::serve {
 namespace {
@@ -688,13 +691,13 @@ TEST(ServeProtocol, V1StatsPayloadStillDecodesWithV2FieldsDefaulted) {
   st.uptime_ms = 999;       // v2-only — must vanish from a v1 payload
   st.ledger_records = 888;
   st.spans_dropped = 777;
-  // Reconstruct what a v1 daemon would have sent: the v2 and v3 extensions
-  // are *appended*, so drop the five v3 u64s plus the three v2 u64s and
-  // patch the version word.
+  // Reconstruct what a v1 daemon would have sent: every later extension is
+  // *appended*, so drop the six v4 u64s, the five v3 u64s, and the three v2
+  // u64s, then patch the version word.
   std::string v1 = encode_stats(st);
-  ASSERT_GT(v1.size(), 8u * 8u);
-  v1.resize(v1.size() - 8 * 8);
-  v1[0] = 1;  // little-endian u32 version: 3 -> 1
+  ASSERT_GT(v1.size(), 14u * 8u);
+  v1.resize(v1.size() - 14 * 8);
+  v1[0] = 1;  // little-endian u32 version: 4 -> 1
   const Stats gt = decode_stats(v1);
   EXPECT_EQ(gt.requests, 7u);
   EXPECT_EQ(gt.cache_hits, 4u);
@@ -981,8 +984,8 @@ TEST(ServeProtocol, V2PayloadsStillDecodeWithV3FieldsDefaulted) {
   st.requests = 6;
   st.rejected_expired = 9;  // v3-only
   std::string v2st = encode_stats(st);
-  ASSERT_GT(v2st.size(), 5u * 8u);
-  v2st.resize(v2st.size() - 5 * 8);  // five trailing v3 counters
+  ASSERT_GT(v2st.size(), 11u * 8u);
+  v2st.resize(v2st.size() - 11 * 8);  // five v3 + six v4 trailing counters
   v2st[0] = 2;
   const Stats gt = decode_stats(v2st);
   EXPECT_EQ(gt.requests, 6u);
@@ -1358,6 +1361,618 @@ TEST(ServeFault, LedgerAppendFailureIsCountedNotFatal) {
   const Stats st = c.stats();
   EXPECT_GE(st.ledger_write_errors, 1u);
   EXPECT_EQ(st.ledger_records, 0u);  // the lost line is counted, not half-written
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Durable cache: spill codec, recovery, quarantine, scrubbing
+
+std::string fresh_cache_dir() {
+  const std::string dir = "/tmp/hps_serve_spill_" + std::to_string(::getpid()) + "_" +
+                          std::to_string(DaemonFixture::counter()++);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::shared_ptr<CachedResult> durable_result(const std::string& tag,
+                                             bool fallback = false) {
+  auto r = std::make_shared<CachedResult>();
+  r->status = fallback ? Status::kDegraded : Status::kOk;
+  r->degraded = fallback ? 3u : 0u;
+  r->wall_seconds = 1.5 + static_cast<double>(tag.size());
+  r->app_classes = "latency-bound,bandwidth-bound";
+  r->mfact_fallback = fallback;
+  r->records = {"{\"trace\":\"" + tag + "\"}", "{\"trace\":\"" + tag + tag + "\"}"};
+  return r;
+}
+
+TEST(SpillCodec, RecordRoundTripPreservesEveryField) {
+  auto r = durable_result("alpha");
+  r->status = Status::kDegraded;
+  r->degraded = 2;
+  const SpillRecord got = decode_spill_record(encode_spill_record(42, *r));
+  EXPECT_EQ(got.key, 42u);
+  EXPECT_EQ(got.result.status, r->status);
+  EXPECT_EQ(got.result.degraded, r->degraded);
+  EXPECT_DOUBLE_EQ(got.result.wall_seconds, r->wall_seconds);
+  EXPECT_EQ(got.result.app_classes, r->app_classes);
+  EXPECT_EQ(got.result.mfact_fallback, r->mfact_fallback);
+  EXPECT_EQ(got.result.records, r->records);
+}
+
+TEST(SpillCodec, DecodeRejectsTruncationTrailingBytesAndBadSchema) {
+  const std::string ok = encode_spill_record(7, *durable_result("x"));
+  EXPECT_THROW(decode_spill_record(ok.substr(0, ok.size() - 2)), hps::Error);
+  EXPECT_THROW(decode_spill_record(ok + "zz"), hps::Error);
+  EXPECT_THROW(decode_spill_record(""), hps::Error);
+  std::string bad_schema = ok;
+  bad_schema[0] = static_cast<char>(kSpillRecordSchema + 1);
+  EXPECT_THROW(decode_spill_record(bad_schema), hps::Error);
+}
+
+TEST(SpillFile, WriterThenScanRoundTripsRecords) {
+  const std::string dir = fresh_cache_dir();
+  const std::string path = spill_path(dir);
+  {
+    SpillWriter w;
+    w.open(path, /*fsync_each=*/false);
+    w.append(1, *durable_result("a"));
+    w.append(2, *durable_result("bb"));
+    EXPECT_GT(w.file_bytes(), 8u);
+    w.close();
+  }
+  const SpillScan scan = scan_spill_file(path);
+  EXPECT_TRUE(scan.existed);
+  EXPECT_TRUE(scan.header_ok);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].key, 1u);
+  EXPECT_EQ(scan.records[1].key, 2u);
+  EXPECT_EQ(scan.records[1].result.records, durable_result("bb")->records);
+  EXPECT_TRUE(scan.quarantine.empty());
+  EXPECT_EQ(scan.torn_bytes, 0u);
+
+  // Reopening for append continues the same file, no second header.
+  {
+    SpillWriter w;
+    w.open(path, false);
+    w.append(3, *durable_result("c"));
+  }
+  EXPECT_EQ(scan_spill_file(path).records.size(), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableCache, InsertSpillsAndRecoverIsByteIdentical) {
+  const std::string dir = fresh_cache_dir();
+  auto a = durable_result("first");
+  auto b = durable_result("second");
+  {
+    ResultCache cache(1 << 20, {dir, false});
+    EXPECT_EQ(cache.recover().recovered, 0u);  // fresh dir: nothing yet
+    cache.insert(100, a);
+    cache.insert(200, b);
+    const auto c = cache.counters();
+    EXPECT_EQ(c.spilled, 2u);
+    EXPECT_EQ(c.spill_errors, 0u);
+  }
+  ResultCache warm(1 << 20, {dir, false});
+  const ResultCache::RecoveryStats rs = warm.recover();
+  EXPECT_EQ(rs.recovered, 2u);
+  EXPECT_EQ(rs.quarantined, 0u);
+  EXPECT_EQ(rs.torn_bytes, 0u);
+  const auto ha = warm.lookup(100);
+  const auto hb = warm.lookup(200);
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(ha->records, a->records);  // byte-identical replay after restart
+  EXPECT_EQ(hb->records, b->records);
+  EXPECT_EQ(ha->app_classes, a->app_classes);
+  EXPECT_DOUBLE_EQ(ha->wall_seconds, a->wall_seconds);
+  EXPECT_EQ(warm.counters().recovered, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableCache, MfactFallbackResultsAreNeverSpilled) {
+  const std::string dir = fresh_cache_dir();
+  {
+    ResultCache cache(1 << 20, {dir, false});
+    cache.recover();
+    cache.insert(1, durable_result("real"));
+    cache.insert(2, durable_result("degraded", /*fallback=*/true));
+    EXPECT_EQ(cache.counters().spilled, 1u);
+  }
+  ResultCache warm(1 << 20, {dir, false});
+  EXPECT_EQ(warm.recover().recovered, 1u);
+  EXPECT_NE(warm.lookup(1), nullptr);
+  EXPECT_EQ(warm.lookup(2), nullptr);  // the fallback stayed memory-only
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableCache, CorruptMidFileRecordIsQuarantinedNeighborsSurvive) {
+  const std::string dir = fresh_cache_dir();
+  const std::string p1 = encode_spill_record(1, *durable_result("keep1"));
+  const std::string p2 = encode_spill_record(2, *durable_result("smash"));
+  const std::string p3 = encode_spill_record(3, *durable_result("keep3"));
+  write_spill_file(spill_path(dir), {{1, *durable_result("keep1")},
+                                     {2, *durable_result("smash")},
+                                     {3, *durable_result("keep3")}});
+  // Flip one payload byte inside record 2: header(8) + frame1(8+p1) + frame
+  // header(8) puts us at the start of p2; aim at its middle.
+  const std::size_t at = 8 + (8 + p1.size()) + 8 + p2.size() / 2;
+  {
+    std::fstream f(spill_path(dir), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(at));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(at));
+    f.write(&c, 1);
+  }
+  ResultCache warm(1 << 20, {dir, false});
+  const auto rs = warm.recover();
+  EXPECT_EQ(rs.recovered, 2u);
+  EXPECT_EQ(rs.quarantined, 1u);
+  EXPECT_NE(warm.lookup(1), nullptr);
+  EXPECT_EQ(warm.lookup(2), nullptr);  // quarantined, never served corrupt
+  EXPECT_NE(warm.lookup(3), nullptr);  // the scan resynchronized past the rot
+  EXPECT_GT(std::filesystem::file_size(quarantine_path(dir)), 0u);
+  // Recovery left a clean compacted file behind.
+  const SpillScan rescan = scan_spill_file(spill_path(dir));
+  EXPECT_EQ(rescan.records.size(), 2u);
+  EXPECT_TRUE(rescan.quarantine.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableCache, TornTailIsTruncatedNotQuarantined) {
+  const std::string dir = fresh_cache_dir();
+  write_spill_file(spill_path(dir), {{1, *durable_result("whole")}});
+  {
+    // A crash mid-append leaves a partial frame: fake one.
+    std::ofstream f(spill_path(dir), std::ios::app | std::ios::binary);
+    f.write("\x40\x00\x00\x00\x99\x99", 6);
+  }
+  ResultCache warm(1 << 20, {dir, false});
+  const auto rs = warm.recover();
+  EXPECT_EQ(rs.recovered, 1u);
+  EXPECT_EQ(rs.quarantined, 0u);  // a torn tail is expected, not forensic
+  EXPECT_GT(rs.torn_bytes, 0u);
+  EXPECT_FALSE(std::filesystem::exists(quarantine_path(dir)));
+  EXPECT_NE(warm.lookup(1), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+// The satellite contract: flip EVERY byte of a spill file, one at a time, and
+// recovery must (a) never crash and (b) leave each original record either
+// recovered byte-identical or absent-and-accounted (quarantined, or part of a
+// torn/condemned region) — never silently served with wrong bytes.
+TEST(DurableCache, ExhaustiveSingleByteCorruptionSweep) {
+  const std::string dir = fresh_cache_dir();
+  const auto r1 = durable_result("s1");
+  const auto r2 = durable_result("s2");
+  write_spill_file(spill_path(dir), {{11, *r1}, {22, *r2}});
+  std::string pristine;
+  {
+    std::ifstream f(spill_path(dir), std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(pristine.size(), 16u);
+
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    std::string mutated = pristine;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
+    {
+      std::ofstream f(spill_path(dir), std::ios::binary | std::ios::trunc);
+      f.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    }
+    std::filesystem::remove(quarantine_path(dir));
+
+    ResultCache warm(1 << 20, {dir, false});
+    ResultCache::RecoveryStats rs{};
+    ASSERT_NO_THROW(rs = warm.recover()) << "byte " << i;
+
+    const auto h1 = warm.lookup(11);
+    const auto h2 = warm.lookup(22);
+    if (h1 != nullptr) {
+      EXPECT_EQ(h1->records, r1->records) << "byte " << i;
+      EXPECT_DOUBLE_EQ(h1->wall_seconds, r1->wall_seconds) << "byte " << i;
+    }
+    if (h2 != nullptr) {
+      EXPECT_EQ(h2->records, r2->records) << "byte " << i;
+      EXPECT_DOUBLE_EQ(h2->wall_seconds, r2->wall_seconds) << "byte " << i;
+    }
+    const std::uint64_t missing = (h1 == nullptr ? 1u : 0u) + (h2 == nullptr ? 1u : 0u);
+    if (missing > 0) {
+      // No third outcome: a lost record must be accounted for as damage.
+      EXPECT_TRUE(rs.quarantined > 0 || rs.torn_bytes > 0)
+          << "byte " << i << " lost " << missing << " record(s) without accounting";
+    }
+    EXPECT_EQ(rs.recovered, 2u - missing) << "byte " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableCache, ScrubQuarantinesRotAndRewritesFromMemory) {
+  const std::string dir = fresh_cache_dir();
+  ResultCache cache(1 << 20, {dir, false});
+  cache.recover();
+  cache.insert(1, durable_result("rotme"));
+  cache.insert(2, durable_result("fine"));
+
+  // Rot one byte on disk behind the cache's back (bit flip, cosmic ray...).
+  const std::uint64_t size = std::filesystem::file_size(spill_path(dir));
+  {
+    std::fstream f(spill_path(dir), std::ios::in | std::ios::out | std::ios::binary);
+    const std::streamoff at = static_cast<std::streamoff>(size / 2);
+    f.seekg(at);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x01);
+    f.seekp(at);
+    f.write(&c, 1);
+  }
+
+  EXPECT_GE(cache.scrub_once(), 1u);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.scrub_passes, 1u);
+  EXPECT_GE(c.scrub_corrupt, 1u);
+  EXPECT_GE(c.quarantined, 1u);
+  EXPECT_GT(std::filesystem::file_size(quarantine_path(dir)), 0u);
+
+  // Memory was authoritative: the rewritten file holds both entries intact.
+  const SpillScan rescan = scan_spill_file(spill_path(dir));
+  EXPECT_TRUE(rescan.header_ok);
+  EXPECT_EQ(rescan.records.size(), 2u);
+  EXPECT_TRUE(rescan.quarantine.empty());
+  // A second pass over the repaired file finds nothing.
+  EXPECT_EQ(cache.scrub_once(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Durability fault sites
+
+TEST(ServeFault, DurabilitySitesParseAndName) {
+  const auto plan = robust::parse_fault_plan(
+      "site=serve.cache-spill,kind=throw;site=serve.cache-recover;site=serve.scrub");
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_EQ(plan.specs[0].site, robust::FaultSite::kServeCacheSpill);
+  EXPECT_EQ(plan.specs[1].site, robust::FaultSite::kServeCacheRecover);
+  EXPECT_EQ(plan.specs[2].site, robust::FaultSite::kServeScrub);
+  EXPECT_STREQ(robust::fault_site_name(robust::FaultSite::kServeCacheSpill),
+               "serve.cache-spill");
+  EXPECT_STREQ(robust::fault_site_name(robust::FaultSite::kServeCacheRecover),
+               "serve.cache-recover");
+  EXPECT_STREQ(robust::fault_site_name(robust::FaultSite::kServeScrub), "serve.scrub");
+}
+
+TEST(ServeFault, SpillFaultLosesDurabilityNotTheInMemoryEntry) {
+  const std::string dir = fresh_cache_dir();
+  {
+    ResultCache cache(1 << 20, {dir, false});
+    cache.recover();
+    FaultPlanGuard fault("site=serve.cache-spill,kind=throw");
+    cache.insert(1, durable_result("volatile"));
+    EXPECT_NE(cache.lookup(1), nullptr);  // the in-memory insert held
+    const auto c = cache.counters();
+    EXPECT_EQ(c.spilled, 0u);
+    EXPECT_EQ(c.spill_errors, 1u);
+  }
+  ResultCache warm(1 << 20, {dir, false});
+  EXPECT_EQ(warm.recover().recovered, 0u);  // the append was the loss
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeFault, RecoverFaultQuarantinesTheRecordItHit) {
+  const std::string dir = fresh_cache_dir();
+  write_spill_file(spill_path(dir), {{1, *durable_result("a")}, {2, *durable_result("b")}});
+  ResultCache warm(1 << 20, {dir, false});
+  FaultPlanGuard fault("site=serve.cache-recover,kind=throw");
+  const auto rs = warm.recover();
+  EXPECT_EQ(rs.recovered, 0u);
+  EXPECT_EQ(rs.quarantined, 2u);  // every record hit the injected validator fault
+  EXPECT_GT(std::filesystem::file_size(quarantine_path(dir)), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeFault, ScrubFaultAbortsThePassAndCountsNothing) {
+  const std::string dir = fresh_cache_dir();
+  ResultCache cache(1 << 20, {dir, false});
+  cache.recover();
+  cache.insert(1, durable_result("x"));
+  FaultPlanGuard fault("site=serve.scrub,kind=throw");
+  // The cache propagates (the Server's scrubber thread catches and logs).
+  EXPECT_THROW(cache.scrub_once(), hps::Error);
+  EXPECT_EQ(cache.counters().scrub_passes, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Warm restart at the daemon level
+
+TEST(ServeDaemon, RestartOnSameCacheDirComesBackWarmByteIdentical) {
+  const std::string dir = fresh_cache_dir();
+  Client::StudyReply first;
+  {
+    ServerOptions o = DaemonFixture::small();
+    o.cache_dir = dir;
+    DaemonFixture d(std::move(o));
+    Client c = Client::connect_unix(d.path);
+    first = c.study(tiny_study(271));
+    ASSERT_EQ(first.summary.status, Status::kOk);
+    const Stats st = c.stats();
+    EXPECT_GE(st.cache_spilled, 1u);
+    EXPECT_EQ(st.cache_recovered, 0u);
+  }  // daemon 1 gone
+
+  ServerOptions o = DaemonFixture::small();
+  o.cache_dir = dir;
+  DaemonFixture d2(std::move(o));
+  Client c = Client::connect_unix(d2.path);
+  const Stats st = c.stats();
+  EXPECT_GE(st.cache_recovered, 1u);
+  EXPECT_EQ(st.cache_quarantined, 0u);
+
+  const auto again = c.study(tiny_study(271));
+  ASSERT_EQ(again.summary.status, Status::kOk);
+  EXPECT_TRUE(again.summary.cache_hit);       // never recomputed
+  EXPECT_EQ(again.records, first.records);    // byte-identical across restart
+  EXPECT_EQ(c.stats().studies_run, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeDaemon, ScrubberThreadRunsAgainstALiveDaemon) {
+  const std::string dir = fresh_cache_dir();
+  ServerOptions o = DaemonFixture::small();
+  o.cache_dir = dir;
+  o.scrub_interval_ms = 20;
+  DaemonFixture d(std::move(o));
+  Client c = Client::connect_unix(d.path);
+  ASSERT_EQ(c.study(tiny_study(281)).summary.status, Status::kOk);
+  // A few scrub intervals: passes accumulate, nothing is corrupt.
+  Stats st{};
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    st = c.stats();
+    if (st.cache_scrub_passes >= 2) break;
+  }
+  EXPECT_GE(st.cache_scrub_passes, 2u);
+  EXPECT_EQ(st.cache_scrub_corrupt, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeListener, LockFileOutlivesTheDaemonAndRestartSucceeds) {
+  const std::string path = "/tmp/hps_serve_lock_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++) + ".sock";
+  ::unlink(path.c_str());
+  for (int round = 0; round < 2; ++round) {
+    ServerOptions o = DaemonFixture::small();
+    o.socket_path = path;
+    o.install_signal_guard = false;
+    Server server(std::move(o));
+    std::thread runner([&] { server.run(); });
+    Client c = Client::connect_unix(path);
+    EXPECT_TRUE(c.ping());
+    EXPECT_TRUE(std::filesystem::exists(path + ".lock"));
+    server.shutdown();
+    runner.join();
+    // The lock file deliberately survives a shutdown (unlinking it would
+    // reopen the very race it guards); the kernel released the flock when
+    // the holder went away, so round 2 rebinds the same path cleanly.
+    EXPECT_TRUE(std::filesystem::exists(path + ".lock"));
+  }
+  ::unlink((path + ".lock").c_str());
+  robust::clear_interrupt();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v4: durability counters stay backward compatible
+
+TEST(ServeProtocol, StatsV4FieldsRoundTrip) {
+  Stats st;
+  st.requests = 3;
+  st.cache_spilled = 11;
+  st.cache_recovered = 22;
+  st.cache_quarantined = 33;
+  st.cache_recovery_ms = 44;
+  st.cache_scrub_passes = 55;
+  st.cache_scrub_corrupt = 66;
+  const Stats gt = decode_stats(encode_stats(st));
+  EXPECT_EQ(gt.cache_spilled, 11u);
+  EXPECT_EQ(gt.cache_recovered, 22u);
+  EXPECT_EQ(gt.cache_quarantined, 33u);
+  EXPECT_EQ(gt.cache_recovery_ms, 44u);
+  EXPECT_EQ(gt.cache_scrub_passes, 55u);
+  EXPECT_EQ(gt.cache_scrub_corrupt, 66u);
+  const std::string j = stats_to_json(st);
+  EXPECT_NE(j.find("\"cache_recovered\":22"), std::string::npos);
+  EXPECT_NE(j.find("\"cache_scrub_corrupt\":66"), std::string::npos);
+}
+
+TEST(ServeProtocol, V3StatsPayloadStillDecodesWithV4FieldsDefaulted) {
+  Stats st;
+  st.requests = 9;
+  st.cache_spilled = 123;  // v4-only — must vanish from a v3 payload
+  std::string v3 = encode_stats(st);
+  ASSERT_GT(v3.size(), 6u * 8u);
+  v3.resize(v3.size() - 6 * 8);  // drop the six appended v4 u64s
+  v3[0] = 3;                     // little-endian u32 version: 4 -> 3
+  const Stats gt = decode_stats(v3);
+  EXPECT_EQ(gt.requests, 9u);
+  EXPECT_EQ(gt.cache_spilled, 0u);
+  EXPECT_EQ(gt.cache_recovery_ms, 0u);
+  // A v3 payload that kept the v4 tail is garbage, not half-valid.
+  std::string v3_trailing = encode_stats(st);
+  v3_trailing[0] = 3;
+  EXPECT_THROW(decode_stats(v3_trailing), hps::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Client failover across endpoints
+
+TEST(ResilientClient, FailsOverToTheNextEndpointOnConnectFailure) {
+  const std::string dead = "/tmp/hps_serve_dead_" + std::to_string(::getpid()) + ".sock";
+  ::unlink(dead.c_str());
+  DaemonFixture d(DaemonFixture::small());
+
+  ClientPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_ms = 1;
+  policy.backoff_max_ms = 2;
+  policy.breaker_failures = 5;
+  ResilientClient rc = ResilientClient::endpoints(
+      {{false, dead, 0}, {false, d.path, 0}}, policy);
+  EXPECT_EQ(rc.endpoint_count(), 2u);
+
+  const auto reply = rc.study(tiny_study(291));
+  EXPECT_EQ(reply.summary.status, Status::kOk);
+  EXPECT_EQ(rc.failovers(), 1);
+
+  // Success sticks: the next exchange goes straight to the live endpoint.
+  const auto again = rc.study(tiny_study(291));
+  EXPECT_EQ(again.summary.status, Status::kOk);
+  EXPECT_TRUE(again.summary.cache_hit);
+  EXPECT_EQ(rc.last_attempts(), 1);
+  EXPECT_EQ(rc.failovers(), 1);
+}
+
+TEST(ResilientClient, CircuitOpenOnAllEndpointsFailsFast) {
+  const std::string d1 = "/tmp/hps_serve_d1_" + std::to_string(::getpid()) + ".sock";
+  const std::string d2 = "/tmp/hps_serve_d2_" + std::to_string(::getpid()) + ".sock";
+  ::unlink(d1.c_str());
+  ::unlink(d2.c_str());
+  ClientPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_ms = 1;
+  policy.backoff_max_ms = 2;
+  policy.breaker_failures = 1;  // one failure opens each endpoint's breaker
+  policy.breaker_cooldown_ms = 60000;
+  ResilientClient rc = ResilientClient::endpoints({{false, d1, 0}, {false, d2, 0}}, policy);
+  EXPECT_THROW(rc.study(tiny_study(301)), hps::Error);
+  EXPECT_THROW(rc.study(tiny_study(301)), CircuitOpenError);
+}
+
+/// Minimal hand-rolled endpoint: accepts connections and answers every
+/// request with a canned terminal frame — a kOk summary (a stand-in healthy
+/// peer) or a kDraining reject (a daemon frozen mid-rolling-restart, which a
+/// real Server only is for one racy poll tick).
+struct FakeEndpoint {
+  std::string path;
+  int lfd = -1;
+  std::thread t;
+  std::atomic<int> served{0};
+
+  explicit FakeEndpoint(Status reply_status = Status::kOk) {
+    path = "/tmp/hps_serve_fake_" + std::to_string(::getpid()) + "_" +
+           std::to_string(DaemonFixture::counter()++) + ".sock";
+    ::unlink(path.c_str());
+    lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(lfd, 8) != 0)
+      throw hps::Error("fake endpoint setup failed");
+    t = std::thread([this, reply_status] {
+      for (;;) {
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd < 0) return;  // listener closed: test over
+        ipc::Message m;
+        if (ipc::read_message(fd, m) == ipc::ReadStatus::kMessage) {
+          Summary s;
+          s.status = reply_status;
+          s.detail = reply_status == Status::kOk ? "served by the fake peer"
+                                                 : "daemon is draining";
+          const ipc::MsgType type = reply_status == Status::kOk
+                                        ? ipc::MsgType::kSummary
+                                        : ipc::MsgType::kReject;
+          ipc::write_frame(fd, {type, encode_summary(s)});
+          served.fetch_add(1);
+        }
+        ::close(fd);
+      }
+    });
+  }
+  ~FakeEndpoint() {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+    if (t.joinable()) t.join();
+    ::unlink(path.c_str());
+  }
+};
+
+TEST(ResilientClient, DrainingRejectFailsOverToAHealthyPeer) {
+  FakeEndpoint draining(Status::kDraining);
+  DaemonFixture d(DaemonFixture::small());
+
+  ClientPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_ms = 1;
+  policy.backoff_max_ms = 2;
+  ResilientClient rc = ResilientClient::endpoints(
+      {{false, draining.path, 0}, {false, d.path, 0}}, policy);
+
+  // The preferred endpoint rejects with kDraining: never-admitted work, so
+  // the client retries for free on the next endpoint — no backoff sleep, no
+  // resend risk — and the real daemon answers.
+  const auto reply = rc.study(tiny_study(311));
+  EXPECT_EQ(reply.summary.status, Status::kOk);
+  EXPECT_GT(reply.records.size(), 0u);
+  EXPECT_EQ(rc.draining_retries(), 1);
+  EXPECT_EQ(rc.failovers(), 1);
+  EXPECT_EQ(draining.served.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Serve-ledger re-probe after transient failure
+
+TEST(ServeLedger, ReprobeReenablesAppendsAfterTransientFailure) {
+  const std::string path = "/tmp/hps_serve_reprobe_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++) + ".jsonl";
+  std::remove(path.c_str());
+  obs::ServeLedgerWriter w(path);
+  w.set_reprobe_policy(/*records=*/2, /*seconds=*/0);  // count-triggered only
+  w.force_failure_for_testing();
+
+  obs::ServeRecord rec;
+  rec.trace_id = 7;
+  w.append(rec);  // lost: latched, 1 since probe
+  w.append(rec);  // lost: 2 since probe — next append is the re-probe
+  EXPECT_EQ(w.write_errors(), 2u);
+  EXPECT_EQ(w.records_written(), 0u);
+
+  w.append(rec);  // re-probe: the file is healthy, so this line lands
+  EXPECT_EQ(w.write_errors(), 2u);  // monotonic: nothing un-counted
+  EXPECT_EQ(w.records_written(), 1u);
+  w.append(rec);  // healed: normal appends resume
+  EXPECT_EQ(w.records_written(), 2u);
+
+  EXPECT_EQ(obs::load_serve_ledger(path).requests.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeLedger, ReprobeStaysLatchedWhileTheDiskIsStillFull) {
+  if (!std::ofstream("/dev/full").is_open()) GTEST_SKIP() << "/dev/full unavailable";
+  obs::ServeLedgerWriter w("/dev/full");
+  w.set_reprobe_policy(/*records=*/1, /*seconds=*/0);  // re-probe every append
+  obs::ServeRecord rec;
+  rec.trace_id = 9;
+  w.append(rec);  // first failure latches
+  for (int i = 0; i < 3; ++i) w.append(rec);  // each re-probe reopens, still ENOSPC
+  EXPECT_EQ(w.write_errors(), 4u);  // strictly monotonic, every line counted
+  EXPECT_EQ(w.records_written(), 0u);
+}
+
+TEST(ServeLedger, ZeroZeroPolicyRestoresThePermanentLatch) {
+  const std::string path = "/tmp/hps_serve_latch_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(DaemonFixture::counter()++) + ".jsonl";
+  std::remove(path.c_str());
+  obs::ServeLedgerWriter w(path);
+  w.set_reprobe_policy(0, 0);
+  w.force_failure_for_testing();
+  obs::ServeRecord rec;
+  for (int i = 0; i < 5; ++i) w.append(rec);
+  EXPECT_EQ(w.write_errors(), 5u);  // never re-probes, even on a healthy file
+  EXPECT_EQ(w.records_written(), 0u);
   std::remove(path.c_str());
 }
 

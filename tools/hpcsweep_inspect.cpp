@@ -15,6 +15,8 @@
 //   watch     live terminal dashboard over a running hpcsweepd
 //   cost      measured-cost model per (trace class x scheme), from a serve
 //             ledger or a live daemon
+//   fsck      offline integrity check / repair of durable state: cache
+//             spill file, study journal, serve ledger
 //
 // Exit codes: 0 success / no divergence, 1 divergence or runtime error,
 // 2 usage error, 3 request rejected by the daemon (backpressure / draining /
@@ -25,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -39,14 +42,17 @@
 #include "machine/machine.hpp"
 #include "mfact/classify.hpp"
 #include "obs/inspect.hpp"
+#include "obs/jsonl.hpp"
 #include "obs/ledger.hpp"
 #include "obs/serve_ledger.hpp"
 #include "obs/timeline.hpp"
 #include "robust/interrupt.hpp"
+#include "robust/journal.hpp"
 #include "serve/client.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/spill.hpp"
 #include "simmpi/replayer.hpp"
 #include "workloads/corpus.hpp"
 
@@ -105,7 +111,8 @@ int usage() {
       "      per-fail_kind counts.\n"
       "\n"
       "  serve --socket <path> [--tcp PORT] [--dispatchers N] [--queue N]\n"
-      "      [--max-conns N] [--cache-mb M] [--threads N]\n"
+      "      [--max-conns N] [--cache-mb M] [--cache-dir DIR] [--cache-fsync]\n"
+      "      [--scrub-interval-ms MS] [--threads N]\n"
       "      [--isolate thread|process] [--workers N]\n"
       "      [--retries R] [--rss-limit-mb M] [--watchdog SECONDS]\n"
       "      [--max-duration-scale X] [--max-limit N]\n"
@@ -129,6 +136,13 @@ int usage() {
       "      (kQueueFull on the wire) until delay recovers. --slow-read-ms\n"
       "      caps how long a partial request frame may dribble in before the\n"
       "      connection is rejected (slowloris guard).\n"
+      "      --cache-dir makes the result cache crash-durable: entries spill\n"
+      "      to an append-only CRC-framed file under DIR, recovered (and\n"
+      "      corrupt records quarantined) on the next start so a restart on\n"
+      "      the same DIR comes back warm. --cache-fsync fsyncs each spill\n"
+      "      append (power-loss durability at a latency cost); a background\n"
+      "      scrubber re-verifies on-disk CRCs every --scrub-interval-ms\n"
+      "      (default 5000, 0 disables). See docs/serving.md.\n"
       "      SIGINT/SIGTERM drains gracefully; shutdown requests are only\n"
       "      honored on the Unix socket. See docs/serving.md.\n"
       "\n"
@@ -145,8 +159,10 @@ int usage() {
       "      the daemon may degrade to an MFACT-only study to fit the budget).\n"
       "      The remaining flags configure the resilient client: socket\n"
       "      timeout, jittered exponential-backoff retries on backpressure\n"
-      "      and connect failures (never after the request reached the\n"
-      "      daemon), and a circuit breaker.\n"
+      "      and connect failures (never after a socket timeout), and a\n"
+      "      per-endpoint circuit breaker. --socket may repeat: additional\n"
+      "      sockets are failover endpoints tried in order when the\n"
+      "      preferred daemon is down or draining.\n"
       "      Exits 0 on success, 1 degraded/error, 3 rejected (queue full /\n"
       "      draining / bad request), 4 deadline expired, 5 circuit breaker\n"
       "      open, 6 socket timeout (request may still be executing), 75 when\n"
@@ -167,7 +183,19 @@ int usage() {
       "\n"
       "  cost <serve-ledger.jsonl> | --socket <path> | --tcp-host H --tcp-port P\n"
       "      Measured-cost model: wall seconds per (MFACT trace class x\n"
-      "      scheme), from a serve ledger's drain footer or a live daemon.\n");
+      "      scheme), from a serve ledger's drain footer or a live daemon.\n"
+      "\n"
+      "  fsck [--cache-dir DIR] [--journal <path>] [--serve-ledger <path>]\n"
+      "      [--repair]\n"
+      "      Offline integrity check of hpcsweepd's durable state: the cache\n"
+      "      spill file (per-record CRC + schema walk), a study journal\n"
+      "      (CRC frame walk), and a serve ledger (JSON-lines parse). With\n"
+      "      --repair: corrupt spill regions move to the .quarantine sidecar\n"
+      "      and a clean spill file is rewritten, a journal's torn tail is\n"
+      "      truncated, and the ledger is rewritten keeping only intact\n"
+      "      lines. Exits 0 when clean (or fully repaired), 1 when damage\n"
+      "      remains, 2 on usage error. Run it on a stopped daemon's files;\n"
+      "      a live daemon scrubs and compacts on its own.\n");
   return 2;
 }
 
@@ -225,6 +253,15 @@ struct Flags {
   double shed_target_ms = 0;     ///< 0 = shedding disabled
   double shed_interval_ms = 100;
   double slow_read_ms = 5000;
+
+  // serve: durable cache (docs/serving.md); fsck
+  std::string cache_dir;
+  bool cache_fsync = false;
+  double scrub_interval_ms = 5000;
+  bool repair = false;
+
+  // request: every --socket in order; [0] == socket_path, rest are failover
+  std::vector<std::string> sockets;
 
   // request: end-to-end deadline + resilient-client policy
   std::uint64_t deadline_ms = 0;       ///< 0 = no end-to-end deadline
@@ -287,7 +324,9 @@ Flags parse_flags(int argc, char** argv, int first) {
     } else if (want(a, "--watchdog")) {
       f.watchdog = std::atof(next());
     } else if (want(a, "--socket")) {
-      f.socket_path = next();
+      const char* v = next();
+      if (f.socket_path.empty()) f.socket_path = v;
+      f.sockets.push_back(v);
     } else if (want(a, "--tcp")) {
       f.tcp = std::atoi(next());
     } else if (want(a, "--tcp-host")) {
@@ -324,6 +363,14 @@ Flags parse_flags(int argc, char** argv, int first) {
       f.shed_interval_ms = std::atof(next());
     } else if (want(a, "--slow-read-ms")) {
       f.slow_read_ms = std::atof(next());
+    } else if (want(a, "--cache-dir")) {
+      f.cache_dir = next();
+    } else if (want(a, "--cache-fsync")) {
+      f.cache_fsync = true;
+    } else if (want(a, "--scrub-interval-ms")) {
+      f.scrub_interval_ms = std::atof(next());
+    } else if (want(a, "--repair")) {
+      f.repair = true;
     } else if (want(a, "--deadline-ms")) {
       f.deadline_ms = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (want(a, "--timeout-ms")) {
@@ -526,12 +573,18 @@ int cmd_serve(const Flags& f) {
   so.shed_target_ms = f.shed_target_ms;
   so.shed_interval_ms = f.shed_interval_ms;
   so.slow_read_timeout_ms = f.slow_read_ms;
+  so.cache_dir = f.cache_dir;
+  so.cache_fsync = f.cache_fsync;
+  so.scrub_interval_ms = f.scrub_interval_ms;
 
   serve::Server server(std::move(so));
   std::printf("hpcsweepd: listening on %s", f.socket_path.c_str());
   if (server.tcp_port() >= 0) std::printf(" and 127.0.0.1:%d", server.tcp_port());
   std::printf(" (%d dispatcher(s), queue %d, cache %.0f MB, isolate %s)\n",
               f.dispatchers, f.queue, f.cache_mb, f.isolate.c_str());
+  if (!f.cache_dir.empty())
+    std::printf("hpcsweepd: durable cache in %s (fsync %s, scrub every %.0f ms)\n",
+                f.cache_dir.c_str(), f.cache_fsync ? "on" : "off", f.scrub_interval_ms);
   std::fflush(stdout);
   server.run();
   const serve::Stats st = server.stats();
@@ -551,9 +604,10 @@ int cmd_request(const Flags& f) {
   policy.jitter_seed = f.seed;
   policy.breaker_failures = f.breaker_failures;
   policy.breaker_cooldown_ms = f.breaker_cooldown_ms;
-  serve::ResilientClient rc =
-      f.socket_path.empty() ? serve::ResilientClient::tcp(f.tcp_host, f.tcp_port, policy)
-                            : serve::ResilientClient::unix_socket(f.socket_path, policy);
+  std::vector<serve::Endpoint> eps;
+  for (const std::string& s : f.sockets) eps.push_back({false, s, 0});
+  if (eps.empty()) eps.push_back({true, f.tcp_host, f.tcp_port});
+  serve::ResilientClient rc = serve::ResilientClient::endpoints(std::move(eps), policy);
   if (f.ping) {
     serve::Client client = rc.connect_once();
     const bool ok = client.ping();
@@ -613,6 +667,9 @@ int cmd_request(const Flags& f) {
   if (rc.last_attempts() > 1)
     std::printf("  (%d attempts, breaker %s)\n", rc.last_attempts(),
                 serve::ResilientClient::breaker_name(rc.breaker_state()));
+  if (rc.failovers() > 0 || rc.draining_retries() > 0)
+    std::printf("  (%d failover(s), %d draining retry(ies))\n", rc.failovers(),
+                rc.draining_retries());
 
   switch (s.status) {
     case serve::Status::kOk:
@@ -698,6 +755,176 @@ int cmd_cost(const Flags& f) {
   return 0;
 }
 
+// --- fsck: offline validation / repair of durable serving state -----------
+
+/// Journal walk without a study key: fsck validates the header against its
+/// own stored key CRC (read_journal needs the caller's key, which an offline
+/// tool does not have) and then CRC-checks every frame.
+struct JournalFsck {
+  bool existed = false;
+  bool header_ok = false;
+  std::size_t records = 0;
+  std::uint64_t valid_bytes = 0;  ///< intact prefix (header + whole frames)
+  std::uint64_t torn_bytes = 0;
+};
+
+JournalFsck walk_journal(const std::string& path) {
+  JournalFsck out;
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) return out;
+  out.existed = true;
+  std::error_code ec;
+  const std::uint64_t file_size = std::filesystem::file_size(path, ec);
+  const auto read_u32 = [&](std::uint32_t& v) {
+    unsigned char b[4];
+    if (std::fread(b, 1, 4, fp) != 4) return false;
+    v = static_cast<std::uint32_t>(b[0]) | static_cast<std::uint32_t>(b[1]) << 8 |
+        static_cast<std::uint32_t>(b[2]) << 16 | static_cast<std::uint32_t>(b[3]) << 24;
+    return true;
+  };
+  char magic[4];
+  std::uint32_t version = 0, key_len = 0, key_crc = 0;
+  std::string key;
+  if (std::fread(magic, 1, 4, fp) == 4 && std::memcmp(magic, "HPSJ", 4) == 0 &&
+      read_u32(version) && read_u32(key_len) && read_u32(key_crc) &&
+      key_len <= (1u << 20)) {
+    key.resize(key_len);
+    if (key_len == 0 || std::fread(key.data(), 1, key_len, fp) == key_len)
+      out.header_ok = robust::crc32(key.data(), key.size()) == key_crc;
+  }
+  if (out.header_ok) {
+    out.valid_bytes = 16 + key_len;
+    for (;;) {
+      std::uint32_t len = 0, crc = 0;
+      if (!read_u32(len) || !read_u32(crc)) break;
+      if (len > (64u << 20)) break;
+      std::string payload(len, '\0');
+      if (len > 0 && std::fread(payload.data(), 1, len, fp) != len) break;
+      if (robust::crc32(payload.data(), payload.size()) != crc) break;
+      ++out.records;
+      out.valid_bytes += 8 + len;
+    }
+  }
+  std::fclose(fp);
+  if (!ec && file_size > out.valid_bytes) out.torn_bytes = file_size - out.valid_bytes;
+  return out;
+}
+
+int cmd_fsck(const Flags& f) {
+  if (f.cache_dir.empty() && f.journal.empty() && f.serve_ledger.empty()) {
+    std::fprintf(stderr,
+                 "fsck: nothing to check (give --cache-dir, --journal, or "
+                 "--serve-ledger)\n");
+    return 2;
+  }
+  bool damage = false;      // anything wrong found anywhere
+  bool unrepaired = false;  // damage that survives this invocation
+
+  if (!f.cache_dir.empty()) {
+    const std::string path = serve::spill_path(f.cache_dir);
+    const serve::SpillScan scan = serve::scan_spill_file(path);
+    if (!scan.existed) {
+      std::printf("cache  %s: missing (nothing to check)\n", path.c_str());
+    } else {
+      const bool bad = !scan.header_ok || !scan.quarantine.empty() || scan.torn_bytes > 0;
+      std::printf("cache  %s: %zu record(s), %zu corrupt region(s), %llu torn byte(s)%s\n",
+                  path.c_str(), scan.records.size(), scan.quarantine.size(),
+                  static_cast<unsigned long long>(scan.torn_bytes),
+                  scan.header_ok ? "" : " [bad header]");
+      if (bad) {
+        damage = true;
+        if (f.repair) {
+          serve::append_quarantine(serve::quarantine_path(f.cache_dir), scan.quarantine);
+          serve::write_spill_file(path, scan.records);
+          std::printf("cache  %s: repaired — %zu region(s) quarantined, clean file "
+                      "rewritten with %zu record(s)\n",
+                      path.c_str(), scan.quarantine.size(), scan.records.size());
+        } else {
+          unrepaired = true;
+        }
+      }
+    }
+  }
+
+  if (!f.journal.empty()) {
+    const JournalFsck jf = walk_journal(f.journal);
+    if (!jf.existed) {
+      std::printf("journal %s: missing (nothing to check)\n", f.journal.c_str());
+    } else {
+      std::printf("journal %s: %zu record(s), %llu torn byte(s)%s\n", f.journal.c_str(),
+                  jf.records, static_cast<unsigned long long>(jf.torn_bytes),
+                  jf.header_ok ? "" : " [bad header]");
+      if (!jf.header_ok) {
+        // No intact prefix to keep; truncating would only destroy evidence.
+        damage = true;
+        unrepaired = true;
+        std::printf("journal %s: header unrepairable (start fresh; a resumed study "
+                    "ignores a foreign journal)\n",
+                    f.journal.c_str());
+      } else if (jf.torn_bytes > 0) {
+        damage = true;
+        if (f.repair) {
+          std::filesystem::resize_file(f.journal, jf.valid_bytes);
+          std::printf("journal %s: repaired — torn tail truncated at byte %llu\n",
+                      f.journal.c_str(), static_cast<unsigned long long>(jf.valid_bytes));
+        } else {
+          unrepaired = true;
+        }
+      }
+    }
+  }
+
+  if (!f.serve_ledger.empty()) {
+    std::ifstream in(f.serve_ledger, std::ios::binary);
+    if (!in.is_open()) {
+      std::printf("ledger %s: missing (nothing to check)\n", f.serve_ledger.c_str());
+    } else {
+      std::vector<std::string> good;
+      std::size_t bad = 0;
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        try {
+          (void)obs::jsonl::parse_flat_object(line);
+          good.push_back(line);
+        } catch (const hps::Error&) {
+          ++bad;
+        }
+      }
+      in.close();
+      std::printf("ledger %s: %zu intact line(s), %zu corrupt\n", f.serve_ledger.c_str(),
+                  good.size(), bad);
+      if (bad > 0) {
+        damage = true;
+        if (f.repair) {
+          const std::string tmp = f.serve_ledger + ".fsck-tmp";
+          {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            if (!out.is_open()) throw Error("fsck: cannot write " + tmp);
+            for (const std::string& l : good) out << l << '\n';
+          }
+          std::filesystem::rename(tmp, f.serve_ledger);
+          std::printf("ledger %s: repaired — rewritten with the %zu intact line(s)\n",
+                      f.serve_ledger.c_str(), good.size());
+        } else {
+          unrepaired = true;
+        }
+      }
+    }
+  }
+
+  if (!damage) {
+    std::printf("fsck: clean\n");
+    return 0;
+  }
+  if (unrepaired) {
+    std::printf("fsck: damage found%s\n", f.repair ? " (not all repairable)" : " (rerun with --repair)");
+    return 1;
+  }
+  std::printf("fsck: damage found and repaired\n");
+  return 0;
+}
+
 int cmd_diff(const Flags& f) {
   if (f.positional.size() != 2) {
     std::fprintf(stderr, "diff: expected <before.jsonl> <after.jsonl>\n");
@@ -728,6 +955,7 @@ int main(int argc, char** argv) {
     if (want(cmd, "metrics")) return cmd_metrics(f);
     if (want(cmd, "watch")) return cmd_watch(f);
     if (want(cmd, "cost")) return cmd_cost(f);
+    if (want(cmd, "fsck")) return cmd_fsck(f);
   } catch (const hps::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
